@@ -1,0 +1,74 @@
+// Blocking substrate evaluation: reduction ratio and pair completeness of
+// every blocker on three benchmark datasets (the §1/[49,50] trade-off:
+// cheaper candidate sets lose true matches). Not a figure of the paper —
+// it validates the blocking layer the end-to-end systems embed.
+
+#include <iostream>
+#include <memory>
+
+#include "src/block/blockers.h"
+#include "src/datagen/benchmark_suite.h"
+#include "src/report/table_printer.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+int Run() {
+  struct Spec {
+    DatasetKind kind;
+    const char* key_attr;
+  };
+  const std::vector<Spec> specs = {
+      {DatasetKind::kNoFlyCompas, "lastName"},
+      {DatasetKind::kDblpAcm, "title"},
+      {DatasetKind::kCameras, "title"},
+  };
+  std::cout << "== Blocking quality: reduction ratio (RR) and pair "
+               "completeness (PC) ==\n\n";
+  TablePrinter table(
+      {"dataset", "blocker", "candidates", "RR", "PC"});
+  for (const Spec& spec : specs) {
+    Result<EMDataset> ds = GenerateDataset(spec.kind, 0.6);
+    if (!ds.ok()) {
+      std::cerr << ds.status() << "\n";
+      return 1;
+    }
+    std::vector<std::unique_ptr<Blocker>> blockers;
+    blockers.push_back(std::make_unique<CartesianBlocker>());
+    blockers.push_back(
+        std::make_unique<AttrEquivalenceBlocker>(spec.key_attr));
+    blockers.push_back(std::make_unique<OverlapBlocker>(
+        spec.key_attr, /*min_overlap=*/3, /*use_words=*/false));
+    blockers.push_back(std::make_unique<OverlapBlocker>(
+        spec.key_attr, /*min_overlap=*/1, /*use_words=*/true));
+    blockers.push_back(
+        std::make_unique<SortedNeighborhoodBlocker>(spec.key_attr, 6));
+    blockers.push_back(
+        std::make_unique<CanopyBlocker>(spec.key_attr, 0.9, 0.5));
+    std::vector<LabeledPair> labeled = ds->AllPairs();
+    for (const auto& blocker : blockers) {
+      Result<std::vector<CandidatePair>> candidates =
+          blocker->Block(ds->table_a, ds->table_b);
+      if (!candidates.ok()) {
+        std::cerr << blocker->name() << ": " << candidates.status() << "\n";
+        continue;
+      }
+      BlockingStats stats =
+          EvaluateBlocking(*candidates, labeled, ds->table_a.num_rows(),
+                           ds->table_b.num_rows());
+      table.AddRow({ds->name, blocker->name(),
+                    std::to_string(stats.num_candidates),
+                    FormatDouble(stats.reduction_ratio, 3),
+                    FormatDouble(stats.pair_completeness, 3)});
+      std::cerr << "done " << ds->name << " / " << blocker->name() << "\n";
+    }
+  }
+  std::cout << table.ToString() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairem
+
+int main() { return fairem::Run(); }

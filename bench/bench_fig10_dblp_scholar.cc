@@ -1,0 +1,12 @@
+// Reproduces Figure 10: DBLP-Scholar (dirty) single-fairness grid over the
+// entry-type groups.
+
+#include "bench/grid_bench_common.h"
+#include "src/harness/bench_flags.h"
+
+int main(int argc, char** argv) {
+  return fairem::RunGridBench(fairem::DatasetKind::kDblpScholar,
+                              "Figure 10: DBLP-Scholar single fairness",
+                              nullptr,
+                              fairem::ParseBenchFlags(argc, argv));
+}

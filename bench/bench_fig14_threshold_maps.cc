@@ -1,0 +1,103 @@
+// Reproduces Figure 14 and Figures 21-27: the matching-threshold heat-maps.
+// For each of the four datasets the paper sweeps (iTunes-Amazon, DBLP-ACM,
+// DBLP-Scholar, Cameras) and each probed measure (TPRP with TPR utility;
+// PPVP with PPV utility), every matcher is swept over thresholds
+// 0.30..0.95 and each cell prints "utility(#discriminated groups)".
+//   Figure 14: iTunes-Amazon TPRP    Figure 24: iTunes-Amazon PPVP
+//   Figure 21: DBLP-ACM TPRP         Figure 25: DBLP-ACM PPVP
+//   Figure 22: DBLP-Scholar TPRP     Figure 26: DBLP-Scholar PPVP
+//   Figure 23: Cameras TPRP          Figure 27: Cameras PPVP
+
+#include <iostream>
+
+#include "src/core/threshold.h"
+#include "src/datagen/benchmark_suite.h"
+#include "src/harness/bench_flags.h"
+#include "src/harness/experiment.h"
+#include "src/report/heatmap.h"
+
+namespace fairem {
+namespace {
+
+struct MapSpec {
+  DatasetKind kind;
+  FairnessMeasure measure;
+  const char* title;
+};
+
+int Run(const BenchFlags& flags) {
+  const std::vector<MapSpec> specs = {
+      {DatasetKind::kItunesAmazon, FairnessMeasure::kTruePositiveRateParity,
+       "Figure 14: iTunes-Amazon — TPR(threshold) with #TPRP-unfair groups"},
+      {DatasetKind::kDblpAcm, FairnessMeasure::kTruePositiveRateParity,
+       "Figure 21: DBLP-ACM — TPR / TPRP"},
+      {DatasetKind::kDblpScholar, FairnessMeasure::kTruePositiveRateParity,
+       "Figure 22: DBLP-Scholar — TPR / TPRP"},
+      {DatasetKind::kCameras, FairnessMeasure::kTruePositiveRateParity,
+       "Figure 23: Cameras — TPR / TPRP"},
+      {DatasetKind::kItunesAmazon,
+       FairnessMeasure::kPositivePredictiveValueParity,
+       "Figure 24: iTunes-Amazon — PPV / PPVP"},
+      {DatasetKind::kDblpAcm, FairnessMeasure::kPositivePredictiveValueParity,
+       "Figure 25: DBLP-ACM — PPV / PPVP"},
+      {DatasetKind::kDblpScholar,
+       FairnessMeasure::kPositivePredictiveValueParity,
+       "Figure 26: DBLP-Scholar — PPV / PPVP"},
+      {DatasetKind::kCameras, FairnessMeasure::kPositivePredictiveValueParity,
+       "Figure 27: Cameras — PPV / PPVP"},
+  };
+  const std::vector<double> thresholds = ThresholdGrid(0.30, 0.95, 0.05);
+
+  DatasetKind last_kind = DatasetKind::kFacultyMatch;
+  EMDataset dataset;
+  std::vector<MatcherRun> runs;
+  for (const MapSpec& spec : specs) {
+    if (runs.empty() || spec.kind != last_kind) {
+      Result<EMDataset> ds = GenerateDataset(spec.kind, flags.scale, flags.seed_offset);
+      if (!ds.ok()) {
+        std::cerr << ds.status() << "\n";
+        return 1;
+      }
+      dataset = std::move(ds).value();
+      last_kind = spec.kind;
+      runs.clear();
+      for (MatcherKind kind : AllMatcherKinds()) {
+        Result<MatcherRun> run = RunMatcher(dataset, kind);
+        if (!run.ok()) {
+          std::cerr << MatcherKindName(kind) << ": " << run.status() << "\n";
+          return 1;
+        }
+        if (run->supported) runs.push_back(std::move(run).value());
+        std::cerr << "trained " << MatcherKindName(kind) << " on "
+                  << dataset.name << "\n";
+      }
+    }
+    Result<FairnessAuditor> auditor = MakeAuditor(dataset);
+    if (!auditor.ok()) {
+      std::cerr << auditor.status() << "\n";
+      return 1;
+    }
+    ThresholdHeatmap heatmap(thresholds);
+    for (const MatcherRun& run : runs) {
+      Result<std::vector<ThresholdPoint>> sweep =
+          SweepThresholds(*auditor, dataset.test, run.test_scores,
+                          spec.measure, thresholds, AuditOptions{});
+      if (!sweep.ok()) {
+        std::cerr << sweep.status() << "\n";
+        return 1;
+      }
+      heatmap.AddRow(run.matcher_name, *sweep);
+    }
+    std::cout << "== " << spec.title << " ==\n"
+              << "cell = overall utility (number of discriminated groups)\n"
+              << heatmap.Render() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairem
+
+int main(int argc, char** argv) {
+  return fairem::Run(fairem::ParseBenchFlags(argc, argv));
+}

@@ -1,0 +1,73 @@
+// Reproduces Figure 4 / Figure 16: fairness-accuracy synergies. Every
+// (matcher, dataset) run is placed into one of four quadrants by whether it
+// is accurate (F1 >= 0.8) and fair (no discriminated group under single
+// fairness at the 20% rule). The paper's headline: all four quadrants are
+// populated, including inaccurate-but-fair (equally bad for everyone).
+
+#include <iostream>
+#include <map>
+
+#include "src/datagen/benchmark_suite.h"
+#include "src/harness/bench_flags.h"
+#include "src/harness/experiment.h"
+#include "src/report/table_printer.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+constexpr double kAccurateF1 = 0.8;
+
+int Run(const BenchFlags& flags) {
+  std::map<std::pair<bool, bool>, std::vector<std::string>> quadrants;
+  for (DatasetKind dk : AllDatasetKinds()) {
+    Result<EMDataset> dataset = GenerateDataset(dk, flags.scale, flags.seed_offset);
+    if (!dataset.ok()) {
+      std::cerr << dataset.status() << "\n";
+      return 1;
+    }
+    for (MatcherKind mk : AllMatcherKinds()) {
+      Result<MatcherRun> run = RunMatcher(*dataset, mk);
+      if (!run.ok()) {
+        std::cerr << MatcherKindName(mk) << ": " << run.status() << "\n";
+        return 1;
+      }
+      if (!run->supported) continue;
+      Result<AuditReport> report = AuditRunSingle(*dataset, *run);
+      if (!report.ok()) {
+        std::cerr << report.status() << "\n";
+        return 1;
+      }
+      bool accurate = run->f1 >= kAccurateF1;
+      bool fair = report->NumDiscriminatedGroups() == 0;
+      std::string evidence =
+          run->matcher_name + ": " + dataset->name + " (F1 " +
+          FormatDouble(run->f1, 2) + ")";
+      auto& bucket = quadrants[{accurate, fair}];
+      if (bucket.size() < 6) bucket.push_back(std::move(evidence));
+      std::cerr << "placed " << run->matcher_name << " x " << dataset->name
+                << " -> " << (accurate ? "accurate" : "inaccurate") << "/"
+                << (fair ? "fair" : "unfair") << "\n";
+    }
+  }
+  std::cout << "== Figure 4: fairness and accuracy synergies (selected "
+               "evidence per quadrant) ==\n\n";
+  TablePrinter table({"Accurate", "Fair", "Evidence"});
+  for (bool accurate : {false, true}) {
+    for (bool fair : {false, true}) {
+      auto it = quadrants.find({accurate, fair});
+      std::string evidence =
+          it == quadrants.end() ? "(none)" : Join(it->second, "; ");
+      table.AddRow({accurate ? "yes" : "no", fair ? "yes" : "no", evidence});
+    }
+  }
+  std::cout << table.ToString() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairem
+
+int main(int argc, char** argv) {
+  return fairem::Run(fairem::ParseBenchFlags(argc, argv));
+}

@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) of end-to-end matcher costs: training
+// and per-pair scoring on the DBLP-ACM benchmark, plus the audit itself.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/core/audit.h"
+#include "src/datagen/benchmark_suite.h"
+#include "src/harness/experiment.h"
+#include "src/util/logging.h"
+
+namespace fairem {
+namespace {
+
+const EMDataset& Dataset() {
+  static const EMDataset& ds = *new EMDataset([] {
+    Result<EMDataset> d = GenerateDataset(DatasetKind::kDblpAcm);
+    FAIREM_CHECK(d.ok(), d.status().ToString());
+    return std::move(d).value();
+  }());
+  return ds;
+}
+
+void FitBench(benchmark::State& state, MatcherKind kind) {
+  const EMDataset& ds = Dataset();
+  for (auto _ : state) {
+    std::unique_ptr<Matcher> matcher = CreateMatcher(kind);
+    Rng rng(99);
+    Status st = matcher->Fit(ds, &rng);
+    FAIREM_CHECK(st.ok(), st.ToString());
+    benchmark::DoNotOptimize(matcher);
+  }
+}
+
+void ScoreBench(benchmark::State& state, MatcherKind kind) {
+  const EMDataset& ds = Dataset();
+  std::unique_ptr<Matcher> matcher = CreateMatcher(kind);
+  Rng rng(99);
+  Status st = matcher->Fit(ds, &rng);
+  FAIREM_CHECK(st.ok(), st.ToString());
+  size_t i = 0;
+  for (auto _ : state) {
+    const LabeledPair& p = ds.test[i++ % ds.test.size()];
+    Result<double> score = matcher->ScorePair(ds, p.left, p.right);
+    benchmark::DoNotOptimize(score);
+  }
+}
+
+void BM_FitDecisionTree(benchmark::State& state) {
+  FitBench(state, MatcherKind::kDT);
+}
+BENCHMARK(BM_FitDecisionTree);
+
+void BM_FitDitto(benchmark::State& state) {
+  FitBench(state, MatcherKind::kDitto);
+}
+BENCHMARK(BM_FitDitto);
+
+void BM_ScoreRuleMatcher(benchmark::State& state) {
+  ScoreBench(state, MatcherKind::kBooleanRule);
+}
+BENCHMARK(BM_ScoreRuleMatcher);
+
+void BM_ScoreRandomForest(benchmark::State& state) {
+  ScoreBench(state, MatcherKind::kRF);
+}
+BENCHMARK(BM_ScoreRandomForest);
+
+void BM_ScoreDitto(benchmark::State& state) {
+  ScoreBench(state, MatcherKind::kDitto);
+}
+BENCHMARK(BM_ScoreDitto);
+
+void BM_ScoreDeepMatcher(benchmark::State& state) {
+  ScoreBench(state, MatcherKind::kDeepMatcher);
+}
+BENCHMARK(BM_ScoreDeepMatcher);
+
+void BM_SingleFairnessAudit(benchmark::State& state) {
+  const EMDataset& ds = Dataset();
+  Result<MatcherRun> run = RunMatcher(ds, MatcherKind::kRF);
+  FAIREM_CHECK(run.ok(), run.status().ToString());
+  Result<FairnessAuditor> auditor = MakeAuditor(ds);
+  FAIREM_CHECK(auditor.ok(), auditor.status().ToString());
+  Result<std::vector<PairOutcome>> outcomes =
+      MakeOutcomes(ds.test, run->test_scores, ds.default_threshold);
+  FAIREM_CHECK(outcomes.ok(), outcomes.status().ToString());
+  for (auto _ : state) {
+    Result<AuditReport> report =
+        auditor->AuditSingle(*outcomes, AuditOptions{});
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_SingleFairnessAudit);
+
+void BM_PairwiseFairnessAudit(benchmark::State& state) {
+  const EMDataset& ds = Dataset();
+  Result<MatcherRun> run = RunMatcher(ds, MatcherKind::kRF);
+  FAIREM_CHECK(run.ok(), run.status().ToString());
+  Result<FairnessAuditor> auditor = MakeAuditor(ds);
+  FAIREM_CHECK(auditor.ok(), auditor.status().ToString());
+  Result<std::vector<PairOutcome>> outcomes =
+      MakeOutcomes(ds.test, run->test_scores, ds.default_threshold);
+  FAIREM_CHECK(outcomes.ok(), outcomes.status().ToString());
+  for (auto _ : state) {
+    Result<AuditReport> report =
+        auditor->AuditPairwise(*outcomes, AuditOptions{});
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_PairwiseFairnessAudit);
+
+}  // namespace
+}  // namespace fairem
+
+BENCHMARK_MAIN();

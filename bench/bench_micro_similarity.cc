@@ -1,0 +1,101 @@
+// Micro-benchmarks (google-benchmark) of the similarity substrate: the
+// per-pair costs that dominate feature generation and rule evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/embed/subword_embedding.h"
+#include "src/text/edit_distance.h"
+#include "src/text/similarity.h"
+#include "src/text/tfidf.h"
+#include "src/text/tokenize.h"
+
+namespace fairem {
+namespace {
+
+const char kShortA[] = "Qingming Huang";
+const char kShortB[] = "Qing-Hu Huang";
+const char kLongA[] =
+    "efficient and cost-effective techniques for browsing and indexing "
+    "large video databases";
+const char kLongB[] =
+    "effective timestamping in databases with temporal semantics";
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(kLongA, kLongB));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinklerSimilarity(kShortA, kShortB));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_JaccardWordLong(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSimilarity(
+        SimilarityMeasure::kJaccardWord, kLongA, kLongB));
+  }
+}
+BENCHMARK(BM_JaccardWordLong);
+
+void BM_QGramTokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QGrams(kLongA, 3));
+  }
+}
+BENCHMARK(BM_QGramTokenize);
+
+void BM_AllMeasuresShortPair(benchmark::State& state) {
+  for (auto _ : state) {
+    double total = 0.0;
+    for (SimilarityMeasure m : kAllSimilarityMeasures) {
+      total += ComputeSimilarity(m, kShortA, kShortB);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_AllMeasuresShortPair);
+
+void BM_SubwordEmbedToken(benchmark::State& state) {
+  SubwordEmbedding embedding;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedding.Embed("huang"));
+  }
+}
+BENCHMARK(BM_SubwordEmbedToken);
+
+void BM_SubwordPairSimilarity(benchmark::State& state) {
+  SubwordEmbedding embedding;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedding.TokenSimilarity("efficient",
+                                                       "effective"));
+  }
+}
+BENCHMARK(BM_SubwordPairSimilarity);
+
+void BM_TfIdfSimilarity(benchmark::State& state) {
+  TfIdfVectorizer vectorizer;
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 200; ++i) {
+    corpus.push_back(AlnumTokenize(i % 2 == 0 ? kLongA : kLongB));
+  }
+  vectorizer.Fit(corpus);
+  auto a = AlnumTokenize(kLongA);
+  auto b = AlnumTokenize(kLongB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vectorizer.Similarity(a, b));
+  }
+}
+BENCHMARK(BM_TfIdfSimilarity);
+
+}  // namespace
+}  // namespace fairem
+
+BENCHMARK_MAIN();

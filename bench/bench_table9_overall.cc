@@ -1,0 +1,66 @@
+// Reproduces Table 9: overall accuracy and F-1 of all 13 matchers across
+// all 8 datasets. Expected shape (§5.3.1 / Appendix D.1): non-neural
+// matchers win on structured data, neural matchers win on textual and
+// dirty data, non-neural F1 collapses on Shoes/Cameras, Dedupe does not
+// scale to the two social and two textual datasets ("-").
+
+#include <iostream>
+
+#include "src/datagen/benchmark_suite.h"
+#include "src/harness/bench_flags.h"
+#include "src/harness/experiment.h"
+#include "src/report/table_printer.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+int Run(const BenchFlags& flags) {
+  std::vector<DatasetKind> kinds = AllDatasetKinds();
+  std::vector<EMDataset> datasets;
+  std::vector<std::string> headers = {"Matcher"};
+  for (DatasetKind kind : kinds) {
+    Result<EMDataset> ds = GenerateDataset(kind, flags.scale, flags.seed_offset);
+    if (!ds.ok()) {
+      std::cerr << DatasetKindName(kind) << ": " << ds.status() << "\n";
+      return 1;
+    }
+    headers.push_back(std::string(DatasetKindName(kind)) + " Acc");
+    headers.push_back("F1");
+    datasets.push_back(std::move(ds).value());
+  }
+  std::cout << "== Table 9: overall performance (Acc / F1), all matchers x "
+               "all datasets ==\n\n";
+  TablePrinter table(std::move(headers));
+  for (MatcherKind kind : AllMatcherKinds()) {
+    std::vector<std::string> row = {MatcherKindName(kind)};
+    for (const auto& dataset : datasets) {
+      Result<MatcherRun> run = RunMatcher(dataset, kind);
+      if (!run.ok()) {
+        std::cerr << MatcherKindName(kind) << " on " << dataset.name << ": "
+                  << run.status() << "\n";
+        row.push_back("ERR");
+        row.push_back("ERR");
+        continue;
+      }
+      if (!run->supported) {
+        row.push_back("-");
+        row.push_back("-");
+        continue;
+      }
+      row.push_back(FormatDouble(run->accuracy, 2));
+      row.push_back(FormatDouble(run->f1, 2));
+    }
+    table.AddRow(std::move(row));
+    std::cerr << "done: " << MatcherKindName(kind) << "\n";
+  }
+  std::cout << table.ToString() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairem
+
+int main(int argc, char** argv) {
+  return fairem::Run(fairem::ParseBenchFlags(argc, argv));
+}

@@ -1,0 +1,56 @@
+#ifndef FAIREM_BENCH_GRID_BENCH_COMMON_H_
+#define FAIREM_BENCH_GRID_BENCH_COMMON_H_
+
+// Shared driver for the unfairness-grid figure benches (Figures 6-13 and
+// 17-20): generates one benchmark dataset, trains all matchers, and prints
+// the single- (and optionally pairwise-) fairness grids.
+
+#include <iostream>
+
+#include "src/datagen/benchmark_suite.h"
+#include "src/harness/bench_flags.h"
+#include "src/harness/experiment.h"
+
+namespace fairem {
+
+inline int RunGridBench(DatasetKind kind, const char* single_title,
+                        const char* pairwise_title,
+                        const BenchFlags& flags = {}) {
+  Result<EMDataset> dataset =
+      GenerateDataset(kind, flags.scale, flags.seed_offset);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+  // Audit each group against everyone else (AuditReference::kComplement):
+  // with the overall matcher as reference, a group's own false positives
+  // drag the reference down and mask the disparity.
+  AuditOptions options;
+  options.reference = AuditReference::kComplement;
+  Result<std::string> single = UnfairnessGridReport(*dataset, false, options);
+  if (!single.ok()) {
+    std::cerr << single.status() << "\n";
+    return 1;
+  }
+  std::cout << "== " << single_title << " ==\n"
+            << (single->empty() ? "(no unfair cells)\n" : *single) << "\n";
+  if (pairwise_title != nullptr) {
+    Result<std::string> pairwise =
+        UnfairnessGridReport(*dataset, true, options);
+    if (!pairwise.ok()) {
+      std::cerr << pairwise.status() << "\n";
+      return 1;
+    }
+    std::cout << "== " << pairwise_title << " ==\n"
+              << (pairwise->empty() ? "(no unfair cells)\n" : *pairwise)
+              << "\n";
+  }
+  std::cout << "markers: BR BooleanRule, DD Dedupe, DT/SV/RF/LO/LI/NB "
+               "Magellan classifiers, DM DeepMatcher, DI Ditto, GN GNEM, "
+               "HM HierMatcher, MC MCAN\n";
+  return 0;
+}
+
+}  // namespace fairem
+
+#endif  // FAIREM_BENCH_GRID_BENCH_COMMON_H_

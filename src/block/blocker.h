@@ -1,0 +1,52 @@
+#ifndef FAIREM_BLOCK_BLOCKER_H_
+#define FAIREM_BLOCK_BLOCKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/data/table.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// An unlabelled candidate pair produced by blocking.
+struct CandidatePair {
+  size_t left = 0;
+  size_t right = 0;
+};
+
+/// Interface of blocking algorithms. Blocking reduces the candidate space
+/// from |A| x |B| to (near-)linear before matching (§1, [49]); the paper's
+/// end-to-end systems embed their own blocking, which these classes model.
+class Blocker {
+ public:
+  virtual ~Blocker() = default;
+
+  /// Name for reports.
+  virtual std::string name() const = 0;
+
+  /// Emits candidate pairs from tables `a` and `b`. Pairs are unique and
+  /// ordered lexicographically by (left, right).
+  virtual Result<std::vector<CandidatePair>> Block(const Table& a,
+                                                   const Table& b) const = 0;
+};
+
+/// Quality metrics of a blocking result against ground truth (§1, [50]):
+/// reduction ratio = 1 - |C| / (|A|*|B|); pair completeness = fraction of
+/// true matches retained in C.
+struct BlockingStats {
+  double reduction_ratio = 0.0;
+  double pair_completeness = 0.0;
+  size_t num_candidates = 0;
+};
+
+/// Computes blocking quality given the candidates and the full labelled
+/// pair set (pairs absent from `labeled` are assumed non-matches).
+BlockingStats EvaluateBlocking(const std::vector<CandidatePair>& candidates,
+                               const std::vector<LabeledPair>& labeled,
+                               size_t num_rows_a, size_t num_rows_b);
+
+}  // namespace fairem
+
+#endif  // FAIREM_BLOCK_BLOCKER_H_

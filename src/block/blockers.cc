@@ -1,0 +1,215 @@
+#include "src/block/blockers.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "src/text/token_sim.h"
+#include "src/text/tokenize.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+void SortAndDedup(std::vector<CandidatePair>* pairs) {
+  std::sort(pairs->begin(), pairs->end(),
+            [](const CandidatePair& x, const CandidatePair& y) {
+              return std::tie(x.left, x.right) < std::tie(y.left, y.right);
+            });
+  pairs->erase(std::unique(pairs->begin(), pairs->end(),
+                           [](const CandidatePair& x, const CandidatePair& y) {
+                             return x.left == y.left && x.right == y.right;
+                           }),
+               pairs->end());
+}
+
+}  // namespace
+
+BlockingStats EvaluateBlocking(const std::vector<CandidatePair>& candidates,
+                               const std::vector<LabeledPair>& labeled,
+                               size_t num_rows_a, size_t num_rows_b) {
+  BlockingStats stats;
+  stats.num_candidates = candidates.size();
+  double total = static_cast<double>(num_rows_a) * num_rows_b;
+  stats.reduction_ratio =
+      total > 0.0 ? 1.0 - static_cast<double>(candidates.size()) / total : 0.0;
+  std::set<std::pair<size_t, size_t>> cand_set;
+  for (const auto& c : candidates) cand_set.emplace(c.left, c.right);
+  size_t true_matches = 0;
+  size_t retained = 0;
+  for (const auto& p : labeled) {
+    if (!p.is_match) continue;
+    ++true_matches;
+    if (cand_set.count({p.left, p.right}) > 0) ++retained;
+  }
+  stats.pair_completeness =
+      true_matches > 0
+          ? static_cast<double>(retained) / static_cast<double>(true_matches)
+          : 1.0;
+  return stats;
+}
+
+Result<std::vector<CandidatePair>> CartesianBlocker::Block(
+    const Table& a, const Table& b) const {
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(a.num_rows() * b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    for (size_t j = 0; j < b.num_rows(); ++j) {
+      pairs.push_back({i, j});
+    }
+  }
+  return pairs;
+}
+
+Result<std::vector<CandidatePair>> AttrEquivalenceBlocker::Block(
+    const Table& a, const Table& b) const {
+  FAIREM_ASSIGN_OR_RETURN(size_t col_a, a.schema().Index(attr_));
+  FAIREM_ASSIGN_OR_RETURN(size_t col_b, b.schema().Index(attr_));
+  std::unordered_map<std::string, std::vector<size_t>> index_b;
+  for (size_t j = 0; j < b.num_rows(); ++j) {
+    if (b.IsNull(j, col_b)) continue;
+    index_b[ToLowerAscii(b.value(j, col_b))].push_back(j);
+  }
+  std::vector<CandidatePair> pairs;
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    if (a.IsNull(i, col_a)) continue;
+    auto it = index_b.find(ToLowerAscii(a.value(i, col_a)));
+    if (it == index_b.end()) continue;
+    for (size_t j : it->second) pairs.push_back({i, j});
+  }
+  SortAndDedup(&pairs);
+  return pairs;
+}
+
+Result<std::vector<CandidatePair>> OverlapBlocker::Block(
+    const Table& a, const Table& b) const {
+  if (min_overlap_ < 1) {
+    return Status::InvalidArgument("min_overlap must be >= 1");
+  }
+  FAIREM_ASSIGN_OR_RETURN(size_t col_a, a.schema().Index(attr_));
+  FAIREM_ASSIGN_OR_RETURN(size_t col_b, b.schema().Index(attr_));
+  auto tokens_of = [&](const Table& t, size_t row,
+                       size_t col) -> std::vector<std::string> {
+    if (t.IsNull(row, col)) return {};
+    std::string lowered = ToLowerAscii(t.value(row, col));
+    return use_words_ ? AlnumTokenize(lowered) : QGrams(lowered, q_);
+  };
+  // Inverted index over table B's tokens.
+  std::unordered_map<std::string, std::vector<size_t>> index_b;
+  for (size_t j = 0; j < b.num_rows(); ++j) {
+    std::vector<std::string> toks = tokens_of(b, j, col_b);
+    std::sort(toks.begin(), toks.end());
+    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+    for (const auto& t : toks) index_b[t].push_back(j);
+  }
+  std::vector<CandidatePair> pairs;
+  std::unordered_map<size_t, int> overlap_counts;
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    std::vector<std::string> toks = tokens_of(a, i, col_a);
+    std::sort(toks.begin(), toks.end());
+    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+    overlap_counts.clear();
+    for (const auto& t : toks) {
+      auto it = index_b.find(t);
+      if (it == index_b.end()) continue;
+      for (size_t j : it->second) ++overlap_counts[j];
+    }
+    for (const auto& [j, count] : overlap_counts) {
+      if (count >= min_overlap_) pairs.push_back({i, j});
+    }
+  }
+  SortAndDedup(&pairs);
+  return pairs;
+}
+
+Result<std::vector<CandidatePair>> SortedNeighborhoodBlocker::Block(
+    const Table& a, const Table& b) const {
+  if (window_ < 2) {
+    return Status::InvalidArgument("window must be >= 2");
+  }
+  FAIREM_ASSIGN_OR_RETURN(size_t col_a, a.schema().Index(attr_));
+  FAIREM_ASSIGN_OR_RETURN(size_t col_b, b.schema().Index(attr_));
+  struct Entry {
+    std::string key;
+    bool from_a;
+    size_t row;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(a.num_rows() + b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    entries.push_back({ToLowerAscii(a.value(i, col_a)), true, i});
+  }
+  for (size_t j = 0; j < b.num_rows(); ++j) {
+    entries.push_back({ToLowerAscii(b.value(j, col_b)), false, j});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& x, const Entry& y) { return x.key < y.key; });
+  std::vector<CandidatePair> pairs;
+  size_t w = static_cast<size_t>(window_);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size() && j < i + w; ++j) {
+      const Entry& x = entries[i];
+      const Entry& y = entries[j];
+      if (x.from_a == y.from_a) continue;
+      if (x.from_a) {
+        pairs.push_back({x.row, y.row});
+      } else {
+        pairs.push_back({y.row, x.row});
+      }
+    }
+  }
+  SortAndDedup(&pairs);
+  return pairs;
+}
+
+Result<std::vector<CandidatePair>> CanopyBlocker::Block(
+    const Table& a, const Table& b) const {
+  if (t2_ > t1_) {
+    return Status::InvalidArgument("canopy requires t2 <= t1");
+  }
+  FAIREM_ASSIGN_OR_RETURN(size_t col_a, a.schema().Index(attr_));
+  FAIREM_ASSIGN_OR_RETURN(size_t col_b, b.schema().Index(attr_));
+  struct Item {
+    std::vector<std::string> tokens;
+    bool from_a;
+    size_t row;
+  };
+  std::vector<Item> items;
+  items.reserve(a.num_rows() + b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    items.push_back(
+        {AlnumTokenize(ToLowerAscii(a.value(i, col_a))), true, i});
+  }
+  for (size_t j = 0; j < b.num_rows(); ++j) {
+    items.push_back(
+        {AlnumTokenize(ToLowerAscii(b.value(j, col_b))), false, j});
+  }
+  std::vector<bool> removed(items.size(), false);
+  std::vector<CandidatePair> pairs;
+  for (size_t center = 0; center < items.size(); ++center) {
+    if (removed[center]) continue;
+    removed[center] = true;
+    // Members of this canopy (center included).
+    std::vector<size_t> canopy = {center};
+    for (size_t k = 0; k < items.size(); ++k) {
+      if (k == center || removed[k]) continue;
+      double dist =
+          1.0 - JaccardSimilarity(items[center].tokens, items[k].tokens);
+      if (dist <= t1_) {
+        canopy.push_back(k);
+        if (dist <= t2_) removed[k] = true;
+      }
+    }
+    for (size_t x : canopy) {
+      for (size_t y : canopy) {
+        if (!items[x].from_a || items[y].from_a) continue;
+        pairs.push_back({items[x].row, items[y].row});
+      }
+    }
+  }
+  SortAndDedup(&pairs);
+  return pairs;
+}
+
+}  // namespace fairem

@@ -1,0 +1,94 @@
+#ifndef FAIREM_BLOCK_BLOCKERS_H_
+#define FAIREM_BLOCK_BLOCKERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/block/blocker.h"
+
+namespace fairem {
+
+/// Emits the full cartesian product A x B (no blocking). Useful as the
+/// exhaustive baseline and for small datasets.
+class CartesianBlocker : public Blocker {
+ public:
+  std::string name() const override { return "cartesian"; }
+  Result<std::vector<CandidatePair>> Block(const Table& a,
+                                           const Table& b) const override;
+};
+
+/// Standard blocking: pairs agree exactly on a blocking key attribute
+/// (case-folded). Null keys never match anything.
+class AttrEquivalenceBlocker : public Blocker {
+ public:
+  explicit AttrEquivalenceBlocker(std::string attr) : attr_(std::move(attr)) {}
+  std::string name() const override { return "attr_equivalence(" + attr_ + ")"; }
+  Result<std::vector<CandidatePair>> Block(const Table& a,
+                                           const Table& b) const override;
+
+ private:
+  std::string attr_;
+};
+
+/// Token-overlap blocking: pairs share at least `min_overlap` q-grams (or
+/// word tokens when `use_words` is true) of the given attribute.
+class OverlapBlocker : public Blocker {
+ public:
+  OverlapBlocker(std::string attr, int min_overlap, bool use_words = false,
+                 int q = 3)
+      : attr_(std::move(attr)),
+        min_overlap_(min_overlap),
+        use_words_(use_words),
+        q_(q) {}
+  std::string name() const override { return "overlap(" + attr_ + ")"; }
+  Result<std::vector<CandidatePair>> Block(const Table& a,
+                                           const Table& b) const override;
+
+ private:
+  std::string attr_;
+  int min_overlap_;
+  bool use_words_;
+  int q_;
+};
+
+/// Sorted-neighbourhood blocking: both tables are merged, sorted by the key
+/// attribute, and a window of size `window` slides over the sorted order;
+/// cross-table records in a window become candidates.
+class SortedNeighborhoodBlocker : public Blocker {
+ public:
+  SortedNeighborhoodBlocker(std::string attr, int window)
+      : attr_(std::move(attr)), window_(window) {}
+  std::string name() const override {
+    return "sorted_neighborhood(" + attr_ + ")";
+  }
+  Result<std::vector<CandidatePair>> Block(const Table& a,
+                                           const Table& b) const override;
+
+ private:
+  std::string attr_;
+  int window_;
+};
+
+/// Canopy clustering blocker (McCallum et al.): records are greedily
+/// grouped into canopies using a cheap token-overlap distance; a record
+/// joins every canopy whose center is within `t1` (loose) and stops seeding
+/// new canopies when within `t2` (tight, t2 <= t1). Candidates are the
+/// cross-table pairs sharing a canopy. Distances are 1 - word-token
+/// Jaccard of the key attribute.
+class CanopyBlocker : public Blocker {
+ public:
+  CanopyBlocker(std::string attr, double t1 = 0.8, double t2 = 0.4)
+      : attr_(std::move(attr)), t1_(t1), t2_(t2) {}
+  std::string name() const override { return "canopy(" + attr_ + ")"; }
+  Result<std::vector<CandidatePair>> Block(const Table& a,
+                                           const Table& b) const override;
+
+ private:
+  std::string attr_;
+  double t1_;
+  double t2_;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_BLOCK_BLOCKERS_H_

@@ -1,0 +1,89 @@
+#include "src/core/auc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fairem {
+
+Result<double> RocAuc(const std::vector<double>& scores,
+                      const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores/labels size mismatch");
+  }
+  int64_t n_pos = 0;
+  for (int y : labels) n_pos += y;
+  int64_t n_neg = static_cast<int64_t>(labels.size()) - n_pos;
+  if (n_pos == 0 || n_neg == 0) {
+    return Status::UndefinedStatistic("AUC needs both classes");
+  }
+  // Rank statistic with midranks for ties.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> ranks(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) pos_rank_sum += ranks[k];
+  }
+  double auc = (pos_rank_sum -
+                static_cast<double>(n_pos) * (n_pos + 1) / 2.0) /
+               (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+  return auc;
+}
+
+Result<std::vector<GroupAuc>> AuditAucParity(
+    const GroupMembership& membership, const std::vector<LabeledPair>& pairs,
+    const std::vector<double>& scores, const AucAuditOptions& options) {
+  if (pairs.size() != scores.size()) {
+    return Status::InvalidArgument("pairs/scores size mismatch");
+  }
+  std::vector<int> labels(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    labels[i] = pairs[i].is_match ? 1 : 0;
+  }
+  Result<double> overall = RocAuc(scores, labels);
+  std::vector<GroupAuc> report;
+  for (const auto& group : membership.encoding().groups()) {
+    FAIREM_ASSIGN_OR_RETURN(uint64_t mask,
+                            membership.encoding().Encode({group}));
+    std::vector<double> group_scores;
+    std::vector<int> group_labels;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      if (GroupEncoding::Belongs(membership.LeftMask(pairs[i].left), mask) ||
+          GroupEncoding::Belongs(membership.RightMask(pairs[i].right),
+                                 mask)) {
+        group_scores.push_back(scores[i]);
+        group_labels.push_back(labels[i]);
+      }
+    }
+    GroupAuc row;
+    row.group_label = group;
+    row.group_pairs = static_cast<int64_t>(group_scores.size());
+    Result<double> group_auc = RocAuc(group_scores, group_labels);
+    if (overall.ok() && group_auc.ok()) {
+      row.defined = true;
+      row.auc = *group_auc;
+      row.overall_auc = *overall;
+      row.disparity = std::max(0.0, *overall - *group_auc);
+      row.unfair = row.group_pairs >= options.min_group_pairs &&
+                   row.disparity > options.fairness_threshold;
+    }
+    report.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace fairem

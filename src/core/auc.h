@@ -1,0 +1,49 @@
+#ifndef FAIREM_CORE_AUC_H_
+#define FAIREM_CORE_AUC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/confusion.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Threshold-free fairness (the AUC-based definition of the parallel work
+/// the paper cites as [46], Nilforoushan et al.): instead of auditing the
+/// thresholded decisions, compare each group's ROC-AUC of the raw matcher
+/// scores. Complements the 11 thresholded measures of Table 2.
+
+/// ROC-AUC of `scores` against binary `labels` (1 = match), computed by
+/// the rank statistic with midrank tie handling. UndefinedStatistic when
+/// either class is absent.
+Result<double> RocAuc(const std::vector<double>& scores,
+                      const std::vector<int>& labels);
+
+/// One group's AUC row.
+struct GroupAuc {
+  std::string group_label;
+  bool defined = false;
+  double auc = 0.0;
+  double overall_auc = 0.0;
+  /// max(0, overall - group): the group's scores rank matches worse.
+  double disparity = 0.0;
+  bool unfair = false;
+  int64_t group_pairs = 0;
+};
+
+/// Options for the AUC parity audit.
+struct AucAuditOptions {
+  double fairness_threshold = 0.05;  // AUC gaps are small numbers
+  int64_t min_group_pairs = 10;
+};
+
+/// Single-fairness AUC parity: per level-1 group, the AUC over pairs with
+/// either record in the group vs the overall AUC.
+Result<std::vector<GroupAuc>> AuditAucParity(
+    const GroupMembership& membership, const std::vector<LabeledPair>& pairs,
+    const std::vector<double>& scores, const AucAuditOptions& options = {});
+
+}  // namespace fairem
+
+#endif  // FAIREM_CORE_AUC_H_

@@ -1,0 +1,253 @@
+#include "src/core/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace fairem {
+
+std::vector<std::string> AuditReport::DiscriminatedGroups(
+    FairnessMeasure m) const {
+  std::vector<std::string> groups;
+  for (const auto& e : entries) {
+    if (e.measure == m && e.unfair) groups.push_back(e.group_label);
+  }
+  return groups;
+}
+
+std::vector<const AuditEntry*> AuditReport::UnfairEntries() const {
+  std::vector<const AuditEntry*> out;
+  for (const auto& e : entries) {
+    if (e.unfair) out.push_back(&e);
+  }
+  return out;
+}
+
+const AuditEntry* AuditReport::Find(const std::string& group_label,
+                                    FairnessMeasure m) const {
+  for (const auto& e : entries) {
+    if (e.group_label == group_label && e.measure == m) return &e;
+  }
+  return nullptr;
+}
+
+int AuditReport::NumDiscriminatedGroups() const {
+  std::set<std::string> groups;
+  for (const auto& e : entries) {
+    if (e.unfair) groups.insert(e.group_label);
+  }
+  return static_cast<int>(groups.size());
+}
+
+Result<FairnessAuditor> FairnessAuditor::Make(const Table& a, const Table& b,
+                                              SensitiveAttr attr) {
+  FairnessAuditor auditor;
+  FAIREM_ASSIGN_OR_RETURN(auditor.membership_,
+                          GroupMembership::Make(a, b, attr));
+  auditor.attr_ = std::move(attr);
+  return auditor;
+}
+
+namespace {
+
+/// Evaluates one scalar measure for one group; returns a fully populated
+/// entry (entry.defined = false when either statistic is undefined).
+AuditEntry EvaluateScalar(const std::string& label, FairnessMeasure m,
+                          const ConfusionCounts& overall,
+                          const ConfusionCounts& group_counts,
+                          const AuditOptions& options) {
+  AuditEntry entry;
+  entry.group_label = label;
+  entry.measure = m;
+  entry.group_pairs = group_counts.total();
+  Result<double> overall_stat = MeasureStatistic(m, overall);
+  Result<double> group_stat = MeasureStatistic(m, group_counts);
+  if (!overall_stat.ok() || !group_stat.ok()) return entry;
+  Result<double> disp = ComputeDisparity(m, *overall_stat, *group_stat,
+                                         options.mode);
+  Result<double> signed_disp = ComputeSignedDisparity(
+      m, *overall_stat, *group_stat, options.mode);
+  if (!disp.ok() || !signed_disp.ok()) return entry;
+  entry.defined = true;
+  entry.overall_value = *overall_stat;
+  entry.group_value = *group_stat;
+  entry.disparity = *disp;
+  entry.signed_disparity = *signed_disp;
+  entry.unfair = entry.group_pairs >= options.min_group_pairs &&
+                 entry.disparity > options.fairness_threshold &&
+                 std::fabs(*group_stat - *overall_stat) >
+                     options.min_absolute_gap;
+  return entry;
+}
+
+}  // namespace
+
+void AppendMeasureEntries(const std::string& label,
+                          const ConfusionCounts& overall,
+                          const ConfusionCounts& group_counts,
+                          const AuditOptions& options,
+                          std::vector<AuditEntry>* entries) {
+  std::vector<FairnessMeasure> measures = options.measures;
+  if (measures.empty()) {
+    measures.assign(std::begin(kAllFairnessMeasures),
+                    std::end(kAllFairnessMeasures));
+  }
+  for (FairnessMeasure m : measures) {
+    if (m == FairnessMeasure::kEqualizedOdds) {
+      // EO is the conjunction of TPRP and FPRP (Table 2): the group is
+      // EO-unfair iff it is unfair on either component; its disparity is
+      // the max of the defined component disparities.
+      AuditEntry tprp = EvaluateScalar(
+          label, FairnessMeasure::kTruePositiveRateParity, overall,
+          group_counts, options);
+      AuditEntry fprp = EvaluateScalar(
+          label, FairnessMeasure::kFalsePositiveRateParity, overall,
+          group_counts, options);
+      AuditEntry eo;
+      eo.group_label = label;
+      eo.measure = m;
+      eo.group_pairs = group_counts.total();
+      eo.defined = tprp.defined || fprp.defined;
+      if (eo.defined) {
+        eo.disparity = std::max(tprp.defined ? tprp.disparity : 0.0,
+                                fprp.defined ? fprp.disparity : 0.0);
+        eo.signed_disparity = eo.disparity;
+        eo.unfair = (tprp.defined && tprp.unfair) ||
+                    (fprp.defined && fprp.unfair);
+      }
+      entries->push_back(eo);
+      continue;
+    }
+    entries->push_back(
+        EvaluateScalar(label, m, overall, group_counts, options));
+  }
+}
+
+Status FairnessAuditor::AppendEntries(const std::string& label,
+                                      const ConfusionCounts& overall,
+                                      const ConfusionCounts& group_counts,
+                                      const AuditOptions& options,
+                                      std::vector<AuditEntry>* entries) const {
+  AppendMeasureEntries(label, overall, group_counts, options, entries);
+  return Status::OK();
+}
+
+Result<AuditReport> FairnessAuditor::AuditSingle(
+    const std::vector<PairOutcome>& outcomes,
+    const AuditOptions& options) const {
+  AuditReport report;
+  const ConfusionCounts overall = OverallCounts(outcomes);
+  for (const auto& group : membership_.groups()) {
+    FAIREM_ASSIGN_OR_RETURN(uint64_t mask, membership_.encoding().Encode({group}));
+    ConfusionCounts counts = SingleGroupCounts(membership_, outcomes, mask);
+    ConfusionCounts reference =
+        options.reference == AuditReference::kComplement
+            ? SingleGroupComplementCounts(membership_, outcomes, mask)
+            : overall;
+    FAIREM_RETURN_NOT_OK(
+        AppendEntries(group, reference, counts, options, &report.entries));
+  }
+  return report;
+}
+
+Result<AuditReport> FairnessAuditor::AuditPairwise(
+    const std::vector<PairOutcome>& outcomes,
+    const AuditOptions& options) const {
+  AuditReport report;
+  const ConfusionCounts overall = OverallCounts(outcomes);
+  const auto& groups = membership_.groups();
+  for (size_t i = 0; i < groups.size(); ++i) {
+    for (size_t j = i; j < groups.size(); ++j) {
+      FAIREM_ASSIGN_OR_RETURN(uint64_t s,
+                              membership_.encoding().Encode({groups[i]}));
+      FAIREM_ASSIGN_OR_RETURN(uint64_t s_prime,
+                              membership_.encoding().Encode({groups[j]}));
+      ConfusionCounts counts =
+          PairGroupCounts(membership_, outcomes, s, s_prime);
+      ConfusionCounts reference =
+          options.reference == AuditReference::kComplement
+              ? PairGroupComplementCounts(membership_, outcomes, s, s_prime)
+              : overall;
+      std::string label = groups[i] + " | " + groups[j];
+      FAIREM_RETURN_NOT_OK(
+          AppendEntries(label, reference, counts, options, &report.entries));
+    }
+  }
+  return report;
+}
+
+Result<AuditReport> FairnessAuditor::AuditSingleOrdered(
+    const std::vector<PairOutcome>& outcomes, PairSide side,
+    const AuditOptions& options) const {
+  AuditReport report;
+  const ConfusionCounts overall = OverallCounts(outcomes);
+  const char* suffix = side == PairSide::kLeft ? " (left)" : " (right)";
+  for (const auto& group : membership_.groups()) {
+    FAIREM_ASSIGN_OR_RETURN(uint64_t mask,
+                            membership_.encoding().Encode({group}));
+    ConfusionCounts counts =
+        OrderedSingleGroupCounts(membership_, outcomes, mask, side);
+    // The complement reference for the ordered variant is "every pair whose
+    // `side` record is outside the group"; derive it from the totals.
+    ConfusionCounts reference = overall;
+    if (options.reference == AuditReference::kComplement) {
+      reference.tp -= counts.tp;
+      reference.fp -= counts.fp;
+      reference.tn -= counts.tn;
+      reference.fn -= counts.fn;
+    }
+    FAIREM_RETURN_NOT_OK(AppendEntries(group + suffix, reference, counts,
+                                       options, &report.entries));
+  }
+  return report;
+}
+
+Result<AuditReport> FairnessAuditor::AuditPairwiseOrdered(
+    const std::vector<PairOutcome>& outcomes,
+    const AuditOptions& options) const {
+  AuditReport report;
+  const ConfusionCounts overall = OverallCounts(outcomes);
+  const auto& groups = membership_.groups();
+  for (const auto& left : groups) {
+    for (const auto& right : groups) {
+      FAIREM_ASSIGN_OR_RETURN(uint64_t s, membership_.encoding().Encode({left}));
+      FAIREM_ASSIGN_OR_RETURN(uint64_t s_prime,
+                              membership_.encoding().Encode({right}));
+      ConfusionCounts counts =
+          OrderedPairGroupCounts(membership_, outcomes, s, s_prime);
+      ConfusionCounts reference = overall;
+      if (options.reference == AuditReference::kComplement) {
+        reference.tp -= counts.tp;
+        reference.fp -= counts.fp;
+        reference.tn -= counts.tn;
+        reference.fn -= counts.fn;
+      }
+      std::string label = left + " -> " + right;
+      FAIREM_RETURN_NOT_OK(
+          AppendEntries(label, reference, counts, options, &report.entries));
+    }
+  }
+  return report;
+}
+
+Result<AuditReport> FairnessAuditor::AuditSubgroups(
+    const std::vector<Subgroup>& subgroups,
+    const std::vector<PairOutcome>& outcomes,
+    const AuditOptions& options) const {
+  AuditReport report;
+  const ConfusionCounts overall = OverallCounts(outcomes);
+  for (const auto& sg : subgroups) {
+    Result<uint64_t> mask = membership_.encoding().Encode(sg.groups);
+    if (!mask.ok()) continue;  // subgroup mentions a group absent from data
+    ConfusionCounts counts = SingleGroupCounts(membership_, outcomes, *mask);
+    ConfusionCounts reference =
+        options.reference == AuditReference::kComplement
+            ? SingleGroupComplementCounts(membership_, outcomes, *mask)
+            : overall;
+    FAIREM_RETURN_NOT_OK(AppendEntries(sg.Label(), reference, counts, options,
+                                       &report.entries));
+  }
+  return report;
+}
+
+}  // namespace fairem

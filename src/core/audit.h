@@ -1,0 +1,151 @@
+#ifndef FAIREM_CORE_AUDIT_H_
+#define FAIREM_CORE_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/confusion.h"
+#include "src/core/disparity.h"
+#include "src/core/hierarchy.h"
+#include "src/core/measures.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// What a group's statistic is compared against when computing disparity.
+enum class AuditReference {
+  /// The matcher's overall statistic (Eq. 1/3 literally). With few groups
+  /// a dominant group drags the overall value toward its own, compressing
+  /// its disparity.
+  kOverall,
+  /// The statistic over all pairs *outside* the group ("everyone else") —
+  /// the between-group convention behind the paper's Tables 5/6 and its
+  /// social-dataset unfairness flags.
+  kComplement,
+};
+
+/// Configuration of a fairness audit.
+struct AuditOptions {
+  /// Measures to evaluate; empty = all 11 of Table 2.
+  std::vector<FairnessMeasure> measures;
+
+  AuditReference reference = AuditReference::kOverall;
+
+  /// Disparity above this flags the group as discriminated. 0.2 follows the
+  /// EEOC 80% rule the paper adopts (§5.1.4).
+  double fairness_threshold = 0.2;
+
+  /// The raw statistics must additionally differ by this much for a group
+  /// to be flagged — division disparities of near-zero rates (FDR 0.02 vs
+  /// 0.01) explode without representing a meaningful harm.
+  double min_absolute_gap = 0.02;
+
+  DisparityMode mode = DisparityMode::kSubtraction;
+
+  /// Groups with fewer legitimate pairs than this are skipped (too little
+  /// evidence to call a matcher unfair).
+  int64_t min_group_pairs = 10;
+};
+
+/// One audited (group, measure) cell.
+struct AuditEntry {
+  std::string group_label;   // "cn", or "cn | de" for pairwise audits
+  FairnessMeasure measure = FairnessMeasure::kAccuracyParity;
+  bool defined = false;      // statistic had a non-empty denominator
+  double overall_value = 0.0;
+  double group_value = 0.0;
+  double disparity = 0.0;    // clamped at 0
+  double signed_disparity = 0.0;
+  bool unfair = false;
+  int64_t group_pairs = 0;   // # legitimate pairs for the group
+};
+
+/// Result of an audit: the grid of (group, measure) cells plus helpers that
+/// mirror Algorithm 1's outputs.
+struct AuditReport {
+  std::vector<AuditEntry> entries;
+
+  /// Group labels discriminated w.r.t. `m` (Algorithm 1's g_single /
+  /// g_pairwise lists, for the chosen audit kind).
+  std::vector<std::string> DiscriminatedGroups(FairnessMeasure m) const;
+
+  /// All discriminated (group, measure) cells.
+  std::vector<const AuditEntry*> UnfairEntries() const;
+
+  /// The entry for (group, measure), or nullptr.
+  const AuditEntry* Find(const std::string& group_label,
+                         FairnessMeasure m) const;
+
+  /// Number of distinct groups with at least one unfair measure.
+  int NumDiscriminatedGroups() const;
+};
+
+/// Evaluates every configured measure for one audited unit (group or
+/// subgroup) against `reference` counts, appending one entry per measure
+/// (EqualizedOdds expands into its TPRP/FPRP components). Shared by
+/// FairnessAuditor and MultiAttrAuditor.
+void AppendMeasureEntries(const std::string& label,
+                          const ConfusionCounts& reference,
+                          const ConfusionCounts& group_counts,
+                          const AuditOptions& options,
+                          std::vector<AuditEntry>* entries);
+
+/// Audits one matcher's outcomes on one sensitive attribute. Use
+/// MakeOutcomes (core/confusion.h) to build outcomes from scores and a
+/// matching threshold.
+class FairnessAuditor {
+ public:
+  /// `attr` is the sensitive attribute; tables are the matching task's A/B.
+  static Result<FairnessAuditor> Make(const Table& a, const Table& b,
+                                      SensitiveAttr attr);
+
+  const GroupMembership& membership() const { return membership_; }
+  const std::vector<std::string>& groups() const {
+    return membership_.groups();
+  }
+
+  /// Single fairness (§3.2.2): each level-1 group audited against pairs
+  /// with either record in the group.
+  Result<AuditReport> AuditSingle(const std::vector<PairOutcome>& outcomes,
+                                  const AuditOptions& options) const;
+
+  /// Pairwise fairness: every unordered pair of level-1 groups (including
+  /// g|g) audited against pairs whose records lie in the two groups.
+  Result<AuditReport> AuditPairwise(const std::vector<PairOutcome>& outcomes,
+                                    const AuditOptions& options) const;
+
+  /// Batch audit of explicit intersectional subgroups (a level of the Fig. 1
+  /// hierarchy) under single fairness semantics.
+  Result<AuditReport> AuditSubgroups(const std::vector<Subgroup>& subgroups,
+                                     const std::vector<PairOutcome>& outcomes,
+                                     const AuditOptions& options) const;
+
+  /// Ordered single fairness (§3.2.2's extension): groups are defined only
+  /// on the record on `side` of each pair. Useful when the two tables play
+  /// asymmetric roles (passengers vs the no-fly list).
+  Result<AuditReport> AuditSingleOrdered(
+      const std::vector<PairOutcome>& outcomes, PairSide side,
+      const AuditOptions& options) const;
+
+  /// Ordered pairwise fairness: every *ordered* pair of level-1 groups
+  /// (left group, right group) — no direction swap, so "cn -> de" and
+  /// "de -> cn" are audited separately.
+  Result<AuditReport> AuditPairwiseOrdered(
+      const std::vector<PairOutcome>& outcomes,
+      const AuditOptions& options) const;
+
+ private:
+  /// Shared (group-counts → entries) evaluation for one audited unit.
+  Status AppendEntries(const std::string& label,
+                       const ConfusionCounts& overall,
+                       const ConfusionCounts& group_counts,
+                       const AuditOptions& options,
+                       std::vector<AuditEntry>* entries) const;
+
+  GroupMembership membership_;
+  SensitiveAttr attr_;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_CORE_AUDIT_H_

@@ -1,0 +1,167 @@
+#include "src/core/confusion.h"
+
+namespace fairem {
+
+Result<GroupMembership> GroupMembership::Make(const Table& a, const Table& b,
+                                              const SensitiveAttr& attr) {
+  FAIREM_ASSIGN_OR_RETURN(GroupExtractor ext_a, GroupExtractor::Make(a, attr));
+  FAIREM_ASSIGN_OR_RETURN(GroupExtractor ext_b, GroupExtractor::Make(b, attr));
+  GroupMembership membership;
+  FAIREM_ASSIGN_OR_RETURN(membership.encoding_,
+                          GroupEncoding::Make(UnionGroups(ext_a, ext_b)));
+  membership.left_masks_.resize(a.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    FAIREM_ASSIGN_OR_RETURN(membership.left_masks_[r],
+                            membership.encoding_.Encode(ext_a.Groups(r)));
+  }
+  membership.right_masks_.resize(b.num_rows());
+  for (size_t r = 0; r < b.num_rows(); ++r) {
+    FAIREM_ASSIGN_OR_RETURN(membership.right_masks_[r],
+                            membership.encoding_.Encode(ext_b.Groups(r)));
+  }
+  return membership;
+}
+
+Result<GroupMembership> GroupMembership::MakeMulti(
+    const Table& a, const Table& b,
+    const std::vector<SensitiveAttr>& attrs) {
+  if (attrs.empty()) {
+    return Status::InvalidArgument("MakeMulti requires at least one attr");
+  }
+  std::vector<GroupExtractor> ext_a;
+  std::vector<GroupExtractor> ext_b;
+  std::vector<std::string> all_groups;
+  for (const auto& attr : attrs) {
+    FAIREM_ASSIGN_OR_RETURN(GroupExtractor ea, GroupExtractor::Make(a, attr));
+    FAIREM_ASSIGN_OR_RETURN(GroupExtractor eb, GroupExtractor::Make(b, attr));
+    for (const auto& g : UnionGroups(ea, eb)) {
+      all_groups.push_back(g);  // duplicates rejected by GroupEncoding
+    }
+    ext_a.push_back(std::move(ea));
+    ext_b.push_back(std::move(eb));
+  }
+  GroupMembership membership;
+  FAIREM_ASSIGN_OR_RETURN(membership.encoding_,
+                          GroupEncoding::Make(std::move(all_groups)));
+  membership.left_masks_.assign(a.num_rows(), 0);
+  membership.right_masks_.assign(b.num_rows(), 0);
+  for (size_t k = 0; k < attrs.size(); ++k) {
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      FAIREM_ASSIGN_OR_RETURN(uint64_t mask,
+                              membership.encoding_.Encode(ext_a[k].Groups(r)));
+      membership.left_masks_[r] |= mask;
+    }
+    for (size_t r = 0; r < b.num_rows(); ++r) {
+      FAIREM_ASSIGN_OR_RETURN(uint64_t mask,
+                              membership.encoding_.Encode(ext_b[k].Groups(r)));
+      membership.right_masks_[r] |= mask;
+    }
+  }
+  return membership;
+}
+
+ConfusionCounts OverallCounts(const std::vector<PairOutcome>& outcomes) {
+  ConfusionCounts c;
+  for (const auto& o : outcomes) c.Add(o.predicted_match, o.true_match);
+  return c;
+}
+
+ConfusionCounts SingleGroupCounts(const GroupMembership& membership,
+                                  const std::vector<PairOutcome>& outcomes,
+                                  uint64_t mask) {
+  ConfusionCounts c;
+  for (const auto& o : outcomes) {
+    if (GroupEncoding::Belongs(membership.LeftMask(o.left), mask) ||
+        GroupEncoding::Belongs(membership.RightMask(o.right), mask)) {
+      c.Add(o.predicted_match, o.true_match);
+    }
+  }
+  return c;
+}
+
+ConfusionCounts PairGroupCounts(const GroupMembership& membership,
+                                const std::vector<PairOutcome>& outcomes,
+                                uint64_t s, uint64_t s_prime) {
+  ConfusionCounts c;
+  for (const auto& o : outcomes) {
+    if (GroupEncoding::PairBelongs(membership.LeftMask(o.left),
+                                   membership.RightMask(o.right), s,
+                                   s_prime)) {
+      c.Add(o.predicted_match, o.true_match);
+    }
+  }
+  return c;
+}
+
+ConfusionCounts SingleGroupComplementCounts(
+    const GroupMembership& membership,
+    const std::vector<PairOutcome>& outcomes, uint64_t mask) {
+  ConfusionCounts c;
+  for (const auto& o : outcomes) {
+    if (!GroupEncoding::Belongs(membership.LeftMask(o.left), mask) &&
+        !GroupEncoding::Belongs(membership.RightMask(o.right), mask)) {
+      c.Add(o.predicted_match, o.true_match);
+    }
+  }
+  return c;
+}
+
+ConfusionCounts PairGroupComplementCounts(
+    const GroupMembership& membership,
+    const std::vector<PairOutcome>& outcomes, uint64_t s, uint64_t s_prime) {
+  ConfusionCounts c;
+  for (const auto& o : outcomes) {
+    if (!GroupEncoding::PairBelongs(membership.LeftMask(o.left),
+                                    membership.RightMask(o.right), s,
+                                    s_prime)) {
+      c.Add(o.predicted_match, o.true_match);
+    }
+  }
+  return c;
+}
+
+ConfusionCounts OrderedSingleGroupCounts(
+    const GroupMembership& membership,
+    const std::vector<PairOutcome>& outcomes, uint64_t mask, PairSide side) {
+  ConfusionCounts c;
+  for (const auto& o : outcomes) {
+    uint64_t record_mask = side == PairSide::kLeft
+                               ? membership.LeftMask(o.left)
+                               : membership.RightMask(o.right);
+    if (GroupEncoding::Belongs(record_mask, mask)) {
+      c.Add(o.predicted_match, o.true_match);
+    }
+  }
+  return c;
+}
+
+ConfusionCounts OrderedPairGroupCounts(
+    const GroupMembership& membership,
+    const std::vector<PairOutcome>& outcomes, uint64_t s, uint64_t s_prime) {
+  ConfusionCounts c;
+  for (const auto& o : outcomes) {
+    if (GroupEncoding::Belongs(membership.LeftMask(o.left), s) &&
+        GroupEncoding::Belongs(membership.RightMask(o.right), s_prime)) {
+      c.Add(o.predicted_match, o.true_match);
+    }
+  }
+  return c;
+}
+
+Result<std::vector<PairOutcome>> MakeOutcomes(
+    const std::vector<LabeledPair>& pairs, const std::vector<double>& scores,
+    double threshold) {
+  if (pairs.size() != scores.size()) {
+    return Status::InvalidArgument("pairs/scores size mismatch");
+  }
+  std::vector<PairOutcome> outcomes;
+  outcomes.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    outcomes.push_back(
+        {pairs[i].left, pairs[i].right, scores[i] >= threshold,
+         pairs[i].is_match});
+  }
+  return outcomes;
+}
+
+}  // namespace fairem

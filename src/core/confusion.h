@@ -1,0 +1,110 @@
+#ifndef FAIREM_CORE_CONFUSION_H_
+#define FAIREM_CORE_CONFUSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/encoding.h"
+#include "src/core/group.h"
+#include "src/data/dataset.h"
+#include "src/data/table.h"
+#include "src/ml/metrics.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// One scored, labelled test pair: the matcher's decision h and the
+/// ground truth y for a (left, right) record pair.
+struct PairOutcome {
+  size_t left = 0;
+  size_t right = 0;
+  bool predicted_match = false;  // h
+  bool true_match = false;       // y
+};
+
+/// Binds the group system of a matching task: the level-1 group universe of
+/// tables A and B for one sensitive attribute, plus per-row entity
+/// encodings (Appendix A).
+class GroupMembership {
+ public:
+  static Result<GroupMembership> Make(const Table& a, const Table& b,
+                                      const SensitiveAttr& attr);
+
+  /// Multi-attribute variant: one shared encoding universe over the union
+  /// of every attribute's groups (group values must be unique across
+  /// attributes). Each record's mask sets the bits of all its groups.
+  static Result<GroupMembership> MakeMulti(
+      const Table& a, const Table& b,
+      const std::vector<SensitiveAttr>& attrs);
+
+  const GroupEncoding& encoding() const { return encoding_; }
+  const std::vector<std::string>& groups() const {
+    return encoding_.groups();
+  }
+
+  uint64_t LeftMask(size_t row) const { return left_masks_[row]; }
+  uint64_t RightMask(size_t row) const { return right_masks_[row]; }
+
+ private:
+  GroupEncoding encoding_;
+  std::vector<uint64_t> left_masks_;
+  std::vector<uint64_t> right_masks_;
+};
+
+/// Overall confusion matrix over all outcomes.
+ConfusionCounts OverallCounts(const std::vector<PairOutcome>& outcomes);
+
+/// Single-fairness confusion matrix of subgroup `mask` (§3.2.2 +
+/// Appendix B): an outcome is counted iff either record of the pair belongs
+/// to the subgroup. A pair whose two records both belong is counted once —
+/// per Example 5, it contributes one result to the subgroup's matrix.
+ConfusionCounts SingleGroupCounts(const GroupMembership& membership,
+                                  const std::vector<PairOutcome>& outcomes,
+                                  uint64_t mask);
+
+/// Pairwise-fairness confusion matrix of the group pair (s, s'): an outcome
+/// is counted iff the records belong to s and s' in either order.
+ConfusionCounts PairGroupCounts(const GroupMembership& membership,
+                                const std::vector<PairOutcome>& outcomes,
+                                uint64_t s, uint64_t s_prime);
+
+/// Complement of SingleGroupCounts: outcomes where *neither* record belongs
+/// to the subgroup. Used as the disparity reference when auditing against
+/// "everyone else" instead of the overall matcher (the convention behind
+/// the paper's Tables 5/6 and its social-dataset figures).
+ConfusionCounts SingleGroupComplementCounts(
+    const GroupMembership& membership,
+    const std::vector<PairOutcome>& outcomes, uint64_t mask);
+
+/// Complement of PairGroupCounts.
+ConfusionCounts PairGroupComplementCounts(
+    const GroupMembership& membership,
+    const std::vector<PairOutcome>& outcomes, uint64_t s, uint64_t s_prime);
+
+/// Which record of a pair defines legitimacy in the *ordered* fairness
+/// variants (§3.2.2: "these definitions can be extended to ordered single
+/// and ordered pairwise fairness where the groups are defined on left or
+/// right records").
+enum class PairSide { kLeft, kRight };
+
+/// Ordered single fairness: the outcome counts iff the record on `side`
+/// belongs to the subgroup.
+ConfusionCounts OrderedSingleGroupCounts(
+    const GroupMembership& membership,
+    const std::vector<PairOutcome>& outcomes, uint64_t mask, PairSide side);
+
+/// Ordered pairwise fairness: the outcome counts iff the left record
+/// belongs to `s` AND the right record belongs to `s_prime` (no direction
+/// swap).
+ConfusionCounts OrderedPairGroupCounts(
+    const GroupMembership& membership,
+    const std::vector<PairOutcome>& outcomes, uint64_t s, uint64_t s_prime);
+
+/// Converts labelled pairs plus scores into outcomes at `threshold`.
+Result<std::vector<PairOutcome>> MakeOutcomes(
+    const std::vector<LabeledPair>& pairs, const std::vector<double>& scores,
+    double threshold);
+
+}  // namespace fairem
+
+#endif  // FAIREM_CORE_CONFUSION_H_

@@ -1,0 +1,60 @@
+#include "src/core/disparity.h"
+
+#include <algorithm>
+
+namespace fairem {
+
+const char* DisparityModeName(DisparityMode mode) {
+  switch (mode) {
+    case DisparityMode::kSubtraction:
+      return "sub";
+    case DisparityMode::kDivision:
+      return "div";
+  }
+  return "?";
+}
+
+Result<double> ComputeSignedDisparity(FairnessMeasure m, double overall_value,
+                                      double group_value,
+                                      DisparityMode mode) {
+  const bool lower_better = LowerIsBetter(m);
+  if (mode == DisparityMode::kSubtraction) {
+    return lower_better ? group_value - overall_value
+                        : overall_value - group_value;
+  }
+  // Division mode: 1 - (good / reference), with the "good" side in the
+  // numerator so that a disadvantaged group yields a positive value.
+  double numerator = lower_better ? overall_value : group_value;
+  double denominator = lower_better ? group_value : overall_value;
+  if (denominator == 0.0) {
+    if (numerator == 0.0) return 0.0;  // 0/0: both sides are perfect.
+    return Status::UndefinedStatistic(
+        "division disparity with zero reference value");
+  }
+  return 1.0 - numerator / denominator;
+}
+
+Result<double> BetweenGroupDisparity(FairnessMeasure m, double suspect_value,
+                                     double other_value, DisparityMode mode) {
+  const bool lower_better = LowerIsBetter(m);
+  double sub = lower_better ? suspect_value - other_value
+                            : other_value - suspect_value;
+  if (mode == DisparityMode::kSubtraction) return sub;
+  double denom = lower_better ? other_value : suspect_value;
+  if (denom == 0.0) {
+    if (sub == 0.0) return 0.0;
+    return Status::UndefinedStatistic(
+        "between-group division disparity with zero reference");
+  }
+  return sub / denom;
+}
+
+Result<double> ComputeDisparity(FairnessMeasure m, double overall_value,
+                                double group_value, DisparityMode mode) {
+  FAIREM_ASSIGN_OR_RETURN(
+      double signed_disparity,
+      ComputeSignedDisparity(m, overall_value, group_value, mode));
+  return std::max(0.0, signed_disparity);
+}
+
+}  // namespace fairem

@@ -1,0 +1,42 @@
+#ifndef FAIREM_CORE_DISPARITY_H_
+#define FAIREM_CORE_DISPARITY_H_
+
+#include "src/core/measures.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// How disparity is computed from the overall and per-group statistics
+/// (§3.6): subtraction (Eq. 1 / Eq. 4) or division (Eq. 3).
+enum class DisparityMode { kSubtraction, kDivision };
+
+const char* DisparityModeName(DisparityMode mode);
+
+/// Computes the disparity of `group_value` against `overall_value` for
+/// measure `m`, handling direction per §3.6:
+///   - higher-is-better measures: sub = max(0, overall - group),
+///     div = max(0, 1 - group / overall);
+///   - lower-is-better measures (FPRP/FNRP/FDRP/FORP): the operands swap.
+/// A group doing *better* than the overall matcher is not unfair, hence the
+/// max(0, ·). Division by a zero reference returns UndefinedStatistic.
+Result<double> ComputeDisparity(FairnessMeasure m, double overall_value,
+                                double group_value, DisparityMode mode);
+
+/// Signed disparity without the max(0, ·) clamp (negative values mean the
+/// group does better than average).
+Result<double> ComputeSignedDisparity(FairnessMeasure m, double overall_value,
+                                      double group_value, DisparityMode mode);
+
+/// The between-group convention of the paper's Tables 5 and 6 (verified
+/// against all their printed cells): for a higher-is-better statistic,
+///   sub = other − suspect,  div = sub / suspect;
+/// for a lower-is-better statistic (e.g. FDR),
+///   sub = suspect − other,  div = sub / other.
+/// Negative values mean the suspect group actually does better. Division
+/// by a zero reference returns UndefinedStatistic.
+Result<double> BetweenGroupDisparity(FairnessMeasure m, double suspect_value,
+                                     double other_value, DisparityMode mode);
+
+}  // namespace fairem
+
+#endif  // FAIREM_CORE_DISPARITY_H_

@@ -1,0 +1,51 @@
+#include "src/core/encoding.h"
+
+#include <algorithm>
+
+namespace fairem {
+
+Result<GroupEncoding> GroupEncoding::Make(std::vector<std::string> groups) {
+  if (groups.size() > 64) {
+    return Status::InvalidArgument(
+        "GroupEncoding supports at most 64 level-1 groups, got " +
+        std::to_string(groups.size()));
+  }
+  for (size_t i = 0; i < groups.size(); ++i) {
+    for (size_t j = i + 1; j < groups.size(); ++j) {
+      if (groups[i] == groups[j]) {
+        return Status::InvalidArgument("duplicate group name: " + groups[i]);
+      }
+    }
+  }
+  GroupEncoding enc;
+  enc.groups_ = std::move(groups);
+  return enc;
+}
+
+Result<int> GroupEncoding::IndexOf(const std::string& group) const {
+  auto it = std::find(groups_.begin(), groups_.end(), group);
+  if (it == groups_.end()) {
+    return Status::NotFound("unknown group: " + group);
+  }
+  return static_cast<int>(it - groups_.begin());
+}
+
+Result<uint64_t> GroupEncoding::Encode(
+    const std::vector<std::string>& names) const {
+  uint64_t mask = 0;
+  for (const auto& name : names) {
+    FAIREM_ASSIGN_OR_RETURN(int idx, IndexOf(name));
+    mask |= (uint64_t{1} << idx);
+  }
+  return mask;
+}
+
+std::vector<std::string> GroupEncoding::Decode(uint64_t mask) const {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    if (mask & (uint64_t{1} << i)) names.push_back(groups_[i]);
+  }
+  return names;
+}
+
+}  // namespace fairem

@@ -1,0 +1,57 @@
+#ifndef FAIREM_CORE_ENCODING_H_
+#define FAIREM_CORE_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Binary group encodings (Appendix A of the paper).
+///
+/// Fixes an ordered universe of level-1 groups g_1..g_m and represents
+/// subgroups and entities as m-bit masks: bit i is set iff g_i is in the
+/// set. An entity belongs to a subgroup s iff (s AND e) == s. Pair
+/// encodings are the concatenation of the two entity encodings, checked in
+/// both directions for non-directional pairwise fairness.
+class GroupEncoding {
+ public:
+  /// `groups` is the ordered level-1 universe (≤ 64 groups; datasets in the
+  /// paper's regime have ≤ ~30).
+  static Result<GroupEncoding> Make(std::vector<std::string> groups);
+
+  size_t num_groups() const { return groups_.size(); }
+  const std::vector<std::string>& groups() const { return groups_; }
+
+  /// Bit index of a group name, or NotFound.
+  Result<int> IndexOf(const std::string& group) const;
+
+  /// Encodes a set of group names into a mask. Unknown names -> NotFound.
+  Result<uint64_t> Encode(const std::vector<std::string>& names) const;
+
+  /// Decodes a mask back into sorted group names.
+  std::vector<std::string> Decode(uint64_t mask) const;
+
+  /// True iff the entity with `entity_mask` belongs to the subgroup
+  /// `subgroup_mask` (s AND e == s). The empty subgroup contains everyone.
+  static bool Belongs(uint64_t entity_mask, uint64_t subgroup_mask) {
+    return (entity_mask & subgroup_mask) == subgroup_mask;
+  }
+
+  /// Non-directional pairwise membership: the pair (e_i, e_j) is legitimate
+  /// for (s, s') iff (e_i∈s ∧ e_j∈s') ∨ (e_i∈s' ∧ e_j∈s)  (§3.2.2).
+  static bool PairBelongs(uint64_t left_mask, uint64_t right_mask,
+                          uint64_t s, uint64_t s_prime) {
+    return (Belongs(left_mask, s) && Belongs(right_mask, s_prime)) ||
+           (Belongs(left_mask, s_prime) && Belongs(right_mask, s));
+  }
+
+ private:
+  std::vector<std::string> groups_;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_CORE_ENCODING_H_

@@ -1,0 +1,51 @@
+#include "src/core/group.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/string_util.h"
+
+namespace fairem {
+
+std::vector<std::string> ParseGroups(std::string_view cell,
+                                     const SensitiveAttr& attr) {
+  std::vector<std::string> groups;
+  std::string_view trimmed = TrimAscii(cell);
+  if (trimmed.empty()) return groups;
+  if (attr.kind == SensitiveAttrKind::kSetwise) {
+    for (const auto& part : Split(trimmed, attr.setwise_separator)) {
+      std::string_view p = TrimAscii(part);
+      if (!p.empty()) groups.emplace_back(p);
+    }
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  } else {
+    groups.emplace_back(trimmed);
+  }
+  return groups;
+}
+
+Result<GroupExtractor> GroupExtractor::Make(const Table& table,
+                                            const SensitiveAttr& attr) {
+  FAIREM_ASSIGN_OR_RETURN(size_t col, table.schema().Index(attr.name));
+  GroupExtractor extractor;
+  extractor.memberships_.resize(table.num_rows());
+  std::set<std::string> distinct;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (table.IsNull(r, col)) continue;
+    extractor.memberships_[r] = ParseGroups(table.value(r, col), attr);
+    for (const auto& g : extractor.memberships_[r]) distinct.insert(g);
+  }
+  extractor.distinct_.assign(distinct.begin(), distinct.end());
+  return extractor;
+}
+
+std::vector<std::string> UnionGroups(const GroupExtractor& a,
+                                     const GroupExtractor& b) {
+  std::set<std::string> all(a.DistinctGroups().begin(),
+                            a.DistinctGroups().end());
+  all.insert(b.DistinctGroups().begin(), b.DistinctGroups().end());
+  return std::vector<std::string>(all.begin(), all.end());
+}
+
+}  // namespace fairem

@@ -1,0 +1,56 @@
+#ifndef FAIREM_CORE_GROUP_H_
+#define FAIREM_CORE_GROUP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/data/table.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Describes one sensitive attribute: its name, kind, and (for setwise
+/// attributes) the separator used inside cell values ("Pop|Rock").
+struct SensitiveAttr {
+  std::string name;
+  SensitiveAttrKind kind = SensitiveAttrKind::kBinary;
+  char setwise_separator = '|';
+};
+
+/// Extracts the level-1 group memberships of records for one sensitive
+/// attribute (§3.2.1). For binary / multi-valued attributes a record
+/// belongs to exactly one group (its value); for setwise attributes, to
+/// every value in its set. Null or empty cells yield no groups.
+class GroupExtractor {
+ public:
+  /// `attr` must exist in the table's schema.
+  static Result<GroupExtractor> Make(const Table& table,
+                                     const SensitiveAttr& attr);
+
+  /// Groups of row `row` of the table this extractor was built for.
+  const std::vector<std::string>& Groups(size_t row) const {
+    return memberships_[row];
+  }
+
+  /// Sorted distinct groups observed in the table.
+  const std::vector<std::string>& DistinctGroups() const { return distinct_; }
+
+ private:
+  std::vector<std::vector<std::string>> memberships_;
+  std::vector<std::string> distinct_;
+};
+
+/// Parses a single cell value into group names according to the attribute
+/// kind (exposed for tests and data generators).
+std::vector<std::string> ParseGroups(std::string_view cell,
+                                     const SensitiveAttr& attr);
+
+/// The sorted union of the distinct groups of two extractors (the space of
+/// level-1 groups for a matching task over tables A and B).
+std::vector<std::string> UnionGroups(const GroupExtractor& a,
+                                     const GroupExtractor& b);
+
+}  // namespace fairem
+
+#endif  // FAIREM_CORE_GROUP_H_

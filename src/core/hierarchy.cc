@@ -1,0 +1,86 @@
+#include "src/core/hierarchy.h"
+
+#include <algorithm>
+
+namespace fairem {
+namespace {
+
+struct TaggedGroup {
+  std::string name;
+  size_t attr_index;
+  bool exclusive;
+};
+
+void Enumerate(const std::vector<TaggedGroup>& all, size_t start, int remaining,
+               std::vector<size_t>* current,
+               std::vector<Subgroup>* out) {
+  if (remaining == 0) {
+    Subgroup sg;
+    for (size_t idx : *current) sg.groups.push_back(all[idx].name);
+    std::sort(sg.groups.begin(), sg.groups.end());
+    out->push_back(std::move(sg));
+    return;
+  }
+  for (size_t i = start; i < all.size(); ++i) {
+    // At most one group per exclusive attribute.
+    bool conflict = false;
+    if (all[i].exclusive) {
+      for (size_t idx : *current) {
+        if (all[idx].attr_index == all[i].attr_index) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    if (conflict) continue;
+    current->push_back(i);
+    Enumerate(all, i + 1, remaining - 1, current, out);
+    current->pop_back();
+  }
+}
+
+std::vector<TaggedGroup> Flatten(const std::vector<AttrDomain>& attrs) {
+  std::vector<TaggedGroup> all;
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    bool exclusive = attrs[a].attr.kind != SensitiveAttrKind::kSetwise;
+    for (const auto& g : attrs[a].domain) {
+      all.push_back({g, a, exclusive});
+    }
+  }
+  return all;
+}
+
+}  // namespace
+
+std::string Subgroup::Label() const {
+  std::string label;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (i > 0) label += " & ";
+    label += groups[i];
+  }
+  return label;
+}
+
+int MaxLevel(const std::vector<AttrDomain>& attrs) {
+  int level = 0;
+  for (const auto& ad : attrs) {
+    if (ad.attr.kind == SensitiveAttrKind::kSetwise) {
+      level += static_cast<int>(ad.domain.size());
+    } else {
+      level += 1;
+    }
+  }
+  return level;
+}
+
+Result<std::vector<Subgroup>> EnumerateLevel(
+    const std::vector<AttrDomain>& attrs, int k) {
+  if (k < 1) return Status::InvalidArgument("hierarchy level must be >= 1");
+  std::vector<TaggedGroup> all = Flatten(attrs);
+  std::vector<Subgroup> out;
+  std::vector<size_t> current;
+  Enumerate(all, 0, k, &current, &out);
+  return out;
+}
+
+}  // namespace fairem

@@ -1,0 +1,46 @@
+#ifndef FAIREM_CORE_HIERARCHY_H_
+#define FAIREM_CORE_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/group.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// One sensitive attribute together with its observed value domain; the
+/// input to subgroup-hierarchy enumeration.
+struct AttrDomain {
+  SensitiveAttr attr;
+  std::vector<std::string> domain;
+};
+
+/// An intersectional subgroup: a set of level-1 groups, each tagged with the
+/// attribute it came from.
+struct Subgroup {
+  /// Group names, sorted.
+  std::vector<std::string> groups;
+
+  /// "Female & Pop & Rock"-style label.
+  std::string Label() const;
+};
+
+/// Enumerates the level-k intersectional subgroups of the hierarchy in
+/// Figure 1 of the paper: all k-combinations of level-1 groups that take at
+/// most one group from each exclusive (binary / multi-valued) attribute;
+/// setwise attributes may contribute several groups. Level 1 returns every
+/// group of every attribute.
+///
+/// Returns InvalidArgument when k < 1, and an empty list when k exceeds the
+/// deepest possible level.
+Result<std::vector<Subgroup>> EnumerateLevel(
+    const std::vector<AttrDomain>& attrs, int k);
+
+/// The number of levels in the hierarchy: the max subgroup size =
+/// (#exclusive attributes) + (total size of all setwise domains).
+int MaxLevel(const std::vector<AttrDomain>& attrs);
+
+}  // namespace fairem
+
+#endif  // FAIREM_CORE_HIERARCHY_H_

@@ -1,0 +1,163 @@
+#include "src/core/measures.h"
+
+namespace fairem {
+
+const char* FairnessMeasureName(FairnessMeasure m) {
+  switch (m) {
+    case FairnessMeasure::kAccuracyParity:
+      return "AP";
+    case FairnessMeasure::kStatisticalParity:
+      return "SP";
+    case FairnessMeasure::kTruePositiveRateParity:
+      return "TPRP";
+    case FairnessMeasure::kFalsePositiveRateParity:
+      return "FPRP";
+    case FairnessMeasure::kFalseNegativeRateParity:
+      return "FNRP";
+    case FairnessMeasure::kTrueNegativeRateParity:
+      return "TNRP";
+    case FairnessMeasure::kEqualizedOdds:
+      return "EO";
+    case FairnessMeasure::kPositivePredictiveValueParity:
+      return "PPVP";
+    case FairnessMeasure::kNegativePredictiveValueParity:
+      return "NPVP";
+    case FairnessMeasure::kFalseDiscoveryRateParity:
+      return "FDRP";
+    case FairnessMeasure::kFalseOmissionRateParity:
+      return "FORP";
+  }
+  return "?";
+}
+
+const char* FairnessMeasureDescription(FairnessMeasure m) {
+  switch (m) {
+    case FairnessMeasure::kAccuracyParity:
+      return "requires the independence of the matcher's accuracy from "
+             "groups";
+    case FairnessMeasure::kStatisticalParity:
+      return "requires the independence of the matcher from groups";
+    case FairnessMeasure::kTruePositiveRateParity:
+      return "a.k.a. Equal Opportunity; in the group of true matches "
+             "requires the independence of match predictions from groups";
+    case FairnessMeasure::kFalsePositiveRateParity:
+      return "in the group of true non-matches, requires the independence "
+             "of match predictions from groups";
+    case FairnessMeasure::kFalseNegativeRateParity:
+      return "in the group of true matches, requires the independence of "
+             "non-match predictions from groups";
+    case FairnessMeasure::kTrueNegativeRateParity:
+      return "in the group of true non-matches, requires the independence "
+             "of non-match predictions from groups";
+    case FairnessMeasure::kEqualizedOdds:
+      return "in both groups of true matches and true non-matches requires "
+             "the independence of match predictions from groups";
+    case FairnessMeasure::kPositivePredictiveValueParity:
+      return "among the pairs predicted as match, requires the independence "
+             "of true matches from groups";
+    case FairnessMeasure::kNegativePredictiveValueParity:
+      return "among the pairs predicted as non-match, requires the "
+             "independence of true non-matches from groups";
+    case FairnessMeasure::kFalseDiscoveryRateParity:
+      return "among the pairs predicted as match, requires the independence "
+             "of true non-matches from groups";
+    case FairnessMeasure::kFalseOmissionRateParity:
+      return "among the pairs predicted as non-match, requires the "
+             "independence of true matches from groups";
+  }
+  return "?";
+}
+
+Result<FairnessMeasure> ParseFairnessMeasure(std::string_view name) {
+  for (FairnessMeasure m : kAllFairnessMeasures) {
+    if (name == FairnessMeasureName(m)) return m;
+  }
+  return Status::NotFound("unknown fairness measure: " + std::string(name));
+}
+
+MeasureCategory CategoryOf(FairnessMeasure m) {
+  switch (m) {
+    case FairnessMeasure::kStatisticalParity:
+      return MeasureCategory::kIndependence;
+    case FairnessMeasure::kAccuracyParity:
+    case FairnessMeasure::kTruePositiveRateParity:
+    case FairnessMeasure::kFalsePositiveRateParity:
+    case FairnessMeasure::kFalseNegativeRateParity:
+    case FairnessMeasure::kTrueNegativeRateParity:
+    case FairnessMeasure::kEqualizedOdds:
+      return MeasureCategory::kSeparation;
+    case FairnessMeasure::kPositivePredictiveValueParity:
+    case FairnessMeasure::kNegativePredictiveValueParity:
+    case FairnessMeasure::kFalseDiscoveryRateParity:
+    case FairnessMeasure::kFalseOmissionRateParity:
+      return MeasureCategory::kSufficiency;
+  }
+  return MeasureCategory::kSeparation;
+}
+
+bool LowerIsBetter(FairnessMeasure m) {
+  switch (m) {
+    case FairnessMeasure::kFalsePositiveRateParity:
+    case FairnessMeasure::kFalseNegativeRateParity:
+    case FairnessMeasure::kFalseDiscoveryRateParity:
+    case FairnessMeasure::kFalseOmissionRateParity:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool RequiresTrueMatches(FairnessMeasure m) {
+  switch (m) {
+    case FairnessMeasure::kTruePositiveRateParity:
+    case FairnessMeasure::kFalseNegativeRateParity:
+    case FairnessMeasure::kEqualizedOdds:
+    case FairnessMeasure::kPositivePredictiveValueParity:
+    case FairnessMeasure::kNegativePredictiveValueParity:
+    case FairnessMeasure::kFalseDiscoveryRateParity:
+    case FairnessMeasure::kFalseOmissionRateParity:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<double> MeasureStatistic(FairnessMeasure m, const ConfusionCounts& c) {
+  switch (m) {
+    case FairnessMeasure::kAccuracyParity:
+      return Accuracy(c);
+    case FairnessMeasure::kStatisticalParity:
+      return PositivePredictionRate(c);
+    case FairnessMeasure::kTruePositiveRateParity:
+      return TruePositiveRate(c);
+    case FairnessMeasure::kFalsePositiveRateParity:
+      return FalsePositiveRate(c);
+    case FairnessMeasure::kFalseNegativeRateParity:
+      return FalseNegativeRate(c);
+    case FairnessMeasure::kTrueNegativeRateParity:
+      return TrueNegativeRate(c);
+    case FairnessMeasure::kEqualizedOdds:
+      return Status::InvalidArgument(
+          "equalized odds is the conjunction of TPRP and FPRP; evaluate "
+          "those components instead");
+    case FairnessMeasure::kPositivePredictiveValueParity:
+      return PositivePredictiveValue(c);
+    case FairnessMeasure::kNegativePredictiveValueParity:
+      return NegativePredictiveValue(c);
+    case FairnessMeasure::kFalseDiscoveryRateParity:
+      return FalseDiscoveryRate(c);
+    case FairnessMeasure::kFalseOmissionRateParity:
+      return FalseOmissionRate(c);
+  }
+  return Status::InvalidArgument("unknown fairness measure");
+}
+
+std::vector<FairnessMeasure> ScalarFairnessMeasures() {
+  std::vector<FairnessMeasure> out;
+  for (FairnessMeasure m : kAllFairnessMeasures) {
+    if (m != FairnessMeasure::kEqualizedOdds) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace fairem

@@ -1,0 +1,78 @@
+#ifndef FAIREM_CORE_MEASURES_H_
+#define FAIREM_CORE_MEASURES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ml/metrics.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// The 11 group-fairness measures of Table 2, adapted to entity matching.
+enum class FairnessMeasure {
+  kAccuracyParity,       // AP
+  kStatisticalParity,    // SP
+  kTruePositiveRateParity,   // TPRP (equal opportunity)
+  kFalsePositiveRateParity,  // FPRP
+  kFalseNegativeRateParity,  // FNRP
+  kTrueNegativeRateParity,   // TNRP
+  kEqualizedOdds,            // EO = TPRP ∧ FPRP
+  kPositivePredictiveValueParity,  // PPVP
+  kNegativePredictiveValueParity,  // NPVP
+  kFalseDiscoveryRateParity,       // FDRP
+  kFalseOmissionRateParity,        // FORP
+};
+
+/// Short display name ("TPRP", "PPVP", ...).
+const char* FairnessMeasureName(FairnessMeasure m);
+
+/// The Table 2 description, e.g. for TPRP: "in the group of true matches
+/// requires the independence of match predictions from groups".
+const char* FairnessMeasureDescription(FairnessMeasure m);
+
+/// Parses a short display name.
+Result<FairnessMeasure> ParseFairnessMeasure(std::string_view name);
+
+/// The four categories of §3.4.
+enum class MeasureCategory { kIndependence, kSeparation, kSufficiency };
+MeasureCategory CategoryOf(FairnessMeasure m);
+
+/// True for measures whose statistic is better when *lower* (FPRP, FNRP,
+/// FDRP, FORP). Drives the disparity direction handling of §3.6.
+bool LowerIsBetter(FairnessMeasure m);
+
+/// True for the measures footnoted in Table 2: they depend on true matches
+/// (TP/FN) and are only meaningful for single fairness, or pairwise
+/// fairness with overlapping groups (§3.5). In practice the statistics are
+/// simply undefined (empty denominator) in the inapplicable cases.
+bool RequiresTrueMatches(FairnessMeasure m);
+
+/// The underlying conditional probability Pr(α | β [, g]) of a measure,
+/// evaluated on a confusion matrix. EqualizedOdds has no single statistic
+/// (it is the conjunction of TPRP and FPRP) and returns InvalidArgument —
+/// audit code expands EO into its two components.
+Result<double> MeasureStatistic(FairnessMeasure m, const ConfusionCounts& c);
+
+/// All 11 measures in Table 2 order.
+inline constexpr FairnessMeasure kAllFairnessMeasures[] = {
+    FairnessMeasure::kAccuracyParity,
+    FairnessMeasure::kStatisticalParity,
+    FairnessMeasure::kTruePositiveRateParity,
+    FairnessMeasure::kFalsePositiveRateParity,
+    FairnessMeasure::kFalseNegativeRateParity,
+    FairnessMeasure::kTrueNegativeRateParity,
+    FairnessMeasure::kEqualizedOdds,
+    FairnessMeasure::kPositivePredictiveValueParity,
+    FairnessMeasure::kNegativePredictiveValueParity,
+    FairnessMeasure::kFalseDiscoveryRateParity,
+    FairnessMeasure::kFalseOmissionRateParity,
+};
+
+/// The measures with their own statistic (all but EO).
+std::vector<FairnessMeasure> ScalarFairnessMeasures();
+
+}  // namespace fairem
+
+#endif  // FAIREM_CORE_MEASURES_H_

@@ -1,0 +1,48 @@
+#include "src/core/multi_attr.h"
+
+#include <set>
+
+#include "src/core/group.h"
+
+namespace fairem {
+
+Result<MultiAttrAuditor> MultiAttrAuditor::Make(
+    const Table& a, const Table& b, std::vector<SensitiveAttr> attrs) {
+  MultiAttrAuditor auditor;
+  for (const auto& attr : attrs) {
+    FAIREM_ASSIGN_OR_RETURN(GroupExtractor ea, GroupExtractor::Make(a, attr));
+    FAIREM_ASSIGN_OR_RETURN(GroupExtractor eb, GroupExtractor::Make(b, attr));
+    AttrDomain domain;
+    domain.attr = attr;
+    domain.domain = UnionGroups(ea, eb);
+    auditor.domains_.push_back(std::move(domain));
+  }
+  FAIREM_ASSIGN_OR_RETURN(GroupMembership membership,
+                          GroupMembership::MakeMulti(a, b, attrs));
+  auditor.membership_ =
+      std::make_unique<GroupMembership>(std::move(membership));
+  return auditor;
+}
+
+Result<AuditReport> MultiAttrAuditor::AuditLevel(
+    int level, const std::vector<PairOutcome>& outcomes,
+    const AuditOptions& options) const {
+  FAIREM_ASSIGN_OR_RETURN(std::vector<Subgroup> subgroups,
+                          EnumerateLevel(domains_, level));
+  AuditReport report;
+  const ConfusionCounts overall = OverallCounts(outcomes);
+  for (const auto& sg : subgroups) {
+    Result<uint64_t> mask = membership_->encoding().Encode(sg.groups);
+    if (!mask.ok()) continue;
+    ConfusionCounts counts = SingleGroupCounts(*membership_, outcomes, *mask);
+    ConfusionCounts reference =
+        options.reference == AuditReference::kComplement
+            ? SingleGroupComplementCounts(*membership_, outcomes, *mask)
+            : overall;
+    AppendMeasureEntries(sg.Label(), reference, counts, options,
+                         &report.entries);
+  }
+  return report;
+}
+
+}  // namespace fairem

@@ -1,0 +1,47 @@
+#ifndef FAIREM_CORE_MULTI_ATTR_H_
+#define FAIREM_CORE_MULTI_ATTR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/audit.h"
+#include "src/core/hierarchy.h"
+
+namespace fairem {
+
+/// Batch auditing over intersectional subgroups of *multiple* sensitive
+/// attributes — the full Figure 1 workflow (§3.2.1: "we allow batch
+/// auditing subgroups of each level"). Level-1 groups of every attribute
+/// share one encoding universe; AuditLevel(k) enumerates the level-k
+/// subgroups of the hierarchy and audits each against the whole test set
+/// under single-fairness semantics.
+class MultiAttrAuditor {
+ public:
+  /// All attrs must exist in both schemas; group values must be unique
+  /// across attributes (qualify your data if, say, gender and genre share a
+  /// value).
+  static Result<MultiAttrAuditor> Make(const Table& a, const Table& b,
+                                       std::vector<SensitiveAttr> attrs);
+
+  /// Observed value domains per attribute (the hierarchy input).
+  const std::vector<AttrDomain>& domains() const { return domains_; }
+
+  /// Number of levels in the subgroup hierarchy.
+  int max_level() const { return MaxLevel(domains_); }
+
+  /// Audits every level-k intersectional subgroup.
+  Result<AuditReport> AuditLevel(int level,
+                                 const std::vector<PairOutcome>& outcomes,
+                                 const AuditOptions& options) const;
+
+  const GroupMembership& membership() const { return *membership_; }
+
+ private:
+  std::vector<AttrDomain> domains_;
+  std::unique_ptr<GroupMembership> membership_;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_CORE_MULTI_ATTR_H_

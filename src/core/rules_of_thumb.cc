@@ -1,0 +1,90 @@
+#include "src/core/rules_of_thumb.h"
+
+#include "src/feature/feature_gen.h"
+
+namespace fairem {
+
+Result<DatasetProfile> ProfileDataset(const EMDataset& dataset) {
+  DatasetProfile profile;
+  profile.num_attrs = static_cast<int>(dataset.matching_attrs.size());
+  profile.positive_rate = dataset.PositiveRate();
+
+  size_t nulls = 0;
+  size_t cells = 0;
+  for (const Table* t : {&dataset.table_a, &dataset.table_b}) {
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      for (size_t c = 0; c < t->schema().num_attributes(); ++c) {
+        ++cells;
+        if (t->IsNull(r, c)) ++nulls;
+      }
+    }
+  }
+  profile.null_rate =
+      cells > 0 ? static_cast<double>(nulls) / static_cast<double>(cells)
+                : 0.0;
+
+  bool any_long_text = false;
+  for (const auto& attr : dataset.matching_attrs) {
+    FAIREM_ASSIGN_OR_RETURN(
+        AttrType type,
+        InferAttrType(dataset.table_a, dataset.table_b, attr));
+    if (type == AttrType::kLongString) any_long_text = true;
+  }
+  // Table 8's split: textual tasks (few, long-text attributes) and dirty
+  // tasks (null-heavy) on one side; clean structured tasks on the other.
+  const bool textual = any_long_text && profile.num_attrs <= 2;
+  const bool dirty = profile.null_rate > 0.05;
+  profile.kind = (textual || dirty)
+                     ? DatasetProfile::Kind::kTextualOrDirty
+                     : DatasetProfile::Kind::kStructured;
+  return profile;
+}
+
+Recommendation RecommendFor(const DatasetProfile& profile) {
+  Recommendation rec;
+  if (profile.kind == DatasetProfile::Kind::kStructured) {
+    rec.family = MatcherFamily::kNonNeural;
+    rec.advice = {
+        "Non-neural matchers are preferred",
+        "Obtain attributes with minimal correlation with sensitive "
+        "attributes",
+        "Minimize representation bias in training data",
+        "Make sure the model is not putting high weights on only a few "
+        "attributes",
+    };
+  } else {
+    rec.family = MatcherFamily::kNeural;
+    rec.advice = {
+        "Neural matchers are preferred",
+        "Obtain additional (unbiased) features",
+        "Use unbiased pretrained models",
+        "Minimize representation bias in training data",
+        "Considering their sensitivity, try out different matching "
+        "thresholds and select the most fair/accurate one",
+    };
+  }
+  // §3.5 / §5.3.2: under the usual non-match imbalance, PPVP and TPRP
+  // reveal unfairness; when matches dominate (Cricket), NPVP and FPRP do.
+  if (profile.positive_rate > 0.5) {
+    rec.measures = {FairnessMeasure::kNegativePredictiveValueParity,
+                    FairnessMeasure::kFalsePositiveRateParity};
+    rec.advice.push_back(
+        "Ground truth is match-heavy: audit NPVP and FPRP first");
+  } else {
+    rec.measures = {FairnessMeasure::kTruePositiveRateParity,
+                    FairnessMeasure::kPositivePredictiveValueParity};
+    rec.advice.push_back(
+        "Class-imbalanced ground truth: audit TPRP and PPVP first");
+  }
+  rec.advice.push_back(
+      "For a single exclusive sensitive attribute, consider an ensemble "
+      "of matchers routed per group (PerGroupEnsembleMatcher)");
+  return rec;
+}
+
+Result<Recommendation> RecommendFor(const EMDataset& dataset) {
+  FAIREM_ASSIGN_OR_RETURN(DatasetProfile profile, ProfileDataset(dataset));
+  return RecommendFor(profile);
+}
+
+}  // namespace fairem

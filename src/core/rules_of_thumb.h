@@ -1,0 +1,53 @@
+#ifndef FAIREM_CORE_RULES_OF_THUMB_H_
+#define FAIREM_CORE_RULES_OF_THUMB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/measures.h"
+#include "src/data/dataset.h"
+#include "src/matcher/matcher.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// A profile of a matching task, derived from the data, that drives the
+/// paper's Table 8 recommendations.
+struct DatasetProfile {
+  /// Dominant attribute regime.
+  enum class Kind { kStructured, kTextualOrDirty } kind =
+      Kind::kStructured;
+  /// Fraction of labelled pairs that are matches.
+  double positive_rate = 0.0;
+  /// Fraction of cells that are null across both tables.
+  double null_rate = 0.0;
+  /// Number of matching attributes.
+  int num_attrs = 0;
+};
+
+/// Profiles a dataset: textual (single long-text attribute) or dirty
+/// (null-heavy) tasks fall into kTextualOrDirty; everything else is
+/// structured.
+Result<DatasetProfile> ProfileDataset(const EMDataset& dataset);
+
+/// The Table 8 recommendation for a profiled task.
+struct Recommendation {
+  /// Preferred matcher family (Table 8's first line per regime).
+  MatcherFamily family = MatcherFamily::kNonNeural;
+  /// The fairness measures most capable of revealing unfairness for this
+  /// class balance (§3.5 / §5.3.2: TPRP+PPVP normally; NPVP+FPRP under
+  /// negative imbalance).
+  std::vector<FairnessMeasure> measures;
+  /// Human-readable Table 8 bullet points for this regime.
+  std::vector<std::string> advice;
+};
+
+/// Applies the paper's rules of thumb (Table 8) to a profile.
+Recommendation RecommendFor(const DatasetProfile& profile);
+
+/// Convenience: profile + recommend in one step.
+Result<Recommendation> RecommendFor(const EMDataset& dataset);
+
+}  // namespace fairem
+
+#endif  // FAIREM_CORE_RULES_OF_THUMB_H_

@@ -1,0 +1,55 @@
+#include "src/core/threshold.h"
+
+#include <cmath>
+#include <set>
+
+namespace fairem {
+
+std::vector<double> ThresholdGrid(double lo, double hi, double step) {
+  std::vector<double> grid;
+  for (double t = lo; t <= hi + 1e-9; t += step) grid.push_back(t);
+  return grid;
+}
+
+Result<std::vector<ThresholdPoint>> SweepThresholds(
+    const FairnessAuditor& auditor, const std::vector<LabeledPair>& pairs,
+    const std::vector<double>& scores, FairnessMeasure measure,
+    const std::vector<double>& thresholds, const AuditOptions& options) {
+  AuditOptions sweep_options = options;
+  sweep_options.measures = {measure};
+  std::vector<ThresholdPoint> sweep;
+  sweep.reserve(thresholds.size());
+  for (double t : thresholds) {
+    FAIREM_ASSIGN_OR_RETURN(std::vector<PairOutcome> outcomes,
+                            MakeOutcomes(pairs, scores, t));
+    FAIREM_ASSIGN_OR_RETURN(AuditReport report,
+                            auditor.AuditSingle(outcomes, sweep_options));
+    ThresholdPoint point;
+    point.threshold = t;
+    Result<double> utility =
+        MeasureStatistic(measure, OverallCounts(outcomes));
+    if (utility.ok()) {
+      point.utility = *utility;
+      point.utility_defined = true;
+    }
+    std::set<std::string> unfair;
+    for (const auto& e : report.entries) {
+      if (e.unfair) unfair.insert(e.group_label);
+    }
+    point.num_unfair_groups = static_cast<int>(unfair.size());
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+double ThresholdSensitivityL2(const std::vector<ThresholdPoint>& sweep) {
+  double sum_sq = 0.0;
+  for (size_t i = 0; i + 1 < sweep.size(); ++i) {
+    double diff = static_cast<double>(sweep[i + 1].num_unfair_groups -
+                                      sweep[i].num_unfair_groups);
+    sum_sq += diff * diff;
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace fairem

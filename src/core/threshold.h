@@ -1,0 +1,39 @@
+#ifndef FAIREM_CORE_THRESHOLD_H_
+#define FAIREM_CORE_THRESHOLD_H_
+
+#include <vector>
+
+#include "src/core/audit.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// One cell of the paper's threshold heat-maps (Figures 14, 21–27): at a
+/// matching threshold, the matcher's overall utility (TPR or PPV) and the
+/// number of groups it discriminates against w.r.t. the probed measure.
+struct ThresholdPoint {
+  double threshold = 0.0;
+  double utility = 0.0;
+  bool utility_defined = false;
+  int num_unfair_groups = 0;
+};
+
+/// Sweeps matching thresholds for one matcher's scores, auditing single
+/// fairness w.r.t. `measure` at each threshold and reporting the utility
+/// statistic of the same measure (TPR for TPRP, PPV for PPVP, ...).
+Result<std::vector<ThresholdPoint>> SweepThresholds(
+    const FairnessAuditor& auditor, const std::vector<LabeledPair>& pairs,
+    const std::vector<double>& scores, FairnessMeasure measure,
+    const std::vector<double>& thresholds, const AuditOptions& options);
+
+/// Evenly spaced thresholds lo, lo+step, ..., hi (inclusive within 1e-9).
+std::vector<double> ThresholdGrid(double lo, double hi, double step);
+
+/// The paper's threshold-sensitivity score (§5.3.4, Table 7): the ℓ2 norm
+/// of the successive differences of the unfair-group counts across adjacent
+/// thresholds. Larger = less robust to the threshold choice.
+double ThresholdSensitivityL2(const std::vector<ThresholdPoint>& sweep);
+
+}  // namespace fairem
+
+#endif  // FAIREM_CORE_THRESHOLD_H_

@@ -1,0 +1,187 @@
+#include "src/data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+bool NeedsQuoting(std::string_view cell, char delim) {
+  for (char c : cell) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendQuoted(std::string* out, std::string_view cell, char delim) {
+  if (!NeedsQuoting(cell, delim)) {
+    out->append(cell);
+    return;
+  }
+  out->push_back('"');
+  for (char c : cell) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+/// Parses one CSV logical record starting at *pos; advances *pos past the
+/// record's terminating newline. Returns false at end of input.
+bool ParseRecord(std::string_view text, size_t* pos, char delim,
+                 std::vector<std::string>* fields, bool* parse_error) {
+  *parse_error = false;
+  fields->clear();
+  if (*pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    saw_any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == delim) {
+        fields->push_back(std::move(field));
+        field.clear();
+      } else if (c == '\n') {
+        ++i;
+        break;
+      } else if (c == '\r') {
+        // Swallow; handles \r\n and lone \r.
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        ++i;
+        break;
+      } else {
+        field.push_back(c);
+      }
+    }
+  }
+  if (in_quotes) {
+    *parse_error = true;
+    return false;
+  }
+  *pos = i;
+  if (!saw_any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  const Schema& schema = table.schema();
+  if (options.first_column_is_entity_id) {
+    out.append("entity_id");
+    if (schema.num_attributes() > 0) out.push_back(options.delimiter);
+  }
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    if (c > 0) out.push_back(options.delimiter);
+    AppendQuoted(&out, schema.name(c), options.delimiter);
+  }
+  out.push_back('\n');
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (options.first_column_is_entity_id) {
+      out.append(std::to_string(table.row(r).entity_id));
+      if (schema.num_attributes() > 0) out.push_back(options.delimiter);
+    }
+    for (size_t c = 0; c < schema.num_attributes(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      if (table.IsNull(r, c)) {
+        out.append(options.null_token);
+      } else {
+        AppendQuoted(&out, table.value(r, c), options.delimiter);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Table> ReadCsvString(std::string_view text, std::string table_name,
+                            const CsvOptions& options) {
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  bool parse_error = false;
+  if (!ParseRecord(text, &pos, options.delimiter, &fields, &parse_error)) {
+    return Status::InvalidArgument(parse_error ? "unterminated quoted field"
+                                               : "empty CSV input");
+  }
+  size_t first_attr = options.first_column_is_entity_id ? 1 : 0;
+  if (fields.size() < first_attr) {
+    return Status::InvalidArgument("CSV header too short");
+  }
+  std::vector<std::string> attr_names(fields.begin() + first_attr,
+                                      fields.end());
+  FAIREM_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attr_names)));
+  Table table(std::move(table_name), std::move(schema));
+
+  size_t line = 1;
+  while (ParseRecord(text, &pos, options.delimiter, &fields, &parse_error)) {
+    ++line;
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != table.schema().num_attributes() + first_attr) {
+      return Status::InvalidArgument("CSV row " + std::to_string(line) +
+                                     " has wrong field count");
+    }
+    Record record;
+    if (options.first_column_is_entity_id) {
+      double id = 0.0;
+      if (!ParseDouble(fields[0], &id)) {
+        return Status::InvalidArgument("CSV row " + std::to_string(line) +
+                                       ": bad entity_id '" + fields[0] + "'");
+      }
+      record.entity_id = static_cast<int64_t>(id);
+    }
+    for (size_t c = first_attr; c < fields.size(); ++c) {
+      if (fields[c] == options.null_token) {
+        record.cells.emplace_back(std::nullopt);
+      } else {
+        record.cells.emplace_back(std::move(fields[c]));
+      }
+    }
+    FAIREM_RETURN_NOT_OK(table.Append(std::move(record)));
+  }
+  if (parse_error) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  return table;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  std::string text = WriteCsvString(table, options);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<Table> ReadCsvFile(const std::string& path, std::string table_name,
+                          const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ReadCsvString(ss.str(), std::move(table_name), options);
+}
+
+}  // namespace fairem

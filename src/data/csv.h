@@ -1,0 +1,40 @@
+#ifndef FAIREM_DATA_CSV_H_
+#define FAIREM_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/data/table.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Options for CSV parsing/serialization. RFC-4180-ish: double-quote
+/// quoting, embedded quotes doubled; a cell equal to `null_token` (by
+/// default the empty string is NOT null — only the explicit token is) is
+/// read back as a null cell.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Cells exactly equal to this (unquoted) token are treated as null.
+  std::string null_token = "\\N";
+  /// If true, the first column is parsed as the integer entity_id.
+  bool first_column_is_entity_id = true;
+};
+
+/// Serializes `table` to CSV text (header row first).
+std::string WriteCsvString(const Table& table,
+                           const CsvOptions& options = {});
+
+/// Parses CSV text into a table named `table_name`.
+Result<Table> ReadCsvString(std::string_view text, std::string table_name,
+                            const CsvOptions& options = {});
+
+/// File variants.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+Result<Table> ReadCsvFile(const std::string& path, std::string table_name,
+                          const CsvOptions& options = {});
+
+}  // namespace fairem
+
+#endif  // FAIREM_DATA_CSV_H_

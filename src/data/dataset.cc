@@ -1,0 +1,85 @@
+#include "src/data/dataset.h"
+
+#include <cmath>
+
+namespace fairem {
+
+const char* SensitiveAttrKindName(SensitiveAttrKind kind) {
+  switch (kind) {
+    case SensitiveAttrKind::kBinary:
+      return "binary";
+    case SensitiveAttrKind::kMultiValued:
+      return "multi_valued";
+    case SensitiveAttrKind::kSetwise:
+      return "setwise";
+  }
+  return "unknown";
+}
+
+double EMDataset::PositiveRate() const {
+  size_t total = train.size() + valid.size() + test.size();
+  if (total == 0) return 0.0;
+  size_t positives = 0;
+  for (const auto* split : {&train, &valid, &test}) {
+    for (const auto& p : *split) {
+      if (p.is_match) ++positives;
+    }
+  }
+  return static_cast<double>(positives) / static_cast<double>(total);
+}
+
+std::vector<LabeledPair> EMDataset::AllPairs() const {
+  std::vector<LabeledPair> all;
+  all.reserve(train.size() + valid.size() + test.size());
+  all.insert(all.end(), train.begin(), train.end());
+  all.insert(all.end(), valid.begin(), valid.end());
+  all.insert(all.end(), test.begin(), test.end());
+  return all;
+}
+
+Status EMDataset::Validate() const {
+  for (const auto* split : {&train, &valid, &test}) {
+    for (const auto& p : *split) {
+      if (p.left >= table_a.num_rows() || p.right >= table_b.num_rows()) {
+        return Status::OutOfRange("pair index out of range in dataset '" +
+                                  name + "'");
+      }
+    }
+  }
+  for (const auto& attr : matching_attrs) {
+    if (!table_a.schema().Contains(attr) || !table_b.schema().Contains(attr)) {
+      return Status::InvalidArgument("matching attribute '" + attr +
+                                     "' missing from a table schema");
+    }
+  }
+  if (!table_a.schema().Contains(sensitive_attr) ||
+      !table_b.schema().Contains(sensitive_attr)) {
+    return Status::InvalidArgument("sensitive attribute '" + sensitive_attr +
+                                   "' missing from a table schema");
+  }
+  if (default_threshold < 0.0 || default_threshold > 1.0) {
+    return Status::InvalidArgument("default threshold out of [0,1]");
+  }
+  return Status::OK();
+}
+
+Status SplitPairs(std::vector<LabeledPair> pairs, double train_frac,
+                  double valid_frac, Rng* rng,
+                  std::vector<LabeledPair>* train,
+                  std::vector<LabeledPair>* valid,
+                  std::vector<LabeledPair>* test) {
+  if (train_frac < 0.0 || valid_frac < 0.0 ||
+      train_frac + valid_frac > 1.0 + 1e-9) {
+    return Status::InvalidArgument("invalid split fractions");
+  }
+  rng->Shuffle(&pairs);
+  size_t n = pairs.size();
+  size_t n_train = static_cast<size_t>(std::floor(train_frac * n));
+  size_t n_valid = static_cast<size_t>(std::floor(valid_frac * n));
+  train->assign(pairs.begin(), pairs.begin() + n_train);
+  valid->assign(pairs.begin() + n_train, pairs.begin() + n_train + n_valid);
+  test->assign(pairs.begin() + n_train + n_valid, pairs.end());
+  return Status::OK();
+}
+
+}  // namespace fairem

@@ -1,0 +1,134 @@
+#include "src/data/dataset_io.h"
+
+#include <string>
+#include <vector>
+
+#include "src/data/csv.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+constexpr char kMetaFile[] = "/meta.csv";
+constexpr char kTableAFile[] = "/table_a.csv";
+constexpr char kTableBFile[] = "/table_b.csv";
+
+/// Serializes a pair split as a 3-column table so the CSV layer handles
+/// quoting and parsing uniformly.
+Status SavePairs(const std::vector<LabeledPair>& pairs,
+                 const std::string& path) {
+  FAIREM_ASSIGN_OR_RETURN(Schema schema,
+                          Schema::Make({"left", "right", "is_match"}));
+  Table t("pairs", schema);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    FAIREM_RETURN_NOT_OK(t.AppendValues(
+        static_cast<int64_t>(i),
+        {std::to_string(pairs[i].left), std::to_string(pairs[i].right),
+         pairs[i].is_match ? "1" : "0"}));
+  }
+  return WriteCsvFile(t, path);
+}
+
+Result<std::vector<LabeledPair>> LoadPairs(const std::string& path) {
+  FAIREM_ASSIGN_OR_RETURN(Table t, ReadCsvFile(path, "pairs"));
+  std::vector<LabeledPair> pairs;
+  pairs.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    LabeledPair p;
+    double left = 0.0;
+    double right = 0.0;
+    if (!ParseDouble(t.value(r, 0), &left) ||
+        !ParseDouble(t.value(r, 1), &right)) {
+      return Status::InvalidArgument("bad pair row in " + path);
+    }
+    p.left = static_cast<size_t>(left);
+    p.right = static_cast<size_t>(right);
+    p.is_match = t.value(r, 2) == "1";
+    pairs.push_back(p);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Status SaveDataset(const EMDataset& dataset, const std::string& dir) {
+  FAIREM_RETURN_NOT_OK(dataset.Validate());
+  // Metadata as a 2-column key/value table.
+  FAIREM_ASSIGN_OR_RETURN(Schema meta_schema, Schema::Make({"key", "value"}));
+  Table meta("meta", meta_schema);
+  auto put = [&](const std::string& k, const std::string& v) {
+    return meta.AppendValues(static_cast<int64_t>(meta.num_rows()), {k, v});
+  };
+  FAIREM_RETURN_NOT_OK(put("name", dataset.name));
+  FAIREM_RETURN_NOT_OK(put("sensitive_attr", dataset.sensitive_attr));
+  FAIREM_RETURN_NOT_OK(
+      put("sensitive_kind", SensitiveAttrKindName(dataset.sensitive_kind)));
+  FAIREM_RETURN_NOT_OK(
+      put("setwise_separator", std::string(1, dataset.setwise_separator)));
+  FAIREM_RETURN_NOT_OK(
+      put("default_threshold", FormatDouble(dataset.default_threshold, 4)));
+  FAIREM_RETURN_NOT_OK(
+      put("simulated_full_scale_pairs",
+          std::to_string(dataset.simulated_full_scale_pairs)));
+  FAIREM_RETURN_NOT_OK(
+      put("matching_attrs", Join(dataset.matching_attrs, ";")));
+  FAIREM_RETURN_NOT_OK(WriteCsvFile(meta, dir + kMetaFile));
+  FAIREM_RETURN_NOT_OK(WriteCsvFile(dataset.table_a, dir + kTableAFile));
+  FAIREM_RETURN_NOT_OK(WriteCsvFile(dataset.table_b, dir + kTableBFile));
+  FAIREM_RETURN_NOT_OK(SavePairs(dataset.train, dir + "/train.csv"));
+  FAIREM_RETURN_NOT_OK(SavePairs(dataset.valid, dir + "/valid.csv"));
+  FAIREM_RETURN_NOT_OK(SavePairs(dataset.test, dir + "/test.csv"));
+  return Status::OK();
+}
+
+Result<EMDataset> LoadDataset(const std::string& dir) {
+  EMDataset ds;
+  FAIREM_ASSIGN_OR_RETURN(Table meta, ReadCsvFile(dir + kMetaFile, "meta"));
+  for (size_t r = 0; r < meta.num_rows(); ++r) {
+    std::string key(meta.value(r, 0));
+    std::string value(meta.value(r, 1));
+    if (key == "name") {
+      ds.name = value;
+    } else if (key == "sensitive_attr") {
+      ds.sensitive_attr = value;
+    } else if (key == "sensitive_kind") {
+      if (value == "binary") {
+        ds.sensitive_kind = SensitiveAttrKind::kBinary;
+      } else if (value == "multi_valued") {
+        ds.sensitive_kind = SensitiveAttrKind::kMultiValued;
+      } else if (value == "setwise") {
+        ds.sensitive_kind = SensitiveAttrKind::kSetwise;
+      } else {
+        return Status::InvalidArgument("unknown sensitive_kind: " + value);
+      }
+    } else if (key == "setwise_separator") {
+      if (value.size() != 1) {
+        return Status::InvalidArgument("bad setwise_separator");
+      }
+      ds.setwise_separator = value[0];
+    } else if (key == "default_threshold") {
+      if (!ParseDouble(value, &ds.default_threshold)) {
+        return Status::InvalidArgument("bad default_threshold");
+      }
+    } else if (key == "simulated_full_scale_pairs") {
+      double v = 0.0;
+      if (!ParseDouble(value, &v)) {
+        return Status::InvalidArgument("bad simulated_full_scale_pairs");
+      }
+      ds.simulated_full_scale_pairs = static_cast<size_t>(v);
+    } else if (key == "matching_attrs") {
+      ds.matching_attrs = Split(value, ';');
+    }
+  }
+  FAIREM_ASSIGN_OR_RETURN(ds.table_a,
+                          ReadCsvFile(dir + kTableAFile, "table_a"));
+  FAIREM_ASSIGN_OR_RETURN(ds.table_b,
+                          ReadCsvFile(dir + kTableBFile, "table_b"));
+  FAIREM_ASSIGN_OR_RETURN(ds.train, LoadPairs(dir + "/train.csv"));
+  FAIREM_ASSIGN_OR_RETURN(ds.valid, LoadPairs(dir + "/valid.csv"));
+  FAIREM_ASSIGN_OR_RETURN(ds.test, LoadPairs(dir + "/test.csv"));
+  FAIREM_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace fairem

@@ -1,0 +1,30 @@
+#ifndef FAIREM_DATA_DATASET_IO_H_
+#define FAIREM_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Persists a complete matching task to a directory — the format in which
+/// the generated benchmarks can be published and shared (the paper releases
+/// its social datasets the same way). Layout:
+///
+///   <dir>/meta.csv        key/value dataset metadata
+///   <dir>/table_a.csv     left records (entity_id + attributes)
+///   <dir>/table_b.csv     right records
+///   <dir>/train.csv       left,right,is_match row indices
+///   <dir>/valid.csv
+///   <dir>/test.csv
+///
+/// The directory must already exist; files are overwritten.
+Status SaveDataset(const EMDataset& dataset, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset and validates it.
+Result<EMDataset> LoadDataset(const std::string& dir);
+
+}  // namespace fairem
+
+#endif  // FAIREM_DATA_DATASET_IO_H_

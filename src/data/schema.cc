@@ -1,0 +1,33 @@
+#include "src/data/schema.h"
+
+namespace fairem {
+
+Result<Schema> Schema::Make(std::vector<std::string> attribute_names) {
+  Schema schema;
+  for (size_t i = 0; i < attribute_names.size(); ++i) {
+    if (attribute_names[i].empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    auto [it, inserted] = schema.index_.emplace(attribute_names[i], i);
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate attribute name: " +
+                                     attribute_names[i]);
+    }
+  }
+  schema.names_ = std::move(attribute_names);
+  return schema;
+}
+
+Result<size_t> Schema::Index(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool Schema::Contains(std::string_view name) const {
+  return index_.count(std::string(name)) > 0;
+}
+
+}  // namespace fairem

@@ -1,0 +1,44 @@
+#ifndef FAIREM_DATA_SCHEMA_H_
+#define FAIREM_DATA_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// An ordered list of attribute (column) names. All attributes are
+/// string-typed at the storage layer; type inference for feature generation
+/// happens in src/feature.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Attribute names must be unique and non-empty.
+  static Result<Schema> Make(std::vector<std::string> attribute_names);
+
+  size_t num_attributes() const { return names_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of `name`, or NotFound.
+  Result<size_t> Index(std::string_view name) const;
+
+  /// True if `name` is an attribute of this schema.
+  bool Contains(std::string_view name) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_DATA_SCHEMA_H_

@@ -1,0 +1,45 @@
+#include "src/data/table.h"
+
+#include "src/util/logging.h"
+
+namespace fairem {
+
+Status Table::Append(Record record) {
+  if (record.cells.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "record width does not match schema width in table '" + name_ + "'");
+  }
+  rows_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Status Table::AppendValues(int64_t entity_id,
+                           std::vector<std::string> values) {
+  Record r;
+  r.entity_id = entity_id;
+  r.cells.reserve(values.size());
+  for (auto& v : values) r.cells.emplace_back(std::move(v));
+  return Append(std::move(r));
+}
+
+std::string_view Table::value(size_t row, size_t col) const {
+  FAIREM_CHECK(row < rows_.size(), "row out of range");
+  FAIREM_CHECK(col < schema_.num_attributes(), "col out of range");
+  const Cell& cell = rows_[row].cells[col];
+  if (!cell.has_value()) return {};
+  return *cell;
+}
+
+bool Table::IsNull(size_t row, size_t col) const {
+  FAIREM_CHECK(row < rows_.size(), "row out of range");
+  FAIREM_CHECK(col < schema_.num_attributes(), "col out of range");
+  return !rows_[row].cells[col].has_value();
+}
+
+Result<std::string> Table::ValueByName(size_t row,
+                                       std::string_view attr) const {
+  FAIREM_ASSIGN_OR_RETURN(size_t col, schema_.Index(attr));
+  return std::string(value(row, col));
+}
+
+}  // namespace fairem

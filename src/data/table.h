@@ -1,0 +1,63 @@
+#ifndef FAIREM_DATA_TABLE_H_
+#define FAIREM_DATA_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// A nullable string cell. Nulls model missing values in dirty datasets.
+using Cell = std::optional<std::string>;
+
+/// One entity record: an entity id plus one cell per schema attribute.
+struct Record {
+  /// Stable identifier of the underlying real-world entity; records in two
+  /// tables that refer to the same entity share this id (the ground-truth
+  /// labelling hook, like scholarID / personID in the paper).
+  int64_t entity_id = -1;
+  std::vector<Cell> cells;
+};
+
+/// An in-memory relation: a schema plus rows of nullable string cells.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a record; its cell count must equal the schema width.
+  Status Append(Record record);
+
+  /// Convenience: appends a row of non-null values.
+  Status AppendValues(int64_t entity_id, std::vector<std::string> values);
+
+  const Record& row(size_t i) const { return rows_[i]; }
+  Record& mutable_row(size_t i) { return rows_[i]; }
+
+  /// Cell (row, col); empty string_view for null. Use IsNull to distinguish
+  /// null from "".
+  std::string_view value(size_t row, size_t col) const;
+  bool IsNull(size_t row, size_t col) const;
+
+  /// Cell by attribute name; NotFound if the attribute does not exist.
+  Result<std::string> ValueByName(size_t row, std::string_view attr) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Record> rows_;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_DATA_TABLE_H_

@@ -1,0 +1,168 @@
+#include "src/datagen/cricket.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/datagen/names.h"
+#include "src/datagen/perturb.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+const std::vector<std::string>& Countries() {
+  static const auto& pool = *new std::vector<std::string>{
+      "India",     "Australia", "England",  "Pakistan",    "South Africa",
+      "Sri Lanka", "New Zealand", "West Indies", "Bangladesh", "Zimbabwe"};
+  return pool;
+}
+
+const std::vector<std::string>& BowlingStyles() {
+  static const auto& pool = *new std::vector<std::string>{
+      "Right-arm fast", "Right-arm medium", "Left-arm fast",
+      "Right-arm offbreak", "Left-arm orthodox", "Legbreak googly"};
+  return pool;
+}
+
+const std::vector<std::string>& Roles() {
+  static const auto& pool = *new std::vector<std::string>{
+      "Batsman", "Bowler", "Allrounder", "Wicketkeeper"};
+  return pool;
+}
+
+/// "Mahendra Singh" -> "M. Singh" (initials abbreviation).
+std::string Abbreviate(const std::string& full) {
+  std::vector<std::string> parts = Split(full, ' ');
+  if (parts.size() < 2) return full;
+  std::string out(1, parts[0][0]);
+  out += ".";
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out += " " + parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<EMDataset> GenerateCricket(const CricketOptions& options) {
+  Rng rng(options.seed);
+  FAIREM_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({"name", "country", "battingStyle", "bowlingStyle",
+                    "role", "matches", "runs", "battingAvg", "hundreds",
+                    "wickets"}));
+  EMDataset ds;
+  ds.name = "Cricket";
+  ds.table_a = Table("source_a", schema);
+  ds.table_b = Table("source_b", schema);
+  ds.matching_attrs = {"name",   "country", "bowlingStyle", "role",
+                       "matches", "runs",   "battingAvg",   "hundreds",
+                       "wickets"};
+  ds.sensitive_attr = "battingStyle";
+  ds.sensitive_kind = SensitiveAttrKind::kBinary;
+  ds.default_threshold = 0.9;  // the paper's Cricket threshold (§5.1.4)
+
+  auto maybe_null = [&](std::string v) -> Cell {
+    if (rng.NextBool(options.null_prob)) return std::nullopt;
+    return v;
+  };
+
+  std::vector<LabeledPair> pairs;
+  for (int id = 0; id < options.num_players; ++id) {
+    bool left_handed = rng.NextBool(0.4);
+    std::string batting = left_handed ? "Left Handed" : "Right Handed";
+    std::string name = GermanFullName(&rng);  // any wide name pool works
+    std::string country = rng.Choice(Countries());
+    std::string bowling = rng.Choice(BowlingStyles());
+    std::string role = rng.Choice(Roles());
+    // Career stats correlate tightly with the role, so same-role players
+    // have near-identical profiles — the "high similarity of all pairs"
+    // that forces the paper's 0.9 threshold on this dataset.
+    int role_idx = 0;
+    for (size_t k = 0; k < Roles().size(); ++k) {
+      if (Roles()[k] == role) role_idx = static_cast<int>(k);
+    }
+    std::string matches =
+        std::to_string(150 + 30 * role_idx + rng.NextInt(0, 20));
+    std::string runs =
+        std::to_string(6000 - 1200 * role_idx + rng.NextInt(0, 400));
+    std::string avg =
+        FormatDouble(45.0 - 8.0 * role_idx + rng.NextDouble(0.0, 3.0), 2);
+    std::string hundreds =
+        std::to_string(20 - 4 * role_idx + rng.NextInt(0, 3));
+    std::string wickets =
+        std::to_string(40 + 100 * role_idx + rng.NextInt(0, 30));
+
+    Record a;
+    a.entity_id = id;
+    for (const std::string* v : {&name, &country, &batting, &bowling, &role,
+                                 &matches, &runs, &avg, &hundreds, &wickets}) {
+      a.cells.emplace_back(*v);
+    }
+    FAIREM_RETURN_NOT_OK(ds.table_a.Append(std::move(a)));
+
+    // Source B: dirty — missing values, heavy numeric drift (the two
+    // sources snapshot careers at different times), and (for the
+    // left-handed group especially) abbreviated names. With the numeric
+    // attributes this unreliable, the name is the load-bearing signal —
+    // and abbreviation breaks it for the left-handed group.
+    std::string b_name = name;
+    double abbrev_prob = left_handed ? 0.8 : 0.12;
+    if (rng.NextBool(abbrev_prob)) b_name = Abbreviate(name);
+    b_name = MaybePerturb(b_name, 0.3, &rng);
+    std::string b_matches =
+        std::to_string(std::stoi(matches) + rng.NextInt(0, 25));
+    std::string b_runs =
+        std::to_string(std::stoi(runs) + rng.NextInt(0, 900));
+    Record b;
+    b.entity_id = id;
+    b.cells.push_back(maybe_null(b_name));
+    b.cells.push_back(maybe_null(country));
+    b.cells.emplace_back(batting);
+    b.cells.push_back(maybe_null(bowling));
+    b.cells.push_back(maybe_null(role));
+    b.cells.push_back(maybe_null(b_matches));
+    b.cells.push_back(maybe_null(b_runs));
+    b.cells.push_back(maybe_null(avg));
+    b.cells.push_back(maybe_null(hundreds));
+    b.cells.push_back(maybe_null(wickets));
+    FAIREM_RETURN_NOT_OK(ds.table_b.Append(std::move(b)));
+
+    pairs.push_back({static_cast<size_t>(id), static_cast<size_t>(id), true});
+  }
+
+  // A small number of non-match pairs (96.5% of the list is positive),
+  // drawn from same-country same-role teammates: with role-correlated
+  // stats these profiles are near-duplicates of each other, so the
+  // decision boundary has to sit high — players with weak name evidence
+  // (the abbreviated left-handed profiles) fall below it.
+  int num_negatives = static_cast<int>(
+      options.negative_frac / (1.0 - options.negative_frac) *
+      options.num_players);
+  size_t country_col = *schema.Index("country");
+  size_t role_col = *schema.Index("role");
+  std::set<std::pair<size_t, size_t>> used;
+  int attempts = 0;
+  while (static_cast<int>(used.size()) < num_negatives &&
+         attempts < 500 * num_negatives) {
+    ++attempts;
+    size_t i = static_cast<size_t>(rng.NextBounded(ds.table_a.num_rows()));
+    size_t j = static_cast<size_t>(rng.NextBounded(ds.table_b.num_rows()));
+    if (i == j) continue;
+    if (ds.table_a.value(i, country_col) != ds.table_b.value(j, country_col) ||
+        ds.table_a.value(i, role_col) != ds.table_b.value(j, role_col)) {
+      continue;
+    }
+    if (!used.insert({i, j}).second) continue;
+    pairs.push_back({i, j, false});
+  }
+  FAIREM_RETURN_NOT_OK(SplitPairs(std::move(pairs), options.train_frac,
+                                  options.valid_frac, &rng, &ds.train,
+                                  &ds.valid, &ds.test));
+  FAIREM_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace fairem

@@ -1,0 +1,34 @@
+#ifndef FAIREM_DATAGEN_CRICKET_H_
+#define FAIREM_DATAGEN_CRICKET_H_
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Cricket-style dirty sports task (Table 4: sensitive attribute batting
+/// style, binary; 96.5% positive pairs — the match/non-match *negative*
+/// imbalance case of §5.3.2 where NPVP/FPRP are the informative measures;
+/// the paper thresholds this dataset at 0.9).
+///
+/// Planted behaviour: left-handed batters' profiles abbreviate names far
+/// more often (initials, dropped middle names), so their true matches are
+/// textually harder — the FN source behind LogRegMatcher's NPVP unfairness
+/// to Left Handed (§5.3.2).
+struct CricketOptions {
+  int num_players = 220;
+  /// Fraction of the pair list that is non-matches (paper: 3.5%).
+  double negative_frac = 0.035;
+  double null_prob = 0.12;
+  double train_frac = 0.5;
+  double valid_frac = 0.1;
+  uint64_t seed = 37;
+};
+
+Result<EMDataset> GenerateCricket(const CricketOptions& options);
+
+}  // namespace fairem
+
+#endif  // FAIREM_DATAGEN_CRICKET_H_

@@ -1,0 +1,38 @@
+#ifndef FAIREM_DATAGEN_MUSIC_H_
+#define FAIREM_DATAGEN_MUSIC_H_
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// iTunes-Amazon-style structured music task (Table 4: 8 attributes;
+/// sensitive attribute genre, single setwise). Genre values form semantic
+/// families the paper discusses (Country ⊃ {Cont. Country, Honky Tonk};
+/// the rap family {Hip-Hop/Rap, Rap, Rap & Hip-Hop}); records often carry
+/// several genres ("Country|Honky Tonk").
+///
+/// Planted behaviours:
+///  * Country artists release many distinct songs with near-identical short
+///    titles ("Tequila Loves Me" / "Likes Me") — the embedding trap that
+///    makes neural matchers fire FPs on country groups (§5.3.3);
+///  * Rap true matches carry featuring lists / remix tags / censoring
+///    variants, so their surface similarity is low — the difficult group
+///    on which the simple decision boundaries of non-neural matchers fail;
+///  * a French-Pop group whose ground truth contains only non-matches (the
+///    SP false-flag example of §5.3.2).
+struct ItunesAmazonOptions {
+  int num_songs = 180;
+  int negatives_per_record = 5;
+  double train_frac = 0.4;
+  double valid_frac = 0.1;
+  uint64_t seed = 31;
+};
+
+Result<EMDataset> GenerateItunesAmazon(const ItunesAmazonOptions& options);
+
+}  // namespace fairem
+
+#endif  // FAIREM_DATAGEN_MUSIC_H_

@@ -1,0 +1,236 @@
+#include "src/datagen/names.h"
+
+#include <cctype>
+
+namespace fairem {
+namespace {
+
+const std::vector<std::string>* MakeChineseSurnames() {
+  return new std::vector<std::string>{
+      "Wang",  "Li",   "Zhang", "Liu",  "Chen",  "Yang", "Huang", "Zhao",
+      "Wu",    "Zhou", "Xu",    "Sun",  "Ma",    "Zhu",  "Hu",    "Guo",
+      "He",    "Lin",  "Gao",   "Luo",  "Zheng", "Liang", "Xie",  "Tang",
+      "Shen",  "Han",  "Feng",  "Deng", "Cao",   "Peng", "Zeng",  "Xiao",
+      "Tian",  "Dong", "Pan",   "Yuan", "Cai",   "Jiang", "Yu",   "Du"};
+}
+
+const std::vector<std::string>* MakeChineseGivenSyllables() {
+  return new std::vector<std::string>{
+      "qing", "ming", "lin",  "wei",  "jun", "hua", "lei", "jing",
+      "yan",  "hong", "xin",  "yu",   "hui", "jie", "li",  "na",
+      "feng", "yong", "gang", "ping", "bo",  "chao", "tao", "hai",
+      "xiao", "dong", "mei",  "zhen", "fang", "kai", "shan", "wen"};
+}
+
+const std::vector<std::string>* MakeGermanFirstNames() {
+  return new std::vector<std::string>{
+      "Matthias",  "Sebastian", "Alexander", "Maximilian", "Wolfgang",
+      "Friedrich", "Johannes",  "Christoph", "Benjamin",   "Tobias",
+      "Florian",   "Andreas",   "Bernhard",  "Dietrich",   "Emanuel",
+      "Gregor",    "Heinrich",  "Ingo",      "Joachim",    "Konrad",
+      "Lorenz",    "Manfred",   "Norbert",   "Oskar",      "Patrick",
+      "Raimund",   "Siegfried", "Thorsten",  "Ulrich",     "Valentin",
+      "Werner",    "Xaver",     "Annegret",  "Brigitte",   "Claudia",
+      "Dorothea",  "Elisabeth", "Franziska", "Gabriele",   "Hannelore",
+      "Ingrid",    "Juliane",   "Katharina", "Liselotte",  "Margarete",
+      "Nadine",    "Ottilie",   "Petra",     "Renate",     "Sabine",
+      "Theresa",   "Ursula",    "Veronika",  "Wilhelmine", "Anneliese",
+      "Burkhard",  "Clemens",   "Detlef",    "Eberhard",   "Falko"};
+}
+
+const std::vector<std::string>* MakeGermanSurnames() {
+  return new std::vector<std::string>{
+      "Schreiber",   "Hoffmann",   "Zimmermann", "Schneider",  "Fischer",
+      "Wagner",      "Becker",     "Schulz",     "Richter",    "Klein",
+      "Wolf",        "Neumann",    "Schwarz",    "Braun",      "Krueger",
+      "Hofmann",     "Hartmann",   "Lange",      "Schmitt",    "Werner",
+      "Krause",      "Meier",      "Lehmann",    "Schmid",     "Schulze",
+      "Maier",       "Koehler",    "Herrmann",   "Walter",     "Koenig",
+      "Mayer",       "Huber",      "Kaiser",     "Fuchs",      "Peters",
+      "Lang",        "Scholz",     "Moeller",    "Weiss",      "Jung",
+      "Hahn",        "Schubert",   "Vogel",      "Friedrich",  "Keller",
+      "Guenther",    "Frank",      "Berger",     "Winkler",    "Roth",
+      "Beck",        "Lorenz",     "Baumann",    "Franke",     "Albrecht",
+      "Schuster",    "Simon",      "Ludwig",     "Boehm",      "Winter",
+      "Kraus",       "Martin",     "Schumacher", "Kraemer",    "Vogt",
+      "Stein",       "Jaeger",     "Otto",       "Sommer",     "Gross",
+      "Seidel",      "Heinrich",   "Brandt",     "Haas",       "Schreier",
+      "Graf",        "Schilling",  "Dietrich",   "Ziegler",    "Kuhn"};
+}
+
+const std::vector<std::string>* MakeUsFirstNames() {
+  return new std::vector<std::string>{
+      "James",    "Robert",   "John",     "Michael",  "David",
+      "William",  "Richard",  "Joseph",   "Thomas",   "Charles",
+      "Christopher", "Daniel", "Matthew", "Anthony",  "Mark",
+      "Donald",   "Steven",   "Paul",     "Andrew",   "Joshua",
+      "Kenneth",  "Kevin",    "Brian",    "George",   "Timothy",
+      "Ronald",   "Edward",   "Jason",    "Jeffrey",  "Ryan",
+      "Jacob",    "Gary",     "Nicholas", "Eric",     "Jonathan",
+      "Stephen",  "Larry",    "Justin",   "Scott",    "Brandon",
+      "Mary",     "Patricia", "Jennifer", "Linda",    "Elizabeth",
+      "Barbara",  "Susan",    "Jessica",  "Sarah",    "Karen",
+      "Lisa",     "Nancy",    "Betty",    "Margaret", "Sandra",
+      "Ashley",   "Kimberly", "Emily",    "Donna",    "Michelle",
+      "Carol",    "Amanda",   "Dorothy",  "Melissa",  "Deborah",
+      "Stephanie", "Rebecca", "Sharon",   "Laura",    "Cynthia",
+      "Samantha", "Latoya",   "Keisha",   "Tyrone",   "Jamal",
+      "Darnell",  "Andre",    "Marcus",   "Terrence", "Reginald"};
+}
+
+const std::vector<std::string>* MakeCommonBlackSurnames() {
+  // Deliberately small pool: surnames that are very common within the
+  // group, per the paper's NoFlyCompas discussion.
+  return new std::vector<std::string>{
+      "Brown", "Jackson", "Williams", "Johnson", "Davis",
+      "Robinson", "Washington", "Jefferson"};
+}
+
+const std::vector<std::string>* MakeBlackFirstNames() {
+  // First names concentrated within the group; combined with the surname
+  // concentration this drives within-group near-collisions.
+  return new std::vector<std::string>{
+      "Latoya", "Keisha",  "Tyrone",   "Jamal",    "Darnell",
+      "Andre",  "Marcus",  "Terrence", "Reginald", "Tanisha",
+      "Deshawn", "Lakisha"};
+}
+
+const std::vector<std::string>* MakeBroadSurnames() {
+  return new std::vector<std::string>{
+      "Smith",     "Miller",     "Wilson",    "Anderson",  "Clark",
+      "Wright",    "Mitchell",   "Campbell",  "Roberts",   "Carter",
+      "Phillips",  "Evans",      "Turner",    "Parker",    "Edwards",
+      "Collins",   "Stewart",    "Morris",    "Murphy",    "Cook",
+      "Rogers",    "Morgan",     "Peterson",  "Cooper",    "Reed",
+      "Bailey",    "Bell",       "Kelly",     "Howard",    "Ward",
+      "Cox",       "Richardson", "Wood",      "Watson",    "Brooks",
+      "Gray",      "James",      "Bennett",   "Hughes",    "Price",
+      "Sanders",   "Ross",       "Long",      "Foster",    "Powell",
+      "Sullivan",  "Russell",    "Ortiz",     "Jenkins",   "Perry",
+      "Barnes",    "Fisher",     "Henderson", "Hamilton",  "Graham",
+      "Wallace",   "Woods",      "Cole",      "West",      "Owens",
+      "Reynolds",  "Ellis",      "Harrison",  "Gibson",    "McDonald",
+      "Cruz",      "Marshall",   "Gomez",     "Murray",    "Freeman",
+      "Wells",     "Webb",       "Simpson",   "Stevens",   "Tucker",
+      "Porter",    "Hunter",     "Hicks",     "Crawford",  "Henry",
+      "Boyd",      "Mason",      "Morales",   "Kennedy",   "Warren",
+      "Dixon",     "Ramos",      "Reyes",     "Burns",     "Gordon",
+      "Shaw",      "Holmes",     "Rice",      "Robertson", "Hunt",
+      "Black",     "Daniels",    "Palmer",    "Mills",     "Nichols"};
+}
+
+std::string Capitalize(std::string s) {
+  if (!s.empty() && s[0] >= 'a' && s[0] <= 'z') {
+    s[0] = static_cast<char>(s[0] - 'a' + 'A');
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ChineseSurnames() {
+  static const std::vector<std::string>& pool = *MakeChineseSurnames();
+  return pool;
+}
+
+const std::vector<std::string>& ChineseGivenSyllables() {
+  static const std::vector<std::string>& pool = *MakeChineseGivenSyllables();
+  return pool;
+}
+
+const std::vector<std::string>& GermanFirstNames() {
+  static const std::vector<std::string>& pool = *MakeGermanFirstNames();
+  return pool;
+}
+
+const std::vector<std::string>& GermanSurnames() {
+  static const std::vector<std::string>& pool = *MakeGermanSurnames();
+  return pool;
+}
+
+const std::vector<std::string>& UsFirstNames() {
+  static const std::vector<std::string>& pool = *MakeUsFirstNames();
+  return pool;
+}
+
+const std::vector<std::string>& CommonBlackSurnames() {
+  static const std::vector<std::string>& pool = *MakeCommonBlackSurnames();
+  return pool;
+}
+
+const std::vector<std::string>& BroadSurnames() {
+  static const std::vector<std::string>& pool = *MakeBroadSurnames();
+  return pool;
+}
+
+std::string ChineseFullName(Rng* rng) {
+  std::string given = rng->Choice(ChineseGivenSyllables());
+  // ~60% of given names are two syllables ("Qingming", "LinLin").
+  if (rng->NextBool(0.6)) {
+    given += rng->Choice(ChineseGivenSyllables());
+  }
+  return Capitalize(given) + " " + rng->Choice(ChineseSurnames());
+}
+
+std::string GermanFullName(Rng* rng) {
+  return rng->Choice(GermanFirstNames()) + " " + rng->Choice(GermanSurnames());
+}
+
+namespace {
+
+/// Spelling variant of a surname: "Brown" -> "Browne" / "Browns" /
+/// "Brawn". Variants are *distinct* strings with near-identical subword
+/// embeddings — the within-group near-collision mechanism behind the
+/// paper's FDR disparity, without unresolvable exact collisions.
+std::string SurnameVariant(std::string base, Rng* rng) {
+  switch (rng->NextBounded(4)) {
+    case 0:
+      base.push_back('e');
+      return base;
+    case 1:
+      base.push_back('s');
+      return base;
+    case 2: {
+      // Swap the last vowel.
+      constexpr char kVowels[] = "aeiou";
+      for (size_t i = base.size(); i-- > 0;) {
+        char lower = static_cast<char>(std::tolower(
+            static_cast<unsigned char>(base[i])));
+        if (lower == 'a' || lower == 'e' || lower == 'i' || lower == 'o' ||
+            lower == 'u') {
+          base[i] = kVowels[rng->NextBounded(5)];
+          return base;
+        }
+      }
+      return base;
+    }
+    default:
+      return base;
+  }
+}
+
+}  // namespace
+
+PersonName UsPersonName(bool african_american, Rng* rng) {
+  static const std::vector<std::string>& black_firsts = *MakeBlackFirstNames();
+  PersonName name;
+  if (african_american) {
+    // Both name parts concentrate in small pools, enlarged only by
+    // near-identical spelling variants.
+    name.first = rng->NextBool(0.6) ? rng->Choice(black_firsts)
+                                    : rng->Choice(UsFirstNames());
+    if (rng->NextBool(0.85)) {
+      std::string base = rng->Choice(CommonBlackSurnames());
+      name.last = rng->NextBool(0.5) ? SurnameVariant(base, rng) : base;
+    } else {
+      name.last = rng->Choice(BroadSurnames());
+    }
+  } else {
+    name.first = rng->Choice(UsFirstNames());
+    name.last = rng->NextBool(0.05) ? rng->Choice(CommonBlackSurnames())
+                                    : rng->Choice(BroadSurnames());
+  }
+  return name;
+}
+
+}  // namespace fairem

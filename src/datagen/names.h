@@ -1,0 +1,48 @@
+#ifndef FAIREM_DATAGEN_NAMES_H_
+#define FAIREM_DATAGEN_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace fairem {
+
+/// Name generators for the semi-synthetic social datasets (DESIGN.md
+/// substitutions). The pools are engineered to reproduce the two
+/// statistical properties the paper studies:
+///  * the Chinese (pinyin) pool has a small syllable inventory, so
+///    intra-group name similarity is high (FacultyMatch condition (a));
+///  * the African-American surname pool is small and heavily reused,
+///    modelling the common-surname concentration the paper cites
+///    ("Brown, Jackson, Williams, Johnson"), while the Caucasian pool is
+///    larger and flatter (NoFlyCompas condition (b)).
+
+/// A pinyin-style full name: 1-2 given syllables + a surname from a small
+/// inventory, e.g. "Qingming Huang".
+std::string ChineseFullName(Rng* rng);
+
+/// A German full name from a wide inventory, e.g. "Matthias Schreiber".
+std::string GermanFullName(Rng* rng);
+
+/// US-style first/last names conditioned on demographic group.
+struct PersonName {
+  std::string first;
+  std::string last;
+};
+
+/// `african_american` selects the concentrated surname pool.
+PersonName UsPersonName(bool african_american, Rng* rng);
+
+/// Expose the pools for tests and ablations.
+const std::vector<std::string>& ChineseSurnames();
+const std::vector<std::string>& ChineseGivenSyllables();
+const std::vector<std::string>& GermanFirstNames();
+const std::vector<std::string>& GermanSurnames();
+const std::vector<std::string>& UsFirstNames();
+const std::vector<std::string>& CommonBlackSurnames();
+const std::vector<std::string>& BroadSurnames();
+
+}  // namespace fairem
+
+#endif  // FAIREM_DATAGEN_NAMES_H_

@@ -1,0 +1,48 @@
+#include "src/datagen/perturb.h"
+
+namespace fairem {
+namespace {
+
+constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+
+char RandomLetter(Rng* rng) {
+  return kAlphabet[rng->NextBounded(26)];
+}
+
+}  // namespace
+
+std::string PerturbString(std::string_view value, Rng* rng, int edits) {
+  std::string out(value);
+  for (int e = 0; e < edits; ++e) {
+    if (out.empty()) {
+      out.push_back(RandomLetter(rng));
+      continue;
+    }
+    switch (rng->NextBounded(3)) {
+      case 0: {  // add
+        size_t pos = static_cast<size_t>(rng->NextBounded(out.size() + 1));
+        out.insert(out.begin() + static_cast<ptrdiff_t>(pos),
+                   RandomLetter(rng));
+        break;
+      }
+      case 1: {  // remove
+        size_t pos = static_cast<size_t>(rng->NextBounded(out.size()));
+        out.erase(out.begin() + static_cast<ptrdiff_t>(pos));
+        break;
+      }
+      default: {  // replace
+        size_t pos = static_cast<size_t>(rng->NextBounded(out.size()));
+        out[pos] = RandomLetter(rng);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MaybePerturb(std::string_view value, double p_edit, Rng* rng) {
+  if (rng->NextBool(p_edit)) return PerturbString(value, rng);
+  return std::string(value);
+}
+
+}  // namespace fairem

@@ -1,0 +1,22 @@
+#ifndef FAIREM_DATAGEN_PERTURB_H_
+#define FAIREM_DATAGEN_PERTURB_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/rng.h"
+
+namespace fairem {
+
+/// The paper's record perturbation (§5.1.2): randomly adding, removing, or
+/// replacing a random character of the cell value. `edits` rounds are
+/// applied (the paper uses one). Empty strings only receive insertions.
+std::string PerturbString(std::string_view value, Rng* rng, int edits = 1);
+
+/// Typo-realistic variant used by the dirty generators: with probability
+/// `p_edit` apply PerturbString, otherwise return the input unchanged.
+std::string MaybePerturb(std::string_view value, double p_edit, Rng* rng);
+
+}  // namespace fairem
+
+#endif  // FAIREM_DATAGEN_PERTURB_H_

@@ -1,0 +1,41 @@
+#ifndef FAIREM_DATAGEN_PRODUCTS_H_
+#define FAIREM_DATAGEN_PRODUCTS_H_
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// WDC-style textual product matching (Table 4: Shoes and Cameras — a
+/// single `title` attribute; the manufacturer is extracted from the
+/// description as the sensitive attribute, stored in a separate `company`
+/// column that matchers never receive).
+///
+/// Offers for the same product differ by retailer boilerplate, model-number
+/// formatting ("RX100" / "RX 100" / "DSC-RX100"), and language (the Dutch
+/// "Prijzen" ↔ "Prices" trap of §5.3.3). Token-set features barely separate
+/// true matches from same-brand non-matches — the regime in which the
+/// non-neural matchers collapse (F1 ≈ 0, §5.3.3) while SIF-weighted
+/// embeddings cope.
+struct ProductOptions {
+  int num_products = 90;
+  /// Offers (records) per product, split across the two tables.
+  int offers_per_product = 4;
+  int negatives_per_record = 5;
+  double train_frac = 0.4;
+  double valid_frac = 0.1;
+  uint64_t seed = 41;
+};
+
+/// Cameras: brands Sony/Canon/Nikon/... with model lines and hard
+/// same-line negatives (RX100 vs RX100 IV).
+Result<EMDataset> GenerateCameras(const ProductOptions& options);
+
+/// Shoes: brands Nike/Adidas/... with gender/category/colour variants.
+Result<EMDataset> GenerateShoes(const ProductOptions& options);
+
+}  // namespace fairem
+
+#endif  // FAIREM_DATAGEN_PRODUCTS_H_

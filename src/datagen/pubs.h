@@ -1,0 +1,54 @@
+#ifndef FAIREM_DATAGEN_PUBS_H_
+#define FAIREM_DATAGEN_PUBS_H_
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// DBLP-ACM-style structured publications task (Table 4: 4 attributes —
+/// title, authors, venue, year; sensitive attribute venue, multi-valued).
+///
+/// The generator plants the exact failure modes §5.3.3 narrates:
+///  * "guest editorial" articles in VLDBJ / SIGMOD Rec.: identical titles,
+///    different authors and years, never matches (SVMMatcher's PPVP trap);
+///  * extended-version twins: a VLDB paper and its VLDBJ extension with
+///    near-identical titles and the same authors, distinct entities
+///    (DITTO's serialized-text trap);
+///  * adjective twins: "efficient X" vs "effective X" titles in different
+///    venues (the embedding-similarity trap).
+struct DblpAcmOptions {
+  int num_pubs = 260;
+  int num_editorials = 14;       // per editorial venue
+  int num_extended_pairs = 16;
+  /// Cap on the identical/near-title blocked negatives (editorials are a
+  /// rare tail in real corpora; an uncapped cross-product would swamp the
+  /// pair set).
+  int max_title_blocked_negatives = 150;
+  int negatives_per_record = 6;
+  double train_frac = 0.4;
+  double valid_frac = 0.1;
+  uint64_t seed = 23;
+};
+
+Result<EMDataset> GenerateDblpAcm(const DblpAcmOptions& options);
+
+/// DBLP-Scholar-style dirty publications task (Table 4: 10 attributes,
+/// dirty, sensitive attribute entry type, multi-valued). Cells go missing
+/// uniformly at random with probability `null_prob`.
+struct DblpScholarOptions {
+  int num_pubs = 140;
+  double null_prob = 0.18;
+  int negatives_per_record = 5;
+  double train_frac = 0.4;
+  double valid_frac = 0.1;
+  uint64_t seed = 29;
+};
+
+Result<EMDataset> GenerateDblpScholar(const DblpScholarOptions& options);
+
+}  // namespace fairem
+
+#endif  // FAIREM_DATAGEN_PUBS_H_

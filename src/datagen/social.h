@@ -1,0 +1,69 @@
+#ifndef FAIREM_DATAGEN_SOCIAL_H_
+#define FAIREM_DATAGEN_SOCIAL_H_
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Generator options for FACULTYMATCH (§5.1.2): a CSRankings-style matching
+/// task between a faculty table and its perturbed copy, restricted to the
+/// cn and de country groups. The cn group is larger (paper: 2061 vs 1595)
+/// and its names are intrinsically more similar; additionally 80% of
+/// non-match pairs with a de member are removed, widening the population
+/// gap to ~6x as in the paper.
+struct FacultyMatchOptions {
+  int num_cn = 240;
+  int num_de = 185;
+  /// Non-match candidates sampled per left record.
+  int negatives_per_record = 12;
+  /// Fraction of de-involving non-match pairs dropped. The paper drops
+  /// 80%; the default is higher so the cn:de pair ratio lands near the
+  /// paper's ~6x at this library's smaller scale.
+  double de_pair_drop = 0.9;
+  double train_frac = 0.3;
+  double valid_frac = 0.1;
+  uint64_t seed = 7;
+};
+
+/// Builds the FacultyMatch dataset: attributes {fullName, country},
+/// sensitive attribute country (binary: cn / de), right-side fullName
+/// perturbed by one random character edit, matches keyed on scholar id.
+Result<EMDataset> GenerateFacultyMatch(const FacultyMatchOptions& options);
+
+/// Generator options for NOFLYCOMPAS (§5.1.2): passengers matched against a
+/// no-fly list. The no-fly list over-represents the African-American group
+/// (52/48) relative to the passenger population (20/80 per census), the
+/// sampling bias the paper studies.
+struct NoFlyCompasOptions {
+  int population = 1400;
+  int no_fly_size = 260;
+  int passenger_size = 840;
+  /// Pr(African-American) in the no-fly list and the passenger list.
+  double no_fly_black_frac = 0.52;
+  double passenger_black_frac = 0.20;
+  /// Fraction of the no-fly list that also appears among passengers (the
+  /// true matches).
+  double overlap_frac = 0.6;
+  /// Non-match candidates sampled per passenger.
+  int negatives_per_record = 8;
+  /// Include the surname-blocked hard negatives (the unfairness mechanism).
+  /// Disable for the ablation bench: without them the candidate set has no
+  /// concentrated near-collisions and the FDR disparity vanishes.
+  bool include_blocked_negatives = true;
+  double train_frac = 0.25;
+  double valid_frac = 0.1;
+  uint64_t seed = 11;
+};
+
+/// Builds the NoFlyCompas dataset: attributes {firstName, lastName, race},
+/// sensitive attribute race (binary: African-American / Caucasian), no-fly
+/// names perturbed, matches keyed on person id. Table A = passengers,
+/// table B = no-fly list.
+Result<EMDataset> GenerateNoFlyCompas(const NoFlyCompasOptions& options);
+
+}  // namespace fairem
+
+#endif  // FAIREM_DATAGEN_SOCIAL_H_

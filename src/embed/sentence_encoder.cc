@@ -1,0 +1,75 @@
+#include "src/embed/sentence_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairem {
+
+void SentenceEncoder::FitFrequencies(
+    const std::vector<std::vector<std::string>>& corpus) {
+  freq_.clear();
+  total_count_ = 0.0;
+  for (const auto& doc : corpus) {
+    for (const auto& tok : doc) {
+      freq_[tok] += 1.0;
+      total_count_ += 1.0;
+    }
+  }
+}
+
+double SentenceEncoder::TokenWeight(const std::string& token) const {
+  if (total_count_ <= 0.0) return 1.0;
+  auto it = freq_.find(token);
+  double p = it == freq_.end() ? 0.0 : it->second / total_count_;
+  return a_ / (a_ + p);
+}
+
+std::vector<float> SentenceEncoder::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<float> acc(static_cast<size_t>(embedding_->dim()), 0.0f);
+  for (const auto& tok : tokens) {
+    std::vector<float> v = embedding_->Embed(tok);
+    float w = static_cast<float>(TokenWeight(tok));
+    for (size_t d = 0; d < acc.size(); ++d) acc[d] += w * v[d];
+  }
+  double norm_sq = 0.0;
+  for (float v : acc) norm_sq += static_cast<double>(v) * v;
+  if (norm_sq > 0.0) {
+    float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (float& v : acc) v *= inv;
+  }
+  return acc;
+}
+
+double SentenceEncoder::Similarity(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) const {
+  return SubwordEmbedding::Cosine(Encode(a), Encode(b));
+}
+
+double SentenceEncoder::AlignmentSimilarity(
+    const std::vector<std::string>& a, const std::vector<std::string>& b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  auto one_side = [&](const std::vector<std::string>& from,
+                      const std::vector<std::string>& to) {
+    std::vector<std::vector<float>> to_vecs;
+    to_vecs.reserve(to.size());
+    for (const auto& t : to) to_vecs.push_back(embedding_->Embed(t));
+    double weighted = 0.0;
+    double total_weight = 0.0;
+    for (const auto& token : from) {
+      std::vector<float> v = embedding_->Embed(token);
+      double best = 0.0;
+      for (const auto& tv : to_vecs) {
+        best = std::max(best, SubwordEmbedding::Cosine(v, tv));
+      }
+      double w = TokenWeight(token);
+      weighted += w * best;
+      total_weight += w;
+    }
+    return total_weight > 0.0 ? weighted / total_weight : 0.0;
+  };
+  return 0.5 * (one_side(a, b) + one_side(b, a));
+}
+
+}  // namespace fairem

@@ -1,0 +1,59 @@
+#ifndef FAIREM_EMBED_SENTENCE_ENCODER_H_
+#define FAIREM_EMBED_SENTENCE_ENCODER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/embed/subword_embedding.h"
+
+namespace fairem {
+
+/// SIF-style sentence embeddings (Arora et al.): a frequency-weighted
+/// average of subword token vectors, a / (a + p(token)). High-frequency
+/// tokens ("the", venue boilerplate) are down-weighted. Plays the role of
+/// the sequence-model sentence representation the neural matchers consume.
+class SentenceEncoder {
+ public:
+  explicit SentenceEncoder(const SubwordEmbedding* embedding, double a = 1e-3)
+      : embedding_(embedding), a_(a) {}
+
+  /// Learns token frequencies from a corpus of token lists. Optional; with
+  /// no fit, all tokens weigh equally.
+  void FitFrequencies(const std::vector<std::vector<std::string>>& corpus);
+
+  /// L2-normalized weighted mean of token embeddings; zero vector for an
+  /// empty token list.
+  std::vector<float> Encode(const std::vector<std::string>& tokens) const;
+
+  /// Cosine of the encodings of two token lists.
+  double Similarity(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) const;
+
+  const SubwordEmbedding& embedding() const { return *embedding_; }
+
+  /// SIF weight a/(a+p) of one token — 1.0 before FitFrequencies; low for
+  /// frequent (boilerplate) tokens.
+  double TokenWeight(const std::string& token) const;
+
+  /// IDF-weighted symmetric soft alignment: each token's best embedding
+  /// cosine in the other list, averaged under SIF weights. The token-level
+  /// cross-attention signal of transformer matchers: boilerplate tokens
+  /// barely count, so one mismatched content token is visible even when
+  /// the rest of the records agree. 1 when both lists are empty, 0 when
+  /// exactly one is.
+  double AlignmentSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) const;
+
+ private:
+
+  const SubwordEmbedding* embedding_;  // not owned
+  double a_;
+  std::unordered_map<std::string, double> freq_;
+  double total_count_ = 0.0;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_EMBED_SENTENCE_ENCODER_H_

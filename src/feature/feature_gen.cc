@@ -1,0 +1,126 @@
+#include "src/feature/feature_gen.h"
+
+#include <algorithm>
+
+#include "src/text/tokenize.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+constexpr size_t kShortStringMaxAvgLen = 24;
+constexpr double kShortStringMaxAvgTokens = 3.0;
+
+}  // namespace
+
+const char* AttrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kNumeric:
+      return "numeric";
+    case AttrType::kShortString:
+      return "short_string";
+    case AttrType::kLongString:
+      return "long_string";
+  }
+  return "unknown";
+}
+
+Result<AttrType> InferAttrType(const Table& a, const Table& b,
+                               const std::string& attr) {
+  FAIREM_ASSIGN_OR_RETURN(size_t col_a, a.schema().Index(attr));
+  FAIREM_ASSIGN_OR_RETURN(size_t col_b, b.schema().Index(attr));
+  size_t non_null = 0;
+  size_t numeric = 0;
+  size_t total_len = 0;
+  size_t total_tokens = 0;
+  auto scan = [&](const Table& t, size_t col) {
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      if (t.IsNull(r, col)) continue;
+      std::string_view v = t.value(r, col);
+      ++non_null;
+      if (ParseDouble(v, nullptr)) ++numeric;
+      total_len += v.size();
+      total_tokens += WhitespaceTokenize(v).size();
+    }
+  };
+  scan(a, col_a);
+  scan(b, col_b);
+  if (non_null == 0) return AttrType::kShortString;
+  if (numeric == non_null) return AttrType::kNumeric;
+  double avg_len = static_cast<double>(total_len) / non_null;
+  double avg_tokens = static_cast<double>(total_tokens) / non_null;
+  if (avg_len <= kShortStringMaxAvgLen &&
+      avg_tokens <= kShortStringMaxAvgTokens) {
+    return AttrType::kShortString;
+  }
+  return AttrType::kLongString;
+}
+
+Result<std::vector<FeatureDef>> GenerateFeatures(
+    const Table& a, const Table& b, const std::vector<std::string>& attrs) {
+  std::vector<FeatureDef> defs;
+  for (const auto& attr : attrs) {
+    FAIREM_ASSIGN_OR_RETURN(AttrType type, InferAttrType(a, b, attr));
+    switch (type) {
+      case AttrType::kNumeric:
+        defs.push_back({attr, SimilarityMeasure::kExactMatch});
+        defs.push_back({attr, SimilarityMeasure::kNumericAbsDiff});
+        break;
+      case AttrType::kShortString:
+        defs.push_back({attr, SimilarityMeasure::kExactMatch});
+        defs.push_back({attr, SimilarityMeasure::kLevenshtein});
+        defs.push_back({attr, SimilarityMeasure::kJaro});
+        defs.push_back({attr, SimilarityMeasure::kJaroWinkler});
+        defs.push_back({attr, SimilarityMeasure::kJaccardQgram3});
+        defs.push_back({attr, SimilarityMeasure::kNeedlemanWunsch});
+        break;
+      case AttrType::kLongString:
+        // Word-token measures only, as in Magellan's defaults for long
+        // text: character-gram measures are not generated here, which is
+        // why token-formatting variance defeats the non-neural matchers on
+        // the textual datasets (§5.3.3).
+        defs.push_back({attr, SimilarityMeasure::kJaccardWord});
+        defs.push_back({attr, SimilarityMeasure::kCosineWord});
+        defs.push_back({attr, SimilarityMeasure::kDiceWord});
+        defs.push_back({attr, SimilarityMeasure::kOverlapWord});
+        break;
+    }
+  }
+  return defs;
+}
+
+Result<std::vector<double>> ExtractFeatures(
+    const std::vector<FeatureDef>& defs, const Table& a, const Table& b,
+    size_t left_row, size_t right_row) {
+  std::vector<double> features;
+  features.reserve(defs.size());
+  for (const auto& def : defs) {
+    FAIREM_ASSIGN_OR_RETURN(size_t col_a, a.schema().Index(def.attr));
+    FAIREM_ASSIGN_OR_RETURN(size_t col_b, b.schema().Index(def.attr));
+    if (a.IsNull(left_row, col_a) || b.IsNull(right_row, col_b)) {
+      features.push_back(0.0);
+      continue;
+    }
+    features.push_back(ComputeSimilarity(def.measure, a.value(left_row, col_a),
+                                         b.value(right_row, col_b)));
+  }
+  return features;
+}
+
+Result<FeatureTable> BuildFeatureTable(const std::vector<FeatureDef>& defs,
+                                       const Table& a, const Table& b,
+                                       const std::vector<LabeledPair>& pairs) {
+  FeatureTable table;
+  table.defs = defs;
+  table.rows.reserve(pairs.size());
+  table.labels.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    FAIREM_ASSIGN_OR_RETURN(std::vector<double> row,
+                            ExtractFeatures(defs, a, b, p.left, p.right));
+    table.rows.push_back(std::move(row));
+    table.labels.push_back(p.is_match ? 1 : 0);
+  }
+  return table;
+}
+
+}  // namespace fairem

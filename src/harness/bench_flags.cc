@@ -1,0 +1,38 @@
+#include "src/harness/bench_flags.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/util/string_util.h"
+
+namespace fairem {
+
+BenchFlags ParseBenchFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&](double* out) {
+      if (i + 1 >= argc || !ParseDouble(argv[i + 1], out)) {
+        std::cerr << "usage: " << argv[0]
+                  << " [--scale S] [--seed N]\n";
+        std::exit(1);
+      }
+      ++i;
+    };
+    if (arg == "--scale") {
+      next_value(&flags.scale);
+    } else if (arg == "--seed") {
+      double v = 0.0;
+      next_value(&v);
+      flags.seed_offset = static_cast<uint64_t>(v);
+    } else {
+      std::cerr << "unknown flag '" << arg << "'\nusage: " << argv[0]
+                << " [--scale S] [--seed N]\n";
+      std::exit(1);
+    }
+  }
+  return flags;
+}
+
+}  // namespace fairem

@@ -1,0 +1,23 @@
+#ifndef FAIREM_HARNESS_BENCH_FLAGS_H_
+#define FAIREM_HARNESS_BENCH_FLAGS_H_
+
+#include <cstdint>
+
+namespace fairem {
+
+/// Common command-line flags of the table/figure bench binaries:
+///   --scale S   multiply every generator's entity counts (default 1.0)
+///   --seed N    shift every generator seed (default 0) — rerun a bench
+///               with several seeds for a quick replication study
+/// Unknown flags abort with a usage message.
+struct BenchFlags {
+  double scale = 1.0;
+  uint64_t seed_offset = 0;
+};
+
+/// Parses argv; exits(1) with a usage message on malformed flags.
+BenchFlags ParseBenchFlags(int argc, char** argv);
+
+}  // namespace fairem
+
+#endif  // FAIREM_HARNESS_BENCH_FLAGS_H_

@@ -1,0 +1,119 @@
+#include "src/harness/experiment.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <memory>
+
+#include "src/report/grid.h"
+
+namespace fairem {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+Result<MatcherRun> RunMatcher(const EMDataset& dataset, MatcherKind kind,
+                              uint64_t seed) {
+  MatcherRun run;
+  run.kind = kind;
+  run.matcher_name = MatcherKindName(kind);
+  std::unique_ptr<Matcher> matcher = CreateMatcher(kind);
+  if (matcher == nullptr) {
+    return Status::Internal("CreateMatcher returned null");
+  }
+  if (!matcher->SupportsDataset(dataset)) {
+    run.supported = false;
+    return run;
+  }
+  Rng rng(seed ^ (static_cast<uint64_t>(kind) * 0x9e3779b97f4a7c15ULL));
+  auto fit_start = std::chrono::steady_clock::now();
+  FAIREM_RETURN_NOT_OK(matcher->Fit(dataset, &rng));
+  run.fit_seconds = SecondsSince(fit_start);
+  auto predict_start = std::chrono::steady_clock::now();
+  FAIREM_ASSIGN_OR_RETURN(run.test_scores,
+                          matcher->PredictScores(dataset, dataset.test));
+  run.predict_seconds = SecondsSince(predict_start);
+  FAIREM_ASSIGN_OR_RETURN(std::vector<PairOutcome> outcomes,
+                          MakeOutcomes(dataset.test, run.test_scores,
+                                       dataset.default_threshold));
+  run.counts = OverallCounts(outcomes);
+  run.accuracy = Accuracy(run.counts).value_or(0.0);
+  run.f1 = F1Score(run.counts).value_or(0.0);
+  return run;
+}
+
+Result<FairnessAuditor> MakeAuditor(const EMDataset& dataset) {
+  SensitiveAttr attr;
+  attr.name = dataset.sensitive_attr;
+  attr.kind = dataset.sensitive_kind;
+  attr.setwise_separator = dataset.setwise_separator;
+  return FairnessAuditor::Make(dataset.table_a, dataset.table_b, attr);
+}
+
+Result<AuditReport> AuditRunSingle(const EMDataset& dataset,
+                                   const MatcherRun& run,
+                                   const AuditOptions& options) {
+  FAIREM_ASSIGN_OR_RETURN(FairnessAuditor auditor, MakeAuditor(dataset));
+  FAIREM_ASSIGN_OR_RETURN(std::vector<PairOutcome> outcomes,
+                          MakeOutcomes(dataset.test, run.test_scores,
+                                       dataset.default_threshold));
+  return auditor.AuditSingle(outcomes, options);
+}
+
+Result<AuditReport> AuditRunPairwise(const EMDataset& dataset,
+                                     const MatcherRun& run,
+                                     const AuditOptions& options) {
+  FAIREM_ASSIGN_OR_RETURN(FairnessAuditor auditor, MakeAuditor(dataset));
+  FAIREM_ASSIGN_OR_RETURN(std::vector<PairOutcome> outcomes,
+                          MakeOutcomes(dataset.test, run.test_scores,
+                                       dataset.default_threshold));
+  return auditor.AuditPairwise(outcomes, options);
+}
+
+Result<std::vector<GroupRates>> GroupBreakdown(const EMDataset& dataset,
+                                               const MatcherRun& run) {
+  FAIREM_ASSIGN_OR_RETURN(FairnessAuditor auditor, MakeAuditor(dataset));
+  FAIREM_ASSIGN_OR_RETURN(std::vector<PairOutcome> outcomes,
+                          MakeOutcomes(dataset.test, run.test_scores,
+                                       dataset.default_threshold));
+  std::vector<GroupRates> breakdown;
+  for (const auto& group : auditor.groups()) {
+    FAIREM_ASSIGN_OR_RETURN(uint64_t mask,
+                            auditor.membership().encoding().Encode({group}));
+    GroupRates rates;
+    rates.group = group;
+    rates.counts = SingleGroupCounts(auditor.membership(), outcomes, mask);
+    breakdown.push_back(std::move(rates));
+  }
+  return breakdown;
+}
+
+
+Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
+                                         bool pairwise,
+                                         const AuditOptions& options,
+                                         const std::vector<MatcherKind>& skip) {
+  UnfairnessGrid grid;
+  for (MatcherKind kind : AllMatcherKinds()) {
+    if (std::find(skip.begin(), skip.end(), kind) != skip.end()) continue;
+    FAIREM_ASSIGN_OR_RETURN(MatcherRun run, RunMatcher(dataset, kind));
+    if (!run.supported) continue;
+    FAIREM_ASSIGN_OR_RETURN(
+        AuditReport report,
+        pairwise ? AuditRunPairwise(dataset, run, options)
+                 : AuditRunSingle(dataset, run, options));
+    grid.Mark(MatcherMarker(run.matcher_name), report);
+    std::cerr << "audited " << run.matcher_name << " on " << dataset.name
+              << " (" << (pairwise ? "pairwise" : "single") << ")\n";
+  }
+  return grid.Render();
+}
+
+}  // namespace fairem
+

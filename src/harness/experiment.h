@@ -1,0 +1,71 @@
+#ifndef FAIREM_HARNESS_EXPERIMENT_H_
+#define FAIREM_HARNESS_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/audit.h"
+#include "src/data/dataset.h"
+#include "src/matcher/matcher.h"
+#include "src/ml/metrics.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Everything the paper's per-(matcher, dataset) cells need: the trained
+/// matcher's test scores, its confusion matrix at the dataset's default
+/// threshold, and the derived correctness metrics.
+struct MatcherRun {
+  std::string matcher_name;
+  MatcherKind kind = MatcherKind::kDT;
+  bool supported = true;  // false mirrors Table 9's "-" cells (Dedupe)
+  std::vector<double> test_scores;
+  ConfusionCounts counts;
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  double fit_seconds = 0.0;
+  double predict_seconds = 0.0;
+};
+
+/// Trains `kind` on `dataset` with the given seed and scores the test
+/// split. Unsupported (matcher, dataset) combinations return a MatcherRun
+/// with supported = false rather than an error.
+Result<MatcherRun> RunMatcher(const EMDataset& dataset, MatcherKind kind,
+                              uint64_t seed = 1234);
+
+/// Convenience: the single-fairness audit of a run at the dataset's
+/// default threshold.
+Result<AuditReport> AuditRunSingle(const EMDataset& dataset,
+                                   const MatcherRun& run,
+                                   const AuditOptions& options = {});
+
+/// Convenience: the pairwise-fairness audit of a run.
+Result<AuditReport> AuditRunPairwise(const EMDataset& dataset,
+                                     const MatcherRun& run,
+                                     const AuditOptions& options = {});
+
+/// Builds the FairnessAuditor for a dataset's sensitive attribute.
+Result<FairnessAuditor> MakeAuditor(const EMDataset& dataset);
+
+/// Per-group TPR/PPV/FDR-style breakdown used by Tables 5 and 6.
+struct GroupRates {
+  std::string group;
+  ConfusionCounts counts;
+};
+
+/// Single-fairness per-group confusion matrices at the default threshold.
+Result<std::vector<GroupRates>> GroupBreakdown(const EMDataset& dataset,
+                                               const MatcherRun& run);
+
+/// Renders the paper's unfairness-grid figure for one dataset: every
+/// matcher is trained, audited (single or pairwise fairness), and marked
+/// into the measure-by-group grid (Figures 6-13 / 17-20). `skip` lists
+/// matcher kinds to leave out. Progress notes go to stderr.
+Result<std::string> UnfairnessGridReport(
+    const EMDataset& dataset, bool pairwise,
+    const AuditOptions& options = {},
+    const std::vector<MatcherKind>& skip = {});
+
+}  // namespace fairem
+
+#endif  // FAIREM_HARNESS_EXPERIMENT_H_

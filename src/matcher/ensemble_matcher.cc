@@ -1,0 +1,144 @@
+#include "src/matcher/ensemble_matcher.h"
+
+#include "src/core/group.h"
+#include "src/harness/experiment.h"
+#include "src/ml/metrics.h"
+
+namespace fairem {
+
+PerGroupEnsembleMatcher::PerGroupEnsembleMatcher(
+    std::vector<std::unique_ptr<Matcher>> pool)
+    : pool_(std::move(pool)) {}
+
+std::unique_ptr<PerGroupEnsembleMatcher>
+PerGroupEnsembleMatcher::WithDefaultPool() {
+  std::vector<std::unique_ptr<Matcher>> pool;
+  for (MatcherKind kind :
+       {MatcherKind::kDT, MatcherKind::kRF, MatcherKind::kLogReg,
+        MatcherKind::kDitto, MatcherKind::kDeepMatcher}) {
+    pool.push_back(CreateMatcher(kind));
+  }
+  return std::make_unique<PerGroupEnsembleMatcher>(std::move(pool));
+}
+
+Status PerGroupEnsembleMatcher::Fit(const EMDataset& dataset, Rng* rng) {
+  if (pool_.empty()) {
+    return Status::InvalidArgument("ensemble pool is empty");
+  }
+  SensitiveAttr attr;
+  attr.name = dataset.sensitive_attr;
+  attr.kind = dataset.sensitive_kind;
+  attr.setwise_separator = dataset.setwise_separator;
+  FAIREM_ASSIGN_OR_RETURN(
+      GroupMembership membership,
+      GroupMembership::Make(dataset.table_a, dataset.table_b, attr));
+  membership_ = std::make_unique<GroupMembership>(std::move(membership));
+
+  const std::vector<LabeledPair>& selection_split =
+      dataset.valid.empty() ? dataset.train : dataset.valid;
+
+  // Fit every member (skipping unsupported ones) and score the selection
+  // split once per member.
+  std::vector<std::vector<double>> member_scores(pool_.size());
+  std::vector<bool> usable(pool_.size(), false);
+  for (size_t m = 0; m < pool_.size(); ++m) {
+    if (!pool_[m]->SupportsDataset(dataset)) continue;
+    Rng member_rng = rng->Fork();
+    FAIREM_RETURN_NOT_OK(pool_[m]->Fit(dataset, &member_rng));
+    FAIREM_ASSIGN_OR_RETURN(member_scores[m],
+                            pool_[m]->PredictScores(dataset, selection_split));
+    usable[m] = true;
+  }
+
+  // Per group, pick the member with the best validation F1 (Algorithm of
+  // Table 8: "for each group use the matcher with best performance").
+  route_.clear();
+  selection_names_.clear();
+  double best_overall = -1.0;
+  for (size_t m = 0; m < pool_.size(); ++m) {
+    if (!usable[m]) continue;
+    FAIREM_ASSIGN_OR_RETURN(
+        std::vector<PairOutcome> outcomes,
+        MakeOutcomes(selection_split, member_scores[m],
+                     dataset.default_threshold));
+    double f1 = F1Score(OverallCounts(outcomes)).value_or(0.0);
+    if (f1 > best_overall) {
+      best_overall = f1;
+      default_member_ = m;
+    }
+  }
+  for (const auto& group : membership_->groups()) {
+    FAIREM_ASSIGN_OR_RETURN(uint64_t mask,
+                            membership_->encoding().Encode({group}));
+    double best_f1 = -1.0;
+    size_t best = default_member_;
+    for (size_t m = 0; m < pool_.size(); ++m) {
+      if (!usable[m]) continue;
+      FAIREM_ASSIGN_OR_RETURN(
+          std::vector<PairOutcome> outcomes,
+          MakeOutcomes(selection_split, member_scores[m],
+                       dataset.default_threshold));
+      Result<double> f1 =
+          F1Score(SingleGroupCounts(*membership_, outcomes, mask));
+      if (f1.ok() && *f1 > best_f1) {
+        best_f1 = *f1;
+        best = m;
+      }
+    }
+    route_[mask] = best;
+    selection_names_[group] = pool_[best]->name();
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<size_t> PerGroupEnsembleMatcher::RouteFor(size_t left,
+                                                 size_t right) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("PerGroupEnsemble used before Fit");
+  }
+  // Route by the left record's group; fall back to the right record, then
+  // to the best-overall member.
+  for (uint64_t mask : {membership_->LeftMask(left),
+                        membership_->RightMask(right)}) {
+    for (const auto& [group_mask, member] : route_) {
+      if (GroupEncoding::Belongs(mask, group_mask) && group_mask != 0) {
+        return member;
+      }
+    }
+  }
+  return default_member_;
+}
+
+Result<double> PerGroupEnsembleMatcher::ScorePair(const EMDataset& dataset,
+                                                  size_t left,
+                                                  size_t right) const {
+  FAIREM_ASSIGN_OR_RETURN(size_t member, RouteFor(left, right));
+  return pool_[member]->ScorePair(dataset, left, right);
+}
+
+Result<std::vector<double>> PerGroupEnsembleMatcher::PredictScores(
+    const EMDataset& dataset, const std::vector<LabeledPair>& pairs) const {
+  // Batch per member so one-to-set members (GNEM) see their full context.
+  std::vector<double> scores(pairs.size(), 0.0);
+  std::vector<std::vector<size_t>> by_member(pool_.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    FAIREM_ASSIGN_OR_RETURN(size_t member,
+                            RouteFor(pairs[i].left, pairs[i].right));
+    by_member[member].push_back(i);
+  }
+  for (size_t m = 0; m < pool_.size(); ++m) {
+    if (by_member[m].empty()) continue;
+    std::vector<LabeledPair> subset;
+    subset.reserve(by_member[m].size());
+    for (size_t i : by_member[m]) subset.push_back(pairs[i]);
+    FAIREM_ASSIGN_OR_RETURN(std::vector<double> member_scores,
+                            pool_[m]->PredictScores(dataset, subset));
+    for (size_t k = 0; k < by_member[m].size(); ++k) {
+      scores[by_member[m][k]] = member_scores[k];
+    }
+  }
+  return scores;
+}
+
+}  // namespace fairem

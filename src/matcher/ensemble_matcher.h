@@ -1,0 +1,64 @@
+#ifndef FAIREM_MATCHER_ENSEMBLE_MATCHER_H_
+#define FAIREM_MATCHER_ENSEMBLE_MATCHER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/confusion.h"
+#include "src/matcher/matcher.h"
+
+namespace fairem {
+
+/// The paper's closing recommendation (Table 8 / lesson vi), realized as a
+/// matcher: train a *set* of candidate matchers, evaluate each per group on
+/// the validation split, and route every pair to the matcher that performs
+/// best for the group(s) it touches. Designed for a single sensitive
+/// attribute with exclusive values; pairs touching two different groups are
+/// routed by the left record's group (ties are rare under exclusive
+/// groups). The paper leaves fairness-driven ensembling as future work —
+/// this class implements exactly the per-group selection it sketches.
+class PerGroupEnsembleMatcher : public Matcher {
+ public:
+  /// `pool` must be non-empty; the ensemble takes ownership.
+  explicit PerGroupEnsembleMatcher(std::vector<std::unique_ptr<Matcher>> pool);
+
+  /// Convenience: the paper-suggested mixed pool (simple + complex
+  /// boundaries from both families): DT, RF, LogReg, Ditto, DeepMatcher.
+  static std::unique_ptr<PerGroupEnsembleMatcher> WithDefaultPool();
+
+  std::string name() const override { return "PerGroupEnsemble"; }
+  MatcherFamily family() const override { return MatcherFamily::kNonNeural; }
+
+  /// Fits every pool member, then selects the best member per group by F1
+  /// on the validation split (falling back to the train split when there is
+  /// no validation data).
+  Status Fit(const EMDataset& dataset, Rng* rng) override;
+
+  Result<double> ScorePair(const EMDataset& dataset, size_t left,
+                           size_t right) const override;
+  Result<std::vector<double>> PredictScores(
+      const EMDataset& dataset,
+      const std::vector<LabeledPair>& pairs) const override;
+
+  /// group -> name of the selected pool member (after Fit).
+  const std::map<std::string, std::string>& selection() const {
+    return selection_names_;
+  }
+
+ private:
+  /// Index of the member routed for a pair.
+  Result<size_t> RouteFor(size_t left, size_t right) const;
+
+  std::vector<std::unique_ptr<Matcher>> pool_;
+  std::unique_ptr<GroupMembership> membership_;
+  std::map<uint64_t, size_t> route_;  // group mask -> pool index
+  std::map<std::string, std::string> selection_names_;
+  size_t default_member_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_MATCHER_ENSEMBLE_MATCHER_H_

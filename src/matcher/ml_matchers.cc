@@ -1,0 +1,73 @@
+#include "src/matcher/ml_matchers.h"
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/linear_models.h"
+#include "src/ml/naive_bayes.h"
+#include "src/ml/random_forest.h"
+
+namespace fairem {
+
+Status FeatureClassifierMatcher::Fit(const EMDataset& dataset, Rng* rng) {
+  FAIREM_ASSIGN_OR_RETURN(
+      features_, GenerateFeatures(dataset.table_a, dataset.table_b,
+                                  dataset.matching_attrs));
+  if (features_.empty()) {
+    return Status::InvalidArgument("no features generated for dataset '" +
+                                   dataset.name + "'");
+  }
+  FAIREM_ASSIGN_OR_RETURN(
+      FeatureTable table,
+      BuildFeatureTable(features_, dataset.table_a, dataset.table_b,
+                        dataset.train));
+  std::vector<std::vector<double>> x = std::move(table.rows);
+  std::vector<int> y = std::move(table.labels);
+  FAIREM_RETURN_NOT_OK(classifier_->Fit(x, y, rng));
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> FeatureClassifierMatcher::ScorePair(const EMDataset& dataset,
+                                                   size_t left,
+                                                   size_t right) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("matcher '" + display_name_ +
+                                      "' used before Fit");
+  }
+  FAIREM_ASSIGN_OR_RETURN(
+      std::vector<double> features,
+      ExtractFeatures(features_, dataset.table_a, dataset.table_b, left,
+                      right));
+  return classifier_->PredictScore(features);
+}
+
+std::unique_ptr<Matcher> MakeDTMatcher() {
+  return std::make_unique<FeatureClassifierMatcher>(
+      "DTMatcher", std::make_unique<DecisionTree>());
+}
+
+std::unique_ptr<Matcher> MakeSvmMatcher() {
+  return std::make_unique<FeatureClassifierMatcher>("SVMMatcher",
+                                                    std::make_unique<Svm>());
+}
+
+std::unique_ptr<Matcher> MakeRFMatcher() {
+  return std::make_unique<FeatureClassifierMatcher>(
+      "RFMatcher", std::make_unique<RandomForest>());
+}
+
+std::unique_ptr<Matcher> MakeLogRegMatcher() {
+  return std::make_unique<FeatureClassifierMatcher>(
+      "LogRegMatcher", std::make_unique<LogisticRegression>());
+}
+
+std::unique_ptr<Matcher> MakeLinRegMatcher() {
+  return std::make_unique<FeatureClassifierMatcher>(
+      "LinRegMatcher", std::make_unique<LinearRegression>());
+}
+
+std::unique_ptr<Matcher> MakeNBMatcher() {
+  return std::make_unique<FeatureClassifierMatcher>(
+      "NBMatcher", std::make_unique<GaussianNaiveBayes>());
+}
+
+}  // namespace fairem

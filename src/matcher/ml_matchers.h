@@ -1,0 +1,55 @@
+#ifndef FAIREM_MATCHER_ML_MATCHERS_H_
+#define FAIREM_MATCHER_ML_MATCHERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/feature/feature_gen.h"
+#include "src/matcher/matcher.h"
+#include "src/ml/classifier.h"
+
+namespace fairem {
+
+/// The Magellan-style non-neural matchers (Table 3): automatic feature
+/// generation over the matching attributes, then a traditional classifier.
+/// One class parameterized by the classifier covers DTMatcher, SVMMatcher,
+/// RFMatcher, LogRegMatcher, LinRegMatcher, and NBMatcher.
+class FeatureClassifierMatcher : public Matcher {
+ public:
+  /// `display_name` follows Table 3 (e.g. "DTMatcher").
+  FeatureClassifierMatcher(std::string display_name,
+                           std::unique_ptr<Classifier> classifier)
+      : display_name_(std::move(display_name)),
+        classifier_(std::move(classifier)) {}
+
+  std::string name() const override { return display_name_; }
+  MatcherFamily family() const override { return MatcherFamily::kNonNeural; }
+
+  Status Fit(const EMDataset& dataset, Rng* rng) override;
+  Result<double> ScorePair(const EMDataset& dataset, size_t left,
+                           size_t right) const override;
+
+  /// The generated feature definitions (after Fit). Exposed so audits can
+  /// report which attributes the model leans on.
+  const std::vector<FeatureDef>& features() const { return features_; }
+  const Classifier& classifier() const { return *classifier_; }
+
+ private:
+  std::string display_name_;
+  std::unique_ptr<Classifier> classifier_;
+  std::vector<FeatureDef> features_;
+  bool fitted_ = false;
+};
+
+/// Factory helpers with the paper-default hyper-parameters.
+std::unique_ptr<Matcher> MakeDTMatcher();
+std::unique_ptr<Matcher> MakeSvmMatcher();
+std::unique_ptr<Matcher> MakeRFMatcher();
+std::unique_ptr<Matcher> MakeLogRegMatcher();
+std::unique_ptr<Matcher> MakeLinRegMatcher();
+std::unique_ptr<Matcher> MakeNBMatcher();
+
+}  // namespace fairem
+
+#endif  // FAIREM_MATCHER_ML_MATCHERS_H_

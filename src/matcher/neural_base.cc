@@ -1,0 +1,68 @@
+#include "src/matcher/neural_base.h"
+
+#include "src/matcher/serialize.h"
+
+namespace fairem {
+
+NeuralMatcherBase::NeuralMatcherBase(nn::MlpOptions head_options)
+    : embedding_(SubwordEmbeddingOptions{}), head_(head_options) {}
+
+Status NeuralMatcherBase::Fit(const EMDataset& dataset, Rng* rng) {
+  // Fit the SIF frequency weights on the corpus of both tables (the
+  // "language model" view of the data).
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(dataset.table_a.num_rows() + dataset.table_b.num_rows());
+  for (size_t r = 0; r < dataset.table_a.num_rows(); ++r) {
+    FAIREM_ASSIGN_OR_RETURN(
+        std::vector<std::string> tokens,
+        SerializeRecord(dataset.table_a, r, dataset.matching_attrs));
+    corpus.push_back(std::move(tokens));
+  }
+  for (size_t r = 0; r < dataset.table_b.num_rows(); ++r) {
+    FAIREM_ASSIGN_OR_RETURN(
+        std::vector<std::string> tokens,
+        SerializeRecord(dataset.table_b, r, dataset.matching_attrs));
+    corpus.push_back(std::move(tokens));
+  }
+  sentence_encoder_ = std::make_unique<SentenceEncoder>(&embedding_);
+  sentence_encoder_->FitFrequencies(corpus);
+
+  FAIREM_RETURN_NOT_OK(InitEncoder(dataset, rng));
+
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  x.reserve(dataset.train.size());
+  y.reserve(dataset.train.size());
+  for (const auto& pair : dataset.train) {
+    FAIREM_ASSIGN_OR_RETURN(
+        std::vector<float> features,
+        EncodePairForTraining(dataset, pair.left, pair.right, rng));
+    x.push_back(std::move(features));
+    y.push_back(pair.is_match ? 1 : 0);
+  }
+  if (x.empty()) {
+    return Status::InvalidArgument("neural matcher '" + name() +
+                                   "': empty training split");
+  }
+  FAIREM_RETURN_NOT_OK(head_.Fit(x, y, rng));
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<float>> NeuralMatcherBase::EncodePairForTraining(
+    const EMDataset& dataset, size_t left, size_t right, Rng* /*rng*/) const {
+  return EncodePair(dataset, left, right);
+}
+
+Result<double> NeuralMatcherBase::ScorePair(const EMDataset& dataset,
+                                            size_t left, size_t right) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("neural matcher '" + name() +
+                                      "' used before Fit");
+  }
+  FAIREM_ASSIGN_OR_RETURN(std::vector<float> features,
+                          EncodePair(dataset, left, right));
+  return head_.Predict(features);
+}
+
+}  // namespace fairem

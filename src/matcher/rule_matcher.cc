@@ -1,0 +1,101 @@
+#include "src/matcher/rule_matcher.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/text/edit_distance.h"
+
+namespace fairem {
+
+namespace {
+
+/// Fraction of distinct (case-folded) non-null values over both tables;
+/// low ratios indicate a categorical attribute (venue, year, race) where an
+/// exact-match predicate is appropriate.
+Result<double> DistinctRatio(const Table& a, const Table& b,
+                             const std::string& attr) {
+  FAIREM_ASSIGN_OR_RETURN(size_t col_a, a.schema().Index(attr));
+  FAIREM_ASSIGN_OR_RETURN(size_t col_b, b.schema().Index(attr));
+  std::set<std::string> distinct;
+  size_t total = 0;
+  for (const auto* t : {&a, &b}) {
+    size_t col = (t == &a) ? col_a : col_b;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      if (t->IsNull(r, col)) continue;
+      distinct.insert(std::string(t->value(r, col)));
+      ++total;
+    }
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(distinct.size()) / static_cast<double>(total);
+}
+
+}  // namespace
+
+Status BooleanRuleMatcher::Fit(const EMDataset& dataset, Rng* /*rng*/) {
+  if (!user_rules_) {
+    predicates_.clear();
+    for (const auto& attr : dataset.matching_attrs) {
+      FAIREM_ASSIGN_OR_RETURN(
+          AttrType type, InferAttrType(dataset.table_a, dataset.table_b, attr));
+      switch (type) {
+        case AttrType::kNumeric:
+          predicates_.push_back({attr, SimilarityMeasure::kNumericAbsDiff, 0.9});
+          break;
+        case AttrType::kShortString: {
+          // Exact match suits categorical short attributes (year, venue);
+          // free-text short attributes (names) get a character-distance
+          // predicate at the paper's 0.5 threshold.
+          FAIREM_ASSIGN_OR_RETURN(
+              double ratio,
+              DistinctRatio(dataset.table_a, dataset.table_b, attr));
+          if (ratio < 0.3) {
+            predicates_.push_back({attr, SimilarityMeasure::kExactMatch, 1.0});
+          } else {
+            predicates_.push_back(
+                {attr, SimilarityMeasure::kLevenshtein, 0.5});
+          }
+          break;
+        }
+        case AttrType::kLongString:
+          predicates_.push_back({attr, SimilarityMeasure::kCosineWord, 0.5});
+          break;
+      }
+    }
+  }
+  if (predicates_.empty()) {
+    return Status::InvalidArgument("rule matcher has no predicates");
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> BooleanRuleMatcher::ScorePair(const EMDataset& dataset,
+                                             size_t left, size_t right) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("BooleanRuleMatcher used before Fit");
+  }
+  double score = 1.0;
+  for (const auto& pred : predicates_) {
+    FAIREM_ASSIGN_OR_RETURN(size_t col_a,
+                            dataset.table_a.schema().Index(pred.attr));
+    FAIREM_ASSIGN_OR_RETURN(size_t col_b,
+                            dataset.table_b.schema().Index(pred.attr));
+    const bool null_a = dataset.table_a.IsNull(left, col_a);
+    const bool null_b = dataset.table_b.IsNull(right, col_b);
+    double pred_score = 0.0;
+    if (!null_a && !null_b) {
+      std::string_view va = dataset.table_a.value(left, col_a);
+      std::string_view vb = dataset.table_b.value(right, col_b);
+      if (pred.measure == SimilarityMeasure::kExactMatch) {
+        pred_score = (va == vb) ? 1.0 : 0.5 * LevenshteinSimilarity(va, vb);
+      } else {
+        pred_score = ComputeSimilarity(pred.measure, va, vb);
+      }
+    }
+    score = std::min(score, pred_score);
+  }
+  return score;
+}
+
+}  // namespace fairem

@@ -1,0 +1,55 @@
+#ifndef FAIREM_MATCHER_RULE_MATCHER_H_
+#define FAIREM_MATCHER_RULE_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/feature/feature_gen.h"
+#include "src/matcher/matcher.h"
+#include "src/text/similarity.h"
+
+namespace fairem {
+
+/// One matching condition: similarity(measure, a.attr, b.attr) >= threshold
+/// (§4.1: a similarity measure, a comparison operator, and a threshold).
+struct RulePredicate {
+  std::string attr;
+  SimilarityMeasure measure = SimilarityMeasure::kExactMatch;
+  double threshold = 0.5;
+};
+
+/// Declarative conjunction-of-predicates matcher (BooleanRuleMatcher of
+/// Table 3). If no predicates are supplied, Fit derives them automatically
+/// following the paper's protocol (§5.1.4): exact match on short atomic
+/// attributes, a token-similarity predicate with threshold 0.5 on longer
+/// ones, numeric closeness on numeric attributes.
+///
+/// The confidence score of a pair is the minimum predicate score, where a
+/// threshold predicate scores its raw similarity and an exact predicate
+/// scores 1.0 on equality and half the Levenshtein similarity otherwise
+/// (so it stays below 0.5 and the conjunction semantics survive
+/// thresholding at the paper's default 0.5).
+class BooleanRuleMatcher : public Matcher {
+ public:
+  BooleanRuleMatcher() = default;
+  explicit BooleanRuleMatcher(std::vector<RulePredicate> predicates)
+      : predicates_(std::move(predicates)), user_rules_(true) {}
+
+  std::string name() const override { return "BooleanRuleMatcher"; }
+  MatcherFamily family() const override { return MatcherFamily::kRuleBased; }
+
+  Status Fit(const EMDataset& dataset, Rng* rng) override;
+  Result<double> ScorePair(const EMDataset& dataset, size_t left,
+                           size_t right) const override;
+
+  const std::vector<RulePredicate>& predicates() const { return predicates_; }
+
+ private:
+  std::vector<RulePredicate> predicates_;
+  bool user_rules_ = false;
+  bool fitted_ = false;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_MATCHER_RULE_MATCHER_H_

@@ -1,0 +1,41 @@
+#include "src/matcher/serialize.h"
+
+#include "src/text/tokenize.h"
+
+namespace fairem {
+
+Result<std::vector<std::string>> AttributeTokens(const Table& table,
+                                                 size_t row,
+                                                 const std::string& attr) {
+  FAIREM_ASSIGN_OR_RETURN(size_t col, table.schema().Index(attr));
+  if (table.IsNull(row, col)) return std::vector<std::string>{};
+  return AlnumTokenize(table.value(row, col));
+}
+
+Result<std::vector<std::string>> SerializeRecord(
+    const Table& table, size_t row, const std::vector<std::string>& attrs) {
+  std::vector<std::string> tokens;
+  for (const auto& attr : attrs) {
+    tokens.push_back("[col]");
+    tokens.push_back(attr);
+    tokens.push_back("[val]");
+    FAIREM_ASSIGN_OR_RETURN(std::vector<std::string> vals,
+                            AttributeTokens(table, row, attr));
+    for (auto& v : vals) tokens.push_back(std::move(v));
+  }
+  return tokens;
+}
+
+Result<std::vector<std::vector<std::string>>> PerAttributeTokens(
+    const Table& table, size_t row, const std::vector<std::string>& attrs) {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(attrs.size());
+  for (const auto& attr : attrs) {
+    FAIREM_ASSIGN_OR_RETURN(std::vector<std::string> toks,
+                            AttributeTokens(table, row, attr));
+    out.push_back(std::move(toks));
+  }
+  return out;
+}
+
+}  // namespace fairem

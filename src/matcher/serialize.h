@@ -1,0 +1,33 @@
+#ifndef FAIREM_MATCHER_SERIALIZE_H_
+#define FAIREM_MATCHER_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/data/table.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Lower-cased word tokens of one attribute of a record; empty for null
+/// cells. Used by the structure-aware neural encoders.
+Result<std::vector<std::string>> AttributeTokens(const Table& table,
+                                                 size_t row,
+                                                 const std::string& attr);
+
+/// DITTO-style serialization of a whole record into one token stream:
+/// "[COL] attr [VAL] v1 v2 ... [COL] attr2 ..." over the matching
+/// attributes. Structure markers are ordinary tokens, so downstream
+/// encoders treat the record as one block of text — deliberately losing
+/// the attribute structure (the behaviour §5.3.3 attributes to DITTO).
+Result<std::vector<std::string>> SerializeRecord(
+    const Table& table, size_t row, const std::vector<std::string>& attrs);
+
+/// Token lists per matching attribute, in `attrs` order.
+Result<std::vector<std::vector<std::string>>> PerAttributeTokens(
+    const Table& table, size_t row, const std::vector<std::string>& attrs);
+
+}  // namespace fairem
+
+#endif  // FAIREM_MATCHER_SERIALIZE_H_

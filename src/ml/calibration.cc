@@ -1,0 +1,78 @@
+#include "src/ml/calibration.h"
+
+#include <cmath>
+
+namespace fairem {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status PlattCalibrator::Fit(const std::vector<double>& scores,
+                            const std::vector<int>& labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    return Status::InvalidArgument("bad calibration data");
+  }
+  int64_t n_pos = 0;
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+    n_pos += y;
+  }
+  if (n_pos == 0 || n_pos == static_cast<int64_t>(labels.size())) {
+    return Status::InvalidArgument("calibration needs both classes");
+  }
+  // Platt's smoothed targets avoid saturating the sigmoid on separable
+  // validation sets.
+  const double n_neg = static_cast<double>(labels.size()) - n_pos;
+  const double t_pos = (static_cast<double>(n_pos) + 1.0) /
+                       (static_cast<double>(n_pos) + 2.0);
+  const double t_neg = 1.0 / (n_neg + 2.0);
+
+  double a = 1.0;
+  double b = 0.0;
+  constexpr int kEpochs = 500;
+  constexpr double kLearningRate = 0.1;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    double grad_a = 0.0;
+    double grad_b = 0.0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      double target = labels[i] == 1 ? t_pos : t_neg;
+      double p = Sigmoid(a * scores[i] + b);
+      double err = p - target;
+      grad_a += err * scores[i];
+      grad_b += err;
+    }
+    double inv = kLearningRate / static_cast<double>(scores.size());
+    a -= inv * grad_a;
+    b -= inv * grad_b;
+  }
+  a_ = a;
+  b_ = b;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> PlattCalibrator::Calibrate(double score) const {
+  if (!fitted_) return Status::FailedPrecondition("calibrator not fitted");
+  return Sigmoid(a_ * score + b_);
+}
+
+Result<std::vector<double>> PlattCalibrator::CalibrateAll(
+    const std::vector<double>& scores) const {
+  std::vector<double> out;
+  out.reserve(scores.size());
+  for (double s : scores) {
+    FAIREM_ASSIGN_OR_RETURN(double c, Calibrate(s));
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace fairem

@@ -1,0 +1,42 @@
+#ifndef FAIREM_ML_CALIBRATION_H_
+#define FAIREM_ML_CALIBRATION_H_
+
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Platt scaling: fits sigmoid(a * score + b) to held-out labels so a
+/// matcher's raw confidences become calibrated probabilities. §5.3.4 shows
+/// fairness is sensitive to the matching threshold; calibrated scores make
+/// the 0.5 cut meaningful across matchers.
+class PlattCalibrator {
+ public:
+  PlattCalibrator() = default;
+
+  /// Fits (a, b) by gradient descent on the log-loss of the validation
+  /// scores. Requires both classes present.
+  Status Fit(const std::vector<double>& scores,
+             const std::vector<int>& labels);
+
+  /// sigmoid(a * score + b); Fit must have succeeded.
+  Result<double> Calibrate(double score) const;
+
+  /// Applies Calibrate to a whole score vector.
+  Result<std::vector<double>> CalibrateAll(
+      const std::vector<double>& scores) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  double a_ = 1.0;
+  double b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_ML_CALIBRATION_H_

@@ -1,0 +1,26 @@
+#include "src/ml/classifier.h"
+
+namespace fairem {
+
+Status Classifier::ValidateTrainingData(
+    const std::vector<std::vector<double>>& x, const std::vector<int>& y) {
+  if (x.empty()) return Status::InvalidArgument("empty training set");
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("feature/label count mismatch");
+  }
+  size_t dim = x[0].size();
+  if (dim == 0) return Status::InvalidArgument("zero-dimensional features");
+  for (const auto& row : x) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fairem

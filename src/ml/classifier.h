@@ -1,0 +1,40 @@
+#ifndef FAIREM_ML_CLASSIFIER_H_
+#define FAIREM_ML_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace fairem {
+
+/// A binary probabilistic classifier over dense feature vectors.
+///
+/// Implementations are deterministic given the Rng passed to Fit. Scores are
+/// confidences in [0, 1]; thresholding into match/non-match decisions is the
+/// caller's job (the paper decouples thresholds from matcher outputs, §3.1).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on feature matrix `x` (rows = examples) with 0/1 labels `y`.
+  /// Returns InvalidArgument on shape mismatch or empty input.
+  virtual Status Fit(const std::vector<std::vector<double>>& x,
+                     const std::vector<int>& y, Rng* rng) = 0;
+
+  /// Match confidence in [0, 1] for one feature vector. Must be called
+  /// after a successful Fit.
+  virtual double PredictScore(const std::vector<double>& x) const = 0;
+
+ protected:
+  /// Shared input validation for Fit implementations.
+  static Status ValidateTrainingData(const std::vector<std::vector<double>>& x,
+                                     const std::vector<int>& y);
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_ML_CLASSIFIER_H_

@@ -1,0 +1,71 @@
+#include "src/ml/cross_validation.h"
+
+#include <cmath>
+#include <memory>
+
+namespace fairem {
+
+Result<CrossValidationResult> StratifiedKFold(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+    int k, uint64_t seed, double threshold) {
+  if (k < 2) return Status::InvalidArgument("k must be >= 2");
+  if (x.size() != y.size() || x.empty()) {
+    return Status::InvalidArgument("bad training data");
+  }
+  Rng rng(seed);
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < y.size(); ++i) {
+    (y[i] == 1 ? positives : negatives).push_back(i);
+  }
+  if (static_cast<int>(positives.size()) < k ||
+      static_cast<int>(negatives.size()) < k) {
+    return Status::InvalidArgument(
+        "each class needs at least k examples for stratified folds");
+  }
+  rng.Shuffle(&positives);
+  rng.Shuffle(&negatives);
+  // fold id per example, assigned round-robin within each class.
+  std::vector<int> fold(y.size());
+  for (size_t i = 0; i < positives.size(); ++i) {
+    fold[positives[i]] = static_cast<int>(i % static_cast<size_t>(k));
+  }
+  for (size_t i = 0; i < negatives.size(); ++i) {
+    fold[negatives[i]] = static_cast<int>(i % static_cast<size_t>(k));
+  }
+
+  CrossValidationResult result;
+  for (int f = 0; f < k; ++f) {
+    std::vector<std::vector<double>> train_x;
+    std::vector<int> train_y;
+    std::vector<std::vector<double>> test_x;
+    std::vector<int> test_y;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (fold[i] == f) {
+        test_x.push_back(x[i]);
+        test_y.push_back(y[i]);
+      } else {
+        train_x.push_back(x[i]);
+        train_y.push_back(y[i]);
+      }
+    }
+    std::unique_ptr<Classifier> clf = factory();
+    Rng fold_rng = rng.Fork();
+    FAIREM_RETURN_NOT_OK(clf->Fit(train_x, train_y, &fold_rng));
+    ConfusionCounts counts;
+    for (size_t i = 0; i < test_x.size(); ++i) {
+      counts.Add(clf->PredictScore(test_x[i]) >= threshold, test_y[i] == 1);
+    }
+    result.fold_f1.push_back(F1Score(counts).value_or(0.0));
+  }
+  for (double f1 : result.fold_f1) result.mean_f1 += f1;
+  result.mean_f1 /= static_cast<double>(k);
+  for (double f1 : result.fold_f1) {
+    result.std_f1 += (f1 - result.mean_f1) * (f1 - result.mean_f1);
+  }
+  result.std_f1 = std::sqrt(result.std_f1 / static_cast<double>(k));
+  return result;
+}
+
+}  // namespace fairem

@@ -1,0 +1,33 @@
+#ifndef FAIREM_ML_CROSS_VALIDATION_H_
+#define FAIREM_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/ml/classifier.h"
+#include "src/ml/metrics.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace fairem {
+
+/// Result of one cross-validation run.
+struct CrossValidationResult {
+  std::vector<double> fold_f1;
+  double mean_f1 = 0.0;
+  double std_f1 = 0.0;
+};
+
+/// Stratified k-fold cross-validation of a classifier factory on a labelled
+/// feature matrix: positives and negatives are split into k folds
+/// separately so every fold preserves the (extreme, in EM) class ratio.
+/// `factory` creates a fresh classifier per fold.
+Result<CrossValidationResult> StratifiedKFold(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+    int k, uint64_t seed, double threshold = 0.5);
+
+}  // namespace fairem
+
+#endif  // FAIREM_ML_CROSS_VALIDATION_H_

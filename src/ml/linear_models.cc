@@ -1,0 +1,200 @@
+#include "src/ml/linear_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace fairem {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double Dot(const std::vector<double>& w, const std::vector<double>& x,
+           double bias) {
+  double z = bias;
+  size_t n = std::min(w.size(), x.size());
+  for (size_t i = 0; i < n; ++i) z += w[i] * x[i];
+  return z;
+}
+
+/// Per-class example weights: (n / (2 * n_class)) ^ balance_power, or 1.0
+/// when balancing is off or a class is absent.
+std::pair<double, double> ClassWeights(const std::vector<int>& y,
+                                       double balance_power) {
+  if (balance_power <= 0.0) return {1.0, 1.0};
+  double n_pos = 0.0;
+  for (int label : y) n_pos += label;
+  double n_neg = static_cast<double>(y.size()) - n_pos;
+  if (n_pos == 0.0 || n_neg == 0.0) return {1.0, 1.0};
+  double n = static_cast<double>(y.size());
+  return {std::pow(n / (2.0 * n_neg), balance_power),
+          std::pow(n / (2.0 * n_pos), balance_power)};
+}
+
+}  // namespace
+
+Status LogisticRegression::Fit(const std::vector<std::vector<double>>& x,
+                               const std::vector<int>& y, Rng* rng) {
+  FAIREM_RETURN_NOT_OK(ValidateTrainingData(x, y));
+  const size_t n = x.size();
+  const size_t dim = x[0].size();
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  const auto [w_neg, w_pos] = ClassWeights(y, options_.balance_power);
+  const size_t batch = std::max<size_t>(
+      1, static_cast<size_t>(options_.batch_size));
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (size_t start = 0; start < n; start += batch) {
+      size_t end = std::min(n, start + batch);
+      std::vector<double> grad_w(dim, 0.0);
+      double grad_b = 0.0;
+      for (size_t k = start; k < end; ++k) {
+        size_t i = order[k];
+        double p = Sigmoid(Dot(weights_, x[i], bias_));
+        double err = (p - y[i]) * (y[i] == 1 ? w_pos : w_neg);
+        for (size_t d = 0; d < dim; ++d) grad_w[d] += err * x[i][d];
+        grad_b += err;
+      }
+      double scale = options_.learning_rate / static_cast<double>(end - start);
+      for (size_t d = 0; d < dim; ++d) {
+        weights_[d] -= scale * (grad_w[d] + options_.l2 * weights_[d]);
+      }
+      bias_ -= scale * grad_b;
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double LogisticRegression::PredictScore(const std::vector<double>& x) const {
+  FAIREM_CHECK(fitted_, "LogisticRegression::PredictScore before Fit");
+  return Sigmoid(Dot(weights_, x, bias_));
+}
+
+Status LinearRegression::Fit(const std::vector<std::vector<double>>& x,
+                             const std::vector<int>& y, Rng* /*rng*/) {
+  FAIREM_RETURN_NOT_OK(ValidateTrainingData(x, y));
+  const size_t n = x.size();
+  const size_t d = x[0].size() + 1;  // + intercept column
+  // Normal equations: (X^T X + ridge I) w = X^T y, solved by Gaussian
+  // elimination with partial pivoting (d is the feature count, tiny).
+  std::vector<std::vector<double>> a(d, std::vector<double>(d, 0.0));
+  std::vector<double> b(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t r = 0; r < d; ++r) {
+      double xr = r + 1 < d ? x[i][r] : 1.0;
+      for (size_t c = r; c < d; ++c) {
+        double xc = c + 1 < d ? x[i][c] : 1.0;
+        a[r][c] += xr * xc;
+      }
+      b[r] += xr * y[i];
+    }
+  }
+  for (size_t r = 0; r < d; ++r) {
+    a[r][r] += ridge_;
+    for (size_t c = 0; c < r; ++c) a[r][c] = a[c][r];
+  }
+  // Gaussian elimination.
+  for (size_t col = 0; col < d; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < d; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return Status::Internal("singular normal-equation matrix");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = col + 1; r < d; ++r) {
+      double factor = a[r][col] / a[col][col];
+      for (size_t c = col; c < d; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> solution(d, 0.0);
+  for (size_t col = d; col-- > 0;) {
+    double acc = b[col];
+    for (size_t c = col + 1; c < d; ++c) acc -= a[col][c] * solution[c];
+    solution[col] = acc / a[col][col];
+  }
+  weights_.assign(solution.begin(), solution.end() - 1);
+  bias_ = solution.back();
+  fitted_ = true;
+  return Status::OK();
+}
+
+double LinearRegression::PredictScore(const std::vector<double>& x) const {
+  FAIREM_CHECK(fitted_, "LinearRegression::PredictScore before Fit");
+  return std::clamp(Dot(weights_, x, bias_), 0.0, 1.0);
+}
+
+Status Svm::Fit(const std::vector<std::vector<double>>& x,
+                const std::vector<int>& y, Rng* rng) {
+  FAIREM_RETURN_NOT_OK(ValidateTrainingData(x, y));
+  const size_t n = x.size();
+  const size_t dim = x[0].size();
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  // Class-balanced sampling: EM training data is extremely imbalanced
+  // (§3.5), and plain hinge-loss SGD collapses to the majority class.
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < n; ++i) {
+    (y[i] == 1 ? positives : negatives).push_back(i);
+  }
+  const bool balanced = !positives.empty() && !negatives.empty();
+  // Pegasos: at step t, eta = 1 / (lambda * t).
+  int64_t t = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t k = 0; k < n; ++k) {
+      ++t;
+      size_t i;
+      if (balanced) {
+        const std::vector<size_t>& pool =
+            rng->NextBool(0.5) ? positives : negatives;
+        i = pool[static_cast<size_t>(rng->NextBounded(pool.size()))];
+      } else {
+        i = static_cast<size_t>(rng->NextBounded(n));
+      }
+      double label = y[i] == 1 ? 1.0 : -1.0;
+      double eta = 1.0 / (options_.lambda * static_cast<double>(t));
+      double margin = label * Dot(weights_, x[i], bias_);
+      for (size_t d = 0; d < dim; ++d) {
+        weights_[d] *= (1.0 - eta * options_.lambda);
+      }
+      if (margin < 1.0) {
+        for (size_t d = 0; d < dim; ++d) {
+          weights_[d] += eta * label * x[i][d];
+        }
+        bias_ += eta * label;
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double Svm::Margin(const std::vector<double>& x) const {
+  FAIREM_CHECK(fitted_, "Svm::Margin before Fit");
+  return Dot(weights_, x, bias_);
+}
+
+double Svm::PredictScore(const std::vector<double>& x) const {
+  // Squash the margin so thresholding at 0.5 corresponds to the decision
+  // boundary; the factor sharpens the transition like Platt scaling with a
+  // fixed slope.
+  return Sigmoid(2.0 * Margin(x));
+}
+
+}  // namespace fairem

@@ -1,0 +1,102 @@
+#ifndef FAIREM_ML_LINEAR_MODELS_H_
+#define FAIREM_ML_LINEAR_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ml/classifier.h"
+
+namespace fairem {
+
+/// Shared hyper-parameters for the gradient-trained linear models.
+struct LinearOptions {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  int epochs = 200;
+  int batch_size = 32;
+  /// Exponent of the inverse-frequency class weights: 0 = unweighted,
+  /// 0.5 = sqrt-balanced (default), 1 = sklearn's class_weight="balanced".
+  /// EM training data is extremely imbalanced (§3.5); unweighted training
+  /// collapses to the majority class, while full balancing shifts the 0.5
+  /// threshold to a balanced prior and over-predicts matches.
+  double balance_power = 0.5;
+};
+
+/// Logistic regression trained with mini-batch SGD and L2 regularization.
+/// Scores are sigmoid probabilities.
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(LinearOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "logistic_regression"; }
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<int>& y, Rng* rng) override;
+  double PredictScore(const std::vector<double>& x) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LinearOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Ordinary least squares (ridge) regression on the 0/1 labels, used by
+/// Magellan's LinRegMatcher. Solved in closed form (normal equations with
+/// a small ridge term), exactly like sklearn's LinearRegression. Raw
+/// predictions are clamped to [0, 1] so thresholding behaves like the
+/// other matchers. Under class imbalance the squared loss pulls
+/// predictions toward the prior, giving the low recall the paper reports
+/// for LinRegMatcher.
+class LinearRegression : public Classifier {
+ public:
+  explicit LinearRegression(double ridge = 1e-6) : ridge_(ridge) {}
+
+  std::string name() const override { return "linear_regression"; }
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<int>& y, Rng* rng) override;
+  double PredictScore(const std::vector<double>& x) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  double ridge_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Linear SVM trained with the Pegasos sub-gradient method on hinge loss.
+/// Scores are a sigmoid of the margin so they land in [0, 1].
+struct SvmOptions {
+  double lambda = 1e-3;
+  int epochs = 200;
+};
+
+class Svm : public Classifier {
+ public:
+  explicit Svm(SvmOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "svm"; }
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<int>& y, Rng* rng) override;
+  double PredictScore(const std::vector<double>& x) const override;
+
+  /// Raw signed margin w·x + b.
+  double Margin(const std::vector<double>& x) const;
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  SvmOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_ML_LINEAR_MODELS_H_

@@ -1,0 +1,72 @@
+#include "src/ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace fairem {
+
+Status GaussianNaiveBayes::Fit(const std::vector<std::vector<double>>& x,
+                               const std::vector<int>& y, Rng* /*rng*/) {
+  FAIREM_RETURN_NOT_OK(ValidateTrainingData(x, y));
+  const size_t dim = x[0].size();
+  size_t counts[2] = {0, 0};
+  for (int cls = 0; cls < 2; ++cls) {
+    mean_[cls].assign(dim, 0.0);
+    var_[cls].assign(dim, 0.0);
+  }
+  for (size_t i = 0; i < x.size(); ++i) {
+    int cls = y[i];
+    ++counts[cls];
+    for (size_t d = 0; d < dim; ++d) mean_[cls][d] += x[i][d];
+  }
+  if (counts[0] == 0 || counts[1] == 0) {
+    return Status::InvalidArgument(
+        "naive bayes requires both classes in training data");
+  }
+  for (int cls = 0; cls < 2; ++cls) {
+    for (size_t d = 0; d < dim; ++d) {
+      mean_[cls][d] /= static_cast<double>(counts[cls]);
+    }
+  }
+  for (size_t i = 0; i < x.size(); ++i) {
+    int cls = y[i];
+    for (size_t d = 0; d < dim; ++d) {
+      double diff = x[i][d] - mean_[cls][d];
+      var_[cls][d] += diff * diff;
+    }
+  }
+  for (int cls = 0; cls < 2; ++cls) {
+    for (size_t d = 0; d < dim; ++d) {
+      var_[cls][d] =
+          var_[cls][d] / static_cast<double>(counts[cls]) +
+          options_.var_smoothing;
+    }
+    log_prior_[cls] = std::log(static_cast<double>(counts[cls]) /
+                               static_cast<double>(x.size()));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double GaussianNaiveBayes::PredictScore(const std::vector<double>& x) const {
+  FAIREM_CHECK(fitted_, "GaussianNaiveBayes::PredictScore before Fit");
+  double log_like[2];
+  for (int cls = 0; cls < 2; ++cls) {
+    double ll = log_prior_[cls];
+    size_t dim = mean_[cls].size();
+    for (size_t d = 0; d < dim && d < x.size(); ++d) {
+      double diff = x[d] - mean_[cls][d];
+      ll += -0.5 * std::log(2.0 * M_PI * var_[cls][d]) -
+            diff * diff / (2.0 * var_[cls][d]);
+    }
+    log_like[cls] = ll;
+  }
+  // Posterior of class 1 via the log-sum-exp trick.
+  double m = std::max(log_like[0], log_like[1]);
+  double e0 = std::exp(log_like[0] - m);
+  double e1 = std::exp(log_like[1] - m);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace fairem

@@ -1,0 +1,41 @@
+#ifndef FAIREM_ML_NAIVE_BAYES_H_
+#define FAIREM_ML_NAIVE_BAYES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ml/classifier.h"
+
+namespace fairem {
+
+/// Gaussian naive Bayes: per-class, per-feature normal densities with a
+/// variance floor. Scores are the posterior probability of the match class.
+/// Under extreme class imbalance NB's independence assumption tends to
+/// over-fire on rare high-similarity non-matches, reproducing the paper's
+/// NBMatcher PPV collapse on FacultyMatch (Table 6).
+struct NaiveBayesOptions {
+  /// Added to every variance to avoid zero-variance spikes.
+  double var_smoothing = 1e-3;
+};
+
+class GaussianNaiveBayes : public Classifier {
+ public:
+  explicit GaussianNaiveBayes(NaiveBayesOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "naive_bayes"; }
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<int>& y, Rng* rng) override;
+  double PredictScore(const std::vector<double>& x) const override;
+
+ private:
+  NaiveBayesOptions options_;
+  std::vector<double> mean_[2];
+  std::vector<double> var_[2];
+  double log_prior_[2] = {0.0, 0.0};
+  bool fitted_ = false;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_ML_NAIVE_BAYES_H_

@@ -1,0 +1,48 @@
+#include "src/ml/random_forest.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace fairem {
+
+Status RandomForest::Fit(const std::vector<std::vector<double>>& x,
+                         const std::vector<int>& y, Rng* rng) {
+  FAIREM_RETURN_NOT_OK(ValidateTrainingData(x, y));
+  if (options_.num_trees < 1) {
+    return Status::InvalidArgument("num_trees must be >= 1");
+  }
+  trees_.clear();
+  const size_t n = x.size();
+  const size_t dim = x[0].size();
+  TreeOptions tree_opts = options_.tree;
+  if (tree_opts.max_features == 0) {
+    tree_opts.max_features =
+        std::max(1, static_cast<int>(std::sqrt(static_cast<double>(dim))));
+  }
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<std::vector<double>> bx;
+    std::vector<int> by;
+    bx.reserve(n);
+    by.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      size_t idx = static_cast<size_t>(rng->NextBounded(n));
+      bx.push_back(x[idx]);
+      by.push_back(y[idx]);
+    }
+    DecisionTree tree(tree_opts);
+    FAIREM_RETURN_NOT_OK(tree.Fit(bx, by, rng));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForest::PredictScore(const std::vector<double>& x) const {
+  FAIREM_CHECK(!trees_.empty(), "RandomForest::PredictScore before Fit");
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.PredictScore(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace fairem

@@ -1,0 +1,39 @@
+#ifndef FAIREM_ML_RANDOM_FOREST_H_
+#define FAIREM_ML_RANDOM_FOREST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ml/decision_tree.h"
+
+namespace fairem {
+
+/// Bagged ensemble of CART trees with per-split feature subsampling
+/// (sqrt(d) features per split by default). Score = mean of tree scores.
+struct RandomForestOptions {
+  int num_trees = 20;
+  TreeOptions tree;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "random_forest"; }
+
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<int>& y, Rng* rng) override;
+
+  double PredictScore(const std::vector<double>& x) const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_ML_RANDOM_FOREST_H_

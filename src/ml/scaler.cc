@@ -1,0 +1,54 @@
+#include "src/ml/scaler.h"
+
+#include <cmath>
+
+namespace fairem {
+
+Status StandardScaler::Fit(const std::vector<std::vector<double>>& x) {
+  if (x.empty() || x[0].empty()) {
+    return Status::InvalidArgument("scaler needs a non-empty matrix");
+  }
+  const size_t dim = x[0].size();
+  means_.assign(dim, 0.0);
+  stds_.assign(dim, 0.0);
+  for (const auto& row : x) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("ragged matrix");
+    }
+    for (size_t d = 0; d < dim; ++d) means_[d] += row[d];
+  }
+  const double n = static_cast<double>(x.size());
+  for (double& m : means_) m /= n;
+  for (const auto& row : x) {
+    for (size_t d = 0; d < dim; ++d) {
+      double diff = row[d] - means_[d];
+      stds_[d] += diff * diff;
+    }
+  }
+  for (double& s : stds_) s = std::sqrt(s / n);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> StandardScaler::Transform(
+    const std::vector<double>& row) const {
+  if (!fitted_) return Status::FailedPrecondition("scaler not fitted");
+  if (row.size() != means_.size()) {
+    return Status::InvalidArgument("row width does not match fit");
+  }
+  std::vector<double> out(row.size());
+  for (size_t d = 0; d < row.size(); ++d) {
+    out[d] = stds_[d] > 0.0 ? (row[d] - means_[d]) / stds_[d] : 0.0;
+  }
+  return out;
+}
+
+Status StandardScaler::FitTransform(std::vector<std::vector<double>>* x) {
+  FAIREM_RETURN_NOT_OK(Fit(*x));
+  for (auto& row : *x) {
+    FAIREM_ASSIGN_OR_RETURN(row, Transform(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace fairem

@@ -1,0 +1,40 @@
+#ifndef FAIREM_ML_SCALER_H_
+#define FAIREM_ML_SCALER_H_
+
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Column-wise standardization (zero mean, unit variance). Similarity
+/// features are already in [0, 1], but classifiers composed with external
+/// numeric features (counts, prices) benefit from a common scale.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Learns per-column mean and standard deviation. Rows must be
+  /// rectangular and non-empty.
+  Status Fit(const std::vector<std::vector<double>>& x);
+
+  /// (x - mean) / std per column; zero-variance columns map to 0. The row
+  /// width must match the fitted width.
+  Result<std::vector<double>> Transform(const std::vector<double>& row) const;
+
+  /// Fit + transform all rows in place.
+  Status FitTransform(std::vector<std::vector<double>>* x);
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+  bool fitted_ = false;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_ML_SCALER_H_

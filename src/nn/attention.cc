@@ -1,0 +1,54 @@
+#include "src/nn/attention.h"
+
+#include <cmath>
+
+namespace fairem {
+namespace nn {
+
+Vec Attend(const Vec& query, const std::vector<Vec>& keys,
+           const std::vector<Vec>& values) {
+  if (keys.empty()) return Vec(query.size(), 0.0f);
+  const std::vector<Vec>& vals = values.empty() ? keys : values;
+  std::vector<float> logits(keys.size());
+  float scale = 1.0f / std::sqrt(static_cast<float>(query.size()));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    logits[i] = Dot(query, keys[i]) * scale;
+  }
+  SoftmaxInPlace(&logits);
+  Vec out(vals[0].size(), 0.0f);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    Axpy(logits[i], vals[i], &out);
+  }
+  return out;
+}
+
+Vec SelfAttentionPool(const std::vector<Vec>& vectors, size_t dim) {
+  if (vectors.empty()) return Vec(dim, 0.0f);
+  Vec query = Mean(vectors, dim);
+  return Attend(query, vectors);
+}
+
+std::vector<Vec> SoftAlign(const std::vector<Vec>& a,
+                           const std::vector<Vec>& b) {
+  std::vector<Vec> aligned;
+  aligned.reserve(a.size());
+  for (const Vec& q : a) {
+    aligned.push_back(Attend(q, b));
+  }
+  return aligned;
+}
+
+float AlignmentSimilarity(const std::vector<Vec>& a,
+                          const std::vector<Vec>& b) {
+  if (a.empty() && b.empty()) return 1.0f;
+  if (a.empty() || b.empty()) return 0.0f;
+  std::vector<Vec> aligned = SoftAlign(a, b);
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += Cosine(a[i], aligned[i]);
+  }
+  return acc / static_cast<float>(a.size());
+}
+
+}  // namespace nn
+}  // namespace fairem

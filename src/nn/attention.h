@@ -1,0 +1,37 @@
+#ifndef FAIREM_NN_ATTENTION_H_
+#define FAIREM_NN_ATTENTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/nn/vecops.h"
+
+namespace fairem {
+namespace nn {
+
+/// Scaled dot-product attention of one query over keys/values (keys double
+/// as values when `values` is empty, i.e. self-attention read-out). Returns
+/// a zero vector of the query's size when there are no keys.
+Vec Attend(const Vec& query, const std::vector<Vec>& keys,
+           const std::vector<Vec>& values = {});
+
+/// Self-attention pooling: attends with the mean vector as query, returning
+/// a weighted summary of `vectors`. The read-out used by the
+/// serialize-then-pool (DITTO-style) encoder.
+Vec SelfAttentionPool(const std::vector<Vec>& vectors, size_t dim);
+
+/// Soft alignment: for every vector of `a`, its attention mixture over `b`.
+/// Returns one aligned vector per element of `a` (the decomposable-attention
+/// building block in the DeepMatcher-style encoder).
+std::vector<Vec> SoftAlign(const std::vector<Vec>& a,
+                           const std::vector<Vec>& b);
+
+/// Mean cosine between `a`'s vectors and their soft alignments in `b`;
+/// 1 when both are empty, 0 when exactly one is.
+float AlignmentSimilarity(const std::vector<Vec>& a,
+                          const std::vector<Vec>& b);
+
+}  // namespace nn
+}  // namespace fairem
+
+#endif  // FAIREM_NN_ATTENTION_H_

@@ -1,0 +1,188 @@
+#include "src/nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace fairem {
+namespace nn {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+void Mlp::InitWeights(int input_dim, Rng* rng) {
+  FAIREM_CHECK(input_dim > 0, "Mlp input_dim must be positive");
+  shapes_.clear();
+  params_.clear();
+  std::vector<int> dims;
+  dims.push_back(input_dim);
+  for (int h : options_.hidden) dims.push_back(h);
+  dims.push_back(1);
+  size_t offset = 0;
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    LayerShape shape;
+    shape.in = dims[l];
+    shape.out = dims[l + 1];
+    shape.weight_offset = offset;
+    offset += static_cast<size_t>(shape.in) * shape.out;
+    shape.bias_offset = offset;
+    offset += static_cast<size_t>(shape.out);
+    shapes_.push_back(shape);
+  }
+  params_.assign(offset, 0.0);
+  for (const auto& shape : shapes_) {
+    double scale = std::sqrt(2.0 / shape.in);
+    for (int i = 0; i < shape.in * shape.out; ++i) {
+      params_[shape.weight_offset + static_cast<size_t>(i)] =
+          rng->NextGaussian() * scale;
+    }
+  }
+}
+
+void Mlp::Forward(const std::vector<float>& x,
+                  std::vector<std::vector<double>>* activations) const {
+  activations->clear();
+  std::vector<double> current(x.begin(), x.end());
+  current.resize(static_cast<size_t>(shapes_.front().in), 0.0);
+  activations->push_back(current);
+  for (size_t l = 0; l < shapes_.size(); ++l) {
+    const LayerShape& shape = shapes_[l];
+    std::vector<double> next(static_cast<size_t>(shape.out), 0.0);
+    for (int o = 0; o < shape.out; ++o) {
+      double z = params_[shape.bias_offset + static_cast<size_t>(o)];
+      const double* w =
+          &params_[shape.weight_offset + static_cast<size_t>(o) * shape.in];
+      for (int i = 0; i < shape.in; ++i) z += w[i] * current[static_cast<size_t>(i)];
+      bool is_output = (l + 1 == shapes_.size());
+      next[static_cast<size_t>(o)] = is_output ? z : std::max(0.0, z);
+    }
+    activations->push_back(next);
+    current = next;
+  }
+}
+
+double Mlp::LossAndGradients(const std::vector<float>& x, int label,
+                             std::vector<double>* grad) const {
+  FAIREM_CHECK(!shapes_.empty(), "Mlp used before InitWeights");
+  std::vector<std::vector<double>> acts;
+  Forward(x, &acts);
+  double logit = acts.back()[0];
+  double p = Sigmoid(logit);
+  double y = static_cast<double>(label);
+  constexpr double kEps = 1e-12;
+  double loss = -(y * std::log(p + kEps) + (1.0 - y) * std::log(1.0 - p + kEps));
+
+  if (grad != nullptr) {
+    grad->assign(params_.size(), 0.0);
+    // dL/dlogit for sigmoid + BCE.
+    std::vector<double> delta = {p - y};
+    for (size_t l = shapes_.size(); l-- > 0;) {
+      const LayerShape& shape = shapes_[l];
+      const std::vector<double>& input = acts[l];
+      std::vector<double> prev_delta(static_cast<size_t>(shape.in), 0.0);
+      for (int o = 0; o < shape.out; ++o) {
+        double d = delta[static_cast<size_t>(o)];
+        (*grad)[shape.bias_offset + static_cast<size_t>(o)] += d;
+        const size_t wbase =
+            shape.weight_offset + static_cast<size_t>(o) * shape.in;
+        for (int i = 0; i < shape.in; ++i) {
+          (*grad)[wbase + static_cast<size_t>(i)] +=
+              d * input[static_cast<size_t>(i)];
+          prev_delta[static_cast<size_t>(i)] +=
+              d * params_[wbase + static_cast<size_t>(i)];
+        }
+      }
+      if (l > 0) {
+        // ReLU derivative of the previous layer's activations.
+        for (int i = 0; i < shape.in; ++i) {
+          if (acts[l][static_cast<size_t>(i)] <= 0.0) {
+            prev_delta[static_cast<size_t>(i)] = 0.0;
+          }
+        }
+      }
+      delta = prev_delta;
+    }
+  }
+  return loss;
+}
+
+Status Mlp::Fit(const std::vector<std::vector<float>>& x,
+                const std::vector<int>& y, Rng* rng) {
+  if (x.empty()) return Status::InvalidArgument("empty training set");
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("feature/label count mismatch");
+  }
+  const int input_dim = static_cast<int>(x[0].size());
+  if (input_dim == 0) return Status::InvalidArgument("zero-dim features");
+  InitWeights(input_dim, rng);
+
+  std::vector<double> m(params_.size(), 0.0);
+  std::vector<double> v(params_.size(), 0.0);
+  std::vector<double> grad;
+  std::vector<double> batch_grad(params_.size(), 0.0);
+  std::vector<size_t> order(x.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < y.size(); ++i) {
+    (y[i] == 1 ? positives : negatives).push_back(i);
+  }
+  const bool balanced = options_.positive_fraction > 0.0 &&
+                        !positives.empty() && !negatives.empty();
+
+  const size_t batch =
+      std::max<size_t>(1, static_cast<size_t>(options_.batch_size));
+  int64_t t = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (size_t start = 0; start < x.size(); start += batch) {
+      size_t end = std::min(x.size(), start + batch);
+      std::fill(batch_grad.begin(), batch_grad.end(), 0.0);
+      for (size_t k = start; k < end; ++k) {
+        size_t i;
+        if (balanced) {
+          const std::vector<size_t>& pool =
+              rng->NextBool(options_.positive_fraction) ? positives
+                                                        : negatives;
+          i = pool[static_cast<size_t>(rng->NextBounded(pool.size()))];
+        } else {
+          i = order[k];
+        }
+        LossAndGradients(x[i], y[i], &grad);
+        for (size_t p = 0; p < params_.size(); ++p) batch_grad[p] += grad[p];
+      }
+      double inv = 1.0 / static_cast<double>(end - start);
+      ++t;
+      double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t));
+      double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t));
+      for (size_t p = 0; p < params_.size(); ++p) {
+        double g = batch_grad[p] * inv + options_.l2 * params_[p];
+        m[p] = options_.beta1 * m[p] + (1.0 - options_.beta1) * g;
+        v[p] = options_.beta2 * v[p] + (1.0 - options_.beta2) * g * g;
+        double m_hat = m[p] / bc1;
+        double v_hat = v[p] / bc2;
+        params_[p] -=
+            options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.eps);
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double Mlp::Predict(const std::vector<float>& x) const {
+  FAIREM_CHECK(!shapes_.empty(), "Mlp::Predict before Fit/InitWeights");
+  std::vector<std::vector<double>> acts;
+  Forward(x, &acts);
+  return Sigmoid(acts.back()[0]);
+}
+
+}  // namespace nn
+}  // namespace fairem

@@ -1,0 +1,84 @@
+#ifndef FAIREM_NN_MLP_H_
+#define FAIREM_NN_MLP_H_
+
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace fairem {
+namespace nn {
+
+/// Hyper-parameters of the trainable classification head.
+struct MlpOptions {
+  std::vector<int> hidden = {16};
+  int epochs = 60;
+  int batch_size = 16;
+  double learning_rate = 0.01;
+  double l2 = 1e-5;
+  /// Adam moments.
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  /// Draw mini-batches with this positive-class probability (oversampling,
+  /// as the paper's neural systems rely on under EM's extreme class
+  /// imbalance, §3.5). 0.5 = fully balanced; <= 0 disables oversampling.
+  /// The default partially re-balances: enough gradient signal for the
+  /// rare matches without shifting the 0.5 decision threshold to a
+  /// balanced prior.
+  double positive_fraction = 0.35;
+};
+
+/// A small fully connected network: ReLU hidden layers and a sigmoid output
+/// unit, trained with Adam on binary cross-entropy. This is the trainable
+/// head shared by all neural matchers; their architecture-specific encoders
+/// produce its input comparison vector.
+class Mlp {
+ public:
+  explicit Mlp(MlpOptions options = {}) : options_(options) {}
+
+  /// Initializes parameters for `input_dim` features (He-scaled) and trains
+  /// on the given examples.
+  Status Fit(const std::vector<std::vector<float>>& x,
+             const std::vector<int>& y, Rng* rng);
+
+  /// Sigmoid output in [0, 1]; requires a successful Fit (or InitWeights).
+  double Predict(const std::vector<float>& x) const;
+
+  /// Initializes parameters without training (exposed for gradient-check
+  /// tests).
+  void InitWeights(int input_dim, Rng* rng);
+
+  /// BCE loss and parameter gradients for one example (exposed for
+  /// gradient-check tests). Gradient layout matches params().
+  double LossAndGradients(const std::vector<float>& x, int label,
+                          std::vector<double>* grad) const;
+
+  /// Flat view of all parameters (weights then biases per layer).
+  std::vector<double>& params() { return params_; }
+  const std::vector<double>& params() const { return params_; }
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  struct LayerShape {
+    int in = 0;
+    int out = 0;
+    size_t weight_offset = 0;
+    size_t bias_offset = 0;
+  };
+
+  /// Forward pass storing activations per layer.
+  void Forward(const std::vector<float>& x,
+               std::vector<std::vector<double>>* activations) const;
+
+  MlpOptions options_;
+  std::vector<LayerShape> shapes_;
+  std::vector<double> params_;
+  bool fitted_ = false;
+};
+
+}  // namespace nn
+}  // namespace fairem
+
+#endif  // FAIREM_NN_MLP_H_

@@ -1,0 +1,83 @@
+#include "src/report/audit_render.h"
+
+#include <vector>
+
+#include "src/report/table_printer.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+bool Keep(const AuditEntry& e, const AuditRenderOptions& options) {
+  if (options.defined_only && !e.defined) return false;
+  if (options.unfair_only && !e.unfair) return false;
+  return true;
+}
+
+TablePrinter BuildPrinter(const AuditReport& report,
+                          const AuditRenderOptions& options) {
+  TablePrinter printer({"group", "measure", "group value", "reference",
+                        "disparity", "pairs", "unfair"});
+  for (const auto& e : report.entries) {
+    if (!Keep(e, options)) continue;
+    printer.AddRow({e.group_label, FairnessMeasureName(e.measure),
+                    e.defined ? FormatDouble(e.group_value, options.digits)
+                              : std::string("-"),
+                    e.defined ? FormatDouble(e.overall_value, options.digits)
+                              : std::string("-"),
+                    e.defined ? FormatDouble(e.disparity, options.digits)
+                              : std::string("-"),
+                    std::to_string(e.group_pairs),
+                    e.unfair ? "UNFAIR" : ""});
+  }
+  return printer;
+}
+
+/// CSV-escapes a cell (RFC-4180 quoting).
+std::string CsvCell(const std::string& cell) {
+  bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string RenderAuditTable(const AuditReport& report,
+                             const AuditRenderOptions& options) {
+  return BuildPrinter(report, options).ToString();
+}
+
+std::string RenderAuditMarkdown(const AuditReport& report,
+                                const AuditRenderOptions& options) {
+  return BuildPrinter(report, options).ToMarkdown();
+}
+
+std::string RenderAuditCsv(const AuditReport& report,
+                           const AuditRenderOptions& options) {
+  std::string out =
+      "group,measure,defined,group_value,reference_value,disparity,"
+      "signed_disparity,group_pairs,unfair\n";
+  for (const auto& e : report.entries) {
+    if (!Keep(e, options)) continue;
+    std::vector<std::string> cells = {
+        CsvCell(e.group_label),
+        FairnessMeasureName(e.measure),
+        e.defined ? "1" : "0",
+        FormatDouble(e.group_value, options.digits),
+        FormatDouble(e.overall_value, options.digits),
+        FormatDouble(e.disparity, options.digits),
+        FormatDouble(e.signed_disparity, options.digits),
+        std::to_string(e.group_pairs),
+        e.unfair ? "1" : "0"};
+    out += Join(cells, ",") + "\n";
+  }
+  return out;
+}
+
+}  // namespace fairem

@@ -1,0 +1,36 @@
+#ifndef FAIREM_REPORT_AUDIT_RENDER_H_
+#define FAIREM_REPORT_AUDIT_RENDER_H_
+
+#include <string>
+
+#include "src/core/audit.h"
+
+namespace fairem {
+
+/// Rendering options for audit reports.
+struct AuditRenderOptions {
+  /// Skip entries whose statistic was undefined.
+  bool defined_only = true;
+  /// Skip entries that are not flagged unfair.
+  bool unfair_only = false;
+  /// Digits after the decimal point.
+  int digits = 3;
+};
+
+/// Renders an audit report as an aligned plain-text table
+/// (group, measure, group value, reference, disparity, unfair).
+std::string RenderAuditTable(const AuditReport& report,
+                             const AuditRenderOptions& options = {});
+
+/// GitHub-flavoured markdown variant of RenderAuditTable.
+std::string RenderAuditMarkdown(const AuditReport& report,
+                                const AuditRenderOptions& options = {});
+
+/// Machine-readable CSV (header + one row per rendered entry); suitable
+/// for downstream plotting of the paper's figures.
+std::string RenderAuditCsv(const AuditReport& report,
+                           const AuditRenderOptions& options = {});
+
+}  // namespace fairem
+
+#endif  // FAIREM_REPORT_AUDIT_RENDER_H_

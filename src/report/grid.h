@@ -1,0 +1,48 @@
+#ifndef FAIREM_REPORT_GRID_H_
+#define FAIREM_REPORT_GRID_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/audit.h"
+#include "src/core/measures.h"
+
+namespace fairem {
+
+/// Text rendering of the paper's unfairness-grid figures (Figures 6-13,
+/// 17-20): rows are fairness measures, columns are (single or pairwise)
+/// groups, and a cell lists the plot markers of the matchers that are
+/// unfair for that (group, measure).
+class UnfairnessGrid {
+ public:
+  /// Columns are taken from the union of group labels seen in marked
+  /// reports, in first-seen order.
+  UnfairnessGrid() = default;
+
+  /// Adds every unfair cell of `report` under the matcher's marker (use
+  /// MatcherMarker for the paper's Figure 5 codes).
+  void Mark(const std::string& marker, const AuditReport& report);
+
+  /// Renders the grid; empty cells print ".". Returns "" when nothing was
+  /// marked.
+  std::string Render() const;
+
+  /// Count of distinct (matcher, group, measure) unfair marks.
+  size_t num_marks() const { return num_marks_; }
+
+ private:
+  std::vector<std::string> group_order_;
+  std::map<std::string, std::map<FairnessMeasure, std::set<std::string>>>
+      cells_;  // group -> measure -> markers
+  size_t num_marks_ = 0;
+};
+
+/// Two-letter plot marker for a matcher display name (Figure 5), e.g.
+/// "Ditto" -> "DI".
+std::string MatcherMarker(const std::string& matcher_name);
+
+}  // namespace fairem
+
+#endif  // FAIREM_REPORT_GRID_H_

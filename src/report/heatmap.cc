@@ -1,0 +1,31 @@
+#include "src/report/heatmap.h"
+
+#include "src/report/table_printer.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+
+void ThresholdHeatmap::AddRow(const std::string& matcher,
+                              const std::vector<ThresholdPoint>& sweep) {
+  rows_.emplace_back(matcher, sweep);
+}
+
+std::string ThresholdHeatmap::Render() const {
+  std::vector<std::string> headers = {"matcher"};
+  for (double t : thresholds_) headers.push_back(FormatDouble(t, 2));
+  TablePrinter printer(std::move(headers));
+  for (const auto& [matcher, sweep] : rows_) {
+    std::vector<std::string> row = {matcher};
+    for (const auto& point : sweep) {
+      std::string cell = point.utility_defined
+                             ? FormatDouble(point.utility, 2)
+                             : std::string("-");
+      cell += "(" + std::to_string(point.num_unfair_groups) + ")";
+      row.push_back(cell);
+    }
+    printer.AddRow(std::move(row));
+  }
+  return printer.ToString();
+}
+
+}  // namespace fairem

@@ -1,0 +1,32 @@
+#ifndef FAIREM_REPORT_HEATMAP_H_
+#define FAIREM_REPORT_HEATMAP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/threshold.h"
+
+namespace fairem {
+
+/// Text rendering of the threshold heat-maps (Figure 14 and Figures 21-27):
+/// one row per matcher, one column per threshold; each cell shows the
+/// overall utility with the number of discriminated groups after it, e.g.
+/// "0.84(3)" — the paper's cell value + colour code.
+class ThresholdHeatmap {
+ public:
+  explicit ThresholdHeatmap(std::vector<double> thresholds)
+      : thresholds_(std::move(thresholds)) {}
+
+  /// Adds a matcher row from its sweep (must align with the thresholds).
+  void AddRow(const std::string& matcher, const std::vector<ThresholdPoint>& sweep);
+
+  std::string Render() const;
+
+ private:
+  std::vector<double> thresholds_;
+  std::vector<std::pair<std::string, std::vector<ThresholdPoint>>> rows_;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_REPORT_HEATMAP_H_

@@ -1,0 +1,177 @@
+#include "src/text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fairem {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<int> prev(m + 1);
+  std::vector<int> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(max_len);
+}
+
+int DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<std::vector<int>> d(n + 1, std::vector<int>(m + 1));
+  for (size_t i = 0; i <= n; ++i) d[i][0] = static_cast<int>(i);
+  for (size_t j = 0; j <= m; ++j) d[0][j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      d[i][j] =
+          std::min({d[i - 1][j] + 1, d[i][j - 1] + 1, d[i - 1][j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);
+      }
+    }
+  }
+  return d[n][m];
+}
+
+int HammingDistance(std::string_view a, std::string_view b) {
+  size_t common = std::min(a.size(), b.size());
+  int dist = static_cast<int>(std::max(a.size(), b.size()) - common);
+  for (size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) ++dist;
+  }
+  return dist;
+}
+
+double HammingSimilarity(std::string_view a, std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(HammingDistance(a, b)) /
+                   static_cast<double>(max_len);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  const int window = std::max(0, std::max(n, m) / 2 - 1);
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  int matches = 0;
+  for (int i = 0; i < n; ++i) {
+    int lo = std::max(0, i - window);
+    int hi = std::min(m - 1, i + window);
+    for (int j = lo; j <= hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions between the matched subsequences.
+  int transpositions = 0;
+  int k = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  double mm = matches;
+  return (mm / n + mm / m + (mm - transpositions / 2.0) / mm) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  int prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  for (size_t i = 0; i < limit && a[i] == b[i]; ++i) ++prefix;
+  constexpr double kScaling = 0.1;
+  return jaro + prefix * kScaling * (1.0 - jaro);
+}
+
+double NeedlemanWunschSimilarity(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  constexpr int kMatch = 1;
+  constexpr int kMismatch = -1;
+  constexpr int kGap = -1;
+  std::vector<int> prev(m + 1);
+  std::vector<int> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j) * kGap;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i) * kGap;
+    for (size_t j = 1; j <= m; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? kMatch : kMismatch);
+      cur[j] = std::max({sub, prev[j] + kGap, cur[j - 1] + kGap});
+    }
+    std::swap(prev, cur);
+  }
+  double max_len = static_cast<double>(std::max(n, m));
+  // Score lies in [-max_len * 1, max_len * kMatch]; map to [0, 1].
+  double score = static_cast<double>(prev[m]);
+  return std::clamp((score / max_len + 1.0) / 2.0, 0.0, 1.0);
+}
+
+double SmithWatermanSimilarity(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  constexpr int kMatch = 2;
+  constexpr int kMismatch = -1;
+  constexpr int kGap = -1;
+  std::vector<int> prev(m + 1, 0);
+  std::vector<int> cur(m + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = 0;
+    for (size_t j = 1; j <= m; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? kMatch : kMismatch);
+      cur[j] = std::max({0, sub, prev[j] + kGap, cur[j - 1] + kGap});
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  double denom = static_cast<double>(kMatch) * std::min(n, m);
+  return std::clamp(static_cast<double>(best) / denom, 0.0, 1.0);
+}
+
+double PrefixSimilarity(std::string_view a, std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  size_t common = std::min(a.size(), b.size());
+  size_t prefix = 0;
+  while (prefix < common && a[prefix] == b[prefix]) ++prefix;
+  return static_cast<double>(prefix) / static_cast<double>(max_len);
+}
+
+double ExactMatchSimilarity(std::string_view a, std::string_view b) {
+  return a == b ? 1.0 : 0.0;
+}
+
+}  // namespace fairem

@@ -1,0 +1,51 @@
+#ifndef FAIREM_TEXT_EDIT_DISTANCE_H_
+#define FAIREM_TEXT_EDIT_DISTANCE_H_
+
+#include <string_view>
+
+namespace fairem {
+
+/// Classic Levenshtein edit distance (insert/delete/substitute, unit costs).
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein similarity normalized to [0, 1]:
+/// 1 - dist / max(|a|, |b|); 1.0 when both strings are empty.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Damerau-Levenshtein (restricted: adjacent transpositions count as one
+/// edit).
+int DamerauLevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Hamming distance. When lengths differ, the length difference is added to
+/// the count of mismatching positions in the common prefix (a common EM
+/// convention that keeps the measure total).
+int HammingDistance(std::string_view a, std::string_view b);
+
+/// Hamming similarity in [0, 1]: 1 - dist / max(|a|, |b|).
+double HammingSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity in [0, 1] with standard prefix scaling
+/// (p = 0.1, prefix capped at 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Needleman-Wunsch global alignment score normalized to [0, 1]
+/// (match = +1, mismatch/gap = -1; score scaled by max length).
+double NeedlemanWunschSimilarity(std::string_view a, std::string_view b);
+
+/// Smith-Waterman local alignment score normalized to [0, 1]
+/// (match = +2, mismatch = -1, gap = -1; score scaled by 2 * min length).
+double SmithWatermanSimilarity(std::string_view a, std::string_view b);
+
+/// Longest common prefix length divided by max length; 1.0 for two empty
+/// strings.
+double PrefixSimilarity(std::string_view a, std::string_view b);
+
+/// Exact equality as a 0/1 similarity.
+double ExactMatchSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace fairem
+
+#endif  // FAIREM_TEXT_EDIT_DISTANCE_H_

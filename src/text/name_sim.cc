@@ -1,0 +1,117 @@
+#include "src/text/name_sim.h"
+
+#include <algorithm>
+
+#include "src/text/edit_distance.h"
+#include "src/text/tokenize.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+/// Similarity of two name tokens: initial-vs-word abbreviation credit, or
+/// plain Jaro-Winkler.
+double NameTokenSimilarity(const std::string& a, const std::string& b,
+                           double initial_credit) {
+  const std::string& shorter = a.size() <= b.size() ? a : b;
+  const std::string& longer = a.size() <= b.size() ? b : a;
+  if (shorter.size() == 1 && longer.size() > 1 &&
+      shorter[0] == longer[0]) {
+    return initial_credit;
+  }
+  return JaroWinklerSimilarity(a, b);
+}
+
+}  // namespace
+
+double AbbreviationAwareNameSimilarity(std::string_view a, std::string_view b,
+                                       double initial_credit) {
+  std::vector<std::string> ta = AlnumTokenize(a);
+  std::vector<std::string> tb = AlnumTokenize(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  // Greedy best-first alignment without replacement.
+  struct Cand {
+    double sim;
+    size_t i;
+    size_t j;
+  };
+  std::vector<Cand> cands;
+  for (size_t i = 0; i < ta.size(); ++i) {
+    for (size_t j = 0; j < tb.size(); ++j) {
+      cands.push_back({NameTokenSimilarity(ta[i], tb[j], initial_credit), i,
+                       j});
+    }
+  }
+  // Tie-break on (min index, max index) so the alignment — and thus the
+  // score — is identical when the arguments swap.
+  std::sort(cands.begin(), cands.end(), [](const Cand& x, const Cand& y) {
+    if (x.sim != y.sim) return x.sim > y.sim;
+    auto kx = std::minmax(x.i, x.j);
+    auto ky = std::minmax(y.i, y.j);
+    return kx < ky;
+  });
+  std::vector<bool> used_a(ta.size(), false);
+  std::vector<bool> used_b(tb.size(), false);
+  double total = 0.0;
+  size_t aligned = 0;
+  for (const Cand& c : cands) {
+    if (used_a[c.i] || used_b[c.j]) continue;
+    used_a[c.i] = true;
+    used_b[c.j] = true;
+    total += c.sim;
+    ++aligned;
+    if (aligned == std::min(ta.size(), tb.size())) break;
+  }
+  // Unaligned tokens (name-length mismatch) dilute the score.
+  return total / static_cast<double>(std::max(ta.size(), tb.size()));
+}
+
+double TokenSortRatio(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = AlnumTokenize(a);
+  std::vector<std::string> tb = AlnumTokenize(b);
+  std::sort(ta.begin(), ta.end());
+  std::sort(tb.begin(), tb.end());
+  return LevenshteinSimilarity(Join(ta, " "), Join(tb, " "));
+}
+
+double AffineGapSimilarity(std::string_view a, std::string_view b,
+                           double gap_open, double gap_extend) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  constexpr double kMatch = 2.0;
+  constexpr double kMismatch = -1.0;
+  constexpr double kNegInf = -1e18;
+  // Gotoh's algorithm (local variant): M = match/mismatch ending, X/Y =
+  // gap-in-a / gap-in-b ending.
+  std::vector<double> m_prev(m + 1, 0.0);
+  std::vector<double> x_prev(m + 1, kNegInf);
+  std::vector<double> y_prev(m + 1, kNegInf);
+  std::vector<double> m_cur(m + 1);
+  std::vector<double> x_cur(m + 1);
+  std::vector<double> y_cur(m + 1);
+  double best = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    m_cur[0] = 0.0;
+    x_cur[0] = kNegInf;
+    y_cur[0] = kNegInf;
+    for (size_t j = 1; j <= m; ++j) {
+      double sub = a[i - 1] == b[j - 1] ? kMatch : kMismatch;
+      double diag =
+          std::max({m_prev[j - 1], x_prev[j - 1], y_prev[j - 1], 0.0});
+      m_cur[j] = diag + sub;
+      x_cur[j] = std::max(m_prev[j] - gap_open, x_prev[j] - gap_extend);
+      y_cur[j] = std::max(m_cur[j - 1] - gap_open, y_cur[j - 1] - gap_extend);
+      best = std::max({best, m_cur[j], x_cur[j], y_cur[j]});
+    }
+    std::swap(m_prev, m_cur);
+    std::swap(x_prev, x_cur);
+    std::swap(y_prev, y_cur);
+  }
+  double denom = kMatch * static_cast<double>(std::min(n, m));
+  return std::clamp(best / denom, 0.0, 1.0);
+}
+
+}  // namespace fairem

@@ -1,0 +1,32 @@
+#ifndef FAIREM_TEXT_NAME_SIM_H_
+#define FAIREM_TEXT_NAME_SIM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairem {
+
+/// Person-name similarity that understands initials: "M. Dhoni" matches
+/// "Mahendra Dhoni" strongly because "m" is a valid abbreviation of
+/// "mahendra". Tokens are greedily aligned best-first; an initial scores
+/// `initial_credit` against any token it abbreviates, full tokens score
+/// their Jaro-Winkler similarity. Returns 1 for two empty names, 0 when
+/// exactly one is empty.
+double AbbreviationAwareNameSimilarity(std::string_view a, std::string_view b,
+                                       double initial_credit = 0.85);
+
+/// Levenshtein similarity of the alphabetically token-sorted strings —
+/// insensitive to word order ("huang qingming" vs "qingming huang" -> 1).
+double TokenSortRatio(std::string_view a, std::string_view b);
+
+/// Smith-Waterman-style alignment with affine gap penalties (open/extend),
+/// match +2, mismatch -1; normalized by 2 * min(|a|, |b|). Affine gaps make
+/// a single long insertion ("Cyber-shot " prefix) cheaper than many
+/// scattered edits — the measure of choice for truncated product names.
+double AffineGapSimilarity(std::string_view a, std::string_view b,
+                           double gap_open = 1.5, double gap_extend = 0.3);
+
+}  // namespace fairem
+
+#endif  // FAIREM_TEXT_NAME_SIM_H_

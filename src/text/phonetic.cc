@@ -1,0 +1,73 @@
+#include "src/text/phonetic.h"
+
+#include <cctype>
+
+namespace fairem {
+namespace {
+
+// Soundex digit for an upper-case letter; 0 means "not coded" (vowels and
+// h/w/y).
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'B':
+    case 'F':
+    case 'P':
+    case 'V':
+      return '1';
+    case 'C':
+    case 'G':
+    case 'J':
+    case 'K':
+    case 'Q':
+    case 'S':
+    case 'X':
+    case 'Z':
+      return '2';
+    case 'D':
+    case 'T':
+      return '3';
+    case 'L':
+      return '4';
+    case 'M':
+    case 'N':
+      return '5';
+    case 'R':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  std::string letters;
+  for (char c : word) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      letters.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  if (letters.empty()) return "";
+  std::string code(1, letters[0]);
+  char prev_digit = SoundexDigit(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    char c = letters[i];
+    char digit = SoundexDigit(c);
+    // h and w are transparent: they do not reset the previous digit.
+    if (c == 'H' || c == 'W') continue;
+    if (digit != '0' && digit != prev_digit) code.push_back(digit);
+    prev_digit = digit;
+  }
+  while (code.size() < 4) code.push_back('0');
+  return code;
+}
+
+double SoundexSimilarity(std::string_view a, std::string_view b) {
+  std::string ca = Soundex(a);
+  std::string cb = Soundex(b);
+  if (ca.empty() || cb.empty()) return 0.0;
+  return ca == cb ? 1.0 : 0.0;
+}
+
+}  // namespace fairem

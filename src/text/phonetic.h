@@ -1,0 +1,18 @@
+#ifndef FAIREM_TEXT_PHONETIC_H_
+#define FAIREM_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace fairem {
+
+/// American Soundex code of `word` (e.g. "Robert" -> "R163"). Non-letters
+/// are skipped; an empty or letterless input yields "".
+std::string Soundex(std::string_view word);
+
+/// 1.0 if the Soundex codes of `a` and `b` match and are non-empty, else 0.
+double SoundexSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace fairem
+
+#endif  // FAIREM_TEXT_PHONETIC_H_

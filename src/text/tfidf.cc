@@ -1,0 +1,75 @@
+#include "src/text/tfidf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace fairem {
+
+void TfIdfVectorizer::Fit(
+    const std::vector<std::vector<std::string>>& corpus) {
+  vocab_.clear();
+  std::vector<int> df;
+  for (const auto& doc : corpus) {
+    std::unordered_set<std::string> seen;
+    for (const auto& tok : doc) {
+      if (!seen.insert(tok).second) continue;
+      auto [it, inserted] = vocab_.emplace(tok, static_cast<int>(df.size()));
+      if (inserted) {
+        df.push_back(1);
+      } else {
+        ++df[static_cast<size_t>(it->second)];
+      }
+    }
+  }
+  const double n = static_cast<double>(corpus.size());
+  idf_.resize(df.size());
+  for (size_t i = 0; i < df.size(); ++i) {
+    idf_[i] = std::log((1.0 + n) / (1.0 + df[i])) + 1.0;
+  }
+  fitted_ = true;
+}
+
+SparseVector TfIdfVectorizer::Transform(
+    const std::vector<std::string>& tokens) const {
+  FAIREM_CHECK(fitted_, "TfIdfVectorizer::Transform before Fit");
+  SparseVector vec;
+  for (const auto& tok : tokens) {
+    auto it = vocab_.find(tok);
+    if (it == vocab_.end()) continue;
+    vec[it->second] += idf_[static_cast<size_t>(it->second)];
+  }
+  double norm_sq = 0.0;
+  for (const auto& [id, w] : vec) norm_sq += w * w;
+  if (norm_sq > 0.0) {
+    double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [id, w] : vec) w *= inv;
+  }
+  return vec;
+}
+
+double TfIdfVectorizer::Cosine(const SparseVector& a, const SparseVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const SparseVector& small = a.size() <= b.size() ? a : b;
+  const SparseVector& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [id, w] : small) {
+    auto it = large.find(id);
+    if (it != large.end()) dot += w * it->second;
+  }
+  return dot;
+}
+
+double TfIdfVectorizer::Similarity(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) const {
+  return Cosine(Transform(a), Transform(b));
+}
+
+double TfIdfVectorizer::Idf(const std::string& token) const {
+  auto it = vocab_.find(token);
+  if (it == vocab_.end()) return 0.0;
+  return idf_[static_cast<size_t>(it->second)];
+}
+
+}  // namespace fairem

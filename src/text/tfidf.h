@@ -1,0 +1,48 @@
+#ifndef FAIREM_TEXT_TFIDF_H_
+#define FAIREM_TEXT_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fairem {
+
+/// A sparse TF-IDF vector: term id -> weight.
+using SparseVector = std::unordered_map<int, double>;
+
+/// TF-IDF vectorizer fit on a corpus of token lists, in the style used by
+/// non-neural EM feature generators. idf(t) = log((1 + N) / (1 + df)) + 1
+/// (smoothed); vectors are L2-normalized on transform.
+class TfIdfVectorizer {
+ public:
+  TfIdfVectorizer() = default;
+
+  /// Learns the vocabulary and document frequencies from `corpus`.
+  void Fit(const std::vector<std::vector<std::string>>& corpus);
+
+  /// Maps tokens to a normalized sparse TF-IDF vector. Unknown tokens are
+  /// ignored. Must be called after Fit.
+  SparseVector Transform(const std::vector<std::string>& tokens) const;
+
+  /// Cosine similarity of two sparse vectors (0 when either is empty).
+  static double Cosine(const SparseVector& a, const SparseVector& b);
+
+  /// Convenience: cosine of the TF-IDF transforms of two token lists.
+  double Similarity(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) const;
+
+  size_t vocabulary_size() const { return vocab_.size(); }
+  bool fitted() const { return fitted_; }
+
+  /// idf weight of `token`, or 0 if out-of-vocabulary.
+  double Idf(const std::string& token) const;
+
+ private:
+  std::unordered_map<std::string, int> vocab_;
+  std::vector<double> idf_;
+  bool fitted_ = false;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_TEXT_TFIDF_H_

@@ -1,0 +1,74 @@
+#include "src/text/token_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace fairem {
+namespace {
+
+std::unordered_set<std::string> ToSet(const std::vector<std::string>& v) {
+  return std::unordered_set<std::string>(v.begin(), v.end());
+}
+
+struct SetSizes {
+  size_t a;
+  size_t b;
+  size_t intersection;
+};
+
+SetSizes ComputeSizes(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  auto sa = ToSet(a);
+  auto sb = ToSet(b);
+  // Iterate over the smaller set.
+  const auto& small = sa.size() <= sb.size() ? sa : sb;
+  const auto& large = sa.size() <= sb.size() ? sb : sa;
+  size_t inter = 0;
+  for (const auto& t : small) {
+    if (large.count(t) > 0) ++inter;
+  }
+  return {sa.size(), sb.size(), inter};
+}
+
+}  // namespace
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  SetSizes s = ComputeSizes(a, b);
+  size_t uni = s.a + s.b - s.intersection;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(s.intersection) / static_cast<double>(uni);
+}
+
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  SetSizes s = ComputeSizes(a, b);
+  if (s.a + s.b == 0) return 1.0;
+  return 2.0 * static_cast<double>(s.intersection) /
+         static_cast<double>(s.a + s.b);
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  SetSizes s = ComputeSizes(a, b);
+  size_t min_size = std::min(s.a, s.b);
+  if (min_size == 0) return s.a == s.b ? 1.0 : 0.0;
+  return static_cast<double>(s.intersection) / static_cast<double>(min_size);
+}
+
+double CosineTokenSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) {
+  SetSizes s = ComputeSizes(a, b);
+  if (s.a == 0 && s.b == 0) return 1.0;
+  if (s.a == 0 || s.b == 0) return 0.0;
+  return static_cast<double>(s.intersection) /
+         std::sqrt(static_cast<double>(s.a) * static_cast<double>(s.b));
+}
+
+int TokenOverlapCount(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  return static_cast<int>(ComputeSizes(a, b).intersection);
+}
+
+}  // namespace fairem

@@ -1,0 +1,36 @@
+#ifndef FAIREM_TEXT_TOKEN_SIM_H_
+#define FAIREM_TEXT_TOKEN_SIM_H_
+
+#include <string>
+#include <vector>
+
+namespace fairem {
+
+/// Set-based similarities over token bags. All functions treat the inputs
+/// as multisets collapsed to sets (the Magellan convention for its
+/// automatically generated features) and return values in [0, 1].
+/// Two empty inputs are defined to have similarity 1.
+
+/// |A ∩ B| / |A ∪ B|.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// 2|A ∩ B| / (|A| + |B|).
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// |A ∩ B| / min(|A|, |B|).
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// |A ∩ B| / sqrt(|A| * |B|)  (binary cosine).
+double CosineTokenSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+
+/// Raw intersection size |A ∩ B| (set semantics).
+int TokenOverlapCount(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+}  // namespace fairem
+
+#endif  // FAIREM_TEXT_TOKEN_SIM_H_

@@ -1,0 +1,36 @@
+#ifndef FAIREM_UTIL_LOGGING_H_
+#define FAIREM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace fairem {
+namespace internal_logging {
+
+/// Prints a fatal diagnostic and aborts. Used by FAIREM_CHECK; invariant
+/// violations inside the library are programming errors, not recoverable
+/// conditions, so they terminate rather than propagate.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::cerr << "FAIREM_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) std::cerr << " — " << message;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace fairem
+
+/// Aborts with a diagnostic when `cond` is false. Second argument is an
+/// optional std::string message.
+#define FAIREM_CHECK(cond, ...)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::fairem::internal_logging::CheckFailed(__FILE__, __LINE__, #cond, \
+                                              std::string{__VA_ARGS__}); \
+    }                                                                    \
+  } while (false)
+
+#endif  // FAIREM_UTIL_LOGGING_H_

@@ -1,0 +1,78 @@
+#ifndef FAIREM_UTIL_RESULT_H_
+#define FAIREM_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/status.h"
+
+namespace fairem {
+
+/// A value-or-error type in the style of arrow::Result.
+///
+/// A Result<T> holds either a T (when the Status is OK) or an error Status.
+/// Accessing the value of an errored Result aborts the process, so callers
+/// must check ok() (or use FAIREM_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    FAIREM_CHECK(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; aborts if this result holds an error.
+  const T& value() const& {
+    FAIREM_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    FAIREM_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    FAIREM_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return std::move(*value_);
+  }
+
+  /// Returns the held value or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the Status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define FAIREM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)  \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define FAIREM_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define FAIREM_ASSIGN_OR_RETURN_NAME(a, b) FAIREM_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define FAIREM_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  FAIREM_ASSIGN_OR_RETURN_IMPL(                                              \
+      FAIREM_ASSIGN_OR_RETURN_NAME(_result_tmp_, __COUNTER__), lhs, rexpr)
+
+}  // namespace fairem
+
+#endif  // FAIREM_UTIL_RESULT_H_

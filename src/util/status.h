@@ -1,0 +1,108 @@
+#ifndef FAIREM_UTIL_STATUS_H_
+#define FAIREM_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fairem {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-library convention (Arrow/RocksDB style): operations that can
+/// fail return a Status (or a Result<T>) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+  /// A statistic is undefined because its denominator is empty (e.g. PPV of
+  /// a group with no predicted matches). Callers typically skip such groups.
+  kUndefinedStatistic,
+};
+
+/// Returns a short human-readable name for a status code, e.g.
+/// "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// An OK status carries no message and no allocation. Error statuses carry a
+/// code and a message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status UndefinedStatistic(std::string msg) {
+    return Status(StatusCode::kUndefinedStatistic, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUndefinedStatistic() const {
+    return code_ == StatusCode::kUndefinedStatistic;
+  }
+
+  /// "OK" for success, "<Code>: <message>" otherwise.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define FAIREM_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::fairem::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+}  // namespace fairem
+
+#endif  // FAIREM_UTIL_STATUS_H_

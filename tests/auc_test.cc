@@ -1,0 +1,85 @@
+#include "src/core/auc.h"
+
+#include <gtest/gtest.h>
+
+namespace fairem {
+namespace {
+
+TEST(RocAucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(*RocAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(RocAucTest, InvertedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(*RocAuc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(RocAucTest, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(*RocAuc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(RocAucTest, PartialOverlap) {
+  // positives {0.4, 0.8}, negatives {0.3, 0.6}: pairs won = 3 of 4 -> 0.75.
+  EXPECT_DOUBLE_EQ(*RocAuc({0.4, 0.8, 0.3, 0.6}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(RocAucTest, UndefinedWithoutBothClasses) {
+  EXPECT_TRUE(RocAuc({0.5, 0.6}, {1, 1}).status().IsUndefinedStatistic());
+  EXPECT_TRUE(RocAuc({0.5}, {0}).status().IsUndefinedStatistic());
+  EXPECT_FALSE(RocAuc({0.5}, {0, 1}).ok());  // size mismatch
+}
+
+TEST(AucParityTest, FlagsGroupWithWorseRanking) {
+  // Two groups; for g_bad the matcher's scores invert the truth.
+  Schema schema = std::move(Schema::Make({"grp"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  for (int i = 0; i < 40; ++i) {
+    std::string g = i < 20 ? "g_good" : "g_bad";
+    ASSERT_TRUE(a.AppendValues(i, {g}).ok());
+    ASSERT_TRUE(b.AppendValues(i, {g}).ok());
+  }
+  SensitiveAttr attr{"grp", SensitiveAttrKind::kBinary, '|'};
+  GroupMembership membership =
+      std::move(GroupMembership::Make(a, b, attr)).value();
+  std::vector<LabeledPair> pairs;
+  std::vector<double> scores;
+  for (size_t i = 0; i < 40; ++i) {
+    bool good = i < 20;
+    pairs.push_back({i, i, true});
+    scores.push_back(good ? 0.9 : 0.2);  // bad group's matches rank low
+    pairs.push_back({i, (i + 1) % (good ? 20 : 40), false});
+    scores.push_back(good ? 0.1 : 0.6);  // ... below its non-matches
+  }
+  Result<std::vector<GroupAuc>> report =
+      AuditAucParity(membership, pairs, scores);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->size(), 2u);
+  const GroupAuc* bad = nullptr;
+  const GroupAuc* good = nullptr;
+  for (const auto& row : *report) {
+    if (row.group_label == "g_bad") bad = &row;
+    if (row.group_label == "g_good") good = &row;
+  }
+  ASSERT_NE(bad, nullptr);
+  ASSERT_NE(good, nullptr);
+  EXPECT_TRUE(bad->defined);
+  EXPECT_LT(bad->auc, 0.2);
+  EXPECT_TRUE(bad->unfair);
+  EXPECT_DOUBLE_EQ(good->auc, 1.0);
+  EXPECT_FALSE(good->unfair);
+}
+
+TEST(AucParityTest, SizeMismatchIsError) {
+  Schema schema = std::move(Schema::Make({"grp"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  ASSERT_TRUE(a.AppendValues(0, {"g"}).ok());
+  ASSERT_TRUE(b.AppendValues(0, {"g"}).ok());
+  SensitiveAttr attr{"grp", SensitiveAttrKind::kBinary, '|'};
+  GroupMembership membership =
+      std::move(GroupMembership::Make(a, b, attr)).value();
+  EXPECT_FALSE(AuditAucParity(membership, {{0, 0, true}}, {}).ok());
+}
+
+}  // namespace
+}  // namespace fairem

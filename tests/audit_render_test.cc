@@ -1,0 +1,82 @@
+#include "src/report/audit_render.h"
+
+#include <gtest/gtest.h>
+
+namespace fairem {
+namespace {
+
+AuditReport SampleReport() {
+  AuditReport report;
+  AuditEntry unfair;
+  unfair.group_label = "cn, with comma";
+  unfair.measure = FairnessMeasure::kTruePositiveRateParity;
+  unfair.defined = true;
+  unfair.group_value = 0.6;
+  unfair.overall_value = 0.9;
+  unfair.disparity = 0.3;
+  unfair.signed_disparity = 0.3;
+  unfair.group_pairs = 100;
+  unfair.unfair = true;
+  report.entries.push_back(unfair);
+
+  AuditEntry fair = unfair;
+  fair.group_label = "de";
+  fair.disparity = 0.0;
+  fair.unfair = false;
+  report.entries.push_back(fair);
+
+  AuditEntry undefined;
+  undefined.group_label = "empty";
+  undefined.measure = FairnessMeasure::kPositivePredictiveValueParity;
+  undefined.defined = false;
+  report.entries.push_back(undefined);
+  return report;
+}
+
+TEST(AuditRenderTest, TableSkipsUndefinedByDefault) {
+  std::string out = RenderAuditTable(SampleReport());
+  EXPECT_NE(out.find("cn, with comma"), std::string::npos);
+  EXPECT_NE(out.find("UNFAIR"), std::string::npos);
+  EXPECT_EQ(out.find("empty"), std::string::npos);
+}
+
+TEST(AuditRenderTest, UndefinedIncludedOnRequest) {
+  AuditRenderOptions options;
+  options.defined_only = false;
+  std::string out = RenderAuditTable(SampleReport(), options);
+  EXPECT_NE(out.find("empty"), std::string::npos);
+}
+
+TEST(AuditRenderTest, UnfairOnlyFilter) {
+  AuditRenderOptions options;
+  options.unfair_only = true;
+  std::string out = RenderAuditTable(SampleReport(), options);
+  EXPECT_NE(out.find("cn, with comma"), std::string::npos);
+  EXPECT_EQ(out.find("de"), std::string::npos);
+}
+
+TEST(AuditRenderTest, MarkdownHasHeaderSeparator) {
+  std::string md = RenderAuditMarkdown(SampleReport());
+  EXPECT_NE(md.find("| group |"), std::string::npos);
+  EXPECT_NE(md.find("|---|"), std::string::npos);
+}
+
+TEST(AuditRenderTest, CsvQuotesEmbeddedCommas) {
+  std::string csv = RenderAuditCsv(SampleReport());
+  EXPECT_NE(csv.find("\"cn, with comma\""), std::string::npos);
+  // Header + 2 defined rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("TPRP"), std::string::npos);
+  EXPECT_NE(csv.find(",1\n"), std::string::npos);  // unfair flag column
+}
+
+TEST(AuditRenderTest, DigitsRespected) {
+  AuditRenderOptions options;
+  options.digits = 1;
+  std::string out = RenderAuditTable(SampleReport(), options);
+  EXPECT_NE(out.find("0.6"), std::string::npos);
+  EXPECT_EQ(out.find("0.60"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,193 @@
+#include "src/core/audit.h"
+
+#include <gtest/gtest.h>
+
+namespace fairem {
+namespace {
+
+/// A controlled two-group scenario where the matcher treats g_bad much
+/// worse than g_good: g_bad's true matches are all missed.
+struct Scenario {
+  Table a;
+  Table b;
+  std::vector<PairOutcome> outcomes;
+};
+
+Scenario MakeBiasedScenario() {
+  Schema schema = std::move(Schema::Make({"grp"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  // 20 records per table: rows 0-9 g_good, rows 10-19 g_bad. Pair i-i is a
+  // true match; the matcher finds all g_good matches and no g_bad matches,
+  // plus correctly rejects all cross non-matches.
+  for (int i = 0; i < 20; ++i) {
+    std::string g = i < 10 ? "g_good" : "g_bad";
+    EXPECT_TRUE(a.AppendValues(i, {g}).ok());
+    EXPECT_TRUE(b.AppendValues(i, {g}).ok());
+  }
+  Scenario s{std::move(a), std::move(b), {}};
+  for (size_t i = 0; i < 20; ++i) {
+    bool good = i < 10;
+    s.outcomes.push_back({i, i, /*predicted=*/good, /*true=*/true});
+    // Non-match partners within the same group, correctly rejected.
+    s.outcomes.push_back({i, (i + 1) % (good ? 10 : 20), false, false});
+  }
+  return s;
+}
+
+FairnessAuditor MakeAuditor(const Scenario& s) {
+  SensitiveAttr attr{"grp", SensitiveAttrKind::kBinary, '|'};
+  return std::move(FairnessAuditor::Make(s.a, s.b, attr)).value();
+}
+
+TEST(AuditTest, FlagsDiscriminatedGroupOnTprp) {
+  Scenario s = MakeBiasedScenario();
+  FairnessAuditor auditor = MakeAuditor(s);
+  AuditOptions options;
+  options.measures = {FairnessMeasure::kTruePositiveRateParity};
+  Result<AuditReport> report = auditor.AuditSingle(s.outcomes, options);
+  ASSERT_TRUE(report.ok());
+  std::vector<std::string> unfair = report->DiscriminatedGroups(
+      FairnessMeasure::kTruePositiveRateParity);
+  ASSERT_EQ(unfair.size(), 1u);
+  EXPECT_EQ(unfair[0], "g_bad");
+  const AuditEntry* entry =
+      report->Find("g_bad", FairnessMeasure::kTruePositiveRateParity);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->defined);
+  EXPECT_DOUBLE_EQ(entry->group_value, 0.0);
+  EXPECT_DOUBLE_EQ(entry->overall_value, 0.5);
+  EXPECT_DOUBLE_EQ(entry->disparity, 0.5);
+  EXPECT_TRUE(entry->unfair);
+}
+
+TEST(AuditTest, PerfectMatcherIsFairEverywhere) {
+  Scenario s = MakeBiasedScenario();
+  for (auto& o : s.outcomes) o.predicted_match = o.true_match;
+  FairnessAuditor auditor = MakeAuditor(s);
+  Result<AuditReport> report =
+      auditor.AuditSingle(s.outcomes, AuditOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->NumDiscriminatedGroups(), 0);
+  EXPECT_TRUE(report->UnfairEntries().empty());
+}
+
+TEST(AuditTest, EqualizedOddsIsConjunction) {
+  Scenario s = MakeBiasedScenario();
+  FairnessAuditor auditor = MakeAuditor(s);
+  AuditOptions options;
+  options.measures = {FairnessMeasure::kEqualizedOdds};
+  Result<AuditReport> report = auditor.AuditSingle(s.outcomes, options);
+  ASSERT_TRUE(report.ok());
+  // g_bad is TPRP-unfair, so EO fires too.
+  EXPECT_EQ(
+      report->DiscriminatedGroups(FairnessMeasure::kEqualizedOdds).size(),
+      1u);
+}
+
+TEST(AuditTest, MinGroupPairsSuppressesTinyGroups) {
+  Scenario s = MakeBiasedScenario();
+  FairnessAuditor auditor = MakeAuditor(s);
+  AuditOptions options;
+  options.measures = {FairnessMeasure::kTruePositiveRateParity};
+  options.min_group_pairs = 1000;
+  Result<AuditReport> report = auditor.AuditSingle(s.outcomes, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->NumDiscriminatedGroups(), 0);
+}
+
+TEST(AuditTest, PairwiseAuditCoversAllGroupPairs) {
+  Scenario s = MakeBiasedScenario();
+  FairnessAuditor auditor = MakeAuditor(s);
+  AuditOptions options;
+  options.measures = {FairnessMeasure::kAccuracyParity};
+  Result<AuditReport> report = auditor.AuditPairwise(s.outcomes, options);
+  ASSERT_TRUE(report.ok());
+  // 2 groups -> 3 unordered pairs.
+  EXPECT_EQ(report->entries.size(), 3u);
+  EXPECT_NE(report->Find("g_bad | g_bad", FairnessMeasure::kAccuracyParity),
+            nullptr);
+  EXPECT_NE(report->Find("g_bad | g_good", FairnessMeasure::kAccuracyParity),
+            nullptr);
+}
+
+TEST(AuditTest, PairwiseNonOverlappingGroupsUndefinedTpMeasures) {
+  // All true matches are within-group; the cross pair g_bad|g_good has no
+  // TPs or FNs, so TPRP is undefined there (§3.5's inapplicability).
+  Scenario s = MakeBiasedScenario();
+  FairnessAuditor auditor = MakeAuditor(s);
+  AuditOptions options;
+  options.measures = {FairnessMeasure::kTruePositiveRateParity};
+  Result<AuditReport> report = auditor.AuditPairwise(s.outcomes, options);
+  ASSERT_TRUE(report.ok());
+  const AuditEntry* cross =
+      report->Find("g_bad | g_good", FairnessMeasure::kTruePositiveRateParity);
+  ASSERT_NE(cross, nullptr);
+  EXPECT_FALSE(cross->defined);
+  EXPECT_FALSE(cross->unfair);
+}
+
+TEST(AuditTest, SubgroupAuditSkipsUnknownGroups) {
+  Scenario s = MakeBiasedScenario();
+  FairnessAuditor auditor = MakeAuditor(s);
+  Subgroup known;
+  known.groups = {"g_bad"};
+  Subgroup unknown;
+  unknown.groups = {"not_a_group"};
+  AuditOptions options;
+  options.measures = {FairnessMeasure::kAccuracyParity};
+  Result<AuditReport> report =
+      auditor.AuditSubgroups({known, unknown}, s.outcomes, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->entries.size(), 1u);
+  EXPECT_EQ(report->entries[0].group_label, "g_bad");
+}
+
+TEST(AuditTest, ComplementReferenceAmplifiesBinaryDisparity) {
+  Scenario s = MakeBiasedScenario();
+  FairnessAuditor auditor = MakeAuditor(s);
+  AuditOptions overall;
+  overall.measures = {FairnessMeasure::kTruePositiveRateParity};
+  AuditOptions complement = overall;
+  complement.reference = AuditReference::kComplement;
+  double d_overall =
+      std::move(auditor.AuditSingle(s.outcomes, overall)).value()
+          .Find("g_bad", FairnessMeasure::kTruePositiveRateParity)
+          ->disparity;
+  double d_complement =
+      std::move(auditor.AuditSingle(s.outcomes, complement)).value()
+          .Find("g_bad", FairnessMeasure::kTruePositiveRateParity)
+          ->disparity;
+  // vs overall: 0.5 - 0.0; vs the other group: 1.0 - 0.0.
+  EXPECT_DOUBLE_EQ(d_overall, 0.5);
+  EXPECT_DOUBLE_EQ(d_complement, 1.0);
+}
+
+TEST(AuditTest, AllPredictedMatchDegenerate) {
+  // A matcher that says "match" to everything: audit must not crash and
+  // TNR-style statistics stay defined where denominators exist.
+  Scenario s = MakeBiasedScenario();
+  for (auto& o : s.outcomes) o.predicted_match = true;
+  FairnessAuditor auditor = MakeAuditor(s);
+  Result<AuditReport> report =
+      auditor.AuditSingle(s.outcomes, AuditOptions{});
+  ASSERT_TRUE(report.ok());
+  const AuditEntry* npv = report->Find(
+      "g_bad", FairnessMeasure::kNegativePredictiveValueParity);
+  ASSERT_NE(npv, nullptr);
+  EXPECT_FALSE(npv->defined);  // nothing predicted non-match
+}
+
+TEST(AuditTest, EmptyOutcomesProduceUndefinedEntries) {
+  Scenario s = MakeBiasedScenario();
+  FairnessAuditor auditor = MakeAuditor(s);
+  Result<AuditReport> report = auditor.AuditSingle({}, AuditOptions{});
+  ASSERT_TRUE(report.ok());
+  for (const auto& e : report->entries) {
+    EXPECT_FALSE(e.defined);
+    EXPECT_FALSE(e.unfair);
+  }
+}
+
+}  // namespace
+}  // namespace fairem

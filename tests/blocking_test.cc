@@ -1,0 +1,138 @@
+#include "src/block/blockers.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+struct Tables {
+  Table a;
+  Table b;
+};
+
+Tables NameTables() {
+  Schema schema = std::move(Schema::Make({"name", "city"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  EXPECT_TRUE(a.AppendValues(0, {"alice brown", "Rochester"}).ok());
+  EXPECT_TRUE(a.AppendValues(1, {"bob smith", "Chicago"}).ok());
+  EXPECT_TRUE(a.AppendValues(2, {"carla jones", "Rochester"}).ok());
+  EXPECT_TRUE(b.AppendValues(0, {"alice browne", "Rochester"}).ok());
+  EXPECT_TRUE(b.AppendValues(1, {"robert smith", "chicago"}).ok());
+  EXPECT_TRUE(b.AppendValues(2, {"dora king", "Boston"}).ok());
+  return {std::move(a), std::move(b)};
+}
+
+TEST(CartesianBlockerTest, EmitsAllPairs) {
+  Tables t = NameTables();
+  CartesianBlocker blocker;
+  Result<std::vector<CandidatePair>> pairs = blocker.Block(t.a, t.b);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 9u);
+}
+
+TEST(AttrEquivalenceBlockerTest, CaseInsensitiveKeyMatch) {
+  Tables t = NameTables();
+  AttrEquivalenceBlocker blocker("city");
+  Result<std::vector<CandidatePair>> pairs = blocker.Block(t.a, t.b);
+  ASSERT_TRUE(pairs.ok());
+  // Rochester x Rochester (2x1) + Chicago x chicago (1x1).
+  EXPECT_EQ(pairs->size(), 3u);
+  for (const auto& p : *pairs) {
+    EXPECT_EQ(ToLowerAscii(std::string(t.a.value(p.left, 1))),
+              ToLowerAscii(std::string(t.b.value(p.right, 1))));
+  }
+}
+
+TEST(AttrEquivalenceBlockerTest, NullsNeverMatch) {
+  Schema schema = std::move(Schema::Make({"k"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  Record r;
+  r.entity_id = 0;
+  r.cells = {std::nullopt};
+  ASSERT_TRUE(a.Append(std::move(r)).ok());
+  Record r2;
+  r2.entity_id = 1;
+  r2.cells = {std::nullopt};
+  ASSERT_TRUE(b.Append(std::move(r2)).ok());
+  AttrEquivalenceBlocker blocker("k");
+  Result<std::vector<CandidatePair>> pairs = blocker.Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+TEST(AttrEquivalenceBlockerTest, MissingAttrIsError) {
+  Tables t = NameTables();
+  AttrEquivalenceBlocker blocker("nope");
+  EXPECT_FALSE(blocker.Block(t.a, t.b).ok());
+}
+
+TEST(OverlapBlockerTest, FindsSharedTokens) {
+  Tables t = NameTables();
+  OverlapBlocker blocker("name", /*min_overlap=*/1, /*use_words=*/true);
+  Result<std::vector<CandidatePair>> pairs = blocker.Block(t.a, t.b);
+  ASSERT_TRUE(pairs.ok());
+  // alice~alice (shared "alice"), smith pairs.
+  bool found_alice = false;
+  bool found_smith = false;
+  for (const auto& p : *pairs) {
+    if (p.left == 0 && p.right == 0) found_alice = true;
+    if (p.left == 1 && p.right == 1) found_smith = true;
+  }
+  EXPECT_TRUE(found_alice);
+  EXPECT_TRUE(found_smith);
+}
+
+TEST(OverlapBlockerTest, QgramModeCatchesTypos) {
+  Tables t = NameTables();
+  OverlapBlocker blocker("name", /*min_overlap=*/6, /*use_words=*/false);
+  Result<std::vector<CandidatePair>> pairs = blocker.Block(t.a, t.b);
+  ASSERT_TRUE(pairs.ok());
+  bool found_alice = false;
+  for (const auto& p : *pairs) {
+    if (p.left == 0 && p.right == 0) found_alice = true;
+  }
+  EXPECT_TRUE(found_alice);  // "alice brown" vs "alice browne"
+}
+
+TEST(OverlapBlockerTest, InvalidOverlapIsError) {
+  Tables t = NameTables();
+  OverlapBlocker blocker("name", 0);
+  EXPECT_FALSE(blocker.Block(t.a, t.b).ok());
+}
+
+TEST(SortedNeighborhoodBlockerTest, WindowCatchesNearKeys) {
+  Tables t = NameTables();
+  SortedNeighborhoodBlocker blocker("name", /*window=*/3);
+  Result<std::vector<CandidatePair>> pairs = blocker.Block(t.a, t.b);
+  ASSERT_TRUE(pairs.ok());
+  // "alice brown" and "alice browne" sort adjacently.
+  bool found = false;
+  for (const auto& p : *pairs) {
+    if (p.left == 0 && p.right == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+  SortedNeighborhoodBlocker bad("name", 1);
+  EXPECT_FALSE(bad.Block(t.a, t.b).ok());
+}
+
+TEST(BlockingStatsTest, ReductionAndCompleteness) {
+  std::vector<CandidatePair> candidates = {{0, 0}, {1, 1}};
+  std::vector<LabeledPair> labeled = {
+      {0, 0, true}, {1, 1, true}, {2, 2, true}, {0, 1, false}};
+  BlockingStats stats = EvaluateBlocking(candidates, labeled, 3, 3);
+  EXPECT_EQ(stats.num_candidates, 2u);
+  EXPECT_NEAR(stats.reduction_ratio, 1.0 - 2.0 / 9.0, 1e-9);
+  EXPECT_NEAR(stats.pair_completeness, 2.0 / 3.0, 1e-9);
+}
+
+TEST(BlockingStatsTest, NoTrueMatchesGivesFullCompleteness) {
+  BlockingStats stats = EvaluateBlocking({}, {{0, 0, false}}, 2, 2);
+  EXPECT_DOUBLE_EQ(stats.pair_completeness, 1.0);
+}
+
+}  // namespace
+}  // namespace fairem

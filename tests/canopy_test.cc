@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "src/block/blockers.h"
+
+namespace fairem {
+namespace {
+
+struct Tables {
+  Table a;
+  Table b;
+};
+
+Tables ProductTables() {
+  Schema schema = std::move(Schema::Make({"title"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  EXPECT_TRUE(a.AppendValues(0, {"sony rx100 digital camera"}).ok());
+  EXPECT_TRUE(a.AppendValues(1, {"canon eos 70d body"}).ok());
+  EXPECT_TRUE(a.AppendValues(2, {"nikon d3300 bundle kit"}).ok());
+  EXPECT_TRUE(b.AppendValues(0, {"sony rx100 camera deal"}).ok());
+  EXPECT_TRUE(b.AppendValues(1, {"canon eos 70d kit"}).ok());
+  EXPECT_TRUE(b.AppendValues(2, {"totally unrelated record"}).ok());
+  return {std::move(a), std::move(b)};
+}
+
+TEST(CanopyBlockerTest, GroupsTokenOverlappingRecords) {
+  Tables t = ProductTables();
+  CanopyBlocker blocker("title", /*t1=*/0.8, /*t2=*/0.4);
+  Result<std::vector<CandidatePair>> pairs = blocker.Block(t.a, t.b);
+  ASSERT_TRUE(pairs.ok());
+  bool sony = false;
+  bool canon = false;
+  bool unrelated = false;
+  for (const auto& p : *pairs) {
+    if (p.left == 0 && p.right == 0) sony = true;
+    if (p.left == 1 && p.right == 1) canon = true;
+    if (p.right == 2) unrelated = true;
+  }
+  EXPECT_TRUE(sony);
+  EXPECT_TRUE(canon);
+  EXPECT_FALSE(unrelated);
+}
+
+TEST(CanopyBlockerTest, LooseThresholdApproachesCartesian) {
+  Tables t = ProductTables();
+  CanopyBlocker blocker("title", /*t1=*/1.0, /*t2=*/1.0);
+  Result<std::vector<CandidatePair>> pairs = blocker.Block(t.a, t.b);
+  ASSERT_TRUE(pairs.ok());
+  // t1 = 1 puts everything in the first canopy.
+  EXPECT_EQ(pairs->size(), 9u);
+}
+
+TEST(CanopyBlockerTest, ValidatesThresholds) {
+  Tables t = ProductTables();
+  CanopyBlocker blocker("title", /*t1=*/0.3, /*t2=*/0.6);
+  EXPECT_FALSE(blocker.Block(t.a, t.b).ok());
+  CanopyBlocker missing("nope", 0.8, 0.4);
+  EXPECT_FALSE(missing.Block(t.a, t.b).ok());
+}
+
+TEST(CanopyBlockerTest, HighCompletenessOnBenchmarkShape) {
+  // A canopy over q-gram-ish token space must retain the true matches of a
+  // name-keyed task.
+  Schema schema = std::move(Schema::Make({"name"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  const char* names[] = {"alice marie brown", "robert james smith",
+                         "carla jones lee", "dan von kim"};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(a.AppendValues(i, {names[i]}).ok());
+    // The b-side shares two of three tokens.
+    std::string noisy = std::string(names[i]);
+    noisy = noisy.substr(0, noisy.rfind(' ')) + " jr";
+    ASSERT_TRUE(b.AppendValues(i, {noisy}).ok());
+  }
+  std::vector<LabeledPair> labeled;
+  for (size_t i = 0; i < 4; ++i) labeled.push_back({i, i, true});
+  CanopyBlocker blocker("name", 0.9, 0.5);
+  Result<std::vector<CandidatePair>> pairs = blocker.Block(a, b);
+  ASSERT_TRUE(pairs.ok());
+  BlockingStats stats = EvaluateBlocking(*pairs, labeled, 4, 4);
+  EXPECT_EQ(stats.pair_completeness, 1.0);
+}
+
+}  // namespace
+}  // namespace fairem

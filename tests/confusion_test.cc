@@ -1,0 +1,114 @@
+#include "src/core/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace fairem {
+namespace {
+
+/// The Appendix B Example 5 setting: four entities in groups g1/g2 and the
+/// exact matching results of Table 15.
+struct Example5 {
+  Table a;
+  Table b;
+  GroupMembership membership;
+  std::vector<PairOutcome> outcomes;
+};
+
+Example5 MakeExample5() {
+  Schema schema = std::move(Schema::Make({"grp"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  // Row i of each table is entity e_{i+1}; groups: e1,e2,e4 in g1; e3 in g2.
+  EXPECT_TRUE(a.AppendValues(1, {"g1"}).ok());  // e1
+  EXPECT_TRUE(a.AppendValues(3, {"g2"}).ok());  // e3
+  EXPECT_TRUE(a.AppendValues(2, {"g1"}).ok());  // e2 (left of pair 4)
+  EXPECT_TRUE(b.AppendValues(2, {"g1"}).ok());  // e2
+  EXPECT_TRUE(b.AppendValues(4, {"g1"}).ok());  // e4
+  EXPECT_TRUE(b.AppendValues(3, {"g2"}).ok());  // e3
+  SensitiveAttr attr{"grp", SensitiveAttrKind::kBinary, '|'};
+  GroupMembership membership =
+      std::move(GroupMembership::Make(a, b, attr)).value();
+  // Table 15 rows: (e1,e2,M,N)=FP, (e3,e4,N,N)=TN, (e1,e4,M,M)=TP,
+  // (e2,e3,N,M)=FN.
+  std::vector<PairOutcome> outcomes = {
+      {0, 0, true, false},   // e1-e2 FP  (g1, g1)
+      {1, 1, false, false},  // e3-e4 TN  (g2, g1)
+      {0, 1, true, true},    // e1-e4 TP  (g1, g1)
+      {2, 2, false, true},   // e2-e3 FN  (g1, g2)
+  };
+  return {std::move(a), std::move(b), std::move(membership),
+          std::move(outcomes)};
+}
+
+TEST(ConfusionTest, Example5GroupMatrices) {
+  Example5 ex = MakeExample5();
+  uint64_t g1 = *ex.membership.encoding().Encode({"g1"});
+  uint64_t g2 = *ex.membership.encoding().Encode({"g2"});
+  // Figure 15(b): g1 sees all four results (every pair touches g1).
+  ConfusionCounts c1 = SingleGroupCounts(ex.membership, ex.outcomes, g1);
+  EXPECT_EQ(c1.fp, 1);
+  EXPECT_EQ(c1.tn, 1);
+  EXPECT_EQ(c1.tp, 1);
+  EXPECT_EQ(c1.fn, 1);
+  // Figure 15(c): g2 sees only the TN and the FN.
+  ConfusionCounts c2 = SingleGroupCounts(ex.membership, ex.outcomes, g2);
+  EXPECT_EQ(c2.fp, 0);
+  EXPECT_EQ(c2.tn, 1);
+  EXPECT_EQ(c2.tp, 0);
+  EXPECT_EQ(c2.fn, 1);
+}
+
+TEST(ConfusionTest, PairCountsSelectBothSides) {
+  Example5 ex = MakeExample5();
+  uint64_t g1 = *ex.membership.encoding().Encode({"g1"});
+  uint64_t g2 = *ex.membership.encoding().Encode({"g2"});
+  // g1|g1 pairs: the FP (e1,e2) and the TP (e1,e4).
+  ConfusionCounts c11 = PairGroupCounts(ex.membership, ex.outcomes, g1, g1);
+  EXPECT_EQ(c11.fp, 1);
+  EXPECT_EQ(c11.tp, 1);
+  EXPECT_EQ(c11.total(), 2);
+  // g1|g2 pairs in either order: the TN (e3,e4) and the FN (e2,e3).
+  ConfusionCounts c12 = PairGroupCounts(ex.membership, ex.outcomes, g1, g2);
+  EXPECT_EQ(c12.tn, 1);
+  EXPECT_EQ(c12.fn, 1);
+  EXPECT_EQ(c12.total(), 2);
+  // g2|g2: none.
+  EXPECT_EQ(PairGroupCounts(ex.membership, ex.outcomes, g2, g2).total(), 0);
+}
+
+TEST(ConfusionTest, ComplementPartitionsOutcomes) {
+  Example5 ex = MakeExample5();
+  uint64_t g2 = *ex.membership.encoding().Encode({"g2"});
+  ConfusionCounts in = SingleGroupCounts(ex.membership, ex.outcomes, g2);
+  ConfusionCounts out =
+      SingleGroupComplementCounts(ex.membership, ex.outcomes, g2);
+  EXPECT_EQ(in.total() + out.total(),
+            static_cast<int64_t>(ex.outcomes.size()));
+  ConfusionCounts overall = OverallCounts(ex.outcomes);
+  EXPECT_EQ(in.tp + out.tp, overall.tp);
+  EXPECT_EQ(in.fp + out.fp, overall.fp);
+}
+
+TEST(ConfusionTest, PairComplementPartitions) {
+  Example5 ex = MakeExample5();
+  uint64_t g1 = *ex.membership.encoding().Encode({"g1"});
+  ConfusionCounts in = PairGroupCounts(ex.membership, ex.outcomes, g1, g1);
+  ConfusionCounts out =
+      PairGroupComplementCounts(ex.membership, ex.outcomes, g1, g1);
+  EXPECT_EQ(in.total() + out.total(),
+            static_cast<int64_t>(ex.outcomes.size()));
+}
+
+TEST(MakeOutcomesTest, ThresholdApplied) {
+  std::vector<LabeledPair> pairs = {{0, 0, true}, {1, 1, false}};
+  Result<std::vector<PairOutcome>> outcomes =
+      MakeOutcomes(pairs, {0.7, 0.6}, 0.65);
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_TRUE((*outcomes)[0].predicted_match);
+  EXPECT_FALSE((*outcomes)[1].predicted_match);
+  EXPECT_TRUE((*outcomes)[0].true_match);
+  EXPECT_FALSE(MakeOutcomes(pairs, {0.5}, 0.5).ok());
+}
+
+}  // namespace
+}  // namespace fairem

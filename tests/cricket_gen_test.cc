@@ -1,0 +1,79 @@
+// Generator-contract tests for Cricket: the negative-imbalance regime and
+// the left-handed abbreviation mechanism of §5.3.2.
+
+#include "src/datagen/cricket.h"
+
+#include <gtest/gtest.h>
+
+namespace fairem {
+namespace {
+
+EMDataset Cricket() {
+  return std::move(GenerateCricket(CricketOptions{})).value();
+}
+
+TEST(CricketGenTest, NegativeImbalanceAndThreshold) {
+  EMDataset ds = Cricket();
+  EXPECT_GT(ds.PositiveRate(), 0.9);  // paper: 96.5% positive
+  EXPECT_DOUBLE_EQ(ds.default_threshold, 0.9);
+  EXPECT_EQ(ds.table_a.schema().num_attributes(), 10u);
+}
+
+TEST(CricketGenTest, LeftHandedProfilesAbbreviateMore) {
+  EMDataset ds = Cricket();
+  size_t name = *ds.table_a.schema().Index("name");
+  size_t batting = *ds.table_a.schema().Index("battingStyle");
+  int lh_abbrev = 0;
+  int lh_total = 0;
+  int rh_abbrev = 0;
+  int rh_total = 0;
+  for (size_t r = 0; r < ds.table_b.num_rows(); ++r) {
+    if (ds.table_b.IsNull(r, name)) continue;
+    bool lh = ds.table_a.value(r, batting) == "Left Handed";
+    // Abbreviated names start with "X." initials.
+    bool abbrev = ds.table_b.value(r, name).size() > 1 &&
+                  ds.table_b.value(r, name)[1] == '.';
+    (lh ? lh_total : rh_total)++;
+    if (abbrev) (lh ? lh_abbrev : rh_abbrev)++;
+  }
+  ASSERT_GT(lh_total, 0);
+  ASSERT_GT(rh_total, 0);
+  double lh_rate = static_cast<double>(lh_abbrev) / lh_total;
+  double rh_rate = static_cast<double>(rh_abbrev) / rh_total;
+  EXPECT_GT(lh_rate, 0.5);
+  EXPECT_LT(rh_rate, 0.3);
+}
+
+TEST(CricketGenTest, NegativesAreSameCountrySameRoleTeammates) {
+  EMDataset ds = Cricket();
+  size_t country = *ds.table_a.schema().Index("country");
+  size_t role = *ds.table_a.schema().Index("role");
+  for (const auto& p : ds.AllPairs()) {
+    if (p.is_match) continue;
+    EXPECT_EQ(ds.table_a.value(p.left, country),
+              ds.table_b.value(p.right, country));
+    EXPECT_EQ(ds.table_a.value(p.left, role),
+              ds.table_b.value(p.right, role));
+  }
+}
+
+TEST(CricketGenTest, StatsCorrelateWithRole) {
+  // Same-role players cluster in the numeric attributes (the near-
+  // duplicate profiles that force the 0.9 threshold).
+  EMDataset ds = Cricket();
+  size_t role = *ds.table_a.schema().Index("role");
+  size_t runs = *ds.table_a.schema().Index("runs");
+  double batsman_min = 1e18;
+  double batsman_max = -1e18;
+  for (size_t r = 0; r < ds.table_a.num_rows(); ++r) {
+    if (ds.table_a.value(r, role) != "Batsman") continue;
+    double v = std::stod(std::string(ds.table_a.value(r, runs)));
+    batsman_min = std::min(batsman_min, v);
+    batsman_max = std::max(batsman_max, v);
+  }
+  // Within-role spread is a small band, not the full range.
+  EXPECT_LT(batsman_max - batsman_min, 1000.0);
+}
+
+}  // namespace
+}  // namespace fairem

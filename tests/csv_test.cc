@@ -1,0 +1,94 @@
+#include "src/data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace fairem {
+namespace {
+
+Table SampleTable() {
+  Schema schema = std::move(Schema::Make({"name", "note"})).value();
+  Table t("sample", schema);
+  EXPECT_TRUE(t.AppendValues(1, {"alice", "plain"}).ok());
+  EXPECT_TRUE(t.AppendValues(2, {"bob, jr.", "has, commas"}).ok());
+  EXPECT_TRUE(t.AppendValues(3, {"quote\"inside", "line\nbreak"}).ok());
+  Record null_row;
+  null_row.entity_id = 4;
+  null_row.cells = {std::string("dora"), std::nullopt};
+  EXPECT_TRUE(t.Append(std::move(null_row)).ok());
+  return t;
+}
+
+TEST(CsvTest, RoundTripPreservesEverything) {
+  Table original = SampleTable();
+  std::string text = WriteCsvString(original);
+  Result<Table> parsed = ReadCsvString(text, "sample");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->num_rows(), original.num_rows());
+  EXPECT_EQ(parsed->schema(), original.schema());
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    EXPECT_EQ(parsed->row(r).entity_id, original.row(r).entity_id);
+    for (size_t c = 0; c < original.schema().num_attributes(); ++c) {
+      EXPECT_EQ(parsed->IsNull(r, c), original.IsNull(r, c)) << r << "," << c;
+      EXPECT_EQ(parsed->value(r, c), original.value(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(CsvTest, QuotedFieldsWithEmbeddedDelimiters) {
+  Result<Table> t = ReadCsvString(
+      "entity_id,a\n1,\"x,y\"\n2,\"he said \"\"hi\"\"\"\n", "q");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->value(0, 0), "x,y");
+  EXPECT_EQ(t->value(1, 0), "he said \"hi\"");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  Result<Table> t = ReadCsvString("entity_id,a\r\n1,x\r\n2,y\r\n", "crlf");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->value(1, 0), "y");
+}
+
+TEST(CsvTest, NullToken) {
+  Result<Table> t = ReadCsvString("entity_id,a\n1,\\N\n", "nulls");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->IsNull(0, 0));
+}
+
+TEST(CsvTest, ErrorsOnMalformedInput) {
+  EXPECT_FALSE(ReadCsvString("", "x").ok());
+  EXPECT_FALSE(ReadCsvString("entity_id,a\n1\n", "x").ok());          // short row
+  EXPECT_FALSE(ReadCsvString("entity_id,a\n1,x,y\n", "x").ok());      // long row
+  EXPECT_FALSE(ReadCsvString("entity_id,a\nnotanum,x\n", "x").ok());  // bad id
+  EXPECT_FALSE(ReadCsvString("entity_id,a\n1,\"unterminated\n", "x").ok());
+}
+
+TEST(CsvTest, WithoutEntityIdColumn) {
+  CsvOptions options;
+  options.first_column_is_entity_id = false;
+  Result<Table> t = ReadCsvString("a,b\nx,y\n", "noid", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().num_attributes(), 2u);
+  EXPECT_EQ(t->row(0).entity_id, -1);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table original = SampleTable();
+  std::string path = ::testing::TempDir() + "/fairem_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(original, path).ok());
+  Result<Table> parsed = ReadCsvFile(path, "sample");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), original.num_rows());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  Result<Table> t = ReadCsvFile("/nonexistent/nope.csv", "x");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace fairem

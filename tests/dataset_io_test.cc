@@ -1,0 +1,86 @@
+#include "src/data/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/datagen/benchmark_suite.h"
+
+namespace fairem {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/fairem_io_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  EMDataset original =
+      std::move(GenerateDataset(DatasetKind::kDblpScholar, 0.4)).value();
+  std::string dir = FreshDir("roundtrip");
+  ASSERT_TRUE(SaveDataset(original, dir).ok());
+  Result<EMDataset> loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_EQ(loaded->sensitive_attr, original.sensitive_attr);
+  EXPECT_EQ(loaded->sensitive_kind, original.sensitive_kind);
+  EXPECT_EQ(loaded->matching_attrs, original.matching_attrs);
+  EXPECT_DOUBLE_EQ(loaded->default_threshold, original.default_threshold);
+  EXPECT_EQ(loaded->simulated_full_scale_pairs,
+            original.simulated_full_scale_pairs);
+  ASSERT_EQ(loaded->table_a.num_rows(), original.table_a.num_rows());
+  ASSERT_EQ(loaded->table_b.num_rows(), original.table_b.num_rows());
+  // Nulls (this is the dirty dataset) survive the round trip.
+  for (size_t r = 0; r < original.table_b.num_rows(); ++r) {
+    for (size_t c = 0; c < original.table_b.schema().num_attributes(); ++c) {
+      EXPECT_EQ(loaded->table_b.IsNull(r, c), original.table_b.IsNull(r, c));
+      EXPECT_EQ(loaded->table_b.value(r, c), original.table_b.value(r, c));
+    }
+  }
+  ASSERT_EQ(loaded->train.size(), original.train.size());
+  ASSERT_EQ(loaded->test.size(), original.test.size());
+  for (size_t i = 0; i < original.test.size(); ++i) {
+    EXPECT_EQ(loaded->test[i].left, original.test[i].left);
+    EXPECT_EQ(loaded->test[i].right, original.test[i].right);
+    EXPECT_EQ(loaded->test[i].is_match, original.test[i].is_match);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, SetwiseDatasetRoundTrips) {
+  EMDataset original =
+      std::move(GenerateDataset(DatasetKind::kItunesAmazon, 0.3)).value();
+  std::string dir = FreshDir("setwise");
+  ASSERT_TRUE(SaveDataset(original, dir).ok());
+  Result<EMDataset> loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->sensitive_kind, SensitiveAttrKind::kSetwise);
+  EXPECT_EQ(loaded->setwise_separator, original.setwise_separator);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, MissingDirectoryFails) {
+  EXPECT_FALSE(LoadDataset("/nonexistent/fairem").ok());
+  EMDataset ds =
+      std::move(GenerateDataset(DatasetKind::kDblpAcm, 0.3)).value();
+  EXPECT_FALSE(SaveDataset(ds, "/nonexistent/fairem").ok());
+}
+
+TEST(DatasetIoTest, CorruptMetaFails) {
+  std::string dir = FreshDir("corrupt");
+  EMDataset ds =
+      std::move(GenerateDataset(DatasetKind::kDblpAcm, 0.3)).value();
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+  // Break a pair file: out-of-range indices must fail validation.
+  std::ofstream out(dir + "/test.csv");
+  out << "entity_id,left,right,is_match\n0,999999,0,1\n";
+  out.close();
+  EXPECT_FALSE(LoadDataset(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fairem

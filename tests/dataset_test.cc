@@ -1,0 +1,130 @@
+#include "src/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fairem {
+namespace {
+
+EMDataset TinyDataset() {
+  Schema schema = std::move(Schema::Make({"name", "grp"})).value();
+  EMDataset ds;
+  ds.name = "tiny";
+  ds.table_a = Table("a", schema);
+  ds.table_b = Table("b", schema);
+  EXPECT_TRUE(ds.table_a.AppendValues(0, {"x", "g1"}).ok());
+  EXPECT_TRUE(ds.table_a.AppendValues(1, {"y", "g2"}).ok());
+  EXPECT_TRUE(ds.table_b.AppendValues(0, {"x", "g1"}).ok());
+  EXPECT_TRUE(ds.table_b.AppendValues(1, {"y", "g2"}).ok());
+  ds.matching_attrs = {"name"};
+  ds.sensitive_attr = "grp";
+  ds.test = {{0, 0, true}, {1, 1, true}, {0, 1, false}, {1, 0, false}};
+  return ds;
+}
+
+TEST(DatasetTest, PositiveRate) {
+  EMDataset ds = TinyDataset();
+  EXPECT_DOUBLE_EQ(ds.PositiveRate(), 0.5);
+  ds.test.clear();
+  EXPECT_DOUBLE_EQ(ds.PositiveRate(), 0.0);
+}
+
+TEST(DatasetTest, AllPairsConcatenatesSplits) {
+  EMDataset ds = TinyDataset();
+  ds.train = {{0, 0, true}};
+  ds.valid = {{1, 1, true}};
+  EXPECT_EQ(ds.AllPairs().size(), 6u);
+}
+
+TEST(DatasetTest, ValidateAcceptsGoodDataset) {
+  EXPECT_TRUE(TinyDataset().Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsBadIndices) {
+  EMDataset ds = TinyDataset();
+  ds.test.push_back({99, 0, false});
+  EXPECT_TRUE(ds.Validate().code() == StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, ValidateRejectsMissingAttrs) {
+  EMDataset ds = TinyDataset();
+  ds.matching_attrs = {"nope"};
+  EXPECT_FALSE(ds.Validate().ok());
+  ds = TinyDataset();
+  ds.sensitive_attr = "nope";
+  EXPECT_FALSE(ds.Validate().ok());
+  ds = TinyDataset();
+  ds.default_threshold = 1.5;
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(SplitPairsTest, FractionsRespected) {
+  std::vector<LabeledPair> pairs;
+  for (size_t i = 0; i < 100; ++i) pairs.push_back({i, i, i % 5 == 0});
+  Rng rng(3);
+  std::vector<LabeledPair> train;
+  std::vector<LabeledPair> valid;
+  std::vector<LabeledPair> test;
+  ASSERT_TRUE(
+      SplitPairs(pairs, 0.6, 0.2, &rng, &train, &valid, &test).ok());
+  EXPECT_EQ(train.size(), 60u);
+  EXPECT_EQ(valid.size(), 20u);
+  EXPECT_EQ(test.size(), 20u);
+}
+
+TEST(SplitPairsTest, PartitionIsExact) {
+  std::vector<LabeledPair> pairs;
+  for (size_t i = 0; i < 37; ++i) pairs.push_back({i, i + 1, false});
+  Rng rng(5);
+  std::vector<LabeledPair> train;
+  std::vector<LabeledPair> valid;
+  std::vector<LabeledPair> test;
+  ASSERT_TRUE(
+      SplitPairs(pairs, 0.5, 0.25, &rng, &train, &valid, &test).ok());
+  EXPECT_EQ(train.size() + valid.size() + test.size(), 37u);
+  // Every original pair appears exactly once.
+  std::set<size_t> lefts;
+  for (const auto* split : {&train, &valid, &test}) {
+    for (const auto& p : *split) lefts.insert(p.left);
+  }
+  EXPECT_EQ(lefts.size(), 37u);
+}
+
+TEST(SplitPairsTest, RejectsBadFractions) {
+  std::vector<LabeledPair> pairs = {{0, 0, true}};
+  Rng rng(1);
+  std::vector<LabeledPair> a;
+  std::vector<LabeledPair> b;
+  std::vector<LabeledPair> c;
+  EXPECT_FALSE(SplitPairs(pairs, 0.8, 0.3, &rng, &a, &b, &c).ok());
+  EXPECT_FALSE(SplitPairs(pairs, -0.1, 0.3, &rng, &a, &b, &c).ok());
+}
+
+TEST(SplitPairsTest, DeterministicForSeed) {
+  std::vector<LabeledPair> pairs;
+  for (size_t i = 0; i < 50; ++i) pairs.push_back({i, i, false});
+  auto run = [&](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<LabeledPair> train;
+    std::vector<LabeledPair> valid;
+    std::vector<LabeledPair> test;
+    EXPECT_TRUE(
+        SplitPairs(pairs, 0.5, 0.2, &rng, &train, &valid, &test).ok());
+    return train;
+  };
+  std::vector<LabeledPair> t1 = run(7);
+  std::vector<LabeledPair> t2 = run(7);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].left, t2[i].left);
+  }
+}
+
+TEST(DatasetTest, SensitiveAttrKindNames) {
+  EXPECT_STREQ(SensitiveAttrKindName(SensitiveAttrKind::kBinary), "binary");
+  EXPECT_STREQ(SensitiveAttrKindName(SensitiveAttrKind::kSetwise), "setwise");
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,138 @@
+#include "src/core/disparity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fairem {
+namespace {
+
+constexpr FairnessMeasure kHigherBetter =
+    FairnessMeasure::kTruePositiveRateParity;
+constexpr FairnessMeasure kLowerBetter =
+    FairnessMeasure::kFalseDiscoveryRateParity;
+
+TEST(DisparityTest, SubtractionHigherBetter) {
+  // Eq. 1: max(0, overall - group).
+  EXPECT_DOUBLE_EQ(
+      *ComputeDisparity(kHigherBetter, 0.9, 0.7, DisparityMode::kSubtraction),
+      0.2);
+  // Group doing better is not unfair.
+  EXPECT_DOUBLE_EQ(
+      *ComputeDisparity(kHigherBetter, 0.7, 0.9, DisparityMode::kSubtraction),
+      0.0);
+}
+
+TEST(DisparityTest, SubtractionLowerBetterSwapsOperands) {
+  // Eq. 4 for FNRP-style measures: max(0, group - overall).
+  EXPECT_DOUBLE_EQ(
+      *ComputeDisparity(kLowerBetter, 0.1, 0.3, DisparityMode::kSubtraction),
+      0.2);
+  EXPECT_DOUBLE_EQ(
+      *ComputeDisparity(kLowerBetter, 0.3, 0.1, DisparityMode::kSubtraction),
+      0.0);
+}
+
+TEST(DisparityTest, DivisionHigherBetter) {
+  // Eq. 3: max(0, 1 - group/overall).
+  EXPECT_NEAR(
+      *ComputeDisparity(kHigherBetter, 0.8, 0.6, DisparityMode::kDivision),
+      0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(
+      *ComputeDisparity(kHigherBetter, 0.6, 0.8, DisparityMode::kDivision),
+      0.0);
+}
+
+TEST(DisparityTest, DivisionLowerBetterSwapsRatio) {
+  // For FDRP: max(0, 1 - overall/group).
+  EXPECT_NEAR(
+      *ComputeDisparity(kLowerBetter, 0.2, 0.4, DisparityMode::kDivision),
+      0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(
+      *ComputeDisparity(kLowerBetter, 0.4, 0.2, DisparityMode::kDivision),
+      0.0);
+}
+
+TEST(DisparityTest, DivisionByZeroReference) {
+  EXPECT_TRUE(ComputeDisparity(kHigherBetter, 0.0, 0.5,
+                               DisparityMode::kDivision)
+                  .status()
+                  .IsUndefinedStatistic());
+  // 0/0: both perfect, no disparity.
+  EXPECT_DOUBLE_EQ(
+      *ComputeDisparity(kHigherBetter, 0.0, 0.0, DisparityMode::kDivision),
+      0.0);
+}
+
+TEST(DisparityTest, SignedVariantKeepsNegative) {
+  EXPECT_DOUBLE_EQ(*ComputeSignedDisparity(kHigherBetter, 0.7, 0.9,
+                                           DisparityMode::kSubtraction),
+                   -0.2);
+}
+
+TEST(DisparityTest, ClampedIsMaxOfZeroAndSigned) {
+  for (double overall : {0.1, 0.5, 0.9}) {
+    for (double group : {0.1, 0.5, 0.9}) {
+      for (DisparityMode mode :
+           {DisparityMode::kSubtraction, DisparityMode::kDivision}) {
+        Result<double> signed_d =
+            ComputeSignedDisparity(kHigherBetter, overall, group, mode);
+        Result<double> clamped =
+            ComputeDisparity(kHigherBetter, overall, group, mode);
+        ASSERT_TRUE(signed_d.ok());
+        ASSERT_TRUE(clamped.ok());
+        EXPECT_DOUBLE_EQ(*clamped, std::max(0.0, *signed_d));
+      }
+    }
+  }
+}
+
+// The between-group convention, verified against literal cells of the
+// paper's Tables 5 and 6.
+TEST(BetweenGroupTest, PaperTable5DittoTpr) {
+  // Ditto: TPR Afr 0.76, Cauc 0.82 -> sub 0.06, div 0.08.
+  EXPECT_NEAR(*BetweenGroupDisparity(kHigherBetter, 0.76, 0.82,
+                                     DisparityMode::kSubtraction),
+              0.06, 1e-9);
+  EXPECT_NEAR(*BetweenGroupDisparity(kHigherBetter, 0.76, 0.82,
+                                     DisparityMode::kDivision),
+              0.0789, 1e-3);
+}
+
+TEST(BetweenGroupTest, PaperTable5McanFdr) {
+  // MCAN: FDR Afr 0.19, Cauc 0.05 -> sub 0.14, div 2.8.
+  EXPECT_NEAR(*BetweenGroupDisparity(kLowerBetter, 0.19, 0.05,
+                                     DisparityMode::kSubtraction),
+              0.14, 1e-9);
+  EXPECT_NEAR(*BetweenGroupDisparity(kLowerBetter, 0.19, 0.05,
+                                     DisparityMode::kDivision),
+              2.8, 1e-9);
+}
+
+TEST(BetweenGroupTest, PaperTable6NbPpv) {
+  // NBMatcher: PPV cn 0.03, de 0.58 -> sub 0.55, div 18.3.
+  EXPECT_NEAR(*BetweenGroupDisparity(kHigherBetter, 0.03, 0.58,
+                                     DisparityMode::kSubtraction),
+              0.55, 1e-9);
+  EXPECT_NEAR(*BetweenGroupDisparity(kHigherBetter, 0.03, 0.58,
+                                     DisparityMode::kDivision),
+              18.33, 1e-2);
+}
+
+TEST(BetweenGroupTest, ZeroReference) {
+  EXPECT_TRUE(BetweenGroupDisparity(kHigherBetter, 0.0, 0.5,
+                                    DisparityMode::kDivision)
+                  .status()
+                  .IsUndefinedStatistic());
+  EXPECT_DOUBLE_EQ(*BetweenGroupDisparity(kHigherBetter, 0.0, 0.0,
+                                          DisparityMode::kDivision),
+                   0.0);
+}
+
+TEST(DisparityTest, ModeNames) {
+  EXPECT_STREQ(DisparityModeName(DisparityMode::kSubtraction), "sub");
+  EXPECT_STREQ(DisparityModeName(DisparityMode::kDivision), "div");
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,125 @@
+#include "src/text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+namespace fairem {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2);
+}
+
+TEST(LevenshteinTest, SimilarityNormalization) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abcd", "abce"), 0.75);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("ab", "xy"), 0.0);
+}
+
+TEST(DamerauTest, TranspositionCountsAsOne) {
+  EXPECT_EQ(DamerauLevenshteinDistance("ab", "ba"), 1);
+  EXPECT_EQ(LevenshteinDistance("ab", "ba"), 2);
+  EXPECT_EQ(DamerauLevenshteinDistance("brown", "borwn"), 1);
+}
+
+TEST(HammingTest, LengthDifferencesCount) {
+  EXPECT_EQ(HammingDistance("karolin", "kathrin"), 3);
+  EXPECT_EQ(HammingDistance("abc", "abcd"), 1);
+  EXPECT_EQ(HammingDistance("", ""), 0);
+  EXPECT_DOUBLE_EQ(HammingSimilarity("abc", "abc"), 1.0);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.7667, 1e-3);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  double jaro = JaroSimilarity("MARTHA", "MARHTA");
+  double jw = JaroWinklerSimilarity("MARTHA", "MARHTA");
+  EXPECT_GT(jw, jaro);
+  EXPECT_NEAR(jw, 0.9611, 1e-3);
+  // No common prefix: no boost.
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", "xbc"),
+                   JaroSimilarity("abc", "xbc"));
+}
+
+TEST(AlignmentTest, NeedlemanWunschIdentityAndDisjoint) {
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("", ""), 1.0);
+  EXPECT_LT(NeedlemanWunschSimilarity("aaaa", "bbbb"), 0.2);
+}
+
+TEST(AlignmentTest, SmithWatermanFindsLocalMatch) {
+  // A shared substring scores by its local alignment: "hello" (5 of 9
+  // chars) scores 2*5 / (2*9) against unrelated flanks.
+  EXPECT_NEAR(SmithWatermanSimilarity("xxhelloyy", "zzhelloww"), 5.0 / 9.0,
+              1e-6);
+  EXPECT_GT(SmithWatermanSimilarity("xxhelloyy", "zzhelloww"),
+            SmithWatermanSimilarity("xxhelloyy", "qqqqwwwww"));
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("a", ""), 0.0);
+}
+
+TEST(PrefixTest, Values) {
+  EXPECT_DOUBLE_EQ(PrefixSimilarity("abcdef", "abcxyz"), 0.5);
+  EXPECT_DOUBLE_EQ(PrefixSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(PrefixSimilarity("abc", "abc"), 1.0);
+}
+
+TEST(ExactMatchTest, Values) {
+  EXPECT_DOUBLE_EQ(ExactMatchSimilarity("x", "x"), 1.0);
+  EXPECT_DOUBLE_EQ(ExactMatchSimilarity("x", "y"), 0.0);
+  EXPECT_DOUBLE_EQ(ExactMatchSimilarity("", ""), 1.0);
+}
+
+// Property sweep: every character similarity is symmetric, bounded in
+// [0, 1], and 1 on identical inputs.
+using CharSim = double (*)(std::string_view, std::string_view);
+
+class CharSimilarityProperty
+    : public ::testing::TestWithParam<std::tuple<const char*, CharSim>> {};
+
+TEST_P(CharSimilarityProperty, SymmetricBoundedReflexive) {
+  CharSim sim = std::get<1>(GetParam());
+  const std::vector<std::string> samples = {
+      "",          "a",         "brown",     "browne",
+      "Qingming",  "Qing-Hu",   "guest editorial",
+      "2003",      "VLDBJ",     "lineage tracing for data warehouses"};
+  for (const auto& x : samples) {
+    EXPECT_DOUBLE_EQ(sim(x, x), 1.0) << x;
+    for (const auto& y : samples) {
+      double v = sim(x, y);
+      EXPECT_GE(v, 0.0) << x << " / " << y;
+      EXPECT_LE(v, 1.0) << x << " / " << y;
+      EXPECT_DOUBLE_EQ(v, sim(y, x)) << x << " / " << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCharMeasures, CharSimilarityProperty,
+    ::testing::Values(
+        std::make_tuple("levenshtein", &LevenshteinSimilarity),
+        std::make_tuple("hamming", &HammingSimilarity),
+        std::make_tuple("jaro", &JaroSimilarity),
+        std::make_tuple("jaro_winkler", &JaroWinklerSimilarity),
+        std::make_tuple("needleman_wunsch", &NeedlemanWunschSimilarity),
+        std::make_tuple("smith_waterman", &SmithWatermanSimilarity),
+        std::make_tuple("prefix", &PrefixSimilarity),
+        std::make_tuple("exact", &ExactMatchSimilarity)),
+    [](const auto& info) { return std::get<0>(info.param); });
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "src/embed/sentence_encoder.h"
+#include "src/embed/subword_embedding.h"
+
+namespace fairem {
+namespace {
+
+TEST(SubwordEmbeddingTest, DeterministicAcrossInstances) {
+  SubwordEmbedding a;
+  SubwordEmbedding b;
+  std::vector<float> va = a.Embed("huang");
+  std::vector<float> vb = b.Embed("huang");
+  ASSERT_EQ(va.size(), vb.size());
+  for (size_t i = 0; i < va.size(); ++i) EXPECT_FLOAT_EQ(va[i], vb[i]);
+}
+
+TEST(SubwordEmbeddingTest, UnitNormAndCaseInsensitive) {
+  SubwordEmbedding e;
+  std::vector<float> v = e.Embed("Brown");
+  double norm_sq = 0.0;
+  for (float x : v) norm_sq += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-5);
+  EXPECT_NEAR(e.TokenSimilarity("Brown", "brown"), 1.0, 1e-6);
+}
+
+TEST(SubwordEmbeddingTest, EmptyTokenIsZeroVector) {
+  SubwordEmbedding e;
+  std::vector<float> v = e.Embed("");
+  for (float x : v) EXPECT_FLOAT_EQ(x, 0.0f);
+  EXPECT_DOUBLE_EQ(e.TokenSimilarity("", "x"), 0.0);
+}
+
+TEST(SubwordEmbeddingTest, SurfaceSimilarTokensAreClose) {
+  // The pre-trained-embedding property the paper's neural FPs rely on:
+  // shared n-grams => high cosine.
+  SubwordEmbedding e;
+  double near = e.TokenSimilarity("brown", "browne");
+  double far = e.TokenSimilarity("brown", "zhang");
+  EXPECT_GT(near, 0.45);
+  EXPECT_LT(far, 0.4);
+  EXPECT_GT(e.TokenSimilarity("efficient", "effective"),
+            e.TokenSimilarity("efficient", "banana"));
+}
+
+TEST(SubwordEmbeddingTest, DifferentSeedsGiveDifferentSpaces) {
+  SubwordEmbedding e1(SubwordEmbeddingOptions{.seed = 1});
+  SubwordEmbedding e2(SubwordEmbeddingOptions{.seed = 2});
+  double cross = SubwordEmbedding::Cosine(e1.Embed("brown"),
+                                          e2.Embed("brown"));
+  EXPECT_LT(cross, 0.7);
+}
+
+TEST(SubwordEmbeddingTest, CosineEdgeCases) {
+  SubwordEmbedding e;
+  EXPECT_DOUBLE_EQ(SubwordEmbedding::Cosine({1.0f}, {1.0f, 2.0f}), 0.0);
+  EXPECT_DOUBLE_EQ(SubwordEmbedding::Cosine({0.0f}, {0.0f}), 0.0);
+}
+
+TEST(SentenceEncoderTest, IdenticalSentencesScoreOne) {
+  SubwordEmbedding e;
+  SentenceEncoder enc(&e);
+  std::vector<std::string> s = {"lineage", "tracing"};
+  EXPECT_NEAR(enc.Similarity(s, s), 1.0, 1e-5);
+}
+
+TEST(SentenceEncoderTest, EmptySentenceIsZero) {
+  SubwordEmbedding e;
+  SentenceEncoder enc(&e);
+  std::vector<float> v = enc.Encode({});
+  for (float x : v) EXPECT_FLOAT_EQ(x, 0.0f);
+  EXPECT_DOUBLE_EQ(enc.Similarity({}, {"a"}), 0.0);
+}
+
+TEST(SentenceEncoderTest, SifDownweightsFrequentTokens) {
+  SubwordEmbedding e;
+  SentenceEncoder enc(&e);
+  // "the" floods the corpus; content words are rare.
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 200; ++i) corpus.push_back({"the"});
+  corpus.push_back({"warehouse"});
+  corpus.push_back({"streaming"});
+  enc.FitFrequencies(corpus);
+  EXPECT_LT(enc.TokenWeight("the"), 0.05);
+  EXPECT_GT(enc.TokenWeight("warehouse"), 0.1);
+  // Sentences sharing only the frequent token barely align; sharing the
+  // rare token aligns strongly.
+  double via_the =
+      enc.Similarity({"the", "warehouse"}, {"the", "streaming"});
+  double via_rare =
+      enc.Similarity({"the", "warehouse"}, {"a", "warehouse"});
+  EXPECT_GT(via_rare, via_the);
+}
+
+TEST(SentenceEncoderTest, WeightedAlignmentSeparatesContentMismatch) {
+  SubwordEmbedding e;
+  SentenceEncoder enc(&e);
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 100; ++i) corpus.push_back({"col", "val", "race"});
+  corpus.push_back({"jamal", "brown"});
+  corpus.push_back({"keisha", "browne"});
+  enc.FitFrequencies(corpus);
+  // Same boilerplate, same-ish surname, different first name...
+  double near_collision = enc.AlignmentSimilarity(
+      {"col", "val", "race", "jamal", "brown"},
+      {"col", "val", "race", "keisha", "browne"});
+  // ...versus a true match with small typos in both names.
+  double true_match = enc.AlignmentSimilarity(
+      {"col", "val", "race", "jamal", "brown"},
+      {"col", "val", "race", "jamak", "browm"});
+  EXPECT_GT(true_match, near_collision);
+}
+
+TEST(SentenceEncoderTest, AlignmentEdgeCases) {
+  SubwordEmbedding e;
+  SentenceEncoder enc(&e);
+  EXPECT_DOUBLE_EQ(enc.AlignmentSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(enc.AlignmentSimilarity({"a"}, {}), 0.0);
+  EXPECT_NEAR(enc.AlignmentSimilarity({"same"}, {"same"}), 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,124 @@
+#include "src/matcher/ensemble_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/social.h"
+#include "src/harness/experiment.h"
+#include "src/matcher/ml_matchers.h"
+
+namespace fairem {
+namespace {
+
+/// A contrived pool: one member perfect for g0 and useless for g1, one the
+/// reverse. The ensemble must route each group to its specialist.
+class GroupSpecialist : public Matcher {
+ public:
+  GroupSpecialist(std::string good_group, std::string name)
+      : good_group_(std::move(good_group)), name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  MatcherFamily family() const override { return MatcherFamily::kNonNeural; }
+  Status Fit(const EMDataset& dataset, Rng*) override {
+    grp_col_ = std::move(dataset.table_a.schema().Index("grp")).value();
+    return Status::OK();
+  }
+  Result<double> ScorePair(const EMDataset& dataset, size_t left,
+                           size_t right) const override {
+    if (dataset.table_a.value(left, grp_col_) != good_group_) {
+      return 0.5;  // coin flip outside the specialty -> useless
+    }
+    // Perfect inside the specialty: matches share entity ids here.
+    return dataset.table_a.row(left).entity_id ==
+                   dataset.table_b.row(right).entity_id
+               ? 0.9
+               : 0.1;
+  }
+
+ private:
+  std::string good_group_;
+  std::string name_;
+  size_t grp_col_ = 0;
+};
+
+EMDataset TwoGroupTask() {
+  Schema schema = std::move(Schema::Make({"name", "grp"})).value();
+  EMDataset ds;
+  ds.name = "two_group";
+  ds.table_a = Table("a", schema);
+  ds.table_b = Table("b", schema);
+  for (int i = 0; i < 40; ++i) {
+    std::string g = i < 20 ? "g0" : "g1";
+    EXPECT_TRUE(
+        ds.table_a.AppendValues(i, {"n" + std::to_string(i), g}).ok());
+    EXPECT_TRUE(
+        ds.table_b.AppendValues(i, {"n" + std::to_string(i), g}).ok());
+  }
+  ds.matching_attrs = {"name"};
+  ds.sensitive_attr = "grp";
+  std::vector<LabeledPair> pairs;
+  for (size_t i = 0; i < 40; ++i) {
+    pairs.push_back({i, i, true});
+    pairs.push_back({i, (i + 2) % 40, false});
+  }
+  ds.train = pairs;
+  ds.valid = pairs;
+  ds.test = pairs;
+  return ds;
+}
+
+TEST(EnsembleTest, RoutesEachGroupToItsSpecialist) {
+  EMDataset ds = TwoGroupTask();
+  std::vector<std::unique_ptr<Matcher>> pool;
+  pool.push_back(std::make_unique<GroupSpecialist>("g0", "OnlyG0"));
+  pool.push_back(std::make_unique<GroupSpecialist>("g1", "OnlyG1"));
+  PerGroupEnsembleMatcher ensemble(std::move(pool));
+  Rng rng(5);
+  ASSERT_TRUE(ensemble.Fit(ds, &rng).ok());
+  EXPECT_EQ(ensemble.selection().at("g0"), "OnlyG0");
+  EXPECT_EQ(ensemble.selection().at("g1"), "OnlyG1");
+  // The routed ensemble is perfect where each member alone is not.
+  Result<std::vector<double>> scores = ensemble.PredictScores(ds, ds.test);
+  ASSERT_TRUE(scores.ok());
+  for (size_t i = 0; i < ds.test.size(); ++i) {
+    EXPECT_EQ((*scores)[i] >= 0.5, ds.test[i].is_match) << i;
+  }
+}
+
+TEST(EnsembleTest, EmptyPoolRejected) {
+  PerGroupEnsembleMatcher ensemble({});
+  EMDataset ds = TwoGroupTask();
+  Rng rng(1);
+  EXPECT_FALSE(ensemble.Fit(ds, &rng).ok());
+}
+
+TEST(EnsembleTest, ScoreBeforeFitFails) {
+  std::vector<std::unique_ptr<Matcher>> pool;
+  pool.push_back(MakeDTMatcher());
+  PerGroupEnsembleMatcher ensemble(std::move(pool));
+  EMDataset ds = TwoGroupTask();
+  EXPECT_FALSE(ensemble.ScorePair(ds, 0, 0).ok());
+}
+
+TEST(EnsembleTest, ShrinksTheFacultyMatchGap) {
+  // The paper's lesson (vi) end-to-end: the default pool on FacultyMatch
+  // must match the best single member per group.
+  FacultyMatchOptions options;
+  options.num_cn = 120;
+  options.num_de = 90;
+  EMDataset ds = std::move(GenerateFacultyMatch(options)).value();
+  std::unique_ptr<PerGroupEnsembleMatcher> ensemble =
+      PerGroupEnsembleMatcher::WithDefaultPool();
+  Rng rng(7);
+  ASSERT_TRUE(ensemble->Fit(ds, &rng).ok());
+  Result<std::vector<double>> scores = ensemble->PredictScores(ds, ds.test);
+  ASSERT_TRUE(scores.ok());
+  Result<std::vector<PairOutcome>> outcomes =
+      MakeOutcomes(ds.test, *scores, ds.default_threshold);
+  ASSERT_TRUE(outcomes.ok());
+  double f1 = F1Score(OverallCounts(*outcomes)).value_or(0.0);
+  // The routed ensemble should at least match a decent non-neural member.
+  EXPECT_GT(f1, 0.85);
+  EXPECT_EQ(ensemble->selection().size(), 2u);
+}
+
+}  // namespace
+}  // namespace fairem

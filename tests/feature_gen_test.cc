@@ -1,0 +1,127 @@
+#include "src/feature/feature_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace fairem {
+namespace {
+
+struct Tables {
+  Table a;
+  Table b;
+};
+
+Tables MixedTables() {
+  Schema schema =
+      std::move(Schema::Make({"year", "venue", "title"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  EXPECT_TRUE(a.AppendValues(0, {"2001", "VLDB",
+                                 "efficient query processing over large "
+                                 "streaming data collections"}).ok());
+  EXPECT_TRUE(a.AppendValues(1, {"1999", "SIGMOD",
+                                 "adaptive indexing structures for high "
+                                 "dimensional similarity search"}).ok());
+  EXPECT_TRUE(b.AppendValues(0, {"2001", "VLDB",
+                                 "efficient query processing over large "
+                                 "streaming data collections"}).ok());
+  EXPECT_TRUE(b.AppendValues(1, {"2000", "ICDE",
+                                 "scalable mining of frequent patterns in "
+                                 "transactional databases today"}).ok());
+  return {std::move(a), std::move(b)};
+}
+
+TEST(TypeInferenceTest, DetectsNumericShortAndLong) {
+  Tables t = MixedTables();
+  EXPECT_EQ(*InferAttrType(t.a, t.b, "year"), AttrType::kNumeric);
+  EXPECT_EQ(*InferAttrType(t.a, t.b, "venue"), AttrType::kShortString);
+  EXPECT_EQ(*InferAttrType(t.a, t.b, "title"), AttrType::kLongString);
+  EXPECT_FALSE(InferAttrType(t.a, t.b, "nope").ok());
+}
+
+TEST(TypeInferenceTest, AllNullColumnDefaultsToShortString) {
+  Schema schema = std::move(Schema::Make({"x"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  Record r;
+  r.entity_id = 0;
+  r.cells = {std::nullopt};
+  ASSERT_TRUE(a.Append(std::move(r)).ok());
+  EXPECT_EQ(*InferAttrType(a, b, "x"), AttrType::kShortString);
+}
+
+TEST(FeatureGenTest, GeneratesTypeAppropriateFeatures) {
+  Tables t = MixedTables();
+  Result<std::vector<FeatureDef>> defs =
+      GenerateFeatures(t.a, t.b, {"year", "venue", "title"});
+  ASSERT_TRUE(defs.ok());
+  int numeric = 0;
+  int word_level = 0;
+  for (const auto& d : *defs) {
+    if (d.measure == SimilarityMeasure::kNumericAbsDiff) ++numeric;
+    if (d.measure == SimilarityMeasure::kJaccardWord) ++word_level;
+    EXPECT_FALSE(d.name().empty());
+  }
+  EXPECT_EQ(numeric, 1);     // only `year`
+  EXPECT_EQ(word_level, 1);  // only `title`
+}
+
+TEST(FeatureExtractTest, IdenticalRowsScoreOnes) {
+  Tables t = MixedTables();
+  Result<std::vector<FeatureDef>> defs =
+      GenerateFeatures(t.a, t.b, {"year", "venue", "title"});
+  ASSERT_TRUE(defs.ok());
+  Result<std::vector<double>> features =
+      ExtractFeatures(*defs, t.a, t.b, 0, 0);
+  ASSERT_TRUE(features.ok());
+  for (double f : *features) EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST(FeatureExtractTest, NullCellYieldsZero) {
+  Schema schema = std::move(Schema::Make({"name"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  ASSERT_TRUE(a.AppendValues(0, {"alice"}).ok());
+  Record r;
+  r.entity_id = 0;
+  r.cells = {std::nullopt};
+  ASSERT_TRUE(b.Append(std::move(r)).ok());
+  std::vector<FeatureDef> defs = {{"name", SimilarityMeasure::kLevenshtein}};
+  Result<std::vector<double>> features = ExtractFeatures(defs, a, b, 0, 0);
+  ASSERT_TRUE(features.ok());
+  EXPECT_DOUBLE_EQ((*features)[0], 0.0);
+}
+
+TEST(FeatureTableTest, RowsAlignWithPairs) {
+  Tables t = MixedTables();
+  Result<std::vector<FeatureDef>> defs =
+      GenerateFeatures(t.a, t.b, {"venue"});
+  ASSERT_TRUE(defs.ok());
+  std::vector<LabeledPair> pairs = {{0, 0, true}, {1, 1, false},
+                                    {0, 1, false}};
+  Result<FeatureTable> table =
+      BuildFeatureTable(*defs, t.a, t.b, pairs);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 3u);
+  EXPECT_EQ(table->labels, (std::vector<int>{1, 0, 0}));
+  EXPECT_EQ(table->rows[0].size(), defs->size());
+}
+
+TEST(FeatureTableTest, FeatureValuesAreBounded) {
+  Tables t = MixedTables();
+  Result<std::vector<FeatureDef>> defs =
+      GenerateFeatures(t.a, t.b, {"year", "venue", "title"});
+  ASSERT_TRUE(defs.ok());
+  for (size_t i = 0; i < t.a.num_rows(); ++i) {
+    for (size_t j = 0; j < t.b.num_rows(); ++j) {
+      Result<std::vector<double>> f = ExtractFeatures(*defs, t.a, t.b, i, j);
+      ASSERT_TRUE(f.ok());
+      for (double v : *f) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,114 @@
+#include "src/core/group.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/encoding.h"
+
+namespace fairem {
+namespace {
+
+TEST(ParseGroupsTest, BinaryAndMultiValued) {
+  SensitiveAttr attr{"race", SensitiveAttrKind::kBinary, '|'};
+  EXPECT_EQ(ParseGroups("Caucasian", attr),
+            (std::vector<std::string>{"Caucasian"}));
+  EXPECT_EQ(ParseGroups("  spaced  ", attr),
+            (std::vector<std::string>{"spaced"}));
+  EXPECT_TRUE(ParseGroups("", attr).empty());
+  EXPECT_TRUE(ParseGroups("   ", attr).empty());
+}
+
+TEST(ParseGroupsTest, SetwiseSplitsAndDedupes) {
+  SensitiveAttr attr{"genre", SensitiveAttrKind::kSetwise, '|'};
+  EXPECT_EQ(ParseGroups("Country|Honky Tonk", attr),
+            (std::vector<std::string>{"Country", "Honky Tonk"}));
+  EXPECT_EQ(ParseGroups("Pop|Pop| Pop ", attr),
+            (std::vector<std::string>{"Pop"}));
+  EXPECT_EQ(ParseGroups("Rock||Jazz", attr),
+            (std::vector<std::string>{"Jazz", "Rock"}));
+}
+
+TEST(GroupExtractorTest, ExtractsPerRowMemberships) {
+  Schema schema = std::move(Schema::Make({"name", "genre"})).value();
+  Table t("songs", schema);
+  ASSERT_TRUE(t.AppendValues(0, {"a", "Pop|Rock"}).ok());
+  ASSERT_TRUE(t.AppendValues(1, {"b", "Jazz"}).ok());
+  Record null_row;
+  null_row.entity_id = 2;
+  null_row.cells = {std::string("c"), std::nullopt};
+  ASSERT_TRUE(t.Append(std::move(null_row)).ok());
+  SensitiveAttr attr{"genre", SensitiveAttrKind::kSetwise, '|'};
+  Result<GroupExtractor> ext = GroupExtractor::Make(t, attr);
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ(ext->Groups(0), (std::vector<std::string>{"Pop", "Rock"}));
+  EXPECT_EQ(ext->Groups(1), (std::vector<std::string>{"Jazz"}));
+  EXPECT_TRUE(ext->Groups(2).empty());
+  EXPECT_EQ(ext->DistinctGroups(),
+            (std::vector<std::string>{"Jazz", "Pop", "Rock"}));
+}
+
+TEST(GroupExtractorTest, MissingAttrFails) {
+  Schema schema = std::move(Schema::Make({"name"})).value();
+  Table t("t", schema);
+  SensitiveAttr attr{"race", SensitiveAttrKind::kBinary, '|'};
+  EXPECT_FALSE(GroupExtractor::Make(t, attr).ok());
+}
+
+TEST(UnionGroupsTest, SortedUnion) {
+  Schema schema = std::move(Schema::Make({"g"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  ASSERT_TRUE(a.AppendValues(0, {"x"}).ok());
+  ASSERT_TRUE(b.AppendValues(0, {"y"}).ok());
+  ASSERT_TRUE(b.AppendValues(1, {"x"}).ok());
+  SensitiveAttr attr{"g", SensitiveAttrKind::kBinary, '|'};
+  GroupExtractor ea = std::move(GroupExtractor::Make(a, attr)).value();
+  GroupExtractor eb = std::move(GroupExtractor::Make(b, attr)).value();
+  EXPECT_EQ(UnionGroups(ea, eb), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(GroupEncodingTest, EncodeDecodeRoundTrip) {
+  GroupEncoding enc =
+      std::move(GroupEncoding::Make({"Female", "Male", "Pop", "Rock"}))
+          .value();
+  Result<uint64_t> mask = enc.Encode({"Female", "Rock"});
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, 0b1001u);
+  EXPECT_EQ(enc.Decode(*mask),
+            (std::vector<std::string>{"Female", "Rock"}));
+  EXPECT_TRUE(enc.Encode({"Unknown"}).status().IsNotFound());
+}
+
+TEST(GroupEncodingTest, AppendixAExample) {
+  // Example 4: groups {Female, Male, Jazz, Pop, Rock} lexicographic;
+  // entity {Female, Pop, Rock} belongs to subgroup {Female, Pop}.
+  GroupEncoding enc =
+      std::move(GroupEncoding::Make({"Female", "Male", "Jazz", "Pop", "Rock"}))
+          .value();
+  uint64_t entity = *enc.Encode({"Female", "Pop", "Rock"});
+  uint64_t subgroup = *enc.Encode({"Female", "Pop"});
+  EXPECT_TRUE(GroupEncoding::Belongs(entity, subgroup));
+  uint64_t other = *enc.Encode({"Male", "Pop"});
+  EXPECT_FALSE(GroupEncoding::Belongs(entity, other));
+  // The empty subgroup contains everyone.
+  EXPECT_TRUE(GroupEncoding::Belongs(entity, 0));
+}
+
+TEST(GroupEncodingTest, PairBelongsIsNonDirectional) {
+  GroupEncoding enc = std::move(GroupEncoding::Make({"g1", "g2"})).value();
+  uint64_t g1 = *enc.Encode({"g1"});
+  uint64_t g2 = *enc.Encode({"g2"});
+  EXPECT_TRUE(GroupEncoding::PairBelongs(g1, g2, g1, g2));
+  EXPECT_TRUE(GroupEncoding::PairBelongs(g2, g1, g1, g2));
+  EXPECT_FALSE(GroupEncoding::PairBelongs(g1, g1, g1, g2));
+  EXPECT_TRUE(GroupEncoding::PairBelongs(g1, g1, g1, g1));
+}
+
+TEST(GroupEncodingTest, RejectsDuplicatesAndOverflow) {
+  EXPECT_FALSE(GroupEncoding::Make({"a", "a"}).ok());
+  std::vector<std::string> many;
+  for (int i = 0; i < 65; ++i) many.push_back("g" + std::to_string(i));
+  EXPECT_FALSE(GroupEncoding::Make(many).ok());
+}
+
+}  // namespace
+}  // namespace fairem

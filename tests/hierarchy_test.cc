@@ -1,0 +1,83 @@
+#include "src/core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fairem {
+namespace {
+
+std::vector<AttrDomain> GenderGenre() {
+  // The Figure 1 setting: binary gender x setwise genre {Pop, Rock, Jazz}.
+  AttrDomain gender;
+  gender.attr = {"gender", SensitiveAttrKind::kBinary, '|'};
+  gender.domain = {"Female", "Male"};
+  AttrDomain genre;
+  genre.attr = {"genre", SensitiveAttrKind::kSetwise, '|'};
+  genre.domain = {"Pop", "Rock", "Jazz"};
+  return {gender, genre};
+}
+
+TEST(HierarchyTest, LevelOneIsAllGroups) {
+  Result<std::vector<Subgroup>> level = EnumerateLevel(GenderGenre(), 1);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(level->size(), 5u);
+}
+
+TEST(HierarchyTest, LevelTwoMatchesFigure1) {
+  // Level 2 of Figure 1: gender x genre combos (2 x 3 = 6) plus genre
+  // 2-combinations (3), but never Female & Male.
+  Result<std::vector<Subgroup>> level = EnumerateLevel(GenderGenre(), 2);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(level->size(), 9u);
+  for (const auto& sg : *level) {
+    std::set<std::string> groups(sg.groups.begin(), sg.groups.end());
+    EXPECT_FALSE(groups.count("Female") && groups.count("Male"))
+        << sg.Label();
+  }
+}
+
+TEST(HierarchyTest, LevelThreeCombinesSetwisePairsWithGender) {
+  // Level 3: one gender + 2 genres (2 * 3 = 6) or all 3 genres (1).
+  Result<std::vector<Subgroup>> level = EnumerateLevel(GenderGenre(), 3);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(level->size(), 7u);
+}
+
+TEST(HierarchyTest, MaxLevelAndBeyond) {
+  std::vector<AttrDomain> attrs = GenderGenre();
+  EXPECT_EQ(MaxLevel(attrs), 4);  // 1 gender + 3 genres
+  Result<std::vector<Subgroup>> level4 = EnumerateLevel(attrs, 4);
+  ASSERT_TRUE(level4.ok());
+  EXPECT_EQ(level4->size(), 2u);  // each gender with all genres
+  Result<std::vector<Subgroup>> level5 = EnumerateLevel(attrs, 5);
+  ASSERT_TRUE(level5.ok());
+  EXPECT_TRUE(level5->empty());
+}
+
+TEST(HierarchyTest, InvalidLevelIsError) {
+  EXPECT_FALSE(EnumerateLevel(GenderGenre(), 0).ok());
+}
+
+TEST(HierarchyTest, ExclusiveOnlyAttrsBehaveLikeCartesian) {
+  AttrDomain a;
+  a.attr = {"a", SensitiveAttrKind::kMultiValued, '|'};
+  a.domain = {"x", "y", "z"};
+  AttrDomain b;
+  b.attr = {"b", SensitiveAttrKind::kBinary, '|'};
+  b.domain = {"0", "1"};
+  Result<std::vector<Subgroup>> level2 = EnumerateLevel({a, b}, 2);
+  ASSERT_TRUE(level2.ok());
+  EXPECT_EQ(level2->size(), 6u);  // 3 x 2, no within-attribute pairs
+}
+
+TEST(SubgroupTest, LabelJoinsGroups) {
+  Subgroup sg;
+  sg.groups = {"Female", "Pop"};
+  EXPECT_EQ(sg.Label(), "Female & Pop");
+  Subgroup empty;
+  EXPECT_EQ(empty.Label(), "");
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,124 @@
+#include "src/core/measures.h"
+
+#include <gtest/gtest.h>
+
+namespace fairem {
+namespace {
+
+ConfusionCounts Sample() {
+  ConfusionCounts c;
+  c.tp = 8;
+  c.fp = 2;
+  c.tn = 85;
+  c.fn = 5;
+  return c;
+}
+
+TEST(MeasuresTest, NamesRoundTrip) {
+  for (FairnessMeasure m : kAllFairnessMeasures) {
+    Result<FairnessMeasure> parsed =
+        ParseFairnessMeasure(FairnessMeasureName(m));
+    ASSERT_TRUE(parsed.ok()) << FairnessMeasureName(m);
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(ParseFairnessMeasure("NOPE").ok());
+}
+
+TEST(MeasuresTest, ElevenMeasuresTenScalar) {
+  EXPECT_EQ(std::size(kAllFairnessMeasures), 11u);
+  EXPECT_EQ(ScalarFairnessMeasures().size(), 10u);
+}
+
+TEST(MeasuresTest, StatisticsMatchTable2Definitions) {
+  ConfusionCounts c = Sample();
+  // Pr(h = y)
+  EXPECT_DOUBLE_EQ(*MeasureStatistic(FairnessMeasure::kAccuracyParity, c),
+                   0.93);
+  // Pr(h = 'M')
+  EXPECT_DOUBLE_EQ(*MeasureStatistic(FairnessMeasure::kStatisticalParity, c),
+                   0.10);
+  // Pr(h='M' | y='M')
+  EXPECT_NEAR(
+      *MeasureStatistic(FairnessMeasure::kTruePositiveRateParity, c),
+      8.0 / 13.0, 1e-12);
+  // Pr(h='M' | y='N')
+  EXPECT_NEAR(
+      *MeasureStatistic(FairnessMeasure::kFalsePositiveRateParity, c),
+      2.0 / 87.0, 1e-12);
+  // Pr(y='M' | h='M')
+  EXPECT_DOUBLE_EQ(
+      *MeasureStatistic(FairnessMeasure::kPositivePredictiveValueParity, c),
+      0.8);
+  // Pr(y='N' | h='M')
+  EXPECT_DOUBLE_EQ(
+      *MeasureStatistic(FairnessMeasure::kFalseDiscoveryRateParity, c), 0.2);
+}
+
+TEST(MeasuresTest, EqualizedOddsHasNoScalar) {
+  EXPECT_FALSE(
+      MeasureStatistic(FairnessMeasure::kEqualizedOdds, Sample()).ok());
+}
+
+TEST(MeasuresTest, DirectionClassification) {
+  EXPECT_FALSE(LowerIsBetter(FairnessMeasure::kAccuracyParity));
+  EXPECT_FALSE(LowerIsBetter(FairnessMeasure::kTruePositiveRateParity));
+  EXPECT_TRUE(LowerIsBetter(FairnessMeasure::kFalsePositiveRateParity));
+  EXPECT_TRUE(LowerIsBetter(FairnessMeasure::kFalseNegativeRateParity));
+  EXPECT_TRUE(LowerIsBetter(FairnessMeasure::kFalseDiscoveryRateParity));
+  EXPECT_TRUE(LowerIsBetter(FairnessMeasure::kFalseOmissionRateParity));
+}
+
+TEST(MeasuresTest, CategoriesPerSection34) {
+  EXPECT_EQ(CategoryOf(FairnessMeasure::kStatisticalParity),
+            MeasureCategory::kIndependence);
+  EXPECT_EQ(CategoryOf(FairnessMeasure::kTruePositiveRateParity),
+            MeasureCategory::kSeparation);
+  EXPECT_EQ(CategoryOf(FairnessMeasure::kPositivePredictiveValueParity),
+            MeasureCategory::kSufficiency);
+}
+
+TEST(MeasuresTest, Table2FootnoteMeasuresRequireTrueMatches) {
+  // The footnoted measures of Table 2: inapplicable in pairwise audits of
+  // non-overlapping groups where TP = FN = 0.
+  EXPECT_TRUE(RequiresTrueMatches(FairnessMeasure::kTruePositiveRateParity));
+  EXPECT_TRUE(RequiresTrueMatches(FairnessMeasure::kFalseNegativeRateParity));
+  EXPECT_TRUE(RequiresTrueMatches(FairnessMeasure::kEqualizedOdds));
+  EXPECT_TRUE(
+      RequiresTrueMatches(FairnessMeasure::kPositivePredictiveValueParity));
+  EXPECT_FALSE(RequiresTrueMatches(FairnessMeasure::kAccuracyParity));
+  EXPECT_FALSE(RequiresTrueMatches(FairnessMeasure::kStatisticalParity));
+  EXPECT_FALSE(
+      RequiresTrueMatches(FairnessMeasure::kFalsePositiveRateParity));
+}
+
+TEST(MeasuresTest, DescriptionsExistForAll) {
+  for (FairnessMeasure m : kAllFairnessMeasures) {
+    EXPECT_GT(std::string(FairnessMeasureDescription(m)).size(), 20u)
+        << FairnessMeasureName(m);
+  }
+  // Spot-check the equal-opportunity alias from Table 2.
+  EXPECT_NE(std::string(FairnessMeasureDescription(
+                FairnessMeasure::kTruePositiveRateParity))
+                .find("Equal Opportunity"),
+            std::string::npos);
+}
+
+TEST(MeasuresTest, UndefinedOnEmptyDenominators) {
+  ConfusionCounts only_negatives;
+  only_negatives.tn = 10;
+  EXPECT_FALSE(
+      MeasureStatistic(FairnessMeasure::kTruePositiveRateParity,
+                       only_negatives)
+          .ok());
+  EXPECT_FALSE(
+      MeasureStatistic(FairnessMeasure::kPositivePredictiveValueParity,
+                       only_negatives)
+          .ok());
+  EXPECT_TRUE(
+      MeasureStatistic(FairnessMeasure::kTrueNegativeRateParity,
+                       only_negatives)
+          .ok());
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,158 @@
+// Generator-contract tests for iTunes-Amazon and the WDC-style product
+// datasets: the §5.3.3 traps must be physically present in the data.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/datagen/music.h"
+#include "src/datagen/products.h"
+#include "src/text/edit_distance.h"
+#include "src/text/tokenize.h"
+
+namespace fairem {
+namespace {
+
+EMDataset Itunes() {
+  return std::move(GenerateItunesAmazon(ItunesAmazonOptions{})).value();
+}
+
+TEST(ItunesGenTest, GenreIsSetwiseWithSemanticFamilies) {
+  EMDataset ds = Itunes();
+  EXPECT_EQ(ds.sensitive_kind, SensitiveAttrKind::kSetwise);
+  size_t genre = *ds.table_a.schema().Index("genre");
+  bool saw_country_family = false;
+  for (size_t r = 0; r < ds.table_a.num_rows(); ++r) {
+    std::string g(ds.table_a.value(r, genre));
+    if (g.find("Country|") != std::string::npos ||
+        g.find("|Honky Tonk") != std::string::npos) {
+      saw_country_family = true;
+    }
+  }
+  EXPECT_TRUE(saw_country_family);
+}
+
+TEST(ItunesGenTest, FrenchPopHasNoTrueMatches) {
+  // The SP false-flag setup of §5.3.2: French-Pop's ground truth contains
+  // only non-matches.
+  EMDataset ds = Itunes();
+  size_t genre = *ds.table_a.schema().Index("genre");
+  for (const auto& p : ds.AllPairs()) {
+    if (!p.is_match) continue;
+    EXPECT_EQ(std::string(ds.table_a.value(p.left, genre))
+                  .find("French-Pop"),
+              std::string::npos);
+  }
+}
+
+TEST(ItunesGenTest, CountryTrapPairsAgreeOnSideAttributes) {
+  // The planted FP trap: same-artist near-title country non-matches share
+  // album / price / released, differing only in title inflection and time.
+  EMDataset ds = Itunes();
+  size_t song = *ds.table_a.schema().Index("song");
+  size_t artist = *ds.table_a.schema().Index("artist");
+  size_t album = *ds.table_a.schema().Index("album");
+  size_t genre = *ds.table_a.schema().Index("genre");
+  int traps = 0;
+  for (const auto& p : ds.AllPairs()) {
+    if (p.is_match) continue;
+    if (std::string(ds.table_a.value(p.left, genre)).find("Country") ==
+        std::string::npos) {
+      continue;
+    }
+    if (ds.table_a.value(p.left, artist) !=
+        ds.table_b.value(p.right, artist)) {
+      continue;
+    }
+    if (JaroWinklerSimilarity(ds.table_a.value(p.left, song),
+                              ds.table_b.value(p.right, song)) < 0.84) {
+      continue;
+    }
+    ++traps;
+    EXPECT_EQ(ds.table_a.value(p.left, album),
+              ds.table_b.value(p.right, album));
+  }
+  EXPECT_GT(traps, 10);
+}
+
+TEST(ItunesGenTest, RapMatchesCarryDecorations) {
+  EMDataset ds = Itunes();
+  size_t song = *ds.table_a.schema().Index("song");
+  size_t genre = *ds.table_a.schema().Index("genre");
+  int decorated = 0;
+  int rap_matches = 0;
+  for (const auto& p : ds.AllPairs()) {
+    if (!p.is_match) continue;
+    if (std::string(ds.table_a.value(p.left, genre)).find("Rap") ==
+        std::string::npos) {
+      continue;
+    }
+    ++rap_matches;
+    std::string right(ds.table_b.value(p.right, song));
+    if (right.find("feat.") != std::string::npos ||
+        right.find("Remix") != std::string::npos ||
+        right.find("Album Version") != std::string::npos) {
+      ++decorated;
+    }
+  }
+  ASSERT_GT(rap_matches, 0);
+  EXPECT_GT(decorated, rap_matches / 2);
+}
+
+TEST(ProductsGenTest, SameProductOffersUseDifferentModelFormats) {
+  EMDataset ds = std::move(GenerateCameras(ProductOptions{})).value();
+  size_t title = *ds.table_a.schema().Index("title");
+  int checked = 0;
+  int disjoint_model_tokens = 0;
+  for (const auto& p : ds.AllPairs()) {
+    if (!p.is_match) continue;
+    ++checked;
+    // Token sets should differ (formatting variance) even for matches.
+    auto ta = AlnumTokenize(ds.table_a.value(p.left, title));
+    auto tb = AlnumTokenize(ds.table_b.value(p.right, title));
+    std::set<std::string> sa(ta.begin(), ta.end());
+    std::set<std::string> sb(tb.begin(), tb.end());
+    if (sa != sb) ++disjoint_model_tokens;
+  }
+  ASSERT_GT(checked, 0);
+  EXPECT_GT(disjoint_model_tokens, checked * 9 / 10);
+}
+
+TEST(ProductsGenTest, SensitiveCompanyIsHiddenFromMatchers) {
+  for (auto gen : {&GenerateCameras, &GenerateShoes}) {
+    EMDataset ds = std::move((*gen)(ProductOptions{})).value();
+    EXPECT_EQ(ds.matching_attrs, (std::vector<std::string>{"title"}));
+    EXPECT_EQ(ds.sensitive_attr, "company");
+    // But the company is derivable from the title (the paper extracts the
+    // manufacturer from the description).
+    size_t title = *ds.table_a.schema().Index("title");
+    size_t company = *ds.table_a.schema().Index("company");
+    int contains = 0;
+    for (size_t r = 0; r < ds.table_a.num_rows(); ++r) {
+      std::string t(ds.table_a.value(r, title));
+      if (t.find(ds.table_a.value(r, company)) != std::string::npos) {
+        ++contains;
+      }
+    }
+    EXPECT_GT(contains, static_cast<int>(ds.table_a.num_rows() * 9 / 10));
+  }
+}
+
+TEST(ProductsGenTest, DutchBoilerplatePresent) {
+  // The multilingual trap ("Prijzen" ↔ "Prices").
+  EMDataset ds = std::move(GenerateCameras(ProductOptions{})).value();
+  size_t title = *ds.table_a.schema().Index("title");
+  bool dutch = false;
+  for (const Table* t : {&ds.table_a, &ds.table_b}) {
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      if (std::string(t->value(r, title)).find("Prijzen") !=
+          std::string::npos) {
+        dutch = true;
+      }
+    }
+  }
+  EXPECT_TRUE(dutch);
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,83 @@
+#include "src/text/name_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/text/edit_distance.h"
+
+namespace fairem {
+namespace {
+
+TEST(AbbrevNameTest, InitialsMatchFullNames) {
+  double abbrev = AbbreviationAwareNameSimilarity("M. Dhoni",
+                                                  "Mahendra Dhoni");
+  EXPECT_GT(abbrev, 0.85);
+  // Much higher than plain Jaro-Winkler on the raw strings.
+  EXPECT_GT(abbrev, JaroWinklerSimilarity("M. Dhoni", "Mahendra Dhoni"));
+}
+
+TEST(AbbrevNameTest, WrongInitialGetsNoCredit) {
+  double wrong = AbbreviationAwareNameSimilarity("K. Dhoni",
+                                                 "Mahendra Dhoni");
+  double right = AbbreviationAwareNameSimilarity("M. Dhoni",
+                                                 "Mahendra Dhoni");
+  EXPECT_LT(wrong, right);
+}
+
+TEST(AbbrevNameTest, SymmetricAndBounded) {
+  const char* samples[] = {"", "M. Dhoni", "Mahendra Singh Dhoni",
+                           "Sachin Tendulkar", "S Tendulkar"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      double v = AbbreviationAwareNameSimilarity(a, b);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      EXPECT_DOUBLE_EQ(v, AbbreviationAwareNameSimilarity(b, a))
+          << a << " / " << b;
+    }
+  }
+  EXPECT_DOUBLE_EQ(AbbreviationAwareNameSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(AbbreviationAwareNameSimilarity("x", ""), 0.0);
+}
+
+TEST(AbbrevNameTest, ExtraTokensDiluteScore) {
+  double two = AbbreviationAwareNameSimilarity("Sachin Tendulkar",
+                                               "Sachin Tendulkar");
+  double three = AbbreviationAwareNameSimilarity("Sachin Tendulkar",
+                                                 "Sachin Ramesh Tendulkar");
+  EXPECT_DOUBLE_EQ(two, 1.0);
+  EXPECT_LT(three, 1.0);
+  EXPECT_GT(three, 0.6);
+}
+
+TEST(TokenSortTest, OrderInsensitive) {
+  EXPECT_DOUBLE_EQ(TokenSortRatio("huang qingming", "Qingming Huang"), 1.0);
+  EXPECT_LT(TokenSortRatio("alpha beta", "gamma delta"), 0.5);
+  EXPECT_DOUBLE_EQ(TokenSortRatio("", ""), 1.0);
+}
+
+TEST(AffineGapTest, LongGapCheaperThanScatteredEdits) {
+  // One long insertion ("DSC-" prefix + "KIT" suffix) barely hurts...
+  double long_gap = AffineGapSimilarity("rx100", "dsc-rx100kit");
+  // ...while the same number of scattered substitutions hurts a lot.
+  double scattered = AffineGapSimilarity("rx100", "ax1b0c");
+  EXPECT_GT(long_gap, 0.8);
+  EXPECT_GT(long_gap, scattered);
+}
+
+TEST(AffineGapTest, EdgeCasesAndBounds) {
+  EXPECT_DOUBLE_EQ(AffineGapSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(AffineGapSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(AffineGapSimilarity("same", "same"), 1.0);
+  const char* samples[] = {"rx100", "dsc-rx100", "alpha", ""};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      double v = AffineGapSimilarity(a, b);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      EXPECT_DOUBLE_EQ(v, AffineGapSimilarity(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "src/core/audit.h"
+
+namespace fairem {
+namespace {
+
+/// Asymmetric scenario: left records of g_x pair fine, but *right* records
+/// of g_x are systematically missed — only the ordered (right) audit can
+/// localize that.
+struct OrderedScenario {
+  Table a;
+  Table b;
+  std::vector<PairOutcome> outcomes;
+};
+
+OrderedScenario MakeScenario() {
+  Schema schema = std::move(Schema::Make({"grp"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  for (int i = 0; i < 40; ++i) {
+    std::string g = i % 2 == 0 ? "g_x" : "g_y";
+    EXPECT_TRUE(a.AppendValues(i, {g}).ok());
+    EXPECT_TRUE(b.AppendValues(i, {g}).ok());
+  }
+  OrderedScenario s{std::move(a), std::move(b), {}};
+  for (size_t i = 0; i < 40; ++i) {
+    bool right_is_x = i % 2 == 0;
+    // True matches: found unless the *right* record is g_x.
+    s.outcomes.push_back({i, i, /*pred=*/!right_is_x, /*true=*/true});
+    // Cross non-matches between the two groups, correctly rejected.
+    s.outcomes.push_back({i, (i + 1) % 40, false, false});
+  }
+  return s;
+}
+
+FairnessAuditor MakeAud(const OrderedScenario& s) {
+  SensitiveAttr attr{"grp", SensitiveAttrKind::kBinary, '|'};
+  return std::move(FairnessAuditor::Make(s.a, s.b, attr)).value();
+}
+
+TEST(OrderedFairnessTest, CountsRespectTheSide) {
+  OrderedScenario s = MakeScenario();
+  FairnessAuditor auditor = MakeAud(s);
+  uint64_t gx = *auditor.membership().encoding().Encode({"g_x"});
+  ConfusionCounts left =
+      OrderedSingleGroupCounts(auditor.membership(), s.outcomes, gx,
+                               PairSide::kLeft);
+  ConfusionCounts right =
+      OrderedSingleGroupCounts(auditor.membership(), s.outcomes, gx,
+                               PairSide::kRight);
+  // Matches with a g_x right record are all FNs.
+  EXPECT_EQ(right.fn, 20);
+  EXPECT_EQ(right.tp, 0);
+  // Left-g_x matches pair with right-g_x records (i-i pairs), also missed.
+  EXPECT_EQ(left.fn, 20);
+  // But left counts include the cross non-matches with g_x on the left.
+  EXPECT_GT(left.tn, 0);
+}
+
+TEST(OrderedFairnessTest, AuditFlagsTheRightSide) {
+  OrderedScenario s = MakeScenario();
+  FairnessAuditor auditor = MakeAud(s);
+  AuditOptions options;
+  options.measures = {FairnessMeasure::kTruePositiveRateParity};
+  Result<AuditReport> right =
+      auditor.AuditSingleOrdered(s.outcomes, PairSide::kRight, options);
+  ASSERT_TRUE(right.ok());
+  const AuditEntry* entry = right->Find(
+      "g_x (right)", FairnessMeasure::kTruePositiveRateParity);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->defined);
+  EXPECT_DOUBLE_EQ(entry->group_value, 0.0);
+  EXPECT_TRUE(entry->unfair);
+}
+
+TEST(OrderedFairnessTest, OrderedPairwiseSeparatesDirections) {
+  OrderedScenario s = MakeScenario();
+  FairnessAuditor auditor = MakeAud(s);
+  uint64_t gx = *auditor.membership().encoding().Encode({"g_x"});
+  uint64_t gy = *auditor.membership().encoding().Encode({"g_y"});
+  ConfusionCounts xy =
+      OrderedPairGroupCounts(auditor.membership(), s.outcomes, gx, gy);
+  ConfusionCounts yx =
+      OrderedPairGroupCounts(auditor.membership(), s.outcomes, gy, gx);
+  // The cross non-matches alternate direction: i even -> (g_x, g_y).
+  EXPECT_GT(xy.tn, 0);
+  EXPECT_GT(yx.tn, 0);
+  // No true matches cross groups here.
+  EXPECT_EQ(xy.tp + xy.fn, 0);
+  AuditOptions options;
+  options.measures = {FairnessMeasure::kTrueNegativeRateParity};
+  Result<AuditReport> report =
+      auditor.AuditPairwiseOrdered(s.outcomes, options);
+  ASSERT_TRUE(report.ok());
+  // 2 groups -> 4 ordered pairs.
+  EXPECT_EQ(report->entries.size(), 4u);
+  EXPECT_NE(report->Find("g_x -> g_y",
+                         FairnessMeasure::kTrueNegativeRateParity),
+            nullptr);
+  EXPECT_NE(report->Find("g_y -> g_x",
+                         FairnessMeasure::kTrueNegativeRateParity),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,109 @@
+// Regression tests pinning the paper's headline findings as reproduced by
+// this library. All generators and training loops are seeded, so these are
+// deterministic; they guard the *shape* of the results (who wins, which
+// direction disparities point), not absolute numbers.
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/benchmark_suite.h"
+#include "src/harness/experiment.h"
+
+namespace fairem {
+namespace {
+
+Result<double> GroupFdr(const EMDataset& ds, const MatcherRun& run,
+                        const std::string& group) {
+  FAIREM_ASSIGN_OR_RETURN(std::vector<GroupRates> breakdown,
+                          GroupBreakdown(ds, run));
+  for (const auto& g : breakdown) {
+    if (g.group == group) return FalseDiscoveryRate(g.counts);
+  }
+  return Status::NotFound("group " + group);
+}
+
+Result<double> GroupTpr(const EMDataset& ds, const MatcherRun& run,
+                        const std::string& group) {
+  FAIREM_ASSIGN_OR_RETURN(std::vector<GroupRates> breakdown,
+                          GroupBreakdown(ds, run));
+  for (const auto& g : breakdown) {
+    if (g.group == group) return TruePositiveRate(g.counts);
+  }
+  return Status::NotFound("group " + group);
+}
+
+TEST(PaperFindingsTest, Table5NonNeuralPerfectOnNoFlyCompas) {
+  EMDataset ds =
+      std::move(GenerateDataset(DatasetKind::kNoFlyCompas)).value();
+  for (MatcherKind kind : {MatcherKind::kDT, MatcherKind::kRF}) {
+    MatcherRun run = std::move(RunMatcher(ds, kind)).value();
+    EXPECT_GE(run.f1, 0.97) << MatcherKindName(kind);
+  }
+}
+
+TEST(PaperFindingsTest, Table5NeuralFdrDisparityAgainstBlackGroup) {
+  // §5.2.1: every neural matcher has a higher false-discovery rate for the
+  // over-represented African-American group.
+  EMDataset ds =
+      std::move(GenerateDataset(DatasetKind::kNoFlyCompas)).value();
+  for (MatcherKind kind : NeuralMatcherKinds()) {
+    MatcherRun run = std::move(RunMatcher(ds, kind)).value();
+    Result<double> afr = GroupFdr(ds, run, "African-American");
+    Result<double> cauc = GroupFdr(ds, run, "Caucasian");
+    ASSERT_TRUE(afr.ok() && cauc.ok()) << MatcherKindName(kind);
+    EXPECT_GT(*afr, *cauc) << MatcherKindName(kind);
+    // And neural is less accurate than the non-neural family here.
+    EXPECT_LT(run.f1, 0.95) << MatcherKindName(kind);
+  }
+}
+
+TEST(PaperFindingsTest, Table6NeuralTprDisparityAgainstCnGroup) {
+  // §5.2.2: neural matchers miss more cn matches (similar pinyin names).
+  EMDataset ds =
+      std::move(GenerateDataset(DatasetKind::kFacultyMatch)).value();
+  for (MatcherKind kind : NeuralMatcherKinds()) {
+    MatcherRun run = std::move(RunMatcher(ds, kind)).value();
+    Result<double> cn = GroupTpr(ds, run, "cn");
+    Result<double> de = GroupTpr(ds, run, "de");
+    ASSERT_TRUE(cn.ok() && de.ok()) << MatcherKindName(kind);
+    EXPECT_LT(*cn, *de) << MatcherKindName(kind);
+  }
+}
+
+TEST(PaperFindingsTest, TextualDataNeuralBeatsLinearModels) {
+  // §5.3.3: non-neural matchers fail on textual data; the serialized-text
+  // neural matchers survive.
+  EMDataset ds = std::move(GenerateDataset(DatasetKind::kCameras)).value();
+  MatcherRun ditto = std::move(RunMatcher(ds, MatcherKind::kDitto)).value();
+  for (MatcherKind kind : {MatcherKind::kLogReg, MatcherKind::kNB,
+                           MatcherKind::kBooleanRule}) {
+    MatcherRun weak = std::move(RunMatcher(ds, kind)).value();
+    EXPECT_GT(ditto.f1, weak.f1 + 0.1) << MatcherKindName(kind);
+  }
+}
+
+TEST(PaperFindingsTest, DedupeSkipsTheDatasetsThePaperSkips) {
+  // Table 9's "-" cells: FacultyMatch, NoFlyCompas, Shoes, Cameras.
+  for (DatasetKind kind :
+       {DatasetKind::kFacultyMatch, DatasetKind::kNoFlyCompas,
+        DatasetKind::kShoes, DatasetKind::kCameras}) {
+    EMDataset ds = std::move(GenerateDataset(kind)).value();
+    MatcherRun run = std::move(RunMatcher(ds, MatcherKind::kDedupe)).value();
+    EXPECT_FALSE(run.supported) << DatasetKindName(kind);
+  }
+  EMDataset ok = std::move(GenerateDataset(DatasetKind::kDblpAcm)).value();
+  MatcherRun run = std::move(RunMatcher(ok, MatcherKind::kDedupe)).value();
+  EXPECT_TRUE(run.supported);
+}
+
+TEST(PaperFindingsTest, StructuredDataEveryoneIsAccurate) {
+  // §5.3.1: on DBLP-ACM all ML matchers perform well.
+  EMDataset ds = std::move(GenerateDataset(DatasetKind::kDblpAcm)).value();
+  for (MatcherKind kind : {MatcherKind::kDT, MatcherKind::kLogReg,
+                           MatcherKind::kDitto, MatcherKind::kDeepMatcher}) {
+    MatcherRun run = std::move(RunMatcher(ds, kind)).value();
+    EXPECT_GT(run.f1, 0.8) << MatcherKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace fairem

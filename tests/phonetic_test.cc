@@ -1,0 +1,40 @@
+#include "src/text/phonetic.h"
+
+#include <gtest/gtest.h>
+
+namespace fairem {
+namespace {
+
+TEST(SoundexTest, ClassicExamples) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, CaseInsensitiveAndNonLettersSkipped) {
+  EXPECT_EQ(Soundex("robert"), Soundex("ROBERT"));
+  EXPECT_EQ(Soundex("O'Brien"), Soundex("OBrien"));
+}
+
+TEST(SoundexTest, EmptyAndLetterless) {
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("123"), "");
+}
+
+TEST(SoundexTest, PadsTo4) {
+  EXPECT_EQ(Soundex("A").size(), 4u);
+  EXPECT_EQ(Soundex("A"), "A000");
+}
+
+TEST(SoundexSimilarityTest, MatchesAndMismatches) {
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("Robert", "Rupert"), 1.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("Robert", "Smith"), 0.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("", "Smith"), 0.0);
+}
+
+}  // namespace
+}  // namespace fairem

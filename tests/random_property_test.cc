@@ -1,0 +1,139 @@
+// Randomized (seeded) property tests across module boundaries: CSV
+// round-trips of arbitrary tables, audit count conservation over random
+// outcome sets, and disparity invariants over random statistics.
+
+#include <gtest/gtest.h>
+
+#include "src/core/audit.h"
+#include "src/data/csv.h"
+#include "src/util/rng.h"
+
+namespace fairem {
+namespace {
+
+std::string RandomCell(Rng* rng) {
+  // Bias toward the characters that stress CSV quoting.
+  static const char* kAtoms[] = {"a", "b", ",", "\"", "\n", " ", "xyz", "7"};
+  std::string out;
+  int len = static_cast<int>(rng->NextBounded(8));
+  for (int i = 0; i < len; ++i) {
+    out += kAtoms[rng->NextBounded(std::size(kAtoms))];
+  }
+  return out;
+}
+
+TEST(RandomPropertyTest, CsvRoundTripsRandomTables) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    size_t cols = 1 + rng.NextBounded(5);
+    std::vector<std::string> names;
+    for (size_t c = 0; c < cols; ++c) {
+      names.push_back("col" + std::to_string(c));
+    }
+    Table table("random", std::move(Schema::Make(names)).value());
+    size_t rows = rng.NextBounded(20);
+    for (size_t r = 0; r < rows; ++r) {
+      Record record;
+      record.entity_id = static_cast<int64_t>(rng.NextBounded(1000));
+      for (size_t c = 0; c < cols; ++c) {
+        if (rng.NextBool(0.15)) {
+          record.cells.emplace_back(std::nullopt);
+        } else {
+          record.cells.emplace_back(RandomCell(&rng));
+        }
+      }
+      ASSERT_TRUE(table.Append(std::move(record)).ok());
+    }
+    Result<Table> parsed =
+        ReadCsvString(WriteCsvString(table), "random");
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed << ": " << parsed.status();
+    ASSERT_EQ(parsed->num_rows(), table.num_rows()) << "seed " << seed;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      EXPECT_EQ(parsed->row(r).entity_id, table.row(r).entity_id);
+      for (size_t c = 0; c < cols; ++c) {
+        EXPECT_EQ(parsed->IsNull(r, c), table.IsNull(r, c))
+            << "seed " << seed << " cell " << r << "," << c;
+        EXPECT_EQ(parsed->value(r, c), table.value(r, c))
+            << "seed " << seed << " cell " << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST(RandomPropertyTest, GroupAndComplementAlwaysPartition) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(seed);
+    Schema schema = std::move(Schema::Make({"grp"})).value();
+    Table a("a", schema);
+    Table b("b", schema);
+    const char* groups[] = {"g0", "g1", "g2"};
+    size_t n = 10 + rng.NextBounded(30);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          a.AppendValues(static_cast<int64_t>(i),
+                         {groups[rng.NextBounded(3)]}).ok());
+      ASSERT_TRUE(
+          b.AppendValues(static_cast<int64_t>(i),
+                         {groups[rng.NextBounded(3)]}).ok());
+    }
+    SensitiveAttr attr{"grp", SensitiveAttrKind::kMultiValued, '|'};
+    GroupMembership membership =
+        std::move(GroupMembership::Make(a, b, attr)).value();
+    std::vector<PairOutcome> outcomes;
+    size_t pairs = rng.NextBounded(200);
+    for (size_t p = 0; p < pairs; ++p) {
+      outcomes.push_back({rng.NextBounded(n), rng.NextBounded(n),
+                          rng.NextBool(0.5), rng.NextBool(0.3)});
+    }
+    ConfusionCounts overall = OverallCounts(outcomes);
+    for (const char* g : groups) {
+      Result<uint64_t> mask = membership.encoding().Encode({g});
+      if (!mask.ok()) continue;  // group absent from this random draw
+      ConfusionCounts in = SingleGroupCounts(membership, outcomes, *mask);
+      ConfusionCounts out =
+          SingleGroupComplementCounts(membership, outcomes, *mask);
+      EXPECT_EQ(in.tp + out.tp, overall.tp) << "seed " << seed;
+      EXPECT_EQ(in.fp + out.fp, overall.fp) << "seed " << seed;
+      EXPECT_EQ(in.tn + out.tn, overall.tn) << "seed " << seed;
+      EXPECT_EQ(in.fn + out.fn, overall.fn) << "seed " << seed;
+      // Ordered sides never exceed the non-directional count.
+      ConfusionCounts left = OrderedSingleGroupCounts(
+          membership, outcomes, *mask, PairSide::kLeft);
+      ConfusionCounts right = OrderedSingleGroupCounts(
+          membership, outcomes, *mask, PairSide::kRight);
+      EXPECT_LE(left.total(), in.total());
+      EXPECT_LE(right.total(), in.total());
+    }
+  }
+}
+
+TEST(RandomPropertyTest, AuditNeverFlagsBelowThreshold) {
+  // Over random confusion matrices, every flagged entry must actually
+  // exceed both the disparity threshold and the absolute gap.
+  Rng rng(99);
+  AuditOptions options;
+  options.min_group_pairs = 1;
+  for (int trial = 0; trial < 300; ++trial) {
+    ConfusionCounts overall;
+    overall.tp = static_cast<int64_t>(rng.NextBounded(50));
+    overall.fp = static_cast<int64_t>(rng.NextBounded(50));
+    overall.tn = static_cast<int64_t>(rng.NextBounded(50));
+    overall.fn = static_cast<int64_t>(rng.NextBounded(50));
+    ConfusionCounts group;
+    group.tp = static_cast<int64_t>(rng.NextBounded(20));
+    group.fp = static_cast<int64_t>(rng.NextBounded(20));
+    group.tn = static_cast<int64_t>(rng.NextBounded(20));
+    group.fn = static_cast<int64_t>(rng.NextBounded(20));
+    std::vector<AuditEntry> entries;
+    AppendMeasureEntries("g", overall, group, options, &entries);
+    for (const auto& e : entries) {
+      if (!e.unfair) continue;
+      EXPECT_GT(e.disparity, options.fairness_threshold);
+      EXPECT_TRUE(e.defined);
+      EXPECT_DOUBLE_EQ(e.disparity, std::max(0.0, e.signed_disparity));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairem

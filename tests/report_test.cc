@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "src/report/grid.h"
+#include "src/report/heatmap.h"
+#include "src/report/table_printer.h"
+
+namespace fairem {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"name", "v"});
+  printer.AddRow({"short", "1"});
+  printer.AddRow({"a much longer cell", "2"});
+  std::string out = printer.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("a much longer cell"), std::string::npos);
+  EXPECT_EQ(printer.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"only one"});
+  EXPECT_NO_FATAL_FAILURE(printer.ToString());
+  EXPECT_NO_FATAL_FAILURE(printer.ToMarkdown());
+}
+
+TEST(TablePrinterTest, MarkdownShape) {
+  TablePrinter printer({"x", "y"});
+  printer.AddRow({"1", "2"});
+  std::string md = printer.ToMarkdown();
+  EXPECT_NE(md.find("| x | y |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+AuditReport ReportWithUnfairCell(const std::string& group,
+                                 FairnessMeasure m) {
+  AuditReport report;
+  AuditEntry e;
+  e.group_label = group;
+  e.measure = m;
+  e.defined = true;
+  e.unfair = true;
+  e.disparity = 0.5;
+  report.entries.push_back(e);
+  AuditEntry fair = e;
+  fair.group_label = group + "_fair";
+  fair.unfair = false;
+  report.entries.push_back(fair);
+  return report;
+}
+
+TEST(UnfairnessGridTest, MarksOnlyUnfairCells) {
+  UnfairnessGrid grid;
+  grid.Mark("DI", ReportWithUnfairCell(
+                      "Country", FairnessMeasure::kTruePositiveRateParity));
+  EXPECT_EQ(grid.num_marks(), 1u);
+  std::string out = grid.Render();
+  EXPECT_NE(out.find("Country"), std::string::npos);
+  EXPECT_NE(out.find("DI"), std::string::npos);
+  // The fair column renders as dots, not markers.
+  EXPECT_NE(out.find("Country_fair"), std::string::npos);
+}
+
+TEST(UnfairnessGridTest, MultipleMarkersJoinWithCommas) {
+  UnfairnessGrid grid;
+  AuditReport r =
+      ReportWithUnfairCell("G", FairnessMeasure::kAccuracyParity);
+  grid.Mark("DI", r);
+  grid.Mark("GN", r);
+  grid.Mark("DI", r);  // duplicate ignored
+  EXPECT_EQ(grid.num_marks(), 2u);
+  EXPECT_NE(grid.Render().find("DI,GN"), std::string::npos);
+}
+
+TEST(UnfairnessGridTest, EmptyGridRendersEmpty) {
+  UnfairnessGrid grid;
+  EXPECT_EQ(grid.Render(), "");
+}
+
+TEST(MatcherMarkerTest, KnownAndFallback) {
+  EXPECT_EQ(MatcherMarker("Ditto"), "DI");
+  EXPECT_EQ(MatcherMarker("BooleanRuleMatcher"), "BR");
+  EXPECT_EQ(MatcherMarker("MCAN"), "MC");
+  EXPECT_EQ(MatcherMarker("zz_custom"), "ZZ");
+}
+
+TEST(HeatmapTest, RendersUtilityAndCounts) {
+  ThresholdHeatmap heatmap({0.5, 0.6});
+  std::vector<ThresholdPoint> sweep(2);
+  sweep[0] = {0.5, 0.84, true, 3};
+  sweep[1] = {0.6, 0.71, true, 5};
+  heatmap.AddRow("Ditto", sweep);
+  std::string out = heatmap.Render();
+  EXPECT_NE(out.find("0.84(3)"), std::string::npos);
+  EXPECT_NE(out.find("0.71(5)"), std::string::npos);
+  EXPECT_NE(out.find("Ditto"), std::string::npos);
+}
+
+TEST(HeatmapTest, UndefinedUtilityRendersDash) {
+  ThresholdHeatmap heatmap({0.5});
+  std::vector<ThresholdPoint> sweep(1);
+  sweep[0] = {0.5, 0.0, false, 0};
+  heatmap.AddRow("X", sweep);
+  EXPECT_NE(heatmap.Render().find("-(0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairem

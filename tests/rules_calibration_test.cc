@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/core/rules_of_thumb.h"
+#include "src/datagen/benchmark_suite.h"
+#include "src/ml/calibration.h"
+
+namespace fairem {
+namespace {
+
+TEST(RulesOfThumbTest, StructuredDataRecommendsNonNeural) {
+  EMDataset ds =
+      std::move(GenerateDataset(DatasetKind::kDblpAcm, 0.4)).value();
+  Recommendation rec = std::move(RecommendFor(ds)).value();
+  EXPECT_EQ(rec.family, MatcherFamily::kNonNeural);
+  // Usual class imbalance: TPRP + PPVP first.
+  ASSERT_EQ(rec.measures.size(), 2u);
+  EXPECT_EQ(rec.measures[0], FairnessMeasure::kTruePositiveRateParity);
+  EXPECT_EQ(rec.measures[1],
+            FairnessMeasure::kPositivePredictiveValueParity);
+  EXPECT_FALSE(rec.advice.empty());
+}
+
+TEST(RulesOfThumbTest, TextualDataRecommendsNeural) {
+  EMDataset ds =
+      std::move(GenerateDataset(DatasetKind::kCameras, 0.4)).value();
+  DatasetProfile profile = std::move(ProfileDataset(ds)).value();
+  EXPECT_EQ(profile.kind, DatasetProfile::Kind::kTextualOrDirty);
+  Recommendation rec = RecommendFor(profile);
+  EXPECT_EQ(rec.family, MatcherFamily::kNeural);
+}
+
+TEST(RulesOfThumbTest, DirtyDataRecommendsNeural) {
+  EMDataset ds =
+      std::move(GenerateDataset(DatasetKind::kDblpScholar, 0.5)).value();
+  DatasetProfile profile = std::move(ProfileDataset(ds)).value();
+  EXPECT_GT(profile.null_rate, 0.05);
+  EXPECT_EQ(profile.kind, DatasetProfile::Kind::kTextualOrDirty);
+}
+
+TEST(RulesOfThumbTest, MatchHeavyGroundTruthSwitchesMeasures) {
+  EMDataset ds =
+      std::move(GenerateDataset(DatasetKind::kCricket, 0.5)).value();
+  Recommendation rec = std::move(RecommendFor(ds)).value();
+  // Cricket is 96.5% positive: NPVP + FPRP first (§5.3.2).
+  ASSERT_EQ(rec.measures.size(), 2u);
+  EXPECT_EQ(rec.measures[0],
+            FairnessMeasure::kNegativePredictiveValueParity);
+  EXPECT_EQ(rec.measures[1], FairnessMeasure::kFalsePositiveRateParity);
+}
+
+TEST(PlattCalibratorTest, CalibratesShiftedScores) {
+  // A matcher whose boundary sits at 0.8: raw scores threshold badly at
+  // 0.5 but calibrate back to it.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 50; ++i) {
+    scores.push_back(0.85 + 0.001 * i);  // positives just above 0.8
+    labels.push_back(1);
+    scores.push_back(0.70 + 0.001 * i);  // negatives just below
+    labels.push_back(0);
+  }
+  PlattCalibrator calibrator;
+  ASSERT_TRUE(calibrator.Fit(scores, labels).ok());
+  EXPECT_GT(*calibrator.Calibrate(0.9), 0.5);
+  EXPECT_LT(*calibrator.Calibrate(0.65), 0.5);
+  // Monotone in the raw score.
+  EXPECT_GT(*calibrator.Calibrate(0.95), *calibrator.Calibrate(0.75));
+}
+
+TEST(PlattCalibratorTest, OutputsAreProbabilities) {
+  std::vector<double> scores = {0.1, 0.2, 0.8, 0.9, 0.5, 0.6};
+  std::vector<int> labels = {0, 0, 1, 1, 0, 1};
+  PlattCalibrator calibrator;
+  ASSERT_TRUE(calibrator.Fit(scores, labels).ok());
+  std::vector<double> calibrated =
+      std::move(calibrator.CalibrateAll(scores)).value();
+  for (double p : calibrated) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(PlattCalibratorTest, RejectsDegenerateData) {
+  PlattCalibrator calibrator;
+  EXPECT_FALSE(calibrator.Fit({}, {}).ok());
+  EXPECT_FALSE(calibrator.Fit({0.5}, {1}).ok());          // one class
+  EXPECT_FALSE(calibrator.Fit({0.5, 0.6}, {1, 2}).ok());  // bad label
+  EXPECT_FALSE(calibrator.Calibrate(0.5).ok());           // not fitted
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "src/ml/cross_validation.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/scaler.h"
+
+namespace fairem {
+namespace {
+
+TEST(ScalerTest, StandardizesColumns) {
+  StandardScaler scaler;
+  std::vector<std::vector<double>> x = {{1.0, 10.0}, {3.0, 30.0},
+                                        {5.0, 50.0}};
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  EXPECT_DOUBLE_EQ(scaler.means()[0], 3.0);
+  EXPECT_DOUBLE_EQ(scaler.means()[1], 30.0);
+  Result<std::vector<double>> t = scaler.Transform({3.0, 30.0});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*t)[1], 0.0);
+  // Transformed training data has per-column unit variance.
+  std::vector<std::vector<double>> copy = x;
+  ASSERT_TRUE(StandardScaler().FitTransform(&copy).ok());
+  double var = 0.0;
+  for (const auto& row : copy) var += row[0] * row[0];
+  EXPECT_NEAR(var / copy.size(), 1.0, 1e-9);
+}
+
+TEST(ScalerTest, ZeroVarianceColumnMapsToZero) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit({{7.0}, {7.0}}).ok());
+  Result<std::vector<double>> t = scaler.Transform({7.0});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)[0], 0.0);
+}
+
+TEST(ScalerTest, ErrorsOnBadInput) {
+  StandardScaler scaler;
+  EXPECT_FALSE(scaler.Fit({}).ok());
+  EXPECT_FALSE(scaler.Fit({{1.0}, {1.0, 2.0}}).ok());
+  EXPECT_FALSE(scaler.Transform({1.0}).ok());  // not fitted
+  ASSERT_TRUE(scaler.Fit({{1.0, 2.0}}).ok());
+  EXPECT_FALSE(scaler.Transform({1.0}).ok());  // wrong width
+}
+
+TEST(CrossValidationTest, SeparableDataScoresHigh) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng gen(3);
+  for (int i = 0; i < 60; ++i) {
+    x.push_back({0.9 + 0.03 * gen.NextGaussian()});
+    y.push_back(1);
+    x.push_back({0.1 + 0.03 * gen.NextGaussian()});
+    y.push_back(0);
+  }
+  Result<CrossValidationResult> cv = StratifiedKFold(
+      [] {
+        return std::unique_ptr<Classifier>(std::make_unique<DecisionTree>());
+      },
+      x, y, 5, 42);
+  ASSERT_TRUE(cv.ok());
+  EXPECT_EQ(cv->fold_f1.size(), 5u);
+  EXPECT_GT(cv->mean_f1, 0.95);
+  EXPECT_LT(cv->std_f1, 0.1);
+}
+
+TEST(CrossValidationTest, FoldsStayStratified) {
+  // With 5 positives among 100 examples and k=5, unstratified folds could
+  // easily have no positive; stratified folds always train successfully.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng gen(5);
+  for (int i = 0; i < 95; ++i) {
+    x.push_back({0.1 + 0.05 * gen.NextGaussian()});
+    y.push_back(0);
+  }
+  for (int i = 0; i < 5; ++i) {
+    x.push_back({0.95});
+    y.push_back(1);
+  }
+  Result<CrossValidationResult> cv = StratifiedKFold(
+      [] {
+        return std::unique_ptr<Classifier>(std::make_unique<DecisionTree>());
+      },
+      x, y, 5, 7);
+  ASSERT_TRUE(cv.ok()) << cv.status();
+  EXPECT_GT(cv->mean_f1, 0.9);
+}
+
+TEST(CrossValidationTest, ErrorsOnBadConfig) {
+  std::vector<std::vector<double>> x = {{1.0}, {0.0}};
+  std::vector<int> y = {1, 0};
+  auto factory = [] {
+    return std::unique_ptr<Classifier>(std::make_unique<DecisionTree>());
+  };
+  EXPECT_FALSE(StratifiedKFold(factory, x, y, 1, 1).ok());   // k too small
+  EXPECT_FALSE(StratifiedKFold(factory, x, y, 3, 1).ok());   // not enough per class
+  EXPECT_FALSE(StratifiedKFold(factory, {}, {}, 2, 1).ok());
+}
+
+}  // namespace
+}  // namespace fairem

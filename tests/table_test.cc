@@ -1,0 +1,68 @@
+#include "src/data/table.h"
+
+#include <gtest/gtest.h>
+
+namespace fairem {
+namespace {
+
+Schema TwoColSchema() {
+  Result<Schema> s = Schema::Make({"name", "year"});
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+TEST(SchemaTest, MakeValidatesNames) {
+  EXPECT_TRUE(Schema::Make({"a", "b"}).ok());
+  EXPECT_FALSE(Schema::Make({"a", "a"}).ok());
+  EXPECT_FALSE(Schema::Make({""}).ok());
+  EXPECT_TRUE(Schema::Make({}).ok());
+}
+
+TEST(SchemaTest, IndexLookups) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(*s.Index("name"), 0u);
+  EXPECT_EQ(*s.Index("year"), 1u);
+  EXPECT_TRUE(s.Index("missing").status().IsNotFound());
+  EXPECT_TRUE(s.Contains("name"));
+  EXPECT_FALSE(s.Contains("nope"));
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t("test", TwoColSchema());
+  ASSERT_TRUE(t.AppendValues(1, {"alice", "1990"}).ok());
+  ASSERT_TRUE(t.AppendValues(2, {"bob", "1985"}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.value(0, 0), "alice");
+  EXPECT_EQ(t.value(1, 1), "1985");
+  EXPECT_EQ(t.row(0).entity_id, 1);
+  EXPECT_EQ(*t.ValueByName(1, "name"), "bob");
+  EXPECT_TRUE(t.ValueByName(0, "missing").status().IsNotFound());
+}
+
+TEST(TableTest, RejectsWrongWidth) {
+  Table t("test", TwoColSchema());
+  EXPECT_FALSE(t.AppendValues(1, {"only one"}).ok());
+  EXPECT_FALSE(t.AppendValues(1, {"a", "b", "c"}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, NullCells) {
+  Table t("test", TwoColSchema());
+  Record r;
+  r.entity_id = 9;
+  r.cells = {std::nullopt, std::string("2001")};
+  ASSERT_TRUE(t.Append(std::move(r)).ok());
+  EXPECT_TRUE(t.IsNull(0, 0));
+  EXPECT_FALSE(t.IsNull(0, 1));
+  EXPECT_EQ(t.value(0, 0), "");  // null reads as empty view
+  EXPECT_EQ(t.value(0, 1), "2001");
+}
+
+TEST(TableTest, EmptyStringIsNotNull) {
+  Table t("test", TwoColSchema());
+  ASSERT_TRUE(t.AppendValues(1, {"", "x"}).ok());
+  EXPECT_FALSE(t.IsNull(0, 0));
+}
+
+}  // namespace
+}  // namespace fairem

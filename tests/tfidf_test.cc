@@ -1,0 +1,101 @@
+#include "src/text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include "src/text/hybrid_sim.h"
+#include "src/text/edit_distance.h"
+
+namespace fairem {
+namespace {
+
+using Doc = std::vector<std::string>;
+
+TfIdfVectorizer FitSmallCorpus() {
+  TfIdfVectorizer v;
+  v.Fit({{"the", "quick", "fox"},
+         {"the", "lazy", "dog"},
+         {"the", "quick", "dog"},
+         {"a", "sly", "fox"}});
+  return v;
+}
+
+TEST(TfIdfTest, VocabularyCoversAllTokens) {
+  TfIdfVectorizer v = FitSmallCorpus();
+  EXPECT_EQ(v.vocabulary_size(), 7u);  // the quick fox lazy dog a sly
+  EXPECT_TRUE(v.fitted());
+}
+
+TEST(TfIdfTest, FrequentTokensHaveLowerIdf) {
+  TfIdfVectorizer v = FitSmallCorpus();
+  EXPECT_LT(v.Idf("the"), v.Idf("sly"));
+  EXPECT_DOUBLE_EQ(v.Idf("unknown"), 0.0);
+}
+
+TEST(TfIdfTest, TransformIsUnitNorm) {
+  TfIdfVectorizer v = FitSmallCorpus();
+  SparseVector vec = v.Transform({"quick", "fox"});
+  double norm_sq = 0.0;
+  for (const auto& [id, w] : vec) norm_sq += w * w;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, UnknownTokensIgnored) {
+  TfIdfVectorizer v = FitSmallCorpus();
+  EXPECT_TRUE(v.Transform({"zzz", "qqq"}).empty());
+}
+
+TEST(TfIdfTest, SelfSimilarityIsOne) {
+  TfIdfVectorizer v = FitSmallCorpus();
+  EXPECT_NEAR(v.Similarity({"quick", "fox"}, {"quick", "fox"}), 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, RareOverlapBeatsCommonOverlap) {
+  TfIdfVectorizer v = FitSmallCorpus();
+  double rare = v.Similarity({"sly", "dog"}, {"sly", "fox"});
+  double common = v.Similarity({"the", "dog"}, {"the", "fox"});
+  EXPECT_GT(rare, common);
+}
+
+TEST(TfIdfTest, CosineOfDisjointVectorsIsZero) {
+  TfIdfVectorizer v = FitSmallCorpus();
+  EXPECT_DOUBLE_EQ(v.Similarity({"quick"}, {"lazy"}), 0.0);
+}
+
+TEST(MongeElkanTest, AveragesBestInnerMatches) {
+  Doc a = {"jon", "smith"};
+  Doc b = {"john", "smith"};
+  double sim = MongeElkanSimilarity(a, b, &JaroSimilarity);
+  EXPECT_GT(sim, 0.9);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({}, {}, &JaroSimilarity), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity(a, {}, &JaroSimilarity), 0.0);
+}
+
+TEST(MongeElkanTest, SymmetricVariantIsSymmetric) {
+  Doc a = {"jon"};
+  Doc b = {"john", "smith", "junior"};
+  EXPECT_DOUBLE_EQ(SymmetricMongeElkan(a, b, &JaroSimilarity),
+                   SymmetricMongeElkan(b, a, &JaroSimilarity));
+}
+
+TEST(SoftTfIdfTest, NearTokensCountAsPartialMatches) {
+  TfIdfVectorizer v;
+  v.Fit({{"widom", "cui"}, {"widom", "garcia"}, {"ullman", "cui"}});
+  // "widoms" is not in vocabulary, but is Jaro-close to "widom".
+  double soft = SoftTfIdfSimilarity({"widoms", "cui"}, {"widom", "cui"}, v,
+                                    &JaroSimilarity, 0.85);
+  EXPECT_GT(soft, 0.8);
+  double strict = v.Similarity({"widoms", "cui"}, {"widom", "cui"});
+  EXPECT_GT(soft, strict);
+}
+
+TEST(SoftTfIdfTest, EmptyInputs) {
+  TfIdfVectorizer v;
+  v.Fit({{"a"}});
+  EXPECT_DOUBLE_EQ(
+      SoftTfIdfSimilarity({}, {}, v, &JaroSimilarity), 1.0);
+  EXPECT_DOUBLE_EQ(
+      SoftTfIdfSimilarity({"a"}, {}, v, &JaroSimilarity), 0.0);
+}
+
+}  // namespace
+}  // namespace fairem

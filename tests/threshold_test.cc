@@ -1,0 +1,91 @@
+#include "src/core/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairem {
+namespace {
+
+TEST(ThresholdGridTest, InclusiveEvenSpacing) {
+  std::vector<double> grid = ThresholdGrid(0.3, 0.9, 0.1);
+  ASSERT_EQ(grid.size(), 7u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.3);
+  EXPECT_NEAR(grid.back(), 0.9, 1e-9);
+}
+
+TEST(SensitivityTest, L2OfAdjacentDeltas) {
+  std::vector<ThresholdPoint> sweep(4);
+  sweep[0].num_unfair_groups = 0;
+  sweep[1].num_unfair_groups = 3;  // +3
+  sweep[2].num_unfair_groups = 3;  // 0
+  sweep[3].num_unfair_groups = 1;  // -2
+  EXPECT_NEAR(ThresholdSensitivityL2(sweep), std::sqrt(9.0 + 0.0 + 4.0),
+              1e-12);
+}
+
+TEST(SensitivityTest, ConstantSweepHasZeroSensitivity) {
+  std::vector<ThresholdPoint> sweep(5);
+  for (auto& p : sweep) p.num_unfair_groups = 2;
+  EXPECT_DOUBLE_EQ(ThresholdSensitivityL2(sweep), 0.0);
+  EXPECT_DOUBLE_EQ(ThresholdSensitivityL2({}), 0.0);
+}
+
+TEST(SweepTest, CountsUnfairGroupsPerThreshold) {
+  // Two groups; scores separate g_a matches at 0.9 and g_b matches at 0.55:
+  // at threshold 0.6 only g_b's matches are lost.
+  Schema schema = std::move(Schema::Make({"grp"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  for (int i = 0; i < 30; ++i) {
+    std::string g = i < 15 ? "g_a" : "g_b";
+    ASSERT_TRUE(a.AppendValues(i, {g}).ok());
+    ASSERT_TRUE(b.AppendValues(i, {g}).ok());
+  }
+  std::vector<LabeledPair> pairs;
+  std::vector<double> scores;
+  for (size_t i = 0; i < 30; ++i) {
+    pairs.push_back({i, i, true});
+    scores.push_back(i < 15 ? 0.9 : 0.55);
+    pairs.push_back({i, (i + 1) % 30, false});
+    scores.push_back(0.1);
+  }
+  SensitiveAttr attr{"grp", SensitiveAttrKind::kBinary, '|'};
+  FairnessAuditor auditor =
+      std::move(FairnessAuditor::Make(a, b, attr)).value();
+  Result<std::vector<ThresholdPoint>> sweep = SweepThresholds(
+      auditor, pairs, scores, FairnessMeasure::kTruePositiveRateParity,
+      {0.5, 0.6, 0.95}, AuditOptions{});
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->size(), 3u);
+  // t=0.5: everything found, fair. TPR=1.
+  EXPECT_EQ((*sweep)[0].num_unfair_groups, 0);
+  EXPECT_DOUBLE_EQ((*sweep)[0].utility, 1.0);
+  // t=0.6: g_b loses all matches -> one unfair group, TPR=0.5.
+  EXPECT_EQ((*sweep)[1].num_unfair_groups, 1);
+  EXPECT_DOUBLE_EQ((*sweep)[1].utility, 0.5);
+  // t=0.95: everyone loses everything -> equally bad, fair again.
+  EXPECT_EQ((*sweep)[2].num_unfair_groups, 0);
+  EXPECT_DOUBLE_EQ((*sweep)[2].utility, 0.0);
+  // The paper's sensitivity statistic over this sweep.
+  EXPECT_NEAR(ThresholdSensitivityL2(*sweep), std::sqrt(1.0 + 1.0), 1e-12);
+}
+
+TEST(SweepTest, SizeMismatchPropagates) {
+  Schema schema = std::move(Schema::Make({"grp"})).value();
+  Table a("a", schema);
+  Table b("b", schema);
+  ASSERT_TRUE(a.AppendValues(0, {"g"}).ok());
+  ASSERT_TRUE(b.AppendValues(0, {"g"}).ok());
+  SensitiveAttr attr{"grp", SensitiveAttrKind::kBinary, '|'};
+  FairnessAuditor auditor =
+      std::move(FairnessAuditor::Make(a, b, attr)).value();
+  std::vector<LabeledPair> pairs = {{0, 0, true}};
+  Result<std::vector<ThresholdPoint>> sweep = SweepThresholds(
+      auditor, pairs, {0.5, 0.6}, FairnessMeasure::kTruePositiveRateParity,
+      {0.5}, AuditOptions{});
+  EXPECT_FALSE(sweep.ok());
+}
+
+}  // namespace
+}  // namespace fairem

@@ -1,0 +1,176 @@
+// fairem — command-line front end to the library.
+//
+//   fairem list
+//       List the built-in benchmark datasets and the 13 matchers.
+//   fairem generate <dataset> <dir> [--scale S] [--seed N]
+//       Generate a benchmark dataset and persist it to <dir>.
+//   fairem audit <dir> <matcher> [--pairwise] [--threshold T] [--division]
+//       Load a dataset directory, train the matcher, and print the
+//       correctness summary plus the fairness audit.
+//
+// Exit status: 0 on success, 1 on usage errors or failures.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset_io.h"
+#include "src/datagen/benchmark_suite.h"
+#include "src/harness/experiment.h"
+#include "src/report/table_printer.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  fairem list\n"
+      "  fairem generate <dataset> <dir> [--scale S] [--seed N]\n"
+      "  fairem audit <dir> <matcher> [--pairwise] [--threshold T] "
+      "[--division]\n";
+  return 1;
+}
+
+Result<DatasetKind> ParseDatasetKind(const std::string& name) {
+  for (DatasetKind kind : AllDatasetKinds()) {
+    if (name == DatasetKindName(kind)) return kind;
+  }
+  return Status::NotFound("unknown dataset '" + name +
+                          "'; run `fairem list`");
+}
+
+Result<MatcherKind> ParseMatcherKind(const std::string& name) {
+  for (MatcherKind kind : AllMatcherKinds()) {
+    if (name == MatcherKindName(kind)) return kind;
+  }
+  return Status::NotFound("unknown matcher '" + name +
+                          "'; run `fairem list`");
+}
+
+int List() {
+  std::cout << "datasets (Table 4):\n";
+  for (DatasetKind kind : AllDatasetKinds()) {
+    std::cout << "  " << DatasetKindName(kind) << "\n";
+  }
+  std::cout << "matchers (Table 3):\n";
+  for (MatcherKind kind : AllMatcherKinds()) {
+    std::cout << "  " << MatcherKindName(kind) << " ("
+              << MatcherFamilyName(FamilyOf(kind)) << ")\n";
+  }
+  return 0;
+}
+
+int Generate(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  double scale = 1.0;
+  uint64_t seed = 0;
+  for (size_t i = 2; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--scale") {
+      if (!ParseDouble(args[i + 1], &scale)) return Usage();
+    } else if (args[i] == "--seed") {
+      double v = 0.0;
+      if (!ParseDouble(args[i + 1], &v)) return Usage();
+      seed = static_cast<uint64_t>(v);
+    } else {
+      return Usage();
+    }
+  }
+  Result<DatasetKind> kind = ParseDatasetKind(args[0]);
+  if (!kind.ok()) {
+    std::cerr << kind.status() << "\n";
+    return 1;
+  }
+  Result<EMDataset> dataset = GenerateDataset(*kind, scale, seed);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+  if (Status st = SaveDataset(*dataset, args[1]); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << dataset->name << " (" << dataset->table_a.num_rows()
+            << " x " << dataset->table_b.num_rows() << " records, "
+            << dataset->AllPairs().size() << " labelled pairs) to " << args[1]
+            << "\n";
+  return 0;
+}
+
+int Audit(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  bool pairwise = false;
+  double threshold = -1.0;
+  AuditOptions options;
+  for (size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--pairwise") {
+      pairwise = true;
+    } else if (args[i] == "--division") {
+      options.mode = DisparityMode::kDivision;
+    } else if (args[i] == "--threshold" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &threshold)) return Usage();
+    } else {
+      return Usage();
+    }
+  }
+  Result<EMDataset> dataset = LoadDataset(args[0]);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+  if (threshold >= 0.0) dataset->default_threshold = threshold;
+  Result<MatcherKind> kind = ParseMatcherKind(args[1]);
+  if (!kind.ok()) {
+    std::cerr << kind.status() << "\n";
+    return 1;
+  }
+  Result<MatcherRun> run = RunMatcher(*dataset, *kind);
+  if (!run.ok()) {
+    std::cerr << run.status() << "\n";
+    return 1;
+  }
+  if (!run->supported) {
+    std::cerr << run->matcher_name << " does not support this dataset\n";
+    return 1;
+  }
+  std::cout << run->matcher_name << " on " << dataset->name << ": accuracy "
+            << FormatDouble(run->accuracy, 3) << ", F1 "
+            << FormatDouble(run->f1, 3) << " at threshold "
+            << FormatDouble(dataset->default_threshold, 2) << "\n\n";
+  Result<AuditReport> report =
+      pairwise ? AuditRunPairwise(*dataset, *run, options)
+               : AuditRunSingle(*dataset, *run, options);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
+  TablePrinter table({"group", "measure", "group value", "reference",
+                      "disparity", "unfair"});
+  for (const auto& e : report->entries) {
+    if (!e.defined) continue;
+    table.AddRow({e.group_label, FairnessMeasureName(e.measure),
+                  FormatDouble(e.group_value, 3),
+                  FormatDouble(e.overall_value, 3),
+                  FormatDouble(e.disparity, 3), e.unfair ? "UNFAIR" : ""});
+  }
+  std::cout << table.ToString() << "\ndiscriminated groups: "
+            << report->NumDiscriminatedGroups() << "\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "list") return List();
+  if (command == "generate") return Generate(args);
+  if (command == "audit") return Audit(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace fairem
+
+int main(int argc, char** argv) { return fairem::Main(argc, argv); }
