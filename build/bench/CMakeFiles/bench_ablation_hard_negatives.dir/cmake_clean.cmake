@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hard_negatives.dir/bench_ablation_hard_negatives.cc.o"
+  "CMakeFiles/bench_ablation_hard_negatives.dir/bench_ablation_hard_negatives.cc.o.d"
+  "bench_ablation_hard_negatives"
+  "bench_ablation_hard_negatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hard_negatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

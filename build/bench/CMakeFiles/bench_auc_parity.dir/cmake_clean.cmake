@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_auc_parity.dir/bench_auc_parity.cc.o"
+  "CMakeFiles/bench_auc_parity.dir/bench_auc_parity.cc.o.d"
+  "bench_auc_parity"
+  "bench_auc_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_auc_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_dblp_scholar.
+# This may be replaced when dependencies are built.

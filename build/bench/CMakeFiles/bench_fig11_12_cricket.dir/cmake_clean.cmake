@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_12_cricket.dir/bench_fig11_12_cricket.cc.o"
+  "CMakeFiles/bench_fig11_12_cricket.dir/bench_fig11_12_cricket.cc.o.d"
+  "bench_fig11_12_cricket"
+  "bench_fig11_12_cricket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_12_cricket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

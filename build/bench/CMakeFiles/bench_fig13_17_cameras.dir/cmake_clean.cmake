@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_17_cameras.dir/bench_fig13_17_cameras.cc.o"
+  "CMakeFiles/bench_fig13_17_cameras.dir/bench_fig13_17_cameras.cc.o.d"
+  "bench_fig13_17_cameras"
+  "bench_fig13_17_cameras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_17_cameras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_20_shoes.dir/bench_fig19_20_shoes.cc.o"
+  "CMakeFiles/bench_fig19_20_shoes.dir/bench_fig19_20_shoes.cc.o.d"
+  "bench_fig19_20_shoes"
+  "bench_fig19_20_shoes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_20_shoes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

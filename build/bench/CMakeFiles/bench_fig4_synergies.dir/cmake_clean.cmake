@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_synergies.dir/bench_fig4_synergies.cc.o"
+  "CMakeFiles/bench_fig4_synergies.dir/bench_fig4_synergies.cc.o.d"
+  "bench_fig4_synergies"
+  "bench_fig4_synergies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_synergies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

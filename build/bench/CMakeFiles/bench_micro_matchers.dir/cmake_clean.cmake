@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_matchers.dir/bench_micro_matchers.cc.o"
+  "CMakeFiles/bench_micro_matchers.dir/bench_micro_matchers.cc.o.d"
+  "bench_micro_matchers"
+  "bench_micro_matchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_matchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_similarity.dir/bench_micro_similarity.cc.o"
+  "CMakeFiles/bench_micro_similarity.dir/bench_micro_similarity.cc.o.d"
+  "bench_micro_similarity"
+  "bench_micro_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

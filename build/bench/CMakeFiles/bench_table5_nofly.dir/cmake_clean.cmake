@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_nofly.dir/bench_table5_nofly.cc.o"
+  "CMakeFiles/bench_table5_nofly.dir/bench_table5_nofly.cc.o.d"
+  "bench_table5_nofly"
+  "bench_table5_nofly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_nofly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

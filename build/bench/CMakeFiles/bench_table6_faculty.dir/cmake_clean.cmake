@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_faculty.dir/bench_table6_faculty.cc.o"
+  "CMakeFiles/bench_table6_faculty.dir/bench_table6_faculty.cc.o.d"
+  "bench_table6_faculty"
+  "bench_table6_faculty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_faculty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

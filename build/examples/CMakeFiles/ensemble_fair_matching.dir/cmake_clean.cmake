@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_fair_matching.dir/ensemble_fair_matching.cpp.o"
+  "CMakeFiles/ensemble_fair_matching.dir/ensemble_fair_matching.cpp.o.d"
+  "ensemble_fair_matching"
+  "ensemble_fair_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_fair_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

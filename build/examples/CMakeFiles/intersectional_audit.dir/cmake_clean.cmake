@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersectional_audit.dir/intersectional_audit.cpp.o"
+  "CMakeFiles/intersectional_audit.dir/intersectional_audit.cpp.o.d"
+  "intersectional_audit"
+  "intersectional_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersectional_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

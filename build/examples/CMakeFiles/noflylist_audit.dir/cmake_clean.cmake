@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noflylist_audit.dir/noflylist_audit.cpp.o"
+  "CMakeFiles/noflylist_audit.dir/noflylist_audit.cpp.o.d"
+  "noflylist_audit"
+  "noflylist_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noflylist_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,88 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/blockers.cc" "src/CMakeFiles/fairem.dir/block/blockers.cc.o" "gcc" "src/CMakeFiles/fairem.dir/block/blockers.cc.o.d"
+  "/root/repo/src/core/auc.cc" "src/CMakeFiles/fairem.dir/core/auc.cc.o" "gcc" "src/CMakeFiles/fairem.dir/core/auc.cc.o.d"
+  "/root/repo/src/core/audit.cc" "src/CMakeFiles/fairem.dir/core/audit.cc.o" "gcc" "src/CMakeFiles/fairem.dir/core/audit.cc.o.d"
+  "/root/repo/src/core/confusion.cc" "src/CMakeFiles/fairem.dir/core/confusion.cc.o" "gcc" "src/CMakeFiles/fairem.dir/core/confusion.cc.o.d"
+  "/root/repo/src/core/disparity.cc" "src/CMakeFiles/fairem.dir/core/disparity.cc.o" "gcc" "src/CMakeFiles/fairem.dir/core/disparity.cc.o.d"
+  "/root/repo/src/core/encoding.cc" "src/CMakeFiles/fairem.dir/core/encoding.cc.o" "gcc" "src/CMakeFiles/fairem.dir/core/encoding.cc.o.d"
+  "/root/repo/src/core/group.cc" "src/CMakeFiles/fairem.dir/core/group.cc.o" "gcc" "src/CMakeFiles/fairem.dir/core/group.cc.o.d"
+  "/root/repo/src/core/hierarchy.cc" "src/CMakeFiles/fairem.dir/core/hierarchy.cc.o" "gcc" "src/CMakeFiles/fairem.dir/core/hierarchy.cc.o.d"
+  "/root/repo/src/core/measures.cc" "src/CMakeFiles/fairem.dir/core/measures.cc.o" "gcc" "src/CMakeFiles/fairem.dir/core/measures.cc.o.d"
+  "/root/repo/src/core/multi_attr.cc" "src/CMakeFiles/fairem.dir/core/multi_attr.cc.o" "gcc" "src/CMakeFiles/fairem.dir/core/multi_attr.cc.o.d"
+  "/root/repo/src/core/rules_of_thumb.cc" "src/CMakeFiles/fairem.dir/core/rules_of_thumb.cc.o" "gcc" "src/CMakeFiles/fairem.dir/core/rules_of_thumb.cc.o.d"
+  "/root/repo/src/core/threshold.cc" "src/CMakeFiles/fairem.dir/core/threshold.cc.o" "gcc" "src/CMakeFiles/fairem.dir/core/threshold.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/fairem.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/fairem.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/fairem.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/fairem.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/fairem.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/fairem.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/fairem.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/fairem.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/fairem.dir/data/table.cc.o" "gcc" "src/CMakeFiles/fairem.dir/data/table.cc.o.d"
+  "/root/repo/src/datagen/benchmark_suite.cc" "src/CMakeFiles/fairem.dir/datagen/benchmark_suite.cc.o" "gcc" "src/CMakeFiles/fairem.dir/datagen/benchmark_suite.cc.o.d"
+  "/root/repo/src/datagen/cricket.cc" "src/CMakeFiles/fairem.dir/datagen/cricket.cc.o" "gcc" "src/CMakeFiles/fairem.dir/datagen/cricket.cc.o.d"
+  "/root/repo/src/datagen/music.cc" "src/CMakeFiles/fairem.dir/datagen/music.cc.o" "gcc" "src/CMakeFiles/fairem.dir/datagen/music.cc.o.d"
+  "/root/repo/src/datagen/names.cc" "src/CMakeFiles/fairem.dir/datagen/names.cc.o" "gcc" "src/CMakeFiles/fairem.dir/datagen/names.cc.o.d"
+  "/root/repo/src/datagen/perturb.cc" "src/CMakeFiles/fairem.dir/datagen/perturb.cc.o" "gcc" "src/CMakeFiles/fairem.dir/datagen/perturb.cc.o.d"
+  "/root/repo/src/datagen/products.cc" "src/CMakeFiles/fairem.dir/datagen/products.cc.o" "gcc" "src/CMakeFiles/fairem.dir/datagen/products.cc.o.d"
+  "/root/repo/src/datagen/pubs.cc" "src/CMakeFiles/fairem.dir/datagen/pubs.cc.o" "gcc" "src/CMakeFiles/fairem.dir/datagen/pubs.cc.o.d"
+  "/root/repo/src/datagen/social.cc" "src/CMakeFiles/fairem.dir/datagen/social.cc.o" "gcc" "src/CMakeFiles/fairem.dir/datagen/social.cc.o.d"
+  "/root/repo/src/embed/sentence_encoder.cc" "src/CMakeFiles/fairem.dir/embed/sentence_encoder.cc.o" "gcc" "src/CMakeFiles/fairem.dir/embed/sentence_encoder.cc.o.d"
+  "/root/repo/src/embed/subword_embedding.cc" "src/CMakeFiles/fairem.dir/embed/subword_embedding.cc.o" "gcc" "src/CMakeFiles/fairem.dir/embed/subword_embedding.cc.o.d"
+  "/root/repo/src/feature/feature_gen.cc" "src/CMakeFiles/fairem.dir/feature/feature_gen.cc.o" "gcc" "src/CMakeFiles/fairem.dir/feature/feature_gen.cc.o.d"
+  "/root/repo/src/harness/bench_flags.cc" "src/CMakeFiles/fairem.dir/harness/bench_flags.cc.o" "gcc" "src/CMakeFiles/fairem.dir/harness/bench_flags.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/fairem.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/fairem.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/matcher/dedupe_matcher.cc" "src/CMakeFiles/fairem.dir/matcher/dedupe_matcher.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/dedupe_matcher.cc.o.d"
+  "/root/repo/src/matcher/deepmatcher.cc" "src/CMakeFiles/fairem.dir/matcher/deepmatcher.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/deepmatcher.cc.o.d"
+  "/root/repo/src/matcher/ditto_matcher.cc" "src/CMakeFiles/fairem.dir/matcher/ditto_matcher.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/ditto_matcher.cc.o.d"
+  "/root/repo/src/matcher/ensemble_matcher.cc" "src/CMakeFiles/fairem.dir/matcher/ensemble_matcher.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/ensemble_matcher.cc.o.d"
+  "/root/repo/src/matcher/gnem_matcher.cc" "src/CMakeFiles/fairem.dir/matcher/gnem_matcher.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/gnem_matcher.cc.o.d"
+  "/root/repo/src/matcher/hier_matcher.cc" "src/CMakeFiles/fairem.dir/matcher/hier_matcher.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/hier_matcher.cc.o.d"
+  "/root/repo/src/matcher/matcher.cc" "src/CMakeFiles/fairem.dir/matcher/matcher.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/matcher.cc.o.d"
+  "/root/repo/src/matcher/mcan_matcher.cc" "src/CMakeFiles/fairem.dir/matcher/mcan_matcher.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/mcan_matcher.cc.o.d"
+  "/root/repo/src/matcher/ml_matchers.cc" "src/CMakeFiles/fairem.dir/matcher/ml_matchers.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/ml_matchers.cc.o.d"
+  "/root/repo/src/matcher/neural_base.cc" "src/CMakeFiles/fairem.dir/matcher/neural_base.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/neural_base.cc.o.d"
+  "/root/repo/src/matcher/rule_matcher.cc" "src/CMakeFiles/fairem.dir/matcher/rule_matcher.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/rule_matcher.cc.o.d"
+  "/root/repo/src/matcher/serialize.cc" "src/CMakeFiles/fairem.dir/matcher/serialize.cc.o" "gcc" "src/CMakeFiles/fairem.dir/matcher/serialize.cc.o.d"
+  "/root/repo/src/ml/calibration.cc" "src/CMakeFiles/fairem.dir/ml/calibration.cc.o" "gcc" "src/CMakeFiles/fairem.dir/ml/calibration.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/CMakeFiles/fairem.dir/ml/classifier.cc.o" "gcc" "src/CMakeFiles/fairem.dir/ml/classifier.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/CMakeFiles/fairem.dir/ml/cross_validation.cc.o" "gcc" "src/CMakeFiles/fairem.dir/ml/cross_validation.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/fairem.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/fairem.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/linear_models.cc" "src/CMakeFiles/fairem.dir/ml/linear_models.cc.o" "gcc" "src/CMakeFiles/fairem.dir/ml/linear_models.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/fairem.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/fairem.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/fairem.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/fairem.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/fairem.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/fairem.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/CMakeFiles/fairem.dir/ml/scaler.cc.o" "gcc" "src/CMakeFiles/fairem.dir/ml/scaler.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/fairem.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/fairem.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/CMakeFiles/fairem.dir/nn/gru.cc.o" "gcc" "src/CMakeFiles/fairem.dir/nn/gru.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/fairem.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/fairem.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/vecops.cc" "src/CMakeFiles/fairem.dir/nn/vecops.cc.o" "gcc" "src/CMakeFiles/fairem.dir/nn/vecops.cc.o.d"
+  "/root/repo/src/report/audit_render.cc" "src/CMakeFiles/fairem.dir/report/audit_render.cc.o" "gcc" "src/CMakeFiles/fairem.dir/report/audit_render.cc.o.d"
+  "/root/repo/src/report/grid.cc" "src/CMakeFiles/fairem.dir/report/grid.cc.o" "gcc" "src/CMakeFiles/fairem.dir/report/grid.cc.o.d"
+  "/root/repo/src/report/heatmap.cc" "src/CMakeFiles/fairem.dir/report/heatmap.cc.o" "gcc" "src/CMakeFiles/fairem.dir/report/heatmap.cc.o.d"
+  "/root/repo/src/report/table_printer.cc" "src/CMakeFiles/fairem.dir/report/table_printer.cc.o" "gcc" "src/CMakeFiles/fairem.dir/report/table_printer.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/CMakeFiles/fairem.dir/text/edit_distance.cc.o" "gcc" "src/CMakeFiles/fairem.dir/text/edit_distance.cc.o.d"
+  "/root/repo/src/text/hybrid_sim.cc" "src/CMakeFiles/fairem.dir/text/hybrid_sim.cc.o" "gcc" "src/CMakeFiles/fairem.dir/text/hybrid_sim.cc.o.d"
+  "/root/repo/src/text/name_sim.cc" "src/CMakeFiles/fairem.dir/text/name_sim.cc.o" "gcc" "src/CMakeFiles/fairem.dir/text/name_sim.cc.o.d"
+  "/root/repo/src/text/phonetic.cc" "src/CMakeFiles/fairem.dir/text/phonetic.cc.o" "gcc" "src/CMakeFiles/fairem.dir/text/phonetic.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/CMakeFiles/fairem.dir/text/similarity.cc.o" "gcc" "src/CMakeFiles/fairem.dir/text/similarity.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/fairem.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/fairem.dir/text/tfidf.cc.o.d"
+  "/root/repo/src/text/token_sim.cc" "src/CMakeFiles/fairem.dir/text/token_sim.cc.o" "gcc" "src/CMakeFiles/fairem.dir/text/token_sim.cc.o.d"
+  "/root/repo/src/text/tokenize.cc" "src/CMakeFiles/fairem.dir/text/tokenize.cc.o" "gcc" "src/CMakeFiles/fairem.dir/text/tokenize.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/fairem.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/fairem.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/fairem.dir/util/status.cc.o" "gcc" "src/CMakeFiles/fairem.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/fairem.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/fairem.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

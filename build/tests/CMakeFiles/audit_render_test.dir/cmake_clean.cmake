@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_render_test.dir/audit_render_test.cc.o"
+  "CMakeFiles/audit_render_test.dir/audit_render_test.cc.o.d"
+  "audit_render_test"
+  "audit_render_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_gen_test.dir/cricket_gen_test.cc.o"
+  "CMakeFiles/cricket_gen_test.dir/cricket_gen_test.cc.o.d"
+  "cricket_gen_test"
+  "cricket_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

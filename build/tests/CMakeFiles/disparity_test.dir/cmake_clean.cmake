@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disparity_test.dir/disparity_test.cc.o"
+  "CMakeFiles/disparity_test.dir/disparity_test.cc.o.d"
+  "disparity_test"
+  "disparity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disparity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_matcher_test.dir/ensemble_matcher_test.cc.o"
+  "CMakeFiles/ensemble_matcher_test.dir/ensemble_matcher_test.cc.o.d"
+  "ensemble_matcher_test"
+  "ensemble_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

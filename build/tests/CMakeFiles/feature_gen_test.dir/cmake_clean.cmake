@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_gen_test.dir/feature_gen_test.cc.o"
+  "CMakeFiles/feature_gen_test.dir/feature_gen_test.cc.o.d"
+  "feature_gen_test"
+  "feature_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

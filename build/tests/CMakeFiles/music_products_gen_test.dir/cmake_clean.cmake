@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_products_gen_test.dir/music_products_gen_test.cc.o"
+  "CMakeFiles/music_products_gen_test.dir/music_products_gen_test.cc.o.d"
+  "music_products_gen_test"
+  "music_products_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_products_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

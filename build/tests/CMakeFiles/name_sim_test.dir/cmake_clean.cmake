@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_sim_test.dir/name_sim_test.cc.o"
+  "CMakeFiles/name_sim_test.dir/name_sim_test.cc.o.d"
+  "name_sim_test"
+  "name_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_fairness_test.dir/ordered_fairness_test.cc.o"
+  "CMakeFiles/ordered_fairness_test.dir/ordered_fairness_test.cc.o.d"
+  "ordered_fairness_test"
+  "ordered_fairness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

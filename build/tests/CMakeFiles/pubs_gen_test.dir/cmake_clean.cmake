@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubs_gen_test.dir/pubs_gen_test.cc.o"
+  "CMakeFiles/pubs_gen_test.dir/pubs_gen_test.cc.o.d"
+  "pubs_gen_test"
+  "pubs_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubs_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_calibration_test.dir/rules_calibration_test.cc.o"
+  "CMakeFiles/rules_calibration_test.dir/rules_calibration_test.cc.o.d"
+  "rules_calibration_test"
+  "rules_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaler_cv_test.dir/scaler_cv_test.cc.o"
+  "CMakeFiles/scaler_cv_test.dir/scaler_cv_test.cc.o.d"
+  "scaler_cv_test"
+  "scaler_cv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaler_cv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

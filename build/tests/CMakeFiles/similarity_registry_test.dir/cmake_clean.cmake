@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_registry_test.dir/similarity_registry_test.cc.o"
+  "CMakeFiles/similarity_registry_test.dir/similarity_registry_test.cc.o.d"
+  "similarity_registry_test"
+  "similarity_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_sim_test.dir/token_sim_test.cc.o"
+  "CMakeFiles/token_sim_test.dir/token_sim_test.cc.o.d"
+  "token_sim_test"
+  "token_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

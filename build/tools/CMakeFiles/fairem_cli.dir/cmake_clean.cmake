@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairem_cli.dir/fairem_cli.cc.o"
+  "CMakeFiles/fairem_cli.dir/fairem_cli.cc.o.d"
+  "fairem"
+  "fairem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
