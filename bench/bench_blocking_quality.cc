@@ -8,13 +8,16 @@
 
 #include "src/block/blockers.h"
 #include "src/datagen/benchmark_suite.h"
+#include "src/harness/bench_flags.h"
+#include "src/obs/obs.h"
 #include "src/report/table_printer.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
 namespace {
 
-int Run() {
+int Run(const BenchFlags& flags) {
+  Span bench_span("fairem.bench." + flags.bench_name);
   struct Spec {
     DatasetKind kind;
     const char* key_attr;
@@ -29,7 +32,8 @@ int Run() {
   TablePrinter table(
       {"dataset", "blocker", "candidates", "RR", "PC"});
   for (const Spec& spec : specs) {
-    Result<EMDataset> ds = GenerateDataset(spec.kind, 0.6);
+    Result<EMDataset> ds =
+        GenerateDataset(spec.kind, 0.6 * flags.scale, flags.seed_offset);
     if (!ds.ok()) {
       std::cerr << ds.status() << "\n";
       return 1;
@@ -61,7 +65,9 @@ int Run() {
                     std::to_string(stats.num_candidates),
                     FormatDouble(stats.reduction_ratio, 3),
                     FormatDouble(stats.pair_completeness, 3)});
-      std::cerr << "done " << ds->name << " / " << blocker->name() << "\n";
+      FAIREM_LOG(INFO) << "blocked" << LogKv("dataset", ds->name)
+                       << LogKv("blocker", blocker->name())
+                       << LogKv("candidates", stats.num_candidates);
     }
   }
   std::cout << table.ToString() << "\n";
@@ -71,4 +77,6 @@ int Run() {
 }  // namespace
 }  // namespace fairem
 
-int main() { return fairem::Run(); }
+int main(int argc, char** argv) {
+  return fairem::Run(fairem::ParseBenchFlags(argc, argv));
+}

@@ -1,0 +1,55 @@
+# Smoke test for the bench observability path: runs a small bench with
+# --metrics_out and fails if the binary errors, the snapshot is missing, or
+# the snapshot lacks the pipeline counters it must contain.
+#
+# Invoked by CTest as:
+#   cmake -DBENCH_BIN=<path> -DWORK_DIR=<dir> -P bench_smoke.cmake
+
+if(NOT DEFINED BENCH_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "bench_smoke.cmake requires -DBENCH_BIN and -DWORK_DIR")
+endif()
+
+set(metrics_file "${WORK_DIR}/bench_smoke_metrics.json")
+file(REMOVE "${metrics_file}")
+
+execute_process(
+  COMMAND "${BENCH_BIN}" --scale 0.25 --metrics_out "${metrics_file}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE bench_stdout
+  ERROR_VARIABLE bench_stderr)
+
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "bench exited with ${exit_code}\nstdout:\n${bench_stdout}\n"
+      "stderr:\n${bench_stderr}")
+endif()
+
+if(NOT EXISTS "${metrics_file}")
+  message(FATAL_ERROR "--metrics_out produced no file at ${metrics_file}")
+endif()
+
+file(READ "${metrics_file}" snapshot)
+
+if(snapshot STREQUAL "")
+  message(FATAL_ERROR "metrics snapshot is empty")
+endif()
+
+# An all-empty registry means the bench ran without touching any counters —
+# the instrumentation is broken even if the run "succeeded".
+string(REGEX REPLACE "[ \t\r\n]" "" compact "${snapshot}")
+if(compact MATCHES "\"counters\":{}")
+  message(FATAL_ERROR "metrics snapshot has no counters:\n${snapshot}")
+endif()
+
+foreach(key
+    "fairem.datagen.datasets_generated"
+    "fairem.block.candidates"
+    "fairem.block.calls")
+  if(NOT snapshot MATCHES "\"${key}\"")
+    message(FATAL_ERROR
+        "metrics snapshot is missing expected key ${key}:\n${snapshot}")
+  endif()
+endforeach()
+
+message(STATUS "bench_smoke OK: snapshot at ${metrics_file} has all keys")

@@ -3,52 +3,72 @@
 
 // Shared driver for the unfairness-grid figure benches (Figures 6-13 and
 // 17-20): generates one benchmark dataset, trains all matchers, and prints
-// the single- (and optionally pairwise-) fairness grids.
+// the single- (and optionally pairwise-) fairness grids. Every run ends by
+// writing a BENCH_<name>.json metrics snapshot next to the working
+// directory so the perf/counter trajectory of successive commits
+// accumulates; --trace_out/--metrics_out (parsed by ParseBenchFlags) add
+// Chrome-trace and explicitly-placed metrics files on top.
 
 #include <iostream>
 
 #include "src/datagen/benchmark_suite.h"
 #include "src/harness/bench_flags.h"
 #include "src/harness/experiment.h"
+#include "src/obs/obs.h"
 
 namespace fairem {
 
 inline int RunGridBench(DatasetKind kind, const char* single_title,
                         const char* pairwise_title,
                         const BenchFlags& flags = {}) {
-  Result<EMDataset> dataset =
-      GenerateDataset(kind, flags.scale, flags.seed_offset);
-  if (!dataset.ok()) {
-    std::cerr << dataset.status() << "\n";
-    return 1;
-  }
-  // Audit each group against everyone else (AuditReference::kComplement):
-  // with the overall matcher as reference, a group's own false positives
-  // drag the reference down and mask the disparity.
-  AuditOptions options;
-  options.reference = AuditReference::kComplement;
-  Result<std::string> single = UnfairnessGridReport(*dataset, false, options);
-  if (!single.ok()) {
-    std::cerr << single.status() << "\n";
-    return 1;
-  }
-  std::cout << "== " << single_title << " ==\n"
-            << (single->empty() ? "(no unfair cells)\n" : *single) << "\n";
-  if (pairwise_title != nullptr) {
-    Result<std::string> pairwise =
-        UnfairnessGridReport(*dataset, true, options);
-    if (!pairwise.ok()) {
-      std::cerr << pairwise.status() << "\n";
+  int exit_code = 0;
+  {
+    Span bench_span("fairem.bench." + flags.bench_name);
+    Result<EMDataset> dataset =
+        GenerateDataset(kind, flags.scale, flags.seed_offset);
+    if (!dataset.ok()) {
+      std::cerr << dataset.status() << "\n";
       return 1;
     }
-    std::cout << "== " << pairwise_title << " ==\n"
-              << (pairwise->empty() ? "(no unfair cells)\n" : *pairwise)
-              << "\n";
+    // Audit each group against everyone else (AuditReference::kComplement):
+    // with the overall matcher as reference, a group's own false positives
+    // drag the reference down and mask the disparity.
+    AuditOptions options;
+    options.reference = AuditReference::kComplement;
+    Result<std::string> single =
+        UnfairnessGridReport(*dataset, false, options);
+    if (!single.ok()) {
+      std::cerr << single.status() << "\n";
+      return 1;
+    }
+    std::cout << "== " << single_title << " ==\n"
+              << (single->empty() ? "(no unfair cells)\n" : *single) << "\n";
+    if (pairwise_title != nullptr) {
+      Result<std::string> pairwise =
+          UnfairnessGridReport(*dataset, true, options);
+      if (!pairwise.ok()) {
+        std::cerr << pairwise.status() << "\n";
+        return 1;
+      }
+      std::cout << "== " << pairwise_title << " ==\n"
+                << (pairwise->empty() ? "(no unfair cells)\n" : *pairwise)
+                << "\n";
+    }
+    std::cout << "markers: BR BooleanRule, DD Dedupe, DT/SV/RF/LO/LI/NB "
+                 "Magellan classifiers, DM DeepMatcher, DI Ditto, GN GNEM, "
+                 "HM HierMatcher, MC MCAN\n";
   }
-  std::cout << "markers: BR BooleanRule, DD Dedupe, DT/SV/RF/LO/LI/NB "
-               "Magellan classifiers, DM DeepMatcher, DI Ditto, GN GNEM, "
-               "HM HierMatcher, MC MCAN\n";
-  return 0;
+  std::string snapshot_path = "BENCH_" + flags.bench_name + ".json";
+  if (Status st = MetricsRegistry::Global().WriteJsonFile(snapshot_path);
+      !st.ok()) {
+    FAIREM_LOG(WARN) << "could not write bench metrics snapshot"
+                     << LogKv("path", snapshot_path)
+                     << LogKv("status", st.ToString());
+  } else {
+    FAIREM_LOG(INFO) << "wrote bench metrics snapshot"
+                     << LogKv("path", snapshot_path);
+  }
+  return exit_code;
 }
 
 }  // namespace fairem

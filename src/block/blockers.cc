@@ -5,12 +5,26 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/text/token_sim.h"
 #include "src/text/tokenize.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
 namespace {
+
+/// One candidate counter shared by every blocker ("how much work did
+/// blocking hand downstream"), plus a per-run count of Block() calls.
+void CountCandidates(size_t n) {
+  static Counter* candidates =
+      MetricsRegistry::Global().GetCounter("fairem.block.candidates");
+  static Counter* calls =
+      MetricsRegistry::Global().GetCounter("fairem.block.calls");
+  candidates->Increment(n);
+  calls->Increment();
+}
 
 void SortAndDedup(std::vector<CandidatePair>* pairs) {
   std::sort(pairs->begin(), pairs->end(),
@@ -47,11 +61,30 @@ BlockingStats EvaluateBlocking(const std::vector<CandidatePair>& candidates,
       true_matches > 0
           ? static_cast<double>(retained) / static_cast<double>(true_matches)
           : 1.0;
+  static Counter* retained_counter = MetricsRegistry::Global().GetCounter(
+      "fairem.block.true_matches_retained");
+  static Counter* lost_counter =
+      MetricsRegistry::Global().GetCounter("fairem.block.true_matches_lost");
+  static Gauge* completeness_gauge =
+      MetricsRegistry::Global().GetGauge("fairem.block.pair_completeness");
+  static Gauge* reduction_gauge =
+      MetricsRegistry::Global().GetGauge("fairem.block.reduction_ratio");
+  retained_counter->Increment(retained);
+  lost_counter->Increment(true_matches - retained);
+  completeness_gauge->Set(stats.pair_completeness);
+  reduction_gauge->Set(stats.reduction_ratio);
+  FAIREM_LOG(DEBUG) << "blocking evaluated"
+                    << LogKv("candidates", stats.num_candidates)
+                    << LogKv("reduction_ratio",
+                             FormatDouble(stats.reduction_ratio, 4))
+                    << LogKv("pair_completeness",
+                             FormatDouble(stats.pair_completeness, 4));
   return stats;
 }
 
 Result<std::vector<CandidatePair>> CartesianBlocker::Block(
     const Table& a, const Table& b) const {
+  Span span("fairem.block.cartesian");
   std::vector<CandidatePair> pairs;
   pairs.reserve(a.num_rows() * b.num_rows());
   for (size_t i = 0; i < a.num_rows(); ++i) {
@@ -59,11 +92,13 @@ Result<std::vector<CandidatePair>> CartesianBlocker::Block(
       pairs.push_back({i, j});
     }
   }
+  CountCandidates(pairs.size());
   return pairs;
 }
 
 Result<std::vector<CandidatePair>> AttrEquivalenceBlocker::Block(
     const Table& a, const Table& b) const {
+  Span span("fairem.block.attr_equivalence");
   FAIREM_ASSIGN_OR_RETURN(size_t col_a, a.schema().Index(attr_));
   FAIREM_ASSIGN_OR_RETURN(size_t col_b, b.schema().Index(attr_));
   std::unordered_map<std::string, std::vector<size_t>> index_b;
@@ -79,11 +114,13 @@ Result<std::vector<CandidatePair>> AttrEquivalenceBlocker::Block(
     for (size_t j : it->second) pairs.push_back({i, j});
   }
   SortAndDedup(&pairs);
+  CountCandidates(pairs.size());
   return pairs;
 }
 
 Result<std::vector<CandidatePair>> OverlapBlocker::Block(
     const Table& a, const Table& b) const {
+  Span span("fairem.block.overlap");
   if (min_overlap_ < 1) {
     return Status::InvalidArgument("min_overlap must be >= 1");
   }
@@ -120,11 +157,13 @@ Result<std::vector<CandidatePair>> OverlapBlocker::Block(
     }
   }
   SortAndDedup(&pairs);
+  CountCandidates(pairs.size());
   return pairs;
 }
 
 Result<std::vector<CandidatePair>> SortedNeighborhoodBlocker::Block(
     const Table& a, const Table& b) const {
+  Span span("fairem.block.sorted_neighborhood");
   if (window_ < 2) {
     return Status::InvalidArgument("window must be >= 2");
   }
@@ -160,11 +199,13 @@ Result<std::vector<CandidatePair>> SortedNeighborhoodBlocker::Block(
     }
   }
   SortAndDedup(&pairs);
+  CountCandidates(pairs.size());
   return pairs;
 }
 
 Result<std::vector<CandidatePair>> CanopyBlocker::Block(
     const Table& a, const Table& b) const {
+  Span span("fairem.block.canopy");
   if (t2_ > t1_) {
     return Status::InvalidArgument("canopy requires t2 <= t1");
   }
@@ -209,6 +250,7 @@ Result<std::vector<CandidatePair>> CanopyBlocker::Block(
     }
   }
   SortAndDedup(&pairs);
+  CountCandidates(pairs.size());
   return pairs;
 }
 

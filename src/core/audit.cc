@@ -4,7 +4,45 @@
 #include <cmath>
 #include <set>
 
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/string_util.h"
+
 namespace fairem {
+namespace {
+
+/// Audit-loop counters (Algorithm 1 observability). Registered eagerly by
+/// AuditCounters() so they appear — at zero — in every metrics snapshot
+/// that ran an audit, making "no cells were skipped" distinguishable from
+/// "skips were never counted".
+struct AuditCountersSet {
+  Counter* cells_evaluated;
+  Counter* cells_flagged;
+  Counter* cells_skipped;            // total suppressed by either guard
+  Counter* cells_skipped_min_pairs;  // failed AuditOptions::min_group_pairs
+  Counter* cells_skipped_min_gap;    // failed AuditOptions::min_absolute_gap
+  Counter* cells_undefined;          // empty-denominator statistic
+};
+
+const AuditCountersSet& AuditCounters() {
+  static const AuditCountersSet counters = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    AuditCountersSet c;
+    c.cells_evaluated = reg.GetCounter("fairem.audit.cells_evaluated");
+    c.cells_flagged = reg.GetCounter("fairem.audit.cells_flagged");
+    c.cells_skipped = reg.GetCounter("fairem.audit.cells_skipped");
+    c.cells_skipped_min_pairs =
+        reg.GetCounter("fairem.audit.cells_skipped_min_pairs");
+    c.cells_skipped_min_gap =
+        reg.GetCounter("fairem.audit.cells_skipped_min_gap");
+    c.cells_undefined = reg.GetCounter("fairem.audit.cells_undefined");
+    return c;
+  }();
+  return counters;
+}
+
+}  // namespace
 
 std::vector<std::string> AuditReport::DiscriminatedGroups(
     FairnessMeasure m) const {
@@ -56,27 +94,60 @@ AuditEntry EvaluateScalar(const std::string& label, FairnessMeasure m,
                           const ConfusionCounts& overall,
                           const ConfusionCounts& group_counts,
                           const AuditOptions& options) {
+  const AuditCountersSet& counters = AuditCounters();
+  counters.cells_evaluated->Increment();
   AuditEntry entry;
   entry.group_label = label;
   entry.measure = m;
   entry.group_pairs = group_counts.total();
   Result<double> overall_stat = MeasureStatistic(m, overall);
   Result<double> group_stat = MeasureStatistic(m, group_counts);
-  if (!overall_stat.ok() || !group_stat.ok()) return entry;
+  if (!overall_stat.ok() || !group_stat.ok()) {
+    counters.cells_undefined->Increment();
+    return entry;
+  }
   Result<double> disp = ComputeDisparity(m, *overall_stat, *group_stat,
                                          options.mode);
   Result<double> signed_disp = ComputeSignedDisparity(
       m, *overall_stat, *group_stat, options.mode);
-  if (!disp.ok() || !signed_disp.ok()) return entry;
+  if (!disp.ok() || !signed_disp.ok()) {
+    counters.cells_undefined->Increment();
+    return entry;
+  }
   entry.defined = true;
   entry.overall_value = *overall_stat;
   entry.group_value = *group_stat;
   entry.disparity = *disp;
   entry.signed_disparity = *signed_disp;
-  entry.unfair = entry.group_pairs >= options.min_group_pairs &&
-                 entry.disparity > options.fairness_threshold &&
-                 std::fabs(*group_stat - *overall_stat) >
-                     options.min_absolute_gap;
+  const bool enough_pairs = entry.group_pairs >= options.min_group_pairs;
+  const bool over_threshold = entry.disparity > options.fairness_threshold;
+  const bool enough_gap =
+      std::fabs(*group_stat - *overall_stat) > options.min_absolute_gap;
+  entry.unfair = enough_pairs && over_threshold && enough_gap;
+  if (entry.unfair) {
+    counters.cells_flagged->Increment();
+  } else if (over_threshold) {
+    // Above the disparity threshold but suppressed by an evidence guard —
+    // these silent skips are what make paper-table mismatches hard to
+    // debug, so they are counted and logged.
+    counters.cells_skipped->Increment();
+    const char* reason;
+    if (!enough_pairs) {
+      counters.cells_skipped_min_pairs->Increment();
+      reason = "min_group_pairs";
+    } else {
+      counters.cells_skipped_min_gap->Increment();
+      reason = "min_absolute_gap";
+    }
+    FAIREM_LOG(DEBUG) << "audit cell suppressed" << LogKv("group", label)
+                      << LogKv("measure", FairnessMeasureName(m))
+                      << LogKv("reason", reason)
+                      << LogKv("group_pairs", entry.group_pairs)
+                      << LogKv("disparity", FormatDouble(entry.disparity, 4))
+                      << LogKv("gap",
+                               FormatDouble(
+                                   std::fabs(*group_stat - *overall_stat), 4));
+  }
   return entry;
 }
 
@@ -135,6 +206,9 @@ Status FairnessAuditor::AppendEntries(const std::string& label,
 Result<AuditReport> FairnessAuditor::AuditSingle(
     const std::vector<PairOutcome>& outcomes,
     const AuditOptions& options) const {
+  Span span("fairem.audit.single");
+  span.AddArg("outcomes", std::to_string(outcomes.size()));
+  span.AddArg("groups", std::to_string(membership_.groups().size()));
   AuditReport report;
   const ConfusionCounts overall = OverallCounts(outcomes);
   for (const auto& group : membership_.groups()) {
@@ -153,6 +227,9 @@ Result<AuditReport> FairnessAuditor::AuditSingle(
 Result<AuditReport> FairnessAuditor::AuditPairwise(
     const std::vector<PairOutcome>& outcomes,
     const AuditOptions& options) const {
+  Span span("fairem.audit.pairwise");
+  span.AddArg("outcomes", std::to_string(outcomes.size()));
+  span.AddArg("groups", std::to_string(membership_.groups().size()));
   AuditReport report;
   const ConfusionCounts overall = OverallCounts(outcomes);
   const auto& groups = membership_.groups();
@@ -179,6 +256,8 @@ Result<AuditReport> FairnessAuditor::AuditPairwise(
 Result<AuditReport> FairnessAuditor::AuditSingleOrdered(
     const std::vector<PairOutcome>& outcomes, PairSide side,
     const AuditOptions& options) const {
+  Span span("fairem.audit.single_ordered");
+  span.AddArg("outcomes", std::to_string(outcomes.size()));
   AuditReport report;
   const ConfusionCounts overall = OverallCounts(outcomes);
   const char* suffix = side == PairSide::kLeft ? " (left)" : " (right)";
@@ -205,6 +284,8 @@ Result<AuditReport> FairnessAuditor::AuditSingleOrdered(
 Result<AuditReport> FairnessAuditor::AuditPairwiseOrdered(
     const std::vector<PairOutcome>& outcomes,
     const AuditOptions& options) const {
+  Span span("fairem.audit.pairwise_ordered");
+  span.AddArg("outcomes", std::to_string(outcomes.size()));
   AuditReport report;
   const ConfusionCounts overall = OverallCounts(outcomes);
   const auto& groups = membership_.groups();
@@ -234,6 +315,9 @@ Result<AuditReport> FairnessAuditor::AuditSubgroups(
     const std::vector<Subgroup>& subgroups,
     const std::vector<PairOutcome>& outcomes,
     const AuditOptions& options) const {
+  Span span("fairem.audit.subgroups");
+  span.AddArg("outcomes", std::to_string(outcomes.size()));
+  span.AddArg("subgroups", std::to_string(subgroups.size()));
   AuditReport report;
   const ConfusionCounts overall = OverallCounts(outcomes);
   for (const auto& sg : subgroups) {

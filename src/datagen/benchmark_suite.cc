@@ -7,6 +7,10 @@
 #include "src/datagen/products.h"
 #include "src/datagen/pubs.h"
 #include "src/datagen/social.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/string_util.h"
 
 namespace fairem {
 namespace {
@@ -16,39 +20,10 @@ int Scaled(int base, double scale) {
   return v < 4 ? 4 : v;
 }
 
-}  // namespace
-
-const char* DatasetKindName(DatasetKind kind) {
-  switch (kind) {
-    case DatasetKind::kFacultyMatch:
-      return "FacultyMatch";
-    case DatasetKind::kNoFlyCompas:
-      return "NoFlyCompas";
-    case DatasetKind::kItunesAmazon:
-      return "iTunes-Amazon";
-    case DatasetKind::kDblpAcm:
-      return "DBLP-ACM";
-    case DatasetKind::kDblpScholar:
-      return "DBLP-Scholar";
-    case DatasetKind::kCricket:
-      return "Cricket";
-    case DatasetKind::kShoes:
-      return "Shoes";
-    case DatasetKind::kCameras:
-      return "Cameras";
-  }
-  return "?";
-}
-
-std::vector<DatasetKind> AllDatasetKinds() {
-  return {DatasetKind::kFacultyMatch, DatasetKind::kNoFlyCompas,
-          DatasetKind::kItunesAmazon, DatasetKind::kDblpAcm,
-          DatasetKind::kDblpScholar,  DatasetKind::kCricket,
-          DatasetKind::kShoes,        DatasetKind::kCameras};
-}
-
-Result<EMDataset> GenerateDataset(DatasetKind kind, double scale,
-                                  uint64_t seed_offset) {
+/// Dispatches to the per-dataset generator; GenerateDataset wraps this with
+/// the observability envelope (span + counters + log line).
+Result<EMDataset> GenerateDatasetImpl(DatasetKind kind, double scale,
+                                      uint64_t seed_offset) {
   switch (kind) {
     case DatasetKind::kFacultyMatch: {
       FacultyMatchOptions o;
@@ -105,6 +80,71 @@ Result<EMDataset> GenerateDataset(DatasetKind kind, double scale,
     }
   }
   return Status::InvalidArgument("unknown dataset kind");
+}
+
+}  // namespace
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kFacultyMatch:
+      return "FacultyMatch";
+    case DatasetKind::kNoFlyCompas:
+      return "NoFlyCompas";
+    case DatasetKind::kItunesAmazon:
+      return "iTunes-Amazon";
+    case DatasetKind::kDblpAcm:
+      return "DBLP-ACM";
+    case DatasetKind::kDblpScholar:
+      return "DBLP-Scholar";
+    case DatasetKind::kCricket:
+      return "Cricket";
+    case DatasetKind::kShoes:
+      return "Shoes";
+    case DatasetKind::kCameras:
+      return "Cameras";
+  }
+  return "?";
+}
+
+std::vector<DatasetKind> AllDatasetKinds() {
+  return {DatasetKind::kFacultyMatch, DatasetKind::kNoFlyCompas,
+          DatasetKind::kItunesAmazon, DatasetKind::kDblpAcm,
+          DatasetKind::kDblpScholar,  DatasetKind::kCricket,
+          DatasetKind::kShoes,        DatasetKind::kCameras};
+}
+
+Result<EMDataset> GenerateDataset(DatasetKind kind, double scale,
+                                  uint64_t seed_offset) {
+  Span span("fairem.datagen.generate");
+  span.AddArg("dataset", DatasetKindName(kind));
+  double seconds = 0.0;
+  Result<EMDataset> dataset = Status::Internal("datagen did not run");
+  {
+    ScopedTimer timer(&seconds);
+    dataset = GenerateDatasetImpl(kind, scale, seed_offset);
+  }
+  if (dataset.ok()) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static Counter* datasets =
+        reg.GetCounter("fairem.datagen.datasets_generated");
+    static Counter* records = reg.GetCounter("fairem.datagen.records");
+    static Counter* pairs = reg.GetCounter("fairem.datagen.labeled_pairs");
+    size_t num_records =
+        dataset->table_a.num_rows() + dataset->table_b.num_rows();
+    size_t num_pairs =
+        dataset->train.size() + dataset->valid.size() + dataset->test.size();
+    datasets->Increment();
+    records->Increment(num_records);
+    pairs->Increment(num_pairs);
+    span.AddArg("records", std::to_string(num_records));
+    span.AddArg("pairs", std::to_string(num_pairs));
+    FAIREM_LOG(DEBUG) << "generated dataset"
+                      << LogKv("dataset", dataset->name)
+                      << LogKv("records", num_records)
+                      << LogKv("pairs", num_pairs)
+                      << LogKv("seconds", FormatDouble(seconds, 4));
+  }
+  return dataset;
 }
 
 }  // namespace fairem

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/text/tokenize.h"
 #include "src/util/string_util.h"
 
@@ -58,6 +60,8 @@ Result<AttrType> InferAttrType(const Table& a, const Table& b,
 
 Result<std::vector<FeatureDef>> GenerateFeatures(
     const Table& a, const Table& b, const std::vector<std::string>& attrs) {
+  Span span("fairem.feature.generate_defs");
+  span.AddArg("attrs", std::to_string(attrs.size()));
   std::vector<FeatureDef> defs;
   for (const auto& attr : attrs) {
     FAIREM_ASSIGN_OR_RETURN(AttrType type, InferAttrType(a, b, attr));
@@ -86,6 +90,9 @@ Result<std::vector<FeatureDef>> GenerateFeatures(
         break;
     }
   }
+  static Counter* defs_counter =
+      MetricsRegistry::Global().GetCounter("fairem.feature.defs_generated");
+  defs_counter->Increment(defs.size());
   return defs;
 }
 
@@ -110,6 +117,15 @@ Result<std::vector<double>> ExtractFeatures(
 Result<FeatureTable> BuildFeatureTable(const std::vector<FeatureDef>& defs,
                                        const Table& a, const Table& b,
                                        const std::vector<LabeledPair>& pairs) {
+  Span span("fairem.feature.build_table");
+  span.AddArg("pairs", std::to_string(pairs.size()));
+  span.AddArg("defs", std::to_string(defs.size()));
+  static Counter* rows_counter =
+      MetricsRegistry::Global().GetCounter("fairem.feature.rows_built");
+  static Counter* values_counter =
+      MetricsRegistry::Global().GetCounter("fairem.feature.values_computed");
+  rows_counter->Increment(pairs.size());
+  values_counter->Increment(pairs.size() * defs.size());
   FeatureTable table;
   table.defs = defs;
   table.rows.reserve(pairs.size());

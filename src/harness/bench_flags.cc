@@ -7,18 +7,48 @@
 #include "src/util/string_util.h"
 
 namespace fairem {
+namespace {
+
+const char kUsage[] =
+    " [--scale S] [--seed N] [--log_level debug|info|warn|error|off]"
+    " [--trace_out FILE] [--metrics_out FILE]\n";
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
 
 BenchFlags ParseBenchFlags(int argc, char** argv) {
   BenchFlags flags;
+  if (argc > 0) flags.bench_name = Basename(argv[0]);
+  auto usage = [&]() {
+    std::cerr << "usage: " << (argc > 0 ? argv[0] : "bench") << kUsage;
+    std::exit(1);
+  };
   for (int i = 1; i < argc; ++i) {
+    // Both `--flag value` and `--flag=value` spellings are accepted.
     std::string arg = argv[i];
-    auto next_value = [&](double* out) {
-      if (i + 1 >= argc || !ParseDouble(argv[i + 1], out)) {
-        std::cerr << "usage: " << argv[0]
-                  << " [--scale S] [--seed N]\n";
-        std::exit(1);
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (size_t eq = arg.find('='); eq != std::string::npos && arg[0] == '-') {
+      inline_value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_inline_value = true;
+    }
+    auto next_string = [&](std::string* out) {
+      if (has_inline_value) {
+        *out = inline_value;
+        return;
       }
-      ++i;
+      if (i + 1 >= argc) usage();
+      *out = argv[++i];
+    };
+    auto next_value = [&](double* out) {
+      std::string text;
+      next_string(&text);
+      if (!ParseDouble(text, out)) usage();
     };
     if (arg == "--scale") {
       next_value(&flags.scale);
@@ -26,11 +56,24 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       double v = 0.0;
       next_value(&v);
       flags.seed_offset = static_cast<uint64_t>(v);
+    } else if (arg == "--log_level") {
+      next_string(&flags.obs.log_level);
+    } else if (arg == "--trace_out") {
+      next_string(&flags.obs.trace_out);
+    } else if (arg == "--metrics_out") {
+      next_string(&flags.obs.metrics_out);
     } else {
       std::cerr << "unknown flag '" << arg << "'\nusage: " << argv[0]
-                << " [--scale S] [--seed N]\n";
+                << kUsage;
       std::exit(1);
     }
+  }
+  if (Status st = ApplyObsOptions(flags.obs); !st.ok()) {
+    std::cerr << st << "\nusage: " << argv[0] << kUsage;
+    std::exit(1);
+  }
+  if (!flags.obs.trace_out.empty() || !flags.obs.metrics_out.empty()) {
+    FlushObsOutputsAtExit(flags.obs);
   }
   return flags;
 }

@@ -2,20 +2,32 @@
 #define FAIREM_HARNESS_BENCH_FLAGS_H_
 
 #include <cstdint>
+#include <string>
+
+#include "src/obs/obs.h"
 
 namespace fairem {
 
 /// Common command-line flags of the table/figure bench binaries:
-///   --scale S   multiply every generator's entity counts (default 1.0)
-///   --seed N    shift every generator seed (default 0) — rerun a bench
-///               with several seeds for a quick replication study
+///   --scale S        multiply every generator's entity counts (default 1.0)
+///   --seed N         shift every generator seed (default 0) — rerun a bench
+///                    with several seeds for a quick replication study
+///   --log_level L    debug|info|warn|error|off
+///   --trace_out F    enable span tracing; write Chrome trace JSON to F
+///   --metrics_out F  write a metrics-registry JSON snapshot to F on exit
 /// Unknown flags abort with a usage message.
 struct BenchFlags {
   double scale = 1.0;
   uint64_t seed_offset = 0;
+  ObsOptions obs;
+  /// argv[0] basename, e.g. "bench_table5_nofly"; names BENCH_<name>.json.
+  std::string bench_name = "bench";
 };
 
-/// Parses argv; exits(1) with a usage message on malformed flags.
+/// Parses argv; exits(1) with a usage message on malformed flags. Also
+/// applies the observability options (log level, tracing) and registers an
+/// atexit flush, so --trace_out/--metrics_out work in every bench binary
+/// without per-binary wiring.
 BenchFlags ParseBenchFlags(int argc, char** argv);
 
 }  // namespace fairem

@@ -1,25 +1,27 @@
 #include "src/harness/experiment.h"
 
 #include <algorithm>
-#include <chrono>
-#include <iostream>
 #include <memory>
 
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/report/grid.h"
+#include "src/util/string_util.h"
 
 namespace fairem {
-namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
 
 Result<MatcherRun> RunMatcher(const EMDataset& dataset, MatcherKind kind,
                               uint64_t seed) {
+  static Counter* runs =
+      MetricsRegistry::Global().GetCounter("fairem.harness.matcher_runs");
+  static Counter* unsupported = MetricsRegistry::Global().GetCounter(
+      "fairem.harness.unsupported_runs");
+  static Histogram* fit_hist =
+      MetricsRegistry::Global().GetHistogram("fairem.matcher.fit_seconds");
+  static Histogram* predict_hist =
+      MetricsRegistry::Global().GetHistogram("fairem.matcher.predict_seconds");
+
   MatcherRun run;
   run.kind = kind;
   run.matcher_name = MatcherKindName(kind);
@@ -29,22 +31,41 @@ Result<MatcherRun> RunMatcher(const EMDataset& dataset, MatcherKind kind,
   }
   if (!matcher->SupportsDataset(dataset)) {
     run.supported = false;
+    unsupported->Increment();
     return run;
   }
+  runs->Increment();
   Rng rng(seed ^ (static_cast<uint64_t>(kind) * 0x9e3779b97f4a7c15ULL));
-  auto fit_start = std::chrono::steady_clock::now();
-  FAIREM_RETURN_NOT_OK(matcher->Fit(dataset, &rng));
-  run.fit_seconds = SecondsSince(fit_start);
-  auto predict_start = std::chrono::steady_clock::now();
-  FAIREM_ASSIGN_OR_RETURN(run.test_scores,
-                          matcher->PredictScores(dataset, dataset.test));
-  run.predict_seconds = SecondsSince(predict_start);
+  {
+    // fit_seconds comes from the span's own monotonic clock, so the
+    // harness-reported number and the trace event can never disagree.
+    Span span("fairem.matcher.fit", &run.fit_seconds);
+    span.AddArg("matcher", run.matcher_name);
+    span.AddArg("dataset", dataset.name);
+    FAIREM_RETURN_NOT_OK(matcher->Fit(dataset, &rng));
+  }
+  fit_hist->Observe(run.fit_seconds);
+  {
+    Span span("fairem.matcher.predict", &run.predict_seconds);
+    span.AddArg("matcher", run.matcher_name);
+    span.AddArg("dataset", dataset.name);
+    span.AddArg("pairs", std::to_string(dataset.test.size()));
+    FAIREM_ASSIGN_OR_RETURN(run.test_scores,
+                            matcher->PredictScores(dataset, dataset.test));
+  }
+  predict_hist->Observe(run.predict_seconds);
   FAIREM_ASSIGN_OR_RETURN(std::vector<PairOutcome> outcomes,
                           MakeOutcomes(dataset.test, run.test_scores,
                                        dataset.default_threshold));
   run.counts = OverallCounts(outcomes);
   run.accuracy = Accuracy(run.counts).value_or(0.0);
   run.f1 = F1Score(run.counts).value_or(0.0);
+  FAIREM_LOG(DEBUG) << "matcher run complete"
+                    << LogKv("matcher", run.matcher_name)
+                    << LogKv("dataset", dataset.name)
+                    << LogKv("fit_s", FormatDouble(run.fit_seconds, 4))
+                    << LogKv("predict_s", FormatDouble(run.predict_seconds, 4))
+                    << LogKv("f1", FormatDouble(run.f1, 3));
   return run;
 }
 
@@ -99,6 +120,9 @@ Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
                                          bool pairwise,
                                          const AuditOptions& options,
                                          const std::vector<MatcherKind>& skip) {
+  Span grid_span("fairem.harness.unfairness_grid");
+  grid_span.AddArg("dataset", dataset.name);
+  grid_span.AddArg("mode", pairwise ? "pairwise" : "single");
   UnfairnessGrid grid;
   for (MatcherKind kind : AllMatcherKinds()) {
     if (std::find(skip.begin(), skip.end(), kind) != skip.end()) continue;
@@ -109,11 +133,12 @@ Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
         pairwise ? AuditRunPairwise(dataset, run, options)
                  : AuditRunSingle(dataset, run, options));
     grid.Mark(MatcherMarker(run.matcher_name), report);
-    std::cerr << "audited " << run.matcher_name << " on " << dataset.name
-              << " (" << (pairwise ? "pairwise" : "single") << ")\n";
+    FAIREM_LOG(INFO) << "audited matcher" << LogKv("matcher", run.matcher_name)
+                     << LogKv("dataset", dataset.name)
+                     << LogKv("mode", pairwise ? "pairwise" : "single")
+                     << LogKv("unfair_cells", report.UnfairEntries().size());
   }
   return grid.Render();
 }
 
 }  // namespace fairem
-

@@ -23,6 +23,8 @@ struct MatcherRun {
   ConfusionCounts counts;
   double accuracy = 0.0;
   double f1 = 0.0;
+  /// Wall time of Fit/PredictScores, measured on the monotonic clock by the
+  /// same Span (src/obs/trace.h) that records the trace event — the two can't disagree.
   double fit_seconds = 0.0;
   double predict_seconds = 0.0;
 };

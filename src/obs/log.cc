@@ -1,0 +1,166 @@
+#include "src/obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <iostream>
+#include <mutex>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+/// The installed sink; guarded by SinkMutex(). Null means stderr.
+LogSink& InstalledSink() {
+  static LogSink* sink = new LogSink;
+  return *sink;
+}
+
+/// Reads FAIREM_LOG_LEVEL once; malformed values fall back to info.
+LogLevel InitialLevel() {
+  const char* env = std::getenv("FAIREM_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  Result<LogLevel> parsed = ParseLogLevel(env);
+  return parsed.ok() ? *parsed : LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& LevelAtomic() {
+  static std::atomic<LogLevel>* level = new std::atomic<LogLevel>(InitialLevel());
+  return *level;
+}
+
+/// Basename of __FILE__ so lines stay short regardless of build paths.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+/// "HH:MM:SS" local wall time; enough to correlate a run's log lines.
+void AppendWallTime(std::string* out) {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec);
+  out->append(buf);
+}
+
+void Emit(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (InstalledSink()) {
+    InstalledSink()(level, line);
+  } else {
+    std::cerr << line << "\n";
+  }
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Result<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower = ToLowerAscii(name);
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return Status::InvalidArgument("unknown log level '" + std::string(name) +
+                                 "' (want debug|info|warn|error|off)");
+}
+
+LogLevel GlobalLogLevel() {
+  return LevelAtomic().load(std::memory_order_relaxed);
+}
+
+void SetGlobalLogLevel(LogLevel level) {
+  LevelAtomic().store(level, std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  InstalledSink() = std::move(sink);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage& LogMessage::operator<<(const LogKv& kv) {
+  fields_.push_back(' ');
+  fields_.append(kv.key);
+  fields_.push_back('=');
+  fields_.append(kv.value);
+  return *this;
+}
+
+LogMessage::~LogMessage() {
+  std::string line;
+  line.reserve(64);
+  line.push_back('[');
+  AppendWallTime(&line);
+  line.push_back(' ');
+  line.append(LogLevelName(level_));
+  line.push_back(' ');
+  line.append(Basename(file_));
+  line.push_back(':');
+  line.append(std::to_string(line_));
+  line.append("] ");
+  line.append(stream_.str());
+  line.append(fields_);
+  Emit(level_, line);
+}
+
+namespace internal_logging {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  // Route through the structured sink so a crashing batch run leaves its
+  // last words in the same stream as everything else — but never filtered:
+  // a failed invariant must be visible even at --log_level=off.
+  std::string line_text = std::string("FAIREM_CHECK failed: ") + expr;
+  if (!message.empty()) line_text += " — " + message;
+  Emit(LogLevel::kError,
+       "[" + std::string(LogLevelName(LogLevel::kError)) + " " +
+           std::string(Basename(file)) + ":" + std::to_string(line) + "] " +
+           line_text);
+  // Also hit raw stderr when a custom sink is installed, so the abort cause
+  // is never swallowed by a test-capture sink.
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    if (InstalledSink()) {
+      std::cerr << "FAIREM_CHECK failed at " << file << ":" << line << ": "
+                << expr;
+      if (!message.empty()) std::cerr << " — " << message;
+      std::cerr << std::endl;
+    }
+  }
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace fairem

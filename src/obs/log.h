@@ -1,0 +1,112 @@
+#ifndef FAIREM_OBS_LOG_H_
+#define FAIREM_OBS_LOG_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Severity levels of the structured logger, ordered: a message is emitted
+/// when its level is >= the global level. kOff silences everything.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Short upper-case name, e.g. "INFO".
+const char* LogLevelName(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+Result<LogLevel> ParseLogLevel(std::string_view name);
+
+/// The process-wide minimum level. Initialised from the FAIREM_LOG_LEVEL
+/// environment variable on first use (default: info); overridable at any
+/// time (e.g. from a --log_level flag).
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+/// True when a message at `level` would currently be emitted.
+inline bool LogLevelEnabled(LogLevel level) {
+  return level >= GlobalLogLevel() && level != LogLevel::kOff;
+}
+
+/// Where formatted log lines go. The default sink writes to stderr under a
+/// mutex (lines from concurrent threads never interleave). Tests install a
+/// capturing sink; passing nullptr restores the default.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+void SetLogSink(LogSink sink);
+
+/// A structured key=value field. Stream it into FAIREM_LOG to append
+/// " key=value" to the message:
+///
+///   FAIREM_LOG(INFO) << "trained matcher" << LogKv("matcher", name)
+///                    << LogKv("seconds", elapsed);
+struct LogKv {
+  template <typename T>
+  LogKv(std::string_view k, const T& v) : key(k) {
+    std::ostringstream os;
+    os << v;
+    value = os.str();
+  }
+  LogKv(std::string_view k, bool v) : key(k), value(v ? "true" : "false") {}
+
+  std::string key;
+  std::string value;
+};
+
+/// One in-flight log statement; emits through the sink on destruction.
+/// Construct via FAIREM_LOG, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  LogMessage& operator<<(const LogKv& kv);
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+  std::string fields_;
+};
+
+}  // namespace fairem
+
+/// Structured leveled logging: FAIREM_LOG(INFO) << "msg" << LogKv("k", v);
+/// Levels: DEBUG, INFO, WARN, ERROR. The streamed expression is not
+/// evaluated at all when the level is filtered out (glog-style dangling-else
+/// guard), so disabled log statements cost one level comparison.
+#define FAIREM_LOG(severity)                                                 \
+  if (!::fairem::LogLevelEnabled(::fairem::internal_logging::kLevel##severity)) \
+    ;                                                                        \
+  else                                                                       \
+    ::fairem::LogMessage(::fairem::internal_logging::kLevel##severity,       \
+                         __FILE__, __LINE__)
+
+namespace fairem {
+namespace internal_logging {
+inline constexpr LogLevel kLevelDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLevelINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLevelWARN = LogLevel::kWarn;
+inline constexpr LogLevel kLevelERROR = LogLevel::kError;
+}  // namespace internal_logging
+}  // namespace fairem
+
+#endif  // FAIREM_OBS_LOG_H_

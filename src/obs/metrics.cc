@@ -1,0 +1,207 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace fairem {
+namespace {
+
+/// JSON string escaping for metric names (quotes/backslashes/control bytes).
+void AppendJsonString(std::ostringstream* os, const std::string& s) {
+  *os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      case '\t':
+        *os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+  *os << '"';
+}
+
+/// Doubles must stay valid JSON: non-finite values serialise as 0.
+void AppendJsonDouble(std::ostringstream* os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  *os << tmp.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  FAIREM_CHECK(!bounds_.empty(), "histogram needs at least one bound");
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    FAIREM_CHECK(bounds_[i - 1] < bounds_[i],
+                 "histogram bounds must be strictly increasing");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_.assign(bounds_.size() + 1, 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+std::vector<double> DefaultLatencyBounds() {
+  return {0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = DefaultLatencyBounds();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h->bounds();
+    data.bucket_counts = h->bucket_counts();
+    data.count = h->count();
+    data.sum = h->sum();
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    os << (first ? "\n    " : ",\n    ");
+    AppendJsonString(&os, name);
+    os << ": " << value;
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    AppendJsonString(&os, name);
+    os << ": ";
+    AppendJsonDouble(&os, value);
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    AppendJsonString(&os, name);
+    os << ": {\"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) os << ", ";
+      AppendJsonDouble(&os, h.bounds[i]);
+    }
+    os << "], \"bucket_counts\": [";
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << h.bucket_counts[i];
+    }
+    os << "], \"count\": " << h.count << ", \"sum\": ";
+    AppendJsonDouble(&os, h.sum);
+    os << "}";
+    first = false;
+  }
+  os << (first ? "}\n" : "\n  }\n");
+  os << "}\n";
+  return os.str();
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ToJson();
+  if (!out) return Status::IOError("failed writing metrics to '" + path + "'");
+  return Status::OK();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace fairem

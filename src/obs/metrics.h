@@ -1,0 +1,124 @@
+#ifndef FAIREM_OBS_METRICS_H_
+#define FAIREM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Monotonically increasing event count. Lock-free; safe from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. a rate or a size observed this run).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
+/// one implicit overflow bucket. Also tracks sum and count so means survive
+/// the bucketing.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; last is the overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const;
+  double sum() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Latency-style default bounds (seconds): 1ms … 30s, roughly x3 apart.
+std::vector<double> DefaultLatencyBounds();
+
+/// A point-in-time copy of every metric, convenient for tests and export.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<uint64_t> bucket_counts;
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// Process-wide registry of named metrics. Naming convention:
+/// `fairem.<subsystem>.<metric>`, e.g. "fairem.audit.cells_evaluated".
+///
+/// Get* registers on first use and returns a stable pointer — hot paths
+/// should look a metric up once (function-local static) and increment the
+/// pointer thereafter. Metrics are never unregistered; Reset() zeroes values
+/// but keeps every pointer valid.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is used only on first registration; empty means
+  /// DefaultLatencyBounds().
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} — stable key
+  /// order (std::map), so diffs of successive BENCH_*.json files are clean.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// Zeroes every metric's value; registered names/pointers survive.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_OBS_METRICS_H_

@@ -1,0 +1,65 @@
+#include "src/obs/obs.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace fairem {
+namespace {
+
+std::mutex g_atexit_mu;
+ObsOptions* g_atexit_options = nullptr;
+
+void FlushAtExit() {
+  ObsOptions options;
+  {
+    std::lock_guard<std::mutex> lock(g_atexit_mu);
+    if (g_atexit_options == nullptr) return;
+    options = *g_atexit_options;
+  }
+  Status st = FlushObsOutputs(options);
+  if (!st.ok()) {
+    FAIREM_LOG(ERROR) << "failed to flush observability outputs"
+                      << LogKv("status", st.ToString());
+  }
+}
+
+}  // namespace
+
+Status ApplyObsOptions(const ObsOptions& options) {
+  if (!options.log_level.empty()) {
+    FAIREM_ASSIGN_OR_RETURN(LogLevel level, ParseLogLevel(options.log_level));
+    SetGlobalLogLevel(level);
+  }
+  if (!options.trace_out.empty()) {
+    Tracer::Global().set_enabled(true);
+  }
+  return Status::OK();
+}
+
+Status FlushObsOutputs(const ObsOptions& options) {
+  if (!options.trace_out.empty()) {
+    FAIREM_RETURN_NOT_OK(Tracer::Global().WriteChromeTrace(options.trace_out));
+    FAIREM_LOG(INFO) << "wrote Chrome trace"
+                     << LogKv("path", options.trace_out)
+                     << LogKv("spans", Tracer::Global().Events().size());
+    FAIREM_LOG(INFO) << "span summary:\n" << Tracer::Global().FlatSummary();
+  }
+  if (!options.metrics_out.empty()) {
+    FAIREM_RETURN_NOT_OK(
+        MetricsRegistry::Global().WriteJsonFile(options.metrics_out));
+    FAIREM_LOG(INFO) << "wrote metrics snapshot"
+                     << LogKv("path", options.metrics_out);
+  }
+  return Status::OK();
+}
+
+void FlushObsOutputsAtExit(const ObsOptions& options) {
+  std::lock_guard<std::mutex> lock(g_atexit_mu);
+  if (g_atexit_options == nullptr) {
+    g_atexit_options = new ObsOptions;
+    std::atexit(FlushAtExit);
+  }
+  *g_atexit_options = options;
+}
+
+}  // namespace fairem

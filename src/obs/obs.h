@@ -1,0 +1,38 @@
+#ifndef FAIREM_OBS_OBS_H_
+#define FAIREM_OBS_OBS_H_
+
+#include <string>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// The observability knobs every binary exposes:
+///   --log_level L     debug|info|warn|error|off (also: FAIREM_LOG_LEVEL)
+///   --trace_out F     enable span tracing, write Chrome trace JSON to F
+///   --metrics_out F   write a MetricsRegistry JSON snapshot to F
+struct ObsOptions {
+  std::string log_level;   // empty = leave the env/default level alone
+  std::string trace_out;   // empty = tracing stays disabled, no file
+  std::string metrics_out; // empty = no metrics file
+};
+
+/// Applies the options to the global logger/tracer. Tracing is enabled iff
+/// trace_out is non-empty, preserving the zero-overhead default path.
+Status ApplyObsOptions(const ObsOptions& options);
+
+/// Writes the trace and metrics files named in `options` (skipping empty
+/// ones) and, when tracing ran, logs the flat span summary at INFO.
+Status FlushObsOutputs(const ObsOptions& options);
+
+/// Registers an atexit hook that flushes `options`, so every bench binary
+/// gets --trace_out/--metrics_out behaviour from flag parsing alone.
+/// Idempotent; later calls overwrite the remembered options.
+void FlushObsOutputsAtExit(const ObsOptions& options);
+
+}  // namespace fairem
+
+#endif  // FAIREM_OBS_OBS_H_

@@ -1,0 +1,191 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+/// Small sequential thread ids (chrome://tracing renders one row per tid).
+uint64_t CurrentThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Per-thread stack of open span ids; the top is the parent of the next
+/// span started on this thread.
+std::vector<uint64_t>& ThreadSpanStack() {
+  thread_local std::vector<uint64_t> stack;
+  return stack;
+}
+
+void AppendJsonEscaped(std::ostringstream* os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *os << ' ';
+        } else {
+          *os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer;
+  return *tracer;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::vector<TraceEvent> events = Events();
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"name\": \"";
+    AppendJsonEscaped(&os, e.name);
+    // Complete ("X") events; timestamps/durations are microseconds.
+    os << "\", \"cat\": \"fairem\", \"ph\": \"X\", \"ts\": "
+       << static_cast<double>(e.start_ns) / 1000.0
+       << ", \"dur\": " << static_cast<double>(e.duration_ns) / 1000.0
+       << ", \"pid\": 1, \"tid\": " << e.thread_id << ", \"args\": {";
+    os << "\"span_id\": " << e.id << ", \"parent_id\": " << e.parent_id
+       << ", \"depth\": " << e.depth;
+    for (const auto& [key, value] : e.args) {
+      os << ", \"";
+      AppendJsonEscaped(&os, key);
+      os << "\": \"";
+      AppendJsonEscaped(&os, value);
+      os << "\"";
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ChromeTraceJson();
+  if (!out) return Status::IOError("failed writing trace to '" + path + "'");
+  return Status::OK();
+}
+
+std::string Tracer::FlatSummary() const {
+  struct Agg {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& e : Events()) {
+    Agg& agg = by_name[e.name];
+    ++agg.count;
+    agg.total_ns += e.duration_ns;
+  }
+  size_t width = 4;
+  for (const auto& [name, agg] : by_name) {
+    width = std::max(width, name.size());
+  }
+  std::ostringstream os;
+  os << "span";
+  os << std::string(width - 4 + 2, ' ') << "count  total_s   mean_s\n";
+  for (const auto& [name, agg] : by_name) {
+    double total_s = static_cast<double>(agg.total_ns) / 1e9;
+    double mean_s = agg.count > 0 ? total_s / static_cast<double>(agg.count) : 0.0;
+    os << name << std::string(width - name.size() + 2, ' ');
+    std::string count_str = std::to_string(agg.count);
+    os << std::string(count_str.size() < 5 ? 5 - count_str.size() : 0, ' ')
+       << count_str << "  " << FormatDouble(total_s, 4) << "  "
+       << FormatDouble(mean_s, 4) << "\n";
+  }
+  return os.str();
+}
+
+Span::Span(std::string name, double* elapsed_seconds_out)
+    : elapsed_out_(elapsed_seconds_out) {
+  Tracer& tracer = Tracer::Global();
+  recording_ = tracer.enabled();
+  timing_ = recording_ || elapsed_out_ != nullptr;
+  if (!timing_) return;
+  start_ = std::chrono::steady_clock::now();
+  if (!recording_) return;
+  event_.name = std::move(name);
+  event_.id = tracer.next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint64_t>& stack = ThreadSpanStack();
+  event_.parent_id = stack.empty() ? 0 : stack.back();
+  event_.depth = static_cast<int>(stack.size());
+  event_.thread_id = CurrentThreadId();
+  event_.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start_ -
+                                                           tracer.epoch_)
+          .count());
+  stack.push_back(event_.id);
+}
+
+Span::~Span() {
+  if (!timing_) return;
+  double elapsed = ElapsedSeconds();
+  if (elapsed_out_ != nullptr) *elapsed_out_ = elapsed;
+  if (!recording_) return;
+  ThreadSpanStack().pop_back();
+  event_.duration_ns = static_cast<uint64_t>(elapsed * 1e9);
+  Tracer::Global().Record(std::move(event_));
+}
+
+void Span::AddArg(const std::string& key, std::string value) {
+  if (!recording_) return;
+  event_.args.emplace_back(key, std::move(value));
+}
+
+double Span::ElapsedSeconds() const {
+  if (!timing_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace fairem

@@ -1,0 +1,135 @@
+#ifndef FAIREM_OBS_TRACE_H_
+#define FAIREM_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// One completed span. Ids are unique per process; parent_id is 0 for root
+/// spans. Times are nanoseconds on the monotonic clock, relative to the
+/// tracer's epoch (its construction).
+struct TraceEvent {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  int depth = 0;  // 0 = root
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint64_t thread_id = 0;
+  /// Span arguments, shown in the chrome://tracing detail pane.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Collects spans when enabled. Disabled (the default) the Span constructor
+/// is a single relaxed atomic load — no clock reads, no allocation — so
+/// instrumentation can stay in hot paths permanently.
+///
+/// Nesting is tracked per thread: a span started while another is open on
+/// the same thread records it as its parent, which is what makes the
+/// exported trace show datagen → blocking → … as a tree.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops every recorded event (enabled state is unchanged).
+  void Clear();
+
+  /// Copy of all completed events, in completion order (children before
+  /// their parents).
+  std::vector<TraceEvent> Events() const;
+
+  /// Chrome trace_event JSON ("ph":"X" complete events); load the file via
+  /// chrome://tracing or https://ui.perfetto.dev.
+  std::string ChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Per-span-name aggregate — name, call count, total/mean wall seconds —
+  /// as an aligned text table, for end-of-run stderr summaries.
+  std::string FlatSummary() const;
+
+  /// Nanoseconds since the tracer's epoch on the monotonic clock.
+  uint64_t NowNs() const;
+
+ private:
+  friend class Span;
+
+  void Record(TraceEvent event);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: records one TraceEvent on the global tracer from construction
+/// to destruction. Also usable purely as a monotonic timer: pass
+/// `elapsed_seconds_out` and the measured duration is written there on
+/// destruction whether or not tracing is enabled — harness timings and
+/// trace timings then come from the same clock read and can never disagree.
+class Span {
+ public:
+  explicit Span(std::string name, double* elapsed_seconds_out = nullptr);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value argument (no-op when tracing is disabled).
+  void AddArg(const std::string& key, std::string value);
+
+  /// Seconds elapsed since construction (monotonic clock).
+  double ElapsedSeconds() const;
+
+ private:
+  bool recording_ = false;
+  bool timing_ = false;
+  double* elapsed_out_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  TraceEvent event_;
+};
+
+/// Monotonic-clock scope timer: writes elapsed seconds to `*out` on
+/// destruction. The non-tracing sibling of Span for call sites that only
+/// need a number.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* out) : out_(out) {
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() { *out_ = ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  double* out_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_OBS_TRACE_H_

@@ -1,8 +1,6 @@
 #ifndef FAIREM_UTIL_LOGGING_H_
 #define FAIREM_UTIL_LOGGING_H_
 
-#include <cstdlib>
-#include <iostream>
 #include <string>
 
 namespace fairem {
@@ -10,15 +8,12 @@ namespace internal_logging {
 
 /// Prints a fatal diagnostic and aborts. Used by FAIREM_CHECK; invariant
 /// violations inside the library are programming errors, not recoverable
-/// conditions, so they terminate rather than propagate.
-[[noreturn]] inline void CheckFailed(const char* file, int line,
-                                     const char* expr,
-                                     const std::string& message) {
-  std::cerr << "FAIREM_CHECK failed at " << file << ":" << line << ": " << expr;
-  if (!message.empty()) std::cerr << " — " << message;
-  std::cerr << std::endl;
-  std::abort();
-}
+/// conditions, so they terminate rather than propagate. Defined in
+/// src/obs/log.cc: the diagnostic is routed through the structured log sink
+/// (unfiltered) so a crashing batch run leaves its last words alongside the
+/// rest of its log stream.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
 
 }  // namespace internal_logging
 }  // namespace fairem

@@ -7,6 +7,14 @@
 //   fairem audit <dir> <matcher> [--pairwise] [--threshold T] [--division]
 //       Load a dataset directory, train the matcher, and print the
 //       correctness summary plus the fairness audit.
+//   fairem pipeline <dataset> <matcher> [--scale S] [--seed N] [--pairwise]
+//       Run the full audit pipeline in-process — datagen, blocking, feature
+//       generation, fit, predict, audit — primarily a driver for the
+//       observability layer (each stage is a traced span).
+//
+// Observability (any command): --log_level debug|info|warn|error|off,
+// --trace_out FILE (Chrome trace JSON of the stage spans),
+// --metrics_out FILE (metrics-registry snapshot).
 //
 // Exit status: 0 on success, 1 on usage errors or failures.
 
@@ -15,9 +23,12 @@
 #include <string>
 #include <vector>
 
+#include "src/block/blockers.h"
 #include "src/data/dataset_io.h"
 #include "src/datagen/benchmark_suite.h"
+#include "src/feature/feature_gen.h"
 #include "src/harness/experiment.h"
+#include "src/obs/obs.h"
 #include "src/report/table_printer.h"
 #include "src/util/string_util.h"
 
@@ -30,7 +41,11 @@ int Usage() {
       "  fairem list\n"
       "  fairem generate <dataset> <dir> [--scale S] [--seed N]\n"
       "  fairem audit <dir> <matcher> [--pairwise] [--threshold T] "
-      "[--division]\n";
+      "[--division]\n"
+      "  fairem pipeline <dataset> <matcher> [--scale S] [--seed N] "
+      "[--pairwise]\n"
+      "observability (any command): [--log_level L] [--trace_out FILE] "
+      "[--metrics_out FILE]\n";
   return 1;
 }
 
@@ -160,14 +175,186 @@ int Audit(const std::vector<std::string>& args) {
   return 0;
 }
 
+
+/// The end-to-end audit pipeline on a generated benchmark dataset. Its
+/// purpose is twofold: a one-command demo, and the canonical driver of the
+/// observability layer — with --trace_out the run exports nested spans for
+/// datagen -> blocking -> features -> fit -> predict -> audit.
+int Pipeline(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  double scale = 1.0;
+  uint64_t seed = 0;
+  bool pairwise = false;
+  for (size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--pairwise") {
+      pairwise = true;
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &scale)) return Usage();
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      double v = 0.0;
+      if (!ParseDouble(args[++i], &v)) return Usage();
+      seed = static_cast<uint64_t>(v);
+    } else {
+      return Usage();
+    }
+  }
+  Result<DatasetKind> kind = ParseDatasetKind(args[0]);
+  if (!kind.ok()) {
+    std::cerr << kind.status() << "\n";
+    return 1;
+  }
+  Result<MatcherKind> matcher_kind = ParseMatcherKind(args[1]);
+  if (!matcher_kind.ok()) {
+    std::cerr << matcher_kind.status() << "\n";
+    return 1;
+  }
+
+  Span pipeline_span("fairem.pipeline");
+  pipeline_span.AddArg("dataset", DatasetKindName(*kind));
+  pipeline_span.AddArg("matcher", MatcherKindName(*matcher_kind));
+
+  // Stage 1: dataset generation (span fairem.datagen.generate inside).
+  Result<EMDataset> dataset = GenerateDataset(*kind, scale, seed);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+
+  // Stage 2: blocking over the matching key — a word-overlap blocker on
+  // the first matching attribute, evaluated against the labelled pairs.
+  {
+    Span block_span("fairem.pipeline.blocking");
+    const std::string key_attr = dataset->matching_attrs.empty()
+                                     ? dataset->sensitive_attr
+                                     : dataset->matching_attrs.front();
+    block_span.AddArg("attr", key_attr);
+    OverlapBlocker blocker(key_attr, /*min_overlap=*/1, /*use_words=*/true);
+    Result<std::vector<CandidatePair>> candidates =
+        blocker.Block(dataset->table_a, dataset->table_b);
+    if (!candidates.ok()) {
+      std::cerr << candidates.status() << "\n";
+      return 1;
+    }
+    BlockingStats stats =
+        EvaluateBlocking(*candidates, dataset->AllPairs(),
+                         dataset->table_a.num_rows(),
+                         dataset->table_b.num_rows());
+    std::cout << "blocking: " << stats.num_candidates << " candidates, RR "
+              << FormatDouble(stats.reduction_ratio, 3) << ", PC "
+              << FormatDouble(stats.pair_completeness, 3) << "\n";
+  }
+
+  // Stage 3: feature generation over the training pairs (the same tables
+  // and defs the feature-based matchers build internally during Fit).
+  {
+    Span feature_span("fairem.pipeline.features");
+    Result<std::vector<FeatureDef>> defs =
+        GenerateFeatures(dataset->table_a, dataset->table_b,
+                         dataset->matching_attrs);
+    if (!defs.ok()) {
+      std::cerr << defs.status() << "\n";
+      return 1;
+    }
+    Result<FeatureTable> features = BuildFeatureTable(
+        *defs, dataset->table_a, dataset->table_b, dataset->train);
+    if (!features.ok()) {
+      std::cerr << features.status() << "\n";
+      return 1;
+    }
+    std::cout << "features: " << features->rows.size() << " rows x "
+              << defs->size() << " features\n";
+  }
+
+  // Stages 4+5: fit and predict (spans recorded inside RunMatcher).
+  Result<MatcherRun> run = RunMatcher(*dataset, *matcher_kind);
+  if (!run.ok()) {
+    std::cerr << run.status() << "\n";
+    return 1;
+  }
+  if (!run->supported) {
+    std::cerr << run->matcher_name << " does not support this dataset\n";
+    return 1;
+  }
+  std::cout << run->matcher_name << ": accuracy "
+            << FormatDouble(run->accuracy, 3) << ", F1 "
+            << FormatDouble(run->f1, 3) << " (fit "
+            << FormatDouble(run->fit_seconds, 3) << "s, predict "
+            << FormatDouble(run->predict_seconds, 3) << "s)\n";
+
+  // Stage 6: the fairness audit (span fairem.audit.* inside).
+  Result<AuditReport> report =
+      pairwise ? AuditRunPairwise(*dataset, *run, AuditOptions{})
+               : AuditRunSingle(*dataset, *run, AuditOptions{});
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
+  std::cout << "audit: " << report->entries.size() << " cells, "
+            << report->UnfairEntries().size() << " unfair, "
+            << report->NumDiscriminatedGroups()
+            << " discriminated groups\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
-  if (command == "list") return List();
-  if (command == "generate") return Generate(args);
-  if (command == "audit") return Audit(args);
-  return Usage();
+  // Peel the observability flags off first — they are valid anywhere on the
+  // command line, for every subcommand, as `--flag value` or `--flag=value`.
+  ObsOptions obs;
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    bool has_value = false;
+    if (size_t eq = arg.find('='); eq != std::string::npos && arg[0] == '-') {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_value = true;
+    }
+    auto take_value = [&]() {
+      if (!has_value && i + 1 < argc) {
+        value = argv[++i];
+        has_value = true;
+      }
+      return has_value;
+    };
+    if (arg == "--log_level" && take_value()) {
+      obs.log_level = value;
+    } else if (arg == "--trace_out" && take_value()) {
+      obs.trace_out = value;
+    } else if (arg == "--metrics_out" && take_value()) {
+      obs.metrics_out = value;
+    } else if (has_value) {
+      // Re-split other --flag=value args so subcommand parsers, which
+      // expect space-separated pairs, see them uniformly.
+      args.push_back(std::move(arg));
+      args.push_back(std::move(value));
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  if (Status st = ApplyObsOptions(obs); !st.ok()) {
+    std::cerr << st << "\n";
+    return Usage();
+  }
+  int code = 1;
+  if (command == "list") {
+    code = List();
+  } else if (command == "generate") {
+    code = Generate(args);
+  } else if (command == "audit") {
+    code = Audit(args);
+  } else if (command == "pipeline") {
+    code = Pipeline(args);
+  } else {
+    return Usage();
+  }
+  if (Status st = FlushObsOutputs(obs); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  return code;
 }
 
 }  // namespace
