@@ -1,9 +1,14 @@
-# Smoke test for the bench observability path: runs a small bench with
-# --metrics_out and fails if the binary errors, the snapshot is missing, or
-# the snapshot lacks the pipeline counters it must contain.
+# Smoke test for the bench observability and fault-tolerance paths: runs a
+# small bench with --metrics_out and fails if the binary errors, the
+# snapshot is missing, or the snapshot lacks the pipeline counters it must
+# contain. When GRID_BIN is also given, a kill/resume drill runs on that
+# grid bench: a crash failpoint kills it mid-grid, a second run resumes
+# from --checkpoint_dir, and the resumed stdout must be byte-identical to
+# an uninterrupted run.
 #
 # Invoked by CTest as:
-#   cmake -DBENCH_BIN=<path> -DWORK_DIR=<dir> -P bench_smoke.cmake
+#   cmake -DBENCH_BIN=<path> [-DGRID_BIN=<path>] -DWORK_DIR=<dir> \
+#         -P bench_smoke.cmake
 
 if(NOT DEFINED BENCH_BIN OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "bench_smoke.cmake requires -DBENCH_BIN and -DWORK_DIR")
@@ -53,3 +58,79 @@ foreach(key
 endforeach()
 
 message(STATUS "bench_smoke OK: snapshot at ${metrics_file} has all keys")
+
+if(NOT DEFINED GRID_BIN)
+  return()
+endif()
+
+# --- kill/resume drill ------------------------------------------------------
+
+set(ckpt_dir "${WORK_DIR}/bench_smoke_checkpoints")
+file(REMOVE_RECURSE "${ckpt_dir}")
+
+# Uninterrupted baseline (no checkpoints involved).
+execute_process(
+  COMMAND "${GRID_BIN}" --scale 0.25
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE baseline_stdout
+  ERROR_VARIABLE grid_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "grid bench baseline exited with ${exit_code}\nstderr:\n${grid_stderr}")
+endif()
+
+# Kill the run on its third grid cell; the first two cells must already be
+# checkpointed by then.
+execute_process(
+  COMMAND "${GRID_BIN}" --scale 0.25 --checkpoint_dir "${ckpt_dir}"
+          --failpoints "grid_cell=crash(1,2)"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE crash_stdout
+  ERROR_VARIABLE crash_stderr)
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR "crash failpoint did not kill the grid bench")
+endif()
+
+file(GLOB survivors "${ckpt_dir}/*.json")
+list(LENGTH survivors survivor_count)
+if(survivor_count EQUAL 0)
+  message(FATAL_ERROR
+      "killed run left no checkpoints in ${ckpt_dir}\n"
+      "stderr:\n${crash_stderr}")
+endif()
+
+# Resume from the surviving checkpoints.
+set(resume_metrics "${WORK_DIR}/bench_smoke_resume_metrics.json")
+file(REMOVE "${resume_metrics}")
+execute_process(
+  COMMAND "${GRID_BIN}" --scale 0.25 --checkpoint_dir "${ckpt_dir}"
+          --metrics_out "${resume_metrics}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE resumed_stdout
+  ERROR_VARIABLE resume_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "resumed grid bench exited with ${exit_code}\n"
+      "stderr:\n${resume_stderr}")
+endif()
+
+if(NOT resumed_stdout STREQUAL baseline_stdout)
+  message(FATAL_ERROR
+      "resumed report differs from the uninterrupted run\n"
+      "--- baseline ---\n${baseline_stdout}\n"
+      "--- resumed ---\n${resumed_stdout}")
+endif()
+
+file(READ "${resume_metrics}" resume_snapshot)
+if(NOT resume_snapshot MATCHES
+   "\"fairem.robust.checkpoint_cells_loaded\": [1-9]")
+  message(FATAL_ERROR
+      "resumed run shows no checkpoint hits:\n${resume_snapshot}")
+endif()
+
+message(STATUS
+    "bench_smoke OK: resume reproduced the report from ${survivor_count} "
+    "surviving checkpoints")

@@ -7,7 +7,10 @@
 // writing a BENCH_<name>.json metrics snapshot next to the working
 // directory so the perf/counter trajectory of successive commits
 // accumulates; --trace_out/--metrics_out (parsed by ParseBenchFlags) add
-// Chrome-trace and explicitly-placed metrics files on top.
+// Chrome-trace and explicitly-placed metrics files on top. With
+// --checkpoint_dir an interrupted run resumes from its completed cells, and
+// --failpoints/--retry_attempts drive the fault-injection and retry layer
+// (src/robust/).
 
 #include <iostream>
 
@@ -33,8 +36,10 @@ inline int RunGridBench(DatasetKind kind, const char* single_title,
     // Audit each group against everyone else (AuditReference::kComplement):
     // with the overall matcher as reference, a group's own false positives
     // drag the reference down and mask the disparity.
-    AuditOptions options;
-    options.reference = AuditReference::kComplement;
+    GridRunOptions options;
+    options.audit.reference = AuditReference::kComplement;
+    options.retry.max_attempts = flags.retry_attempts;
+    options.checkpoint_dir = flags.checkpoint_dir;
     Result<std::string> single =
         UnfairnessGridReport(*dataset, false, options);
     if (!single.ok()) {

@@ -1,5 +1,7 @@
 #include "src/core/confusion.h"
 
+#include <cmath>
+
 namespace fairem {
 
 Result<GroupMembership> GroupMembership::Make(const Table& a, const Table& b,
@@ -154,9 +156,16 @@ Result<std::vector<PairOutcome>> MakeOutcomes(
   if (pairs.size() != scores.size()) {
     return Status::InvalidArgument("pairs/scores size mismatch");
   }
+  if (!std::isfinite(threshold)) {
+    return Status::InvalidArgument("non-finite threshold");
+  }
   std::vector<PairOutcome> outcomes;
   outcomes.reserve(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
+    if (!std::isfinite(scores[i])) {
+      return Status::InvalidArgument("non-finite matcher score at index " +
+                                     std::to_string(i));
+    }
     outcomes.push_back(
         {pairs[i].left, pairs[i].right, scores[i] >= threshold,
          pairs[i].is_match});

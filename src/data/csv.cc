@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "src/robust/failpoint.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
@@ -117,6 +118,9 @@ std::string WriteCsvString(const Table& table, const CsvOptions& options) {
 
 Result<Table> ReadCsvString(std::string_view text, std::string table_name,
                             const CsvOptions& options) {
+  if (options.validate_utf8 && !IsValidUtf8(text)) {
+    return Status::InvalidArgument("CSV input is not valid UTF-8");
+  }
   size_t pos = 0;
   std::vector<std::string> fields;
   bool parse_error = false;
@@ -167,6 +171,7 @@ Result<Table> ReadCsvString(std::string_view text, std::string table_name,
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options) {
+  FAIREM_FAILPOINT("csv_write");
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
   std::string text = WriteCsvString(table, options);
@@ -177,6 +182,7 @@ Status WriteCsvFile(const Table& table, const std::string& path,
 
 Result<Table> ReadCsvFile(const std::string& path, std::string table_name,
                           const CsvOptions& options) {
+  FAIREM_FAILPOINT("csv_read");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
   std::ostringstream ss;

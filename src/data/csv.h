@@ -19,6 +19,10 @@ struct CsvOptions {
   std::string null_token = "\\N";
   /// If true, the first column is parsed as the integer entity_id.
   bool first_column_is_entity_id = true;
+  /// If true (the default), reading rejects byte sequences that are not
+  /// well-formed UTF-8 with InvalidArgument instead of letting mojibake
+  /// flow into tokenizers and similarity measures.
+  bool validate_utf8 = true;
 };
 
 /// Serializes `table` to CSV text (header row first).

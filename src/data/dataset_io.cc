@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/data/csv.h"
+#include "src/robust/failpoint.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
@@ -31,19 +32,26 @@ Status SavePairs(const std::vector<LabeledPair>& pairs,
 
 Result<std::vector<LabeledPair>> LoadPairs(const std::string& path) {
   FAIREM_ASSIGN_OR_RETURN(Table t, ReadCsvFile(path, "pairs"));
+  if (t.schema().num_attributes() != 3) {
+    return Status::InvalidArgument(
+        "pair file " + path + " must have 3 columns (left, right, is_match), "
+        "got " + std::to_string(t.schema().num_attributes()));
+  }
   std::vector<LabeledPair> pairs;
   pairs.reserve(t.num_rows());
   for (size_t r = 0; r < t.num_rows(); ++r) {
     LabeledPair p;
+    FAIREM_ASSIGN_OR_RETURN(std::string_view left_cell, t.At(r, 0));
+    FAIREM_ASSIGN_OR_RETURN(std::string_view right_cell, t.At(r, 1));
+    FAIREM_ASSIGN_OR_RETURN(std::string_view match_cell, t.At(r, 2));
     double left = 0.0;
     double right = 0.0;
-    if (!ParseDouble(t.value(r, 0), &left) ||
-        !ParseDouble(t.value(r, 1), &right)) {
+    if (!ParseDouble(left_cell, &left) || !ParseDouble(right_cell, &right)) {
       return Status::InvalidArgument("bad pair row in " + path);
     }
     p.left = static_cast<size_t>(left);
     p.right = static_cast<size_t>(right);
-    p.is_match = t.value(r, 2) == "1";
+    p.is_match = match_cell == "1";
     pairs.push_back(p);
   }
   return pairs;
@@ -52,6 +60,7 @@ Result<std::vector<LabeledPair>> LoadPairs(const std::string& path) {
 }  // namespace
 
 Status SaveDataset(const EMDataset& dataset, const std::string& dir) {
+  FAIREM_FAILPOINT("dataset_save");
   FAIREM_RETURN_NOT_OK(dataset.Validate());
   // Metadata as a 2-column key/value table.
   FAIREM_ASSIGN_OR_RETURN(Schema meta_schema, Schema::Make({"key", "value"}));
@@ -82,11 +91,20 @@ Status SaveDataset(const EMDataset& dataset, const std::string& dir) {
 }
 
 Result<EMDataset> LoadDataset(const std::string& dir) {
+  FAIREM_FAILPOINT("dataset_load");
   EMDataset ds;
   FAIREM_ASSIGN_OR_RETURN(Table meta, ReadCsvFile(dir + kMetaFile, "meta"));
+  if (meta.schema().num_attributes() != 2) {
+    return Status::InvalidArgument(
+        "metadata file " + dir + kMetaFile +
+        " must have 2 columns (key, value), got " +
+        std::to_string(meta.schema().num_attributes()));
+  }
   for (size_t r = 0; r < meta.num_rows(); ++r) {
-    std::string key(meta.value(r, 0));
-    std::string value(meta.value(r, 1));
+    FAIREM_ASSIGN_OR_RETURN(std::string_view key_cell, meta.At(r, 0));
+    FAIREM_ASSIGN_OR_RETURN(std::string_view value_cell, meta.At(r, 1));
+    std::string key(key_cell);
+    std::string value(value_cell);
     if (key == "name") {
       ds.name = value;
     } else if (key == "sensitive_attr") {

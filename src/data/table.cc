@@ -36,6 +36,22 @@ bool Table::IsNull(size_t row, size_t col) const {
   return !rows_[row].cells[col].has_value();
 }
 
+Result<std::string_view> Table::At(size_t row, size_t col) const {
+  if (row >= rows_.size()) {
+    return Status::InvalidArgument("row " + std::to_string(row) +
+                                   " out of range in table '" + name_ + "' (" +
+                                   std::to_string(rows_.size()) + " rows)");
+  }
+  if (col >= schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "col " + std::to_string(col) + " out of range in table '" + name_ +
+        "' (" + std::to_string(schema_.num_attributes()) + " attributes)");
+  }
+  const Cell& cell = rows_[row].cells[col];
+  if (!cell.has_value()) return std::string_view();
+  return std::string_view(*cell);
+}
+
 Result<std::string> Table::ValueByName(size_t row,
                                        std::string_view attr) const {
   FAIREM_ASSIGN_OR_RETURN(size_t col, schema_.Index(attr));

@@ -45,9 +45,14 @@ class Table {
   Record& mutable_row(size_t i) { return rows_[i]; }
 
   /// Cell (row, col); empty string_view for null. Use IsNull to distinguish
-  /// null from "".
+  /// null from "". Aborts on out-of-range indices — use At() in paths that
+  /// consume untrusted input.
   std::string_view value(size_t row, size_t col) const;
   bool IsNull(size_t row, size_t col) const;
+
+  /// Bounds-checked cell access: InvalidArgument instead of abort when
+  /// (row, col) is out of range. Nulls read back as the empty string.
+  Result<std::string_view> At(size_t row, size_t col) const;
 
   /// Cell by attribute name; NotFound if the attribute does not exist.
   Result<std::string> ValueByName(size_t row, std::string_view attr) const;

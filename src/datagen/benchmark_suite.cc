@@ -10,6 +10,7 @@
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/robust/failpoint.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
@@ -24,6 +25,7 @@ int Scaled(int base, double scale) {
 /// the observability envelope (span + counters + log line).
 Result<EMDataset> GenerateDatasetImpl(DatasetKind kind, double scale,
                                       uint64_t seed_offset) {
+  FAIREM_FAILPOINT("datagen");
   switch (kind) {
     case DatasetKind::kFacultyMatch: {
       FacultyMatchOptions o;

@@ -1,6 +1,7 @@
 #include "src/feature/feature_gen.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -133,6 +134,12 @@ Result<FeatureTable> BuildFeatureTable(const std::vector<FeatureDef>& defs,
   for (const auto& p : pairs) {
     FAIREM_ASSIGN_OR_RETURN(std::vector<double> row,
                             ExtractFeatures(defs, a, b, p.left, p.right));
+    for (size_t f = 0; f < row.size(); ++f) {
+      if (!std::isfinite(row[f])) {
+        return Status::InvalidArgument(
+            "non-finite feature value for attribute '" + defs[f].attr + "'");
+      }
+    }
     table.rows.push_back(std::move(row));
     table.labels.push_back(p.is_match ? 1 : 0);
   }

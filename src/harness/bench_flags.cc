@@ -4,6 +4,7 @@
 #include <iostream>
 #include <string>
 
+#include "src/robust/failpoint.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
@@ -11,7 +12,8 @@ namespace {
 
 const char kUsage[] =
     " [--scale S] [--seed N] [--log_level debug|info|warn|error|off]"
-    " [--trace_out FILE] [--metrics_out FILE]\n";
+    " [--trace_out FILE] [--metrics_out FILE] [--failpoints SPEC]"
+    " [--checkpoint_dir DIR] [--retry_attempts N]\n";
 
 std::string Basename(const std::string& path) {
   size_t slash = path.find_last_of('/');
@@ -62,6 +64,15 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       next_string(&flags.obs.trace_out);
     } else if (arg == "--metrics_out") {
       next_string(&flags.obs.metrics_out);
+    } else if (arg == "--failpoints") {
+      next_string(&flags.failpoints);
+    } else if (arg == "--checkpoint_dir") {
+      next_string(&flags.checkpoint_dir);
+    } else if (arg == "--retry_attempts") {
+      double v = 0.0;
+      next_value(&v);
+      if (v < 1.0) usage();
+      flags.retry_attempts = static_cast<int>(v);
     } else {
       std::cerr << "unknown flag '" << arg << "'\nusage: " << argv[0]
                 << kUsage;
@@ -71,6 +82,14 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
   if (Status st = ApplyObsOptions(flags.obs); !st.ok()) {
     std::cerr << st << "\nusage: " << argv[0] << kUsage;
     std::exit(1);
+  }
+  if (!flags.failpoints.empty()) {
+    if (Status st = FailpointRegistry::Global().Configure(
+            flags.failpoints, 1234 ^ flags.seed_offset);
+        !st.ok()) {
+      std::cerr << st << "\nusage: " << argv[0] << kUsage;
+      std::exit(1);
+    }
   }
   if (!flags.obs.trace_out.empty() || !flags.obs.metrics_out.empty()) {
     FlushObsOutputsAtExit(flags.obs);

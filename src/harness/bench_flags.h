@@ -9,17 +9,25 @@
 namespace fairem {
 
 /// Common command-line flags of the table/figure bench binaries:
-///   --scale S        multiply every generator's entity counts (default 1.0)
-///   --seed N         shift every generator seed (default 0) — rerun a bench
-///                    with several seeds for a quick replication study
-///   --log_level L    debug|info|warn|error|off
-///   --trace_out F    enable span tracing; write Chrome trace JSON to F
-///   --metrics_out F  write a metrics-registry JSON snapshot to F on exit
+///   --scale S           multiply every generator's entity counts (default 1)
+///   --seed N            shift every generator seed (default 0) — rerun a
+///                       bench with several seeds for a replication study
+///   --log_level L       debug|info|warn|error|off
+///   --trace_out F       enable span tracing; write Chrome trace JSON to F
+///   --metrics_out F     write a metrics-registry JSON snapshot to F on exit
+///   --failpoints SPEC   arm deterministic fault injection, e.g.
+///                       "matcher_fit=error(0.05);grid_cell=crash(1,5)"
+///                       (also: FAIREM_FAILPOINTS env)
+///   --checkpoint_dir D  persist each grid cell to D and resume from it
+///   --retry_attempts N  per-cell attempts for transient failures (default 3)
 /// Unknown flags abort with a usage message.
 struct BenchFlags {
   double scale = 1.0;
   uint64_t seed_offset = 0;
   ObsOptions obs;
+  std::string failpoints;
+  std::string checkpoint_dir;
+  int retry_attempts = 3;
   /// argv[0] basename, e.g. "bench_table5_nofly"; names BENCH_<name>.json.
   std::string bench_name = "bench";
 };

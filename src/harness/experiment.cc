@@ -7,6 +7,8 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/report/grid.h"
+#include "src/robust/checkpoint.h"
+#include "src/robust/failpoint.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
@@ -36,6 +38,11 @@ Result<MatcherRun> RunMatcher(const EMDataset& dataset, MatcherKind kind,
   }
   runs->Increment();
   Rng rng(seed ^ (static_cast<uint64_t>(kind) * 0x9e3779b97f4a7c15ULL));
+  // Generic and per-matcher injection sites, so fault-injection runs can
+  // target "all fits" (matcher_fit=error(0.05)) or a single system
+  // (matcher_fit.Ditto=crash(1)).
+  FAIREM_FAILPOINT("matcher_fit");
+  FAIREM_FAILPOINT("matcher_fit." + run.matcher_name);
   {
     // fit_seconds comes from the span's own monotonic clock, so the
     // harness-reported number and the trace event can never disagree.
@@ -45,6 +52,8 @@ Result<MatcherRun> RunMatcher(const EMDataset& dataset, MatcherKind kind,
     FAIREM_RETURN_NOT_OK(matcher->Fit(dataset, &rng));
   }
   fit_hist->Observe(run.fit_seconds);
+  FAIREM_FAILPOINT("matcher_predict");
+  FAIREM_FAILPOINT("matcher_predict." + run.matcher_name);
   {
     Span span("fairem.matcher.predict", &run.predict_seconds);
     span.AddArg("matcher", run.matcher_name);
@@ -116,29 +125,145 @@ Result<std::vector<GroupRates>> GroupBreakdown(const EMDataset& dataset,
 }
 
 
+namespace {
+
+/// Replays a (fresh or checkpointed) cell into the grid. Validates before
+/// mutating so a corrupt checkpoint can fall back to a live re-run without
+/// leaving half a cell behind.
+Status ApplyCellToGrid(const GridCellCheckpoint& cell, UnfairnessGrid* grid) {
+  std::vector<FairnessMeasure> measures;
+  measures.reserve(cell.marks.size());
+  for (const auto& mark : cell.marks) {
+    FAIREM_ASSIGN_OR_RETURN(FairnessMeasure m,
+                            ParseFairnessMeasure(mark.measure));
+    measures.push_back(m);
+  }
+  if (cell.error) {
+    grid->AddError(cell.matcher, cell.status);
+    return Status::OK();
+  }
+  for (size_t i = 0; i < cell.marks.size(); ++i) {
+    grid->MarkCell(cell.marker, cell.marks[i].group, measures[i],
+                   cell.marks[i].unfair);
+  }
+  return Status::OK();
+}
+
+/// One grid cell end to end: train + audit, converted to the checkpointable
+/// representation. Failures propagate as Status for the retry wrapper.
+Result<GridCellCheckpoint> RunGridCell(const EMDataset& dataset,
+                                       MatcherKind kind, bool pairwise,
+                                       const GridRunOptions& options) {
+  FAIREM_FAILPOINT("grid_cell");
+  GridCellCheckpoint cell;
+  cell.matcher = MatcherKindName(kind);
+  FAIREM_ASSIGN_OR_RETURN(MatcherRun run,
+                          RunMatcher(dataset, kind, options.seed));
+  cell.marker = MatcherMarker(run.matcher_name);
+  cell.supported = run.supported;
+  if (!run.supported) return cell;
+  FAIREM_ASSIGN_OR_RETURN(
+      AuditReport report,
+      pairwise ? AuditRunPairwise(dataset, run, options.audit)
+               : AuditRunSingle(dataset, run, options.audit));
+  cell.marks.reserve(report.entries.size());
+  for (const auto& entry : report.entries) {
+    cell.marks.push_back({entry.group_label, FairnessMeasureName(entry.measure),
+                          entry.unfair});
+  }
+  FAIREM_LOG(INFO) << "audited matcher" << LogKv("matcher", run.matcher_name)
+                   << LogKv("dataset", dataset.name)
+                   << LogKv("mode", pairwise ? "pairwise" : "single")
+                   << LogKv("unfair_cells", report.UnfairEntries().size());
+  return cell;
+}
+
+}  // namespace
+
+Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
+                                         bool pairwise,
+                                         const GridRunOptions& options) {
+  static Counter* checkpoint_hits = MetricsRegistry::Global().GetCounter(
+      "fairem.robust.checkpoint_cells_loaded");
+  static Counter* checkpoint_writes = MetricsRegistry::Global().GetCounter(
+      "fairem.robust.checkpoint_cells_saved");
+  static Counter* error_cells =
+      MetricsRegistry::Global().GetCounter("fairem.robust.grid_error_cells");
+  Span grid_span("fairem.harness.unfairness_grid");
+  grid_span.AddArg("dataset", dataset.name);
+  grid_span.AddArg("mode", pairwise ? "pairwise" : "single");
+  const char* mode = pairwise ? "pairwise" : "single";
+  CheckpointStore store(options.checkpoint_dir);
+  UnfairnessGrid grid;
+  for (MatcherKind kind : AllMatcherKinds()) {
+    if (std::find(options.skip.begin(), options.skip.end(), kind) !=
+        options.skip.end()) {
+      continue;
+    }
+    const std::string key =
+        dataset.name + "." + mode + "." + MatcherKindName(kind);
+    if (store.enabled()) {
+      Result<std::string> payload = store.Load(key);
+      if (payload.ok()) {
+        Result<GridCellCheckpoint> cell = GridCellFromJson(*payload);
+        if (cell.ok() && ApplyCellToGrid(*cell, &grid).ok()) {
+          checkpoint_hits->Increment();
+          if (cell->error) error_cells->Increment();
+          FAIREM_LOG(INFO) << "grid cell loaded from checkpoint"
+                           << LogKv("key", key);
+          continue;
+        }
+        FAIREM_LOG(WARN)
+            << "corrupt checkpoint, re-running cell" << LogKv("key", key)
+            << LogKv("status", cell.ok() ? "bad measure name"
+                                         : cell.status().ToString());
+      } else if (!payload.status().IsNotFound()) {
+        FAIREM_LOG(WARN) << "checkpoint load failed, re-running cell"
+                         << LogKv("key", key)
+                         << LogKv("status", payload.status().ToString());
+      }
+    }
+    Result<GridCellCheckpoint> cell = RetryCall(
+        options.retry,
+        [&]() { return RunGridCell(dataset, kind, pairwise, options); },
+        options.seed ^ (static_cast<uint64_t>(kind) + 1) * 0x9e3779b97f4a7c15ULL);
+    GridCellCheckpoint resolved;
+    if (cell.ok()) {
+      resolved = std::move(*cell);
+    } else {
+      // Graceful degradation: the cell is reported as an error entry (the
+      // grid's "-") instead of aborting the whole report.
+      resolved.matcher = MatcherKindName(kind);
+      resolved.marker = MatcherMarker(resolved.matcher);
+      resolved.error = true;
+      resolved.status = cell.status().ToString();
+      error_cells->Increment();
+      FAIREM_LOG(ERROR) << "grid cell failed after retries"
+                        << LogKv("key", key)
+                        << LogKv("status", resolved.status);
+    }
+    FAIREM_RETURN_NOT_OK(ApplyCellToGrid(resolved, &grid));
+    if (store.enabled()) {
+      if (Status st = store.Save(key, GridCellToJson(resolved)); !st.ok()) {
+        // A broken checkpoint dir degrades resumability, not the report.
+        FAIREM_LOG(WARN) << "checkpoint save failed" << LogKv("key", key)
+                         << LogKv("status", st.ToString());
+      } else {
+        checkpoint_writes->Increment();
+      }
+    }
+  }
+  return grid.Render();
+}
+
 Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
                                          bool pairwise,
                                          const AuditOptions& options,
                                          const std::vector<MatcherKind>& skip) {
-  Span grid_span("fairem.harness.unfairness_grid");
-  grid_span.AddArg("dataset", dataset.name);
-  grid_span.AddArg("mode", pairwise ? "pairwise" : "single");
-  UnfairnessGrid grid;
-  for (MatcherKind kind : AllMatcherKinds()) {
-    if (std::find(skip.begin(), skip.end(), kind) != skip.end()) continue;
-    FAIREM_ASSIGN_OR_RETURN(MatcherRun run, RunMatcher(dataset, kind));
-    if (!run.supported) continue;
-    FAIREM_ASSIGN_OR_RETURN(
-        AuditReport report,
-        pairwise ? AuditRunPairwise(dataset, run, options)
-                 : AuditRunSingle(dataset, run, options));
-    grid.Mark(MatcherMarker(run.matcher_name), report);
-    FAIREM_LOG(INFO) << "audited matcher" << LogKv("matcher", run.matcher_name)
-                     << LogKv("dataset", dataset.name)
-                     << LogKv("mode", pairwise ? "pairwise" : "single")
-                     << LogKv("unfair_cells", report.UnfairEntries().size());
-  }
-  return grid.Render();
+  GridRunOptions grid_options;
+  grid_options.audit = options;
+  grid_options.skip = skip;
+  return UnfairnessGridReport(dataset, pairwise, grid_options);
 }
 
 }  // namespace fairem

@@ -8,6 +8,7 @@
 #include "src/data/dataset.h"
 #include "src/matcher/matcher.h"
 #include "src/ml/metrics.h"
+#include "src/robust/retry.h"
 #include "src/util/result.h"
 
 namespace fairem {
@@ -59,10 +60,38 @@ struct GroupRates {
 Result<std::vector<GroupRates>> GroupBreakdown(const EMDataset& dataset,
                                                const MatcherRun& run);
 
+/// Fault-tolerance knobs of the batch audit (Algorithm 1's outer loop).
+struct GridRunOptions {
+  AuditOptions audit;
+  /// Matcher kinds to leave out entirely.
+  std::vector<MatcherKind> skip;
+  /// Per-cell retry policy for transient (kInternal / kIOError) failures.
+  RetryPolicy retry;
+  /// When non-empty, each completed cell is persisted here atomically
+  /// (temp + rename JSON) and an interrupted run resumes by replaying the
+  /// persisted cells instead of re-running them. Cells that failed after
+  /// retries are persisted too — delete a cell's file to force a re-run.
+  std::string checkpoint_dir;
+  /// Seed forwarded to RunMatcher and the retry jitter.
+  uint64_t seed = 1234;
+};
+
 /// Renders the paper's unfairness-grid figure for one dataset: every
 /// matcher is trained, audited (single or pairwise fairness), and marked
-/// into the measure-by-group grid (Figures 6-13 / 17-20). `skip` lists
-/// matcher kinds to leave out. Progress notes go to stderr.
+/// into the measure-by-group grid (Figures 6-13 / 17-20). Progress notes go
+/// to stderr.
+///
+/// Fault tolerance: each (matcher, dataset, mode) cell runs under
+/// `options.retry`; a cell that still fails is rendered as an error entry
+/// under the grid instead of failing the whole report, and — with a
+/// checkpoint_dir — every finished cell is persisted so a killed run
+/// resumes where it stopped (checkpoint hits are counted in
+/// fairem.robust.checkpoint_cells_loaded).
+Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
+                                         bool pairwise,
+                                         const GridRunOptions& options);
+
+/// Back-compat convenience overload: audit options + skip list only.
 Result<std::string> UnfairnessGridReport(
     const EMDataset& dataset, bool pairwise,
     const AuditOptions& options = {},

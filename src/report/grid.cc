@@ -9,18 +9,30 @@ namespace fairem {
 void UnfairnessGrid::Mark(const std::string& marker,
                           const AuditReport& report) {
   for (const auto& entry : report.entries) {
-    if (std::find(group_order_.begin(), group_order_.end(),
-                  entry.group_label) == group_order_.end()) {
-      group_order_.push_back(entry.group_label);
-    }
-    if (!entry.unfair) continue;
-    auto& markers = cells_[entry.group_label][entry.measure];
-    if (markers.insert(marker).second) ++num_marks_;
+    MarkCell(marker, entry.group_label, entry.measure, entry.unfair);
   }
 }
 
+void UnfairnessGrid::MarkCell(const std::string& marker,
+                              const std::string& group,
+                              FairnessMeasure measure, bool unfair) {
+  if (std::find(group_order_.begin(), group_order_.end(), group) ==
+      group_order_.end()) {
+    group_order_.push_back(group);
+  }
+  if (!unfair) return;
+  auto& markers = cells_[group][measure];
+  if (markers.insert(marker).second) ++num_marks_;
+}
+
+void UnfairnessGrid::AddError(const std::string& matcher_name,
+                              const std::string& status) {
+  errors_.emplace_back(matcher_name, status);
+}
+
 std::string UnfairnessGrid::Render() const {
-  if (group_order_.empty()) return "";
+  if (group_order_.empty() && errors_.empty()) return "";
+  if (group_order_.empty()) return RenderErrors();
   std::vector<std::string> headers = {"measure"};
   headers.insert(headers.end(), group_order_.begin(), group_order_.end());
   TablePrinter printer(std::move(headers));
@@ -46,7 +58,16 @@ std::string UnfairnessGrid::Render() const {
     (void)any;
     printer.AddRow(std::move(row));
   }
-  return printer.ToString();
+  return printer.ToString() + RenderErrors();
+}
+
+std::string UnfairnessGrid::RenderErrors() const {
+  if (errors_.empty()) return "";
+  std::string out = "errors (cells unavailable after retries):\n";
+  for (const auto& [matcher, status] : errors_) {
+    out += "  " + matcher + ": " + status + "\n";
+  }
+  return out;
 }
 
 std::string MatcherMarker(const std::string& matcher_name) {

@@ -25,17 +25,35 @@ class UnfairnessGrid {
   /// MatcherMarker for the paper's Figure 5 codes).
   void Mark(const std::string& marker, const AuditReport& report);
 
-  /// Renders the grid; empty cells print ".". Returns "" when nothing was
-  /// marked.
+  /// One audit entry's worth of Mark: registers `group` in column order and,
+  /// when `unfair`, marks the (group, measure) cell. Mark() is a loop over
+  /// this, and checkpoint replay (src/robust) reuses it to reproduce a
+  /// marked grid byte-identically without re-auditing.
+  void MarkCell(const std::string& marker, const std::string& group,
+                FairnessMeasure measure, bool unfair);
+
+  /// Records a matcher whose cells could not be computed (failed even after
+  /// retries). Render() lists these under the grid, the analogue of
+  /// Table 9's "-" entries: the report survives, the hole is visible.
+  void AddError(const std::string& matcher_name, const std::string& status);
+
+  /// Renders the grid; empty cells print ".". Errored matchers are listed
+  /// under the table. Returns "" when nothing was marked or errored.
   std::string Render() const;
 
   /// Count of distinct (matcher, group, measure) unfair marks.
   size_t num_marks() const { return num_marks_; }
 
+  /// Count of matchers recorded via AddError.
+  size_t num_errors() const { return errors_.size(); }
+
  private:
+  std::string RenderErrors() const;
+
   std::vector<std::string> group_order_;
   std::map<std::string, std::map<FairnessMeasure, std::set<std::string>>>
       cells_;  // group -> measure -> markers
+  std::vector<std::pair<std::string, std::string>> errors_;  // matcher, status
   size_t num_marks_ = 0;
 };
 

@@ -1,0 +1,282 @@
+#include "src/robust/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/robust/failpoint.h"
+
+namespace fairem {
+namespace {
+
+void AppendJsonString(std::ostringstream* os, const std::string& s) {
+  *os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      case '\t':
+        *os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+  *os << '"';
+}
+
+/// Minimal cursor over the checkpoint JSON subset (strings, bools, and the
+/// marks array of [string, string, bool] triples).
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Err(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool TryConsume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseString() {
+    FAIREM_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Err("bad \\u escape digit");
+            }
+          }
+          // We only ever emit \u for control bytes; anything wider is not
+          // our writer's output.
+          if (value >= 0x80) return Err("unsupported \\u escape");
+          out.push_back(static_cast<char>(value));
+          break;
+        }
+        default:
+          return Err("unsupported escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<bool> ParseBool() {
+    SkipSpace();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    return Result<bool>(Err("expected true/false"));
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Status Err(const std::string& what) {
+    return Status::InvalidArgument("checkpoint JSON: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string CheckpointStore::SanitizeKey(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
+std::string CheckpointStore::PathFor(const std::string& key) const {
+  return dir_ + "/" + SanitizeKey(key) + ".json";
+}
+
+Result<std::string> CheckpointStore::Load(const std::string& key) const {
+  if (!enabled()) return Status::NotFound("checkpointing disabled");
+  FAIREM_FAILPOINT("checkpoint_load");
+  const std::string path = PathFor(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no checkpoint at '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for '" + path + "'");
+  return ss.str();
+}
+
+Status CheckpointStore::Save(const std::string& key,
+                             const std::string& payload) const {
+  if (!enabled()) return Status::OK();
+  FAIREM_FAILPOINT("checkpoint_save");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir '" + dir_ +
+                           "': " + ec.message());
+  }
+  const std::string path = PathFor(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open '" + tmp + "' for writing");
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) return Status::IOError("write failed for '" + tmp + "'");
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("cannot publish checkpoint '" + path + "'");
+  }
+  return Status::OK();
+}
+
+std::string GridCellToJson(const GridCellCheckpoint& cell) {
+  std::ostringstream os;
+  os << "{\"matcher\":";
+  AppendJsonString(&os, cell.matcher);
+  os << ",\"marker\":";
+  AppendJsonString(&os, cell.marker);
+  os << ",\"supported\":" << (cell.supported ? "true" : "false");
+  os << ",\"error\":" << (cell.error ? "true" : "false");
+  os << ",\"status\":";
+  AppendJsonString(&os, cell.status);
+  os << ",\"marks\":[";
+  for (size_t i = 0; i < cell.marks.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '[';
+    AppendJsonString(&os, cell.marks[i].group);
+    os << ',';
+    AppendJsonString(&os, cell.marks[i].measure);
+    os << ',' << (cell.marks[i].unfair ? "true" : "false") << ']';
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+Result<GridCellCheckpoint> GridCellFromJson(const std::string& json) {
+  GridCellCheckpoint cell;
+  JsonCursor cur(json);
+  FAIREM_RETURN_NOT_OK(cur.Expect('{'));
+  bool first = true;
+  while (!cur.TryConsume('}')) {
+    if (!first) FAIREM_RETURN_NOT_OK(cur.Expect(','));
+    first = false;
+    FAIREM_ASSIGN_OR_RETURN(std::string field, cur.ParseString());
+    FAIREM_RETURN_NOT_OK(cur.Expect(':'));
+    if (field == "matcher") {
+      FAIREM_ASSIGN_OR_RETURN(cell.matcher, cur.ParseString());
+    } else if (field == "marker") {
+      FAIREM_ASSIGN_OR_RETURN(cell.marker, cur.ParseString());
+    } else if (field == "supported") {
+      FAIREM_ASSIGN_OR_RETURN(cell.supported, cur.ParseBool());
+    } else if (field == "error") {
+      FAIREM_ASSIGN_OR_RETURN(cell.error, cur.ParseBool());
+    } else if (field == "status") {
+      FAIREM_ASSIGN_OR_RETURN(cell.status, cur.ParseString());
+    } else if (field == "marks") {
+      FAIREM_RETURN_NOT_OK(cur.Expect('['));
+      if (!cur.TryConsume(']')) {
+        do {
+          GridCellCheckpoint::Mark mark;
+          FAIREM_RETURN_NOT_OK(cur.Expect('['));
+          FAIREM_ASSIGN_OR_RETURN(mark.group, cur.ParseString());
+          FAIREM_RETURN_NOT_OK(cur.Expect(','));
+          FAIREM_ASSIGN_OR_RETURN(mark.measure, cur.ParseString());
+          FAIREM_RETURN_NOT_OK(cur.Expect(','));
+          FAIREM_ASSIGN_OR_RETURN(mark.unfair, cur.ParseBool());
+          FAIREM_RETURN_NOT_OK(cur.Expect(']'));
+          cell.marks.push_back(std::move(mark));
+        } while (cur.TryConsume(','));
+        FAIREM_RETURN_NOT_OK(cur.Expect(']'));
+      }
+    } else {
+      return Status::InvalidArgument("checkpoint JSON: unknown field '" +
+                                     field + "'");
+    }
+  }
+  if (cell.matcher.empty()) {
+    return Status::InvalidArgument("checkpoint JSON: missing matcher");
+  }
+  return cell;
+}
+
+}  // namespace fairem

@@ -1,0 +1,69 @@
+#ifndef FAIREM_ROBUST_CHECKPOINT_H_
+#define FAIREM_ROBUST_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace fairem {
+
+/// Atomic per-key JSON checkpoints in a directory: each key maps to
+/// `<dir>/<sanitized-key>.json`, written via temp-file + rename so a crash
+/// mid-write never leaves a torn checkpoint behind. An empty `dir` disables
+/// the store (every Load is NotFound, every Save a no-op) so callers can
+/// thread one object through unconditionally.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// The payload saved under `key`, or NotFound.
+  Result<std::string> Load(const std::string& key) const;
+
+  /// Atomically persists `payload` under `key`, creating the directory on
+  /// first use. Overwrites any previous checkpoint for the key.
+  Status Save(const std::string& key, const std::string& payload) const;
+
+  /// Path of `key`'s checkpoint file (whether or not it exists).
+  std::string PathFor(const std::string& key) const;
+
+  /// Keys map to filenames: alphanumerics, '.', '-' and '_' pass through,
+  /// every other byte becomes '_'.
+  static std::string SanitizeKey(const std::string& key);
+
+ private:
+  std::string dir_;
+};
+
+/// The persisted outcome of one (matcher, dataset, single/pairwise) grid
+/// cell — everything UnfairnessGridReport needs to replay the cell into an
+/// UnfairnessGrid without re-running the matcher.
+struct GridCellCheckpoint {
+  std::string matcher;  // display name, e.g. "DTMatcher"
+  std::string marker;   // plot marker, e.g. "DT"
+  bool supported = true;
+  bool error = false;
+  std::string status;  // Status::ToString() when error
+  /// Audit entries in report order (column order of the rendered grid is
+  /// first-seen, so order must survive the round trip byte-exactly).
+  struct Mark {
+    std::string group;
+    std::string measure;  // FairnessMeasureName
+    bool unfair = false;
+  };
+  std::vector<Mark> marks;
+};
+
+/// Serializes a cell checkpoint as a single JSON object.
+std::string GridCellToJson(const GridCellCheckpoint& cell);
+
+/// Parses GridCellToJson output. Tolerates only that exact shape; anything
+/// else is InvalidArgument (callers treat a corrupt checkpoint as a miss).
+Result<GridCellCheckpoint> GridCellFromJson(const std::string& json);
+
+}  // namespace fairem
+
+#endif  // FAIREM_ROBUST_CHECKPOINT_H_

@@ -1,0 +1,176 @@
+#include "src/robust/failpoint.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+/// splitmix64 of a string hash — decorrelates per-site Rng streams from the
+/// configure seed without depending on std::hash stability across builds.
+uint64_t SiteSeed(uint64_t seed, std::string_view site) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  uint64_t z = (seed ^ h) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Result<FailpointSpec> ParseEntry(std::string_view entry) {
+  FailpointSpec spec;
+  size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint entry '" + std::string(entry) +
+                                   "' is not site=action(p[,skip])");
+  }
+  spec.site = std::string(TrimAscii(entry.substr(0, eq)));
+  std::string_view rhs = TrimAscii(entry.substr(eq + 1));
+  size_t open = rhs.find('(');
+  if (open == std::string_view::npos || rhs.empty() || rhs.back() != ')') {
+    return Status::InvalidArgument("failpoint action '" + std::string(rhs) +
+                                   "' is not action(p[,skip])");
+  }
+  std::string_view action = TrimAscii(rhs.substr(0, open));
+  if (action == "error") {
+    spec.action = FailpointAction::kError;
+  } else if (action == "crash") {
+    spec.action = FailpointAction::kCrash;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action '" +
+                                   std::string(action) +
+                                   "' (want error|crash)");
+  }
+  std::string_view args = rhs.substr(open + 1, rhs.size() - open - 2);
+  std::string_view p_text = args;
+  if (size_t comma = args.find(','); comma != std::string_view::npos) {
+    p_text = TrimAscii(args.substr(0, comma));
+    std::string_view skip_text = TrimAscii(args.substr(comma + 1));
+    double skip = 0.0;
+    if (!ParseDouble(skip_text, &skip) || skip < 0.0) {
+      return Status::InvalidArgument("bad failpoint skip count '" +
+                                     std::string(skip_text) + "'");
+    }
+    spec.skip = static_cast<uint64_t>(skip);
+  } else {
+    p_text = TrimAscii(p_text);
+  }
+  if (!ParseDouble(p_text, &spec.probability) || spec.probability < 0.0 ||
+      spec.probability > 1.0) {
+    return Status::InvalidArgument("failpoint probability '" +
+                                   std::string(p_text) +
+                                   "' is not in [0, 1]");
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<std::vector<FailpointSpec>> ParseFailpointSpecs(std::string_view spec) {
+  std::vector<FailpointSpec> specs;
+  for (const std::string& entry : Split(spec, ';')) {
+    std::string_view trimmed = TrimAscii(entry);
+    if (trimmed.empty()) continue;
+    FAIREM_ASSIGN_OR_RETURN(FailpointSpec parsed, ParseEntry(trimmed));
+    specs.push_back(std::move(parsed));
+  }
+  return specs;
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  const char* env = std::getenv("FAIREM_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  uint64_t seed = 1234;
+  if (const char* seed_env = std::getenv("FAIREM_FAILPOINT_SEED")) {
+    double v = 0.0;
+    if (ParseDouble(seed_env, &v)) seed = static_cast<uint64_t>(v);
+  }
+  // A constructor cannot propagate a Status; a bad env spec is loud (the
+  // whole point of arming failpoints is to see them fire).
+  if (Status st = Configure(env, seed); !st.ok()) {
+    FAIREM_LOG(ERROR) << "ignoring FAIREM_FAILPOINTS"
+                      << LogKv("status", st.ToString());
+  }
+}
+
+Status FailpointRegistry::Configure(std::string_view spec, uint64_t seed) {
+  FAIREM_ASSIGN_OR_RETURN(std::vector<FailpointSpec> specs,
+                          ParseFailpointSpecs(spec));
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  for (FailpointSpec& parsed : specs) {
+    ArmedSite site;
+    site.rng = Rng(SiteSeed(seed, parsed.site));
+    site.spec = std::move(parsed);
+    std::string name = site.spec.site;
+    sites_[std::move(name)] = std::move(site);
+  }
+  armed_.store(!sites_.empty(), std::memory_order_relaxed);
+  if (!sites_.empty()) {
+    FAIREM_LOG(INFO) << "failpoints armed" << LogKv("spec", std::string(spec))
+                     << LogKv("sites", sites_.size())
+                     << LogKv("seed", seed);
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+Status FailpointRegistry::Hit(std::string_view site) {
+  static Counter* hits =
+      MetricsRegistry::Global().GetCounter("fairem.robust.failpoint_hits");
+  static Counter* injected = MetricsRegistry::Global().GetCounter(
+      "fairem.robust.injected_errors");
+  bool fire = false;
+  uint64_t hit_number = 0;
+  FailpointAction action = FailpointAction::kError;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return Status::OK();
+    ArmedSite& armed = it->second;
+    hit_number = ++armed.hits;
+    hits->Increment();
+    // Draw exactly one Bernoulli per hit so the fire pattern is a pure
+    // function of (seed, site, hit index) — retries re-roll deterministically.
+    bool roll = armed.rng.NextBool(armed.spec.probability);
+    fire = roll && hit_number > armed.spec.skip;
+    action = armed.spec.action;
+  }
+  if (!fire) return Status::OK();
+  std::string what = "injected failure at " + std::string(site) + " (hit " +
+                     std::to_string(hit_number) + ")";
+  if (action == FailpointAction::kCrash) {
+    // Mimic a hard kill: no atexit flushes, no stack unwinding.
+    std::cerr << "FAIREM_FAILPOINT crash: " << what << "\n";
+    std::_Exit(kCrashExitCode);
+  }
+  injected->Increment();
+  FAIREM_LOG(DEBUG) << "failpoint fired" << LogKv("site", std::string(site))
+                    << LogKv("hit", hit_number);
+  return Status::Internal(what);
+}
+
+uint64_t FailpointRegistry::HitCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace fairem

@@ -1,0 +1,118 @@
+#ifndef FAIREM_ROBUST_FAILPOINT_H_
+#define FAIREM_ROBUST_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace fairem {
+
+/// What a fired failpoint does to the process.
+enum class FailpointAction {
+  /// The hit returns an injected error Status (kInternal) to the caller —
+  /// simulates a transient or permanent recoverable failure.
+  kError,
+  /// The hit terminates the process immediately via _Exit (no atexit
+  /// flushes, like a kill -9 mid-run). Exit code kCrashExitCode.
+  kCrash,
+};
+
+/// Exit code of a crash-action failpoint, chosen to be recognisable in
+/// kill/resume tests.
+inline constexpr int kCrashExitCode = 134;
+
+/// One parsed failpoint: fire `action` at `site` with probability
+/// `probability` per hit, after letting the first `skip` hits pass.
+struct FailpointSpec {
+  std::string site;
+  FailpointAction action = FailpointAction::kError;
+  double probability = 1.0;
+  uint64_t skip = 0;
+};
+
+/// Parses a failpoint spec string:
+///
+///   spec  := entry (';' entry)*
+///   entry := site '=' action '(' p [',' skip] ')'
+///   action := 'error' | 'crash'
+///
+/// e.g. "csv_read=error(0.05);grid_cell=crash(1,5)" — inject an error on 5%
+/// of CSV reads, and crash on the 6th grid cell. `p` must be in [0, 1].
+Result<std::vector<FailpointSpec>> ParseFailpointSpecs(std::string_view spec);
+
+/// Process-wide registry of armed failpoints. Deterministic: each site owns
+/// a seeded Rng and a hit counter, so the same spec + seed always fires on
+/// the same hits. When no failpoint is armed, FAIREM_FAILPOINT costs one
+/// relaxed atomic load — injection sites can stay in hot paths permanently.
+///
+/// On first use the registry arms itself from the FAIREM_FAILPOINTS
+/// environment variable (seeded by FAIREM_FAILPOINT_SEED, default 1234), so
+/// any binary can be fault-injected without flag plumbing; Configure (e.g.
+/// from --failpoints) replaces the armed set.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+  /// Replaces the armed set with `spec` (empty spec disarms everything).
+  Status Configure(std::string_view spec, uint64_t seed = 1234);
+
+  /// Disarms every failpoint.
+  void Clear();
+
+  /// True when at least one failpoint is armed (the fast-path gate).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Registers a hit at `site`: returns an injected error, crashes the
+  /// process, or returns OK. Sites not armed always return OK.
+  Status Hit(std::string_view site);
+
+  /// Total times `site` was hit (armed or not recorded only when armed).
+  uint64_t HitCount(std::string_view site) const;
+
+ private:
+  FailpointRegistry();
+
+  struct ArmedSite {
+    FailpointSpec spec;
+    Rng rng{0};
+    uint64_t hits = 0;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, ArmedSite, std::less<>> sites_;
+};
+
+/// Returns the injected Status for `site`, or OK. Prefer the
+/// FAIREM_FAILPOINT macro, which early-outs before evaluating `site`.
+inline Status CheckFailpoint(std::string_view site) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  if (!reg.armed()) return Status::OK();
+  return reg.Hit(site);
+}
+
+}  // namespace fairem
+
+/// Injection site: returns the injected error from the enclosing function
+/// (which must return Status or Result<T>) when the failpoint fires. The
+/// site expression is not evaluated unless some failpoint is armed.
+#define FAIREM_FAILPOINT(site)                                        \
+  do {                                                                \
+    if (::fairem::FailpointRegistry::Global().armed()) {              \
+      ::fairem::Status _fp_st =                                       \
+          ::fairem::FailpointRegistry::Global().Hit(site);            \
+      if (!_fp_st.ok()) return _fp_st;                                \
+    }                                                                 \
+  } while (false)
+
+#endif  // FAIREM_ROBUST_FAILPOINT_H_

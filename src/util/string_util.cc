@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -54,6 +55,44 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool IsValidUtf8(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size()) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    size_t len;
+    uint32_t cp;
+    if (c < 0x80) {
+      ++i;
+      continue;
+    } else if ((c & 0xe0) == 0xc0) {
+      len = 2;
+      cp = c & 0x1f;
+    } else if ((c & 0xf0) == 0xe0) {
+      len = 3;
+      cp = c & 0x0f;
+    } else if ((c & 0xf8) == 0xf0) {
+      len = 4;
+      cp = c & 0x07;
+    } else {
+      return false;  // stray continuation or invalid lead byte
+    }
+    if (i + len > s.size()) return false;
+    for (size_t j = 1; j < len; ++j) {
+      unsigned char cont = static_cast<unsigned char>(s[i + j]);
+      if ((cont & 0xc0) != 0x80) return false;
+      cp = (cp << 6) | (cont & 0x3f);
+    }
+    // Overlong encodings, UTF-16 surrogates, and out-of-range code points.
+    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+        (len == 4 && cp < 0x10000) || (cp >= 0xd800 && cp <= 0xdfff) ||
+        cp > 0x10ffff) {
+      return false;
+    }
+    i += len;
+  }
+  return true;
 }
 
 bool ParseDouble(std::string_view s, double* out) {

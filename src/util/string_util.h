@@ -22,6 +22,10 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// True if `s` is well-formed UTF-8 (rejects overlong encodings, surrogate
+/// code points, and values beyond U+10FFFF). ASCII is always valid.
+bool IsValidUtf8(std::string_view s);
+
 /// True if `s` parses entirely as a finite double; on success stores it in
 /// `*out` (which may be null to just test).
 bool ParseDouble(std::string_view s, double* out);

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/data/csv.h"
+#include "src/data/dataset_io.h"
+#include "src/datagen/benchmark_suite.h"
+
+namespace fairem {
+namespace {
+
+// A corpus of broken CSV inputs. Every entry must come back as an error
+// Status — never a crash, never a silently half-parsed table. This is the
+// contract the audit pipeline leans on when pointed at real-world dumps.
+
+std::string WriteTempFile(const std::string& leaf, const std::string& bytes) {
+  std::string path = ::testing::TempDir() + leaf;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+TEST(CsvCorpusTest, EmptyInput) {
+  Result<Table> r = ReadCsvString("", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_NE(r.status().ToString().find("empty CSV input"), std::string::npos);
+}
+
+TEST(CsvCorpusTest, TruncatedRow) {
+  Result<Table> r = ReadCsvString("entity_id,name,city\n1,alice\n", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_NE(r.status().ToString().find("wrong field count"),
+            std::string::npos);
+}
+
+TEST(CsvCorpusTest, RowWithTooManyColumns) {
+  Result<Table> r = ReadCsvString("entity_id,name\n1,alice,extra\n", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CsvCorpusTest, UnterminatedQuoteInHeader) {
+  Result<Table> r = ReadCsvString("entity_id,\"name\n", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("unterminated quoted field"),
+            std::string::npos);
+}
+
+TEST(CsvCorpusTest, UnterminatedQuoteInRow) {
+  Result<Table> r = ReadCsvString("entity_id,name\n1,\"alice\n", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("unterminated quoted field"),
+            std::string::npos);
+}
+
+TEST(CsvCorpusTest, BadEntityId) {
+  Result<Table> r = ReadCsvString("entity_id,name\nnot_a_number,alice\n", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("bad entity_id"), std::string::npos);
+}
+
+TEST(CsvCorpusTest, NonUtf8BytesRejected) {
+  // 0xFF can never appear in well-formed UTF-8.
+  Result<Table> r = ReadCsvString("entity_id,name\n1,al\xffice\n", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_NE(r.status().ToString().find("not valid UTF-8"), std::string::npos);
+}
+
+TEST(CsvCorpusTest, OverlongEncodingRejected) {
+  // 0xC0 0xAF is the classic overlong '/' — invalid UTF-8.
+  Result<Table> r = ReadCsvString("entity_id,name\n1,a\xc0\xaf\n", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("not valid UTF-8"), std::string::npos);
+}
+
+TEST(CsvCorpusTest, TruncatedMultibyteSequenceRejected) {
+  // Lead byte of a 3-byte sequence with only one continuation byte.
+  Result<Table> r = ReadCsvString("entity_id,name\n1,a\xe4\xb8\n", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("not valid UTF-8"), std::string::npos);
+}
+
+TEST(CsvCorpusTest, WellFormedMultibyteAccepted) {
+  Table t = std::move(
+                ReadCsvString("entity_id,name\n1,M\xc3\xbcller \xe4\xb8\xad\n",
+                              "t"))
+                .value();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.value(0, 0), "M\xc3\xbcller \xe4\xb8\xad");
+}
+
+TEST(CsvCorpusTest, Utf8ValidationCanBeOptedOut) {
+  CsvOptions options;
+  options.validate_utf8 = false;
+  Result<Table> r =
+      ReadCsvString("entity_id,name\n1,al\xffice\n", "t", options);
+  EXPECT_TRUE(r.ok());  // legacy byte-transparent behaviour on request
+}
+
+TEST(CsvCorpusTest, BrokenFilesNeverCrash) {
+  const std::string corpus[] = {
+      "",                                   // empty file
+      "entity_id,name,city\n1,alice\n",     // truncated row
+      "entity_id,name\n1,\"alice\n",        // unterminated quote
+      "entity_id,name\n1,alice,extra\n",    // wrong column count
+      "entity_id,name\n1,al\xffice\n",      // non-UTF8 bytes
+      "entity_id,name\nnope,alice\n",       // bad entity_id
+  };
+  int i = 0;
+  for (const std::string& bytes : corpus) {
+    std::string path =
+        WriteTempFile("fairem_broken_" + std::to_string(i++) + ".csv", bytes);
+    Result<Table> r = ReadCsvFile(path, "t");
+    EXPECT_FALSE(r.ok()) << "corpus entry " << i;
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << "corpus entry " << i;
+  }
+}
+
+TEST(CsvCorpusTest, MissingFileIsIOError) {
+  Result<Table> r = ReadCsvFile("/nonexistent/fairem/nowhere.csv", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+// Dataset-directory loads built from the same corpus: a saved dataset with
+// one file corrupted must load back as a Status, not an abort.
+
+class BrokenDatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "fairem_broken_dataset";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    EMDataset ds =
+        std::move(GenerateDataset(DatasetKind::kFacultyMatch, 0.25)).value();
+    ASSERT_TRUE(SaveDataset(ds, dir_).ok());
+  }
+
+  void Corrupt(const std::string& file, const std::string& bytes) {
+    std::ofstream out(dir_ + "/" + file, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(BrokenDatasetTest, IntactRoundTripStillWorks) {
+  EXPECT_TRUE(LoadDataset(dir_).ok());
+}
+
+TEST_F(BrokenDatasetTest, PairFileWithWrongColumnCount) {
+  Corrupt("train.csv", "entity_id,left,right\n0,1,2\n");
+  Result<EMDataset> r = LoadDataset(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_NE(r.status().ToString().find("3 columns"), std::string::npos);
+}
+
+TEST_F(BrokenDatasetTest, PairFileWithGarbageIndices) {
+  Corrupt("test.csv", "entity_id,left,right,is_match\n0,one,two,1\n");
+  Result<EMDataset> r = LoadDataset(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("bad pair row"), std::string::npos);
+}
+
+TEST_F(BrokenDatasetTest, MetaFileWithWrongColumnCount) {
+  Corrupt("meta.csv", "entity_id,key,value,extra\n0,name,x,y\n");
+  Result<EMDataset> r = LoadDataset(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_NE(r.status().ToString().find("2 columns"), std::string::npos);
+}
+
+TEST_F(BrokenDatasetTest, MetaFileWithNonUtf8Bytes) {
+  Corrupt("meta.csv", "entity_id,key,value\n0,name,caf\xe9\n");  // latin-1
+  Result<EMDataset> r = LoadDataset(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("not valid UTF-8"), std::string::npos);
+}
+
+TEST_F(BrokenDatasetTest, MissingTableIsAnError) {
+  std::filesystem::remove(dir_ + "/table_b.csv");
+  EXPECT_FALSE(LoadDataset(dir_).ok());
+}
+
+}  // namespace
+}  // namespace fairem

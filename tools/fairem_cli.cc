@@ -11,10 +11,18 @@
 //       Run the full audit pipeline in-process — datagen, blocking, feature
 //       generation, fit, predict, audit — primarily a driver for the
 //       observability layer (each stage is a traced span).
+//   fairem grid <dataset> [--pairwise] [--scale S] [--seed N]
+//       [--checkpoint_dir D] [--retry_attempts N]
+//       The batch audit of Algorithm 1 for one dataset: all matchers,
+//       rendered as the unfairness grid. Fault tolerant: cells retry on
+//       transient failures, failed cells degrade to error entries, and with
+//       --checkpoint_dir an interrupted run resumes from completed cells.
 //
 // Observability (any command): --log_level debug|info|warn|error|off,
 // --trace_out FILE (Chrome trace JSON of the stage spans),
 // --metrics_out FILE (metrics-registry snapshot).
+// Fault injection (any command): --failpoints SPEC, e.g.
+// "csv_read=error(0.05);grid_cell=crash(1,5)" (also: FAIREM_FAILPOINTS env).
 //
 // Exit status: 0 on success, 1 on usage errors or failures.
 
@@ -30,6 +38,7 @@
 #include "src/harness/experiment.h"
 #include "src/obs/obs.h"
 #include "src/report/table_printer.h"
+#include "src/robust/failpoint.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
@@ -44,8 +53,11 @@ int Usage() {
       "[--division]\n"
       "  fairem pipeline <dataset> <matcher> [--scale S] [--seed N] "
       "[--pairwise]\n"
+      "  fairem grid <dataset> [--pairwise] [--scale S] [--seed N] "
+      "[--checkpoint_dir D] [--retry_attempts N]\n"
       "observability (any command): [--log_level L] [--trace_out FILE] "
-      "[--metrics_out FILE]\n";
+      "[--metrics_out FILE]\n"
+      "fault injection (any command): [--failpoints SPEC]\n";
   return 1;
 }
 
@@ -65,7 +77,13 @@ Result<MatcherKind> ParseMatcherKind(const std::string& name) {
                           "'; run `fairem list`");
 }
 
-int List() {
+int List(const std::vector<std::string>& args) {
+  // A typo'd flag silently doing nothing is how --trace-out style mistakes
+  // hide; every subcommand rejects arguments it does not understand.
+  if (!args.empty()) {
+    std::cerr << "unexpected argument '" << args[0] << "'\n";
+    return Usage();
+  }
   std::cout << "datasets (Table 4):\n";
   for (DatasetKind kind : AllDatasetKinds()) {
     std::cout << "  " << DatasetKindName(kind) << "\n";
@@ -82,14 +100,17 @@ int Generate(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
   double scale = 1.0;
   uint64_t seed = 0;
-  for (size_t i = 2; i + 1 < args.size(); i += 2) {
-    if (args[i] == "--scale") {
-      if (!ParseDouble(args[i + 1], &scale)) return Usage();
-    } else if (args[i] == "--seed") {
+  // Stride-1 parse: a trailing or unpaired flag is an error, not a no-op
+  // (the old stride-2 loop silently ignored e.g. a final "--bogus").
+  for (size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--scale" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &scale)) return Usage();
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
       double v = 0.0;
-      if (!ParseDouble(args[i + 1], &v)) return Usage();
+      if (!ParseDouble(args[++i], &v)) return Usage();
       seed = static_cast<uint64_t>(v);
     } else {
+      std::cerr << "unexpected argument '" << args[i] << "'\n";
       return Usage();
     }
   }
@@ -296,6 +317,56 @@ int Pipeline(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// The batch audit over every matcher for one dataset, with the full
+/// robustness surface exposed: retries, checkpoint/resume, error cells.
+int Grid(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  double scale = 1.0;
+  uint64_t seed = 0;
+  bool pairwise = false;
+  GridRunOptions options;
+  options.audit.reference = AuditReference::kComplement;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--pairwise") {
+      pairwise = true;
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &scale)) return Usage();
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      double v = 0.0;
+      if (!ParseDouble(args[++i], &v)) return Usage();
+      seed = static_cast<uint64_t>(v);
+    } else if (args[i] == "--checkpoint_dir" && i + 1 < args.size()) {
+      options.checkpoint_dir = args[++i];
+    } else if (args[i] == "--retry_attempts" && i + 1 < args.size()) {
+      double v = 0.0;
+      if (!ParseDouble(args[++i], &v) || v < 1.0) return Usage();
+      options.retry.max_attempts = static_cast<int>(v);
+    } else {
+      std::cerr << "unexpected argument '" << args[i] << "'\n";
+      return Usage();
+    }
+  }
+  Result<DatasetKind> kind = ParseDatasetKind(args[0]);
+  if (!kind.ok()) {
+    std::cerr << kind.status() << "\n";
+    return 1;
+  }
+  Result<EMDataset> dataset = GenerateDataset(*kind, scale, seed);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+  Result<std::string> grid = UnfairnessGridReport(*dataset, pairwise, options);
+  if (!grid.ok()) {
+    std::cerr << grid.status() << "\n";
+    return 1;
+  }
+  std::cout << "== " << dataset->name << " "
+            << (pairwise ? "pairwise" : "single") << " fairness ==\n"
+            << (grid->empty() ? "(no unfair cells)\n" : *grid);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -325,6 +396,11 @@ int Main(int argc, char** argv) {
       obs.trace_out = value;
     } else if (arg == "--metrics_out" && take_value()) {
       obs.metrics_out = value;
+    } else if (arg == "--failpoints" && take_value()) {
+      if (Status st = FailpointRegistry::Global().Configure(value); !st.ok()) {
+        std::cerr << st << "\n";
+        return Usage();
+      }
     } else if (has_value) {
       // Re-split other --flag=value args so subcommand parsers, which
       // expect space-separated pairs, see them uniformly.
@@ -340,13 +416,15 @@ int Main(int argc, char** argv) {
   }
   int code = 1;
   if (command == "list") {
-    code = List();
+    code = List(args);
   } else if (command == "generate") {
     code = Generate(args);
   } else if (command == "audit") {
     code = Audit(args);
   } else if (command == "pipeline") {
     code = Pipeline(args);
+  } else if (command == "grid") {
+    code = Grid(args);
   } else {
     return Usage();
   }
