@@ -1,10 +1,16 @@
 # Smoke test for the bench observability and fault-tolerance paths: runs a
 # small bench with --metrics_out and fails if the binary errors, the
 # snapshot is missing, or the snapshot lacks the pipeline counters it must
-# contain. When GRID_BIN is also given, a kill/resume drill runs on that
-# grid bench: a crash failpoint kills it mid-grid, a second run resumes
-# from --checkpoint_dir, and the resumed stdout must be byte-identical to
-# an uninterrupted run.
+# contain. When GRID_BIN is also given, two drills run on that grid bench:
+#
+#  * kill/resume: a crash failpoint kills it mid-grid, a second run resumes
+#    from --checkpoint_dir, and the resumed stdout must be byte-identical
+#    to an uninterrupted run;
+#  * parallel hang-and-recover: a --jobs run must reproduce the sequential
+#    report byte for byte, a hang failpoint under --cell_timeout_s must be
+#    contained by the watchdog as an error entry (exit 0), and after
+#    deleting the degraded cells' checkpoints a rerun must heal back to the
+#    baseline report.
 #
 # Invoked by CTest as:
 #   cmake -DBENCH_BIN=<path> [-DGRID_BIN=<path>] -DWORK_DIR=<dir> \
@@ -134,3 +140,83 @@ endif()
 message(STATUS
     "bench_smoke OK: resume reproduced the report from ${survivor_count} "
     "surviving checkpoints")
+
+# --- parallel hang-and-recover drill ----------------------------------------
+
+# 1. A clean supervised parallel run must match the sequential baseline.
+execute_process(
+  COMMAND "${GRID_BIN}" --scale 0.25 --jobs 4
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE parallel_stdout
+  ERROR_VARIABLE parallel_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "parallel grid bench exited with ${exit_code}\n"
+      "stderr:\n${parallel_stderr}")
+endif()
+if(NOT parallel_stdout STREQUAL baseline_stdout)
+  message(FATAL_ERROR
+      "--jobs 4 report differs from the sequential run\n"
+      "--- sequential ---\n${baseline_stdout}\n"
+      "--- parallel ---\n${parallel_stdout}")
+endif()
+
+# 2. Hang one matcher's fit in every worker that runs it; the watchdog must
+# kill those workers at the deadline and the run must still finish cleanly,
+# degrading just that matcher to an error entry.
+set(hang_ckpt_dir "${WORK_DIR}/bench_smoke_hang_checkpoints")
+file(REMOVE_RECURSE "${hang_ckpt_dir}")
+execute_process(
+  COMMAND "${GRID_BIN}" --scale 0.25 --jobs 4 --cell_timeout_s 10
+          --retry_attempts 1 --checkpoint_dir "${hang_ckpt_dir}"
+          --failpoints "matcher_fit.NBMatcher=hang(1)"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE hang_stdout
+  ERROR_VARIABLE hang_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "hung grid bench was not contained (exit ${exit_code})\n"
+      "stderr:\n${hang_stderr}")
+endif()
+if(NOT hang_stdout MATCHES "errors \\(cells unavailable after retries\\)")
+  message(FATAL_ERROR
+      "hang run rendered no degraded error entry\n${hang_stdout}")
+endif()
+if(NOT hang_stdout MATCHES "watchdog")
+  message(FATAL_ERROR
+      "degraded entry does not name the watchdog kill\n${hang_stdout}")
+endif()
+
+# 3. Delete the degraded cells' checkpoints and rerun: the healed parallel
+# run must reproduce the uninterrupted baseline byte for byte.
+file(GLOB degraded "${hang_ckpt_dir}/*NBMatcher*.json")
+list(LENGTH degraded degraded_count)
+if(degraded_count EQUAL 0)
+  message(FATAL_ERROR
+      "hang run persisted no checkpoint for the degraded cells")
+endif()
+file(REMOVE ${degraded})
+execute_process(
+  COMMAND "${GRID_BIN}" --scale 0.25 --jobs 4
+          --checkpoint_dir "${hang_ckpt_dir}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE healed_stdout
+  ERROR_VARIABLE healed_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "healed grid bench exited with ${exit_code}\n"
+      "stderr:\n${healed_stderr}")
+endif()
+if(NOT healed_stdout STREQUAL baseline_stdout)
+  message(FATAL_ERROR
+      "healed report differs from the uninterrupted run\n"
+      "--- baseline ---\n${baseline_stdout}\n"
+      "--- healed ---\n${healed_stdout}")
+endif()
+
+message(STATUS
+    "bench_smoke OK: parallel run matched sequential, hang was contained, "
+    "and ${degraded_count} degraded cell(s) healed on rerun")

@@ -10,7 +10,10 @@
 // Chrome-trace and explicitly-placed metrics files on top. With
 // --checkpoint_dir an interrupted run resumes from its completed cells, and
 // --failpoints/--retry_attempts drive the fault-injection and retry layer
-// (src/robust/).
+// (src/robust/). --jobs/--cell_timeout_s/--cell_max_rss_mb run the sweep
+// under the process-isolated supervisor (src/robust/supervisor.h); Ctrl-C
+// then shuts down cooperatively (workers reaped, snapshots flushed) and the
+// bench exits with the conventional 128+signal code.
 
 #include <iostream>
 
@@ -18,6 +21,7 @@
 #include "src/harness/bench_flags.h"
 #include "src/harness/experiment.h"
 #include "src/obs/obs.h"
+#include "src/robust/supervisor.h"
 
 namespace fairem {
 
@@ -40,28 +44,40 @@ inline int RunGridBench(DatasetKind kind, const char* single_title,
     options.audit.reference = AuditReference::kComplement;
     options.retry.max_attempts = flags.retry_attempts;
     options.checkpoint_dir = flags.checkpoint_dir;
+    options.jobs = flags.jobs;
+    options.cell_timeout_s = flags.cell_timeout_s;
+    options.cell_max_rss_mb = flags.cell_max_rss_mb;
+    // A Cancelled report means SIGINT/SIGTERM arrived: workers are already
+    // reaped, so fall through to the snapshot write and exit 128+signal.
+    auto grid_exit = [&](const Status& st) {
+      std::cerr << st << "\n";
+      return st.IsCancelled() ? InterruptExitCode(ShutdownGuard::signal_number())
+                              : 1;
+    };
     Result<std::string> single =
         UnfairnessGridReport(*dataset, false, options);
     if (!single.ok()) {
-      std::cerr << single.status() << "\n";
-      return 1;
+      exit_code = grid_exit(single.status());
+    } else {
+      std::cout << "== " << single_title << " ==\n"
+                << (single->empty() ? "(no unfair cells)\n" : *single) << "\n";
     }
-    std::cout << "== " << single_title << " ==\n"
-              << (single->empty() ? "(no unfair cells)\n" : *single) << "\n";
-    if (pairwise_title != nullptr) {
+    if (exit_code == 0 && pairwise_title != nullptr) {
       Result<std::string> pairwise =
           UnfairnessGridReport(*dataset, true, options);
       if (!pairwise.ok()) {
-        std::cerr << pairwise.status() << "\n";
-        return 1;
+        exit_code = grid_exit(pairwise.status());
+      } else {
+        std::cout << "== " << pairwise_title << " ==\n"
+                  << (pairwise->empty() ? "(no unfair cells)\n" : *pairwise)
+                  << "\n";
       }
-      std::cout << "== " << pairwise_title << " ==\n"
-                << (pairwise->empty() ? "(no unfair cells)\n" : *pairwise)
-                << "\n";
     }
-    std::cout << "markers: BR BooleanRule, DD Dedupe, DT/SV/RF/LO/LI/NB "
-                 "Magellan classifiers, DM DeepMatcher, DI Ditto, GN GNEM, "
-                 "HM HierMatcher, MC MCAN\n";
+    if (exit_code == 0) {
+      std::cout << "markers: BR BooleanRule, DD Dedupe, DT/SV/RF/LO/LI/NB "
+                   "Magellan classifiers, DM DeepMatcher, DI Ditto, GN GNEM, "
+                   "HM HierMatcher, MC MCAN\n";
+    }
   }
   std::string snapshot_path = "BENCH_" + flags.bench_name + ".json";
   if (Status st = MetricsRegistry::Global().WriteJsonFile(snapshot_path);

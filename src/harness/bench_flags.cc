@@ -13,7 +13,8 @@ namespace {
 const char kUsage[] =
     " [--scale S] [--seed N] [--log_level debug|info|warn|error|off]"
     " [--trace_out FILE] [--metrics_out FILE] [--failpoints SPEC]"
-    " [--checkpoint_dir DIR] [--retry_attempts N]\n";
+    " [--checkpoint_dir DIR] [--retry_attempts N] [--jobs N]"
+    " [--cell_timeout_s S] [--cell_max_rss_mb M]\n";
 
 std::string Basename(const std::string& path) {
   size_t slash = path.find_last_of('/');
@@ -73,6 +74,19 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       next_value(&v);
       if (v < 1.0) usage();
       flags.retry_attempts = static_cast<int>(v);
+    } else if (arg == "--jobs") {
+      double v = 0.0;
+      next_value(&v);
+      if (v < 1.0) usage();
+      flags.jobs = static_cast<int>(v);
+    } else if (arg == "--cell_timeout_s") {
+      next_value(&flags.cell_timeout_s);
+      if (flags.cell_timeout_s < 0.0) usage();
+    } else if (arg == "--cell_max_rss_mb") {
+      double v = 0.0;
+      next_value(&v);
+      if (v < 0.0) usage();
+      flags.cell_max_rss_mb = static_cast<int>(v);
     } else {
       std::cerr << "unknown flag '" << arg << "'\nusage: " << argv[0]
                 << kUsage;

@@ -20,6 +20,13 @@ namespace fairem {
 ///                       (also: FAIREM_FAILPOINTS env)
 ///   --checkpoint_dir D  persist each grid cell to D and resume from it
 ///   --retry_attempts N  per-cell attempts for transient failures (default 3)
+///   --jobs N            parallel worker processes for grid sweeps; > 1 (or
+///                       either knob below) switches to the supervised
+///                       process-isolated executor (default 1, sequential)
+///   --cell_timeout_s S  wall-clock watchdog per grid cell; a hung worker is
+///                       SIGKILLed and respawned (default 0 = off)
+///   --cell_max_rss_mb M address-space cap per grid-cell worker in MiB
+///                       (default 0 = off)
 /// Unknown flags abort with a usage message.
 struct BenchFlags {
   double scale = 1.0;
@@ -28,6 +35,9 @@ struct BenchFlags {
   std::string failpoints;
   std::string checkpoint_dir;
   int retry_attempts = 3;
+  int jobs = 1;
+  double cell_timeout_s = 0.0;
+  int cell_max_rss_mb = 0;
   /// argv[0] basename, e.g. "bench_table5_nofly"; names BENCH_<name>.json.
   std::string bench_name = "bench";
 };

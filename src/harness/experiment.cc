@@ -1,6 +1,7 @@
 #include "src/harness/experiment.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
 
 #include "src/obs/log.h"
@@ -9,6 +10,7 @@
 #include "src/report/grid.h"
 #include "src/robust/checkpoint.h"
 #include "src/robust/failpoint.h"
+#include "src/robust/supervisor.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
@@ -127,6 +129,17 @@ Result<std::vector<GroupRates>> GroupBreakdown(const EMDataset& dataset,
 
 namespace {
 
+/// A checkpointed cell is only as good as its measure names; parse them all
+/// before accepting it, so a corrupt checkpoint falls back to a live re-run.
+Status ValidateCellMeasures(const GridCellCheckpoint& cell) {
+  for (const auto& mark : cell.marks) {
+    FAIREM_ASSIGN_OR_RETURN(FairnessMeasure m,
+                            ParseFairnessMeasure(mark.measure));
+    (void)m;
+  }
+  return Status::OK();
+}
+
 /// Replays a (fresh or checkpointed) cell into the grid. Validates before
 /// mutating so a corrupt checkpoint can fall back to a live re-run without
 /// leaving half a cell behind.
@@ -178,6 +191,31 @@ Result<GridCellCheckpoint> RunGridCell(const EMDataset& dataset,
   return cell;
 }
 
+/// One (matcher, mode) cell of the sweep, resolved from a checkpoint, a
+/// live in-process run, or a supervised worker.
+struct CellSlot {
+  MatcherKind kind = MatcherKind::kDT;
+  std::string key;
+  bool resolved = false;
+  GridCellCheckpoint cell;
+};
+
+/// jobs == 1 with no watchdog/rlimit knobs keeps the sequential in-process
+/// path; anything else needs process isolation.
+bool UseSupervisedExecutor(const GridRunOptions& options) {
+  return options.jobs > 1 || options.cell_timeout_s > 0.0 ||
+         options.cell_max_rss_mb > 0 || options.cell_max_cpu_s > 0;
+}
+
+GridCellCheckpoint MakeErrorCell(MatcherKind kind, const Status& status) {
+  GridCellCheckpoint cell;
+  cell.matcher = MatcherKindName(kind);
+  cell.marker = MatcherMarker(cell.matcher);
+  cell.error = true;
+  cell.status = status.ToString();
+  return cell;
+}
+
 }  // namespace
 
 Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
@@ -194,64 +232,173 @@ Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
   grid_span.AddArg("mode", pairwise ? "pairwise" : "single");
   const char* mode = pairwise ? "pairwise" : "single";
   CheckpointStore store(options.checkpoint_dir);
-  UnfairnessGrid grid;
+  // SIGINT/SIGTERM now request a cooperative stop: workers are reaped,
+  // completed state stays on disk, and the report returns Cancelled.
+  ShutdownGuard shutdown_guard;
+
+  std::vector<CellSlot> slots;
   for (MatcherKind kind : AllMatcherKinds()) {
     if (std::find(options.skip.begin(), options.skip.end(), kind) !=
         options.skip.end()) {
       continue;
     }
-    const std::string key =
-        dataset.name + "." + mode + "." + MatcherKindName(kind);
-    if (store.enabled()) {
-      Result<std::string> payload = store.Load(key);
+    CellSlot slot;
+    slot.kind = kind;
+    slot.key = dataset.name + "." + mode + "." + MatcherKindName(kind);
+    slots.push_back(std::move(slot));
+  }
+
+  // Phase 1: replay whatever a previous run already persisted.
+  if (store.enabled()) {
+    for (CellSlot& slot : slots) {
+      Result<std::string> payload = store.Load(slot.key);
       if (payload.ok()) {
         Result<GridCellCheckpoint> cell = GridCellFromJson(*payload);
-        if (cell.ok() && ApplyCellToGrid(*cell, &grid).ok()) {
+        if (cell.ok() && ValidateCellMeasures(*cell).ok()) {
+          slot.cell = std::move(*cell);
+          slot.resolved = true;
           checkpoint_hits->Increment();
-          if (cell->error) error_cells->Increment();
+          if (slot.cell.error) error_cells->Increment();
           FAIREM_LOG(INFO) << "grid cell loaded from checkpoint"
-                           << LogKv("key", key);
+                           << LogKv("key", slot.key);
           continue;
         }
         FAIREM_LOG(WARN)
-            << "corrupt checkpoint, re-running cell" << LogKv("key", key)
+            << "corrupt checkpoint, re-running cell" << LogKv("key", slot.key)
             << LogKv("status", cell.ok() ? "bad measure name"
                                          : cell.status().ToString());
       } else if (!payload.status().IsNotFound()) {
         FAIREM_LOG(WARN) << "checkpoint load failed, re-running cell"
-                         << LogKv("key", key)
+                         << LogKv("key", slot.key)
                          << LogKv("status", payload.status().ToString());
       }
     }
-    Result<GridCellCheckpoint> cell = RetryCall(
-        options.retry,
-        [&]() { return RunGridCell(dataset, kind, pairwise, options); },
-        options.seed ^ (static_cast<uint64_t>(kind) + 1) * 0x9e3779b97f4a7c15ULL);
-    GridCellCheckpoint resolved;
-    if (cell.ok()) {
-      resolved = std::move(*cell);
-    } else {
-      // Graceful degradation: the cell is reported as an error entry (the
-      // grid's "-") instead of aborting the whole report.
-      resolved.matcher = MatcherKindName(kind);
-      resolved.marker = MatcherMarker(resolved.matcher);
-      resolved.error = true;
-      resolved.status = cell.status().ToString();
-      error_cells->Increment();
-      FAIREM_LOG(ERROR) << "grid cell failed after retries"
-                        << LogKv("key", key)
-                        << LogKv("status", resolved.status);
+  }
+
+  // Phase 2: run the remaining cells — forked workers under the supervisor,
+  // or in-process with RetryCall.
+  if (UseSupervisedExecutor(options)) {
+    std::vector<size_t> todo;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].resolved) todo.push_back(i);
     }
-    FAIREM_RETURN_NOT_OK(ApplyCellToGrid(resolved, &grid));
-    if (store.enabled()) {
-      if (Status st = store.Save(key, GridCellToJson(resolved)); !st.ok()) {
-        // A broken checkpoint dir degrades resumability, not the report.
-        FAIREM_LOG(WARN) << "checkpoint save failed" << LogKv("key", key)
-                         << LogKv("status", st.ToString());
+    std::vector<Supervisor::Task> tasks;
+    tasks.reserve(todo.size());
+    for (size_t i : todo) {
+      Supervisor::Task task;
+      task.key = slots[i].key;
+      task.run = [&, i]() -> Result<std::string> {
+        FAIREM_ASSIGN_OR_RETURN(
+            GridCellCheckpoint cell,
+            RunGridCell(dataset, slots[i].kind, pairwise, options));
+        std::string json = GridCellToJson(cell);
+        // The worker persists its own cell (the supervisor also gets the
+        // payload over the pipe, so a broken store degrades resumability
+        // only).
+        if (store.enabled()) {
+          if (Status st = store.Save(slots[i].key, json); !st.ok()) {
+            FAIREM_LOG(WARN) << "checkpoint save failed in worker"
+                             << LogKv("key", slots[i].key)
+                             << LogKv("status", st.ToString());
+          }
+        }
+        return json;
+      };
+      tasks.push_back(std::move(task));
+    }
+    SupervisorOptions sup;
+    sup.jobs = options.jobs;
+    sup.cell_timeout_s = options.cell_timeout_s;
+    sup.cell_max_rss_mb = options.cell_max_rss_mb;
+    sup.cell_max_cpu_s = options.cell_max_cpu_s;
+    sup.max_attempts = options.retry.max_attempts;
+    Supervisor supervisor(sup);
+    FAIREM_ASSIGN_OR_RETURN(std::vector<TaskOutcome> outcomes,
+                            supervisor.Run(tasks));
+    for (size_t t = 0; t < todo.size(); ++t) {
+      CellSlot& slot = slots[todo[t]];
+      const TaskOutcome& outcome = outcomes[t];
+      if (outcome.kind == TaskOutcome::Kind::kOk) {
+        Result<GridCellCheckpoint> cell = GridCellFromJson(outcome.payload);
+        if (cell.ok() && ValidateCellMeasures(*cell).ok()) {
+          slot.cell = std::move(*cell);
+          slot.resolved = true;
+          if (store.enabled() &&
+              std::filesystem::exists(store.PathFor(slot.key))) {
+            checkpoint_writes->Increment();
+          }
+          continue;
+        }
+        slot.cell = MakeErrorCell(
+            slot.kind, Status::Internal("worker shipped an unparseable cell: " +
+                                        cell.status().ToString()));
       } else {
-        checkpoint_writes->Increment();
+        // Graceful degradation, as in sequential mode: the crashed / hung /
+        // failed cell becomes an error entry instead of killing the sweep.
+        slot.cell = MakeErrorCell(slot.kind, outcome.status);
+      }
+      slot.resolved = true;
+      error_cells->Increment();
+      FAIREM_LOG(ERROR) << "grid cell unavailable after supervised attempts"
+                        << LogKv("key", slot.key)
+                        << LogKv("outcome", TaskOutcomeKindName(outcome.kind))
+                        << LogKv("attempts", outcome.attempts)
+                        << LogKv("status", slot.cell.status);
+      if (store.enabled()) {
+        if (Status st = store.Save(slot.key, GridCellToJson(slot.cell));
+            !st.ok()) {
+          FAIREM_LOG(WARN) << "checkpoint save failed" << LogKv("key", slot.key)
+                           << LogKv("status", st.ToString());
+        } else {
+          checkpoint_writes->Increment();
+        }
       }
     }
+  } else {
+    for (CellSlot& slot : slots) {
+      if (slot.resolved) continue;
+      if (ShutdownGuard::requested()) {
+        return Status::Cancelled(
+            "grid run interrupted by signal " +
+            std::to_string(ShutdownGuard::signal_number()));
+      }
+      Result<GridCellCheckpoint> cell =
+          RetryCall(options.retry,
+                    [&]() {
+                      return RunGridCell(dataset, slot.kind, pairwise, options);
+                    },
+                    options.seed ^ (static_cast<uint64_t>(slot.kind) + 1) *
+                                       0x9e3779b97f4a7c15ULL);
+      if (cell.ok()) {
+        slot.cell = std::move(*cell);
+      } else {
+        // Graceful degradation: the cell is reported as an error entry (the
+        // grid's "-") instead of aborting the whole report.
+        slot.cell = MakeErrorCell(slot.kind, cell.status());
+        error_cells->Increment();
+        FAIREM_LOG(ERROR) << "grid cell failed after retries"
+                          << LogKv("key", slot.key)
+                          << LogKv("status", slot.cell.status);
+      }
+      slot.resolved = true;
+      if (store.enabled()) {
+        if (Status st = store.Save(slot.key, GridCellToJson(slot.cell));
+            !st.ok()) {
+          // A broken checkpoint dir degrades resumability, not the report.
+          FAIREM_LOG(WARN) << "checkpoint save failed" << LogKv("key", slot.key)
+                           << LogKv("status", st.ToString());
+        } else {
+          checkpoint_writes->Increment();
+        }
+      }
+    }
+  }
+
+  // Phase 3: apply in sweep order — column order is first-seen, so this is
+  // what makes parallel and sequential reports byte-identical.
+  UnfairnessGrid grid;
+  for (const CellSlot& slot : slots) {
+    FAIREM_RETURN_NOT_OK(ApplyCellToGrid(slot.cell, &grid));
   }
   return grid.Render();
 }

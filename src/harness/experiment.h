@@ -74,6 +74,20 @@ struct GridRunOptions {
   std::string checkpoint_dir;
   /// Seed forwarded to RunMatcher and the retry jitter.
   uint64_t seed = 1234;
+  /// Parallel worker processes for the cell sweep. 1 (the default) keeps
+  /// the sequential in-process path; > 1 — or any watchdog/rlimit knob
+  /// below — switches to the supervised executor (src/robust/supervisor.h),
+  /// which forks one worker per cell, contains crashes/hangs/OOMs, and
+  /// respawns failed cells up to retry.max_attempts. Reports are
+  /// byte-identical across modes for healthy cells.
+  int jobs = 1;
+  /// Wall-clock watchdog deadline per cell attempt (supervised executor
+  /// only); the worker is SIGKILLed past it. 0 disables.
+  double cell_timeout_s = 0.0;
+  /// RLIMIT_AS cap per cell worker in MiB (supervised executor only).
+  int cell_max_rss_mb = 0;
+  /// RLIMIT_CPU cap per cell worker in seconds (supervised executor only).
+  int cell_max_cpu_s = 0;
 };
 
 /// Renders the paper's unfairness-grid figure for one dataset: every
@@ -87,6 +101,15 @@ struct GridRunOptions {
 /// checkpoint_dir — every finished cell is persisted so a killed run
 /// resumes where it stopped (checkpoint hits are counted in
 /// fairem.robust.checkpoint_cells_loaded).
+///
+/// With `options.jobs` > 1 (or a cell timeout / rlimit set) the sweep runs
+/// under the process-isolated supervisor: cells execute in forked workers,
+/// crashes and watchdog-killed hangs are contained and respawned, and
+/// SIGINT/SIGTERM triggers a cooperative shutdown that reaps every worker
+/// and returns Cancelled (callers exit with InterruptExitCode). Cells are
+/// applied to the grid in deterministic sweep order regardless of worker
+/// completion order, so the rendered report is byte-identical to a
+/// sequential run for all healthy cells.
 Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
                                          bool pairwise,
                                          const GridRunOptions& options);

@@ -23,8 +23,11 @@ class CheckpointStore {
   /// The payload saved under `key`, or NotFound.
   Result<std::string> Load(const std::string& key) const;
 
-  /// Atomically persists `payload` under `key`, creating the directory on
-  /// first use. Overwrites any previous checkpoint for the key.
+  /// Atomically and durably persists `payload` under `key`, creating the
+  /// directory (and any missing parents) on first use. The temp file is
+  /// fsynced before the rename and the directory after it, so a published
+  /// checkpoint survives power loss, not just a crash. Overwrites any
+  /// previous checkpoint for the key.
   Status Save(const std::string& key, const std::string& payload) const;
 
   /// Path of `key`'s checkpoint file (whether or not it exists).

@@ -1,7 +1,9 @@
 #include "src/robust/failpoint.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
@@ -43,10 +45,12 @@ Result<FailpointSpec> ParseEntry(std::string_view entry) {
     spec.action = FailpointAction::kError;
   } else if (action == "crash") {
     spec.action = FailpointAction::kCrash;
+  } else if (action == "hang") {
+    spec.action = FailpointAction::kHang;
   } else {
     return Status::InvalidArgument("unknown failpoint action '" +
                                    std::string(action) +
-                                   "' (want error|crash)");
+                                   "' (want error|crash|hang)");
   }
   std::string_view args = rhs.substr(open + 1, rhs.size() - open - 2);
   std::string_view p_text = args;
@@ -109,6 +113,8 @@ Status FailpointRegistry::Configure(std::string_view spec, uint64_t seed) {
   FAIREM_ASSIGN_OR_RETURN(std::vector<FailpointSpec> specs,
                           ParseFailpointSpecs(spec));
   std::lock_guard<std::mutex> lock(mu_);
+  spec_text_ = std::string(spec);
+  base_seed_ = seed;
   sites_.clear();
   for (FailpointSpec& parsed : specs) {
     ArmedSite site;
@@ -129,7 +135,29 @@ Status FailpointRegistry::Configure(std::string_view spec, uint64_t seed) {
 void FailpointRegistry::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   sites_.clear();
+  spec_text_.clear();
   armed_.store(false, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::ReseedStreams(uint64_t salt) {
+  std::string spec;
+  uint64_t original_seed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sites_.empty()) return;
+    spec = spec_text_;
+    original_seed = base_seed_;
+  }
+  // splitmix-style mix so salt=1 does not just flip one seed bit.
+  uint64_t z = salt + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  // Configure re-parses the spec it already accepted; it cannot fail.
+  Status st = Configure(spec, original_seed ^ z);
+  FAIREM_CHECK(st.ok(), "ReseedStreams re-configure failed: " + st.ToString());
+  // Restore the original base seed so repeated reseeds stay a pure function
+  // of (original seed, salt) rather than compounding.
+  std::lock_guard<std::mutex> lock(mu_);
+  base_seed_ = original_seed;
 }
 
 Status FailpointRegistry::Hit(std::string_view site) {
@@ -160,6 +188,12 @@ Status FailpointRegistry::Hit(std::string_view site) {
     // Mimic a hard kill: no atexit flushes, no stack unwinding.
     std::cerr << "FAIREM_FAILPOINT crash: " << what << "\n";
     std::_Exit(kCrashExitCode);
+  }
+  if (action == FailpointAction::kHang) {
+    // Mimic a deadlock: block this thread until something kills the process
+    // (the supervisor's watchdog, in the drills this exists for).
+    std::cerr << "FAIREM_FAILPOINT hang: " << what << "\n";
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
   }
   injected->Increment();
   FAIREM_LOG(DEBUG) << "failpoint fired" << LogKv("site", std::string(site))

@@ -22,6 +22,11 @@ enum class FailpointAction {
   /// The hit terminates the process immediately via _Exit (no atexit
   /// flushes, like a kill -9 mid-run). Exit code kCrashExitCode.
   kCrash,
+  /// The hit blocks the calling thread forever (sleep loop) — a simulated
+  /// deadlock/livelock. Only meaningful under a supervisor watchdog
+  /// (src/robust/supervisor.h), which SIGKILLs the hung worker at its
+  /// deadline; in an unsupervised process the hit really does hang.
+  kHang,
 };
 
 /// Exit code of a crash-action failpoint, chosen to be recognisable in
@@ -41,7 +46,7 @@ struct FailpointSpec {
 ///
 ///   spec  := entry (';' entry)*
 ///   entry := site '=' action '(' p [',' skip] ')'
-///   action := 'error' | 'crash'
+///   action := 'error' | 'crash' | 'hang'
 ///
 /// e.g. "csv_read=error(0.05);grid_cell=crash(1,5)" — inject an error on 5%
 /// of CSV reads, and crash on the 6th grid cell. `p` must be in [0, 1].
@@ -65,6 +70,14 @@ class FailpointRegistry {
 
   /// Replaces the armed set with `spec` (empty spec disarms everything).
   Status Configure(std::string_view spec, uint64_t seed = 1234);
+
+  /// Re-arms the last configured spec with its streams reseeded by `salt`
+  /// (and hit counters reset). The supervisor calls this in respawned worker
+  /// children (salt = attempt number) so probabilistic failpoints draw
+  /// independently across spawn attempts — a crash(0.5) cell can fail on one
+  /// attempt and pass on the next, like a real transient crash. No-op when
+  /// nothing is armed.
+  void ReseedStreams(uint64_t salt);
 
   /// Disarms every failpoint.
   void Clear();
@@ -91,6 +104,9 @@ class FailpointRegistry {
   std::atomic<bool> armed_{false};
   mutable std::mutex mu_;
   std::map<std::string, ArmedSite, std::less<>> sites_;
+  /// Last Configure inputs, for ReseedStreams.
+  std::string spec_text_;
+  uint64_t base_seed_ = 1234;
 };
 
 /// Returns the injected Status for `site`, or OK. Prefer the

@@ -1,0 +1,424 @@
+#include "src/robust/supervisor.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/robust/failpoint.h"
+#include "src/robust/retry.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+std::atomic<int> g_shutdown_signal{0};
+
+void OnShutdownSignal(int sig) {
+  // Only the lock-free store: everything else waits for the poll loop.
+  g_shutdown_signal.store(sig, std::memory_order_relaxed);
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// A worker child currently being supervised.
+struct RunningWorker {
+  size_t task_index = 0;
+  pid_t pid = -1;
+  int pipe_fd = -1;  // parent's nonblocking read end
+  std::string received;
+  std::chrono::steady_clock::time_point start;
+  bool timed_out = false;
+};
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Appends whatever the pipe currently holds; never blocks.
+void DrainPipe(RunningWorker* worker) {
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::read(worker->pipe_fd, buf, sizeof(buf));
+    if (n > 0) {
+      worker->received.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF or EAGAIN
+  }
+}
+
+/// SIGKILLs the worker's whole process group (and the worker itself, in
+/// case it died before its setpgid took effect).
+void KillWorker(pid_t pid) {
+  ::kill(-pid, SIGKILL);
+  ::kill(pid, SIGKILL);
+}
+
+bool ApplyWorkerLimits(const SupervisorOptions& options) {
+  if (options.cell_max_rss_mb > 0) {
+    rlimit lim;
+    lim.rlim_cur = lim.rlim_max =
+        static_cast<rlim_t>(options.cell_max_rss_mb) << 20;
+    if (::setrlimit(RLIMIT_AS, &lim) != 0) return false;
+  }
+  if (options.cell_max_cpu_s > 0) {
+    rlimit lim;
+    lim.rlim_cur = lim.rlim_max = static_cast<rlim_t>(options.cell_max_cpu_s);
+    if (::setrlimit(RLIMIT_CPU, &lim) != 0) return false;
+  }
+  return true;
+}
+
+/// Reconstructs the Status a worker shipped as "<code int>\n<message>".
+Status ParseShippedStatus(const std::string& wire) {
+  size_t nl = wire.find('\n');
+  double code_value = 0.0;
+  if (nl == std::string::npos ||
+      !ParseDouble(std::string_view(wire).substr(0, nl), &code_value) ||
+      code_value < 1.0 ||
+      code_value > static_cast<double>(StatusCode::kCancelled)) {
+    return Status::Internal("worker shipped malformed status: " +
+                            wire.substr(0, 128));
+  }
+  return Status(static_cast<StatusCode>(static_cast<int>(code_value)),
+                wire.substr(nl + 1));
+}
+
+}  // namespace
+
+const char* TaskOutcomeKindName(TaskOutcome::Kind kind) {
+  switch (kind) {
+    case TaskOutcome::Kind::kOk:
+      return "ok";
+    case TaskOutcome::Kind::kFailed:
+      return "failed";
+    case TaskOutcome::Kind::kCrashed:
+      return "crashed";
+    case TaskOutcome::Kind::kTimedOut:
+      return "timed_out";
+    case TaskOutcome::Kind::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+ShutdownGuard::ShutdownGuard() {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+  auto* saved_int = new struct sigaction;
+  auto* saved_term = new struct sigaction;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &sa, saved_int);
+  ::sigaction(SIGTERM, &sa, saved_term);
+  saved_int_ = saved_int;
+  saved_term_ = saved_term;
+}
+
+ShutdownGuard::~ShutdownGuard() {
+  ::sigaction(SIGINT, static_cast<struct sigaction*>(saved_int_), nullptr);
+  ::sigaction(SIGTERM, static_cast<struct sigaction*>(saved_term_), nullptr);
+  delete static_cast<struct sigaction*>(saved_int_);
+  delete static_cast<struct sigaction*>(saved_term_);
+}
+
+bool ShutdownGuard::requested() {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownGuard::signal_number() {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+int InterruptExitCode(int sig) { return 128 + (sig > 0 ? sig : SIGINT); }
+
+Supervisor::Supervisor(SupervisorOptions options) : options_(options) {
+  if (options_.jobs < 1) options_.jobs = 1;
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+  if (options_.poll_interval_s <= 0.0) options_.poll_interval_s = 0.01;
+}
+
+Result<std::vector<TaskOutcome>> Supervisor::Run(
+    const std::vector<Task>& tasks) {
+  static Counter* spawned = MetricsRegistry::Global().GetCounter(
+      "fairem.supervisor.workers_spawned");
+  static Counter* respawns =
+      MetricsRegistry::Global().GetCounter("fairem.supervisor.respawns");
+  static Counter* tasks_ok =
+      MetricsRegistry::Global().GetCounter("fairem.supervisor.tasks_ok");
+  static Counter* tasks_failed =
+      MetricsRegistry::Global().GetCounter("fairem.supervisor.tasks_failed");
+  static Counter* tasks_crashed =
+      MetricsRegistry::Global().GetCounter("fairem.supervisor.tasks_crashed");
+  static Counter* tasks_timed_out = MetricsRegistry::Global().GetCounter(
+      "fairem.supervisor.tasks_timed_out");
+  static Counter* watchdog_kills = MetricsRegistry::Global().GetCounter(
+      "fairem.supervisor.watchdog_kills");
+  static Counter* shutdowns =
+      MetricsRegistry::Global().GetCounter("fairem.supervisor.shutdowns");
+  static Histogram* wall_hist = MetricsRegistry::Global().GetHistogram(
+      "fairem.supervisor.task_wall_seconds");
+  static Gauge* max_rss = MetricsRegistry::Global().GetGauge(
+      "fairem.supervisor.max_peak_rss_mb");
+
+  std::vector<TaskOutcome> outcomes(tasks.size());
+  std::vector<int> attempts(tasks.size(), 0);
+  std::deque<size_t> pending;
+  for (size_t i = 0; i < tasks.size(); ++i) pending.push_back(i);
+  std::vector<RunningWorker> running;
+
+  auto reap_everything = [&]() {
+    for (RunningWorker& worker : running) {
+      KillWorker(worker.pid);
+      int status = 0;
+      while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      ::close(worker.pipe_fd);
+    }
+    running.clear();
+  };
+
+  auto spawn = [&](size_t index) -> Status {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      return Status::IOError(std::string("pipe failed: ") +
+                             std::strerror(errno));
+    }
+    ++attempts[index];
+    const int attempt = attempts[index];
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return Status::IOError(std::string("fork failed: ") +
+                             std::strerror(errno));
+    }
+    if (pid == 0) {
+      // ----- worker child -----
+      // Own process group, so the watchdog can kill the worker and anything
+      // it spawned in one shot, and terminal Ctrl-C reaches only the
+      // supervisor (which shuts the fleet down cooperatively).
+      ::setpgid(0, 0);
+      ::signal(SIGINT, SIG_DFL);
+      ::signal(SIGTERM, SIG_DFL);
+#ifdef __linux__
+      // If the supervisor itself is SIGKILLed, die with it — no orphans.
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+      ::close(fds[0]);
+      // Inherited read ends of sibling pipes are the parent's business.
+      for (const RunningWorker& other : running) ::close(other.pipe_fd);
+      if (!ApplyWorkerLimits(options_)) std::_Exit(kWorkerExitProtocol);
+      if (attempt > 1) {
+        // Probabilistic failpoints draw fresh per respawn, so a transient
+        // injected crash behaves like a transient real one.
+        FailpointRegistry::Global().ReseedStreams(
+            static_cast<uint64_t>(attempt));
+      }
+      // noexcept barrier: an exception escaping the task (e.g. bad_alloc
+      // under RLIMIT_AS) must terminate HERE as a contained crash — if it
+      // unwound further it would re-enter the forked copy of the caller's
+      // stack (worst case: a test harness's catch block resumes running the
+      // caller's code in the child).
+      Result<std::string> result =
+          [&]() noexcept { return tasks[index].run(); }();
+      std::string wire;
+      int exit_code;
+      if (result.ok()) {
+        wire = std::move(result).value();
+        exit_code = kWorkerExitOk;
+      } else {
+        wire = std::to_string(static_cast<int>(result.status().code())) +
+               "\n" + result.status().message();
+        exit_code = kWorkerExitTaskError;
+      }
+      if (!WriteAll(fds[1], wire)) std::_Exit(kWorkerExitProtocol);
+      ::close(fds[1]);
+      // _Exit: no atexit hooks — the parent owns metrics/trace files.
+      std::_Exit(exit_code);
+    }
+    // ----- parent -----
+    ::setpgid(pid, pid);  // mirror the child's setpgid to close the race
+    ::close(fds[1]);
+    int fd_flags = ::fcntl(fds[0], F_GETFL, 0);
+    ::fcntl(fds[0], F_SETFL, fd_flags | O_NONBLOCK);
+    spawned->Increment();
+    RunningWorker worker;
+    worker.task_index = index;
+    worker.pid = pid;
+    worker.pipe_fd = fds[0];
+    worker.start = std::chrono::steady_clock::now();
+    running.push_back(std::move(worker));
+    FAIREM_LOG(DEBUG) << "worker spawned" << LogKv("key", tasks[index].key)
+                      << LogKv("pid", pid) << LogKv("attempt", attempt);
+    return Status::OK();
+  };
+
+  // Finalizes one reaped worker: records the outcome or queues a respawn.
+  auto settle = [&](const RunningWorker& worker, int status,
+                    const rusage& usage) {
+    const size_t index = worker.task_index;
+    const std::string& key = tasks[index].key;
+    TaskOutcome out;
+    out.attempts = attempts[index];
+    out.exit_status = status;
+    out.wall_seconds = SecondsSince(worker.start);
+    out.peak_rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+    bool respawnable = false;
+    if (worker.timed_out) {
+      out.kind = TaskOutcome::Kind::kTimedOut;
+      out.status = Status::Internal(
+          "worker for '" + key + "' exceeded its " +
+          FormatDouble(options_.cell_timeout_s, 1) +
+          "s wall deadline and was killed by the watchdog");
+      respawnable = true;
+    } else if (WIFEXITED(status)) {
+      const int code = WEXITSTATUS(status);
+      if (code == kWorkerExitOk) {
+        out.kind = TaskOutcome::Kind::kOk;
+        out.payload = worker.received;
+      } else if (code == kWorkerExitTaskError) {
+        out.kind = TaskOutcome::Kind::kFailed;
+        out.status = ParseShippedStatus(worker.received);
+        respawnable = IsRetryableStatus(out.status);
+      } else {
+        out.kind = TaskOutcome::Kind::kCrashed;
+        out.status = Status::Internal("worker for '" + key +
+                                      "' exited with code " +
+                                      std::to_string(code));
+        respawnable = true;
+      }
+    } else {
+      const int sig = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+      out.kind = TaskOutcome::Kind::kCrashed;
+      out.status = Status::Internal("worker for '" + key +
+                                    "' was killed by signal " +
+                                    std::to_string(sig));
+      respawnable = true;
+    }
+    wall_hist->Observe(out.wall_seconds);
+    if (out.peak_rss_mb > max_rss->value()) max_rss->Set(out.peak_rss_mb);
+    FAIREM_LOG(INFO) << "worker finished" << LogKv("key", key)
+                     << LogKv("outcome", TaskOutcomeKindName(out.kind))
+                     << LogKv("attempt", out.attempts)
+                     << LogKv("wall_s", FormatDouble(out.wall_seconds, 3))
+                     << LogKv("peak_rss_mb", FormatDouble(out.peak_rss_mb, 1))
+                     << LogKv("exit_status", out.exit_status);
+    if (out.kind != TaskOutcome::Kind::kOk && respawnable &&
+        attempts[index] < options_.max_attempts) {
+      respawns->Increment();
+      FAIREM_LOG(WARN) << "respawning worker" << LogKv("key", key)
+                       << LogKv("next_attempt", attempts[index] + 1)
+                       << LogKv("status", out.status.ToString());
+      pending.push_back(index);
+      return;
+    }
+    switch (out.kind) {
+      case TaskOutcome::Kind::kOk:
+        tasks_ok->Increment();
+        break;
+      case TaskOutcome::Kind::kFailed:
+        tasks_failed->Increment();
+        break;
+      case TaskOutcome::Kind::kCrashed:
+        tasks_crashed->Increment();
+        break;
+      case TaskOutcome::Kind::kTimedOut:
+        tasks_timed_out->Increment();
+        break;
+      case TaskOutcome::Kind::kCancelled:
+        break;
+    }
+    outcomes[index] = std::move(out);
+  };
+
+  while (!pending.empty() || !running.empty()) {
+    if (ShutdownGuard::requested()) {
+      const int sig = ShutdownGuard::signal_number();
+      FAIREM_LOG(WARN) << "shutdown requested, reaping workers"
+                       << LogKv("signal", sig)
+                       << LogKv("workers", running.size())
+                       << LogKv("pending_tasks", pending.size());
+      reap_everything();
+      shutdowns->Increment();
+      return Status::Cancelled("supervised run interrupted by signal " +
+                               std::to_string(sig));
+    }
+    while (static_cast<int>(running.size()) < options_.jobs &&
+           !pending.empty()) {
+      size_t index = pending.front();
+      pending.pop_front();
+      if (Status st = spawn(index); !st.ok()) {
+        reap_everything();
+        return st;
+      }
+    }
+    bool progressed = false;
+    for (size_t wi = 0; wi < running.size();) {
+      RunningWorker& worker = running[wi];
+      DrainPipe(&worker);
+      int status = 0;
+      rusage usage;
+      std::memset(&usage, 0, sizeof(usage));
+      pid_t reaped = ::wait4(worker.pid, &status, WNOHANG, &usage);
+      if (reaped == worker.pid) {
+        DrainPipe(&worker);  // bytes written between drain and exit
+        ::close(worker.pipe_fd);
+        settle(worker, status, usage);
+        running.erase(running.begin() + static_cast<long>(wi));
+        progressed = true;
+        continue;
+      }
+      if (!worker.timed_out && options_.cell_timeout_s > 0.0 &&
+          SecondsSince(worker.start) > options_.cell_timeout_s) {
+        worker.timed_out = true;
+        watchdog_kills->Increment();
+        FAIREM_LOG(WARN) << "watchdog deadline exceeded, killing worker"
+                         << LogKv("key", tasks[worker.task_index].key)
+                         << LogKv("pid", worker.pid)
+                         << LogKv("deadline_s",
+                                  FormatDouble(options_.cell_timeout_s, 1));
+        KillWorker(worker.pid);
+      }
+      ++wi;
+    }
+    if (!progressed && !running.empty()) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options_.poll_interval_s));
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace fairem

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kUndefinedStatistic:
       return "UndefinedStatistic";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

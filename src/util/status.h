@@ -22,6 +22,9 @@ enum class StatusCode {
   /// A statistic is undefined because its denominator is empty (e.g. PPV of
   /// a group with no predicted matches). Callers typically skip such groups.
   kUndefinedStatistic,
+  /// The operation was interrupted cooperatively (SIGINT/SIGTERM shutdown of
+  /// a supervised run). Never retried; callers exit with a distinct code.
+  kCancelled,
 };
 
 /// Returns a short human-readable name for a status code, e.g.
@@ -66,6 +69,9 @@ class Status {
   static Status UndefinedStatistic(std::string msg) {
     return Status(StatusCode::kUndefinedStatistic, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +84,7 @@ class Status {
   bool IsUndefinedStatistic() const {
     return code_ == StatusCode::kUndefinedStatistic;
   }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" for success, "<Code>: <message>" otherwise.
   std::string ToString() const;

@@ -12,11 +12,17 @@
 //       generation, fit, predict, audit — primarily a driver for the
 //       observability layer (each stage is a traced span).
 //   fairem grid <dataset> [--pairwise] [--scale S] [--seed N]
-//       [--checkpoint_dir D] [--retry_attempts N]
+//       [--checkpoint_dir D] [--retry_attempts N] [--jobs N]
+//       [--cell_timeout_s S] [--cell_max_rss_mb M]
 //       The batch audit of Algorithm 1 for one dataset: all matchers,
 //       rendered as the unfairness grid. Fault tolerant: cells retry on
 //       transient failures, failed cells degrade to error entries, and with
 //       --checkpoint_dir an interrupted run resumes from completed cells.
+//       --jobs > 1 (or a cell timeout / rlimit) runs the sweep under the
+//       process-isolated supervisor: each cell in a forked worker, hangs
+//       SIGKILLed at --cell_timeout_s, address space capped at
+//       --cell_max_rss_mb MiB, crashed cells respawned up to
+//       --retry_attempts.
 //
 // Observability (any command): --log_level debug|info|warn|error|off,
 // --trace_out FILE (Chrome trace JSON of the stage spans),
@@ -24,7 +30,9 @@
 // Fault injection (any command): --failpoints SPEC, e.g.
 // "csv_read=error(0.05);grid_cell=crash(1,5)" (also: FAIREM_FAILPOINTS env).
 //
-// Exit status: 0 on success, 1 on usage errors or failures.
+// Exit status: 0 on success, 1 on usage errors or failures, 128+signal
+// (130 SIGINT / 143 SIGTERM) when a supervised grid run is interrupted and
+// shuts down cooperatively.
 
 #include <cstring>
 #include <iostream>
@@ -39,6 +47,7 @@
 #include "src/obs/obs.h"
 #include "src/report/table_printer.h"
 #include "src/robust/failpoint.h"
+#include "src/robust/supervisor.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
@@ -54,7 +63,8 @@ int Usage() {
       "  fairem pipeline <dataset> <matcher> [--scale S] [--seed N] "
       "[--pairwise]\n"
       "  fairem grid <dataset> [--pairwise] [--scale S] [--seed N] "
-      "[--checkpoint_dir D] [--retry_attempts N]\n"
+      "[--checkpoint_dir D] [--retry_attempts N] [--jobs N] "
+      "[--cell_timeout_s S] [--cell_max_rss_mb M]\n"
       "observability (any command): [--log_level L] [--trace_out FILE] "
       "[--metrics_out FILE]\n"
       "fault injection (any command): [--failpoints SPEC]\n";
@@ -341,6 +351,19 @@ int Grid(const std::vector<std::string>& args) {
       double v = 0.0;
       if (!ParseDouble(args[++i], &v) || v < 1.0) return Usage();
       options.retry.max_attempts = static_cast<int>(v);
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      double v = 0.0;
+      if (!ParseDouble(args[++i], &v) || v < 1.0) return Usage();
+      options.jobs = static_cast<int>(v);
+    } else if (args[i] == "--cell_timeout_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.cell_timeout_s) ||
+          options.cell_timeout_s < 0.0) {
+        return Usage();
+      }
+    } else if (args[i] == "--cell_max_rss_mb" && i + 1 < args.size()) {
+      double v = 0.0;
+      if (!ParseDouble(args[++i], &v) || v < 0.0) return Usage();
+      options.cell_max_rss_mb = static_cast<int>(v);
     } else {
       std::cerr << "unexpected argument '" << args[i] << "'\n";
       return Usage();
@@ -359,7 +382,12 @@ int Grid(const std::vector<std::string>& args) {
   Result<std::string> grid = UnfairnessGridReport(*dataset, pairwise, options);
   if (!grid.ok()) {
     std::cerr << grid.status() << "\n";
-    return 1;
+    // A cooperative SIGINT/SIGTERM shutdown already reaped every worker;
+    // exit with the conventional 128+signal code so scripts can tell an
+    // interruption from a failure.
+    return grid.status().IsCancelled()
+               ? InterruptExitCode(ShutdownGuard::signal_number())
+               : 1;
   }
   std::cout << "== " << dataset->name << " "
             << (pairwise ? "pairwise" : "single") << " fairness ==\n"
