@@ -12,9 +12,15 @@
 #    deleting the degraded cells' checkpoints a rerun must heal back to the
 #    baseline report.
 #
+# When CLI_BIN (the fairem CLI) is also given, a telemetry drill checks
+# that worker metric shipping makes the --jobs 2 snapshot agree with the
+# sequential one on every audit/datagen/harness counter, that
+# `fairem benchdiff` on the pair exits 0, and that a deliberately
+# impossible --fail_on threshold flips the exit to non-zero.
+#
 # Invoked by CTest as:
-#   cmake -DBENCH_BIN=<path> [-DGRID_BIN=<path>] -DWORK_DIR=<dir> \
-#         -P bench_smoke.cmake
+#   cmake -DBENCH_BIN=<path> [-DGRID_BIN=<path>] [-DCLI_BIN=<path>] \
+#         -DWORK_DIR=<dir> -P bench_smoke.cmake
 
 if(NOT DEFINED BENCH_BIN OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "bench_smoke.cmake requires -DBENCH_BIN and -DWORK_DIR")
@@ -220,3 +226,103 @@ endif()
 message(STATUS
     "bench_smoke OK: parallel run matched sequential, hang was contained, "
     "and ${degraded_count} degraded cell(s) healed on rerun")
+
+# --- telemetry equivalence + benchdiff gate drill ---------------------------
+
+if(NOT DEFINED CLI_BIN)
+  return()
+endif()
+
+# 1. The same sweep sequentially and under --jobs 2 must land on identical
+# audit/datagen/harness counters: in parallel mode those counts happen in
+# forked workers and only reach the parent snapshot via telemetry shipping.
+set(seq_metrics "${WORK_DIR}/bench_smoke_seq_metrics.json")
+set(par_metrics "${WORK_DIR}/bench_smoke_par_metrics.json")
+file(REMOVE "${seq_metrics}" "${par_metrics}")
+
+execute_process(
+  COMMAND "${GRID_BIN}" --scale 0.25 --metrics_out "${seq_metrics}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE seq_stdout
+  ERROR_VARIABLE seq_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "sequential telemetry run exited with ${exit_code}\n"
+      "stderr:\n${seq_stderr}")
+endif()
+
+execute_process(
+  COMMAND "${GRID_BIN}" --scale 0.25 --jobs 2 --progress
+          --metrics_out "${par_metrics}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE par_stdout
+  ERROR_VARIABLE par_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "--jobs 2 telemetry run exited with ${exit_code}\n"
+      "stderr:\n${par_stderr}")
+endif()
+if(NOT par_stderr MATCHES "grid [0-9]+/[0-9]+ done")
+  message(FATAL_ERROR
+      "--progress produced no progress line on stderr:\n${par_stderr}")
+endif()
+
+file(READ "${seq_metrics}" seq_snapshot)
+file(READ "${par_metrics}" par_snapshot)
+set(counter_regex "\"fairem\\.(audit|datagen|harness)\\.[a-z_]+\": [0-9]+")
+string(REGEX MATCHALL "${counter_regex}" seq_counters "${seq_snapshot}")
+string(REGEX MATCHALL "${counter_regex}" par_counters "${par_snapshot}")
+list(LENGTH seq_counters seq_counter_count)
+if(seq_counter_count EQUAL 0)
+  message(FATAL_ERROR
+      "sequential snapshot has no audit/datagen/harness counters:\n"
+      "${seq_snapshot}")
+endif()
+list(SORT seq_counters)
+list(SORT par_counters)
+if(NOT seq_counters STREQUAL par_counters)
+  message(FATAL_ERROR
+      "--jobs 2 counters diverge from the sequential run (worker telemetry "
+      "lost or double-counted)\n"
+      "--- sequential ---\n${seq_counters}\n"
+      "--- jobs 2 ---\n${par_counters}")
+endif()
+
+# 2. benchdiff on the equivalent pair must pass cleanly...
+execute_process(
+  COMMAND "${CLI_BIN}" benchdiff "${seq_metrics}" "${par_metrics}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE diff_stdout
+  ERROR_VARIABLE diff_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "benchdiff on equivalent snapshots exited with ${exit_code}\n"
+      "stdout:\n${diff_stdout}\nstderr:\n${diff_stderr}")
+endif()
+
+# 3. ...and an impossible threshold (the unchanged counter's ratio of 1.0
+# exceeds 0.5x) must flip the gate to a non-zero exit.
+execute_process(
+  COMMAND "${CLI_BIN}" benchdiff "${seq_metrics}" "${par_metrics}"
+          --fail_on "fairem.audit.cells_evaluated>0.5x"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE gate_stdout
+  ERROR_VARIABLE gate_stderr)
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "benchdiff --fail_on did not trip on a regressing threshold\n"
+      "stdout:\n${gate_stdout}")
+endif()
+if(NOT gate_stderr MATCHES "REGRESSION")
+  message(FATAL_ERROR
+      "tripped benchdiff gate printed no REGRESSION line\n"
+      "stderr:\n${gate_stderr}")
+endif()
+
+message(STATUS
+    "bench_smoke OK: --jobs 2 telemetry matched sequential counters and the "
+    "benchdiff gate tripped as expected")

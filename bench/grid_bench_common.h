@@ -13,7 +13,12 @@
 // (src/robust/). --jobs/--cell_timeout_s/--cell_max_rss_mb run the sweep
 // under the process-isolated supervisor (src/robust/supervisor.h); Ctrl-C
 // then shuts down cooperatively (workers reaped, snapshots flushed) and the
-// bench exits with the conventional 128+signal code.
+// bench exits with the conventional 128+signal code. Workers ship their
+// metrics deltas and spans back over the pipe (DESIGN.md §11), so the
+// BENCH_*.json counters and the Chrome trace are equivalent between --jobs 1
+// and --jobs N; --progress adds a live cells-done/ETA line on stderr. The
+// snapshot write is atomic and durable (temp + fsync + rename), and
+// `fairem benchdiff A.json B.json` diffs two snapshots.
 
 #include <iostream>
 
@@ -47,6 +52,7 @@ inline int RunGridBench(DatasetKind kind, const char* single_title,
     options.jobs = flags.jobs;
     options.cell_timeout_s = flags.cell_timeout_s;
     options.cell_max_rss_mb = flags.cell_max_rss_mb;
+    options.progress = flags.progress;
     // A Cancelled report means SIGINT/SIGTERM arrived: workers are already
     // reaped, so fall through to the snapshot write and exit 128+signal.
     auto grid_exit = [&](const Status& st) {

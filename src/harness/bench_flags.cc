@@ -12,9 +12,9 @@ namespace {
 
 const char kUsage[] =
     " [--scale S] [--seed N] [--log_level debug|info|warn|error|off]"
-    " [--trace_out FILE] [--metrics_out FILE] [--failpoints SPEC]"
-    " [--checkpoint_dir DIR] [--retry_attempts N] [--jobs N]"
-    " [--cell_timeout_s S] [--cell_max_rss_mb M]\n";
+    " [--trace_out FILE] [--metrics_out FILE] [--metrics_format json|prom]"
+    " [--failpoints SPEC] [--checkpoint_dir DIR] [--retry_attempts N]"
+    " [--jobs N] [--cell_timeout_s S] [--cell_max_rss_mb M] [--progress]\n";
 
 std::string Basename(const std::string& path) {
   size_t slash = path.find_last_of('/');
@@ -65,6 +65,14 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       next_string(&flags.obs.trace_out);
     } else if (arg == "--metrics_out") {
       next_string(&flags.obs.metrics_out);
+    } else if (arg == "--metrics_format") {
+      std::string text;
+      next_string(&text);
+      Result<MetricsFormat> format = ParseMetricsFormat(text);
+      if (!format.ok()) usage();
+      flags.obs.metrics_format = *format;
+    } else if (arg == "--progress") {
+      flags.progress = true;
     } else if (arg == "--failpoints") {
       next_string(&flags.failpoints);
     } else if (arg == "--checkpoint_dir") {

@@ -14,7 +14,10 @@ namespace fairem {
 ///                       bench with several seeds for a replication study
 ///   --log_level L       debug|info|warn|error|off
 ///   --trace_out F       enable span tracing; write Chrome trace JSON to F
-///   --metrics_out F     write a metrics-registry JSON snapshot to F on exit
+///   --metrics_out F     write a metrics-registry snapshot to F on exit
+///   --metrics_format F  json (default) or prom for --metrics_out
+///   --progress          live grid progress line on stderr (plus the
+///                       fairem.progress.* gauges, which update regardless)
 ///   --failpoints SPEC   arm deterministic fault injection, e.g.
 ///                       "matcher_fit=error(0.05);grid_cell=crash(1,5)"
 ///                       (also: FAIREM_FAILPOINTS env)
@@ -38,6 +41,7 @@ struct BenchFlags {
   int jobs = 1;
   double cell_timeout_s = 0.0;
   int cell_max_rss_mb = 0;
+  bool progress = false;
   /// argv[0] basename, e.g. "bench_table5_nofly"; names BENCH_<name>.json.
   std::string bench_name = "bench";
 };

@@ -6,6 +6,7 @@
 
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
 #include "src/report/grid.h"
 #include "src/robust/checkpoint.h"
@@ -275,6 +276,28 @@ Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
     }
   }
 
+  // Live progress: gauges/ETA always, stderr line only with
+  // options.progress. Checkpoint-replayed cells count as done up front.
+  ProgressReporter reporter(slots.size(), options.jobs,
+                            /*min_interval_seconds=*/0.5,
+                            /*emit_stderr=*/options.progress);
+  size_t progress_done = 0;
+  size_t progress_failed = 0;
+  for (const CellSlot& slot : slots) {
+    if (slot.resolved) {
+      ++progress_done;
+      if (slot.cell.error) ++progress_failed;
+    }
+  }
+  auto progress_base = [&]() {
+    ProgressSnapshot snap;
+    snap.total = slots.size();
+    snap.done = progress_done;
+    snap.failed = progress_failed;
+    return snap;
+  };
+  reporter.Update(progress_base());
+
   // Phase 2: run the remaining cells — forked workers under the supervisor,
   // or in-process with RetryCall.
   if (UseSupervisedExecutor(options)) {
@@ -312,6 +335,18 @@ Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
     sup.cell_max_rss_mb = options.cell_max_rss_mb;
     sup.cell_max_cpu_s = options.cell_max_cpu_s;
     sup.max_attempts = options.retry.max_attempts;
+    // The supervisor reports its own task universe; shift it by the cells
+    // already replayed from checkpoints so the line reads against the full
+    // grid.
+    const size_t base_done = progress_done;
+    const size_t base_failed = progress_failed;
+    sup.on_progress = [&](const ProgressSnapshot& snap) {
+      ProgressSnapshot adjusted = snap;
+      adjusted.total = slots.size();
+      adjusted.done += base_done;
+      adjusted.failed += base_failed;
+      reporter.Update(adjusted);
+    };
     Supervisor supervisor(sup);
     FAIREM_ASSIGN_OR_RETURN(std::vector<TaskOutcome> outcomes,
                             supervisor.Run(tasks));
@@ -362,13 +397,17 @@ Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
             "grid run interrupted by signal " +
             std::to_string(ShutdownGuard::signal_number()));
       }
-      Result<GridCellCheckpoint> cell =
-          RetryCall(options.retry,
-                    [&]() {
-                      return RunGridCell(dataset, slot.kind, pairwise, options);
-                    },
-                    options.seed ^ (static_cast<uint64_t>(slot.kind) + 1) *
-                                       0x9e3779b97f4a7c15ULL);
+      double cell_seconds = 0.0;
+      Result<GridCellCheckpoint> cell = [&]() {
+        ScopedTimer timer(&cell_seconds);
+        return RetryCall(options.retry,
+                         [&]() {
+                           return RunGridCell(dataset, slot.kind, pairwise,
+                                              options);
+                         },
+                         options.seed ^ (static_cast<uint64_t>(slot.kind) + 1) *
+                                            0x9e3779b97f4a7c15ULL);
+      }();
       if (cell.ok()) {
         slot.cell = std::move(*cell);
       } else {
@@ -381,6 +420,13 @@ Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
                           << LogKv("status", slot.cell.status);
       }
       slot.resolved = true;
+      ++progress_done;
+      if (slot.cell.error) ++progress_failed;
+      {
+        ProgressSnapshot snap = progress_base();
+        snap.last_cell_seconds = cell_seconds;
+        reporter.Update(snap);
+      }
       if (store.enabled()) {
         if (Status st = store.Save(slot.key, GridCellToJson(slot.cell));
             !st.ok()) {
@@ -393,6 +439,15 @@ Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
       }
     }
   }
+
+  // Final (forced) progress line: every slot is resolved by now.
+  progress_done = 0;
+  progress_failed = 0;
+  for (const CellSlot& slot : slots) {
+    ++progress_done;
+    if (slot.cell.error) ++progress_failed;
+  }
+  reporter.Update(progress_base(), /*force=*/true);
 
   // Phase 3: apply in sweep order — column order is first-seen, so this is
   // what makes parallel and sequential reports byte-identical.

@@ -88,6 +88,10 @@ struct GridRunOptions {
   int cell_max_rss_mb = 0;
   /// RLIMIT_CPU cap per cell worker in seconds (supervised executor only).
   int cell_max_cpu_s = 0;
+  /// Emit the live progress line on stderr (rate-limited; sequential and
+  /// supervised sweeps alike). The fairem.progress.* gauges and the ETA
+  /// histogram update whether or not this is set.
+  bool progress = false;
 };
 
 /// Renders the paper's unfairness-grid figure for one dataset: every

@@ -1,0 +1,156 @@
+#include "src/obs/benchdiff.h"
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "src/report/table_printer.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+double Ratio(double old_value, double new_value) {
+  if (old_value == 0.0) {
+    return new_value == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return new_value / old_value;
+}
+
+std::string FormatValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  // Integral values (counters, bucket counts) print without a fraction.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return FormatDouble(v, 6);
+}
+
+}  // namespace
+
+Result<FailOnSpec> ParseFailOnSpec(const std::string& spec) {
+  size_t op_pos = spec.find_first_of("<>");
+  if (op_pos == std::string::npos || op_pos == 0 || op_pos + 1 >= spec.size()) {
+    return Status::InvalidArgument(
+        "bad --fail_on spec '" + spec +
+        "' (expected <metric><op><threshold>[x], e.g. "
+        "'fairem.matcher.predict_seconds.mean>1.10x')");
+  }
+  FailOnSpec out;
+  out.raw = spec;
+  out.metric = std::string(TrimAscii(spec.substr(0, op_pos)));
+  out.op = spec[op_pos];
+  std::string rhs(TrimAscii(spec.substr(op_pos + 1)));
+  if (!rhs.empty() && (rhs.back() == 'x' || rhs.back() == 'X')) {
+    out.ratio = true;
+    rhs.pop_back();
+  }
+  if (out.metric.empty() || !ParseDouble(rhs, &out.threshold)) {
+    return Status::InvalidArgument("bad --fail_on threshold in '" + spec +
+                                   "'");
+  }
+  return out;
+}
+
+std::map<std::string, double> FlattenSnapshot(const MetricsSnapshot& snap) {
+  std::map<std::string, double> flat;
+  for (const auto& [name, value] : snap.counters) {
+    flat[name] = static_cast<double>(value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    flat[name] = value;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    flat[name + ".mean"] = h.Mean();
+    flat[name + ".count"] = static_cast<double>(h.count);
+    flat[name + ".sum"] = h.sum;
+    flat[name + ".p50"] = h.Quantile(0.50);
+    flat[name + ".p95"] = h.Quantile(0.95);
+    flat[name + ".p99"] = h.Quantile(0.99);
+  }
+  return flat;
+}
+
+std::vector<BenchDiffRow> DiffSnapshotsForBench(
+    const MetricsSnapshot& old_snap, const MetricsSnapshot& new_snap) {
+  std::map<std::string, double> old_flat = FlattenSnapshot(old_snap);
+  std::map<std::string, double> new_flat = FlattenSnapshot(new_snap);
+  std::set<std::string> names;
+  for (const auto& [name, _] : old_flat) names.insert(name);
+  for (const auto& [name, _] : new_flat) names.insert(name);
+  std::vector<BenchDiffRow> rows;
+  rows.reserve(names.size());
+  for (const std::string& name : names) {
+    BenchDiffRow row;
+    row.metric = name;
+    auto old_it = old_flat.find(name);
+    auto new_it = new_flat.find(name);
+    row.in_old = old_it != old_flat.end();
+    row.in_new = new_it != new_flat.end();
+    row.old_value = row.in_old ? old_it->second : 0.0;
+    row.new_value = row.in_new ? new_it->second : 0.0;
+    row.delta = row.new_value - row.old_value;
+    row.ratio = Ratio(row.old_value, row.new_value);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string RenderBenchDiffTable(const std::vector<BenchDiffRow>& rows,
+                                 bool changed_only) {
+  TablePrinter table({"metric", "old", "new", "delta", "ratio"});
+  size_t hidden = 0;
+  for (const BenchDiffRow& row : rows) {
+    if (changed_only && row.delta == 0.0 && row.in_old && row.in_new) {
+      ++hidden;
+      continue;
+    }
+    std::string metric = row.metric;
+    if (!row.in_old) metric += " (new)";
+    if (!row.in_new) metric += " (gone)";
+    table.AddRow({metric, FormatValue(row.old_value),
+                  FormatValue(row.new_value), FormatValue(row.delta),
+                  FormatValue(row.ratio) + "x"});
+  }
+  std::ostringstream os;
+  os << table.ToString();
+  if (hidden > 0) {
+    os << "(" << hidden << " unchanged metric" << (hidden == 1 ? "" : "s")
+       << " hidden; pass --all to show)\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<std::string>> CheckFailOnSpecs(
+    const std::map<std::string, double>& old_flat,
+    const std::map<std::string, double>& new_flat,
+    const std::vector<FailOnSpec>& specs) {
+  std::vector<std::string> violations;
+  for (const FailOnSpec& spec : specs) {
+    auto new_it = new_flat.find(spec.metric);
+    if (new_it == new_flat.end()) {
+      return Status::InvalidArgument("--fail_on metric '" + spec.metric +
+                                     "' not present in the new snapshot");
+    }
+    auto old_it = old_flat.find(spec.metric);
+    double old_value = old_it == old_flat.end() ? 0.0 : old_it->second;
+    double new_value = new_it->second;
+    double observed =
+        spec.ratio ? Ratio(old_value, new_value) : new_value - old_value;
+    bool violated =
+        spec.op == '>' ? observed > spec.threshold : observed < spec.threshold;
+    if (violated) {
+      std::ostringstream os;
+      os << spec.raw << ": " << (spec.ratio ? "ratio " : "delta ")
+         << FormatValue(observed) << (spec.ratio ? "x" : "") << " (old "
+         << FormatValue(old_value) << ", new " << FormatValue(new_value)
+         << ")";
+      violations.push_back(os.str());
+    }
+  }
+  return violations;
+}
+
+}  // namespace fairem

@@ -1,0 +1,68 @@
+#ifndef FAIREM_OBS_BENCHDIFF_H_
+#define FAIREM_OBS_BENCHDIFF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+// ---------------------------------------------------------------------------
+// `fairem benchdiff`: compare two metrics snapshots (BENCH_*.json files)
+// and gate CI on named regressions.
+
+/// One --fail_on clause. Grammar: `<metric><op><threshold>[x]` with op '>'
+/// or '<'. With the `x` suffix the clause fails when the ratio new/old
+/// crosses the threshold; without it, when the delta (new − old) does.
+///   "fairem.matcher.predict_seconds.mean>1.10x"  fails if new/old > 1.10
+///   "fairem.audit.audits_failed>0"               fails if delta > 0
+///   "fairem.audit.cells_evaluated<0"             fails if the count shrank
+struct FailOnSpec {
+  std::string metric;
+  char op = '>';
+  double threshold = 0.0;
+  bool ratio = false;
+  std::string raw;
+};
+
+Result<FailOnSpec> ParseFailOnSpec(const std::string& spec);
+
+/// Snapshot as flat name→value pairs, the address space --fail_on specs
+/// use: counters and gauges under their own name, histograms expanded to
+/// `<name>.mean`, `.count`, `.sum`, `.p50`, `.p95`, `.p99`.
+std::map<std::string, double> FlattenSnapshot(const MetricsSnapshot& snap);
+
+struct BenchDiffRow {
+  std::string metric;
+  bool in_old = false;
+  bool in_new = false;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  double delta = 0.0;  // new − old
+  double ratio = 1.0;  // new/old; 1 when both 0, +inf when only old is 0
+};
+
+/// Union of both snapshots' flattened metrics, sorted by name.
+std::vector<BenchDiffRow> DiffSnapshotsForBench(const MetricsSnapshot& old_snap,
+                                                const MetricsSnapshot& new_snap);
+
+/// Aligned text table of `rows`. With `changed_only`, rows whose delta is
+/// exactly zero are dropped (the common case for a quick regression scan).
+std::string RenderBenchDiffTable(const std::vector<BenchDiffRow>& rows,
+                                 bool changed_only);
+
+/// Evaluates `specs` against the two flattened snapshots. Returns one
+/// human-readable violation line per failed clause (empty = gate passes);
+/// a spec naming a metric absent from the *new* snapshot is an error, not
+/// a violation — a renamed metric must not silently pass the gate.
+Result<std::vector<std::string>> CheckFailOnSpecs(
+    const std::map<std::string, double>& old_flat,
+    const std::map<std::string, double>& new_flat,
+    const std::vector<FailOnSpec>& specs);
+
+}  // namespace fairem
+
+#endif  // FAIREM_OBS_BENCHDIFF_H_

@@ -1,12 +1,15 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "src/obs/log.h"
+#include "src/util/durable_file.h"
 #include "src/util/logging.h"
+#include "src/util/string_util.h"
 
 namespace fairem {
 namespace {
@@ -92,6 +95,48 @@ void Histogram::Reset() {
   sum_ = 0.0;
 }
 
+bool Histogram::MergeCounts(const std::vector<uint64_t>& bucket_counts,
+                            uint64_t count, double sum) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bucket_counts.size() != counts_.size()) return false;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += bucket_counts[i];
+  count_ += count;
+  sum_ += sum;
+  return true;
+}
+
+double MetricsSnapshot::HistogramData::Mean() const {
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double MetricsSnapshot::HistogramData::Quantile(double q) const {
+  if (count == 0 || bounds.empty() ||
+      bucket_counts.size() != bounds.size() + 1) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_counts[i]);
+    if (cumulative + in_bucket < rank || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The overflow bucket has no upper edge; clamp to the last bound (the
+    // estimate cannot exceed what the buckets can resolve).
+    if (i == bounds.size()) return bounds.back();
+    const double hi = bounds[i];
+    // The first bucket interpolates from 0 for all-positive bounds (the
+    // latency case); with non-positive bounds there is no usable lower
+    // edge, so it degrades to the bucket's upper bound.
+    const double lo = i == 0 ? (bounds[0] > 0.0 ? 0.0 : bounds[0])
+                             : bounds[i - 1];
+    return lo + (hi - lo) * ((rank - cumulative) / in_bucket);
+  }
+  return bounds.back();
+}
+
 std::vector<double> DefaultLatencyBounds() {
   return {0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0};
 }
@@ -142,8 +187,38 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snap;
 }
 
-std::string MetricsRegistry::ToJson() const {
-  MetricsSnapshot snap = Snapshot();
+void MetricsRegistry::Merge(const MetricsSnapshot& delta) {
+  static Counter* bounds_mismatches = MetricsRegistry::Global().GetCounter(
+      "fairem.telemetry.merge_bounds_mismatches");
+  for (const auto& [name, value] : delta.counters) {
+    GetCounter(name)->Increment(value);
+  }
+  for (const auto& [name, value] : delta.gauges) {
+    GetGauge(name)->Set(value);
+  }
+  for (const auto& [name, h] : delta.histograms) {
+    if (h.bucket_counts.size() != h.bounds.size() + 1) {
+      bounds_mismatches->Increment();
+      FAIREM_LOG(WARN) << "telemetry merge: malformed histogram delta"
+                       << LogKv("histogram", name);
+      continue;
+    }
+    Histogram* target = GetHistogram(name, h.bounds);
+    if (target->bounds() != h.bounds ||
+        !target->MergeCounts(h.bucket_counts, h.count, h.sum)) {
+      // Bounds disagreement means two processes registered the histogram
+      // differently; dropping the delta (loudly) beats corrupting buckets.
+      bounds_mismatches->Increment();
+      FAIREM_LOG(WARN) << "telemetry merge: histogram bounds mismatch, "
+                          "dropping delta"
+                       << LogKv("histogram", name)
+                       << LogKv("delta_bounds", h.bounds.size())
+                       << LogKv("registered_bounds", target->bounds().size());
+    }
+  }
+}
+
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snap) {
   std::ostringstream os;
   os << "{\n  \"counters\": {";
   bool first = true;
@@ -181,6 +256,16 @@ std::string MetricsRegistry::ToJson() const {
     }
     os << "], \"count\": " << h.count << ", \"sum\": ";
     AppendJsonDouble(&os, h.sum);
+    // Derived stats, recomputed (not parsed back) on load: humans and
+    // benchdiff get quantiles without re-deriving them from buckets.
+    os << ", \"mean\": ";
+    AppendJsonDouble(&os, h.Mean());
+    os << ", \"p50\": ";
+    AppendJsonDouble(&os, h.Quantile(0.50));
+    os << ", \"p95\": ";
+    AppendJsonDouble(&os, h.Quantile(0.95));
+    os << ", \"p99\": ";
+    AppendJsonDouble(&os, h.Quantile(0.99));
     os << "}";
     first = false;
   }
@@ -189,12 +274,85 @@ std::string MetricsRegistry::ToJson() const {
   return os.str();
 }
 
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(keep ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+namespace {
+
+/// Prometheus floats: plain shortest-round-trip decimal, NaN/Inf excluded
+/// upstream by the snapshot (AppendJsonDouble parity).
+std::string PromDouble(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string MetricsSnapshotToPrometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " counter\n";
+    os << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " gauge\n";
+    os << prom << " " << PromDouble(value) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i < h.bucket_counts.size()) cumulative += h.bucket_counts[i];
+      os << prom << "_bucket{le=\"" << PromDouble(h.bounds[i]) << "\"} "
+         << cumulative << "\n";
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << prom << "_sum " << PromDouble(h.sum) << "\n";
+    os << prom << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+Result<MetricsFormat> ParseMetricsFormat(const std::string& name) {
+  const std::string lower = ToLowerAscii(name);
+  if (lower == "json") return MetricsFormat::kJson;
+  if (lower == "prom" || lower == "prometheus") return MetricsFormat::kProm;
+  return Status::InvalidArgument("unknown metrics format '" + name +
+                                 "' (expected json or prom)");
+}
+
+std::string MetricsRegistry::ToJson() const {
+  return MetricsSnapshotToJson(Snapshot());
+}
+
 Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out << ToJson();
-  if (!out) return Status::IOError("failed writing metrics to '" + path + "'");
-  return Status::OK();
+  return WriteFile(path, MetricsFormat::kJson);
+}
+
+Status MetricsRegistry::WriteFile(const std::string& path,
+                                  MetricsFormat format) const {
+  MetricsSnapshot snap = Snapshot();
+  const std::string body = format == MetricsFormat::kProm
+                               ? MetricsSnapshotToPrometheus(snap)
+                               : MetricsSnapshotToJson(snap);
+  // Durable like checkpoint Save: a metrics snapshot is read back by
+  // benchdiff and CI; a SIGKILL mid-write must not leave a torn file.
+  return WriteFileDurable(path, body);
 }
 
 void MetricsRegistry::Reset() {

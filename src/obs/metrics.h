@@ -54,6 +54,13 @@ class Histogram {
   double sum() const;
   void Reset();
 
+  /// Adds another histogram's data bucket-wise (the cross-process merge
+  /// primitive). `bucket_counts` must have bounds().size() + 1 entries —
+  /// callers check bounds equality first; a size mismatch returns false and
+  /// leaves the histogram untouched.
+  bool MergeCounts(const std::vector<uint64_t>& bucket_counts, uint64_t count,
+                   double sum);
+
  private:
   std::vector<double> bounds_;
   mutable std::mutex mu_;
@@ -74,9 +81,39 @@ struct MetricsSnapshot {
     std::vector<uint64_t> bucket_counts;
     uint64_t count = 0;
     double sum = 0.0;
+
+    /// sum / count, or 0 when empty.
+    double Mean() const;
+
+    /// The q-quantile (q in [0, 1]) estimated by linear interpolation
+    /// within buckets, Prometheus histogram_quantile style: the first
+    /// bucket interpolates from 0 (or from bounds[0] when it is <= 0), and
+    /// ranks landing in the overflow bucket clamp to the last bound. 0 when
+    /// empty.
+    double Quantile(double q) const;
   };
   std::map<std::string, HistogramData> histograms;
 };
+
+/// Snapshot serialization, shared by MetricsRegistry::ToJson and the
+/// cross-process telemetry wire format. Histograms carry derived "mean",
+/// "p50", "p95", "p99" keys alongside the raw buckets so humans and
+/// `fairem benchdiff` get latency quantiles without recomputing.
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snap);
+
+/// Prometheus text exposition of a snapshot: names sanitized ('.' and any
+/// other non-[a-zA-Z0-9_:] byte become '_'), a `# TYPE` line per metric,
+/// and histograms expanded to cumulative `_bucket{le="..."}` series (with
+/// the `+Inf` bucket) plus `_sum` and `_count`.
+std::string MetricsSnapshotToPrometheus(const MetricsSnapshot& snap);
+
+/// Prometheus metric-name sanitization: '.' -> '_', anything outside
+/// [a-zA-Z0-9_:] -> '_', and a leading digit gets a '_' prefix.
+std::string PrometheusName(const std::string& name);
+
+/// Snapshot file formats accepted by --metrics_format.
+enum class MetricsFormat { kJson, kProm };
+Result<MetricsFormat> ParseMetricsFormat(const std::string& name);
 
 /// Process-wide registry of named metrics. Naming convention:
 /// `fairem.<subsystem>.<metric>`, e.g. "fairem.audit.cells_evaluated".
@@ -102,12 +139,25 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Folds a snapshot (typically a worker's delta shipped over the
+  /// telemetry pipe) into this registry: counters add, gauges last-write,
+  /// histograms add bucket-wise. Unknown metrics register on the fly; a
+  /// histogram whose bounds disagree with the registered ones is skipped
+  /// with a WARN (and counted in fairem.telemetry.merge_bounds_mismatches
+  /// on the global registry) rather than crashing the merge.
+  void Merge(const MetricsSnapshot& delta);
+
   /// {"counters":{...},"gauges":{...},"histograms":{...}} — stable key
   /// order (std::map), so diffs of successive BENCH_*.json files are clean.
   std::string ToJson() const;
 
-  /// Writes ToJson() to `path`.
+  /// Writes ToJson() to `path` atomically and durably (temp + fsync +
+  /// rename, like checkpoint Save): a SIGKILLed run never leaves a
+  /// truncated BENCH_*.json behind.
   Status WriteJsonFile(const std::string& path) const;
+
+  /// WriteJsonFile generalized over --metrics_format.
+  Status WriteFile(const std::string& path, MetricsFormat format) const;
 
   /// Zeroes every metric's value; registered names/pointers survive.
   void Reset();

@@ -45,10 +45,14 @@ Status FlushObsOutputs(const ObsOptions& options) {
     FAIREM_LOG(INFO) << "span summary:\n" << Tracer::Global().FlatSummary();
   }
   if (!options.metrics_out.empty()) {
-    FAIREM_RETURN_NOT_OK(
-        MetricsRegistry::Global().WriteJsonFile(options.metrics_out));
+    FAIREM_RETURN_NOT_OK(MetricsRegistry::Global().WriteFile(
+        options.metrics_out, options.metrics_format));
     FAIREM_LOG(INFO) << "wrote metrics snapshot"
-                     << LogKv("path", options.metrics_out);
+                     << LogKv("path", options.metrics_out)
+                     << LogKv("format",
+                              options.metrics_format == MetricsFormat::kProm
+                                  ? "prom"
+                                  : "json");
   }
   return Status::OK();
 }

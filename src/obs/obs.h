@@ -11,13 +11,16 @@
 namespace fairem {
 
 /// The observability knobs every binary exposes:
-///   --log_level L     debug|info|warn|error|off (also: FAIREM_LOG_LEVEL)
-///   --trace_out F     enable span tracing, write Chrome trace JSON to F
-///   --metrics_out F   write a MetricsRegistry JSON snapshot to F
+///   --log_level L        debug|info|warn|error|off (also: FAIREM_LOG_LEVEL)
+///   --trace_out F        enable span tracing, write Chrome trace JSON to F
+///   --metrics_out F      write a MetricsRegistry snapshot to F
+///   --metrics_format FMT json (default) or prom (Prometheus text
+///                        exposition); applies to --metrics_out
 struct ObsOptions {
   std::string log_level;   // empty = leave the env/default level alone
   std::string trace_out;   // empty = tracing stays disabled, no file
   std::string metrics_out; // empty = no metrics file
+  MetricsFormat metrics_format = MetricsFormat::kJson;
 };
 
 /// Applies the options to the global logger/tracer. Tracing is enabled iff

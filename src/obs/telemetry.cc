@@ -1,0 +1,650 @@
+#include "src/obs/telemetry.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/util/durable_file.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+// ------------------------------------------------------------- JSON writer --
+
+void AppendJsonString(std::ostringstream* os, const std::string& s) {
+  *os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      case '\t':
+        *os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+  *os << '"';
+}
+
+// ------------------------------------------------------------- JSON reader --
+// A small recursive-descent parser over the subset our own writers emit
+// (objects, arrays, strings with the writer's escapes, numbers, booleans).
+// Numbers are kept as raw text so uint64 counters round-trip exactly.
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  std::string scalar;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    FAIREM_RETURN_NOT_OK(ParseValue(&root));
+    SkipWs();
+    if (pos_ != text_.size()) return Err("trailing bytes after document");
+    return root;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Err(const std::string& what) {
+    return Status::InvalidArgument("telemetry JSON: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Status Expect(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Err(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool TryConsume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseString() {
+    FAIREM_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Err("bad \\u escape digit");
+            }
+          }
+          // Our writers only use \u for control bytes.
+          if (value >= 0x80) return Err("unsupported \\u escape");
+          out.push_back(static_cast<char>(value));
+          break;
+        }
+        default:
+          return Err("unsupported escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      if (TryConsume('}')) return Status::OK();
+      while (true) {
+        FAIREM_ASSIGN_OR_RETURN(std::string key, ParseString());
+        FAIREM_RETURN_NOT_OK(Expect(':'));
+        JsonValue value;
+        FAIREM_RETURN_NOT_OK(ParseValue(&value));
+        out->members[key] = std::move(value);
+        if (TryConsume(',')) continue;
+        return Expect('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      if (TryConsume(']')) return Status::OK();
+      while (true) {
+        JsonValue value;
+        FAIREM_RETURN_NOT_OK(ParseValue(&value));
+        out->items.push_back(std::move(value));
+        if (TryConsume(',')) continue;
+        return Expect(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      FAIREM_ASSIGN_OR_RETURN(out->scalar, ParseString());
+      return Status::OK();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      out->kind = JsonValue::kNumber;
+      size_t start = pos_;
+      while (pos_ < text_.size()) {
+        char d = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d)) || d == '-' ||
+            d == '+' || d == '.' || d == 'e' || d == 'E') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      out->scalar = text_.substr(start, pos_ - start);
+      return Status::OK();
+    }
+    for (const char* word : {"true", "false", "null"}) {
+      size_t len = std::char_traits<char>::length(word);
+      if (text_.compare(pos_, len, word) == 0) {
+        out->kind = word[0] == 'n' ? JsonValue::kNull : JsonValue::kBool;
+        out->scalar = word;
+        pos_ += len;
+        return Status::OK();
+      }
+    }
+    return Err("unexpected character");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<uint64_t> AsU64(const JsonValue& v, const std::string& what) {
+  if (v.kind != JsonValue::kNumber) {
+    return Status::InvalidArgument("telemetry JSON: " + what +
+                                   " is not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long out = std::strtoull(v.scalar.c_str(), &end, 10);
+  if (errno != 0 || end == v.scalar.c_str() || *end != '\0') {
+    return Status::InvalidArgument("telemetry JSON: bad integer for " + what);
+  }
+  return static_cast<uint64_t>(out);
+}
+
+Result<int64_t> AsI64(const JsonValue& v, const std::string& what) {
+  if (v.kind != JsonValue::kNumber) {
+    return Status::InvalidArgument("telemetry JSON: " + what +
+                                   " is not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long out = std::strtoll(v.scalar.c_str(), &end, 10);
+  if (errno != 0 || end == v.scalar.c_str() || *end != '\0') {
+    return Status::InvalidArgument("telemetry JSON: bad integer for " + what);
+  }
+  return static_cast<int64_t>(out);
+}
+
+Result<double> AsDouble(const JsonValue& v, const std::string& what) {
+  double out = 0.0;
+  if (v.kind != JsonValue::kNumber || !ParseDouble(v.scalar, &out)) {
+    return Status::InvalidArgument("telemetry JSON: " + what +
+                                   " is not a number");
+  }
+  return out;
+}
+
+const JsonValue* Find(const JsonValue& obj, const std::string& key) {
+  auto it = obj.members.find(key);
+  return it == obj.members.end() ? nullptr : &it->second;
+}
+
+Result<MetricsSnapshot> SnapshotFromJsonValue(const JsonValue& root) {
+  if (root.kind != JsonValue::kObject) {
+    return Status::InvalidArgument("telemetry JSON: snapshot is not an object");
+  }
+  MetricsSnapshot snap;
+  if (const JsonValue* counters = Find(root, "counters")) {
+    for (const auto& [name, v] : counters->members) {
+      FAIREM_ASSIGN_OR_RETURN(snap.counters[name], AsU64(v, "counter " + name));
+    }
+  }
+  if (const JsonValue* gauges = Find(root, "gauges")) {
+    for (const auto& [name, v] : gauges->members) {
+      FAIREM_ASSIGN_OR_RETURN(snap.gauges[name], AsDouble(v, "gauge " + name));
+    }
+  }
+  if (const JsonValue* histograms = Find(root, "histograms")) {
+    for (const auto& [name, v] : histograms->members) {
+      if (v.kind != JsonValue::kObject) {
+        return Status::InvalidArgument("telemetry JSON: histogram " + name +
+                                       " is not an object");
+      }
+      const JsonValue* bounds = Find(v, "bounds");
+      const JsonValue* buckets = Find(v, "bucket_counts");
+      const JsonValue* count = Find(v, "count");
+      const JsonValue* sum = Find(v, "sum");
+      if (bounds == nullptr || buckets == nullptr || count == nullptr ||
+          sum == nullptr) {
+        return Status::InvalidArgument("telemetry JSON: histogram " + name +
+                                       " missing a required field");
+      }
+      MetricsSnapshot::HistogramData h;
+      for (const JsonValue& b : bounds->items) {
+        double bound = 0.0;
+        FAIREM_ASSIGN_OR_RETURN(bound, AsDouble(b, name + ".bounds"));
+        h.bounds.push_back(bound);
+      }
+      for (const JsonValue& b : buckets->items) {
+        uint64_t n = 0;
+        FAIREM_ASSIGN_OR_RETURN(n, AsU64(b, name + ".bucket_counts"));
+        h.bucket_counts.push_back(n);
+      }
+      FAIREM_ASSIGN_OR_RETURN(h.count, AsU64(*count, name + ".count"));
+      FAIREM_ASSIGN_OR_RETURN(h.sum, AsDouble(*sum, name + ".sum"));
+      // Derived keys ("mean", "p50", …) are recomputed, never parsed.
+      snap.histograms[name] = std::move(h);
+    }
+  }
+  return snap;
+}
+
+std::string SanitizeKeyForFilename(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ snapshot ops --
+
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& baseline,
+                              const MetricsSnapshot& current) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : current.counters) {
+    auto it = baseline.counters.find(name);
+    if (it == baseline.counters.end()) {
+      // Registered during the task: ship even at zero, so the parent's
+      // snapshot lists the same counters a sequential run would.
+      delta.counters[name] = value;
+    } else if (value > it->second) {
+      delta.counters[name] = value - it->second;
+    }
+  }
+  for (const auto& [name, value] : current.gauges) {
+    auto it = baseline.gauges.find(name);
+    if (it == baseline.gauges.end() || it->second != value) {
+      delta.gauges[name] = value;
+    }
+  }
+  for (const auto& [name, h] : current.histograms) {
+    auto it = baseline.histograms.find(name);
+    if (it == baseline.histograms.end()) {
+      delta.histograms[name] = h;  // new registration: ship even when empty
+      continue;
+    }
+    if (it->second.bounds != h.bounds ||
+        it->second.bucket_counts.size() != h.bucket_counts.size()) {
+      if (h.count > 0) delta.histograms[name] = h;
+      continue;
+    }
+    const MetricsSnapshot::HistogramData& base = it->second;
+    MetricsSnapshot::HistogramData d;
+    d.bounds = h.bounds;
+    d.bucket_counts.resize(h.bucket_counts.size(), 0);
+    bool any = false;
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      uint64_t b = i < base.bucket_counts.size() ? base.bucket_counts[i] : 0;
+      d.bucket_counts[i] = h.bucket_counts[i] > b ? h.bucket_counts[i] - b : 0;
+      any = any || d.bucket_counts[i] > 0;
+    }
+    d.count = h.count > base.count ? h.count - base.count : 0;
+    d.sum = h.sum - base.sum;
+    if (any || d.count > 0) delta.histograms[name] = std::move(d);
+  }
+  return delta;
+}
+
+Result<MetricsSnapshot> MetricsSnapshotFromJson(const std::string& json) {
+  FAIREM_ASSIGN_OR_RETURN(JsonValue root, JsonReader(json).Parse());
+  return SnapshotFromJsonValue(root);
+}
+
+// ------------------------------------------------------- worker telemetry --
+
+std::string SerializeWorkerTelemetry(const WorkerTelemetry& telemetry) {
+  std::ostringstream os;
+  os << "{\"version\": " << telemetry.version << ", \"task_key\": ";
+  AppendJsonString(&os, telemetry.task_key);
+  os << ", \"attempt\": " << telemetry.attempt
+     << ", \"pid\": " << telemetry.pid << ",\n\"metrics\": "
+     << MetricsSnapshotToJson(telemetry.metrics) << ",\n\"spans\": [";
+  bool first = true;
+  for (const TraceEvent& e : telemetry.spans) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"id\": " << e.id << ", \"parent_id\": " << e.parent_id
+       << ", \"depth\": " << e.depth << ", \"name\": ";
+    AppendJsonString(&os, e.name);
+    os << ", \"start_ns\": " << e.start_ns
+       << ", \"duration_ns\": " << e.duration_ns
+       << ", \"thread_id\": " << e.thread_id
+       << ", \"track_id\": " << e.track_id << ", \"args\": [";
+    for (size_t i = 0; i < e.args.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "[";
+      AppendJsonString(&os, e.args[i].first);
+      os << ", ";
+      AppendJsonString(&os, e.args[i].second);
+      os << "]";
+    }
+    os << "]}";
+  }
+  os << (first ? "]}" : "\n]}");
+  os << "\n";
+  return os.str();
+}
+
+Result<WorkerTelemetry> ParseWorkerTelemetry(const std::string& json) {
+  FAIREM_ASSIGN_OR_RETURN(JsonValue root, JsonReader(json).Parse());
+  if (root.kind != JsonValue::kObject) {
+    return Status::InvalidArgument(
+        "telemetry JSON: telemetry is not an object");
+  }
+  WorkerTelemetry t;
+  if (const JsonValue* version = Find(root, "version")) {
+    int64_t v = 0;
+    FAIREM_ASSIGN_OR_RETURN(v, AsI64(*version, "version"));
+    t.version = static_cast<int>(v);
+  }
+  if (t.version != 1) {
+    return Status::InvalidArgument("telemetry JSON: unsupported version " +
+                                   std::to_string(t.version));
+  }
+  if (const JsonValue* key = Find(root, "task_key")) t.task_key = key->scalar;
+  if (const JsonValue* attempt = Find(root, "attempt")) {
+    int64_t v = 0;
+    FAIREM_ASSIGN_OR_RETURN(v, AsI64(*attempt, "attempt"));
+    t.attempt = static_cast<int>(v);
+  }
+  if (const JsonValue* pid = Find(root, "pid")) {
+    FAIREM_ASSIGN_OR_RETURN(t.pid, AsI64(*pid, "pid"));
+  }
+  const JsonValue* metrics = Find(root, "metrics");
+  if (metrics == nullptr) {
+    return Status::InvalidArgument("telemetry JSON: missing metrics");
+  }
+  FAIREM_ASSIGN_OR_RETURN(t.metrics, SnapshotFromJsonValue(*metrics));
+  if (const JsonValue* spans = Find(root, "spans")) {
+    for (const JsonValue& s : spans->items) {
+      if (s.kind != JsonValue::kObject) {
+        return Status::InvalidArgument("telemetry JSON: span not an object");
+      }
+      TraceEvent e;
+      if (const JsonValue* v = Find(s, "id")) {
+        FAIREM_ASSIGN_OR_RETURN(e.id, AsU64(*v, "span id"));
+      }
+      if (const JsonValue* v = Find(s, "parent_id")) {
+        FAIREM_ASSIGN_OR_RETURN(e.parent_id, AsU64(*v, "span parent_id"));
+      }
+      if (const JsonValue* v = Find(s, "depth")) {
+        int64_t depth = 0;
+        FAIREM_ASSIGN_OR_RETURN(depth, AsI64(*v, "span depth"));
+        e.depth = static_cast<int>(depth);
+      }
+      if (const JsonValue* v = Find(s, "name")) e.name = v->scalar;
+      if (const JsonValue* v = Find(s, "start_ns")) {
+        FAIREM_ASSIGN_OR_RETURN(e.start_ns, AsU64(*v, "span start_ns"));
+      }
+      if (const JsonValue* v = Find(s, "duration_ns")) {
+        FAIREM_ASSIGN_OR_RETURN(e.duration_ns, AsU64(*v, "span duration_ns"));
+      }
+      if (const JsonValue* v = Find(s, "thread_id")) {
+        FAIREM_ASSIGN_OR_RETURN(e.thread_id, AsU64(*v, "span thread_id"));
+      }
+      if (const JsonValue* v = Find(s, "track_id")) {
+        FAIREM_ASSIGN_OR_RETURN(e.track_id, AsU64(*v, "span track_id"));
+      }
+      if (const JsonValue* v = Find(s, "args")) {
+        for (const JsonValue& pair : v->items) {
+          if (pair.items.size() != 2) {
+            return Status::InvalidArgument("telemetry JSON: span arg shape");
+          }
+          e.args.emplace_back(pair.items[0].scalar, pair.items[1].scalar);
+        }
+      }
+      t.spans.push_back(std::move(e));
+    }
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------- framing --
+
+std::string WrapPayloadWithTelemetry(const std::string& telemetry_json,
+                                     const std::string& payload) {
+  char length[32];
+  std::snprintf(length, sizeof(length), "%016zx", telemetry_json.size());
+  std::string wire;
+  wire.reserve(8 + 17 + telemetry_json.size() + payload.size());
+  wire.append(kTelemetryMagic, 8);
+  wire.append(length, 16);
+  wire.push_back('\n');
+  wire.append(telemetry_json);
+  wire.append(payload);
+  return wire;
+}
+
+TelemetrySplit SplitTelemetryPayload(const std::string& wire) {
+  TelemetrySplit out;
+  constexpr size_t kHeader = 8 + 16 + 1;
+  if (wire.size() < kHeader || wire.compare(0, 8, kTelemetryMagic, 8) != 0) {
+    out.payload = wire;
+    return out;
+  }
+  uint64_t length = 0;
+  for (size_t i = 8; i < 24; ++i) {
+    char c = wire[i];
+    length <<= 4;
+    if (c >= '0' && c <= '9') {
+      length |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      length |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      out.payload = wire;  // corrupt length field: treat as unframed
+      return out;
+    }
+  }
+  if (wire[24] != '\n' || kHeader + length > wire.size()) {
+    out.payload = wire;  // truncated section: worker died mid-ship
+    return out;
+  }
+  out.has_telemetry = true;
+  out.telemetry_json = wire.substr(kHeader, length);
+  out.payload = wire.substr(kHeader + length);
+  return out;
+}
+
+// ---------------------------------------------------------------- sidecars --
+
+std::string TelemetrySidecarPath(const std::string& dir,
+                                 const std::string& task_key, int attempt) {
+  return dir + "/" + SanitizeKeyForFilename(task_key) + ".attempt" +
+         std::to_string(attempt) + ".telemetry.json";
+}
+
+Status WriteTelemetrySidecar(const std::string& dir,
+                             const WorkerTelemetry& telemetry) {
+  return WriteFileDurable(
+      TelemetrySidecarPath(dir, telemetry.task_key, telemetry.attempt),
+      SerializeWorkerTelemetry(telemetry));
+}
+
+Result<WorkerTelemetry> LoadTelemetrySidecarFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no telemetry sidecar at '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for '" + path + "'");
+  return ParseWorkerTelemetry(ss.str());
+}
+
+// ------------------------------------------------------------------ absorb --
+
+void AbsorbWorkerTelemetry(const WorkerTelemetry& telemetry) {
+  static Counter* deltas_merged = MetricsRegistry::Global().GetCounter(
+      "fairem.telemetry.deltas_merged");
+  static Counter* spans_imported = MetricsRegistry::Global().GetCounter(
+      "fairem.telemetry.spans_imported");
+  MetricsRegistry::Global().Merge(telemetry.metrics);
+  deltas_merged->Increment();
+  Tracer& tracer = Tracer::Global();
+  for (TraceEvent e : telemetry.spans) {
+    if (e.track_id == 0 && telemetry.pid > 0) {
+      e.track_id = static_cast<uint64_t>(telemetry.pid);
+    }
+    tracer.RecordImported(std::move(e));
+    spans_imported->Increment();
+  }
+}
+
+// ---------------------------------------------------------------- progress --
+
+ProgressReporter::ProgressReporter(size_t total_cells, int jobs,
+                                   double min_interval_seconds,
+                                   bool emit_stderr)
+    : jobs_(jobs > 0 ? jobs : 1),
+      min_interval_seconds_(min_interval_seconds),
+      emit_stderr_(emit_stderr),
+      cell_seconds_(MetricsRegistry::Global().GetHistogram(
+          "fairem.progress.cell_seconds")),
+      last_emit_(std::chrono::steady_clock::now()) {
+  MetricsRegistry::Global()
+      .GetGauge("fairem.progress.cells_total")
+      ->Set(static_cast<double>(total_cells));
+}
+
+double ProgressReporter::EtaSeconds(const ProgressSnapshot& snap) const {
+  uint64_t count = cell_seconds_->count();
+  if (count == 0 || snap.total <= snap.done) {
+    return snap.total <= snap.done ? 0.0 : -1.0;
+  }
+  double mean = cell_seconds_->sum() / static_cast<double>(count);
+  double remaining = static_cast<double>(snap.total - snap.done);
+  return mean * remaining / static_cast<double>(jobs_);
+}
+
+std::string ProgressReporter::FormatLine(const ProgressSnapshot& snap,
+                                         double eta_seconds) {
+  std::ostringstream os;
+  os << "grid " << snap.done << "/" << snap.total << " done, " << snap.running
+     << " running, " << snap.retrying << " retrying, " << snap.failed
+     << " failed, eta ";
+  if (eta_seconds < 0) {
+    os << "?";
+  } else {
+    os << FormatDouble(eta_seconds, 1) << "s";
+  }
+  return os.str();
+}
+
+void ProgressReporter::Update(const ProgressSnapshot& snap, bool force) {
+  if (snap.last_cell_seconds >= 0) {
+    cell_seconds_->Observe(snap.last_cell_seconds);
+  }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetGauge("fairem.progress.cells_total")
+      ->Set(static_cast<double>(snap.total));
+  reg.GetGauge("fairem.progress.cells_done")
+      ->Set(static_cast<double>(snap.done));
+  reg.GetGauge("fairem.progress.cells_running")
+      ->Set(static_cast<double>(snap.running));
+  reg.GetGauge("fairem.progress.cells_retrying")
+      ->Set(static_cast<double>(snap.retrying));
+  reg.GetGauge("fairem.progress.cells_failed")
+      ->Set(static_cast<double>(snap.failed));
+  double eta = EtaSeconds(snap);
+  reg.GetGauge("fairem.progress.eta_seconds")->Set(eta);
+  if (!emit_stderr_) return;
+  auto now = std::chrono::steady_clock::now();
+  double since_last =
+      std::chrono::duration<double>(now - last_emit_).count();
+  if (!force && emitted_any_ && since_last < min_interval_seconds_) return;
+  emitted_any_ = true;
+  last_emit_ = now;
+  std::string line = FormatLine(snap, eta);
+  std::fprintf(stderr, "[fairem] %s\n", line.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace fairem

@@ -1,0 +1,145 @@
+#ifndef FAIREM_OBS_TELEMETRY_H_
+#define FAIREM_OBS_TELEMETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+// ---------------------------------------------------------------------------
+// Cross-process telemetry: how a supervised worker ships its metrics delta
+// and completed trace spans back to the parent. See DESIGN.md §11 for the
+// wire format.
+
+/// current − baseline, metric-wise. A forked worker inherits the parent's
+/// registry values, so the parent must receive only what the worker itself
+/// added: counters subtract (unchanged inherited ones are omitted), gauges
+/// are included only when they changed (a stale fork-time copy must not
+/// clobber the parent's fresher value), histograms subtract bucket-wise. A
+/// histogram whose bounds changed between the snapshots is shipped whole.
+/// Metrics first registered during the task ship even at zero, so a merged
+/// parent snapshot lists the same metric names a sequential run would.
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& baseline,
+                              const MetricsSnapshot& current);
+
+/// Inverse of MetricsSnapshotToJson. Derived histogram keys ("mean",
+/// "p50", …) are ignored on load and recomputed from the raw buckets.
+Result<MetricsSnapshot> MetricsSnapshotFromJson(const std::string& json);
+
+/// Everything one worker attempt ships: which task it ran, which attempt
+/// this was (the double-delivery dedup key is (task_key, attempt)), the
+/// worker pid (becomes the trace track id), the metrics delta, and the
+/// spans completed during the task.
+struct WorkerTelemetry {
+  int version = 1;
+  std::string task_key;
+  int attempt = 0;
+  int64_t pid = 0;
+  MetricsSnapshot metrics;
+  std::vector<TraceEvent> spans;
+};
+
+std::string SerializeWorkerTelemetry(const WorkerTelemetry& telemetry);
+Result<WorkerTelemetry> ParseWorkerTelemetry(const std::string& json);
+
+// ---------------------------------------------------------------------------
+// Pipe framing. The worker prefixes its payload with a telemetry section:
+//
+//   "FEMTEL1\n" <16 hex digits: telemetry byte length> "\n" <telemetry JSON>
+//   <payload bytes, verbatim>
+//
+// A wire that does not start with the magic is an unframed payload from a
+// worker that crashed before (or never started) shipping telemetry; it
+// passes through SplitTelemetryPayload untouched.
+
+inline constexpr char kTelemetryMagic[] = "FEMTEL1\n";
+
+std::string WrapPayloadWithTelemetry(const std::string& telemetry_json,
+                                     const std::string& payload);
+
+struct TelemetrySplit {
+  bool has_telemetry = false;
+  std::string telemetry_json;
+  std::string payload;
+};
+
+/// Never fails: a malformed frame (bad length field, truncated section) is
+/// treated as "no telemetry" and the whole wire becomes the payload, so a
+/// worker killed mid-write degrades to PR-3 behaviour instead of erroring.
+TelemetrySplit SplitTelemetryPayload(const std::string& wire);
+
+// ---------------------------------------------------------------------------
+// Sidecar files: the crash path. Workers durably write
+// `<dir>/<sanitized task_key>.attempt<N>.telemetry.json` before shipping on
+// the pipe; the parent sweeps the file up only when the pipe copy was
+// missing (crash/timeout), then deletes it.
+
+std::string TelemetrySidecarPath(const std::string& dir,
+                                 const std::string& task_key, int attempt);
+Status WriteTelemetrySidecar(const std::string& dir,
+                             const WorkerTelemetry& telemetry);
+Result<WorkerTelemetry> LoadTelemetrySidecarFile(const std::string& path);
+
+/// Folds one worker attempt into this process: metrics delta merges into
+/// MetricsRegistry::Global() and each span is re-emitted on
+/// Tracer::Global() with track_id set to the worker pid. Callers own the
+/// (task_key, attempt) dedup; absorbing the same telemetry twice double
+/// counts.
+void AbsorbWorkerTelemetry(const WorkerTelemetry& telemetry);
+
+// ---------------------------------------------------------------------------
+// Live grid progress.
+
+struct ProgressSnapshot {
+  size_t total = 0;
+  size_t done = 0;
+  size_t running = 0;
+  size_t retrying = 0;
+  size_t failed = 0;
+  /// Duration of a cell that finished since the previous Update, or < 0
+  /// when none did (the value feeds the ETA histogram exactly once).
+  double last_cell_seconds = -1.0;
+};
+
+/// Emits a rate-limited progress line on stderr and keeps the
+/// fairem.progress.* gauges current. ETA is derived from the
+/// fairem.progress.cell_seconds histogram: mean cell duration × remaining
+/// cells ÷ parallel jobs; unknown (-1) until the first cell completes.
+class ProgressReporter {
+ public:
+  /// `jobs` scales the ETA for parallel execution; `min_interval_seconds`
+  /// is the stderr rate limit. With emit_stderr false only the gauges (and
+  /// the ETA histogram) update — how the harness keeps fairem.progress.*
+  /// live even when the progress line is off.
+  explicit ProgressReporter(size_t total_cells, int jobs = 1,
+                            double min_interval_seconds = 0.5,
+                            bool emit_stderr = true);
+
+  /// `force` bypasses the rate limit (used for the final line).
+  void Update(const ProgressSnapshot& snap, bool force = false);
+
+  double EtaSeconds(const ProgressSnapshot& snap) const;
+
+  /// Pure formatter, e.g. "grid 12/40 done, 4 running, 1 retrying,
+  /// 0 failed, eta 38.2s" ("eta ?" when negative).
+  static std::string FormatLine(const ProgressSnapshot& snap,
+                                double eta_seconds);
+
+ private:
+  int jobs_;
+  double min_interval_seconds_;
+  bool emit_stderr_;
+  Histogram* cell_seconds_;
+  bool emitted_any_ = false;
+  std::chrono::steady_clock::time_point last_emit_;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_OBS_TELEMETRY_H_

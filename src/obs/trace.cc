@@ -1,8 +1,10 @@
 #include "src/obs/trace.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "src/util/string_util.h"
@@ -72,7 +74,25 @@ std::vector<TraceEvent> Tracer::Events() const {
   return events_;
 }
 
+size_t Tracer::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::EventsSince(size_t start) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (start >= events_.size()) return {};
+  return std::vector<TraceEvent>(events_.begin() +
+                                     static_cast<ptrdiff_t>(start),
+                                 events_.end());
+}
+
 void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::RecordImported(TraceEvent event) {
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(event));
 }
@@ -82,16 +102,34 @@ std::string Tracer::ChromeTraceJson() const {
   std::ostringstream os;
   os << "{\"traceEvents\": [";
   bool first = true;
+  // One process_name metadata event per track, so the per-worker tracks
+  // read "worker <pid>" instead of a bare number in the trace viewer.
+  std::set<uint64_t> tracks;
+  for (const TraceEvent& e : events) {
+    tracks.insert(e.track_id == 0 ? 1 : e.track_id);
+  }
+  for (uint64_t track : tracks) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << track
+       << ", \"args\": {\"name\": \""
+       << (track == 1 ? std::string("fairem")
+                      : "fairem worker " + std::to_string(track))
+       << "\"}}";
+  }
   for (const TraceEvent& e : events) {
     os << (first ? "\n" : ",\n");
     first = false;
     os << "  {\"name\": \"";
     AppendJsonEscaped(&os, e.name);
-    // Complete ("X") events; timestamps/durations are microseconds.
+    // Complete ("X") events; timestamps/durations are microseconds. The
+    // Chrome "pid" field is our track id: 1 for this process, a worker's
+    // real pid for imported spans.
     os << "\", \"cat\": \"fairem\", \"ph\": \"X\", \"ts\": "
        << static_cast<double>(e.start_ns) / 1000.0
        << ", \"dur\": " << static_cast<double>(e.duration_ns) / 1000.0
-       << ", \"pid\": 1, \"tid\": " << e.thread_id << ", \"args\": {";
+       << ", \"pid\": " << (e.track_id == 0 ? 1 : e.track_id)
+       << ", \"tid\": " << e.thread_id << ", \"args\": {";
     os << "\"span_id\": " << e.id << ", \"parent_id\": " << e.parent_id
        << ", \"depth\": " << e.depth;
     for (const auto& [key, value] : e.args) {
@@ -117,30 +155,46 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
 
 std::string Tracer::FlatSummary() const {
   struct Agg {
-    uint64_t count = 0;
     uint64_t total_ns = 0;
+    std::vector<uint64_t> durations_ns;
   };
   std::map<std::string, Agg> by_name;
   for (const TraceEvent& e : Events()) {
     Agg& agg = by_name[e.name];
-    ++agg.count;
     agg.total_ns += e.duration_ns;
+    agg.durations_ns.push_back(e.duration_ns);
   }
+  // Nearest-rank quantile over the exact per-span durations (unlike
+  // histogram quantiles there is no bucketing error here).
+  auto quantile_s = [](const std::vector<uint64_t>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    double rank = q * static_cast<double>(sorted.size() - 1);
+    size_t idx = static_cast<size_t>(rank);
+    double frac = rank - static_cast<double>(idx);
+    double lo = static_cast<double>(sorted[idx]);
+    double hi = static_cast<double>(sorted[std::min(idx + 1, sorted.size() - 1)]);
+    return (lo + (hi - lo) * frac) / 1e9;
+  };
   size_t width = 4;
   for (const auto& [name, agg] : by_name) {
     width = std::max(width, name.size());
   }
   std::ostringstream os;
   os << "span";
-  os << std::string(width - 4 + 2, ' ') << "count  total_s   mean_s\n";
-  for (const auto& [name, agg] : by_name) {
+  os << std::string(width - 4 + 2, ' ')
+     << "count  total_s   mean_s    p50_s    p95_s    p99_s\n";
+  for (auto& [name, agg] : by_name) {
+    std::sort(agg.durations_ns.begin(), agg.durations_ns.end());
+    uint64_t count = agg.durations_ns.size();
     double total_s = static_cast<double>(agg.total_ns) / 1e9;
-    double mean_s = agg.count > 0 ? total_s / static_cast<double>(agg.count) : 0.0;
+    double mean_s = count > 0 ? total_s / static_cast<double>(count) : 0.0;
     os << name << std::string(width - name.size() + 2, ' ');
-    std::string count_str = std::to_string(agg.count);
+    std::string count_str = std::to_string(count);
     os << std::string(count_str.size() < 5 ? 5 - count_str.size() : 0, ' ')
        << count_str << "  " << FormatDouble(total_s, 4) << "  "
-       << FormatDouble(mean_s, 4) << "\n";
+       << FormatDouble(mean_s, 4) << "  " << FormatDouble(quantile_s(agg.durations_ns, 0.50), 4)
+       << "  " << FormatDouble(quantile_s(agg.durations_ns, 0.95), 4) << "  "
+       << FormatDouble(quantile_s(agg.durations_ns, 0.99), 4) << "\n";
   }
   return os.str();
 }

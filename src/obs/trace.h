@@ -24,6 +24,10 @@ struct TraceEvent {
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
   uint64_t thread_id = 0;
+  /// Display track for multi-process traces: 0 means "this process" and
+  /// renders as Chrome pid 1; spans imported from a worker carry the worker
+  /// pid so chrome://tracing shows one track per worker.
+  uint64_t track_id = 0;
   /// Span arguments, shown in the chrome://tracing detail pane.
   std::vector<std::pair<std::string, std::string>> args;
 };
@@ -54,6 +58,21 @@ class Tracer {
   /// Copy of all completed events, in completion order (children before
   /// their parents).
   std::vector<TraceEvent> Events() const;
+
+  /// Number of completed events so far (a cheap watermark for EventsSince).
+  size_t EventCount() const;
+
+  /// Events recorded at or after watermark `start` (an earlier EventCount()
+  /// value). Workers use this to ship only the spans completed during one
+  /// task, not the whole inherited history.
+  std::vector<TraceEvent> EventsSince(size_t start) const;
+
+  /// Appends an externally produced span (e.g. one shipped from a worker
+  /// process) verbatim — id, times, and track_id are preserved, not
+  /// reassigned, since worker clocks share the parent's epoch across fork.
+  /// Recorded even when the tracer is disabled: the worker already paid for
+  /// the span, so the parent keeps it.
+  void RecordImported(TraceEvent event);
 
   /// Chrome trace_event JSON ("ph":"X" complete events); load the file via
   /// chrome://tracing or https://ui.perfetto.dev.

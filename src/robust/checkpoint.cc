@@ -1,16 +1,11 @@
 #include "src/robust/checkpoint.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "src/robust/failpoint.h"
+#include "src/util/durable_file.h"
 
 namespace fairem {
 namespace {
@@ -191,66 +186,7 @@ Status CheckpointStore::Save(const std::string& key,
                              const std::string& payload) const {
   if (!enabled()) return Status::OK();
   FAIREM_FAILPOINT("checkpoint_save");
-  std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
-  if (ec) {
-    return Status::IOError("cannot create checkpoint dir '" + dir_ +
-                           "': " + ec.message());
-  }
-  const std::string path = PathFor(key);
-  const std::string tmp = path + ".tmp";
-  // POSIX fds rather than fstream: temp+rename only survives power loss if
-  // the temp file's data is fsynced before the rename and the directory
-  // entry is fsynced after it.
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    return Status::IOError("cannot open '" + tmp +
-                           "' for writing: " + std::strerror(errno));
-  }
-  size_t written = 0;
-  while (written < payload.size()) {
-    ssize_t n = ::write(fd, payload.data() + written, payload.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      int err = errno;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return Status::IOError("write failed for '" + tmp +
-                             "': " + std::strerror(err));
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    int err = errno;
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    return Status::IOError("fsync failed for '" + tmp +
-                           "': " + std::strerror(err));
-  }
-  if (::close(fd) != 0) {
-    ::unlink(tmp.c_str());
-    return Status::IOError("close failed for '" + tmp +
-                           "': " + std::strerror(errno));
-  }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return Status::IOError("cannot publish checkpoint '" + path + "'");
-  }
-  // fsync the directory so the rename itself is durable.
-  int dir_fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dir_fd < 0) {
-    return Status::IOError("cannot open checkpoint dir '" + dir_ +
-                           "' for fsync: " + std::strerror(errno));
-  }
-  if (::fsync(dir_fd) != 0) {
-    int err = errno;
-    ::close(dir_fd);
-    return Status::IOError("fsync failed for checkpoint dir '" + dir_ +
-                           "': " + std::strerror(err));
-  }
-  ::close(dir_fd);
-  return Status::OK();
+  return WriteFileDurable(PathFor(key), payload);
 }
 
 std::string GridCellToJson(const GridCellCheckpoint& cell) {

@@ -15,10 +15,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <filesystem>
+#include <set>
 #include <thread>
+#include <utility>
 
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
+#include "src/obs/trace.h"
 #include "src/robust/failpoint.h"
 #include "src/robust/retry.h"
 #include "src/util/string_util.h"
@@ -191,12 +196,52 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
       "fairem.supervisor.task_wall_seconds");
   static Gauge* max_rss = MetricsRegistry::Global().GetGauge(
       "fairem.supervisor.max_peak_rss_mb");
+  static Counter* sidecars_swept = MetricsRegistry::Global().GetCounter(
+      "fairem.telemetry.sidecars_swept");
 
   std::vector<TaskOutcome> outcomes(tasks.size());
   std::vector<int> attempts(tasks.size(), 0);
   std::deque<size_t> pending;
   for (size_t i = 0; i < tasks.size(); ++i) pending.push_back(i);
   std::vector<RunningWorker> running;
+
+  // Sidecar directory: resolved pre-fork so parent and children agree. An
+  // auto-created one lives only for this Run.
+  std::string telemetry_dir = options_.telemetry_dir;
+  bool telemetry_dir_owned = false;
+  if (options_.ship_telemetry && telemetry_dir.empty()) {
+    telemetry_dir = (std::filesystem::temp_directory_path() /
+                     ("fairem-telemetry-" + std::to_string(::getpid())))
+                        .string();
+    telemetry_dir_owned = true;
+  }
+  auto cleanup_telemetry_dir = [&]() {
+    if (!telemetry_dir_owned) return;
+    std::error_code ec;
+    std::filesystem::remove_all(telemetry_dir, ec);
+  };
+
+  // One merge per (task, attempt): a delta that arrives on both the pipe
+  // and a sidecar must not double count.
+  std::set<std::pair<size_t, int>> telemetry_merged;
+
+  size_t done_count = 0;
+  size_t failed_count = 0;
+  auto report_progress = [&](double last_cell_seconds) {
+    if (!options_.on_progress) return;
+    ProgressSnapshot snap;
+    snap.total = tasks.size();
+    snap.done = done_count;
+    snap.running = running.size();
+    size_t retrying = 0;
+    for (size_t idx : pending) {
+      if (attempts[idx] > 0) ++retrying;
+    }
+    snap.retrying = retrying;
+    snap.failed = failed_count;
+    snap.last_cell_seconds = last_cell_seconds;
+    options_.on_progress(snap);
+  };
 
   auto reap_everything = [&]() {
     for (RunningWorker& worker : running) {
@@ -246,6 +291,14 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
         FailpointRegistry::Global().ReseedStreams(
             static_cast<uint64_t>(attempt));
       }
+      // The fork copied the parent's metric values and trace buffer; the
+      // baseline lets the worker ship only what the task itself adds.
+      MetricsSnapshot telemetry_baseline;
+      size_t span_watermark = 0;
+      if (options_.ship_telemetry) {
+        telemetry_baseline = MetricsRegistry::Global().Snapshot();
+        span_watermark = Tracer::Global().EventCount();
+      }
       // noexcept barrier: an exception escaping the task (e.g. bad_alloc
       // under RLIMIT_AS) must terminate HERE as a contained crash — if it
       // unwound further it would re-enter the forked copy of the caller's
@@ -263,8 +316,27 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
                "\n" + result.status().message();
         exit_code = kWorkerExitTaskError;
       }
+      if (options_.ship_telemetry) {
+        WorkerTelemetry telemetry;
+        telemetry.task_key = tasks[index].key;
+        telemetry.attempt = attempt;
+        telemetry.pid = static_cast<int64_t>(::getpid());
+        telemetry.metrics = DiffSnapshots(telemetry_baseline,
+                                          MetricsRegistry::Global().Snapshot());
+        telemetry.spans = Tracer::Global().EventsSince(span_watermark);
+        // Sidecar before the pipe: if the write below never completes the
+        // parent can still sweep this file up. Best effort — a worker that
+        // cannot write it still ships on the pipe.
+        (void)WriteTelemetrySidecar(telemetry_dir, telemetry);
+        wire = WrapPayloadWithTelemetry(SerializeWorkerTelemetry(telemetry),
+                                        wire);
+      }
       if (!WriteAll(fds[1], wire)) std::_Exit(kWorkerExitProtocol);
       ::close(fds[1]);
+      // Injection site for shipped-then-crashed workers: with a crash
+      // action armed here the parent sees the full wire AND a sidecar AND a
+      // crash exit — the double-delivery dedup's worst case.
+      (void)CheckFailpoint("supervisor_ship");
       // _Exit: no atexit hooks — the parent owns metrics/trace files.
       std::_Exit(exit_code);
     }
@@ -290,8 +362,48 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
                     const rusage& usage) {
     const size_t index = worker.task_index;
     const std::string& key = tasks[index].key;
+    const int attempt = attempts[index];
+    // Strip the telemetry section (if any) off the wire; everything below
+    // interprets only the payload. A worker killed mid-ship leaves a
+    // truncated frame, which degrades to "no telemetry".
+    TelemetrySplit split;
+    if (options_.ship_telemetry) {
+      split = SplitTelemetryPayload(worker.received);
+    } else {
+      split.payload = worker.received;
+    }
+    bool telemetry_seen = false;
+    if (split.has_telemetry) {
+      Result<WorkerTelemetry> telemetry =
+          ParseWorkerTelemetry(split.telemetry_json);
+      if (telemetry.ok()) {
+        telemetry_seen = true;
+        if (telemetry_merged.insert({index, attempt}).second) {
+          AbsorbWorkerTelemetry(telemetry.value());
+        }
+      } else {
+        FAIREM_LOG(WARN) << "worker telemetry unparseable, trying sidecar"
+                         << LogKv("key", key)
+                         << LogKv("status", telemetry.status().ToString());
+      }
+    }
+    if (options_.ship_telemetry) {
+      const std::string sidecar =
+          TelemetrySidecarPath(telemetry_dir, key, attempt);
+      if (!telemetry_seen) {
+        // Crash/timeout path: the pipe copy never landed, sweep the file.
+        Result<WorkerTelemetry> telemetry = LoadTelemetrySidecarFile(sidecar);
+        if (telemetry.ok() &&
+            telemetry_merged.insert({index, attempt}).second) {
+          AbsorbWorkerTelemetry(telemetry.value());
+          sidecars_swept->Increment();
+        }
+      }
+      std::error_code ec;
+      std::filesystem::remove(sidecar, ec);
+    }
     TaskOutcome out;
-    out.attempts = attempts[index];
+    out.attempts = attempt;
     out.exit_status = status;
     out.wall_seconds = SecondsSince(worker.start);
     out.peak_rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
@@ -307,10 +419,10 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
       const int code = WEXITSTATUS(status);
       if (code == kWorkerExitOk) {
         out.kind = TaskOutcome::Kind::kOk;
-        out.payload = worker.received;
+        out.payload = split.payload;
       } else if (code == kWorkerExitTaskError) {
         out.kind = TaskOutcome::Kind::kFailed;
-        out.status = ParseShippedStatus(worker.received);
+        out.status = ParseShippedStatus(split.payload);
         respawnable = IsRetryableStatus(out.status);
       } else {
         out.kind = TaskOutcome::Kind::kCrashed;
@@ -342,6 +454,7 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
                        << LogKv("next_attempt", attempts[index] + 1)
                        << LogKv("status", out.status.ToString());
       pending.push_back(index);
+      report_progress(out.wall_seconds);
       return;
     }
     switch (out.kind) {
@@ -360,7 +473,11 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
       case TaskOutcome::Kind::kCancelled:
         break;
     }
+    ++done_count;
+    if (out.kind != TaskOutcome::Kind::kOk) ++failed_count;
+    double wall_seconds = out.wall_seconds;
     outcomes[index] = std::move(out);
+    report_progress(wall_seconds);
   };
 
   while (!pending.empty() || !running.empty()) {
@@ -371,6 +488,7 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
                        << LogKv("workers", running.size())
                        << LogKv("pending_tasks", pending.size());
       reap_everything();
+      cleanup_telemetry_dir();
       shutdowns->Increment();
       return Status::Cancelled("supervised run interrupted by signal " +
                                std::to_string(sig));
@@ -381,9 +499,11 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
       pending.pop_front();
       if (Status st = spawn(index); !st.ok()) {
         reap_everything();
+        cleanup_telemetry_dir();
         return st;
       }
     }
+    report_progress(-1.0);
     bool progressed = false;
     for (size_t wi = 0; wi < running.size();) {
       RunningWorker& worker = running[wi];
@@ -395,8 +515,11 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
       if (reaped == worker.pid) {
         DrainPipe(&worker);  // bytes written between drain and exit
         ::close(worker.pipe_fd);
-        settle(worker, status, usage);
+        // Remove before settling so progress callbacks see an accurate
+        // running count.
+        RunningWorker finished = std::move(worker);
         running.erase(running.begin() + static_cast<long>(wi));
+        settle(finished, status, usage);
         progressed = true;
         continue;
       }
@@ -418,6 +541,7 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
           std::chrono::duration<double>(options_.poll_interval_s));
     }
   }
+  cleanup_telemetry_dir();
   return outcomes;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/telemetry.h"
 #include "src/util/result.h"
 
 namespace fairem {
@@ -49,6 +50,19 @@ struct SupervisorOptions {
   int max_attempts = 3;
   /// Supervision loop poll interval.
   double poll_interval_s = 0.01;
+  /// Ship each worker's metrics delta and completed spans back to the
+  /// parent (telemetry section on the pipe, durable sidecar file for the
+  /// crash path — DESIGN.md §11). With this on, merged parent metrics for a
+  /// --jobs N run equal the sequential run's.
+  bool ship_telemetry = true;
+  /// Directory for telemetry sidecar files. Empty means a private directory
+  /// under the system temp dir, created for the run and removed afterwards.
+  std::string telemetry_dir;
+  /// Invoked from the poll loop (single-threaded, possibly many times per
+  /// second) after every state change; wire a ProgressReporter here for the
+  /// live progress line. last_cell_seconds is >= 0 exactly once per settled
+  /// worker.
+  std::function<void(const ProgressSnapshot&)> on_progress;
 };
 
 /// What happened to one task after all spawn attempts.

@@ -397,9 +397,14 @@ TEST_F(ObsTest, ChromeTraceJsonParsesWithArgsAndNesting) {
   ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
   const JsonValue& events = root.members.at("traceEvents");
   ASSERT_EQ(events.kind, JsonValue::kArray);
-  ASSERT_EQ(events.items.size(), 2u);
-  const JsonValue& inner = events.items[0];
-  const JsonValue& outer = events.items[1];
+  // One process_name metadata event for the local track, then the spans in
+  // completion order.
+  ASSERT_EQ(events.items.size(), 3u);
+  const JsonValue& meta = events.items[0];
+  EXPECT_EQ(meta.members.at("ph").scalar, "M");
+  EXPECT_EQ(meta.members.at("args").members.at("name").scalar, "fairem");
+  const JsonValue& inner = events.items[1];
+  const JsonValue& outer = events.items[2];
   EXPECT_EQ(outer.members.at("name").scalar, "outer");
   EXPECT_EQ(outer.members.at("ph").scalar, "X");
   EXPECT_EQ(outer.members.at("args").members.at("dataset").scalar,

@@ -22,11 +22,21 @@
 //       process-isolated supervisor: each cell in a forked worker, hangs
 //       SIGKILLed at --cell_timeout_s, address space capped at
 //       --cell_max_rss_mb MiB, crashed cells respawned up to
-//       --retry_attempts.
+//       --retry_attempts. Workers ship metrics/span telemetry back to the
+//       parent, so --metrics_out/--trace_out cover the whole fleet;
+//       --progress prints a live cells-done/ETA line.
+//   fairem benchdiff <old.json> <new.json> [--fail_on SPEC]... [--all]
+//       Compare two metrics snapshots (e.g. successive BENCH_*.json files):
+//       per-metric old/new/delta/ratio table, histograms expanded to
+//       .mean/.count/.sum/.p50/.p95/.p99. Each --fail_on clause
+//       (e.g. 'fairem.matcher.predict_seconds.mean>1.10x') turns the diff
+//       into a regression gate: exit 2 when any clause trips, 1 on
+//       usage/IO errors, 0 otherwise. --all shows unchanged metrics too.
 //
 // Observability (any command): --log_level debug|info|warn|error|off,
 // --trace_out FILE (Chrome trace JSON of the stage spans),
-// --metrics_out FILE (metrics-registry snapshot).
+// --metrics_out FILE (metrics-registry snapshot),
+// --metrics_format json|prom (format of --metrics_out).
 // Fault injection (any command): --failpoints SPEC, e.g.
 // "csv_read=error(0.05);grid_cell=crash(1,5)" (also: FAIREM_FAILPOINTS env).
 //
@@ -35,7 +45,9 @@
 // shuts down cooperatively.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -44,7 +56,9 @@
 #include "src/datagen/benchmark_suite.h"
 #include "src/feature/feature_gen.h"
 #include "src/harness/experiment.h"
+#include "src/obs/benchdiff.h"
 #include "src/obs/obs.h"
+#include "src/obs/telemetry.h"
 #include "src/report/table_printer.h"
 #include "src/robust/failpoint.h"
 #include "src/robust/supervisor.h"
@@ -64,9 +78,10 @@ int Usage() {
       "[--pairwise]\n"
       "  fairem grid <dataset> [--pairwise] [--scale S] [--seed N] "
       "[--checkpoint_dir D] [--retry_attempts N] [--jobs N] "
-      "[--cell_timeout_s S] [--cell_max_rss_mb M]\n"
+      "[--cell_timeout_s S] [--cell_max_rss_mb M] [--progress]\n"
+      "  fairem benchdiff <old.json> <new.json> [--fail_on SPEC]... [--all]\n"
       "observability (any command): [--log_level L] [--trace_out FILE] "
-      "[--metrics_out FILE]\n"
+      "[--metrics_out FILE] [--metrics_format json|prom]\n"
       "fault injection (any command): [--failpoints SPEC]\n";
   return 1;
 }
@@ -364,6 +379,8 @@ int Grid(const std::vector<std::string>& args) {
       double v = 0.0;
       if (!ParseDouble(args[++i], &v) || v < 0.0) return Usage();
       options.cell_max_rss_mb = static_cast<int>(v);
+    } else if (args[i] == "--progress") {
+      options.progress = true;
     } else {
       std::cerr << "unexpected argument '" << args[i] << "'\n";
       return Usage();
@@ -392,6 +409,69 @@ int Grid(const std::vector<std::string>& args) {
   std::cout << "== " << dataset->name << " "
             << (pairwise ? "pairwise" : "single") << " fairness ==\n"
             << (grid->empty() ? "(no unfair cells)\n" : *grid);
+  return 0;
+}
+
+/// Diff two metrics snapshots and optionally gate on --fail_on clauses.
+/// Exit: 0 clean, 2 when a clause trips, 1 on usage/IO/parse errors.
+int BenchDiff(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  bool show_all = false;
+  std::vector<FailOnSpec> specs;
+  for (size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--all") {
+      show_all = true;
+    } else if (args[i] == "--fail_on" && i + 1 < args.size()) {
+      Result<FailOnSpec> spec = ParseFailOnSpec(args[++i]);
+      if (!spec.ok()) {
+        std::cerr << spec.status() << "\n";
+        return 1;
+      }
+      specs.push_back(std::move(*spec));
+    } else {
+      std::cerr << "unexpected argument '" << args[i] << "'\n";
+      return Usage();
+    }
+  }
+  auto load = [](const std::string& path) -> Result<MetricsSnapshot> {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<MetricsSnapshot> snapshot = MetricsSnapshotFromJson(text.str());
+    if (!snapshot.ok()) {
+      return Status::InvalidArgument("'" + path + "': " +
+                                     snapshot.status().message());
+    }
+    return snapshot;
+  };
+  Result<MetricsSnapshot> old_snap = load(args[0]);
+  if (!old_snap.ok()) {
+    std::cerr << old_snap.status() << "\n";
+    return 1;
+  }
+  Result<MetricsSnapshot> new_snap = load(args[1]);
+  if (!new_snap.ok()) {
+    std::cerr << new_snap.status() << "\n";
+    return 1;
+  }
+  std::vector<BenchDiffRow> rows = DiffSnapshotsForBench(*old_snap, *new_snap);
+  std::cout << RenderBenchDiffTable(rows, /*changed_only=*/!show_all);
+  if (specs.empty()) return 0;
+  Result<std::vector<std::string>> violations = CheckFailOnSpecs(
+      FlattenSnapshot(*old_snap), FlattenSnapshot(*new_snap), specs);
+  if (!violations.ok()) {
+    std::cerr << violations.status() << "\n";
+    return 1;
+  }
+  if (!violations->empty()) {
+    for (const std::string& v : *violations) {
+      std::cerr << "REGRESSION: " << v << "\n";
+    }
+    return 2;
+  }
+  std::cout << "benchdiff: " << specs.size() << " gate"
+            << (specs.size() == 1 ? "" : "s") << " passed\n";
   return 0;
 }
 
@@ -424,6 +504,13 @@ int Main(int argc, char** argv) {
       obs.trace_out = value;
     } else if (arg == "--metrics_out" && take_value()) {
       obs.metrics_out = value;
+    } else if (arg == "--metrics_format" && take_value()) {
+      Result<MetricsFormat> format = ParseMetricsFormat(value);
+      if (!format.ok()) {
+        std::cerr << format.status() << "\n";
+        return Usage();
+      }
+      obs.metrics_format = *format;
     } else if (arg == "--failpoints" && take_value()) {
       if (Status st = FailpointRegistry::Global().Configure(value); !st.ok()) {
         std::cerr << st << "\n";
@@ -453,6 +540,8 @@ int Main(int argc, char** argv) {
     code = Pipeline(args);
   } else if (command == "grid") {
     code = Grid(args);
+  } else if (command == "benchdiff") {
+    code = BenchDiff(args);
   } else {
     return Usage();
   }
