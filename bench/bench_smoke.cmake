@@ -227,6 +227,72 @@ message(STATUS
     "bench_smoke OK: parallel run matched sequential, hang was contained, "
     "and ${degraded_count} degraded cell(s) healed on rerun")
 
+# --- intra-cell threading drill ---------------------------------------------
+
+# 1. The --intra_jobs 4 report must be byte-identical to the sequential
+# baseline: the chunked parallel-for writes results by index, so threading
+# must never change the bytes — on any machine, including single-core CI.
+set(intra1_metrics "${WORK_DIR}/bench_smoke_intra1_metrics.json")
+set(intra4_metrics "${WORK_DIR}/bench_smoke_intra4_metrics.json")
+file(REMOVE "${intra1_metrics}" "${intra4_metrics}")
+execute_process(
+  COMMAND "${GRID_BIN}" --scale 0.25 --intra_jobs 1
+          --metrics_out "${intra1_metrics}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE intra1_stdout
+  ERROR_VARIABLE intra1_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "--intra_jobs 1 grid bench exited with ${exit_code}\n"
+      "stderr:\n${intra1_stderr}")
+endif()
+execute_process(
+  COMMAND "${GRID_BIN}" --scale 0.25 --intra_jobs 4
+          --metrics_out "${intra4_metrics}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE intra4_stdout
+  ERROR_VARIABLE intra4_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "--intra_jobs 4 grid bench exited with ${exit_code}\n"
+      "stderr:\n${intra4_stderr}")
+endif()
+if(NOT intra4_stdout STREQUAL baseline_stdout)
+  message(FATAL_ERROR
+      "--intra_jobs 4 report differs from the sequential run\n"
+      "--- sequential ---\n${baseline_stdout}\n"
+      "--- intra_jobs 4 ---\n${intra4_stdout}")
+endif()
+
+# 2. The threaded run must actually have exercised the pool and the
+# prepared-text cache — a byte-identical report produced by silently
+# falling back to sequential code would pass check 1 while proving nothing.
+file(READ "${intra4_metrics}" intra4_snapshot)
+foreach(key
+    "fairem.pool.parallel_fors"
+    "fairem.pool.tasks"
+    "fairem.pool.workers"
+    "fairem.pool.queue_wait_seconds"
+    "fairem.prepared.builds"
+    "fairem.prepared.cache_hits"
+    "fairem.feature.build_table_seconds")
+  if(NOT intra4_snapshot MATCHES "\"${key}")
+    message(FATAL_ERROR
+        "--intra_jobs 4 snapshot is missing ${key}:\n${intra4_snapshot}")
+  endif()
+endforeach()
+if(NOT intra4_snapshot MATCHES "\"fairem.pool.workers\": 3")
+  message(FATAL_ERROR
+      "--intra_jobs 4 run did not report 3 pool workers (caller + 3 = 4):\n"
+      "${intra4_snapshot}")
+endif()
+
+message(STATUS
+    "bench_smoke OK: --intra_jobs 4 matched the sequential report and "
+    "exercised the pool + prepared cache")
+
 # --- telemetry equivalence + benchdiff gate drill ---------------------------
 
 if(NOT DEFINED CLI_BIN)
@@ -326,3 +392,33 @@ endif()
 message(STATUS
     "bench_smoke OK: --jobs 2 telemetry matched sequential counters and the "
     "benchdiff gate tripped as expected")
+
+# --- intra_jobs speedup gate (multi-core hosts only) ------------------------
+
+# The feature-table build must get at least 1.5x faster at --intra_jobs 4
+# (mean build seconds ratio below 1/1.5 ~= 0.67). Only meaningful with
+# enough cores to actually run 4 threads; single-core CI still ran the
+# byte-equality and pool-metrics checks above.
+cmake_host_system_information(RESULT core_count QUERY NUMBER_OF_LOGICAL_CORES)
+if(core_count GREATER_EQUAL 4)
+  execute_process(
+    COMMAND "${CLI_BIN}" benchdiff "${intra1_metrics}" "${intra4_metrics}"
+            --fail_on "fairem.feature.build_table_seconds.mean>0.67x"
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE speedup_stdout
+    ERROR_VARIABLE speedup_stderr)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+        "--intra_jobs 4 did not reach 1.5x on the feature-table build "
+        "(${core_count} cores)\n"
+        "stdout:\n${speedup_stdout}\nstderr:\n${speedup_stderr}")
+  endif()
+  message(STATUS
+      "bench_smoke OK: --intra_jobs 4 cleared the 1.5x feature-build gate "
+      "on ${core_count} cores")
+else()
+  message(STATUS
+      "bench_smoke: ${core_count} core(s); skipping the intra_jobs speedup "
+      "gate (byte-equality still verified)")
+endif()

@@ -16,7 +16,9 @@
 // bench exits with the conventional 128+signal code. Workers ship their
 // metrics deltas and spans back over the pipe (DESIGN.md §11), so the
 // BENCH_*.json counters and the Chrome trace are equivalent between --jobs 1
-// and --jobs N; --progress adds a live cells-done/ETA line on stderr. The
+// and --jobs N; --progress adds a live cells-done/ETA line on stderr.
+// --intra_jobs threads the hot loops inside each cell (byte-identical
+// output; total concurrency jobs x intra_jobs). The
 // snapshot write is atomic and durable (temp + fsync + rename), and
 // `fairem benchdiff A.json B.json` diffs two snapshots.
 
@@ -50,6 +52,7 @@ inline int RunGridBench(DatasetKind kind, const char* single_title,
     options.retry.max_attempts = flags.retry_attempts;
     options.checkpoint_dir = flags.checkpoint_dir;
     options.jobs = flags.jobs;
+    options.intra_jobs = flags.intra_jobs;
     options.cell_timeout_s = flags.cell_timeout_s;
     options.cell_max_rss_mb = flags.cell_max_rss_mb;
     options.progress = flags.progress;

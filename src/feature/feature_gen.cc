@@ -2,17 +2,79 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/text/prepared.h"
 #include "src/text/tokenize.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 
 namespace fairem {
 namespace {
 
 constexpr size_t kShortStringMaxAvgLen = 24;
 constexpr double kShortStringMaxAvgTokens = 3.0;
+
+/// A FeatureDef with its attribute resolved to column indices once, so the
+/// per-pair loop never goes back through schema().Index.
+struct ResolvedDef {
+  size_t col_a = 0;
+  size_t col_b = 0;
+  SimilarityMeasure measure = SimilarityMeasure::kExactMatch;
+};
+
+Result<std::vector<ResolvedDef>> ResolveDefs(
+    const std::vector<FeatureDef>& defs, const Table& a, const Table& b) {
+  std::vector<ResolvedDef> resolved;
+  resolved.reserve(defs.size());
+  for (const auto& def : defs) {
+    ResolvedDef r;
+    FAIREM_ASSIGN_OR_RETURN(r.col_a, a.schema().Index(def.attr));
+    FAIREM_ASSIGN_OR_RETURN(r.col_b, b.schema().Index(def.attr));
+    r.measure = def.measure;
+    resolved.push_back(r);
+  }
+  return resolved;
+}
+
+/// Sorted-unique row indices referenced on one side of a pair list.
+std::vector<size_t> ReferencedRows(const std::vector<LabeledPair>& pairs,
+                                   bool left_side) {
+  std::vector<size_t> rows;
+  rows.reserve(pairs.size());
+  for (const auto& p : pairs) rows.push_back(left_side ? p.left : p.right);
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+/// One side's prepared columns: every column some def touches, tokenized
+/// once per referenced record with exactly the representations the
+/// measures on that column need.
+class PreparedSide {
+ public:
+  void Build(const Table& table, const std::vector<ResolvedDef>& defs,
+             bool left_side, const std::vector<LabeledPair>& pairs) {
+    std::map<size_t, PreparedNeeds> needs;
+    for (const auto& def : defs) {
+      needs[left_side ? def.col_a : def.col_b].MergeFrom(
+          NeedsForMeasure(def.measure));
+    }
+    std::vector<size_t> rows = ReferencedRows(pairs, left_side);
+    for (const auto& [col, col_needs] : needs) {
+      columns_[col].BuildRows(table, col, rows, col_needs);
+    }
+  }
+
+  const PreparedValue& Get(size_t col, size_t row) const {
+    return columns_.at(col).Get(row);
+  }
+
+ private:
+  std::map<size_t, PreparedColumn> columns_;
+};
 
 }  // namespace
 
@@ -43,7 +105,7 @@ Result<AttrType> InferAttrType(const Table& a, const Table& b,
       ++non_null;
       if (ParseDouble(v, nullptr)) ++numeric;
       total_len += v.size();
-      total_tokens += WhitespaceTokenize(v).size();
+      total_tokens += CountWhitespaceTokens(v);
     }
   };
   scan(a, col_a);
@@ -100,17 +162,18 @@ Result<std::vector<FeatureDef>> GenerateFeatures(
 Result<std::vector<double>> ExtractFeatures(
     const std::vector<FeatureDef>& defs, const Table& a, const Table& b,
     size_t left_row, size_t right_row) {
+  FAIREM_ASSIGN_OR_RETURN(std::vector<ResolvedDef> resolved,
+                          ResolveDefs(defs, a, b));
   std::vector<double> features;
   features.reserve(defs.size());
-  for (const auto& def : defs) {
-    FAIREM_ASSIGN_OR_RETURN(size_t col_a, a.schema().Index(def.attr));
-    FAIREM_ASSIGN_OR_RETURN(size_t col_b, b.schema().Index(def.attr));
-    if (a.IsNull(left_row, col_a) || b.IsNull(right_row, col_b)) {
+  for (const auto& def : resolved) {
+    if (a.IsNull(left_row, def.col_a) || b.IsNull(right_row, def.col_b)) {
       features.push_back(0.0);
       continue;
     }
-    features.push_back(ComputeSimilarity(def.measure, a.value(left_row, col_a),
-                                         b.value(right_row, col_b)));
+    features.push_back(ComputeSimilarity(def.measure,
+                                         a.value(left_row, def.col_a),
+                                         b.value(right_row, def.col_b)));
   }
   return features;
 }
@@ -118,32 +181,72 @@ Result<std::vector<double>> ExtractFeatures(
 Result<FeatureTable> BuildFeatureTable(const std::vector<FeatureDef>& defs,
                                        const Table& a, const Table& b,
                                        const std::vector<LabeledPair>& pairs) {
-  Span span("fairem.feature.build_table");
-  span.AddArg("pairs", std::to_string(pairs.size()));
-  span.AddArg("defs", std::to_string(defs.size()));
-  static Counter* rows_counter =
-      MetricsRegistry::Global().GetCounter("fairem.feature.rows_built");
-  static Counter* values_counter =
-      MetricsRegistry::Global().GetCounter("fairem.feature.values_computed");
-  rows_counter->Increment(pairs.size());
-  values_counter->Increment(pairs.size() * defs.size());
-  FeatureTable table;
-  table.defs = defs;
-  table.rows.reserve(pairs.size());
-  table.labels.reserve(pairs.size());
-  for (const auto& p : pairs) {
-    FAIREM_ASSIGN_OR_RETURN(std::vector<double> row,
-                            ExtractFeatures(defs, a, b, p.left, p.right));
-    for (size_t f = 0; f < row.size(); ++f) {
-      if (!std::isfinite(row[f])) {
-        return Status::InvalidArgument(
-            "non-finite feature value for attribute '" + defs[f].attr + "'");
-      }
-    }
-    table.rows.push_back(std::move(row));
-    table.labels.push_back(p.is_match ? 1 : 0);
-  }
-  return table;
+  static Histogram* build_hist = MetricsRegistry::Global().GetHistogram(
+      "fairem.feature.build_table_seconds");
+  double seconds = 0.0;
+  Result<FeatureTable> result = [&]() -> Result<FeatureTable> {
+    Span span("fairem.feature.build_table", &seconds);
+    span.AddArg("pairs", std::to_string(pairs.size()));
+    span.AddArg("defs", std::to_string(defs.size()));
+    static Counter* rows_counter =
+        MetricsRegistry::Global().GetCounter("fairem.feature.rows_built");
+    static Counter* values_counter =
+        MetricsRegistry::Global().GetCounter("fairem.feature.values_computed");
+    rows_counter->Increment(pairs.size());
+    values_counter->Increment(pairs.size() * defs.size());
+
+    // Columns resolve once per def (not once per pair), and every
+    // referenced record is lowercased/tokenized/q-grammed exactly once
+    // into the prepared cache the pairwise kernels read.
+    FAIREM_ASSIGN_OR_RETURN(std::vector<ResolvedDef> resolved,
+                            ResolveDefs(defs, a, b));
+    PreparedSide side_a;
+    PreparedSide side_b;
+    side_a.Build(a, resolved, /*left_side=*/true, pairs);
+    side_b.Build(b, resolved, /*left_side=*/false, pairs);
+
+    FeatureTable table;
+    table.defs = defs;
+    table.rows.assign(pairs.size(), {});
+    table.labels.assign(pairs.size(), 0);
+    // Row chunks write disjoint slots in pair order, so the matrix is
+    // byte-identical for any --intra_jobs; the first non-finite feature by
+    // pair index wins the error, again independent of the schedule.
+    FAIREM_RETURN_NOT_OK(ParallelForChunks(
+        pairs.size(), /*grain=*/0, [&](size_t begin, size_t end) -> Status {
+          uint64_t cache_hits = 0;
+          for (size_t i = begin; i < end; ++i) {
+            const LabeledPair& p = pairs[i];
+            std::vector<double> row;
+            row.reserve(resolved.size());
+            for (const auto& def : resolved) {
+              const PreparedValue& va = side_a.Get(def.col_a, p.left);
+              const PreparedValue& vb = side_b.Get(def.col_b, p.right);
+              if (va.is_null || vb.is_null) {
+                row.push_back(0.0);
+                continue;
+              }
+              cache_hits += 2;
+              row.push_back(ComputeSimilarity(def.measure, va, vb));
+            }
+            for (size_t f = 0; f < row.size(); ++f) {
+              if (!std::isfinite(row[f])) {
+                AddPreparedCacheHits(cache_hits);
+                return Status::InvalidArgument(
+                    "non-finite feature value for attribute '" +
+                    defs[f].attr + "'");
+              }
+            }
+            table.rows[i] = std::move(row);
+            table.labels[i] = p.is_match ? 1 : 0;
+          }
+          AddPreparedCacheHits(cache_hits);
+          return Status::OK();
+        }));
+    return table;
+  }();
+  if (result.ok()) build_hist->Observe(seconds);
+  return result;
 }
 
 }  // namespace fairem

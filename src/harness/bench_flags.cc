@@ -6,6 +6,7 @@
 
 #include "src/robust/failpoint.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 
 namespace fairem {
 namespace {
@@ -14,7 +15,8 @@ const char kUsage[] =
     " [--scale S] [--seed N] [--log_level debug|info|warn|error|off]"
     " [--trace_out FILE] [--metrics_out FILE] [--metrics_format json|prom]"
     " [--failpoints SPEC] [--checkpoint_dir DIR] [--retry_attempts N]"
-    " [--jobs N] [--cell_timeout_s S] [--cell_max_rss_mb M] [--progress]\n";
+    " [--jobs N] [--intra_jobs N] [--cell_timeout_s S] [--cell_max_rss_mb M]"
+    " [--progress]\n";
 
 std::string Basename(const std::string& path) {
   size_t slash = path.find_last_of('/');
@@ -87,6 +89,11 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       next_value(&v);
       if (v < 1.0) usage();
       flags.jobs = static_cast<int>(v);
+    } else if (arg == "--intra_jobs") {
+      double v = 0.0;
+      next_value(&v);
+      if (v < 1.0) usage();
+      flags.intra_jobs = static_cast<int>(v);
     } else if (arg == "--cell_timeout_s") {
       next_value(&flags.cell_timeout_s);
       if (flags.cell_timeout_s < 0.0) usage();
@@ -101,6 +108,7 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       std::exit(1);
     }
   }
+  SetIntraJobs(flags.intra_jobs);
   if (Status st = ApplyObsOptions(flags.obs); !st.ok()) {
     std::cerr << st << "\nusage: " << argv[0] << kUsage;
     std::exit(1);

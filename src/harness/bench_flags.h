@@ -26,6 +26,12 @@ namespace fairem {
 ///   --jobs N            parallel worker processes for grid sweeps; > 1 (or
 ///                       either knob below) switches to the supervised
 ///                       process-isolated executor (default 1, sequential)
+///   --intra_jobs N      threads inside each process for the hot matcher
+///                       loops (feature table rows, forest trees, batch
+///                       predict). Composes with --jobs: total concurrency
+///                       is jobs x intra_jobs, so size them together
+///                       against the core count (default 1, sequential).
+///                       Output is byte-identical for any N.
 ///   --cell_timeout_s S  wall-clock watchdog per grid cell; a hung worker is
 ///                       SIGKILLed and respawned (default 0 = off)
 ///   --cell_max_rss_mb M address-space cap per grid-cell worker in MiB
@@ -39,6 +45,7 @@ struct BenchFlags {
   std::string checkpoint_dir;
   int retry_attempts = 3;
   int jobs = 1;
+  int intra_jobs = 1;
   double cell_timeout_s = 0.0;
   int cell_max_rss_mb = 0;
   bool progress = false;

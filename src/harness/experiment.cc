@@ -13,6 +13,7 @@
 #include "src/robust/failpoint.h"
 #include "src/robust/supervisor.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 
 namespace fairem {
 
@@ -231,6 +232,9 @@ Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
   Span grid_span("fairem.harness.unfairness_grid");
   grid_span.AddArg("dataset", dataset.name);
   grid_span.AddArg("mode", pairwise ? "pairwise" : "single");
+  // Applied before any forking so supervised workers inherit the setting;
+  // they rebuild their own pool lazily (the parent's is abandoned at fork).
+  SetIntraJobs(options.intra_jobs);
   const char* mode = pairwise ? "pairwise" : "single";
   CheckpointStore store(options.checkpoint_dir);
   // SIGINT/SIGTERM now request a cooperative stop: workers are reaped,

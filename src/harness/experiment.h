@@ -81,6 +81,12 @@ struct GridRunOptions {
   /// respawns failed cells up to retry.max_attempts. Reports are
   /// byte-identical across modes for healthy cells.
   int jobs = 1;
+  /// Threads inside each cell for the hot matcher loops (feature-table
+  /// rows, forest trees, batch predict); applied via SetIntraJobs before
+  /// the sweep, so forked workers inherit it. Composes multiplicatively
+  /// with `jobs` — total concurrency is jobs x intra_jobs. Cell results
+  /// are byte-identical for any value.
+  int intra_jobs = 1;
   /// Wall-clock watchdog deadline per cell attempt (supervised executor
   /// only); the worker is SIGKILLed past it. 0 disables.
   double cell_timeout_s = 0.0;

@@ -40,6 +40,18 @@ Result<double> FeatureClassifierMatcher::ScorePair(const EMDataset& dataset,
   return classifier_->PredictScore(features);
 }
 
+Result<std::vector<double>> FeatureClassifierMatcher::PredictScores(
+    const EMDataset& dataset, const std::vector<LabeledPair>& pairs) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("matcher '" + display_name_ +
+                                      "' used before Fit");
+  }
+  FAIREM_ASSIGN_OR_RETURN(
+      FeatureTable table,
+      BuildFeatureTable(features_, dataset.table_a, dataset.table_b, pairs));
+  return classifier_->PredictScores(table.rows);
+}
+
 std::unique_ptr<Matcher> MakeDTMatcher() {
   return std::make_unique<FeatureClassifierMatcher>(
       "DTMatcher", std::make_unique<DecisionTree>());

@@ -30,6 +30,14 @@ class FeatureClassifierMatcher : public Matcher {
   Result<double> ScorePair(const EMDataset& dataset, size_t left,
                            size_t right) const override;
 
+  /// Batch path: one BuildFeatureTable over all pairs (prepared-text cache,
+  /// parallel row chunks) plus a batched classifier predict, instead of
+  /// re-extracting features pair by pair. Byte-identical scores in the same
+  /// order as the default loop.
+  Result<std::vector<double>> PredictScores(
+      const EMDataset& dataset,
+      const std::vector<LabeledPair>& pairs) const override;
+
   /// The generated feature definitions (after Fit). Exposed so audits can
   /// report which attributes the model leans on.
   const std::vector<FeatureDef>& features() const { return features_; }

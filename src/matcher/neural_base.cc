@@ -1,6 +1,7 @@
 #include "src/matcher/neural_base.h"
 
 #include "src/matcher/serialize.h"
+#include "src/util/thread_pool.h"
 
 namespace fairem {
 
@@ -63,6 +64,26 @@ Result<double> NeuralMatcherBase::ScorePair(const EMDataset& dataset,
   FAIREM_ASSIGN_OR_RETURN(std::vector<float> features,
                           EncodePair(dataset, left, right));
   return head_.Predict(features);
+}
+
+Result<std::vector<double>> NeuralMatcherBase::PredictScores(
+    const EMDataset& dataset, const std::vector<LabeledPair>& pairs) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("neural matcher '" + name() +
+                                      "' used before Fit");
+  }
+  std::vector<double> scores(pairs.size(), 0.0);
+  FAIREM_RETURN_NOT_OK(ParallelForChunks(
+      pairs.size(), /*grain=*/0, [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          FAIREM_ASSIGN_OR_RETURN(
+              std::vector<float> features,
+              EncodePair(dataset, pairs[i].left, pairs[i].right));
+          scores[i] = head_.Predict(features);
+        }
+        return Status::OK();
+      }));
+  return scores;
 }
 
 }  // namespace fairem

@@ -25,6 +25,14 @@ class NeuralMatcherBase : public Matcher {
   Result<double> ScorePair(const EMDataset& dataset, size_t left,
                            size_t right) const override;
 
+  /// Batch path: EncodePair + head forward per pair, chunked over the
+  /// intra-cell pool. Encoders and the head are frozen after Fit, so pairs
+  /// are independent and the output is byte-identical to the sequential
+  /// loop in pair order. One-to-set matchers (GNEM) override this again.
+  Result<std::vector<double>> PredictScores(
+      const EMDataset& dataset,
+      const std::vector<LabeledPair>& pairs) const override;
+
  protected:
   explicit NeuralMatcherBase(nn::MlpOptions head_options = {});
 

@@ -2,6 +2,14 @@
 
 namespace fairem {
 
+std::vector<double> Classifier::PredictScores(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> scores;
+  scores.reserve(x.size());
+  for (const auto& row : x) scores.push_back(PredictScore(row));
+  return scores;
+}
+
 Status Classifier::ValidateTrainingData(
     const std::vector<std::vector<double>>& x, const std::vector<int>& y) {
   if (x.empty()) return Status::InvalidArgument("empty training set");

@@ -29,6 +29,14 @@ class Classifier {
   /// after a successful Fit.
   virtual double PredictScore(const std::vector<double>& x) const = 0;
 
+  /// Batch scoring: scores[i] = PredictScore(x[i]). The default is the
+  /// sequential loop; classifiers with an expensive per-row predict
+  /// (RandomForest) override it to chunk the rows over the intra-cell
+  /// thread pool — output order is by row index either way, so results are
+  /// byte-identical across `--intra_jobs` settings.
+  virtual std::vector<double> PredictScores(
+      const std::vector<std::vector<double>>& x) const;
+
  protected:
   /// Shared input validation for Fit implementations.
   static Status ValidateTrainingData(const std::vector<std::vector<double>>& x,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
 
 namespace fairem {
 
@@ -20,20 +21,43 @@ Status RandomForest::Fit(const std::vector<std::vector<double>>& x,
     tree_opts.max_features =
         std::max(1, static_cast<int>(std::sqrt(static_cast<double>(dim))));
   }
-  for (int t = 0; t < options_.num_trees; ++t) {
-    // Bootstrap sample.
-    std::vector<std::vector<double>> bx;
-    std::vector<int> by;
-    bx.reserve(n);
-    by.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      size_t idx = static_cast<size_t>(rng->NextBounded(n));
-      bx.push_back(x[idx]);
-      by.push_back(y[idx]);
+  const size_t num_trees = static_cast<size_t>(options_.num_trees);
+  // Every tree gets its own decorrelated RNG stream, pre-drawn from the
+  // caller's generator in tree order. This is what makes the parallel fit
+  // deterministic: tree t consumes only stream t (bootstrap + split
+  // subsampling), so the forest is bit-identical whether the trees are
+  // built sequentially or on N pool threads.
+  std::vector<uint64_t> tree_seeds;
+  tree_seeds.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    tree_seeds.push_back(rng->Next());
+  }
+  trees_.assign(num_trees, DecisionTree(tree_opts));
+  std::vector<Status> tree_status(num_trees, Status::OK());
+  GlobalThreadPool().ParallelFor(
+      num_trees, /*grain=*/1, [&](size_t begin, size_t end) {
+        for (size_t t = begin; t < end; ++t) {
+          Rng tree_rng(tree_seeds[t]);
+          // Bootstrap sample.
+          std::vector<std::vector<double>> bx;
+          std::vector<int> by;
+          bx.reserve(n);
+          by.reserve(n);
+          for (size_t i = 0; i < n; ++i) {
+            size_t idx = static_cast<size_t>(tree_rng.NextBounded(n));
+            bx.push_back(x[idx]);
+            by.push_back(y[idx]);
+          }
+          DecisionTree tree(tree_opts);
+          tree_status[t] = tree.Fit(bx, by, &tree_rng);
+          if (tree_status[t].ok()) trees_[t] = std::move(tree);
+        }
+      });
+  for (size_t t = 0; t < num_trees; ++t) {
+    if (!tree_status[t].ok()) {
+      trees_.clear();
+      return tree_status[t];
     }
-    DecisionTree tree(tree_opts);
-    FAIREM_RETURN_NOT_OK(tree.Fit(bx, by, rng));
-    trees_.push_back(std::move(tree));
   }
   return Status::OK();
 }
@@ -43,6 +67,21 @@ double RandomForest::PredictScore(const std::vector<double>& x) const {
   double sum = 0.0;
   for (const auto& tree : trees_) sum += tree.PredictScore(x);
   return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::PredictScores(
+    const std::vector<std::vector<double>>& x) const {
+  FAIREM_CHECK(!trees_.empty(), "RandomForest::PredictScores before Fit");
+  std::vector<double> scores(x.size(), 0.0);
+  // Rows are independent and each writes its own slot, so chunking over
+  // the pool keeps the output byte-identical to the sequential loop.
+  GlobalThreadPool().ParallelFor(x.size(), /*grain=*/0,
+                                 [&](size_t begin, size_t end) {
+                                   for (size_t i = begin; i < end; ++i) {
+                                     scores[i] = PredictScore(x[i]);
+                                   }
+                                 });
+  return scores;
 }
 
 }  // namespace fairem

@@ -10,6 +10,13 @@ namespace fairem {
 
 /// Bagged ensemble of CART trees with per-split feature subsampling
 /// (sqrt(d) features per split by default). Score = mean of tree scores.
+///
+/// Fit pre-draws one RNG seed per tree from the caller's generator, then
+/// builds the trees (bootstrap + split subsampling on the per-tree stream)
+/// in parallel over the intra-cell pool — the fitted forest is
+/// bit-identical for any `--intra_jobs`, because tree t's randomness never
+/// depends on how many trees fit concurrently. PredictScores chunks rows
+/// the same way.
 struct RandomForestOptions {
   int num_trees = 20;
   TreeOptions tree;
@@ -26,6 +33,9 @@ class RandomForest : public Classifier {
              const std::vector<int>& y, Rng* rng) override;
 
   double PredictScore(const std::vector<double>& x) const override;
+
+  std::vector<double> PredictScores(
+      const std::vector<std::vector<double>>& x) const override;
 
   size_t num_trees() const { return trees_.size(); }
 

@@ -1,0 +1,194 @@
+#include "src/text/prepared.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/metrics.h"
+#include "src/text/edit_distance.h"
+#include "src/text/hybrid_sim.h"
+#include "src/text/tokenize.h"
+#include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
+
+namespace fairem {
+namespace {
+
+Counter* BuildsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("fairem.prepared.builds");
+  return c;
+}
+
+Counter* CacheHitsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("fairem.prepared.cache_hits");
+  return c;
+}
+
+/// Sorted-unique copy of a token bag (the set the unordered_set-based
+/// kernels in token_sim.cc collapse to — same elements, so the same
+/// cardinalities and the same similarity doubles).
+std::vector<std::string> SortedUnique(std::vector<std::string> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+/// |A ∩ B| of two sorted-unique vectors by linear merge.
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t ia = 0;
+  size_t ib = 0;
+  size_t inter = 0;
+  while (ia < a.size() && ib < b.size()) {
+    int cmp = a[ia].compare(b[ib]);
+    if (cmp < 0) {
+      ++ia;
+    } else if (cmp > 0) {
+      ++ib;
+    } else {
+      ++inter;
+      ++ia;
+      ++ib;
+    }
+  }
+  return inter;
+}
+
+/// The exact formulas of token_sim.cc, over precomputed cardinalities.
+double JaccardFromSizes(size_t a, size_t b, size_t inter) {
+  size_t uni = a + b - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiceFromSizes(size_t a, size_t b, size_t inter) {
+  if (a + b == 0) return 1.0;
+  return 2.0 * static_cast<double>(inter) / static_cast<double>(a + b);
+}
+
+double OverlapFromSizes(size_t a, size_t b, size_t inter) {
+  size_t min_size = std::min(a, b);
+  if (min_size == 0) return a == b ? 1.0 : 0.0;
+  return static_cast<double>(inter) / static_cast<double>(min_size);
+}
+
+double CosineFromSizes(size_t a, size_t b, size_t inter) {
+  if (a == 0 && b == 0) return 1.0;
+  if (a == 0 || b == 0) return 0.0;
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(a) * static_cast<double>(b));
+}
+
+}  // namespace
+
+PreparedNeeds NeedsForMeasure(SimilarityMeasure m) {
+  PreparedNeeds needs;
+  switch (m) {
+    case SimilarityMeasure::kJaccardWord:
+    case SimilarityMeasure::kDiceWord:
+    case SimilarityMeasure::kOverlapWord:
+    case SimilarityMeasure::kCosineWord:
+      needs.word_set = true;
+      break;
+    case SimilarityMeasure::kJaccardQgram3:
+    case SimilarityMeasure::kDiceQgram3:
+      needs.qgram_set = true;
+      break;
+    case SimilarityMeasure::kMongeElkanJaro:
+      needs.word_tokens = true;
+      break;
+    case SimilarityMeasure::kNumericAbsDiff:
+      needs.numeric = true;
+      break;
+    case SimilarityMeasure::kTokenSortRatio:
+      needs.token_sorted = true;
+      break;
+    default:
+      break;  // character-level measures read `raw` only
+  }
+  return needs;
+}
+
+PreparedValue PrepareValue(std::string_view raw, bool is_null,
+                           const PreparedNeeds& needs) {
+  PreparedValue v;
+  v.raw = raw;
+  v.is_null = is_null;
+  if (is_null) return v;
+  if (needs.word_tokens || needs.word_set || needs.token_sorted) {
+    std::vector<std::string> tokens = AlnumTokenize(raw);
+    if (needs.token_sorted) {
+      // TokenSortRatio sorts with duplicates before joining; mirror it.
+      std::vector<std::string> sorted = tokens;
+      std::sort(sorted.begin(), sorted.end());
+      v.token_sorted = Join(sorted, " ");
+    }
+    if (needs.word_set) v.word_set = SortedUnique(tokens);
+    if (needs.word_tokens) v.word_tokens = std::move(tokens);
+  }
+  if (needs.qgram_set) v.qgram_set = SortedUnique(QGrams(raw, 3));
+  if (needs.numeric) v.is_numeric = ParseDouble(raw, &v.numeric_value);
+  return v;
+}
+
+double ComputeSimilarity(SimilarityMeasure m, const PreparedValue& a,
+                         const PreparedValue& b) {
+  switch (m) {
+    case SimilarityMeasure::kJaccardWord:
+      return JaccardFromSizes(a.word_set.size(), b.word_set.size(),
+                              SortedIntersectionSize(a.word_set, b.word_set));
+    case SimilarityMeasure::kDiceWord:
+      return DiceFromSizes(a.word_set.size(), b.word_set.size(),
+                           SortedIntersectionSize(a.word_set, b.word_set));
+    case SimilarityMeasure::kOverlapWord:
+      return OverlapFromSizes(a.word_set.size(), b.word_set.size(),
+                              SortedIntersectionSize(a.word_set, b.word_set));
+    case SimilarityMeasure::kCosineWord:
+      return CosineFromSizes(a.word_set.size(), b.word_set.size(),
+                             SortedIntersectionSize(a.word_set, b.word_set));
+    case SimilarityMeasure::kJaccardQgram3:
+      return JaccardFromSizes(
+          a.qgram_set.size(), b.qgram_set.size(),
+          SortedIntersectionSize(a.qgram_set, b.qgram_set));
+    case SimilarityMeasure::kDiceQgram3:
+      return DiceFromSizes(a.qgram_set.size(), b.qgram_set.size(),
+                           SortedIntersectionSize(a.qgram_set, b.qgram_set));
+    case SimilarityMeasure::kMongeElkanJaro:
+      return SymmetricMongeElkan(a.word_tokens, b.word_tokens,
+                                 &JaroSimilarity);
+    case SimilarityMeasure::kNumericAbsDiff: {
+      if (!a.is_numeric || !b.is_numeric) return 0.0;
+      double denom = std::max(
+          {std::fabs(a.numeric_value), std::fabs(b.numeric_value), 1.0});
+      return std::clamp(
+          1.0 - std::fabs(a.numeric_value - b.numeric_value) / denom, 0.0,
+          1.0);
+    }
+    case SimilarityMeasure::kTokenSortRatio:
+      return LevenshteinSimilarity(a.token_sorted, b.token_sorted);
+    default:
+      return ComputeSimilarity(m, a.raw, b.raw);
+  }
+}
+
+void PreparedColumn::BuildRows(const Table& table, size_t col,
+                               const std::vector<size_t>& rows,
+                               const PreparedNeeds& needs) {
+  values_.assign(table.num_rows(), PreparedValue{});
+  GlobalThreadPool().ParallelFor(
+      rows.size(), /*grain=*/0, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          size_t row = rows[i];
+          values_[row] =
+              PrepareValue(table.value(row, col), table.IsNull(row, col), needs);
+        }
+      });
+  BuildsCounter()->Increment(rows.size());
+}
+
+void AddPreparedCacheHits(uint64_t n) {
+  if (n > 0) CacheHitsCounter()->Increment(n);
+}
+
+}  // namespace fairem

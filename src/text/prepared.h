@@ -1,0 +1,98 @@
+#ifndef FAIREM_TEXT_PREPARED_H_
+#define FAIREM_TEXT_PREPARED_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/data/table.h"
+#include "src/text/similarity.h"
+
+namespace fairem {
+
+/// Which derived representations a PreparedValue carries. Feature
+/// extraction derives the needed set from the similarity measures used on
+/// a column, so a numeric column never pays for q-gram sets and a long-text
+/// column never pays for a numeric parse.
+struct PreparedNeeds {
+  bool word_tokens = false;   // AlnumTokenize (order + duplicates preserved)
+  bool word_set = false;      // sorted-unique word tokens
+  bool qgram_set = false;     // sorted-unique padded 3-grams
+  bool numeric = false;       // ParseDouble result
+  bool token_sorted = false;  // " "-joined sorted tokens (TokenSortRatio)
+
+  void MergeFrom(const PreparedNeeds& other) {
+    word_tokens |= other.word_tokens;
+    word_set |= other.word_set;
+    qgram_set |= other.qgram_set;
+    numeric |= other.numeric;
+    token_sorted |= other.token_sorted;
+  }
+};
+
+/// The representations PairSimilarity(measure) needs for one measure.
+/// Measures not listed here (pure character-level ones) need only `raw`.
+PreparedNeeds NeedsForMeasure(SimilarityMeasure m);
+
+/// One record's cell, tokenized/normalized exactly once. The pairwise
+/// kernels that used to call AlnumTokenize / QGrams / ParseDouble per pair
+/// read these instead, which turns the O(pairs) re-derivation of the hot
+/// matcher path into O(records).
+struct PreparedValue {
+  std::string_view raw;  // view into the owning Table's cell storage
+  bool is_null = true;
+
+  std::vector<std::string> word_tokens;
+  std::vector<std::string> word_set;   // sorted unique word tokens
+  std::vector<std::string> qgram_set;  // sorted unique padded 3-grams
+  std::string token_sorted;
+
+  double numeric_value = 0.0;
+  bool is_numeric = false;
+};
+
+/// Builds the prepared form of one cell. `raw` must outlive the result.
+PreparedValue PrepareValue(std::string_view raw, bool is_null,
+                           const PreparedNeeds& needs);
+
+/// ComputeSimilarity over prepared views: byte-identical doubles to
+/// ComputeSimilarity(m, a.raw, b.raw) — token measures compute the same
+/// set sizes from the sorted-unique vectors the unordered_set path would
+/// build, everything else falls through to the raw kernels. Null handling
+/// stays with the caller (the feature path maps null to 0 before here).
+double ComputeSimilarity(SimilarityMeasure m, const PreparedValue& a,
+                         const PreparedValue& b);
+
+/// A per-(table, column) cache of PreparedValue, built once per
+/// BuildFeatureTable / batch-predict call for exactly the rows a pair list
+/// references. BuildRows chunks the row list over the global thread pool
+/// (disjoint slots, deterministic); afterwards Get is const and safe from
+/// any thread.
+///
+/// Counters: `fairem.prepared.builds` counts cells prepared,
+/// `fairem.prepared.cache_hits` counts pair-side lookups served from the
+/// cache (every hit is a tokenization/parse the old path re-ran).
+class PreparedColumn {
+ public:
+  PreparedColumn() = default;
+
+  /// Prepares `rows` (deduplicated indices into `table`) for column `col`.
+  /// Unreferenced rows stay unprepared and must not be fetched.
+  void BuildRows(const Table& table, size_t col,
+                 const std::vector<size_t>& rows, const PreparedNeeds& needs);
+
+  /// The prepared cell for a row passed to BuildRows.
+  const PreparedValue& Get(size_t row) const { return values_[row]; }
+
+ private:
+  std::vector<PreparedValue> values_;
+};
+
+/// Bumps fairem.prepared.cache_hits by `n` (batched by chunk in the hot
+/// loop so the atomic is not contended per pair).
+void AddPreparedCacheHits(uint64_t n);
+
+}  // namespace fairem
+
+#endif  // FAIREM_TEXT_PREPARED_H_

@@ -20,6 +20,20 @@ std::vector<std::string> WhitespaceTokenize(std::string_view s) {
   return tokens;
 }
 
+size_t CountWhitespaceTokens(std::string_view s) {
+  size_t count = 0;
+  bool in_token = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      in_token = false;
+    } else if (!in_token) {
+      in_token = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
 std::vector<std::string> AlnumTokenize(std::string_view s) {
   std::vector<std::string> tokens;
   std::string current;

@@ -10,6 +10,11 @@ namespace fairem {
 /// Splits on runs of ASCII whitespace. "a  b" -> {"a", "b"}.
 std::vector<std::string> WhitespaceTokenize(std::string_view s);
 
+/// WhitespaceTokenize(s).size() without materializing the tokens — the
+/// allocation-free form for scan paths that only need the count
+/// (attribute-type inference).
+size_t CountWhitespaceTokens(std::string_view s);
+
 /// Splits on runs of non-alphanumeric bytes, lower-casing ASCII letters.
 /// "Qing-Hu Huang" -> {"qing", "hu", "huang"}.
 std::vector<std::string> AlnumTokenize(std::string_view s);

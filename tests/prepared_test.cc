@@ -1,0 +1,85 @@
+#include "src/text/prepared.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/text/similarity.h"
+
+namespace fairem {
+namespace {
+
+const std::vector<SimilarityMeasure> kAllMeasures = {
+    SimilarityMeasure::kExactMatch,     SimilarityMeasure::kLevenshtein,
+    SimilarityMeasure::kDamerauLevenshtein, SimilarityMeasure::kHamming,
+    SimilarityMeasure::kJaro,           SimilarityMeasure::kJaroWinkler,
+    SimilarityMeasure::kNeedlemanWunsch, SimilarityMeasure::kSmithWaterman,
+    SimilarityMeasure::kPrefix,         SimilarityMeasure::kJaccardWord,
+    SimilarityMeasure::kJaccardQgram3,  SimilarityMeasure::kDiceWord,
+    SimilarityMeasure::kDiceQgram3,     SimilarityMeasure::kOverlapWord,
+    SimilarityMeasure::kCosineWord,     SimilarityMeasure::kMongeElkanJaro,
+    SimilarityMeasure::kSoundex,        SimilarityMeasure::kNumericAbsDiff,
+    SimilarityMeasure::kAbbrevName,     SimilarityMeasure::kTokenSortRatio,
+    SimilarityMeasure::kAffineGap,
+};
+
+const std::vector<std::string> kSamples = {
+    "",
+    "a",
+    "Qing-Hu Huang",
+    "huang qing-hu",
+    "efficient query processing over large streaming data",
+    "Efficient  Query processing over STREAMING data collections",
+    "3.14159",
+    "42",
+    "-17.5",
+    "not a number 7",
+    "aaa bbb aaa ccc bbb",
+    "the the the",
+    "VLDB 2001",
+    "sigmod '99 proceedings",
+};
+
+/// The cache's core contract: a prepared comparison must produce the exact
+/// same double as the raw string-pair kernel, for every measure — the
+/// parallel feature table is only byte-identical if this holds bitwise.
+TEST(PreparedSimilarityTest, MatchesRawKernelBitwiseForEveryMeasure) {
+  for (SimilarityMeasure m : kAllMeasures) {
+    PreparedNeeds needs = NeedsForMeasure(m);
+    for (const std::string& sa : kSamples) {
+      PreparedValue pa = PrepareValue(sa, /*is_null=*/false, needs);
+      for (const std::string& sb : kSamples) {
+        PreparedValue pb = PrepareValue(sb, /*is_null=*/false, needs);
+        double raw = ComputeSimilarity(m, sa, sb);
+        double prepared = ComputeSimilarity(m, pa, pb);
+        EXPECT_EQ(raw, prepared)
+            << SimilarityMeasureName(m) << "(\"" << sa << "\", \"" << sb
+            << "\")";
+      }
+    }
+  }
+}
+
+TEST(PreparedSimilarityTest, NeedsAreMinimalForWordMeasures) {
+  PreparedNeeds needs = NeedsForMeasure(SimilarityMeasure::kJaccardWord);
+  EXPECT_TRUE(needs.word_set);
+  EXPECT_FALSE(needs.qgram_set);
+  EXPECT_FALSE(needs.numeric);
+  needs = NeedsForMeasure(SimilarityMeasure::kJaccardQgram3);
+  EXPECT_TRUE(needs.qgram_set);
+  EXPECT_FALSE(needs.word_set);
+  needs = NeedsForMeasure(SimilarityMeasure::kNumericAbsDiff);
+  EXPECT_TRUE(needs.numeric);
+}
+
+TEST(PreparedSimilarityTest, MergeFromUnionsNeeds) {
+  PreparedNeeds a = NeedsForMeasure(SimilarityMeasure::kJaccardWord);
+  a.MergeFrom(NeedsForMeasure(SimilarityMeasure::kJaccardQgram3));
+  a.MergeFrom(NeedsForMeasure(SimilarityMeasure::kNumericAbsDiff));
+  EXPECT_TRUE(a.word_set);
+  EXPECT_TRUE(a.qgram_set);
+  EXPECT_TRUE(a.numeric);
+}
+
+}  // namespace
+}  // namespace fairem

@@ -55,5 +55,14 @@ TEST(TokenizeTest, WordBigrams) {
   EXPECT_TRUE(WordBigrams("").empty());
 }
 
+TEST(TokenizeTest, CountWhitespaceTokensAgreesWithTokenize) {
+  for (std::string_view s :
+       {"", " ", "a", "a b", "  a  b  ", "one\ttwo\nthree", "trailing ",
+        " leading", "a  b   c    d"}) {
+    EXPECT_EQ(CountWhitespaceTokens(s), WhitespaceTokenize(s).size())
+        << "\"" << s << "\"";
+  }
+}
+
 }  // namespace
 }  // namespace fairem

@@ -8,12 +8,14 @@
 //       Load a dataset directory, train the matcher, and print the
 //       correctness summary plus the fairness audit.
 //   fairem pipeline <dataset> <matcher> [--scale S] [--seed N] [--pairwise]
+//       [--intra_jobs N]
 //       Run the full audit pipeline in-process — datagen, blocking, feature
 //       generation, fit, predict, audit — primarily a driver for the
-//       observability layer (each stage is a traced span).
+//       observability layer (each stage is a traced span). --intra_jobs
+//       threads the hot matcher loops; output is byte-identical for any N.
 //   fairem grid <dataset> [--pairwise] [--scale S] [--seed N]
 //       [--checkpoint_dir D] [--retry_attempts N] [--jobs N]
-//       [--cell_timeout_s S] [--cell_max_rss_mb M]
+//       [--intra_jobs N] [--cell_timeout_s S] [--cell_max_rss_mb M]
 //       The batch audit of Algorithm 1 for one dataset: all matchers,
 //       rendered as the unfairness grid. Fault tolerant: cells retry on
 //       transient failures, failed cells degrade to error entries, and with
@@ -24,7 +26,8 @@
 //       --cell_max_rss_mb MiB, crashed cells respawned up to
 //       --retry_attempts. Workers ship metrics/span telemetry back to the
 //       parent, so --metrics_out/--trace_out cover the whole fleet;
-//       --progress prints a live cells-done/ETA line.
+//       --progress prints a live cells-done/ETA line. --intra_jobs adds
+//       threads inside each cell (total concurrency jobs x intra_jobs).
 //   fairem benchdiff <old.json> <new.json> [--fail_on SPEC]... [--all]
 //       Compare two metrics snapshots (e.g. successive BENCH_*.json files):
 //       per-metric old/new/delta/ratio table, histograms expanded to
@@ -63,6 +66,7 @@
 #include "src/robust/failpoint.h"
 #include "src/robust/supervisor.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 
 namespace fairem {
 namespace {
@@ -75,10 +79,11 @@ int Usage() {
       "  fairem audit <dir> <matcher> [--pairwise] [--threshold T] "
       "[--division]\n"
       "  fairem pipeline <dataset> <matcher> [--scale S] [--seed N] "
-      "[--pairwise]\n"
+      "[--pairwise] [--intra_jobs N]\n"
       "  fairem grid <dataset> [--pairwise] [--scale S] [--seed N] "
       "[--checkpoint_dir D] [--retry_attempts N] [--jobs N] "
-      "[--cell_timeout_s S] [--cell_max_rss_mb M] [--progress]\n"
+      "[--intra_jobs N] [--cell_timeout_s S] [--cell_max_rss_mb M] "
+      "[--progress]\n"
       "  fairem benchdiff <old.json> <new.json> [--fail_on SPEC]... [--all]\n"
       "observability (any command): [--log_level L] [--trace_out FILE] "
       "[--metrics_out FILE] [--metrics_format json|prom]\n"
@@ -240,6 +245,10 @@ int Pipeline(const std::vector<std::string>& args) {
       double v = 0.0;
       if (!ParseDouble(args[++i], &v)) return Usage();
       seed = static_cast<uint64_t>(v);
+    } else if (args[i] == "--intra_jobs" && i + 1 < args.size()) {
+      double v = 0.0;
+      if (!ParseDouble(args[++i], &v) || v < 1.0) return Usage();
+      SetIntraJobs(static_cast<int>(v));
     } else {
       return Usage();
     }
@@ -370,6 +379,10 @@ int Grid(const std::vector<std::string>& args) {
       double v = 0.0;
       if (!ParseDouble(args[++i], &v) || v < 1.0) return Usage();
       options.jobs = static_cast<int>(v);
+    } else if (args[i] == "--intra_jobs" && i + 1 < args.size()) {
+      double v = 0.0;
+      if (!ParseDouble(args[++i], &v) || v < 1.0) return Usage();
+      options.intra_jobs = static_cast<int>(v);
     } else if (args[i] == "--cell_timeout_s" && i + 1 < args.size()) {
       if (!ParseDouble(args[++i], &options.cell_timeout_s) ||
           options.cell_timeout_s < 0.0) {
