@@ -422,3 +422,117 @@ else()
       "bench_smoke: ${core_count} core(s); skipping the intra_jobs speedup "
       "gate (byte-equality still verified)")
 endif()
+
+# --- sampling profiler drill ------------------------------------------------
+
+# Profile the same grid sweep sequentially and under --jobs 2 (PROF_BIN is a
+# second grid bench so this drill exercises the profiler plumbing on a bench
+# the earlier drills did not touch). The folded outputs must be non-empty,
+# the --jobs 2 profile must merge stacks from the parent AND at least one
+# forked worker, `fairem proftop --by stage` must attribute at least 90% of
+# samples to named spans, and the sequential/parallel per-stage shares must
+# agree within a loose tolerance (same work, different process layout).
+
+if(NOT DEFINED PROF_BIN)
+  return()
+endif()
+
+set(prof_seq "${WORK_DIR}/bench_smoke_seq_profile.folded")
+set(prof_par "${WORK_DIR}/bench_smoke_par_profile.folded")
+file(REMOVE "${prof_seq}" "${prof_par}")
+
+execute_process(
+  COMMAND "${PROF_BIN}" --scale 0.25 --profile_out "${prof_seq}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE prof_seq_stdout
+  ERROR_VARIABLE prof_seq_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "profiled sequential grid bench exited with ${exit_code}\n"
+      "stderr:\n${prof_seq_stderr}")
+endif()
+
+execute_process(
+  COMMAND "${PROF_BIN}" --scale 0.25 --jobs 2 --profile_out "${prof_par}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE prof_par_stdout
+  ERROR_VARIABLE prof_par_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "profiled --jobs 2 grid bench exited with ${exit_code}\n"
+      "stderr:\n${prof_par_stderr}")
+endif()
+
+foreach(folded "${prof_seq}" "${prof_par}")
+  if(NOT EXISTS "${folded}")
+    message(FATAL_ERROR "--profile_out produced no file at ${folded}")
+  endif()
+  file(READ "${folded}" folded_text)
+  if(folded_text STREQUAL "")
+    message(FATAL_ERROR "folded profile ${folded} is empty")
+  endif()
+endforeach()
+
+# The merged --jobs 2 profile must carry frames from >= 2 processes: the
+# parent and at least one forked worker (shipped over the telemetry pipe).
+file(READ "${prof_par}" par_folded)
+if(NOT par_folded MATCHES "process:parent;")
+  message(FATAL_ERROR
+      "--jobs 2 folded profile has no parent stacks:\n${par_folded}")
+endif()
+if(NOT par_folded MATCHES "process:worker_[0-9]+;")
+  message(FATAL_ERROR
+      "--jobs 2 folded profile has no worker stacks (profile shipping "
+      "broken):\n${par_folded}")
+endif()
+
+# proftop --by stage must attribute >= 90% of samples to named spans.
+# Integer math on the greppable "attributed N/M samples" line avoids float
+# comparisons: N/M >= 0.9 <=> 10*N >= 9*M.
+foreach(folded "${prof_seq}" "${prof_par}")
+  execute_process(
+    COMMAND "${CLI_BIN}" proftop "${folded}" --by stage
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE proftop_stdout
+    ERROR_VARIABLE proftop_stderr)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+        "proftop --by stage exited with ${exit_code} on ${folded}\n"
+        "stderr:\n${proftop_stderr}")
+  endif()
+  if(NOT proftop_stdout MATCHES
+     "attributed ([0-9]+)/([0-9]+) samples")
+    message(FATAL_ERROR
+        "proftop printed no attribution line for ${folded}\n${proftop_stdout}")
+  endif()
+  math(EXPR attributed_x10 "${CMAKE_MATCH_1} * 10")
+  math(EXPR total_x9 "${CMAKE_MATCH_2} * 9")
+  if(attributed_x10 LESS total_x9)
+    message(FATAL_ERROR
+        "proftop attributed only ${CMAKE_MATCH_1}/${CMAKE_MATCH_2} samples "
+        "to named spans (< 90%) for ${folded}\n${proftop_stdout}")
+  endif()
+endforeach()
+
+# The sequential and --jobs 2 stage shares describe the same work, so they
+# must agree within a loose tolerance on every stage holding >= 10% of
+# either profile (sampling noise dominates below that).
+execute_process(
+  COMMAND "${CLI_BIN}" proftop "${prof_seq}" --by stage
+          --compare "${prof_par}" --tolerance 0.40 --min_share 0.10
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE compare_stdout
+  ERROR_VARIABLE compare_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "sequential vs --jobs 2 stage shares drifted (exit ${exit_code})\n"
+      "stdout:\n${compare_stdout}\nstderr:\n${compare_stderr}")
+endif()
+
+message(STATUS
+    "bench_smoke OK: profiled sequential + --jobs 2 runs, merged worker "
+    "stacks, >= 90% span attribution, stage shares agree")

@@ -18,7 +18,9 @@
 // BENCH_*.json counters and the Chrome trace are equivalent between --jobs 1
 // and --jobs N; --progress adds a live cells-done/ETA line on stderr.
 // --intra_jobs threads the hot loops inside each cell (byte-identical
-// output; total concurrency jobs x intra_jobs). The
+// output; total concurrency jobs x intra_jobs). --profile_out samples this
+// process and every worker (DESIGN.md §13) and writes the merged folded
+// stacks for flamegraph.pl / `fairem proftop`. The
 // snapshot write is atomic and durable (temp + fsync + rename), and
 // `fairem benchdiff A.json B.json` diffs two snapshots.
 
@@ -28,6 +30,7 @@
 #include "src/harness/bench_flags.h"
 #include "src/harness/experiment.h"
 #include "src/obs/obs.h"
+#include "src/obs/profiler.h"
 #include "src/robust/supervisor.h"
 
 namespace fairem {
@@ -88,6 +91,12 @@ inline int RunGridBench(DatasetKind kind, const char* single_title,
                    "HM HierMatcher, MC MCAN\n";
     }
   }
+  // Fold profiler sample counters (no-ops while the profiler is off) and
+  // the fairem.proc.* rusage gauges into the BENCH snapshot below, so every
+  // bench records its peak RSS and CPU split alongside its counters.
+  Profiler::Global().ExportMetrics();
+  Profiler::Global().ExportStageCpuGauges();
+  EmitProcessResourceGauges();
   std::string snapshot_path = "BENCH_" + flags.bench_name + ".json";
   if (Status st = MetricsRegistry::Global().WriteJsonFile(snapshot_path);
       !st.ok()) {

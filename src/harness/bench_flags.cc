@@ -14,6 +14,7 @@ namespace {
 const char kUsage[] =
     " [--scale S] [--seed N] [--log_level debug|info|warn|error|off]"
     " [--trace_out FILE] [--metrics_out FILE] [--metrics_format json|prom]"
+    " [--profile_out FILE] [--profile_hz N] [--profile_mode cpu|wall]"
     " [--failpoints SPEC] [--checkpoint_dir DIR] [--retry_attempts N]"
     " [--jobs N] [--intra_jobs N] [--cell_timeout_s S] [--cell_max_rss_mb M]"
     " [--progress]\n";
@@ -73,6 +74,16 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       Result<MetricsFormat> format = ParseMetricsFormat(text);
       if (!format.ok()) usage();
       flags.obs.metrics_format = *format;
+    } else if (arg == "--profile_out") {
+      next_string(&flags.obs.profile_out);
+    } else if (arg == "--profile_hz") {
+      double v = 0.0;
+      next_value(&v);
+      if (v < 1.0) usage();
+      flags.obs.profile_hz = static_cast<int>(v);
+    } else if (arg == "--profile_mode") {
+      next_string(&flags.obs.profile_mode);
+      if (!ParseProfileClock(flags.obs.profile_mode).ok()) usage();
     } else if (arg == "--progress") {
       flags.progress = true;
     } else if (arg == "--failpoints") {
@@ -121,7 +132,8 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       std::exit(1);
     }
   }
-  if (!flags.obs.trace_out.empty() || !flags.obs.metrics_out.empty()) {
+  if (!flags.obs.trace_out.empty() || !flags.obs.metrics_out.empty() ||
+      !flags.obs.profile_out.empty()) {
     FlushObsOutputsAtExit(flags.obs);
   }
   return flags;

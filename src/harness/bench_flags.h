@@ -16,6 +16,10 @@ namespace fairem {
 ///   --trace_out F       enable span tracing; write Chrome trace JSON to F
 ///   --metrics_out F     write a metrics-registry snapshot to F on exit
 ///   --metrics_format F  json (default) or prom for --metrics_out
+///   --profile_out F     enable the sampling profiler; write folded stacks
+///                       (flamegraph.pl / speedscope input) to F on exit
+///   --profile_hz N      profiler sample rate (default 97)
+///   --profile_mode M    cpu (default) or wall for --profile_out
 ///   --progress          live grid progress line on stderr (plus the
 ///                       fairem.progress.* gauges, which update regardless)
 ///   --failpoints SPEC   arm deterministic fault injection, e.g.

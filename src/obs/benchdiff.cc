@@ -43,7 +43,11 @@ Result<FailOnSpec> ParseFailOnSpec(const std::string& spec) {
   out.metric = std::string(TrimAscii(spec.substr(0, op_pos)));
   out.op = spec[op_pos];
   std::string rhs(TrimAscii(spec.substr(op_pos + 1)));
-  if (!rhs.empty() && (rhs.back() == 'x' || rhs.back() == 'X')) {
+  if (rhs.size() > 3 && (rhs.substr(rhs.size() - 3) == "abs" ||
+                         rhs.substr(rhs.size() - 3) == "ABS")) {
+    out.absolute = true;
+    rhs.resize(rhs.size() - 3);
+  } else if (!rhs.empty() && (rhs.back() == 'x' || rhs.back() == 'X')) {
     out.ratio = true;
     rhs.pop_back();
   }
@@ -137,13 +141,15 @@ Result<std::vector<std::string>> CheckFailOnSpecs(
     auto old_it = old_flat.find(spec.metric);
     double old_value = old_it == old_flat.end() ? 0.0 : old_it->second;
     double new_value = new_it->second;
-    double observed =
-        spec.ratio ? Ratio(old_value, new_value) : new_value - old_value;
+    double observed = spec.absolute ? new_value
+                      : spec.ratio  ? Ratio(old_value, new_value)
+                                    : new_value - old_value;
     bool violated =
         spec.op == '>' ? observed > spec.threshold : observed < spec.threshold;
     if (violated) {
       std::ostringstream os;
-      os << spec.raw << ": " << (spec.ratio ? "ratio " : "delta ")
+      os << spec.raw << ": "
+         << (spec.absolute ? "value " : spec.ratio ? "ratio " : "delta ")
          << FormatValue(observed) << (spec.ratio ? "x" : "") << " (old "
          << FormatValue(old_value) << ", new " << FormatValue(new_value)
          << ")";

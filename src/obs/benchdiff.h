@@ -14,17 +14,21 @@ namespace fairem {
 // `fairem benchdiff`: compare two metrics snapshots (BENCH_*.json files)
 // and gate CI on named regressions.
 
-/// One --fail_on clause. Grammar: `<metric><op><threshold>[x]` with op '>'
-/// or '<'. With the `x` suffix the clause fails when the ratio new/old
-/// crosses the threshold; without it, when the delta (new − old) does.
+/// One --fail_on clause. Grammar: `<metric><op><threshold>[x|abs]` with op
+/// '>' or '<'. The suffix picks the comparand: `x` gates on the ratio
+/// new/old, `abs` on the new value itself (the old snapshot is ignored —
+/// budget-style ceilings and floors), no suffix on the delta (new − old).
 ///   "fairem.matcher.predict_seconds.mean>1.10x"  fails if new/old > 1.10
 ///   "fairem.audit.audits_failed>0"               fails if delta > 0
 ///   "fairem.audit.cells_evaluated<0"             fails if the count shrank
+///   "fairem.proc.peak_rss_mb>512abs"             fails if new value > 512
+///   "fairem.profile.samples<100abs"              fails if new value < 100
 struct FailOnSpec {
   std::string metric;
   char op = '>';
   double threshold = 0.0;
   bool ratio = false;
+  bool absolute = false;
   std::string raw;
 };
 

@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "src/obs/profiler.h"
+#include "src/util/durable_file.h"
+
 namespace fairem {
 namespace {
 
@@ -33,6 +36,15 @@ Status ApplyObsOptions(const ObsOptions& options) {
   if (!options.trace_out.empty()) {
     Tracer::Global().set_enabled(true);
   }
+  if (!options.profile_out.empty()) {
+    ProfilerOptions profiler_options;
+    profiler_options.hz = options.profile_hz;
+    if (!options.profile_mode.empty()) {
+      FAIREM_ASSIGN_OR_RETURN(profiler_options.clock,
+                              ParseProfileClock(options.profile_mode));
+    }
+    FAIREM_RETURN_NOT_OK(Profiler::Global().Start(profiler_options));
+  }
   return Status::OK();
 }
 
@@ -44,6 +56,25 @@ Status FlushObsOutputs(const ObsOptions& options) {
                      << LogKv("spans", Tracer::Global().Events().size());
     FAIREM_LOG(INFO) << "span summary:\n" << Tracer::Global().FlatSummary();
   }
+  if (!options.profile_out.empty()) {
+    // Stop before collecting so no sample lands mid-symbolization, then
+    // fold the profiler's own numbers into the snapshot the metrics file
+    // below captures.
+    Profiler& profiler = Profiler::Global();
+    if (profiler.active()) (void)profiler.Stop();
+    profiler.ExportMetrics();
+    profiler.ExportStageCpuGauges();
+    const FoldedProfile merged = profiler.MergedProfile();
+    FAIREM_RETURN_NOT_OK(
+        WriteFileDurable(options.profile_out, merged.ToText()));
+    FAIREM_LOG(INFO) << "wrote folded profile"
+                     << LogKv("path", options.profile_out)
+                     << LogKv("samples", merged.TotalSamples())
+                     << LogKv("dropped", profiler.DroppedCount());
+  }
+  // Process-wide rusage gauges ride along with every flush — they cost one
+  // getrusage call and give each bench/CLI run its peak RSS and CPU split.
+  EmitProcessResourceGauges();
   if (!options.metrics_out.empty()) {
     FAIREM_RETURN_NOT_OK(MetricsRegistry::Global().WriteFile(
         options.metrics_out, options.metrics_format));

@@ -16,19 +16,29 @@ namespace fairem {
 ///   --metrics_out F      write a MetricsRegistry snapshot to F
 ///   --metrics_format FMT json (default) or prom (Prometheus text
 ///                        exposition); applies to --metrics_out
+///   --profile_out F      enable the sampling profiler, write the folded
+///                        stacks (flamegraph input) to F
+///   --profile_hz N       profiler sample rate (default 97)
+///   --profile_mode M     cpu (default) or wall; applies to --profile_out
 struct ObsOptions {
   std::string log_level;   // empty = leave the env/default level alone
   std::string trace_out;   // empty = tracing stays disabled, no file
   std::string metrics_out; // empty = no metrics file
   MetricsFormat metrics_format = MetricsFormat::kJson;
+  std::string profile_out;  // empty = profiler stays off, no file
+  int profile_hz = 97;
+  std::string profile_mode;  // empty/"cpu" or "wall"
 };
 
-/// Applies the options to the global logger/tracer. Tracing is enabled iff
-/// trace_out is non-empty, preserving the zero-overhead default path.
+/// Applies the options to the global logger/tracer/profiler. Tracing is
+/// enabled iff trace_out is non-empty, and the sampling profiler starts iff
+/// profile_out is non-empty, preserving the zero-overhead default path.
 Status ApplyObsOptions(const ObsOptions& options);
 
-/// Writes the trace and metrics files named in `options` (skipping empty
-/// ones) and, when tracing ran, logs the flat span summary at INFO.
+/// Writes the trace, folded-profile, and metrics files named in `options`
+/// (skipping empty ones), emits the fairem.proc.* rusage gauges, and, when
+/// tracing ran, logs the flat span summary at INFO. Ordered so profiler
+/// sample counters and rusage gauges land before the metrics snapshot.
 Status FlushObsOutputs(const ObsOptions& options);
 
 /// Registers an atexit hook that flushes `options`, so every bench binary

@@ -491,47 +491,154 @@ Result<WorkerTelemetry> ParseWorkerTelemetry(const std::string& json) {
 
 // ---------------------------------------------------------------- framing --
 
-std::string WrapPayloadWithTelemetry(const std::string& telemetry_json,
-                                     const std::string& payload) {
+namespace {
+
+constexpr size_t kMagicLen = 8;
+constexpr size_t kFrameTypeLen = 4;
+constexpr size_t kFrameHeaderLen = kFrameTypeLen + 16 + 1;
+
+void AppendFrame(std::string* wire, const std::string& type,
+                 const std::string& bytes) {
   char length[32];
-  std::snprintf(length, sizeof(length), "%016zx", telemetry_json.size());
+  std::snprintf(length, sizeof(length), "%016zx", bytes.size());
+  // Frame types are exactly 4 bytes on the wire; pad a short caller value
+  // rather than read past it.
+  char type4[kFrameTypeLen];
+  for (size_t i = 0; i < kFrameTypeLen; ++i) {
+    type4[i] = i < type.size() ? type[i] : '_';
+  }
+  wire->append(type4, kFrameTypeLen);
+  wire->append(length, 16);
+  wire->push_back('\n');
+  wire->append(bytes);
+}
+
+/// Parses a frame header at `pos`. Returns false on malformed bytes (bad
+/// length digits, missing '\n', type not 4 printable chars).
+bool ParseFrameHeader(const std::string& wire, size_t pos, std::string* type,
+                      uint64_t* length) {
+  if (pos + kFrameHeaderLen > wire.size()) return false;
+  for (size_t i = 0; i < kFrameTypeLen; ++i) {
+    char c = wire[pos + i];
+    if (c < 0x21 || c > 0x7e) return false;  // printable, non-space
+  }
+  *type = wire.substr(pos, kFrameTypeLen);
+  uint64_t out = 0;
+  for (size_t i = pos + kFrameTypeLen; i < pos + kFrameTypeLen + 16; ++i) {
+    char c = wire[i];
+    out <<= 4;
+    if (c >= '0' && c <= '9') {
+      out |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      out |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  if (wire[pos + kFrameHeaderLen - 1] != '\n') return false;
+  *length = out;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeTelemetryWire(const std::vector<TelemetryFrame>& frames,
+                                const std::string& payload) {
+  size_t reserve = kMagicLen + (frames.size() + 1) * kFrameHeaderLen +
+                   payload.size();
+  for (const TelemetryFrame& f : frames) reserve += f.bytes.size();
   std::string wire;
-  wire.reserve(8 + 17 + telemetry_json.size() + payload.size());
-  wire.append(kTelemetryMagic, 8);
-  wire.append(length, 16);
-  wire.push_back('\n');
-  wire.append(telemetry_json);
-  wire.append(payload);
+  wire.reserve(reserve);
+  wire.append(kTelemetryMagic, kMagicLen);
+  for (const TelemetryFrame& f : frames) AppendFrame(&wire, f.type, f.bytes);
+  AppendFrame(&wire, kFramePayload, payload);
   return wire;
 }
 
-TelemetrySplit SplitTelemetryPayload(const std::string& wire) {
-  TelemetrySplit out;
-  constexpr size_t kHeader = 8 + 16 + 1;
-  if (wire.size() < kHeader || wire.compare(0, 8, kTelemetryMagic, 8) != 0) {
+TelemetryWireParse ParseTelemetryWire(const std::string& wire) {
+  static Counter* unknown_frames = MetricsRegistry::Global().GetCounter(
+      "fairem.telemetry.unknown_frames");
+  TelemetryWireParse out;
+  if (wire.size() < kMagicLen ||
+      wire.compare(0, kMagicLen, kTelemetryMagic, kMagicLen) != 0) {
     out.payload = wire;
     return out;
   }
-  uint64_t length = 0;
-  for (size_t i = 8; i < 24; ++i) {
-    char c = wire[i];
-    length <<= 4;
-    if (c >= '0' && c <= '9') {
-      length |= static_cast<uint64_t>(c - '0');
-    } else if (c >= 'a' && c <= 'f') {
-      length |= static_cast<uint64_t>(c - 'a' + 10);
-    } else {
-      out.payload = wire;  // corrupt length field: treat as unframed
-      return out;
+  size_t pos = kMagicLen;
+  std::vector<TelemetryFrame> frames;
+  std::string payload;
+  bool saw_payload = false;
+  bool truncated = false;
+  while (pos < wire.size()) {
+    std::string type;
+    uint64_t length = 0;
+    if (!ParseFrameHeader(wire, pos, &type, &length)) {
+      // Malformed header. Before any complete frame this means "not our
+      // framing at all" and the wire passes through whole; after one it is
+      // mid-wire corruption/truncation — keep what already parsed.
+      if (frames.empty() && !saw_payload) {
+        out.payload = wire;
+        return out;
+      }
+      truncated = true;
+      break;
     }
+    pos += kFrameHeaderLen;
+    const size_t available = wire.size() - pos;
+    if (type == kFramePayload) {
+      // The payload frame is last by construction; a short one means the
+      // worker died mid-write — take the bytes that made it.
+      saw_payload = true;
+      truncated = truncated || length > available || length < available;
+      payload = wire.substr(pos, std::min<uint64_t>(length, available));
+      pos = wire.size();
+      break;
+    }
+    if (length > available) {  // truncated mid-frame
+      truncated = true;
+      break;
+    }
+    if (type != kFrameTelemetry && type != kFrameProfile) {
+      unknown_frames->Increment();
+    }
+    frames.push_back({type, wire.substr(pos, length)});
+    pos += length;
   }
-  if (wire[24] != '\n' || kHeader + length > wire.size()) {
-    out.payload = wire;  // truncated section: worker died mid-ship
+  out.framed = true;
+  out.truncated = truncated || (!saw_payload && pos >= wire.size());
+  // A complete frame never parsed -> degrade to the unframed path (matches
+  // the pre-typed-frame behaviour for a wire cut inside the first frame).
+  if (frames.empty() && !saw_payload) {
+    out.framed = false;
+    out.frames.clear();
+    out.payload = wire;
     return out;
   }
-  out.has_telemetry = true;
-  out.telemetry_json = wire.substr(kHeader, length);
-  out.payload = wire.substr(kHeader + length);
+  out.frames = std::move(frames);
+  out.payload = std::move(payload);
+  return out;
+}
+
+std::string WrapPayloadWithTelemetry(const std::string& telemetry_json,
+                                     const std::string& payload) {
+  return EncodeTelemetryWire({{kFrameTelemetry, telemetry_json}}, payload);
+}
+
+TelemetrySplit SplitTelemetryPayload(const std::string& wire) {
+  TelemetryWireParse parsed = ParseTelemetryWire(wire);
+  TelemetrySplit out;
+  if (!parsed.framed) {
+    out.payload = wire;
+    return out;
+  }
+  for (const TelemetryFrame& f : parsed.frames) {
+    if (f.type == kFrameTelemetry) {
+      out.has_telemetry = true;
+      out.telemetry_json = f.bytes;
+      break;
+    }
+  }
+  out.payload = std::move(parsed.payload);
   return out;
 }
 
@@ -557,6 +664,27 @@ Result<WorkerTelemetry> LoadTelemetrySidecarFile(const std::string& path) {
   ss << in.rdbuf();
   if (in.bad()) return Status::IOError("read failed for '" + path + "'");
   return ParseWorkerTelemetry(ss.str());
+}
+
+std::string ProfileSidecarPath(const std::string& dir,
+                               const std::string& task_key, int attempt) {
+  return dir + "/" + SanitizeKeyForFilename(task_key) + ".attempt" +
+         std::to_string(attempt) + ".profile.folded";
+}
+
+Status WriteProfileSidecar(const std::string& dir, const std::string& task_key,
+                           int attempt, const std::string& folded_text) {
+  return WriteFileDurable(ProfileSidecarPath(dir, task_key, attempt),
+                          folded_text);
+}
+
+Result<std::string> LoadProfileSidecarFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no profile sidecar at '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for '" + path + "'");
+  return ss.str();
 }
 
 // ------------------------------------------------------------------ absorb --

@@ -49,17 +49,51 @@ std::string SerializeWorkerTelemetry(const WorkerTelemetry& telemetry);
 Result<WorkerTelemetry> ParseWorkerTelemetry(const std::string& json);
 
 // ---------------------------------------------------------------------------
-// Pipe framing. The worker prefixes its payload with a telemetry section:
+// Pipe framing: the FEMTEL1 typed-frame wire (DESIGN.md §13). After the
+// magic the wire is a sequence of frames:
 //
-//   "FEMTEL1\n" <16 hex digits: telemetry byte length> "\n" <telemetry JSON>
-//   <payload bytes, verbatim>
+//   "FEMTEL1\n" { <4-char type> <16 hex digits: byte length> "\n" <bytes> }*
 //
-// A wire that does not start with the magic is an unframed payload from a
-// worker that crashed before (or never started) shipping telemetry; it
-// passes through SplitTelemetryPayload untouched.
+// Known frame types: "TELE" (WorkerTelemetry JSON), "PROF" (folded profile
+// text), and "PAYL" (the task payload, always the final frame). A frame
+// whose type the receiver does not know is skipped — its length field still
+// delimits it — with a `fairem.telemetry.unknown_frames` counter bump, so
+// an older supervisor reading a newer worker degrades instead of treating
+// the wire as corrupt. A wire that does not start with the magic, or whose
+// first frame header is malformed, is an unframed payload from a worker
+// that crashed before (or never started) shipping telemetry. A wire
+// truncated mid-frame keeps the frames already parsed (payload empty).
 
 inline constexpr char kTelemetryMagic[] = "FEMTEL1\n";
+inline constexpr char kFrameTelemetry[] = "TELE";
+inline constexpr char kFrameProfile[] = "PROF";
+inline constexpr char kFramePayload[] = "PAYL";
 
+struct TelemetryFrame {
+  std::string type;  // exactly 4 bytes on the wire
+  std::string bytes;
+};
+
+struct TelemetryWireParse {
+  bool framed = false;     // magic present and >= 1 complete frame parsed
+  bool truncated = false;  // wire ended mid-frame after the magic
+  /// Non-payload frames in wire order, unknown types included (callers
+  /// dispatch on `type` and ignore what they do not understand).
+  std::vector<TelemetryFrame> frames;
+  std::string payload;
+};
+
+/// Frames + final PAYL frame, encoded. `frames` must not contain a PAYL
+/// frame of its own; the payload always travels last.
+std::string EncodeTelemetryWire(const std::vector<TelemetryFrame>& frames,
+                                const std::string& payload);
+
+/// Never fails. With no magic (or a malformed first frame header) the whole
+/// wire is the payload — the pre-framing degradation path. Unknown frame
+/// types are skipped with a counter bump, not an error.
+TelemetryWireParse ParseTelemetryWire(const std::string& wire);
+
+/// Legacy single-telemetry-frame convenience over EncodeTelemetryWire.
 std::string WrapPayloadWithTelemetry(const std::string& telemetry_json,
                                      const std::string& payload);
 
@@ -69,9 +103,9 @@ struct TelemetrySplit {
   std::string payload;
 };
 
-/// Never fails: a malformed frame (bad length field, truncated section) is
-/// treated as "no telemetry" and the whole wire becomes the payload, so a
-/// worker killed mid-write degrades to PR-3 behaviour instead of erroring.
+/// Never fails: a malformed wire is treated as "no telemetry" and becomes
+/// the payload wholesale, so a worker killed mid-write degrades to PR-3
+/// behaviour instead of erroring. The first TELE frame wins.
 TelemetrySplit SplitTelemetryPayload(const std::string& wire);
 
 // ---------------------------------------------------------------------------
@@ -85,6 +119,16 @@ std::string TelemetrySidecarPath(const std::string& dir,
 Status WriteTelemetrySidecar(const std::string& dir,
                              const WorkerTelemetry& telemetry);
 Result<WorkerTelemetry> LoadTelemetrySidecarFile(const std::string& path);
+
+/// Profile sidecars mirror the telemetry ones for the PROF frame:
+/// `<dir>/<sanitized task_key>.attempt<N>.profile.folded`, written durably
+/// by a profiling worker before it ships on the pipe, swept by the parent
+/// when the pipe copy never landed (crash/timeout), then deleted.
+std::string ProfileSidecarPath(const std::string& dir,
+                               const std::string& task_key, int attempt);
+Status WriteProfileSidecar(const std::string& dir, const std::string& task_key,
+                           int attempt, const std::string& folded_text);
+Result<std::string> LoadProfileSidecarFile(const std::string& path);
 
 /// Folds one worker attempt into this process: metrics delta merges into
 /// MetricsRegistry::Global() and each span is re-emitted on

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
 
+#include "src/util/durable_file.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
@@ -146,11 +146,9 @@ std::string Tracer::ChromeTraceJson() const {
 }
 
 Status Tracer::WriteChromeTrace(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out << ChromeTraceJson();
-  if (!out) return Status::IOError("failed writing trace to '" + path + "'");
-  return Status::OK();
+  // Durable like every other observability artifact: parents are created,
+  // and a crash mid-write leaves the previous file, not a truncated one.
+  return WriteFileDurable(path, ChromeTraceJson());
 }
 
 std::string Tracer::FlatSummary() const {
@@ -203,6 +201,8 @@ Span::Span(std::string name, double* elapsed_seconds_out)
     : elapsed_out_(elapsed_seconds_out) {
   Tracer& tracer = Tracer::Global();
   recording_ = tracer.enabled();
+  profiling_ = ProfilerStageTrackingEnabled();
+  if (profiling_) prof_start_ = ProfilerSpanBegin(name.data(), name.size());
   timing_ = recording_ || elapsed_out_ != nullptr;
   if (!timing_) return;
   start_ = std::chrono::steady_clock::now();
@@ -221,6 +221,10 @@ Span::Span(std::string name, double* elapsed_seconds_out)
 }
 
 Span::~Span() {
+  // Pop the profiler stage first: the pop is balanced against the ctor's
+  // push even if the profiler stopped mid-span, and any samples taken while
+  // the trace event below is recorded belong to the parent span.
+  if (profiling_) ProfilerSpanEnd(prof_start_);
   if (!timing_) return;
   double elapsed = ElapsedSeconds();
   if (elapsed_out_ != nullptr) *elapsed_out_ = elapsed;

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/profiler.h"
 #include "src/util/result.h"
 
 namespace fairem {
@@ -103,6 +104,11 @@ class Tracer {
 /// `elapsed_seconds_out` and the measured duration is written there on
 /// destruction whether or not tracing is enabled — harness timings and
 /// trace timings then come from the same clock read and can never disagree.
+///
+/// While the sampling profiler is active (DESIGN.md §13) the span also
+/// pushes its name onto the thread's stage stack — every profiler sample
+/// taken inside attributes to this span — and snapshots /proc resource
+/// usage at both boundaries to export per-span RSS/io deltas.
 class Span {
  public:
   explicit Span(std::string name, double* elapsed_seconds_out = nullptr);
@@ -120,9 +126,11 @@ class Span {
  private:
   bool recording_ = false;
   bool timing_ = false;
+  bool profiling_ = false;
   double* elapsed_out_ = nullptr;
   std::chrono::steady_clock::time_point start_;
   TraceEvent event_;
+  ProfSpanResources prof_start_;
 };
 
 /// Monotonic-clock scope timer: writes elapsed seconds to `*out` on

@@ -22,6 +22,7 @@
 
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
 #include "src/robust/failpoint.h"
@@ -222,8 +223,10 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
   };
 
   // One merge per (task, attempt): a delta that arrives on both the pipe
-  // and a sidecar must not double count.
+  // and a sidecar must not double count. Profiles dedup separately — a
+  // PROF frame can land without its TELE sibling and vice versa.
   std::set<std::pair<size_t, int>> telemetry_merged;
+  std::set<std::pair<size_t, int>> profiles_merged_keys;
 
   size_t done_count = 0;
   size_t failed_count = 0;
@@ -285,6 +288,14 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
       // Inherited read ends of sibling pipes are the parent's business.
       for (const RunningWorker& other : running) ::close(other.pipe_fd);
       if (!ApplyWorkerLimits(options_)) std::_Exit(kWorkerExitProtocol);
+      // fork() cleared the interval timer; re-arm so this worker samples
+      // its own work, into a buffer reset of the parent's samples, with its
+      // stacks rooted at process:worker_<pid>.
+      const bool profiling = Profiler::Global().active();
+      if (profiling) {
+        (void)Profiler::Global().RestartAfterFork(
+            "worker_" + std::to_string(::getpid()));
+      }
       if (attempt > 1) {
         // Probabilistic failpoints draw fresh per respawn, so a transient
         // injected crash behaves like a transient real one.
@@ -317,6 +328,14 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
         exit_code = kWorkerExitTaskError;
       }
       if (options_.ship_telemetry) {
+        // Samples must land in the metrics registry before the snapshot
+        // below diffs it, so the per-stage counters ship with the delta.
+        std::string folded;
+        if (profiling) {
+          (void)Profiler::Global().Stop();
+          Profiler::Global().ExportMetrics();
+          folded = Profiler::Global().Collect().ToText();
+        }
         WorkerTelemetry telemetry;
         telemetry.task_key = tasks[index].key;
         telemetry.attempt = attempt;
@@ -324,12 +343,19 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
         telemetry.metrics = DiffSnapshots(telemetry_baseline,
                                           MetricsRegistry::Global().Snapshot());
         telemetry.spans = Tracer::Global().EventsSince(span_watermark);
-        // Sidecar before the pipe: if the write below never completes the
-        // parent can still sweep this file up. Best effort — a worker that
-        // cannot write it still ships on the pipe.
+        // Sidecars before the pipe: if the writes below never complete the
+        // parent can still sweep the files up. Best effort — a worker that
+        // cannot write them still ships on the pipe.
         (void)WriteTelemetrySidecar(telemetry_dir, telemetry);
-        wire = WrapPayloadWithTelemetry(SerializeWorkerTelemetry(telemetry),
-                                        wire);
+        std::vector<TelemetryFrame> frames;
+        frames.push_back(
+            {kFrameTelemetry, SerializeWorkerTelemetry(telemetry)});
+        if (!folded.empty()) {
+          (void)WriteProfileSidecar(telemetry_dir, tasks[index].key, attempt,
+                                    folded);
+          frames.push_back({kFrameProfile, std::move(folded)});
+        }
+        wire = EncodeTelemetryWire(frames, wire);
       }
       if (!WriteAll(fds[1], wire)) std::_Exit(kWorkerExitProtocol);
       ::close(fds[1]);
@@ -363,12 +389,31 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
     const size_t index = worker.task_index;
     const std::string& key = tasks[index].key;
     const int attempt = attempts[index];
-    // Strip the telemetry section (if any) off the wire; everything below
+    // Strip the telemetry frames (if any) off the wire; everything below
     // interprets only the payload. A worker killed mid-ship leaves a
-    // truncated frame, which degrades to "no telemetry".
+    // truncated frame, which degrades to "no telemetry". Unknown frame
+    // types from a newer worker are skipped inside ParseTelemetryWire.
     TelemetrySplit split;
+    bool profile_seen = false;
     if (options_.ship_telemetry) {
-      split = SplitTelemetryPayload(worker.received);
+      TelemetryWireParse parsed = ParseTelemetryWire(worker.received);
+      split.payload = parsed.framed ? parsed.payload : worker.received;
+      for (TelemetryFrame& frame : parsed.frames) {
+        if (frame.type == kFrameTelemetry && !split.has_telemetry) {
+          split.has_telemetry = true;
+          split.telemetry_json = std::move(frame.bytes);
+        } else if (frame.type == kFrameProfile) {
+          profile_seen = true;
+          if (profiles_merged_keys.insert({index, attempt}).second) {
+            Profiler::Global().AbsorbFolded(frame.bytes);
+            // Registered lazily: a profiler-off run never ships a PROF
+            // frame and must not grow a fairem.profile.* metric.
+            MetricsRegistry::Global()
+                .GetCounter("fairem.profile.profiles_merged")
+                ->Increment();
+          }
+        }
+      }
     } else {
       split.payload = worker.received;
     }
@@ -401,6 +446,22 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
       }
       std::error_code ec;
       std::filesystem::remove(sidecar, ec);
+      const std::string profile_sidecar =
+          ProfileSidecarPath(telemetry_dir, key, attempt);
+      if (!profile_seen) {
+        // Same sweep for the profile: only a worker that sampled writes
+        // one, so a missing file just means profiling was off or the
+        // worker died before its first flush.
+        Result<std::string> folded = LoadProfileSidecarFile(profile_sidecar);
+        if (folded.ok() && !folded.value().empty() &&
+            profiles_merged_keys.insert({index, attempt}).second) {
+          Profiler::Global().AbsorbFolded(folded.value());
+          MetricsRegistry::Global()
+              .GetCounter("fairem.profile.sidecars_swept")
+              ->Increment();
+        }
+      }
+      std::filesystem::remove(profile_sidecar, ec);
     }
     TaskOutcome out;
     out.attempts = attempt;

@@ -8,6 +8,7 @@
 #include <exception>
 
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/util/logging.h"
 
 // The global pool is leaked by design (see AbandonPoolInForkedChild);
@@ -138,6 +139,9 @@ void ThreadPool::RunChunks(Job* job) {
 }
 
 void ThreadPool::WorkerLoop() {
+  // Stack bounds for the sampling profiler's frame-pointer walk — without
+  // them a SIGPROF landing on a pool thread records only the leaf PC.
+  Profiler::RegisterCurrentThread();
   uint64_t seen_generation = 0;
   for (;;) {
     Job* job = nullptr;

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cstdio>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -533,6 +535,41 @@ TEST_F(ObsTest, ObsOptionsApplyAndFlush) {
   ObsOptions bad;
   bad.log_level = "shouty";
   EXPECT_FALSE(ApplyObsOptions(bad).ok());
+}
+
+// Regression: every observability output goes through WriteFileDurable, so a
+// path under directories that do not exist yet must succeed (parents are
+// created), and the files must be complete after FlushObsOutputs returns.
+TEST_F(ObsTest, FlushCreatesMissingParentDirsForAllOutputs) {
+  const std::string root = ::testing::TempDir() + "/obs_nested_out";
+  ObsOptions options;
+  options.trace_out = root + "/traces/deep/run1/trace.json";
+  options.metrics_out = root + "/metrics/deep/run1/metrics.json";
+  options.profile_out = root + "/profiles/deep/run1/profile.folded";
+  options.profile_hz = 200;
+  ASSERT_TRUE(ApplyObsOptions(options).ok());
+  {
+    Span span("fairem.test.nested_flush");
+    volatile uint64_t acc = 0;
+    std::clock_t start = std::clock();
+    // Burn a little CPU so the profiler has samples to fold.
+    while (static_cast<double>(std::clock() - start) / CLOCKS_PER_SEC < 0.05) {
+      for (int i = 0; i < 10000; ++i) acc = acc + i;
+    }
+  }
+  ASSERT_TRUE(FlushObsOutputs(options).ok());
+  for (const std::string& path :
+       {options.trace_out, options.metrics_out, options.profile_out}) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+  }
+  // The folded profile names this process and the span that burned CPU.
+  std::ifstream in(options.profile_out);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("process:parent;span:"), std::string::npos);
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
 }
 
 }  // namespace

@@ -333,6 +333,78 @@ TEST(WireFormatTest, UnframedOrCorruptWireDegradesToWholePayload) {
   EXPECT_EQ(bad.payload, corrupt);
 }
 
+TEST(WireFormatTest, MultiFrameEncodeParseRoundTrip) {
+  const std::string folded = "process:worker_7;span:fit;Fit 12\n";
+  std::string wire = EncodeTelemetryWire(
+      {{kFrameTelemetry, "{\"version\": 1}"}, {kFrameProfile, folded}},
+      "grid payload");
+  TelemetryWireParse parsed = ParseTelemetryWire(wire);
+  EXPECT_TRUE(parsed.framed);
+  EXPECT_FALSE(parsed.truncated);
+  ASSERT_EQ(parsed.frames.size(), 2u);
+  EXPECT_EQ(parsed.frames[0].type, kFrameTelemetry);
+  EXPECT_EQ(parsed.frames[0].bytes, "{\"version\": 1}");
+  EXPECT_EQ(parsed.frames[1].type, kFrameProfile);
+  EXPECT_EQ(parsed.frames[1].bytes, folded);
+  EXPECT_EQ(parsed.payload, "grid payload");
+}
+
+TEST(WireFormatTest, UnknownFrameTypeIsSkippedNotCorrupt) {
+  // A newer worker ships a frame type this build has never heard of. The
+  // length field still delimits it, so the receiver steps over the frame,
+  // counts it, and keeps everything else.
+  uint64_t unknown_before = CounterValue("fairem.telemetry.unknown_frames");
+  std::string wire = EncodeTelemetryWire(
+      {{"XFUT", std::string("opaque future \0 bytes", 21)},
+       {kFrameTelemetry, "{\"version\": 1}"}},
+      "payload");
+  TelemetryWireParse parsed = ParseTelemetryWire(wire);
+  EXPECT_TRUE(parsed.framed);
+  EXPECT_FALSE(parsed.truncated);
+  EXPECT_EQ(CounterValue("fairem.telemetry.unknown_frames") - unknown_before,
+            1u);
+  ASSERT_EQ(parsed.frames.size(), 2u);
+  EXPECT_EQ(parsed.frames[0].type, "XFUT");
+  EXPECT_EQ(parsed.frames[1].type, kFrameTelemetry);
+  EXPECT_EQ(parsed.payload, "payload");
+
+  // The legacy split sees through the unknown frame to the telemetry.
+  TelemetrySplit split = SplitTelemetryPayload(wire);
+  EXPECT_TRUE(split.has_telemetry);
+  EXPECT_EQ(split.telemetry_json, "{\"version\": 1}");
+  EXPECT_EQ(split.payload, "payload");
+}
+
+TEST(WireFormatTest, TruncatedProfileFrameKeepsParsedTelemetry) {
+  // Worker killed mid-ship: TELE landed whole, PROF was cut. The parsed
+  // frames survive; the missing payload marks the wire truncated.
+  std::string folded(200, 'x');
+  std::string wire = EncodeTelemetryWire(
+      {{kFrameTelemetry, "{\"version\": 1}"}, {kFrameProfile, folded}},
+      "payload");
+  size_t prof_start = wire.find("PROF");
+  ASSERT_NE(prof_start, std::string::npos);
+  TelemetryWireParse cut = ParseTelemetryWire(wire.substr(0, prof_start + 60));
+  EXPECT_TRUE(cut.framed);
+  EXPECT_TRUE(cut.truncated);
+  ASSERT_EQ(cut.frames.size(), 1u);
+  EXPECT_EQ(cut.frames[0].type, kFrameTelemetry);
+  EXPECT_EQ(cut.frames[0].bytes, "{\"version\": 1}");
+  EXPECT_TRUE(cut.payload.empty());
+}
+
+TEST(WireFormatTest, ProfileSidecarRoundTrip) {
+  std::string dir = FreshTempDir("fairem_profile_sidecar");
+  const std::string folded = "process:worker_1;span:fit;Fit 3\n";
+  ASSERT_TRUE(WriteProfileSidecar(dir, "grid/DT:single", 2, folded).ok());
+  std::string path = ProfileSidecarPath(dir, "grid/DT:single", 2);
+  std::string leaf = std::filesystem::path(path).filename().string();
+  EXPECT_EQ(leaf.find('/'), std::string::npos);
+  EXPECT_NE(leaf.find(".attempt2.profile.folded"), std::string::npos);
+  EXPECT_EQ(std::move(LoadProfileSidecarFile(path)).value(), folded);
+  EXPECT_FALSE(LoadProfileSidecarFile(dir + "/absent.folded").ok());
+}
+
 // ---------------------------------------------------------------------------
 // Delta computation: what a worker ships.
 
@@ -521,6 +593,49 @@ TEST(BenchDiffTest, ParseFailOnSpec) {
   EXPECT_FALSE(ParseFailOnSpec(">1.0").ok());
   EXPECT_FALSE(ParseFailOnSpec("metric>").ok());
   EXPECT_FALSE(ParseFailOnSpec("metric>abc").ok());
+}
+
+TEST(BenchDiffTest, ParseFailOnSpecAbsoluteSuffix) {
+  FailOnSpec ceil =
+      std::move(ParseFailOnSpec("fairem.proc.peak_rss_mb>512abs")).value();
+  EXPECT_EQ(ceil.metric, "fairem.proc.peak_rss_mb");
+  EXPECT_EQ(ceil.op, '>');
+  EXPECT_DOUBLE_EQ(ceil.threshold, 512.0);
+  EXPECT_TRUE(ceil.absolute);
+  EXPECT_FALSE(ceil.ratio);
+
+  FailOnSpec floor =
+      std::move(ParseFailOnSpec("fairem.profile.samples<100ABS")).value();
+  EXPECT_EQ(floor.op, '<');
+  EXPECT_DOUBLE_EQ(floor.threshold, 100.0);
+  EXPECT_TRUE(floor.absolute);
+
+  // A bare "abs" has no threshold digits; the x suffix still parses as a
+  // ratio, never as a mangled absolute.
+  EXPECT_FALSE(ParseFailOnSpec("metric>abs").ok());
+  FailOnSpec ratio = std::move(ParseFailOnSpec("metric>1.5x")).value();
+  EXPECT_TRUE(ratio.ratio);
+  EXPECT_FALSE(ratio.absolute);
+}
+
+TEST(BenchDiffTest, AbsoluteSpecsGateOnTheNewValueAlone) {
+  // Absolute clauses ignore the old snapshot entirely: they are budget
+  // ceilings/floors, not regression comparisons.
+  std::map<std::string, double> old_flat{{"rss", 900.0}, {"samples", 500.0}};
+  std::map<std::string, double> new_flat{{"rss", 400.0}, {"samples", 50.0}};
+  auto check = [&](const std::string& raw) {
+    return std::move(CheckFailOnSpecs(
+                         old_flat, new_flat,
+                         {std::move(ParseFailOnSpec(raw)).value()}))
+        .value();
+  };
+  EXPECT_EQ(check("rss>512abs").size(), 0u);       // 400 under the ceiling
+  EXPECT_EQ(check("rss>256abs").size(), 1u);       // 400 over it
+  EXPECT_EQ(check("samples<100abs").size(), 1u);   // 50 under the floor
+  EXPECT_EQ(check("samples<25abs").size(), 0u);
+  // Same numbers as a delta clause would trip on the -500 drop; absolute
+  // does not care that the old value was 900.
+  EXPECT_EQ(check("rss<0").size(), 1u);
 }
 
 TEST(BenchDiffTest, FlattenExpandsHistograms) {

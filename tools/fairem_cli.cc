@@ -32,14 +32,26 @@
 //       Compare two metrics snapshots (e.g. successive BENCH_*.json files):
 //       per-metric old/new/delta/ratio table, histograms expanded to
 //       .mean/.count/.sum/.p50/.p95/.p99. Each --fail_on clause
-//       (e.g. 'fairem.matcher.predict_seconds.mean>1.10x') turns the diff
-//       into a regression gate: exit 2 when any clause trips, 1 on
-//       usage/IO errors, 0 otherwise. --all shows unchanged metrics too.
+//       (e.g. 'fairem.matcher.predict_seconds.mean>1.10x' for a ratio gate,
+//       'fairem.proc.peak_rss_mb>512abs' for an absolute one, '<' for
+//       lower bounds) turns the diff into a regression gate: exit 2 when
+//       any clause trips, 1 on usage/IO errors, 0 otherwise. --all shows
+//       unchanged metrics too.
+//   fairem proftop <profile.folded> [--by stack|stage] [-n N]
+//       [--compare FILE2] [--tolerance T] [--min_share S]
+//       Summarize a folded profile written by --profile_out: top frames by
+//       self/total samples (--by stack, default), or the per-pipeline-stage
+//       breakdown with the attributed fraction (--by stage). --compare
+//       checks two profiles' stage shares against each other and exits 2
+//       when any stage's share drifts by more than --tolerance (default
+//       0.10), considering stages above --min_share (default 0.01).
 //
 // Observability (any command): --log_level debug|info|warn|error|off,
 // --trace_out FILE (Chrome trace JSON of the stage spans),
 // --metrics_out FILE (metrics-registry snapshot),
-// --metrics_format json|prom (format of --metrics_out).
+// --metrics_format json|prom (format of --metrics_out),
+// --profile_out FILE (sampling profiler; folded stacks for flamegraph.pl),
+// --profile_hz N (default 97), --profile_mode cpu|wall.
 // Fault injection (any command): --failpoints SPEC, e.g.
 // "csv_read=error(0.05);grid_cell=crash(1,5)" (also: FAIREM_FAILPOINTS env).
 //
@@ -61,6 +73,7 @@
 #include "src/harness/experiment.h"
 #include "src/obs/benchdiff.h"
 #include "src/obs/obs.h"
+#include "src/obs/profiler.h"
 #include "src/obs/telemetry.h"
 #include "src/report/table_printer.h"
 #include "src/robust/failpoint.h"
@@ -85,8 +98,11 @@ int Usage() {
       "[--intra_jobs N] [--cell_timeout_s S] [--cell_max_rss_mb M] "
       "[--progress]\n"
       "  fairem benchdiff <old.json> <new.json> [--fail_on SPEC]... [--all]\n"
+      "  fairem proftop <profile.folded> [--by stack|stage] [-n N] "
+      "[--compare FILE2] [--tolerance T] [--min_share S]\n"
       "observability (any command): [--log_level L] [--trace_out FILE] "
-      "[--metrics_out FILE] [--metrics_format json|prom]\n"
+      "[--metrics_out FILE] [--metrics_format json|prom] "
+      "[--profile_out FILE] [--profile_hz N] [--profile_mode cpu|wall]\n"
       "fault injection (any command): [--failpoints SPEC]\n";
   return 1;
 }
@@ -488,6 +504,79 @@ int BenchDiff(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Summarize (and optionally compare) folded profiles from --profile_out.
+/// Exit: 0 clean, 2 when --compare finds stage-share drift, 1 on errors.
+int ProfTop(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  std::string by = "stack";
+  int top_n = 20;
+  std::string compare_path;
+  double tolerance = 0.10;
+  double min_share = 0.01;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--by" && i + 1 < args.size()) {
+      by = args[++i];
+      if (by != "stack" && by != "stage") return Usage();
+    } else if (args[i] == "-n" && i + 1 < args.size()) {
+      double v = 0.0;
+      if (!ParseDouble(args[++i], &v) || v < 1.0) return Usage();
+      top_n = static_cast<int>(v);
+    } else if (args[i] == "--compare" && i + 1 < args.size()) {
+      compare_path = args[++i];
+    } else if (args[i] == "--tolerance" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &tolerance) || tolerance < 0.0) {
+        return Usage();
+      }
+    } else if (args[i] == "--min_share" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &min_share) || min_share < 0.0) {
+        return Usage();
+      }
+    } else {
+      std::cerr << "unexpected argument '" << args[i] << "'\n";
+      return Usage();
+    }
+  }
+  auto load = [](const std::string& path) -> Result<FoldedProfile> {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    FoldedProfile profile = FoldedProfileFromText(text.str());
+    if (profile.stacks.empty()) {
+      return Status::InvalidArgument("'" + path +
+                                     "' contains no folded stack lines");
+    }
+    return profile;
+  };
+  Result<FoldedProfile> profile = load(args[0]);
+  if (!profile.ok()) {
+    std::cerr << profile.status() << "\n";
+    return 1;
+  }
+  if (!compare_path.empty()) {
+    Result<FoldedProfile> other = load(compare_path);
+    if (!other.ok()) {
+      std::cerr << other.status() << "\n";
+      return 1;
+    }
+    std::vector<std::string> drift =
+        CompareStageShares(*profile, *other, tolerance, min_share);
+    if (!drift.empty()) {
+      for (const std::string& line : drift) {
+        std::cerr << "STAGE DRIFT: " << line << "\n";
+      }
+      return 2;
+    }
+    std::cout << "proftop: stage shares of '" << args[0] << "' and '"
+              << compare_path << "' agree within "
+              << FormatDouble(tolerance, 2) << "\n";
+    return 0;
+  }
+  std::cout << (by == "stage" ? RenderProfTopByStage(*profile)
+                              : RenderProfTopByStack(*profile, top_n));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -524,6 +613,21 @@ int Main(int argc, char** argv) {
         return Usage();
       }
       obs.metrics_format = *format;
+    } else if (arg == "--profile_out" && take_value()) {
+      obs.profile_out = value;
+    } else if (arg == "--profile_hz" && take_value()) {
+      double v = 0.0;
+      if (!ParseDouble(value, &v) || v < 1.0) {
+        std::cerr << "--profile_hz needs a positive integer\n";
+        return Usage();
+      }
+      obs.profile_hz = static_cast<int>(v);
+    } else if (arg == "--profile_mode" && take_value()) {
+      if (!ParseProfileClock(value).ok()) {
+        std::cerr << "--profile_mode must be cpu or wall\n";
+        return Usage();
+      }
+      obs.profile_mode = value;
     } else if (arg == "--failpoints" && take_value()) {
       if (Status st = FailpointRegistry::Global().Configure(value); !st.ok()) {
         std::cerr << st << "\n";
@@ -555,6 +659,8 @@ int Main(int argc, char** argv) {
     code = Grid(args);
   } else if (command == "benchdiff") {
     code = BenchDiff(args);
+  } else if (command == "proftop") {
+    code = ProfTop(args);
   } else {
     return Usage();
   }
