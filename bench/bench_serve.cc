@@ -1,0 +1,343 @@
+// Closed-loop load generator for the `fairem serve` daemon (DESIGN.md §14).
+//
+// Forks a daemon child warming one small dataset, then drives it with
+// concurrent client threads issuing a mix of ping / stats / cell queries
+// through ServeClient::CallWithRetry (jittered backoff, retry-after hints).
+// The serve knobs are deliberately tight (max_inflight 1, max_queue 2) so
+// the run exercises admission control and overload shedding, not just the
+// happy path. Three invariants are enforced, with or without chaos:
+//
+//   1. Every request terminates with a definite outcome — OK or a
+//      structured error — never a hang (per-IO deadlines bound the rest).
+//   2. The daemon survives: a final ping answers, repeated queries for the
+//      same cell return byte-identical payloads (cache), and a raw-socket
+//      drill shows unknown frame types are skipped while garbage bytes get
+//      the connection closed without hurting anyone else.
+//   3. SIGTERM drains cooperatively: exit 0 and a durable metrics snapshot
+//      at bench_serve_daemon_metrics.json.
+//
+// Chaos mode is just --failpoints (e.g. "grid_cell=crash(0.5)"): the
+// daemon child inherits the armed registry and reseeds per worker spawn, so
+// query workers crash/hang under load. Failed requests then count as
+// definite outcomes; the bench still requires eventual success for the
+// probed cell (fresh attempts draw fresh streams) and a clean drain.
+//
+// Client-side latency lands in fairem.serve.client.latency_seconds inside
+// BENCH_serve.json, which bench_smoke gates with `fairem benchdiff`.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+
+#include <atomic>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/harness/bench_flags.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/profiler.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/util/io_util.h"
+
+namespace fairem {
+namespace {
+
+constexpr char kSocketPath[] = "bench_serve.sock";
+constexpr char kDataset[] = "Cricket";
+constexpr char kDrainMetricsPath[] = "bench_serve_daemon_metrics.json";
+const char* const kMatchers[] = {"BooleanRuleMatcher", "DTMatcher",
+                                 "NBMatcher"};
+
+struct ClientTally {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed_final{0};      // kUnavailable after retries
+  std::atomic<uint64_t> deadline{0};        // kDeadlineExceeded
+  std::atomic<uint64_t> worker_failed{0};   // kInternal (crash budget spent)
+  std::atomic<uint64_t> other_failed{0};
+  std::atomic<uint64_t> transport{0};       // connection-level failure
+};
+
+void Classify(ClientTally* tally, const Status& status) {
+  if (status.ok()) {
+    tally->ok.fetch_add(1);
+  } else if (status.IsUnavailable()) {
+    tally->shed_final.fetch_add(1);
+  } else if (status.IsDeadlineExceeded()) {
+    tally->deadline.fetch_add(1);
+  } else if (status.code() == StatusCode::kInternal) {
+    tally->worker_failed.fetch_add(1);
+  } else {
+    tally->other_failed.fetch_add(1);
+  }
+}
+
+void ClientLoop(int client_index, int requests, const BenchFlags& flags,
+                ClientTally* tally) {
+  Histogram* latency = MetricsRegistry::Global().GetHistogram(
+      "fairem.serve.client.latency_seconds");
+  RetryPolicy retry;
+  retry.max_attempts = 6;
+  retry.initial_backoff_seconds = 0.02;
+  retry.max_backoff_seconds = 0.5;
+  ServeClientOptions client_options;
+  client_options.io_timeout_s = 30.0;
+  client_options.connect_timeout_s = 60.0;
+  Result<ServeClient> client = ServeClient::Connect(kSocketPath,
+                                                    client_options);
+  if (!client.ok()) {
+    tally->requests.fetch_add(static_cast<uint64_t>(requests));
+    tally->transport.fetch_add(static_cast<uint64_t>(requests));
+    return;
+  }
+  const size_t num_matchers = sizeof(kMatchers) / sizeof(kMatchers[0]);
+  for (int r = 0; r < requests; ++r) {
+    QueryRequest request;
+    // 1-in-4 liveness/stats probes keep cheap requests interleaved with
+    // the expensive cell computes that cause queueing.
+    const int roll = (client_index + r) % 4;
+    if (roll == 0) {
+      request.op = (r % 2 == 0) ? "ping" : "stats";
+    } else {
+      request.op = "cell";
+      request.dataset = kDataset;
+      request.matcher = kMatchers[(client_index + r) % num_matchers];
+      request.deadline_s = 60.0;
+    }
+    tally->requests.fetch_add(1);
+    const double start = retry_internal::MonotonicSeconds();
+    Result<QueryResponse> outcome = client->CallWithRetry(
+        request, retry,
+        flags.seed_offset + 1000ull * client_index + r);
+    latency->Observe(retry_internal::MonotonicSeconds() - start);
+    if (!outcome.ok()) {
+      // Transport-level failure: still a definite outcome, but track it
+      // apart from structured server replies.
+      tally->transport.fetch_add(1);
+      continue;
+    }
+    Classify(tally, outcome->status);
+  }
+}
+
+// Raw-socket protocol drill: an unknown frame type must be skipped (the
+// following ping still answers); garbage bytes must get the connection
+// closed promptly — and neither may disturb the daemon.
+int RawFrameDrill() {
+  auto raw_connect = []() {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, kSocketPath, sizeof(kSocketPath));
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  };
+
+  int fd = raw_connect();
+  if (fd < 0) {
+    std::cerr << "raw drill: connect failed\n";
+    return 1;
+  }
+  QueryRequest ping;
+  ping.op = "ping";
+  ping.id = 7;
+  // Unknown type first: "JUNK" frame with a valid header must be skipped
+  // and counted, not kill the connection.
+  std::string wire = EncodeServeMessage("JUNK", "ignore me");
+  wire += EncodeServeMessage(kFrameQueryRequest, SerializeQueryRequest(ping));
+  if (Status st = WriteFullDeadline(fd, wire.data(), wire.size(), 10.0);
+      !st.ok()) {
+    std::cerr << "raw drill: write failed: " << st << "\n";
+    ::close(fd);
+    return 1;
+  }
+  Result<ServeMessage> reply = ReadServeMessage(fd, 10.0);
+  ::close(fd);
+  if (!reply.ok() || reply->type != kFrameQueryResponse) {
+    std::cerr << "raw drill: no response past an unknown frame type\n";
+    return 1;
+  }
+
+  // Garbage bytes: the stream is unrecoverable, the daemon must close it
+  // (we observe EOF) instead of hanging or crashing.
+  fd = raw_connect();
+  if (fd < 0) {
+    std::cerr << "raw drill: reconnect failed\n";
+    return 1;
+  }
+  const char garbage[] = "this is not FEMTEL1 at all\n";
+  (void)WriteFullDeadline(fd, garbage, sizeof(garbage) - 1, 10.0);
+  char byte = 0;
+  Status eof = ReadFullDeadline(fd, &byte, 1, 10.0);
+  ::close(fd);
+  if (!eof.IsUnavailable()) {
+    std::cerr << "raw drill: daemon did not close a corrupt connection: "
+              << eof << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int Run(const BenchFlags& flags) {
+  IgnoreSigpipe();
+  const bool chaos = !flags.failpoints.empty();
+  ::unlink(kSocketPath);
+
+  // The daemon runs in a forked child: fresh single-threaded process, its
+  // own ShutdownGuard, killed with a real SIGTERM at the end — the same
+  // deployment shape as `fairem serve`, minus exec.
+  pid_t daemon_pid = ::fork();
+  if (daemon_pid < 0) {
+    std::cerr << "fork failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  if (daemon_pid == 0) {
+    ServeOptions options;
+    options.socket_path = kSocketPath;
+    options.warm.datasets = {kDataset};
+    options.warm.scale = flags.scale;
+    options.warm.seed = 1234 + flags.seed_offset;
+    options.warm.checkpoint_dir = flags.checkpoint_dir;
+    options.max_inflight = 1;  // tight on purpose: force queueing + sheds
+    options.max_queue = 2;
+    options.default_deadline_s = 60.0;
+    options.max_deadline_s = 120.0;
+    options.io_timeout_s = 10.0;
+    options.max_attempts = flags.retry_attempts;
+    options.worker_max_rss_mb = flags.cell_max_rss_mb;
+    options.metrics_path = kDrainMetricsPath;
+    if (flags.cell_timeout_s > 0.0) {
+      options.default_deadline_s = flags.cell_timeout_s;
+    }
+    Status st = RunServeDaemon(options);
+    if (!st.ok()) {
+      FAIREM_LOG(ERROR) << "daemon failed" << LogKv("status", st.ToString());
+    }
+    ::_exit(st.ok() ? 0 : 1);
+  }
+
+  const int clients = flags.jobs > 1 ? flags.jobs : 4;
+  const int requests_per_client = 8;
+  ClientTally tally;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back(ClientLoop, c, requests_per_client, flags,
+                           &tally);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  int exit_code = 0;
+  const uint64_t definite = tally.ok + tally.shed_final + tally.deadline +
+                            tally.worker_failed + tally.other_failed +
+                            tally.transport;
+  std::cout << "serve bench: " << tally.requests << " requests, " << tally.ok
+            << " ok, " << tally.shed_final << " shed, " << tally.deadline
+            << " deadline, " << tally.worker_failed << " worker-failed, "
+            << tally.other_failed << " other, " << tally.transport
+            << " transport\n";
+  if (definite != tally.requests) {
+    std::cerr << "FAIL: " << (tally.requests - definite)
+              << " request(s) without a definite outcome\n";
+    exit_code = 1;
+  }
+  if (!chaos && tally.ok != tally.requests) {
+    std::cerr << "FAIL: failures without chaos armed\n";
+    exit_code = 1;
+  }
+
+  // Post-load (and post-chaos) probe: the daemon must still answer, the
+  // probed cell must eventually succeed (fresh requests draw fresh
+  // failpoint streams), and a repeat must be byte-identical — served from
+  // the parent-owned cache no worker crash can corrupt.
+  {
+    ServeClientOptions probe_options;
+    probe_options.io_timeout_s = 60.0;
+    Result<ServeClient> probe = ServeClient::Connect(kSocketPath,
+                                                     probe_options);
+    if (!probe.ok()) {
+      std::cerr << "FAIL: post-load connect: " << probe.status() << "\n";
+      exit_code = 1;
+    } else {
+      QueryRequest cell;
+      cell.op = "cell";
+      cell.dataset = kDataset;
+      cell.matcher = kMatchers[0];
+      cell.deadline_s = 60.0;
+      RetryPolicy patient;
+      patient.max_attempts = 4;
+      std::string first_payload;
+      for (int tries = 0; tries < 20 && first_payload.empty(); ++tries) {
+        Result<QueryResponse> got = probe->CallWithRetry(cell, patient,
+                                                         9000 + tries);
+        if (got.ok() && got->status.ok()) first_payload = got->payload;
+      }
+      Result<QueryResponse> again = probe->CallWithRetry(cell, patient, 42);
+      if (first_payload.empty()) {
+        std::cerr << "FAIL: probed cell never succeeded\n";
+        exit_code = 1;
+      } else if (!again.ok() || !again->status.ok() ||
+                 again->payload != first_payload) {
+        std::cerr << "FAIL: repeated cell query was not byte-identical\n";
+        exit_code = 1;
+      }
+      QueryRequest stats;
+      stats.op = "stats";
+      Result<QueryResponse> snapshot = probe->CallWithRetry(stats, patient,
+                                                            43);
+      if (!snapshot.ok() || !snapshot->status.ok() ||
+          snapshot->payload.find("fairem.serve.requests_total") ==
+              std::string::npos) {
+        std::cerr << "FAIL: stats query missing serve counters\n";
+        exit_code = 1;
+      }
+    }
+  }
+  if (RawFrameDrill() != 0) exit_code = 1;
+
+  // Cooperative drain: SIGTERM, expect exit 0 and the durable snapshot.
+  ::kill(daemon_pid, SIGTERM);
+  int status = 0;
+  if (::waitpid(daemon_pid, &status, 0) != daemon_pid ||
+      !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::cerr << "FAIL: daemon did not drain cleanly (status " << status
+              << ")\n";
+    exit_code = 1;
+  }
+
+  Profiler::Global().ExportMetrics();
+  Profiler::Global().ExportStageCpuGauges();
+  EmitProcessResourceGauges();
+  if (Status st = MetricsRegistry::Global().WriteJsonFile("BENCH_serve.json");
+      !st.ok()) {
+    FAIREM_LOG(WARN) << "could not write bench metrics snapshot"
+                     << LogKv("status", st.ToString());
+  }
+  std::cout << (exit_code == 0 ? "serve bench OK\n" : "serve bench FAILED\n");
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace fairem
+
+int main(int argc, char** argv) {
+  fairem::BenchFlags flags = fairem::ParseBenchFlags(argc, argv);
+  return fairem::Run(flags);
+}

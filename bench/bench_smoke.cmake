@@ -536,3 +536,83 @@ endif()
 message(STATUS
     "bench_smoke OK: profiled sequential + --jobs 2 runs, merged worker "
     "stacks, >= 90% span attribution, stage shares agree")
+
+# ---------------------------------------------------------------------------
+# Serve drill: the always-on daemon under closed-loop load, clean and under
+# chaos. The clean run asserts every request succeeds and the cached probe
+# is byte-identical; the chaos run (crash failpoints in the cell workers)
+# asserts every request still terminates definitely. Both runs end in a
+# SIGTERM drain that must flush daemon metrics durably.
+
+file(REMOVE "${WORK_DIR}/BENCH_serve.json"
+     "${WORK_DIR}/bench_serve_daemon_metrics.json")
+execute_process(
+  COMMAND "${SERVE_BIN}" --scale 0.25
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE serve_stdout
+  ERROR_VARIABLE serve_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "clean serve bench exited with ${exit_code}\n"
+      "stdout:\n${serve_stdout}\nstderr:\n${serve_stderr}")
+endif()
+if(NOT serve_stdout MATCHES "serve bench OK")
+  message(FATAL_ERROR
+      "clean serve bench did not report OK:\n${serve_stdout}")
+endif()
+foreach(artifact "BENCH_serve.json" "bench_serve_daemon_metrics.json")
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "serve bench left no ${artifact}")
+  endif()
+endforeach()
+file(READ "${WORK_DIR}/bench_serve_daemon_metrics.json" drain_metrics)
+foreach(metric
+    "fairem.serve.requests_total"
+    "fairem.serve.requests_ok"
+    "fairem.serve.shutdowns")
+  if(NOT drain_metrics MATCHES "\"${metric}\"")
+    message(FATAL_ERROR
+        "durable drain metrics are missing ${metric}:\n${drain_metrics}")
+  endif()
+endforeach()
+
+# Client-observed p95 gate. Self-diff: the absolute threshold applies to
+# the NEW value, so gating a file against itself still catches a slow run.
+execute_process(
+  COMMAND "${CLI_BIN}" benchdiff
+          "${WORK_DIR}/BENCH_serve.json" "${WORK_DIR}/BENCH_serve.json"
+          --fail_on "fairem.serve.client.latency_seconds.p95>15.0abs"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE diff_stdout
+  ERROR_VARIABLE diff_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "serve client p95 latency gate failed (exit ${exit_code})\n"
+      "stdout:\n${diff_stdout}\nstderr:\n${diff_stderr}")
+endif()
+
+# Chaos: every other cell computation crashes its worker mid-flight; the
+# respawn budget and deadline watchdog must still give every client a
+# definite answer, and the post-load probe must match the clean payload
+# shape byte-for-byte across retries (asserted inside the bench).
+execute_process(
+  COMMAND "${SERVE_BIN}" --scale 0.25 --failpoints "grid_cell=crash(0.5)"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE chaos_stdout
+  ERROR_VARIABLE chaos_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "chaos serve bench exited with ${exit_code}\n"
+      "stdout:\n${chaos_stdout}\nstderr:\n${chaos_stderr}")
+endif()
+if(NOT chaos_stdout MATCHES "serve bench OK")
+  message(FATAL_ERROR
+      "chaos serve bench did not report OK:\n${chaos_stdout}")
+endif()
+
+message(STATUS
+    "bench_smoke OK: serve daemon survived clean + chaos load, p95 gated, "
+    "drain metrics durable")

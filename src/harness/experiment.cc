@@ -220,6 +220,18 @@ GridCellCheckpoint MakeErrorCell(MatcherKind kind, const Status& status) {
 
 }  // namespace
 
+Result<GridCellCheckpoint> RunAuditCell(const EMDataset& dataset,
+                                        MatcherKind kind, bool pairwise,
+                                        const GridRunOptions& options) {
+  return RunGridCell(dataset, kind, pairwise, options);
+}
+
+std::string AuditCellKey(const std::string& dataset_name, MatcherKind kind,
+                         bool pairwise) {
+  return dataset_name + "." + (pairwise ? "pairwise" : "single") + "." +
+         MatcherKindName(kind);
+}
+
 Result<std::string> UnfairnessGridReport(const EMDataset& dataset,
                                          bool pairwise,
                                          const GridRunOptions& options) {

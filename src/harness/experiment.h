@@ -8,6 +8,7 @@
 #include "src/data/dataset.h"
 #include "src/matcher/matcher.h"
 #include "src/ml/metrics.h"
+#include "src/robust/checkpoint.h"
 #include "src/robust/retry.h"
 #include "src/util/result.h"
 
@@ -129,6 +130,18 @@ Result<std::string> UnfairnessGridReport(
     const EMDataset& dataset, bool pairwise,
     const AuditOptions& options = {},
     const std::vector<MatcherKind>& skip = {});
+
+/// One audit grid cell end to end — train `kind`, audit, and convert to the
+/// checkpointable representation (the exact bytes the grid sweep persists,
+/// so serve-daemon cell responses and grid checkpoints interoperate).
+/// Failures propagate as Status for retry wrappers.
+Result<GridCellCheckpoint> RunAuditCell(const EMDataset& dataset,
+                                        MatcherKind kind, bool pairwise,
+                                        const GridRunOptions& options = {});
+
+/// The checkpoint key of one grid cell: "<dataset>.<mode>.<matcher>".
+std::string AuditCellKey(const std::string& dataset_name, MatcherKind kind,
+                         bool pairwise);
 
 }  // namespace fairem
 

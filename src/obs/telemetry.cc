@@ -1,266 +1,33 @@
 #include "src/obs/telemetry.h"
 
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <map>
 #include <sstream>
 
 #include "src/util/durable_file.h"
+#include "src/util/io_util.h"
+#include "src/util/json.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
 namespace {
 
-// ------------------------------------------------------------- JSON writer --
-
-void AppendJsonString(std::ostringstream* os, const std::string& s) {
-  *os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *os << "\\\"";
-        break;
-      case '\\':
-        *os << "\\\\";
-        break;
-      case '\n':
-        *os << "\\n";
-        break;
-      case '\t':
-        *os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *os << buf;
-        } else {
-          *os << c;
-        }
-    }
-  }
-  *os << '"';
-}
-
-// ------------------------------------------------------------- JSON reader --
-// A small recursive-descent parser over the subset our own writers emit
-// (objects, arrays, strings with the writer's escapes, numbers, booleans).
-// Numbers are kept as raw text so uint64 counters round-trip exactly.
-
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
-  std::string scalar;
-  std::vector<JsonValue> items;
-  std::map<std::string, JsonValue> members;
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  Result<JsonValue> Parse() {
-    JsonValue root;
-    FAIREM_RETURN_NOT_OK(ParseValue(&root));
-    SkipWs();
-    if (pos_ != text_.size()) return Err("trailing bytes after document");
-    return root;
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  Status Err(const std::string& what) {
-    return Status::InvalidArgument("telemetry JSON: " + what + " at offset " +
-                                   std::to_string(pos_));
-  }
-
-  Status Expect(char c) {
-    SkipWs();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      return Err(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-    return Status::OK();
-  }
-
-  bool TryConsume(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Result<std::string> ParseString() {
-    FAIREM_RETURN_NOT_OK(Expect('"'));
-    std::string out;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) break;
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"':
-          out.push_back('"');
-          break;
-        case '\\':
-          out.push_back('\\');
-          break;
-        case '/':
-          out.push_back('/');
-          break;
-        case 'n':
-          out.push_back('\n');
-          break;
-        case 't':
-          out.push_back('\t');
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
-          unsigned value = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            value <<= 4;
-            if (h >= '0' && h <= '9') {
-              value |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              value |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              value |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return Err("bad \\u escape digit");
-            }
-          }
-          // Our writers only use \u for control bytes.
-          if (value >= 0x80) return Err("unsupported \\u escape");
-          out.push_back(static_cast<char>(value));
-          break;
-        }
-        default:
-          return Err("unsupported escape");
-      }
-    }
-    return Err("unterminated string");
-  }
-
-  Status ParseValue(JsonValue* out) {
-    SkipWs();
-    if (pos_ >= text_.size()) return Err("unexpected end of input");
-    char c = text_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out->kind = JsonValue::kObject;
-      if (TryConsume('}')) return Status::OK();
-      while (true) {
-        FAIREM_ASSIGN_OR_RETURN(std::string key, ParseString());
-        FAIREM_RETURN_NOT_OK(Expect(':'));
-        JsonValue value;
-        FAIREM_RETURN_NOT_OK(ParseValue(&value));
-        out->members[key] = std::move(value);
-        if (TryConsume(',')) continue;
-        return Expect('}');
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out->kind = JsonValue::kArray;
-      if (TryConsume(']')) return Status::OK();
-      while (true) {
-        JsonValue value;
-        FAIREM_RETURN_NOT_OK(ParseValue(&value));
-        out->items.push_back(std::move(value));
-        if (TryConsume(',')) continue;
-        return Expect(']');
-      }
-    }
-    if (c == '"') {
-      out->kind = JsonValue::kString;
-      FAIREM_ASSIGN_OR_RETURN(out->scalar, ParseString());
-      return Status::OK();
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
-      out->kind = JsonValue::kNumber;
-      size_t start = pos_;
-      while (pos_ < text_.size()) {
-        char d = text_[pos_];
-        if (std::isdigit(static_cast<unsigned char>(d)) || d == '-' ||
-            d == '+' || d == '.' || d == 'e' || d == 'E') {
-          ++pos_;
-        } else {
-          break;
-        }
-      }
-      out->scalar = text_.substr(start, pos_ - start);
-      return Status::OK();
-    }
-    for (const char* word : {"true", "false", "null"}) {
-      size_t len = std::char_traits<char>::length(word);
-      if (text_.compare(pos_, len, word) == 0) {
-        out->kind = word[0] == 'n' ? JsonValue::kNull : JsonValue::kBool;
-        out->scalar = word;
-        pos_ += len;
-        return Status::OK();
-      }
-    }
-    return Err("unexpected character");
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+// JSON plumbing lives in src/util/json; thin local aliases keep the parsing
+// code below readable.
 
 Result<uint64_t> AsU64(const JsonValue& v, const std::string& what) {
-  if (v.kind != JsonValue::kNumber) {
-    return Status::InvalidArgument("telemetry JSON: " + what +
-                                   " is not a number");
-  }
-  errno = 0;
-  char* end = nullptr;
-  unsigned long long out = std::strtoull(v.scalar.c_str(), &end, 10);
-  if (errno != 0 || end == v.scalar.c_str() || *end != '\0') {
-    return Status::InvalidArgument("telemetry JSON: bad integer for " + what);
-  }
-  return static_cast<uint64_t>(out);
+  return JsonAsU64(v, what);
 }
 
 Result<int64_t> AsI64(const JsonValue& v, const std::string& what) {
-  if (v.kind != JsonValue::kNumber) {
-    return Status::InvalidArgument("telemetry JSON: " + what +
-                                   " is not a number");
-  }
-  errno = 0;
-  char* end = nullptr;
-  long long out = std::strtoll(v.scalar.c_str(), &end, 10);
-  if (errno != 0 || end == v.scalar.c_str() || *end != '\0') {
-    return Status::InvalidArgument("telemetry JSON: bad integer for " + what);
-  }
-  return static_cast<int64_t>(out);
+  return JsonAsI64(v, what);
 }
 
 Result<double> AsDouble(const JsonValue& v, const std::string& what) {
-  double out = 0.0;
-  if (v.kind != JsonValue::kNumber || !ParseDouble(v.scalar, &out)) {
-    return Status::InvalidArgument("telemetry JSON: " + what +
-                                   " is not a number");
-  }
-  return out;
+  return JsonAsDouble(v, what);
 }
 
 const JsonValue* Find(const JsonValue& obj, const std::string& key) {
-  auto it = obj.members.find(key);
-  return it == obj.members.end() ? nullptr : &it->second;
+  return JsonFind(obj, key);
 }
 
 Result<MetricsSnapshot> SnapshotFromJsonValue(const JsonValue& root) {
@@ -376,7 +143,7 @@ MetricsSnapshot DiffSnapshots(const MetricsSnapshot& baseline,
 }
 
 Result<MetricsSnapshot> MetricsSnapshotFromJson(const std::string& json) {
-  FAIREM_ASSIGN_OR_RETURN(JsonValue root, JsonReader(json).Parse());
+  FAIREM_ASSIGN_OR_RETURN(JsonValue root, JsonParse(json));
   return SnapshotFromJsonValue(root);
 }
 
@@ -416,7 +183,7 @@ std::string SerializeWorkerTelemetry(const WorkerTelemetry& telemetry) {
 }
 
 Result<WorkerTelemetry> ParseWorkerTelemetry(const std::string& json) {
-  FAIREM_ASSIGN_OR_RETURN(JsonValue root, JsonReader(json).Parse());
+  FAIREM_ASSIGN_OR_RETURN(JsonValue root, JsonParse(json));
   if (root.kind != JsonValue::kObject) {
     return Status::InvalidArgument(
         "telemetry JSON: telemetry is not an object");
@@ -658,12 +425,8 @@ Status WriteTelemetrySidecar(const std::string& dir,
 }
 
 Result<WorkerTelemetry> LoadTelemetrySidecarFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("no telemetry sidecar at '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  if (in.bad()) return Status::IOError("read failed for '" + path + "'");
-  return ParseWorkerTelemetry(ss.str());
+  FAIREM_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseWorkerTelemetry(text);
 }
 
 std::string ProfileSidecarPath(const std::string& dir,
@@ -679,12 +442,7 @@ Status WriteProfileSidecar(const std::string& dir, const std::string& task_key,
 }
 
 Result<std::string> LoadProfileSidecarFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("no profile sidecar at '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  if (in.bad()) return Status::IOError("read failed for '" + path + "'");
-  return ss.str();
+  return ReadFileToString(path);
 }
 
 // ------------------------------------------------------------------ absorb --

@@ -1,43 +1,14 @@
 #include "src/robust/checkpoint.h"
 
-#include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "src/robust/failpoint.h"
 #include "src/util/durable_file.h"
+#include "src/util/io_util.h"
+#include "src/util/json.h"
 
 namespace fairem {
 namespace {
-
-void AppendJsonString(std::ostringstream* os, const std::string& s) {
-  *os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *os << "\\\"";
-        break;
-      case '\\':
-        *os << "\\\\";
-        break;
-      case '\n':
-        *os << "\\n";
-        break;
-      case '\t':
-        *os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *os << buf;
-        } else {
-          *os << c;
-        }
-    }
-  }
-  *os << '"';
-}
 
 /// Minimal cursor over the checkpoint JSON subset (strings, bools, and the
 /// marks array of [string, string, bool] triples).
@@ -173,13 +144,7 @@ std::string CheckpointStore::PathFor(const std::string& key) const {
 Result<std::string> CheckpointStore::Load(const std::string& key) const {
   if (!enabled()) return Status::NotFound("checkpointing disabled");
   FAIREM_FAILPOINT("checkpoint_load");
-  const std::string path = PathFor(key);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("no checkpoint at '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  if (in.bad()) return Status::IOError("read failed for '" + path + "'");
-  return ss.str();
+  return ReadFileToString(PathFor(key));
 }
 
 Status CheckpointStore::Save(const std::string& key,

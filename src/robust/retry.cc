@@ -19,7 +19,8 @@ std::function<void(double)> g_sleep_override;
 
 bool IsRetryableStatus(const Status& status) {
   return status.code() == StatusCode::kInternal ||
-         status.code() == StatusCode::kIOError;
+         status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kUnavailable;
 }
 
 double BackoffSeconds(const RetryPolicy& policy, int retry, Rng* rng) {

@@ -26,8 +26,9 @@ struct RetryPolicy {
   double deadline_seconds = 0.0;
 };
 
-/// True for codes worth retrying: kInternal and kIOError (transient infra
-/// failures). Input errors (kInvalidArgument, kNotFound, ...) never are.
+/// True for codes worth retrying: kInternal, kIOError, and kUnavailable
+/// (transient infra failures and overload sheds). Input errors
+/// (kInvalidArgument, kNotFound, ...) and expired deadlines never are.
 bool IsRetryableStatus(const Status& status);
 
 /// The jittered backoff before retry number `retry` (1-based).

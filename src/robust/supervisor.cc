@@ -1,18 +1,11 @@
 #include "src/robust/supervisor.h"
 
-#include <fcntl.h>
 #include <signal.h>
 #include <sys/resource.h>
-#include <sys/wait.h>
 #include <unistd.h>
-#ifdef __linux__
-#include <sys/prctl.h>
-#endif
 
 #include <atomic>
-#include <cerrno>
 #include <chrono>
-#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <filesystem>
@@ -24,9 +17,8 @@
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/obs/telemetry.h"
-#include "src/obs/trace.h"
-#include "src/robust/failpoint.h"
 #include "src/robust/retry.h"
+#include "src/robust/worker_process.h"
 #include "src/util/string_util.h"
 
 namespace fairem {
@@ -39,85 +31,12 @@ void OnShutdownSignal(int sig) {
   g_shutdown_signal.store(sig, std::memory_order_relaxed);
 }
 
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
 /// A worker child currently being supervised.
 struct RunningWorker {
   size_t task_index = 0;
-  pid_t pid = -1;
-  int pipe_fd = -1;  // parent's nonblocking read end
-  std::string received;
-  std::chrono::steady_clock::time_point start;
+  WorkerProcess proc;
   bool timed_out = false;
 };
-
-bool WriteAll(int fd, const std::string& data) {
-  size_t written = 0;
-  while (written < data.size()) {
-    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    written += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-/// Appends whatever the pipe currently holds; never blocks.
-void DrainPipe(RunningWorker* worker) {
-  char buf[4096];
-  for (;;) {
-    ssize_t n = ::read(worker->pipe_fd, buf, sizeof(buf));
-    if (n > 0) {
-      worker->received.append(buf, static_cast<size_t>(n));
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    break;  // EOF or EAGAIN
-  }
-}
-
-/// SIGKILLs the worker's whole process group (and the worker itself, in
-/// case it died before its setpgid took effect).
-void KillWorker(pid_t pid) {
-  ::kill(-pid, SIGKILL);
-  ::kill(pid, SIGKILL);
-}
-
-bool ApplyWorkerLimits(const SupervisorOptions& options) {
-  if (options.cell_max_rss_mb > 0) {
-    rlimit lim;
-    lim.rlim_cur = lim.rlim_max =
-        static_cast<rlim_t>(options.cell_max_rss_mb) << 20;
-    if (::setrlimit(RLIMIT_AS, &lim) != 0) return false;
-  }
-  if (options.cell_max_cpu_s > 0) {
-    rlimit lim;
-    lim.rlim_cur = lim.rlim_max = static_cast<rlim_t>(options.cell_max_cpu_s);
-    if (::setrlimit(RLIMIT_CPU, &lim) != 0) return false;
-  }
-  return true;
-}
-
-/// Reconstructs the Status a worker shipped as "<code int>\n<message>".
-Status ParseShippedStatus(const std::string& wire) {
-  size_t nl = wire.find('\n');
-  double code_value = 0.0;
-  if (nl == std::string::npos ||
-      !ParseDouble(std::string_view(wire).substr(0, nl), &code_value) ||
-      code_value < 1.0 ||
-      code_value > static_cast<double>(StatusCode::kCancelled)) {
-    return Status::Internal("worker shipped malformed status: " +
-                            wire.substr(0, 128));
-  }
-  return Status(static_cast<StatusCode>(static_cast<int>(code_value)),
-                wire.substr(nl + 1));
-}
 
 }  // namespace
 
@@ -247,148 +166,51 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
   };
 
   auto reap_everything = [&]() {
-    for (RunningWorker& worker : running) {
-      KillWorker(worker.pid);
-      int status = 0;
-      while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
-      }
-      ::close(worker.pipe_fd);
-    }
+    for (RunningWorker& worker : running) worker.proc.KillAndReap();
     running.clear();
   };
 
   auto spawn = [&](size_t index) -> Status {
-    int fds[2];
-    if (::pipe(fds) != 0) {
-      return Status::IOError(std::string("pipe failed: ") +
-                             std::strerror(errno));
-    }
     ++attempts[index];
     const int attempt = attempts[index];
-    pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(fds[0]);
-      ::close(fds[1]);
-      return Status::IOError(std::string("fork failed: ") +
-                             std::strerror(errno));
+    WorkerSpawnOptions spawn_options;
+    spawn_options.task_key = tasks[index].key;
+    spawn_options.attempt = attempt;
+    spawn_options.max_rss_mb = options_.cell_max_rss_mb;
+    spawn_options.max_cpu_s = options_.cell_max_cpu_s;
+    spawn_options.ship_telemetry = options_.ship_telemetry;
+    spawn_options.telemetry_dir = options_.ship_telemetry ? telemetry_dir : "";
+    // Probabilistic failpoints draw fresh per respawn, so a transient
+    // injected crash behaves like a transient real one. The first attempt
+    // keeps the parent's streams for deterministic single-shot tests.
+    spawn_options.failpoint_reseed =
+        attempt > 1 ? static_cast<uint64_t>(attempt) : 0;
+    spawn_options.ship_failpoint = "supervisor_ship";
+    // Inherited read ends of sibling pipes are the parent's business.
+    for (const RunningWorker& other : running) {
+      spawn_options.close_in_child.push_back(other.proc.pipe_fd());
     }
-    if (pid == 0) {
-      // ----- worker child -----
-      // Own process group, so the watchdog can kill the worker and anything
-      // it spawned in one shot, and terminal Ctrl-C reaches only the
-      // supervisor (which shuts the fleet down cooperatively).
-      ::setpgid(0, 0);
-      ::signal(SIGINT, SIG_DFL);
-      ::signal(SIGTERM, SIG_DFL);
-#ifdef __linux__
-      // If the supervisor itself is SIGKILLed, die with it — no orphans.
-      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
-#endif
-      ::close(fds[0]);
-      // Inherited read ends of sibling pipes are the parent's business.
-      for (const RunningWorker& other : running) ::close(other.pipe_fd);
-      if (!ApplyWorkerLimits(options_)) std::_Exit(kWorkerExitProtocol);
-      // fork() cleared the interval timer; re-arm so this worker samples
-      // its own work, into a buffer reset of the parent's samples, with its
-      // stacks rooted at process:worker_<pid>.
-      const bool profiling = Profiler::Global().active();
-      if (profiling) {
-        (void)Profiler::Global().RestartAfterFork(
-            "worker_" + std::to_string(::getpid()));
-      }
-      if (attempt > 1) {
-        // Probabilistic failpoints draw fresh per respawn, so a transient
-        // injected crash behaves like a transient real one.
-        FailpointRegistry::Global().ReseedStreams(
-            static_cast<uint64_t>(attempt));
-      }
-      // The fork copied the parent's metric values and trace buffer; the
-      // baseline lets the worker ship only what the task itself adds.
-      MetricsSnapshot telemetry_baseline;
-      size_t span_watermark = 0;
-      if (options_.ship_telemetry) {
-        telemetry_baseline = MetricsRegistry::Global().Snapshot();
-        span_watermark = Tracer::Global().EventCount();
-      }
-      // noexcept barrier: an exception escaping the task (e.g. bad_alloc
-      // under RLIMIT_AS) must terminate HERE as a contained crash — if it
-      // unwound further it would re-enter the forked copy of the caller's
-      // stack (worst case: a test harness's catch block resumes running the
-      // caller's code in the child).
-      Result<std::string> result =
-          [&]() noexcept { return tasks[index].run(); }();
-      std::string wire;
-      int exit_code;
-      if (result.ok()) {
-        wire = std::move(result).value();
-        exit_code = kWorkerExitOk;
-      } else {
-        wire = std::to_string(static_cast<int>(result.status().code())) +
-               "\n" + result.status().message();
-        exit_code = kWorkerExitTaskError;
-      }
-      if (options_.ship_telemetry) {
-        // Samples must land in the metrics registry before the snapshot
-        // below diffs it, so the per-stage counters ship with the delta.
-        std::string folded;
-        if (profiling) {
-          (void)Profiler::Global().Stop();
-          Profiler::Global().ExportMetrics();
-          folded = Profiler::Global().Collect().ToText();
-        }
-        WorkerTelemetry telemetry;
-        telemetry.task_key = tasks[index].key;
-        telemetry.attempt = attempt;
-        telemetry.pid = static_cast<int64_t>(::getpid());
-        telemetry.metrics = DiffSnapshots(telemetry_baseline,
-                                          MetricsRegistry::Global().Snapshot());
-        telemetry.spans = Tracer::Global().EventsSince(span_watermark);
-        // Sidecars before the pipe: if the writes below never complete the
-        // parent can still sweep the files up. Best effort — a worker that
-        // cannot write them still ships on the pipe.
-        (void)WriteTelemetrySidecar(telemetry_dir, telemetry);
-        std::vector<TelemetryFrame> frames;
-        frames.push_back(
-            {kFrameTelemetry, SerializeWorkerTelemetry(telemetry)});
-        if (!folded.empty()) {
-          (void)WriteProfileSidecar(telemetry_dir, tasks[index].key, attempt,
-                                    folded);
-          frames.push_back({kFrameProfile, std::move(folded)});
-        }
-        wire = EncodeTelemetryWire(frames, wire);
-      }
-      if (!WriteAll(fds[1], wire)) std::_Exit(kWorkerExitProtocol);
-      ::close(fds[1]);
-      // Injection site for shipped-then-crashed workers: with a crash
-      // action armed here the parent sees the full wire AND a sidecar AND a
-      // crash exit — the double-delivery dedup's worst case.
-      (void)CheckFailpoint("supervisor_ship");
-      // _Exit: no atexit hooks — the parent owns metrics/trace files.
-      std::_Exit(exit_code);
-    }
-    // ----- parent -----
-    ::setpgid(pid, pid);  // mirror the child's setpgid to close the race
-    ::close(fds[1]);
-    int fd_flags = ::fcntl(fds[0], F_GETFL, 0);
-    ::fcntl(fds[0], F_SETFL, fd_flags | O_NONBLOCK);
+    FAIREM_ASSIGN_OR_RETURN(
+        WorkerProcess proc,
+        WorkerProcess::Spawn(tasks[index].run, spawn_options));
     spawned->Increment();
     RunningWorker worker;
     worker.task_index = index;
-    worker.pid = pid;
-    worker.pipe_fd = fds[0];
-    worker.start = std::chrono::steady_clock::now();
-    running.push_back(std::move(worker));
+    worker.proc = std::move(proc);
     FAIREM_LOG(DEBUG) << "worker spawned" << LogKv("key", tasks[index].key)
-                      << LogKv("pid", pid) << LogKv("attempt", attempt);
+                      << LogKv("pid", worker.proc.pid())
+                      << LogKv("attempt", attempt);
+    running.push_back(std::move(worker));
     return Status::OK();
   };
 
   // Finalizes one reaped worker: records the outcome or queues a respawn.
-  auto settle = [&](const RunningWorker& worker, int status,
-                    const rusage& usage) {
+  auto settle = [&](RunningWorker& worker, int status, const rusage& usage,
+                    double wall_seconds) {
     const size_t index = worker.task_index;
     const std::string& key = tasks[index].key;
     const int attempt = attempts[index];
+    const std::string received = worker.proc.TakeReceived();
     // Strip the telemetry frames (if any) off the wire; everything below
     // interprets only the payload. A worker killed mid-ship leaves a
     // truncated frame, which degrades to "no telemetry". Unknown frame
@@ -396,8 +218,8 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
     TelemetrySplit split;
     bool profile_seen = false;
     if (options_.ship_telemetry) {
-      TelemetryWireParse parsed = ParseTelemetryWire(worker.received);
-      split.payload = parsed.framed ? parsed.payload : worker.received;
+      TelemetryWireParse parsed = ParseTelemetryWire(received);
+      split.payload = parsed.framed ? parsed.payload : received;
       for (TelemetryFrame& frame : parsed.frames) {
         if (frame.type == kFrameTelemetry && !split.has_telemetry) {
           split.has_telemetry = true;
@@ -415,7 +237,7 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
         }
       }
     } else {
-      split.payload = worker.received;
+      split.payload = received;
     }
     bool telemetry_seen = false;
     if (split.has_telemetry) {
@@ -466,7 +288,7 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
     TaskOutcome out;
     out.attempts = attempt;
     out.exit_status = status;
-    out.wall_seconds = SecondsSince(worker.start);
+    out.wall_seconds = wall_seconds;
     out.peak_rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
     bool respawnable = false;
     if (worker.timed_out) {
@@ -536,7 +358,6 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
     }
     ++done_count;
     if (out.kind != TaskOutcome::Kind::kOk) ++failed_count;
-    double wall_seconds = out.wall_seconds;
     outcomes[index] = std::move(out);
     report_progress(wall_seconds);
   };
@@ -568,32 +389,29 @@ Result<std::vector<TaskOutcome>> Supervisor::Run(
     bool progressed = false;
     for (size_t wi = 0; wi < running.size();) {
       RunningWorker& worker = running[wi];
-      DrainPipe(&worker);
+      worker.proc.Drain();
+      const double age = worker.proc.AgeSeconds();
       int status = 0;
       rusage usage;
-      std::memset(&usage, 0, sizeof(usage));
-      pid_t reaped = ::wait4(worker.pid, &status, WNOHANG, &usage);
-      if (reaped == worker.pid) {
-        DrainPipe(&worker);  // bytes written between drain and exit
-        ::close(worker.pipe_fd);
+      if (worker.proc.TryReap(&status, &usage)) {
         // Remove before settling so progress callbacks see an accurate
         // running count.
         RunningWorker finished = std::move(worker);
         running.erase(running.begin() + static_cast<long>(wi));
-        settle(finished, status, usage);
+        settle(finished, status, usage, age);
         progressed = true;
         continue;
       }
       if (!worker.timed_out && options_.cell_timeout_s > 0.0 &&
-          SecondsSince(worker.start) > options_.cell_timeout_s) {
+          age > options_.cell_timeout_s) {
         worker.timed_out = true;
         watchdog_kills->Increment();
         FAIREM_LOG(WARN) << "watchdog deadline exceeded, killing worker"
                          << LogKv("key", tasks[worker.task_index].key)
-                         << LogKv("pid", worker.pid)
+                         << LogKv("pid", worker.proc.pid())
                          << LogKv("deadline_s",
                                   FormatDouble(options_.cell_timeout_s, 1));
-        KillWorker(worker.pid);
+        worker.proc.Kill();
       }
       ++wi;
     }

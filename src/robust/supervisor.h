@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/obs/telemetry.h"
+#include "src/robust/worker_process.h"
 #include "src/util/result.h"
 
 namespace fairem {
@@ -15,20 +16,9 @@ namespace fairem {
 // down the sweep. The parent supervises with a wall-clock watchdog
 // (SIGKILL at the deadline), per-worker rlimits (RLIMIT_AS / RLIMIT_CPU),
 // and a respawn budget; results travel back over a pipe (plus whatever the
-// worker persisted, e.g. a cell checkpoint). See DESIGN.md §10 for the
-// worker lifecycle and exit-code protocol.
-
-/// Worker exit codes (the supervisor <-> worker protocol). Anything else —
-/// including a signal death — is treated as a crash.
-///
-///   kWorkerExitOk        task returned OK; the pipe carries its payload
-///   kWorkerExitTaskError task returned a Status; the pipe carries
-///                        "<code int>\n<status text>"
-///   kWorkerExitProtocol  the worker could not set itself up or ship its
-///                        result (pipe write failure, rlimit setup failure)
-inline constexpr int kWorkerExitOk = 0;
-inline constexpr int kWorkerExitTaskError = 3;
-inline constexpr int kWorkerExitProtocol = 4;
+// worker persisted, e.g. a cell checkpoint). The fork/pipe/exit-code
+// machinery itself lives in src/robust/worker_process (shared with the
+// serve daemon). See DESIGN.md §10 for the worker lifecycle.
 
 struct SupervisorOptions {
   /// Max concurrent worker processes; 1 still forks (isolation without

@@ -1,0 +1,189 @@
+#include "src/serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/util/io_util.h"
+
+namespace fairem {
+namespace {
+
+Result<int> ConnectOnce(const std::string& socket_path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("client: socket path empty or too long: '" +
+                                   socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("client: socket failed: ") +
+                           std::strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    int saved = errno;
+    ::close(fd);
+    // ENOENT (socket not bound yet) and ECONNREFUSED (bound, not yet
+    // listening, or a dead daemon's stale file) both mean "not up (yet)".
+    if (saved == ENOENT || saved == ECONNREFUSED || saved == EAGAIN) {
+      return Status::Unavailable(std::string("daemon not up: ") +
+                                 std::strerror(saved));
+    }
+    return Status::IOError("client: connect('" + socket_path +
+                           "') failed: " + std::strerror(saved));
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<ServeClient> ServeClient::Connect(const std::string& socket_path,
+                                         const ServeClientOptions& options) {
+  const double start = retry_internal::MonotonicSeconds();
+  Result<int> fd = ConnectOnce(socket_path);
+  while (!fd.ok() && fd.status().IsUnavailable() &&
+         retry_internal::MonotonicSeconds() - start <
+             options.connect_timeout_s) {
+    retry_internal::SleepSeconds(0.01);
+    fd = ConnectOnce(socket_path);
+  }
+  FAIREM_RETURN_NOT_OK(fd.status());
+  ServeClient client;
+  client.socket_path_ = socket_path;
+  client.options_ = options;
+  client.fd_ = *fd;
+  return client;
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : socket_path_(std::move(other.socket_path_)),
+      options_(other.options_),
+      fd_(other.fd_),
+      next_id_(other.next_id_) {
+  other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    socket_path_ = std::move(other.socket_path_);
+    options_ = other.options_;
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() { Close(); }
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<QueryResponse> ServeClient::Call(const QueryRequest& request) {
+  if (fd_ < 0) return Status::Unavailable("client: not connected");
+  QueryRequest sent = request;
+  sent.id = ++next_id_;
+  Status wrote = WriteServeMessage(fd_, kFrameQueryRequest,
+                                   SerializeQueryRequest(sent),
+                                   options_.io_timeout_s);
+  if (!wrote.ok()) {
+    Close();  // the stream position is unknown; a fresh connection is the
+              // only safe retry
+    return wrote;
+  }
+  // The response may lag by the query's own deadline (compute time) on top
+  // of transport time, so budget for both.
+  const double read_timeout =
+      options_.io_timeout_s +
+      (sent.deadline_s > 0.0 ? sent.deadline_s : 0.0);
+  Result<ServeMessage> message = ReadServeMessage(fd_, read_timeout);
+  if (!message.ok()) {
+    Close();
+    return message.status();
+  }
+  if (message->type != kFrameQueryResponse) {
+    Close();
+    return Status::IOError("client: unexpected frame type '" +
+                           message->type + "'");
+  }
+  FAIREM_ASSIGN_OR_RETURN(QueryResponse response,
+                          ParseQueryResponse(message->bytes));
+  if (response.id != sent.id) {
+    Close();
+    return Status::IOError("client: response id " +
+                           std::to_string(response.id) +
+                           " does not match request id " +
+                           std::to_string(sent.id));
+  }
+  return response;
+}
+
+Result<QueryResponse> ServeClient::CallWithRetry(const QueryRequest& request,
+                                                 const RetryPolicy& policy,
+                                                 uint64_t seed) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  const double start = retry_internal::MonotonicSeconds();
+  int attempt = 1;
+  while (true) {
+    if (fd_ < 0) {
+      // Reconnect with whatever wall-clock budget remains (at least one
+      // immediate attempt).
+      ServeClientOptions reconnect = options_;
+      if (policy.deadline_seconds > 0.0) {
+        reconnect.connect_timeout_s = std::max(
+            0.0, policy.deadline_seconds -
+                     (retry_internal::MonotonicSeconds() - start));
+      }
+      Result<ServeClient> fresh = Connect(socket_path_, reconnect);
+      if (fresh.ok()) {
+        // Keep our id counter: correlation ids stay unique per logical
+        // client even across reconnects.
+        fresh->next_id_ = next_id_;
+        *this = std::move(*fresh);
+      } else if (attempt >= policy.max_attempts ||
+                 !fresh.status().IsUnavailable()) {
+        return fresh.status();
+      }
+    }
+    Result<QueryResponse> outcome = Call(request);
+    const Status& status =
+        outcome.ok() ? outcome->status : outcome.status();
+    // Only kUnavailable is worth retrying here: it is the server's
+    // explicit "try again" (shed/drain) or a transport drop. Deadline
+    // expiry and input errors are definite.
+    if (status.ok() || !status.IsUnavailable() ||
+        attempt >= policy.max_attempts) {
+      return outcome;
+    }
+    double backoff = BackoffSeconds(policy, attempt, &rng);
+    if (outcome.ok() && outcome->retry_after_s > backoff) {
+      backoff = outcome->retry_after_s;
+    }
+    if (policy.deadline_seconds > 0.0 &&
+        retry_internal::MonotonicSeconds() - start + backoff >
+            policy.deadline_seconds) {
+      return outcome;
+    }
+    retry_internal::CountRetry(status);
+    retry_internal::SleepSeconds(backoff);
+    ++attempt;
+  }
+}
+
+}  // namespace fairem

@@ -1,0 +1,68 @@
+#ifndef FAIREM_SERVE_CLIENT_H_
+#define FAIREM_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/robust/retry.h"
+#include "src/serve/protocol.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+// Blocking client for the `fairem serve` daemon. One connection, one
+// request at a time. Every IO carries a deadline, so a wedged or
+// overloaded daemon yields a definite error instead of a hang; kUnavailable
+// (shed, draining, disconnect) is the retryable class and CallWithRetry
+// handles it with jittered backoff, honoring the server's retry_after_s
+// hint and transparently reconnecting when the daemon closed on us.
+
+struct ServeClientOptions {
+  /// Per-request socket IO budget (write + read each get this much).
+  double io_timeout_s = 10.0;
+  /// How long Connect keeps retrying while the daemon is still starting
+  /// up (socket file absent / not yet listening).
+  double connect_timeout_s = 10.0;
+};
+
+class ServeClient {
+ public:
+  /// Connects, retrying until the daemon listens or the timeout passes
+  /// (kUnavailable then).
+  static Result<ServeClient> Connect(const std::string& socket_path,
+                                     const ServeClientOptions& options = {});
+
+  ServeClient() = default;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  /// One request/response round trip. A transport-level failure (daemon
+  /// gone, IO deadline) surfaces as the Result status; a query-level
+  /// failure arrives as an OK Result whose response.status is the error.
+  /// Assigns and checks the correlation id.
+  Result<QueryResponse> Call(const QueryRequest& request);
+
+  /// Call, retrying kUnavailable outcomes (transport or response) under
+  /// `policy`, sleeping max(jittered backoff, server retry_after_s hint)
+  /// and reconnecting first when the transport failed. Other errors —
+  /// including kDeadlineExceeded, which is definite — return immediately.
+  Result<QueryResponse> CallWithRetry(const QueryRequest& request,
+                                      const RetryPolicy& policy,
+                                      uint64_t seed = 1234);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  std::string socket_path_;
+  ServeClientOptions options_;
+  int fd_ = -1;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_SERVE_CLIENT_H_

@@ -1,0 +1,283 @@
+#include "src/serve/protocol.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
+#include "src/util/io_util.h"
+#include "src/util/json.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+constexpr size_t kMagicLen = 8;
+constexpr size_t kFrameTypeLen = 4;
+constexpr size_t kFrameHeaderLen = kFrameTypeLen + 16 + 1;
+
+Counter* UnknownFramesCounter() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "fairem.telemetry.unknown_frames");
+  return counter;
+}
+
+/// Parses a frame header (same layout as the telemetry wire). Returns an
+/// error on malformed bytes — for a length-prefixed stream that is fatal.
+Status ParseHeader(const char* data, std::string* type, uint64_t* length) {
+  for (size_t i = 0; i < kFrameTypeLen; ++i) {
+    char c = data[i];
+    if (c < 0x21 || c > 0x7e) {
+      return Status::InvalidArgument("serve frame: type is not printable");
+    }
+  }
+  uint64_t out = 0;
+  for (size_t i = kFrameTypeLen; i < kFrameTypeLen + 16; ++i) {
+    char c = data[i];
+    out <<= 4;
+    if (c >= '0' && c <= '9') {
+      out |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      out |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return Status::InvalidArgument("serve frame: bad length digit");
+    }
+  }
+  if (data[kFrameHeaderLen - 1] != '\n') {
+    return Status::InvalidArgument("serve frame: missing header terminator");
+  }
+  if (out > kMaxServeFrameBytes) {
+    return Status::InvalidArgument("serve frame: declared length " +
+                                   std::to_string(out) + " exceeds cap");
+  }
+  *type = std::string(data, kFrameTypeLen);
+  *length = out;
+  return Status::OK();
+}
+
+bool KnownMessageType(const std::string& type) {
+  return type == kFrameQueryRequest || type == kFrameQueryResponse;
+}
+
+}  // namespace
+
+std::string SerializeQueryRequest(const QueryRequest& request) {
+  std::ostringstream os;
+  os << "{\"op\":";
+  AppendJsonString(&os, request.op);
+  os << ",\"dataset\":";
+  AppendJsonString(&os, request.dataset);
+  os << ",\"matcher\":";
+  AppendJsonString(&os, request.matcher);
+  os << ",\"mode\":";
+  AppendJsonString(&os, request.mode);
+  os << ",\"deadline_s\":" << FormatDouble(request.deadline_s, 6)
+     << ",\"id\":" << request.id << "}";
+  return os.str();
+}
+
+Result<QueryRequest> ParseQueryRequest(const std::string& json) {
+  FAIREM_ASSIGN_OR_RETURN(JsonValue root, JsonParse(json));
+  if (root.kind != JsonValue::kObject) {
+    return Status::InvalidArgument("serve request: not a JSON object");
+  }
+  QueryRequest request;
+  const JsonValue* op = JsonFind(root, "op");
+  if (op == nullptr) {
+    return Status::InvalidArgument("serve request: missing op");
+  }
+  FAIREM_ASSIGN_OR_RETURN(request.op, JsonAsString(*op, "op"));
+  if (const JsonValue* v = JsonFind(root, "dataset")) {
+    FAIREM_ASSIGN_OR_RETURN(request.dataset, JsonAsString(*v, "dataset"));
+  }
+  if (const JsonValue* v = JsonFind(root, "matcher")) {
+    FAIREM_ASSIGN_OR_RETURN(request.matcher, JsonAsString(*v, "matcher"));
+  }
+  if (const JsonValue* v = JsonFind(root, "mode")) {
+    FAIREM_ASSIGN_OR_RETURN(request.mode, JsonAsString(*v, "mode"));
+  }
+  if (const JsonValue* v = JsonFind(root, "deadline_s")) {
+    FAIREM_ASSIGN_OR_RETURN(request.deadline_s,
+                            JsonAsDouble(*v, "deadline_s"));
+  }
+  if (const JsonValue* v = JsonFind(root, "id")) {
+    FAIREM_ASSIGN_OR_RETURN(request.id, JsonAsU64(*v, "id"));
+  }
+  return request;
+}
+
+std::string SerializeQueryResponse(const QueryResponse& response) {
+  std::ostringstream os;
+  os << "{\"id\":" << response.id;
+  if (response.status.ok()) {
+    os << ",\"ok\":true,\"payload\":";
+    AppendJsonString(&os, response.payload);
+  } else {
+    os << ",\"ok\":false,\"code\":"
+       << static_cast<int>(response.status.code()) << ",\"code_name\":";
+    AppendJsonString(&os, StatusCodeToString(response.status.code()));
+    os << ",\"message\":";
+    AppendJsonString(&os, response.status.message());
+    os << ",\"retry_after_s\":" << FormatDouble(response.retry_after_s, 6);
+  }
+  os << "}";
+  return os.str();
+}
+
+Result<QueryResponse> ParseQueryResponse(const std::string& json) {
+  FAIREM_ASSIGN_OR_RETURN(JsonValue root, JsonParse(json));
+  if (root.kind != JsonValue::kObject) {
+    return Status::InvalidArgument("serve response: not a JSON object");
+  }
+  QueryResponse response;
+  if (const JsonValue* v = JsonFind(root, "id")) {
+    FAIREM_ASSIGN_OR_RETURN(response.id, JsonAsU64(*v, "id"));
+  }
+  const JsonValue* ok = JsonFind(root, "ok");
+  if (ok == nullptr) {
+    return Status::InvalidArgument("serve response: missing ok");
+  }
+  FAIREM_ASSIGN_OR_RETURN(bool is_ok, JsonAsBool(*ok, "ok"));
+  if (is_ok) {
+    const JsonValue* payload = JsonFind(root, "payload");
+    if (payload == nullptr) {
+      return Status::InvalidArgument("serve response: missing payload");
+    }
+    FAIREM_ASSIGN_OR_RETURN(response.payload,
+                            JsonAsString(*payload, "payload"));
+    return response;
+  }
+  const JsonValue* code = JsonFind(root, "code");
+  const JsonValue* message = JsonFind(root, "message");
+  if (code == nullptr || message == nullptr) {
+    return Status::InvalidArgument("serve response: missing error detail");
+  }
+  FAIREM_ASSIGN_OR_RETURN(int64_t code_value, JsonAsI64(*code, "code"));
+  if (code_value < 1 ||
+      code_value > static_cast<int64_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::InvalidArgument("serve response: status code " +
+                                   std::to_string(code_value) +
+                                   " out of range");
+  }
+  std::string text;
+  FAIREM_ASSIGN_OR_RETURN(text, JsonAsString(*message, "message"));
+  response.status = Status(static_cast<StatusCode>(code_value), text);
+  if (const JsonValue* v = JsonFind(root, "retry_after_s")) {
+    FAIREM_ASSIGN_OR_RETURN(response.retry_after_s,
+                            JsonAsDouble(*v, "retry_after_s"));
+  }
+  return response;
+}
+
+std::string EncodeServeMessage(const std::string& type,
+                               const std::string& bytes) {
+  std::string wire;
+  wire.reserve(kMagicLen + kFrameHeaderLen + bytes.size());
+  wire.append(kTelemetryMagic, kMagicLen);
+  char type4[kFrameTypeLen];
+  for (size_t i = 0; i < kFrameTypeLen; ++i) {
+    type4[i] = i < type.size() ? type[i] : '_';
+  }
+  wire.append(type4, kFrameTypeLen);
+  char length[32];
+  std::snprintf(length, sizeof(length), "%016zx", bytes.size());
+  wire.append(length, 16);
+  wire.push_back('\n');
+  wire.append(bytes);
+  return wire;
+}
+
+Status WriteServeMessage(int fd, const std::string& type,
+                         const std::string& bytes, double timeout_s) {
+  const std::string wire = EncodeServeMessage(type, bytes);
+  return WriteFullDeadline(fd, wire.data(), wire.size(), timeout_s);
+}
+
+Result<ServeMessage> ReadServeMessage(int fd, double timeout_s) {
+  char magic[kMagicLen];
+  FAIREM_RETURN_NOT_OK(ReadFullDeadline(fd, magic, sizeof(magic), timeout_s));
+  if (std::char_traits<char>::compare(magic, kTelemetryMagic, kMagicLen) !=
+      0) {
+    return Status::InvalidArgument("serve frame: bad magic");
+  }
+  // Skip unknown-typed frames until the known frame that completes the
+  // message, so a newer peer can prepend advisory frames without breaking
+  // us. A redundant magic at a frame boundary is tolerated too: a peer
+  // that encodes every frame as magic + frame produces that shape.
+  for (;;) {
+    char header[kFrameHeaderLen];
+    FAIREM_RETURN_NOT_OK(ReadFullDeadline(fd, header, sizeof(header),
+                                          timeout_s));
+    while (std::char_traits<char>::compare(header, kTelemetryMagic,
+                                           kMagicLen) == 0) {
+      std::memmove(header, header + kMagicLen, kFrameHeaderLen - kMagicLen);
+      FAIREM_RETURN_NOT_OK(ReadFullDeadline(
+          fd, header + kFrameHeaderLen - kMagicLen, kMagicLen, timeout_s));
+    }
+    std::string type;
+    uint64_t length = 0;
+    FAIREM_RETURN_NOT_OK(ParseHeader(header, &type, &length));
+    std::string body(length, '\0');
+    if (length > 0) {
+      FAIREM_RETURN_NOT_OK(
+          ReadFullDeadline(fd, body.data(), body.size(), timeout_s));
+    }
+    if (KnownMessageType(type)) return ServeMessage{type, std::move(body)};
+    UnknownFramesCounter()->Increment();
+  }
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  // Reclaim the consumed prefix before growing, keeping the buffer bounded
+  // by one frame regardless of how long the connection lives.
+  if (consumed_ > 0) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+Result<FrameDecoder::Next> FrameDecoder::TryNext(ServeMessage* out) {
+  for (;;) {
+    if (!saw_magic_) {
+      if (buf_.size() - consumed_ < kMagicLen) return Next::kNeedMore;
+      if (buf_.compare(consumed_, kMagicLen, kTelemetryMagic, kMagicLen) !=
+          0) {
+        return Status::InvalidArgument("serve frame: bad magic");
+      }
+      consumed_ += kMagicLen;
+      saw_magic_ = true;
+    }
+    // A redundant magic at a frame boundary (unknown frame followed by a
+    // fresh magic+frame message) is consumed, not treated as a bad header.
+    if (buf_.size() - consumed_ >= kMagicLen &&
+        buf_.compare(consumed_, kMagicLen, kTelemetryMagic, kMagicLen) ==
+            0) {
+      consumed_ += kMagicLen;
+      continue;
+    }
+    if (buf_.size() - consumed_ < kFrameHeaderLen) return Next::kNeedMore;
+    std::string type;
+    uint64_t length = 0;
+    FAIREM_RETURN_NOT_OK(ParseHeader(buf_.data() + consumed_, &type,
+                                     &length));
+    if (buf_.size() - consumed_ - kFrameHeaderLen < length) {
+      return Next::kNeedMore;
+    }
+    consumed_ += kFrameHeaderLen;
+    std::string body = buf_.substr(consumed_, length);
+    consumed_ += length;
+    if (KnownMessageType(type)) {
+      saw_magic_ = false;  // the next message starts with its own magic
+      out->type = std::move(type);
+      out->bytes = std::move(body);
+      return Next::kMessage;
+    }
+    // Unknown frame inside a message: skip and keep looking for the known
+    // frame that completes it.
+    UnknownFramesCounter()->Increment();
+  }
+}
+
+}  // namespace fairem

@@ -1,0 +1,99 @@
+#ifndef FAIREM_SERVE_PROTOCOL_H_
+#define FAIREM_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace fairem {
+
+// Wire protocol for `fairem serve`: every message is the FEMTEL1 magic
+// followed by one typed frame (`<4-char type><16 hex length>\n<bytes>` —
+// the same framing the worker telemetry wire uses, see DESIGN.md §11/§14).
+// Known types are QREQ (request JSON) and QRSP (response JSON); unknown
+// types are skipped and counted in fairem.telemetry.unknown_frames, and a
+// redundant magic at a frame boundary is consumed, so an older peer
+// degrades instead of desyncing. Anything else — bad magic, malformed
+// header, an oversized declared length — is unrecoverable for that
+// connection and the reader closes it.
+
+inline constexpr char kFrameQueryRequest[] = "QREQ";
+inline constexpr char kFrameQueryResponse[] = "QRSP";
+
+/// Upper bound on a declared frame body. A malicious or corrupted header
+/// cannot make either side buffer more than this.
+inline constexpr uint64_t kMaxServeFrameBytes = 8ull << 20;
+
+struct QueryRequest {
+  /// "ping" (liveness), "stats" (metrics snapshot JSON), or "cell" (one
+  /// audit grid cell, computed in a crash-isolated worker).
+  std::string op;
+  std::string dataset;  // cell: dataset name, e.g. "dblp_acm"
+  std::string matcher;  // cell: matcher name, e.g. "jaccard"
+  std::string mode = "single";  // cell: "single" | "pairwise"
+  /// Client-requested end-to-end deadline; 0 takes the server default. The
+  /// server clamps it to its configured maximum.
+  double deadline_s = 0.0;
+  /// Client correlation id, echoed verbatim in the response.
+  uint64_t id = 0;
+};
+
+struct QueryResponse {
+  uint64_t id = 0;
+  /// OK, or the query's definite failure (code + message round-trip the
+  /// socket; kUnavailable means shed/draining — retry after retry_after_s).
+  Status status = Status::OK();
+  /// Result bytes (cell JSON, stats JSON, or "pong"). Valid when ok.
+  std::string payload;
+  /// Backoff hint accompanying kUnavailable; 0 otherwise.
+  double retry_after_s = 0.0;
+};
+
+std::string SerializeQueryRequest(const QueryRequest& request);
+Result<QueryRequest> ParseQueryRequest(const std::string& json);
+std::string SerializeQueryResponse(const QueryResponse& response);
+Result<QueryResponse> ParseQueryResponse(const std::string& json);
+
+struct ServeMessage {
+  std::string type;  // 4 chars
+  std::string bytes;
+};
+
+/// magic + one frame, ready for the socket.
+std::string EncodeServeMessage(const std::string& type,
+                               const std::string& bytes);
+
+/// Blocking client-side helpers with per-IO deadlines (kDeadlineExceeded on
+/// expiry, kUnavailable on peer disconnect — see src/util/io_util.h).
+Status WriteServeMessage(int fd, const std::string& type,
+                         const std::string& bytes, double timeout_s);
+Result<ServeMessage> ReadServeMessage(int fd, double timeout_s);
+
+/// Incremental decoder for the server's nonblocking connections: feed
+/// whatever bytes arrived, pull out complete messages. Unknown frame types
+/// are skipped (and counted); a malformed or oversized stream returns an
+/// error, after which the connection must be closed — there is no way to
+/// resynchronize a length-prefixed stream with a corrupt header.
+class FrameDecoder {
+ public:
+  void Feed(const char* data, size_t n);
+
+  enum class Next { kMessage, kNeedMore };
+  /// kMessage fills *out. kNeedMore means a complete message has not
+  /// arrived yet. Error: the stream is unrecoverable.
+  Result<Next> TryNext(ServeMessage* out);
+
+  /// Bytes currently buffered (bounded by kMaxServeFrameBytes + header).
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::string buf_;
+  size_t consumed_ = 0;    // parsed-and-discarded prefix of buf_
+  bool saw_magic_ = false; // magic precedes every message
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_SERVE_PROTOCOL_H_

@@ -1,0 +1,751 @@
+#include "src/serve/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
+#include "src/robust/supervisor.h"
+#include "src/robust/worker_process.h"
+#include "src/serve/protocol.h"
+#include "src/util/durable_file.h"
+#include "src/util/io_util.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double Since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+Result<MatcherKind> MatcherForName(const std::string& name) {
+  for (MatcherKind kind : AllMatcherKinds()) {
+    if (name == MatcherKindName(kind)) return kind;
+  }
+  return Status::NotFound("unknown matcher '" + name + "'");
+}
+
+struct ServeMetrics {
+  Counter* accepted;
+  Counter* closed;
+  Counter* client_disconnects;
+  Counter* slow_client_closes;
+  Counter* malformed_frames;
+  Counter* requests_total;
+  Counter* requests_ok;
+  Counter* requests_failed;
+  Counter* shed_queue_full;
+  Counter* shed_draining;
+  Counter* deadline_expired;
+  Counter* worker_crashes;
+  Counter* worker_respawns;
+  Counter* cache_hits;
+  Counter* cells_computed;
+  Counter* responses_dropped;
+  Counter* shutdowns;
+  Gauge* queue_depth;
+  Gauge* inflight;
+  Gauge* connections;
+  Histogram* request_seconds;
+
+  static ServeMetrics Make() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    ServeMetrics m;
+    m.accepted = reg.GetCounter("fairem.serve.connections_accepted");
+    m.closed = reg.GetCounter("fairem.serve.connections_closed");
+    m.client_disconnects = reg.GetCounter("fairem.serve.client_disconnects");
+    m.slow_client_closes = reg.GetCounter("fairem.serve.slow_client_closes");
+    m.malformed_frames = reg.GetCounter("fairem.serve.malformed_frames");
+    m.requests_total = reg.GetCounter("fairem.serve.requests_total");
+    m.requests_ok = reg.GetCounter("fairem.serve.requests_ok");
+    m.requests_failed = reg.GetCounter("fairem.serve.requests_failed");
+    m.shed_queue_full = reg.GetCounter("fairem.serve.shed_queue_full");
+    m.shed_draining = reg.GetCounter("fairem.serve.shed_draining");
+    m.deadline_expired = reg.GetCounter("fairem.serve.deadline_expired");
+    m.worker_crashes = reg.GetCounter("fairem.serve.worker_crashes");
+    m.worker_respawns = reg.GetCounter("fairem.serve.worker_respawns");
+    m.cache_hits = reg.GetCounter("fairem.serve.cell_cache_hits");
+    m.cells_computed = reg.GetCounter("fairem.serve.cells_computed");
+    m.responses_dropped = reg.GetCounter("fairem.serve.responses_dropped");
+    m.shutdowns = reg.GetCounter("fairem.serve.shutdowns");
+    m.queue_depth = reg.GetGauge("fairem.serve.queue_depth");
+    m.inflight = reg.GetGauge("fairem.serve.inflight");
+    m.connections = reg.GetGauge("fairem.serve.connections");
+    m.request_seconds = reg.GetHistogram("fairem.serve.request_seconds");
+    return m;
+  }
+};
+
+struct Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  FrameDecoder decoder;
+  std::string outbuf;
+  size_t out_sent = 0;
+  SteadyClock::time_point last_activity;
+  bool close_after_flush = false;
+
+  bool has_pending_out() const { return out_sent < outbuf.size(); }
+};
+
+struct QueryJob {
+  uint64_t conn_id = 0;
+  QueryRequest request;
+  std::string key;
+  MatcherKind matcher = MatcherKind::kDT;
+  bool pairwise = false;
+  const EMDataset* dataset = nullptr;
+  SteadyClock::time_point admitted;
+  SteadyClock::time_point deadline;
+  int attempts = 0;
+  bool timed_out = false;
+  WorkerProcess proc;  // valid while in flight
+};
+
+class ServeDaemon {
+ public:
+  ServeDaemon(const ServeOptions& options)
+      : options_(options), metrics_(ServeMetrics::Make()) {}
+
+  ~ServeDaemon() {
+    for (auto& [id, conn] : conns_) ::close(conn.fd);
+    for (QueryJob& job : inflight_) job.proc.KillAndReap();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (!options_.socket_path.empty()) {
+      ::unlink(options_.socket_path.c_str());
+    }
+  }
+
+  Status Run() {
+    // Bind + listen FIRST: clients arriving during the (potentially long)
+    // warmup queue in the kernel backlog instead of getting ECONNREFUSED.
+    FAIREM_RETURN_NOT_OK(Listen());
+    FAIREM_ASSIGN_OR_RETURN(warm_, WarmState::Warm(options_.warm));
+    FAIREM_LOG(INFO) << "fairem serve ready"
+                     << LogKv("socket", options_.socket_path)
+                     << LogKv("datasets", warm_.num_datasets())
+                     << LogKv("cells_preloaded", warm_.num_cached_cells());
+    while (true) {
+      if (ShutdownGuard::requested() && !draining_) BeginDrain();
+      ExpireQueuedJobs();
+      Dispatch();
+      if (draining_ && DrainComplete()) break;
+      PollOnce();
+      AcceptPending();
+      PumpConnections();
+      PumpWorkers();
+      CloseSlowClients();
+      UpdateGauges();
+    }
+    FinishDrain();
+    return Status::OK();
+  }
+
+ private:
+  Status Listen() {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.empty() ||
+        options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("serve: socket path empty or too long: '" +
+                                     options_.socket_path + "'");
+    }
+    std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+                options_.socket_path.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      return Status::IOError(std::string("serve: socket failed: ") +
+                             std::strerror(errno));
+    }
+    // A stale path from a dead daemon would fail the bind; a live daemon
+    // accepts connections, so probing would be racy — replacing is the
+    // conventional single-instance-per-path policy.
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::IOError("serve: bind failed for '" +
+                             options_.socket_path +
+                             "': " + std::strerror(errno));
+    }
+    if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+      return Status::IOError(std::string("serve: listen failed: ") +
+                             std::strerror(errno));
+    }
+    SetNonblocking(listen_fd_);
+    return Status::OK();
+  }
+
+  static void SetNonblocking(int fd) {
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+
+  void PollOnce() {
+    std::vector<pollfd> fds;
+    fds.reserve(1 + conns_.size() + inflight_.size());
+    if (!draining_ && listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+    }
+    for (auto& [id, conn] : conns_) {
+      short events = POLLIN;
+      if (conn.has_pending_out()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+    }
+    for (QueryJob& job : inflight_) {
+      if (job.proc.pipe_fd() >= 0) {
+        fds.push_back({job.proc.pipe_fd(), POLLIN, 0});
+      }
+    }
+    int timeout_ms =
+        static_cast<int>(options_.poll_interval_s * 1000.0);
+    if (timeout_ms < 1) timeout_ms = 1;
+    // EINTR (a drain signal landing) just re-enters the loop, which checks
+    // ShutdownGuard at the top.
+    (void)::poll(fds.empty() ? nullptr : fds.data(),
+                 static_cast<nfds_t>(fds.size()), timeout_ms);
+  }
+
+  void AcceptPending() {
+    if (draining_ || listen_fd_ < 0) return;
+    for (;;) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or a transient accept error: retry next loop
+      }
+      SetNonblocking(fd);
+      Connection conn;
+      conn.fd = fd;
+      conn.id = ++next_conn_id_;
+      conn.last_activity = SteadyClock::now();
+      metrics_.accepted->Increment();
+      conns_.emplace(conn.id, std::move(conn));
+    }
+  }
+
+  void CloseConn(uint64_t conn_id) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    ::close(it->second.fd);
+    conns_.erase(it);
+    metrics_.closed->Increment();
+  }
+
+  // ------------------------------------------------------------- inbound --
+
+  void PumpConnections() {
+    // Snapshot ids: handlers can close connections while we iterate.
+    std::vector<uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (auto& [id, conn] : conns_) ids.push_back(id);
+    for (uint64_t id : ids) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      ReadConn(it->second);
+      it = conns_.find(id);
+      if (it != conns_.end()) FlushConn(it->second);
+    }
+  }
+
+  void ReadConn(Connection& conn) {
+    char buf[65536];
+    bool closed_by_peer = false;
+    for (;;) {
+      ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn.last_activity = SteadyClock::now();
+        conn.decoder.Feed(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        closed_by_peer = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      closed_by_peer = true;  // ECONNRESET and friends
+      break;
+    }
+    const uint64_t conn_id = conn.id;
+    for (;;) {
+      ServeMessage message;
+      Result<FrameDecoder::Next> next = conn.decoder.TryNext(&message);
+      if (!next.ok()) {
+        // A corrupt length-prefixed stream cannot be resynchronized; all
+        // we owe the peer is a prompt close instead of a hang.
+        metrics_.malformed_frames->Increment();
+        FAIREM_LOG(WARN) << "closing connection on malformed frame"
+                         << LogKv("conn", conn_id)
+                         << LogKv("status", next.status().ToString());
+        CloseConn(conn_id);
+        return;
+      }
+      if (*next == FrameDecoder::Next::kNeedMore) break;
+      HandleMessage(conn_id, message);
+      if (conns_.find(conn_id) == conns_.end()) return;
+    }
+    if (closed_by_peer) {
+      metrics_.client_disconnects->Increment();
+      CloseConn(conn_id);
+    }
+  }
+
+  void HandleMessage(uint64_t conn_id, const ServeMessage& message) {
+    metrics_.requests_total->Increment();
+    if (message.type != kFrameQueryRequest) {
+      // A response frame sent at a server is a confused peer; drop it.
+      metrics_.malformed_frames->Increment();
+      CloseConn(conn_id);
+      return;
+    }
+    Result<QueryRequest> request = ParseQueryRequest(message.bytes);
+    if (!request.ok()) {
+      QueryResponse response;
+      response.status = request.status();
+      Respond(conn_id, response);
+      return;
+    }
+    QueryResponse response;
+    response.id = request->id;
+    if (request->op == "ping") {
+      response.payload = "pong";
+      Respond(conn_id, response);
+      return;
+    }
+    if (request->op == "stats") {
+      UpdateGauges();
+      response.payload =
+          MetricsSnapshotToJson(MetricsRegistry::Global().Snapshot());
+      Respond(conn_id, response);
+      return;
+    }
+    if (request->op != "cell") {
+      response.status =
+          Status::InvalidArgument("unknown op '" + request->op + "'");
+      Respond(conn_id, response);
+      return;
+    }
+    AdmitCellQuery(conn_id, *request);
+  }
+
+  void AdmitCellQuery(uint64_t conn_id, const QueryRequest& request) {
+    QueryResponse response;
+    response.id = request.id;
+    if (draining_) {
+      metrics_.shed_draining->Increment();
+      response.status = Status::Unavailable("draining; retry elsewhere");
+      response.retry_after_s = options_.retry_after_s;
+      Respond(conn_id, response);
+      return;
+    }
+    if (request.mode != "single" && request.mode != "pairwise") {
+      response.status = Status::InvalidArgument("mode must be single|pairwise");
+      Respond(conn_id, response);
+      return;
+    }
+    Result<const EMDataset*> dataset = warm_.Dataset(request.dataset);
+    if (!dataset.ok()) {
+      response.status = dataset.status();
+      Respond(conn_id, response);
+      return;
+    }
+    Result<MatcherKind> matcher = MatcherForName(request.matcher);
+    if (!matcher.ok()) {
+      response.status = matcher.status();
+      Respond(conn_id, response);
+      return;
+    }
+    const bool pairwise = request.mode == "pairwise";
+    const std::string key = AuditCellKey(request.dataset, *matcher, pairwise);
+    if (const std::string* cached = warm_.CachedCell(key)) {
+      metrics_.cache_hits->Increment();
+      response.payload = *cached;
+      Respond(conn_id, response);
+      return;
+    }
+    // Overload shedding: the queue is the bounded resource. Past the
+    // bound the honest answer is an immediate retryable refusal, not an
+    // ever-growing latency tail.
+    if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+      metrics_.shed_queue_full->Increment();
+      response.status = Status::Unavailable("admission queue full");
+      response.retry_after_s = options_.retry_after_s;
+      Respond(conn_id, response);
+      return;
+    }
+    double deadline_s = request.deadline_s > 0.0
+                            ? std::min(request.deadline_s,
+                                       options_.max_deadline_s)
+                            : options_.default_deadline_s;
+    QueryJob job;
+    job.conn_id = conn_id;
+    job.request = request;
+    job.key = key;
+    job.matcher = *matcher;
+    job.pairwise = pairwise;
+    job.dataset = *dataset;
+    job.admitted = SteadyClock::now();
+    job.deadline =
+        job.admitted + std::chrono::duration_cast<SteadyClock::duration>(
+                           std::chrono::duration<double>(deadline_s));
+    queue_.push_back(std::move(job));
+  }
+
+  // ---------------------------------------------------------- scheduling --
+
+  void ExpireQueuedJobs() {
+    auto now = SteadyClock::now();
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (now < it->deadline) {
+        ++it;
+        continue;
+      }
+      metrics_.deadline_expired->Increment();
+      QueryResponse response;
+      response.id = it->request.id;
+      response.status =
+          Status::DeadlineExceeded("deadline expired while queued");
+      FinishJob(*it, response);
+      it = queue_.erase(it);
+    }
+  }
+
+  void Dispatch() {
+    while (static_cast<int>(inflight_.size()) < options_.max_inflight &&
+           !queue_.empty()) {
+      QueryJob job = std::move(queue_.front());
+      queue_.pop_front();
+      Status started = StartJob(&job);
+      if (!started.ok()) {
+        QueryResponse response;
+        response.id = job.request.id;
+        response.status = started;
+        FinishJob(job, response);
+        continue;
+      }
+      inflight_.push_back(std::move(job));
+    }
+  }
+
+  Status StartJob(QueryJob* job) {
+    ++job->attempts;
+    WorkerSpawnOptions spawn;
+    spawn.task_key = job->key;
+    spawn.attempt = job->attempts;
+    spawn.max_rss_mb = options_.worker_max_rss_mb;
+    spawn.max_cpu_s = options_.worker_max_cpu_s;
+    // Pipe-only telemetry: worker metric deltas merge into the daemon
+    // registry, so `stats` and the drain snapshot cover the whole fleet.
+    spawn.ship_telemetry = true;
+    // Every spawn draws fresh probabilistic-failpoint streams — sibling
+    // workers and respawns must not replay the parent's exact draws.
+    spawn.failpoint_reseed = ++spawn_sequence_;
+    spawn.ship_failpoint = "serve_ship";
+    spawn.close_in_child.push_back(listen_fd_);
+    for (auto& [id, conn] : conns_) spawn.close_in_child.push_back(conn.fd);
+    for (QueryJob& other : inflight_) {
+      if (other.proc.pipe_fd() >= 0) {
+        spawn.close_in_child.push_back(other.proc.pipe_fd());
+      }
+    }
+    const EMDataset* dataset = job->dataset;
+    const MatcherKind matcher = job->matcher;
+    const bool pairwise = job->pairwise;
+    const uint64_t seed = options_.warm.seed;
+    FAIREM_ASSIGN_OR_RETURN(
+        job->proc,
+        WorkerProcess::Spawn(
+            [dataset, matcher, pairwise, seed]() -> Result<std::string> {
+              GridRunOptions cell_options;
+              cell_options.seed = seed;
+              FAIREM_ASSIGN_OR_RETURN(
+                  GridCellCheckpoint cell,
+                  RunAuditCell(*dataset, matcher, pairwise, cell_options));
+              return GridCellToJson(cell);
+            },
+            spawn));
+    FAIREM_LOG(DEBUG) << "query worker spawned" << LogKv("key", job->key)
+                      << LogKv("pid", job->proc.pid())
+                      << LogKv("attempt", job->attempts);
+    return Status::OK();
+  }
+
+  void PumpWorkers() {
+    auto now = SteadyClock::now();
+    for (size_t i = 0; i < inflight_.size();) {
+      QueryJob& job = inflight_[i];
+      job.proc.Drain();
+      int status = 0;
+      rusage usage;
+      if (job.proc.TryReap(&status, &usage)) {
+        QueryJob finished = std::move(job);
+        inflight_.erase(inflight_.begin() + static_cast<long>(i));
+        SettleWorker(std::move(finished), status);
+        continue;
+      }
+      if (!job.timed_out && now >= job.deadline) {
+        // The deadline is end-to-end: however long the query waited in the
+        // queue counts against the compute budget too.
+        job.timed_out = true;
+        metrics_.deadline_expired->Increment();
+        FAIREM_LOG(WARN) << "query deadline exceeded, killing worker"
+                         << LogKv("key", job.key)
+                         << LogKv("pid", job.proc.pid());
+        job.proc.Kill();
+      }
+      ++i;
+    }
+  }
+
+  void SettleWorker(QueryJob job, int status) {
+    const std::string received = job.proc.TakeReceived();
+    TelemetrySplit split = SplitTelemetryPayload(received);
+    if (split.has_telemetry) {
+      Result<WorkerTelemetry> telemetry =
+          ParseWorkerTelemetry(split.telemetry_json);
+      if (telemetry.ok()) AbsorbWorkerTelemetry(*telemetry);
+    }
+    QueryResponse response;
+    response.id = job.request.id;
+    if (job.timed_out) {
+      response.status = Status::DeadlineExceeded(
+          "query exceeded its deadline and the worker was killed");
+      FinishJob(job, response);
+      return;
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) == kWorkerExitOk) {
+      // Defensive parse: only a well-formed cell is cached and served.
+      Result<GridCellCheckpoint> cell = GridCellFromJson(split.payload);
+      if (cell.ok()) {
+        metrics_.cells_computed->Increment();
+        warm_.StoreCell(job.key, split.payload);
+        response.payload = split.payload;
+        FinishJob(job, response);
+        return;
+      }
+      response.status = Status::Internal("worker shipped unparseable cell: " +
+                                         cell.status().ToString());
+      FinishJob(job, response);
+      return;
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) == kWorkerExitTaskError) {
+      Status shipped = ParseShippedStatus(split.payload);
+      if (RespawnOrFail(std::move(job), shipped,
+                        IsRetryableStatus(shipped))) {
+        return;
+      }
+      return;
+    }
+    // Crash: signal death, _Exit under a failpoint, OOM under RLIMIT_AS,
+    // or a protocol failure.
+    metrics_.worker_crashes->Increment();
+    const std::string detail =
+        WIFEXITED(status)
+            ? "exit code " + std::to_string(WEXITSTATUS(status))
+            : "signal " + std::to_string(WIFSIGNALED(status)
+                                             ? WTERMSIG(status)
+                                             : 0);
+    Status crash = Status::Internal("query worker crashed (" + detail +
+                                    ") for '" + job.key + "'");
+    (void)RespawnOrFail(std::move(job), crash, /*retryable=*/true);
+  }
+
+  /// Respawns the job when budget and deadline allow; otherwise finishes it
+  /// with `failure`. Returns true either way (for symmetry at call sites).
+  bool RespawnOrFail(QueryJob job, const Status& failure, bool retryable) {
+    if (retryable && job.attempts < options_.max_attempts &&
+        SteadyClock::now() < job.deadline && !draining_) {
+      metrics_.worker_respawns->Increment();
+      FAIREM_LOG(WARN) << "respawning query worker" << LogKv("key", job.key)
+                       << LogKv("next_attempt", job.attempts + 1)
+                       << LogKv("status", failure.ToString());
+      Status started = StartJob(&job);
+      if (started.ok()) {
+        inflight_.push_back(std::move(job));
+        return true;
+      }
+    }
+    QueryResponse response;
+    response.id = job.request.id;
+    response.status = failure;
+    FinishJob(job, response);
+    return true;
+  }
+
+  // ------------------------------------------------------------ outbound --
+
+  void FinishJob(const QueryJob& job, const QueryResponse& response) {
+    metrics_.request_seconds->Observe(Since(job.admitted));
+    Respond(job.conn_id, response);
+  }
+
+  void Respond(uint64_t conn_id, const QueryResponse& response) {
+    if (response.status.ok()) {
+      metrics_.requests_ok->Increment();
+    } else {
+      metrics_.requests_failed->Increment();
+    }
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) {
+      // The client hung up while its query ran. The work was not wasted —
+      // a computed cell is already cached — but the bytes have nowhere
+      // to go.
+      metrics_.responses_dropped->Increment();
+      return;
+    }
+    it->second.outbuf.append(EncodeServeMessage(
+        kFrameQueryResponse, SerializeQueryResponse(response)));
+    FlushConn(it->second);
+  }
+
+  void FlushConn(Connection& conn) {
+    const uint64_t conn_id = conn.id;
+    while (conn.has_pending_out()) {
+      ssize_t n = ::write(conn.fd, conn.outbuf.data() + conn.out_sent,
+                          conn.outbuf.size() - conn.out_sent);
+      if (n > 0) {
+        conn.out_sent += static_cast<size_t>(n);
+        conn.last_activity = SteadyClock::now();
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      // EPIPE/ECONNRESET: the client went away — a clean disconnect, not
+      // a daemon error (SIGPIPE is ignored process-wide).
+      metrics_.client_disconnects->Increment();
+      CloseConn(conn_id);
+      return;
+    }
+    if (!conn.has_pending_out()) {
+      conn.outbuf.clear();
+      conn.out_sent = 0;
+      if (conn.close_after_flush) CloseConn(conn_id);
+    }
+  }
+
+  void CloseSlowClients() {
+    std::vector<uint64_t> slow;
+    auto now = SteadyClock::now();
+    for (auto& [id, conn] : conns_) {
+      const bool mid_frame = conn.decoder.buffered() > 0;
+      const bool undelivered = conn.has_pending_out();
+      if (!mid_frame && !undelivered) continue;
+      if (std::chrono::duration<double>(now - conn.last_activity).count() >
+          options_.io_timeout_s) {
+        slow.push_back(id);
+      }
+    }
+    for (uint64_t id : slow) {
+      metrics_.slow_client_closes->Increment();
+      FAIREM_LOG(WARN) << "closing slow client" << LogKv("conn", id);
+      CloseConn(id);
+    }
+  }
+
+  // --------------------------------------------------------------- drain --
+
+  void BeginDrain() {
+    draining_ = true;
+    FAIREM_LOG(WARN) << "drain requested"
+                     << LogKv("signal", ShutdownGuard::signal_number())
+                     << LogKv("queued", queue_.size())
+                     << LogKv("inflight", inflight_.size())
+                     << LogKv("connections", conns_.size());
+    // Stop accepting: close AND unlink, so new clients get a fast
+    // ECONNREFUSED/ENOENT instead of queueing behind a dying daemon.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    ::unlink(options_.socket_path.c_str());
+    // Queued-but-unstarted work is shed: retryable, the honest signal to
+    // go elsewhere. In-flight work finishes or deadlines out.
+    for (QueryJob& job : queue_) {
+      metrics_.shed_draining->Increment();
+      QueryResponse response;
+      response.id = job.request.id;
+      response.status = Status::Unavailable("draining; retry elsewhere");
+      response.retry_after_s = options_.retry_after_s;
+      FinishJob(job, response);
+    }
+    queue_.clear();
+  }
+
+  bool DrainComplete() const {
+    if (!inflight_.empty()) return false;
+    for (const auto& [id, conn] : conns_) {
+      if (conn.has_pending_out()) return false;
+    }
+    return true;
+  }
+
+  void FinishDrain() {
+    for (auto& [id, conn] : conns_) ::close(conn.fd);
+    conns_.clear();
+    UpdateGauges();
+    metrics_.shutdowns->Increment();
+    if (!options_.metrics_path.empty()) {
+      Status st = WriteFileDurable(
+          options_.metrics_path,
+          MetricsSnapshotToJson(MetricsRegistry::Global().Snapshot()));
+      if (!st.ok()) {
+        FAIREM_LOG(WARN) << "drain metrics flush failed"
+                         << LogKv("status", st.ToString());
+      }
+    }
+    FAIREM_LOG(INFO) << "drain complete"
+                     << LogKv("requests",
+                              metrics_.requests_total->value());
+  }
+
+  void UpdateGauges() {
+    metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
+    metrics_.inflight->Set(static_cast<double>(inflight_.size()));
+    metrics_.connections->Set(static_cast<double>(conns_.size()));
+  }
+
+  ServeOptions options_;
+  ServeMetrics metrics_;
+  WarmState warm_;
+  int listen_fd_ = -1;
+  uint64_t next_conn_id_ = 0;
+  uint64_t spawn_sequence_ = 0;
+  bool draining_ = false;
+  std::map<uint64_t, Connection> conns_;
+  std::deque<QueryJob> queue_;
+  std::vector<QueryJob> inflight_;
+};
+
+}  // namespace
+
+Status RunServeDaemon(const ServeOptions& options) {
+  // EPIPE handling relies on write() returning the error instead of the
+  // default fatal SIGPIPE.
+  IgnoreSigpipe();
+  ShutdownGuard shutdown_guard;
+  ServeOptions normalized = options;
+  if (normalized.max_inflight < 1) normalized.max_inflight = 1;
+  if (normalized.max_queue < 0) normalized.max_queue = 0;
+  if (normalized.max_attempts < 1) normalized.max_attempts = 1;
+  if (normalized.poll_interval_s <= 0.0) normalized.poll_interval_s = 0.01;
+  ServeDaemon daemon(normalized);
+  return daemon.Run();
+}
+
+}  // namespace fairem

@@ -1,0 +1,75 @@
+#ifndef FAIREM_SERVE_SERVER_H_
+#define FAIREM_SERVE_SERVER_H_
+
+#include <string>
+
+#include "src/serve/warm_state.h"
+#include "src/util/result.h"
+
+namespace fairem {
+
+// The always-on audit daemon (`fairem serve`): a long-lived process that
+// owns warmed state — generated datasets, checkpointed cell results — and
+// answers concurrent queries over a UNIX-domain socket speaking the framed
+// protocol in src/serve/protocol.h. Robustness posture (DESIGN.md §14):
+//
+//   * Bounded admission: at most `max_inflight` queries compute at once and
+//     at most `max_queue` wait; past that, requests are shed immediately
+//     with a retryable kUnavailable carrying a retry_after_s hint.
+//   * End-to-end deadlines: every query carries one (client-requested,
+//     clamped to `max_deadline_s`, defaulting to `default_deadline_s`).
+//     Expiry is enforced while queued AND while computing — a worker past
+//     its deadline is SIGKILLed by the watchdog. Either way the client gets
+//     a definite kDeadlineExceeded, never a hang.
+//   * Crash isolation: cell queries run in forked worker processes under
+//     rlimits. A crashing worker is respawned up to `max_attempts`; budget
+//     exhaustion degrades to a structured kInternal reply. Warm state
+//     lives only in the parent, so workers can never corrupt it.
+//   * Slow-client protection: per-connection IO activity deadlines; a peer
+//     that stalls mid-frame or never drains its responses is disconnected.
+//     EPIPE/ECONNRESET on write is a clean client-disconnect, not an error.
+//   * Cooperative drain: SIGTERM/SIGINT stops accepting, sheds the queue
+//     (kUnavailable "draining"), lets in-flight queries finish or
+//     deadline-out, flushes responses, then durably writes the final
+//     metrics snapshot to `metrics_path` and returns OK.
+//
+// The daemon loop is single-threaded (one poll() over the listener, every
+// connection, and every worker pipe); concurrency comes from the forked
+// workers, never from threads.
+
+struct ServeOptions {
+  /// UNIX-domain socket path. A stale file from a dead daemon is replaced.
+  std::string socket_path;
+  WarmStateOptions warm;
+  /// Queries computing in forked workers at once.
+  int max_inflight = 2;
+  /// Admitted-but-not-started queries; arrivals past this are shed.
+  int max_queue = 8;
+  double default_deadline_s = 30.0;
+  double max_deadline_s = 120.0;
+  /// Per-connection IO activity deadline (slow-client protection).
+  double io_timeout_s = 10.0;
+  /// Backoff hint shipped with kUnavailable sheds.
+  double retry_after_s = 0.05;
+  /// Spawn attempts per query including the first; crashes respawn until
+  /// the budget or the query deadline runs out.
+  int max_attempts = 2;
+  /// RLIMIT_AS / RLIMIT_CPU for query workers (0 disables).
+  int worker_max_rss_mb = 0;
+  int worker_max_cpu_s = 0;
+  double poll_interval_s = 0.01;
+  /// When non-empty, the final metrics snapshot is written here durably
+  /// (temp + rename + fsync) as the last step of the drain.
+  std::string metrics_path;
+  int listen_backlog = 64;
+};
+
+/// Runs the daemon until a SIGTERM/SIGINT drain completes. Returns OK after
+/// a clean drain; an error Status when the socket cannot be set up or warm
+/// state cannot be built. Installs its own ShutdownGuard and ignores
+/// SIGPIPE. Metrics land under fairem.serve.*.
+Status RunServeDaemon(const ServeOptions& options);
+
+}  // namespace fairem
+
+#endif  // FAIREM_SERVE_SERVER_H_

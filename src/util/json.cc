@@ -1,0 +1,277 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+/// Nesting cap for the recursive parser. Our own writers emit depth <= 5;
+/// 64 leaves headroom without letting hostile input recurse to overflow.
+constexpr int kMaxDepth = 64;
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    FAIREM_RETURN_NOT_OK(ParseValue(&root, 0));
+    SkipWs();
+    if (pos_ != text_.size()) return Err("trailing bytes after document");
+    return root;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Err(const std::string& what) {
+    return Status::InvalidArgument("JSON: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Status Expect(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Err(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool TryConsume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseString() {
+    FAIREM_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Err("bad \\u escape digit");
+            }
+          }
+          // Our writers only use \u for control bytes.
+          if (value >= 0x80) return Err("unsupported \\u escape");
+          out.push_back(static_cast<char>(value));
+          break;
+        }
+        default:
+          return Err("unsupported escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth >= kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      if (TryConsume('}')) return Status::OK();
+      while (true) {
+        FAIREM_ASSIGN_OR_RETURN(std::string key, ParseString());
+        FAIREM_RETURN_NOT_OK(Expect(':'));
+        JsonValue value;
+        FAIREM_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+        out->members[key] = std::move(value);
+        if (TryConsume(',')) continue;
+        return Expect('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      if (TryConsume(']')) return Status::OK();
+      while (true) {
+        JsonValue value;
+        FAIREM_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+        out->items.push_back(std::move(value));
+        if (TryConsume(',')) continue;
+        return Expect(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      FAIREM_ASSIGN_OR_RETURN(out->scalar, ParseString());
+      return Status::OK();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      out->kind = JsonValue::kNumber;
+      size_t start = pos_;
+      while (pos_ < text_.size()) {
+        char d = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d)) || d == '-' ||
+            d == '+' || d == '.' || d == 'e' || d == 'E') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      out->scalar = text_.substr(start, pos_ - start);
+      return Status::OK();
+    }
+    for (const char* word : {"true", "false", "null"}) {
+      size_t len = std::char_traits<char>::length(word);
+      if (text_.compare(pos_, len, word) == 0) {
+        out->kind = word[0] == 'n' ? JsonValue::kNull : JsonValue::kBool;
+        out->scalar = word;
+        pos_ += len;
+        return Status::OK();
+      }
+    }
+    return Err("unexpected character");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void AppendJsonString(std::ostringstream* os, const std::string& s) {
+  *os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      case '\t':
+        *os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+  *os << '"';
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::ostringstream os;
+  AppendJsonString(&os, s);
+  return os.str();
+}
+
+Result<JsonValue> JsonParse(const std::string& text) {
+  return JsonReader(text).Parse();
+}
+
+const JsonValue* JsonFind(const JsonValue& obj, const std::string& key) {
+  auto it = obj.members.find(key);
+  return it == obj.members.end() ? nullptr : &it->second;
+}
+
+Result<uint64_t> JsonAsU64(const JsonValue& v, const std::string& what) {
+  if (v.kind != JsonValue::kNumber) {
+    return Status::InvalidArgument("JSON: " + what + " is not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long out = std::strtoull(v.scalar.c_str(), &end, 10);
+  if (errno != 0 || end == v.scalar.c_str() || *end != '\0') {
+    return Status::InvalidArgument("JSON: bad integer for " + what);
+  }
+  return static_cast<uint64_t>(out);
+}
+
+Result<int64_t> JsonAsI64(const JsonValue& v, const std::string& what) {
+  if (v.kind != JsonValue::kNumber) {
+    return Status::InvalidArgument("JSON: " + what + " is not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long out = std::strtoll(v.scalar.c_str(), &end, 10);
+  if (errno != 0 || end == v.scalar.c_str() || *end != '\0') {
+    return Status::InvalidArgument("JSON: bad integer for " + what);
+  }
+  return static_cast<int64_t>(out);
+}
+
+Result<double> JsonAsDouble(const JsonValue& v, const std::string& what) {
+  double out = 0.0;
+  if (v.kind != JsonValue::kNumber || !ParseDouble(v.scalar, &out)) {
+    return Status::InvalidArgument("JSON: " + what + " is not a number");
+  }
+  return out;
+}
+
+Result<bool> JsonAsBool(const JsonValue& v, const std::string& what) {
+  if (v.kind != JsonValue::kBool) {
+    return Status::InvalidArgument("JSON: " + what + " is not a boolean");
+  }
+  return v.scalar == "true";
+}
+
+Result<std::string> JsonAsString(const JsonValue& v, const std::string& what) {
+  if (v.kind != JsonValue::kString) {
+    return Status::InvalidArgument("JSON: " + what + " is not a string");
+  }
+  return v.scalar;
+}
+
+}  // namespace fairem

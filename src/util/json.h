@@ -1,0 +1,52 @@
+#ifndef FAIREM_UTIL_JSON_H_
+#define FAIREM_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace fairem {
+
+// Shared minimal JSON support for the library's own wire formats: metrics
+// snapshots, worker telemetry, grid-cell checkpoints, and the serve
+// protocol. The parser is a small recursive-descent reader over the subset
+// our writers emit (objects, arrays, strings with the writer's escapes,
+// numbers, booleans, null); numbers keep their raw text so uint64 counters
+// round-trip exactly.
+
+/// Appends `s` as a quoted JSON string with the writer's escape set
+/// (backslash, quote, \n, \t, \u00XX for other control bytes).
+void AppendJsonString(std::ostringstream* os, const std::string& s);
+
+/// Convenience: AppendJsonString into a fresh string.
+std::string JsonQuote(const std::string& s);
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  std::string scalar;  // number text, string contents, or "true"/"false"
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+};
+
+/// Parses a complete JSON document; trailing bytes are an error. Depth is
+/// capped (the parser recurses per nesting level), so adversarial input —
+/// e.g. a malformed frame off the serve socket — cannot blow the stack.
+Result<JsonValue> JsonParse(const std::string& text);
+
+/// Member lookup on an object value; nullptr when absent (or not an object).
+const JsonValue* JsonFind(const JsonValue& obj, const std::string& key);
+
+/// Scalar accessors; `what` names the field in error messages.
+Result<uint64_t> JsonAsU64(const JsonValue& v, const std::string& what);
+Result<int64_t> JsonAsI64(const JsonValue& v, const std::string& what);
+Result<double> JsonAsDouble(const JsonValue& v, const std::string& what);
+Result<bool> JsonAsBool(const JsonValue& v, const std::string& what);
+Result<std::string> JsonAsString(const JsonValue& v, const std::string& what);
+
+}  // namespace fairem
+
+#endif  // FAIREM_UTIL_JSON_H_

@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "UndefinedStatistic";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -25,6 +25,14 @@ enum class StatusCode {
   /// The operation was interrupted cooperatively (SIGINT/SIGTERM shutdown of
   /// a supervised run). Never retried; callers exit with a distinct code.
   kCancelled,
+  /// The service cannot take the request right now (admission queue full,
+  /// daemon draining, peer disconnected). Retryable: back off and try again;
+  /// serve responses carry a retry_after_ms hint.
+  kUnavailable,
+  /// A per-query (or per-IO) deadline expired before the operation finished.
+  /// A definite outcome, not a hang — retrying needs a larger deadline, so
+  /// it is not retried automatically.
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for a status code, e.g.
@@ -72,6 +80,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +99,10 @@ class Status {
     return code_ == StatusCode::kUndefinedStatistic;
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" for success, "<Code>: <message>" otherwise.
   std::string ToString() const;

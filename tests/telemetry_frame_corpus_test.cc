@@ -1,0 +1,230 @@
+// Malformed-frame corpus for the FEMTEL1 wire (DESIGN.md §11/§14), run
+// against BOTH consumers of the framing: the supervisor-side
+// ParseTelemetryWire (lenient by design — a worker killed mid-write must
+// degrade to "the bytes are the payload") and the serve daemon's
+// FrameDecoder (strict by design — a corrupt socket stream is closed, but
+// must never crash, over-buffer, or desync onto a later client's frames).
+// Every case asserts graceful degradation plus the
+// fairem.telemetry.unknown_frames accounting.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
+#include "src/serve/protocol.h"
+
+namespace fairem {
+namespace {
+
+uint64_t UnknownFrames() {
+  return MetricsRegistry::Global()
+      .GetCounter("fairem.telemetry.unknown_frames")
+      ->value();
+}
+
+std::string Frame(const std::string& type, const std::string& bytes) {
+  char header[32];
+  std::snprintf(header, sizeof(header), "%s%016zx\n", type.c_str(),
+                bytes.size());
+  return std::string(header) + bytes;
+}
+
+std::string Magic() { return kTelemetryMagic; }
+
+// --- ParseTelemetryWire (lenient consumer) ---------------------------------
+
+TEST(FrameCorpusTest, TelemetryTruncatedLengthPrefix) {
+  // Header cut mid-length-field: no complete frame ever parsed, so the
+  // whole wire degrades to an unframed payload, not an error.
+  const std::string wire = Magic() + "TELE00000000";
+  TelemetryWireParse parsed = ParseTelemetryWire(wire);
+  EXPECT_FALSE(parsed.framed);
+  EXPECT_EQ(parsed.payload, wire);
+}
+
+TEST(FrameCorpusTest, TelemetryTruncatedAfterValidFrame) {
+  // One complete frame, then a header cut short: keep the parsed frame,
+  // flag the truncation.
+  const std::string wire = Magic() + Frame("TELE", "{}") + "PROF000";
+  TelemetryWireParse parsed = ParseTelemetryWire(wire);
+  EXPECT_TRUE(parsed.framed);
+  EXPECT_TRUE(parsed.truncated);
+  ASSERT_EQ(parsed.frames.size(), 1u);
+  EXPECT_EQ(parsed.frames[0].bytes, "{}");
+}
+
+TEST(FrameCorpusTest, TelemetryOversizedDeclaredLength) {
+  // A body length far beyond the bytes present: truncated-mid-frame, the
+  // parser must not wait for (or allocate) the declared terabyte.
+  const std::string wire =
+      Magic() + Frame("TELE", "{}") + "PROF0000010000000000\n";
+  TelemetryWireParse parsed = ParseTelemetryWire(wire);
+  EXPECT_TRUE(parsed.framed);
+  EXPECT_TRUE(parsed.truncated);
+  ASSERT_EQ(parsed.frames.size(), 1u);
+}
+
+TEST(FrameCorpusTest, TelemetryUnknownTypeFloodCounted) {
+  std::string wire = Magic();
+  for (int i = 0; i < 64; ++i) wire += Frame("ZZZ" + std::to_string(i % 10),
+                                             "future bytes");
+  wire += Frame("PAYL", "the payload");
+  const uint64_t before = UnknownFrames();
+  TelemetryWireParse parsed = ParseTelemetryWire(wire);
+  EXPECT_EQ(UnknownFrames() - before, 64u);
+  EXPECT_TRUE(parsed.framed);
+  EXPECT_FALSE(parsed.truncated);
+  EXPECT_EQ(parsed.payload, "the payload");
+  EXPECT_EQ(parsed.frames.size(), 64u);  // kept, callers dispatch on type
+}
+
+TEST(FrameCorpusTest, TelemetryZeroLengthFrames) {
+  const std::string wire =
+      Magic() + Frame("TELE", "") + Frame("PROF", "") + Frame("PAYL", "");
+  TelemetryWireParse parsed = ParseTelemetryWire(wire);
+  EXPECT_TRUE(parsed.framed);
+  EXPECT_FALSE(parsed.truncated);
+  ASSERT_EQ(parsed.frames.size(), 2u);
+  EXPECT_EQ(parsed.frames[0].bytes, "");
+  EXPECT_EQ(parsed.payload, "");
+}
+
+TEST(FrameCorpusTest, TelemetryRoundTripSurvivesUnknownFrames) {
+  // Forward compatibility: EncodeTelemetryWire output with a foreign frame
+  // spliced in still yields the original telemetry + payload.
+  std::vector<TelemetryFrame> frames;
+  frames.push_back({"TELE", "{\"pid\":1}"});
+  std::string wire = EncodeTelemetryWire(frames, "payload-bytes");
+  // Splice an unknown frame between TELE and PAYL.
+  const size_t payl_at = wire.find("PAYL");
+  ASSERT_NE(payl_at, std::string::npos);
+  wire.insert(payl_at, Frame("NEWF", "from the future"));
+  TelemetrySplit split = SplitTelemetryPayload(wire);
+  EXPECT_TRUE(split.has_telemetry);
+  EXPECT_EQ(split.telemetry_json, "{\"pid\":1}");
+  EXPECT_EQ(split.payload, "payload-bytes");
+}
+
+// --- FrameDecoder (strict consumer) ----------------------------------------
+
+Result<FrameDecoder::Next> FeedAll(FrameDecoder* decoder,
+                                   const std::string& bytes,
+                                   ServeMessage* out) {
+  decoder->Feed(bytes.data(), bytes.size());
+  return decoder->TryNext(out);
+}
+
+TEST(FrameCorpusTest, DecoderTruncatedLengthPrefixWaitsThenRejects) {
+  FrameDecoder decoder;
+  ServeMessage message;
+  // A short header is just "need more bytes"...
+  Result<FrameDecoder::Next> next =
+      FeedAll(&decoder, Magic() + "QREQ00000000", &message);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, FrameDecoder::Next::kNeedMore);
+  // ...until the rest arrives malformed (letters in the hex field): then
+  // the stream is unrecoverable.
+  next = FeedAll(&decoder, "garbage!\n", &message);
+  EXPECT_FALSE(next.ok());
+}
+
+TEST(FrameCorpusTest, DecoderBadMagicRejected) {
+  FrameDecoder decoder;
+  ServeMessage message;
+  Result<FrameDecoder::Next> next =
+      FeedAll(&decoder, "HTTP/1.1 200 OK\r\n\r\n", &message);
+  EXPECT_FALSE(next.ok());
+}
+
+TEST(FrameCorpusTest, DecoderOversizedDeclaredLengthRejected) {
+  FrameDecoder decoder;
+  ServeMessage message;
+  // 2^40 declared bytes: must be rejected up front, never buffered toward.
+  Result<FrameDecoder::Next> next = FeedAll(
+      &decoder, Magic() + "QREQ0000010000000000\n", &message);
+  EXPECT_FALSE(next.ok());
+  EXPECT_LT(decoder.buffered(), 1024u);
+}
+
+TEST(FrameCorpusTest, DecoderUnknownTypeFloodSkippedAndCounted) {
+  FrameDecoder decoder;
+  ServeMessage message;
+  std::string wire = Magic();
+  for (int i = 0; i < 32; ++i) wire += Frame("FUTR", "ignore");
+  wire += Frame(kFrameQueryRequest, "{\"op\":\"ping\",\"id\":3}");
+  const uint64_t before = UnknownFrames();
+  Result<FrameDecoder::Next> next = FeedAll(&decoder, wire, &message);
+  ASSERT_TRUE(next.ok()) << next.status();
+  EXPECT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(message.type, kFrameQueryRequest);
+  EXPECT_EQ(UnknownFrames() - before, 32u);
+}
+
+TEST(FrameCorpusTest, DecoderZeroLengthFrame) {
+  FrameDecoder decoder;
+  ServeMessage message;
+  Result<FrameDecoder::Next> next =
+      FeedAll(&decoder, Magic() + Frame(kFrameQueryRequest, ""), &message);
+  ASSERT_TRUE(next.ok()) << next.status();
+  EXPECT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(message.bytes, "");
+  // The empty request body is the next layer's problem — and a structured
+  // error there, not a crash.
+  EXPECT_FALSE(ParseQueryRequest(message.bytes).ok());
+}
+
+TEST(FrameCorpusTest, DecoderByteAtATimeDelivery) {
+  // Slow-client shape: the message dribbles in one byte per Feed. Every
+  // intermediate step is kNeedMore; the final byte yields the message.
+  QueryRequest ping;
+  ping.op = "ping";
+  ping.id = 42;
+  const std::string wire =
+      EncodeServeMessage(kFrameQueryRequest, SerializeQueryRequest(ping));
+  FrameDecoder decoder;
+  ServeMessage message;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    Result<FrameDecoder::Next> next =
+        FeedAll(&decoder, wire.substr(i, 1), &message);
+    ASSERT_TRUE(next.ok()) << "byte " << i << ": " << next.status();
+    ASSERT_EQ(*next, FrameDecoder::Next::kNeedMore) << "byte " << i;
+  }
+  Result<FrameDecoder::Next> next =
+      FeedAll(&decoder, wire.substr(wire.size() - 1), &message);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, FrameDecoder::Next::kMessage);
+  Result<QueryRequest> parsed = ParseQueryRequest(message.bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->id, 42u);
+}
+
+TEST(FrameCorpusTest, DecoderBackToBackMessagesNoDesync) {
+  // Two messages in one read must come out as two messages — the framing
+  // must not eat into the second one's magic.
+  QueryRequest a;
+  a.op = "ping";
+  a.id = 1;
+  QueryRequest b;
+  b.op = "stats";
+  b.id = 2;
+  std::string wire =
+      EncodeServeMessage(kFrameQueryRequest, SerializeQueryRequest(a)) +
+      EncodeServeMessage(kFrameQueryRequest, SerializeQueryRequest(b));
+  FrameDecoder decoder;
+  ServeMessage message;
+  Result<FrameDecoder::Next> next = FeedAll(&decoder, wire, &message);
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(ParseQueryRequest(message.bytes)->id, 1u);
+  next = decoder.TryNext(&message);
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(ParseQueryRequest(message.bytes)->id, 2u);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace fairem

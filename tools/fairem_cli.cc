@@ -45,6 +45,25 @@
 //       checks two profiles' stage shares against each other and exits 2
 //       when any stage's share drifts by more than --tolerance (default
 //       0.10), considering stages above --min_share (default 0.01).
+//   fairem serve <socket> [--datasets a,b,..] [--scale S] [--seed N]
+//       [--checkpoint_dir D] [--max_inflight N] [--max_queue N]
+//       [--deadline_s S] [--max_deadline_s S] [--io_timeout_s S]
+//       [--max_attempts N] [--worker_max_rss_mb M] [--worker_max_cpu_s S]
+//       [--drain_metrics_out FILE]
+//       The always-on audit daemon (DESIGN.md §14): warms datasets and
+//       checkpointed cells, then answers framed queries on a UNIX socket.
+//       Cell queries run in crash-isolated forked workers under rlimits;
+//       admission is bounded (overflow shed with a retryable reply),
+//       deadlines are enforced end to end, slow clients are disconnected,
+//       and SIGTERM drains cooperatively (exit 0) — flushing a final
+//       durable metrics snapshot to --drain_metrics_out.
+//   fairem query <socket> ping|stats
+//   fairem query <socket> cell <dataset> <matcher> [--pairwise]
+//       [--deadline_s S] [--retries N] [--io_timeout_s S]
+//       One query against a running daemon; prints the payload (cell JSON,
+//       stats JSON, or "pong"). Shed/draining replies are retried with
+//       jittered backoff up to --retries, honoring the server's
+//       retry-after hint.
 //
 // Observability (any command): --log_level debug|info|warn|error|off,
 // --trace_out FILE (Chrome trace JSON of the stage spans),
@@ -78,6 +97,9 @@
 #include "src/report/table_printer.h"
 #include "src/robust/failpoint.h"
 #include "src/robust/supervisor.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/util/io_util.h"
 #include "src/util/string_util.h"
 #include "src/util/thread_pool.h"
 
@@ -100,6 +122,14 @@ int Usage() {
       "  fairem benchdiff <old.json> <new.json> [--fail_on SPEC]... [--all]\n"
       "  fairem proftop <profile.folded> [--by stack|stage] [-n N] "
       "[--compare FILE2] [--tolerance T] [--min_share S]\n"
+      "  fairem serve <socket> [--datasets a,b,..] [--scale S] [--seed N] "
+      "[--checkpoint_dir D] [--max_inflight N] [--max_queue N] "
+      "[--deadline_s S] [--max_deadline_s S] [--io_timeout_s S] "
+      "[--max_attempts N] [--worker_max_rss_mb M] [--worker_max_cpu_s S] "
+      "[--drain_metrics_out FILE]\n"
+      "  fairem query <socket> ping|stats\n"
+      "  fairem query <socket> cell <dataset> <matcher> [--pairwise] "
+      "[--deadline_s S] [--retries N] [--io_timeout_s S]\n"
       "observability (any command): [--log_level L] [--trace_out FILE] "
       "[--metrics_out FILE] [--metrics_format json|prom] "
       "[--profile_out FILE] [--profile_hz N] [--profile_mode cpu|wall]\n"
@@ -577,6 +607,116 @@ int ProfTop(const std::vector<std::string>& args) {
   return 0;
 }
 
+int Serve(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  ServeOptions options;
+  options.socket_path = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    double v = 0.0;
+    if (args[i] == "--datasets" && i + 1 < args.size()) {
+      for (const std::string& name : Split(args[++i], ',')) {
+        if (!name.empty()) options.warm.datasets.push_back(name);
+      }
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.warm.scale)) return Usage();
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &v)) return Usage();
+      options.warm.seed = static_cast<uint64_t>(v);
+    } else if (args[i] == "--checkpoint_dir" && i + 1 < args.size()) {
+      options.warm.checkpoint_dir = args[++i];
+    } else if (args[i] == "--max_inflight" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &v) || v < 1.0) return Usage();
+      options.max_inflight = static_cast<int>(v);
+    } else if (args[i] == "--max_queue" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &v) || v < 0.0) return Usage();
+      options.max_queue = static_cast<int>(v);
+    } else if (args[i] == "--deadline_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.default_deadline_s)) return Usage();
+    } else if (args[i] == "--max_deadline_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.max_deadline_s)) return Usage();
+    } else if (args[i] == "--io_timeout_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.io_timeout_s)) return Usage();
+    } else if (args[i] == "--retry_after_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.retry_after_s)) return Usage();
+    } else if (args[i] == "--max_attempts" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &v) || v < 1.0) return Usage();
+      options.max_attempts = static_cast<int>(v);
+    } else if (args[i] == "--worker_max_rss_mb" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &v) || v < 0.0) return Usage();
+      options.worker_max_rss_mb = static_cast<int>(v);
+    } else if (args[i] == "--worker_max_cpu_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &v) || v < 0.0) return Usage();
+      options.worker_max_cpu_s = static_cast<int>(v);
+    } else if (args[i] == "--drain_metrics_out" && i + 1 < args.size()) {
+      options.metrics_path = args[++i];
+    } else {
+      std::cerr << "unexpected argument '" << args[i] << "'\n";
+      return Usage();
+    }
+  }
+  if (Status st = RunServeDaemon(options); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int Query(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  IgnoreSigpipe();  // a daemon closing mid-write must not kill us
+  const std::string socket_path = args[0];
+  QueryRequest request;
+  request.op = args[1];
+  size_t flag_start = 2;
+  if (request.op == "cell") {
+    if (args.size() < 4) return Usage();
+    request.dataset = args[2];
+    request.matcher = args[3];
+    flag_start = 4;
+  } else if (request.op != "ping" && request.op != "stats") {
+    std::cerr << "unknown query op '" << request.op << "'\n";
+    return Usage();
+  }
+  RetryPolicy retry;
+  retry.max_attempts = 5;
+  ServeClientOptions client_options;
+  for (size_t i = flag_start; i < args.size(); ++i) {
+    double v = 0.0;
+    if (args[i] == "--pairwise") {
+      request.mode = "pairwise";
+    } else if (args[i] == "--deadline_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &request.deadline_s)) return Usage();
+    } else if (args[i] == "--retries" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &v) || v < 0.0) return Usage();
+      retry.max_attempts = 1 + static_cast<int>(v);
+    } else if (args[i] == "--io_timeout_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &client_options.io_timeout_s)) {
+        return Usage();
+      }
+    } else {
+      std::cerr << "unexpected argument '" << args[i] << "'\n";
+      return Usage();
+    }
+  }
+  Result<ServeClient> client = ServeClient::Connect(socket_path,
+                                                    client_options);
+  if (!client.ok()) {
+    std::cerr << client.status() << "\n";
+    return 1;
+  }
+  Result<QueryResponse> response = client->CallWithRetry(request, retry);
+  if (!response.ok()) {
+    std::cerr << response.status() << "\n";
+    return 1;
+  }
+  if (!response->status.ok()) {
+    std::cerr << response->status << "\n";
+    return 1;
+  }
+  std::cout << response->payload << "\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -661,6 +801,10 @@ int Main(int argc, char** argv) {
     code = BenchDiff(args);
   } else if (command == "proftop") {
     code = ProfTop(args);
+  } else if (command == "serve") {
+    code = Serve(args);
+  } else if (command == "query") {
+    code = Query(args);
   } else {
     return Usage();
   }
