@@ -24,6 +24,16 @@
 //
 // Client-side latency lands in fairem.serve.client.latency_seconds inside
 // BENCH_serve.json, which bench_smoke gates with `fairem benchdiff`.
+//
+// Route mode (--route, DESIGN.md §15) runs the same closed loop against a
+// 3-backend fleet behind a `fairem route` shard router on the same front
+// socket — the clients don't change at all. Mid-load one backend is
+// SIGKILLed and later restarted: the run asserts zero client-visible
+// failures (failover absorbs the death), answers byte-identical to asking
+// a surviving daemon directly, and that the corpse rejoins after restart
+// without a router restart. Artifacts move to BENCH_serve_route.json and
+// bench_route_daemon_metrics.json so bench_smoke can gate the clean and
+// routed runs independently.
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -44,9 +54,12 @@
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/obs/profiler.h"
+#include "src/robust/checkpoint.h"
+#include "src/route/router.h"
 #include "src/serve/client.h"
 #include "src/serve/server.h"
 #include "src/util/io_util.h"
+#include "src/util/json.h"
 
 namespace fairem {
 namespace {
@@ -54,8 +67,14 @@ namespace {
 constexpr char kSocketPath[] = "bench_serve.sock";
 constexpr char kDataset[] = "Cricket";
 constexpr char kDrainMetricsPath[] = "bench_serve_daemon_metrics.json";
+constexpr char kRouteDrainMetricsPath[] = "bench_route_daemon_metrics.json";
+constexpr int kRouteBackends = 3;
 const char* const kMatchers[] = {"BooleanRuleMatcher", "DTMatcher",
                                  "NBMatcher"};
+
+std::string BackendSocket(int index) {
+  return "bench_serve_backend_" + std::to_string(index) + ".sock";
+}
 
 struct ClientTally {
   std::atomic<uint64_t> requests{0};
@@ -193,46 +212,149 @@ int RawFrameDrill() {
   return 0;
 }
 
-int Run(const BenchFlags& flags) {
-  IgnoreSigpipe();
-  const bool chaos = !flags.failpoints.empty();
-  ::unlink(kSocketPath);
-
-  // The daemon runs in a forked child: fresh single-threaded process, its
-  // own ShutdownGuard, killed with a real SIGTERM at the end — the same
-  // deployment shape as `fairem serve`, minus exec.
-  pid_t daemon_pid = ::fork();
-  if (daemon_pid < 0) {
-    std::cerr << "fork failed: " << std::strerror(errno) << "\n";
-    return 1;
+ServeOptions BackendServeOptions(const BenchFlags& flags,
+                                 const std::string& socket_path) {
+  ServeOptions options;
+  options.socket_path = socket_path;
+  options.warm.datasets = {kDataset};
+  options.warm.scale = flags.scale;
+  options.warm.seed = 1234 + flags.seed_offset;
+  options.warm.checkpoint_dir = flags.checkpoint_dir;
+  options.max_inflight = 1;  // tight on purpose: force queueing + sheds
+  options.max_queue = 2;
+  options.default_deadline_s = 60.0;
+  options.max_deadline_s = 120.0;
+  options.io_timeout_s = 10.0;
+  options.max_attempts = flags.retry_attempts;
+  options.worker_max_rss_mb = flags.cell_max_rss_mb;
+  if (flags.cell_timeout_s > 0.0) {
+    options.default_deadline_s = flags.cell_timeout_s;
   }
-  if (daemon_pid == 0) {
-    ServeOptions options;
-    options.socket_path = kSocketPath;
-    options.warm.datasets = {kDataset};
-    options.warm.scale = flags.scale;
-    options.warm.seed = 1234 + flags.seed_offset;
-    options.warm.checkpoint_dir = flags.checkpoint_dir;
-    options.max_inflight = 1;  // tight on purpose: force queueing + sheds
-    options.max_queue = 2;
-    options.default_deadline_s = 60.0;
-    options.max_deadline_s = 120.0;
-    options.io_timeout_s = 10.0;
-    options.max_attempts = flags.retry_attempts;
-    options.worker_max_rss_mb = flags.cell_max_rss_mb;
-    options.metrics_path = kDrainMetricsPath;
-    if (flags.cell_timeout_s > 0.0) {
-      options.default_deadline_s = flags.cell_timeout_s;
-    }
+  return options;
+}
+
+// Forks a fresh single-threaded daemon process with its own ShutdownGuard,
+// killed with a real SIGTERM at the end — the same deployment shape as
+// `fairem serve`, minus exec.
+pid_t ForkServeDaemon(const ServeOptions& options) {
+  pid_t pid = ::fork();
+  if (pid == 0) {
     Status st = RunServeDaemon(options);
     if (!st.ok()) {
       FAIREM_LOG(ERROR) << "daemon failed" << LogKv("status", st.ToString());
     }
     ::_exit(st.ok() ? 0 : 1);
   }
+  return pid;
+}
+
+pid_t ForkRouter(const RouteOptions& options) {
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    Status st = RunRouteDaemon(options);
+    if (!st.ok()) {
+      FAIREM_LOG(ERROR) << "router failed" << LogKv("status", st.ToString());
+    }
+    ::_exit(st.ok() ? 0 : 1);
+  }
+  return pid;
+}
+
+/// One stats round trip against the front socket; -1 when the call or the
+/// lookup fails.
+double FrontStat(const std::string& section, const std::string& name) {
+  ServeClientOptions options;
+  options.io_timeout_s = 10.0;
+  options.connect_timeout_s = 10.0;
+  Result<ServeClient> client = ServeClient::Connect(kSocketPath, options);
+  if (!client.ok()) return -1.0;
+  QueryRequest request;
+  request.op = "stats";
+  Result<QueryResponse> r = client->Call(request);
+  if (!r.ok() || !r->status.ok()) return -1.0;
+  Result<JsonValue> doc = JsonParse(r->payload);
+  if (!doc.ok()) return -1.0;
+  const JsonValue* sec = JsonFind(*doc, section);
+  if (sec == nullptr) return -1.0;
+  const JsonValue* value = JsonFind(*sec, name);
+  if (value == nullptr) return -1.0;
+  Result<double> d = JsonAsDouble(*value, name);
+  return d.ok() ? *d : -1.0;
+}
+
+bool WaitForGauge(const std::string& name, double want, double timeout_s) {
+  const int rounds = static_cast<int>(timeout_s / 0.05) + 1;
+  for (int i = 0; i < rounds; ++i) {
+    if (FrontStat("gauges", name) == want) return true;
+    ::usleep(50 * 1000);
+  }
+  return false;
+}
+
+int TerminateDaemon(pid_t pid, const char* what) {
+  if (pid <= 0) return 1;
+  ::kill(pid, SIGTERM);
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    std::cerr << "FAIL: " << what << " did not drain cleanly (status "
+              << status << ")\n";
+    return 1;
+  }
+  return 0;
+}
+
+int Run(const BenchFlags& flags, bool route_mode) {
+  IgnoreSigpipe();
+  const bool chaos = !flags.failpoints.empty();
+  ::unlink(kSocketPath);
+
+  pid_t daemon_pid = -1;  // single mode: the one daemon
+  pid_t router_pid = -1;  // route mode: the front-end
+  pid_t backend_pids[kRouteBackends] = {-1, -1, -1};
+  if (route_mode) {
+    // Looser per-backend admission than the single-daemon drill: the
+    // router turns a shed into a failover re-dispatch, and this drill's
+    // contract is zero client-visible failures while a backend dies.
+    for (int i = 0; i < kRouteBackends; ++i) {
+      ::unlink(BackendSocket(i).c_str());
+      ServeOptions options = BackendServeOptions(flags, BackendSocket(i));
+      options.max_inflight = 2;
+      options.max_queue = 8;
+      backend_pids[i] = ForkServeDaemon(options);
+      if (backend_pids[i] < 0) {
+        std::cerr << "fork failed: " << std::strerror(errno) << "\n";
+        return 1;
+      }
+    }
+    RouteOptions route;
+    route.socket_path = kSocketPath;
+    for (int i = 0; i < kRouteBackends; ++i) {
+      route.backends.push_back(BackendSocket(i));
+    }
+    route.health_period_s = 0.1;  // notice the SIGKILL within the run
+    route.health_timeout_s = 1.0;
+    route.breaker_cooldown_s = 0.3;
+    route.default_deadline_s = 60.0;
+    route.max_deadline_s = 120.0;
+    route.metrics_path = kRouteDrainMetricsPath;
+    router_pid = ForkRouter(route);
+    if (router_pid < 0) {
+      std::cerr << "fork failed: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+  } else {
+    ServeOptions options = BackendServeOptions(flags, kSocketPath);
+    options.metrics_path = kDrainMetricsPath;
+    daemon_pid = ForkServeDaemon(options);
+    if (daemon_pid < 0) {
+      std::cerr << "fork failed: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+  }
 
   const int clients = flags.jobs > 1 ? flags.jobs : 4;
-  const int requests_per_client = 8;
+  const int requests_per_client = route_mode ? 24 : 8;
   ClientTally tally;
   {
     std::vector<std::thread> threads;
@@ -241,7 +363,23 @@ int Run(const BenchFlags& flags) {
       threads.emplace_back(ClientLoop, c, requests_per_client, flags,
                            &tally);
     }
+    if (route_mode) {
+      // The failover drill: one shard dies as the load opens and stays
+      // dead until it is done, so every query it owns (the fixed socket
+      // names make it own the NBMatcher key) must fail over.
+      ::kill(backend_pids[0], SIGKILL);
+      int status = 0;
+      ::waitpid(backend_pids[0], &status, 0);
+    }
     for (std::thread& t : threads) t.join();
+    if (route_mode) {
+      // Restart the corpse on the same socket: the router's probes must
+      // close its breaker again with no operator action beyond this.
+      ServeOptions options = BackendServeOptions(flags, BackendSocket(0));
+      options.max_inflight = 2;
+      options.max_queue = 8;
+      backend_pids[0] = ForkServeDaemon(options);
+    }
   }
 
   int exit_code = 0;
@@ -261,6 +399,23 @@ int Run(const BenchFlags& flags) {
   if (!chaos && tally.ok != tally.requests) {
     std::cerr << "FAIL: failures without chaos armed\n";
     exit_code = 1;
+  }
+
+  // Route mode: the death must actually have been absorbed by failover,
+  // and the restarted shard must rejoin — router probes close its breaker
+  // again — with no operator action beyond the restart itself.
+  if (route_mode) {
+    if (FrontStat("counters", "fairem.route.failovers") < 1.0) {
+      std::cerr << "FAIL: no failover recorded for the killed backend\n";
+      exit_code = 1;
+    }
+    const std::string state_gauge =
+        "fairem.route.backend." +
+        CheckpointStore::SanitizeKey(BackendSocket(0)) + ".state";
+    if (!WaitForGauge(state_gauge, 0.0, 30.0)) {
+      std::cerr << "FAIL: killed backend never rejoined the router\n";
+      exit_code = 1;
+    }
   }
 
   // Post-load (and post-chaos) probe: the daemon must still answer, the
@@ -298,14 +453,30 @@ int Run(const BenchFlags& flags) {
         std::cerr << "FAIL: repeated cell query was not byte-identical\n";
         exit_code = 1;
       }
+      if (route_mode && !first_payload.empty()) {
+        // Single-daemon equivalence: a surviving backend asked directly
+        // must serve the exact bytes the router did.
+        Result<ServeClient> direct =
+            ServeClient::Connect(BackendSocket(1), probe_options);
+        Result<QueryResponse> mine =
+            direct.ok() ? direct->CallWithRetry(cell, patient, 44)
+                        : Result<QueryResponse>(direct.status());
+        if (!mine.ok() || !mine->status.ok() ||
+            mine->payload != first_payload) {
+          std::cerr << "FAIL: routed answer differs from a direct daemon "
+                       "answer\n";
+          exit_code = 1;
+        }
+      }
       QueryRequest stats;
       stats.op = "stats";
       Result<QueryResponse> snapshot = probe->CallWithRetry(stats, patient,
                                                             43);
+      const char* stats_token = route_mode ? "fairem.route.queries_total"
+                                           : "fairem.serve.requests_total";
       if (!snapshot.ok() || !snapshot->status.ok() ||
-          snapshot->payload.find("fairem.serve.requests_total") ==
-              std::string::npos) {
-        std::cerr << "FAIL: stats query missing serve counters\n";
+          snapshot->payload.find(stats_token) == std::string::npos) {
+        std::cerr << "FAIL: stats query missing expected counters\n";
         exit_code = 1;
       }
     }
@@ -313,19 +484,23 @@ int Run(const BenchFlags& flags) {
   if (RawFrameDrill() != 0) exit_code = 1;
 
   // Cooperative drain: SIGTERM, expect exit 0 and the durable snapshot.
-  ::kill(daemon_pid, SIGTERM);
-  int status = 0;
-  if (::waitpid(daemon_pid, &status, 0) != daemon_pid ||
-      !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-    std::cerr << "FAIL: daemon did not drain cleanly (status " << status
-              << ")\n";
-    exit_code = 1;
+  // In route mode the router drains first (it still holds backend
+  // connections), then the fleet.
+  if (route_mode) {
+    if (TerminateDaemon(router_pid, "router") != 0) exit_code = 1;
+    for (int i = 0; i < kRouteBackends; ++i) {
+      if (TerminateDaemon(backend_pids[i], "backend") != 0) exit_code = 1;
+    }
+  } else {
+    if (TerminateDaemon(daemon_pid, "daemon") != 0) exit_code = 1;
   }
 
   Profiler::Global().ExportMetrics();
   Profiler::Global().ExportStageCpuGauges();
   EmitProcessResourceGauges();
-  if (Status st = MetricsRegistry::Global().WriteJsonFile("BENCH_serve.json");
+  const char* snapshot_path =
+      route_mode ? "BENCH_serve_route.json" : "BENCH_serve.json";
+  if (Status st = MetricsRegistry::Global().WriteJsonFile(snapshot_path);
       !st.ok()) {
     FAIREM_LOG(WARN) << "could not write bench metrics snapshot"
                      << LogKv("status", st.ToString());
@@ -338,6 +513,19 @@ int Run(const BenchFlags& flags) {
 }  // namespace fairem
 
 int main(int argc, char** argv) {
-  fairem::BenchFlags flags = fairem::ParseBenchFlags(argc, argv);
-  return fairem::Run(flags);
+  // --route is this bench's own mode switch; peel it off before the shared
+  // flag parser (which rejects flags it does not know).
+  bool route = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::string(argv[i]) == "--route") {
+      route = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  fairem::BenchFlags flags =
+      fairem::ParseBenchFlags(static_cast<int>(args.size()), args.data());
+  return fairem::Run(flags, route);
 }

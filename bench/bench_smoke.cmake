@@ -616,3 +616,84 @@ endif()
 message(STATUS
     "bench_smoke OK: serve daemon survived clean + chaos load, p95 gated, "
     "drain metrics durable")
+
+# ---------------------------------------------------------------------------
+# Route drill (DESIGN.md §15): the same closed loop against a 3-backend
+# fleet behind the shard router. One backend is SIGKILLed as the load opens
+# and restarted after it: the bench itself asserts zero client-visible
+# failures, byte-identity with a direct daemon answer, and that the corpse
+# rejoins without a router restart; here we additionally gate the router's
+# durable drain metrics and the client p95 with `fairem benchdiff`.
+
+file(REMOVE "${WORK_DIR}/BENCH_serve_route.json"
+     "${WORK_DIR}/bench_route_daemon_metrics.json")
+execute_process(
+  COMMAND "${SERVE_BIN}" --route --scale 0.25
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE route_stdout
+  ERROR_VARIABLE route_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "route bench exited with ${exit_code}\n"
+      "stdout:\n${route_stdout}\nstderr:\n${route_stderr}")
+endif()
+if(NOT route_stdout MATCHES "serve bench OK")
+  message(FATAL_ERROR
+      "route bench did not report OK:\n${route_stdout}")
+endif()
+foreach(artifact "BENCH_serve_route.json" "bench_route_daemon_metrics.json")
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "route bench left no ${artifact}")
+  endif()
+endforeach()
+file(READ "${WORK_DIR}/bench_route_daemon_metrics.json" route_metrics)
+foreach(metric
+    "fairem.route.queries_total"
+    "fairem.route.failovers"
+    "fairem.route.shutdowns")
+  if(NOT route_metrics MATCHES "\"${metric}\"")
+    message(FATAL_ERROR
+        "durable route drain metrics are missing ${metric}:\n"
+        "${route_metrics}")
+  endif()
+endforeach()
+
+# Losing a fleet member must stay invisible to clients: failed_queries in
+# the router's own drain snapshot has to be exactly zero. Self-diff: the
+# absolute threshold applies to the NEW value.
+execute_process(
+  COMMAND "${CLI_BIN}" benchdiff
+          "${WORK_DIR}/bench_route_daemon_metrics.json"
+          "${WORK_DIR}/bench_route_daemon_metrics.json"
+          --fail_on "fairem.route.failed_queries>0.5abs"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE diff_stdout
+  ERROR_VARIABLE diff_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "route failed_queries gate failed (exit ${exit_code})\n"
+      "stdout:\n${diff_stdout}\nstderr:\n${diff_stderr}")
+endif()
+
+# And the client-observed p95 through the router stays bounded even with a
+# backend dying mid-run — hedging and failover, not timeouts, absorb it.
+execute_process(
+  COMMAND "${CLI_BIN}" benchdiff
+          "${WORK_DIR}/BENCH_serve_route.json"
+          "${WORK_DIR}/BENCH_serve_route.json"
+          --fail_on "fairem.serve.client.latency_seconds.p95>15.0abs"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE diff_stdout
+  ERROR_VARIABLE diff_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "route client p95 latency gate failed (exit ${exit_code})\n"
+      "stdout:\n${diff_stdout}\nstderr:\n${diff_stderr}")
+endif()
+
+message(STATUS
+    "bench_smoke OK: shard router absorbed a mid-load backend SIGKILL with "
+    "zero client-visible failures, rejoin verified, p95 gated")

@@ -105,6 +105,18 @@ bool Histogram::MergeCounts(const std::vector<uint64_t>& bucket_counts,
   return true;
 }
 
+double Histogram::Quantile(double q) const {
+  MetricsSnapshot::HistogramData data;
+  data.bounds = bounds_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    data.bucket_counts = counts_;
+    data.count = count_;
+    data.sum = sum_;
+  }
+  return data.Quantile(q);
+}
+
 double MetricsSnapshot::HistogramData::Mean() const {
   return count > 0 ? sum / static_cast<double>(count) : 0.0;
 }

@@ -61,6 +61,13 @@ class Histogram {
   bool MergeCounts(const std::vector<uint64_t>& bucket_counts, uint64_t count,
                    double sum);
 
+  /// Live quantile estimate over the current buckets — the same
+  /// interpolation as MetricsSnapshot::HistogramData::Quantile. Used by
+  /// adaptive policies (the router's hedge delay tracks this histogram's
+  /// p95); takes the mutex once, so fine at event-loop rates but not in a
+  /// per-observation hot path.
+  double Quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   mutable std::mutex mu_;

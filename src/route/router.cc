@@ -1,0 +1,1217 @@
+#include "src/route/router.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/report/grid.h"
+#include "src/robust/checkpoint.h"
+#include "src/robust/circuit_breaker.h"
+#include "src/robust/supervisor.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "src/util/durable_file.h"
+#include "src/util/io_util.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// SIGHUP latch for live membership reload. sig_atomic_t write is the only
+// thing the handler does; the event loop consumes it between poll rounds.
+volatile std::sig_atomic_t g_sighup_latch = 0;
+
+void OnSighup(int) { g_sighup_latch = 1; }
+
+void InstallSighupHandler() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnSighup;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGHUP, &action, nullptr);
+}
+
+struct RouteMetrics {
+  Counter* accepted;
+  Counter* closed;
+  Counter* client_disconnects;
+  Counter* slow_client_closes;
+  Counter* malformed_frames;
+  Counter* queries_total;
+  Counter* queries_ok;
+  Counter* failed_queries;
+  Counter* degraded_answers;
+  Counter* unroutable_queries;
+  Counter* shed_overload;
+  Counter* shed_draining;
+  Counter* deadline_expired;
+  Counter* failovers;
+  Counter* rerouted_queries;
+  Counter* hedges_started;
+  Counter* hedges_won;
+  Counter* hedges_lost;
+  Counter* health_probes;
+  Counter* health_probe_failures;
+  Counter* breaker_opens;
+  Counter* reloads;
+  Counter* responses_dropped;
+  Counter* shutdowns;
+  Gauge* backends;
+  Gauge* backends_usable;
+  Gauge* inflight_jobs;
+  Gauge* connections;
+  Histogram* request_seconds;
+  Histogram* backend_call_seconds;
+
+  static RouteMetrics Make() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    RouteMetrics m;
+    m.accepted = reg.GetCounter("fairem.route.connections_accepted");
+    m.closed = reg.GetCounter("fairem.route.connections_closed");
+    m.client_disconnects = reg.GetCounter("fairem.route.client_disconnects");
+    m.slow_client_closes = reg.GetCounter("fairem.route.slow_client_closes");
+    m.malformed_frames = reg.GetCounter("fairem.route.malformed_frames");
+    m.queries_total = reg.GetCounter("fairem.route.queries_total");
+    m.queries_ok = reg.GetCounter("fairem.route.queries_ok");
+    // A definite non-retryable error delivered to a client. The chaos
+    // drill gates on this staying 0 while a backend is killed mid-load.
+    m.failed_queries = reg.GetCounter("fairem.route.failed_queries");
+    m.degraded_answers = reg.GetCounter("fairem.route.degraded_answers");
+    m.unroutable_queries = reg.GetCounter("fairem.route.unroutable_queries");
+    m.shed_overload = reg.GetCounter("fairem.route.shed_overload");
+    m.shed_draining = reg.GetCounter("fairem.route.shed_draining");
+    m.deadline_expired = reg.GetCounter("fairem.route.deadline_expired");
+    m.failovers = reg.GetCounter("fairem.route.failovers");
+    m.rerouted_queries = reg.GetCounter("fairem.route.rerouted_queries");
+    m.hedges_started = reg.GetCounter("fairem.route.hedges_started");
+    m.hedges_won = reg.GetCounter("fairem.route.hedges_won");
+    m.hedges_lost = reg.GetCounter("fairem.route.hedges_lost");
+    m.health_probes = reg.GetCounter("fairem.route.health_probes");
+    m.health_probe_failures =
+        reg.GetCounter("fairem.route.health_probe_failures");
+    m.breaker_opens = reg.GetCounter("fairem.route.breaker_opens");
+    m.reloads = reg.GetCounter("fairem.route.reloads");
+    m.responses_dropped = reg.GetCounter("fairem.route.responses_dropped");
+    m.shutdowns = reg.GetCounter("fairem.route.shutdowns");
+    m.backends = reg.GetGauge("fairem.route.backends");
+    m.backends_usable = reg.GetGauge("fairem.route.backends_usable");
+    m.inflight_jobs = reg.GetGauge("fairem.route.inflight_jobs");
+    m.connections = reg.GetGauge("fairem.route.connections");
+    m.request_seconds = reg.GetHistogram("fairem.route.request_seconds");
+    m.backend_call_seconds =
+        reg.GetHistogram("fairem.route.backend_call_seconds");
+    return m;
+  }
+};
+
+struct FrontConnection {
+  int fd = -1;
+  uint64_t id = 0;
+  FrameDecoder decoder;
+  std::string outbuf;
+  size_t out_sent = 0;
+  double last_activity_s = 0.0;
+
+  bool has_pending_out() const { return out_sent < outbuf.size(); }
+};
+
+/// One backend daemon as the router sees it: its breaker, its persistent
+/// probe connection, and the last load report it gave.
+struct Backend {
+  std::string path;
+  CircuitBreaker breaker;
+  Gauge* state_gauge = nullptr;
+  uint64_t opens_seen = 0;
+
+  // Probe connection (persistent, re-established on any failure).
+  int fd = -1;
+  FrameDecoder decoder;
+  std::string outbuf;
+  size_t out_sent = 0;
+  double next_probe_s = 0.0;
+  double probe_sent_s = -1.0;  // >= 0 while a probe awaits its reply
+  uint64_t probe_id = 0;
+
+  /// Last HLTH reply's serving flag. Optimistic before the first probe so
+  /// a cold-started router can route immediately.
+  bool serving = true;
+
+  bool has_pending_out() const { return out_sent < outbuf.size(); }
+};
+
+/// One request to one backend: its own connection, so cancelling a loser
+/// (hedge or failover) is just a close — no shared stream to corrupt.
+struct RouteCall {
+  int fd = -1;
+  std::string backend;
+  FrameDecoder decoder;
+  std::string outbuf;
+  size_t out_sent = 0;
+  double started_s = 0.0;
+
+  bool active() const { return fd >= 0; }
+  bool has_pending_out() const { return out_sent < outbuf.size(); }
+};
+
+struct RouteJob {
+  uint64_t conn_id = 0;
+  uint64_t route_id = 0;   // router-side correlation id, all calls share it
+  QueryRequest request;    // request.id is the client's correlation id
+  std::string key;
+  double admitted_s = 0.0;
+  double deadline_s = 0.0;  // absolute, monotonic
+  std::vector<std::string> tried;
+  bool rerouted = false;
+  RouteCall primary;
+  RouteCall hedge;
+  double hedge_at_s = -1.0;  // < 0: hedging disabled for this job
+};
+
+Result<int> ConnectUnix(const std::string& socket_path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("route: socket path empty or too long: '" +
+                                   socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("route: socket failed: ") +
+                           std::strerror(errno));
+  }
+  // Blocking connect: on UNIX sockets it either succeeds immediately or
+  // fails immediately (ECONNREFUSED/ENOENT for a dead backend); there is
+  // no multi-RTT handshake to stall the event loop on.
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    int saved = errno;
+    ::close(fd);
+    if (saved == ENOENT || saved == ECONNREFUSED || saved == EAGAIN) {
+      return Status::Unavailable(std::string("backend not up: ") +
+                                 std::strerror(saved));
+    }
+    return Status::IOError("route: connect('" + socket_path +
+                           "') failed: " + std::strerror(saved));
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+class RouteDaemon {
+ public:
+  explicit RouteDaemon(const RouteOptions& options)
+      : options_(options),
+        metrics_(RouteMetrics::Make()),
+        rng_(0x526f757465ull ^ static_cast<uint64_t>(::getpid())) {}
+
+  ~RouteDaemon() {
+    for (auto& [id, conn] : conns_) ::close(conn.fd);
+    for (auto& [path, backend] : backends_) {
+      if (backend.fd >= 0) ::close(backend.fd);
+    }
+    for (auto& [id, job] : jobs_) {
+      CloseCall(&job.primary);
+      CloseCall(&job.hedge);
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (!options_.socket_path.empty()) {
+      ::unlink(options_.socket_path.c_str());
+    }
+  }
+
+  Status Run() {
+    std::vector<std::string> initial = options_.backends;
+    if (!options_.backends_file.empty()) {
+      Result<std::string> text = ReadFileToString(options_.backends_file);
+      if (text.ok()) {
+        for (std::string& path : ParseBackendsList(*text)) {
+          initial.push_back(std::move(path));
+        }
+      } else {
+        FAIREM_LOG(WARN) << "backends file unreadable at startup"
+                         << LogKv("path", options_.backends_file)
+                         << LogKv("status", text.status().ToString());
+      }
+    }
+    ApplyBackendSet(initial);
+    if (backends_.empty()) {
+      return Status::InvalidArgument(
+          "route: no backends configured (--backends or --backends_file)");
+    }
+    FAIREM_RETURN_NOT_OK(Listen());
+    FAIREM_LOG(INFO) << "fairem route ready"
+                     << LogKv("socket", options_.socket_path)
+                     << LogKv("backends", backends_.size());
+    while (true) {
+      const double now = MonotonicSeconds();
+      if (ShutdownGuard::requested() && !draining_) BeginDrain();
+      if (g_sighup_latch != 0) {
+        g_sighup_latch = 0;
+        ReloadBackends();
+      }
+      ProbeBackends(now);
+      StartHedges(now);
+      ExpireJobs(now);
+      if (draining_ && DrainComplete()) break;
+      PollOnce();
+      AcceptPending(now);
+      PumpFrontConnections();
+      PumpBackendProbes();
+      PumpCalls();
+      CloseSlowClients(now);
+      UpdateGauges(now);
+    }
+    FinishDrain();
+    return Status::OK();
+  }
+
+ private:
+  // ------------------------------------------------------------- sockets --
+
+  Status Listen() {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.empty() ||
+        options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("route: socket path empty or too long: '" +
+                                     options_.socket_path + "'");
+    }
+    std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+                options_.socket_path.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      return Status::IOError(std::string("route: socket failed: ") +
+                             std::strerror(errno));
+    }
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::IOError("route: bind failed for '" +
+                             options_.socket_path +
+                             "': " + std::strerror(errno));
+    }
+    if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+      return Status::IOError(std::string("route: listen failed: ") +
+                             std::strerror(errno));
+    }
+    SetNonblocking(listen_fd_);
+    return Status::OK();
+  }
+
+  static void SetNonblocking(int fd) {
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+
+  void PollOnce() {
+    std::vector<pollfd> fds;
+    fds.reserve(1 + conns_.size() + backends_.size() + 2 * jobs_.size());
+    if (!draining_ && listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+    }
+    for (auto& [id, conn] : conns_) {
+      short events = POLLIN;
+      if (conn.has_pending_out()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+    }
+    for (auto& [path, backend] : backends_) {
+      if (backend.fd < 0) continue;
+      short events = POLLIN;
+      if (backend.has_pending_out()) events |= POLLOUT;
+      fds.push_back({backend.fd, events, 0});
+    }
+    for (auto& [id, job] : jobs_) {
+      for (RouteCall* call : {&job.primary, &job.hedge}) {
+        if (!call->active()) continue;
+        short events = POLLIN;
+        if (call->has_pending_out()) events |= POLLOUT;
+        fds.push_back({call->fd, events, 0});
+      }
+    }
+    int timeout_ms = static_cast<int>(options_.poll_interval_s * 1000.0);
+    if (timeout_ms < 1) timeout_ms = 1;
+    // EINTR (SIGTERM/SIGHUP landing) just re-enters the loop, which checks
+    // the latches at the top.
+    (void)::poll(fds.empty() ? nullptr : fds.data(),
+                 static_cast<nfds_t>(fds.size()), timeout_ms);
+  }
+
+  void AcceptPending(double now) {
+    if (draining_ || listen_fd_ < 0) return;
+    for (;;) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or a transient accept error: retry next loop
+      }
+      SetNonblocking(fd);
+      FrontConnection conn;
+      conn.fd = fd;
+      conn.id = ++next_conn_id_;
+      conn.last_activity_s = now;
+      metrics_.accepted->Increment();
+      conns_.emplace(conn.id, std::move(conn));
+    }
+  }
+
+  void CloseConn(uint64_t conn_id) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    ::close(it->second.fd);
+    conns_.erase(it);
+    metrics_.closed->Increment();
+  }
+
+  // ---------------------------------------------------------- membership --
+
+  void ApplyBackendSet(const std::vector<std::string>& paths) {
+    std::map<std::string, Backend> next;
+    for (const std::string& path : paths) {
+      if (path.empty() || next.count(path) != 0) continue;
+      auto existing = backends_.find(path);
+      if (existing != backends_.end()) {
+        // A surviving backend keeps its breaker and probe connection:
+        // reload must not forget what we learned about it.
+        next.emplace(path, std::move(existing->second));
+        backends_.erase(existing);
+        continue;
+      }
+      Backend backend;
+      backend.path = path;
+      CircuitBreakerOptions breaker;
+      breaker.failure_threshold = options_.breaker_failure_threshold;
+      breaker.open_cooldown_s = options_.breaker_cooldown_s;
+      backend.breaker = CircuitBreaker(breaker);
+      backend.state_gauge = MetricsRegistry::Global().GetGauge(
+          "fairem.route.backend." + CheckpointStore::SanitizeKey(path) +
+          ".state");
+      next.emplace(path, std::move(backend));
+    }
+    // Whatever is left in backends_ was removed: close its probe.
+    for (auto& [path, backend] : backends_) {
+      if (backend.fd >= 0) ::close(backend.fd);
+      if (backend.state_gauge != nullptr) backend.state_gauge->Set(-1.0);
+      FAIREM_LOG(INFO) << "backend removed" << LogKv("backend", path);
+    }
+    backends_ = std::move(next);
+  }
+
+  void ReloadBackends() {
+    if (options_.backends_file.empty()) {
+      FAIREM_LOG(WARN) << "SIGHUP with no --backends_file; membership kept";
+      return;
+    }
+    Result<std::string> text = ReadFileToString(options_.backends_file);
+    if (!text.ok()) {
+      // Keep serving with the old membership; an operator mid-edit must
+      // not be able to empty the fleet with a torn file.
+      FAIREM_LOG(WARN) << "backends reload failed"
+                       << LogKv("path", options_.backends_file)
+                       << LogKv("status", text.status().ToString());
+      return;
+    }
+    std::vector<std::string> paths = ParseBackendsList(*text);
+    if (paths.empty()) {
+      FAIREM_LOG(WARN) << "backends reload: file lists no backends; kept "
+                          "previous membership";
+      return;
+    }
+    ApplyBackendSet(paths);
+    metrics_.reloads->Increment();
+    FAIREM_LOG(INFO) << "backends reloaded"
+                     << LogKv("path", options_.backends_file)
+                     << LogKv("backends", backends_.size());
+  }
+
+  // ------------------------------------------------------------- probing --
+
+  void ProbeBackends(double now) {
+    for (auto& [path, backend] : backends_) {
+      if (backend.fd >= 0 && backend.probe_sent_s >= 0.0 &&
+          now - backend.probe_sent_s > options_.health_timeout_s) {
+        ProbeFailed(backend, now, "probe timeout");
+      }
+      if (now < backend.next_probe_s) continue;
+      ScheduleNextProbe(backend, now);
+      if (backend.fd < 0) {
+        // Probes ignore the breaker on purpose: they are how an open
+        // breaker ever finds out the backend recovered.
+        Result<int> fd = ConnectUnix(backend.path);
+        metrics_.health_probes->Increment();
+        if (!fd.ok()) {
+          metrics_.health_probe_failures->Increment();
+          RecordBackendFailure(backend, now);
+          continue;
+        }
+        backend.fd = *fd;
+        backend.decoder = FrameDecoder();
+        backend.outbuf.clear();
+        backend.out_sent = 0;
+      } else {
+        if (backend.probe_sent_s >= 0.0) continue;  // previous still out
+        metrics_.health_probes->Increment();
+      }
+      HealthReport probe;
+      probe.probe = true;
+      probe.id = ++probe_sequence_;
+      backend.probe_id = probe.id;
+      backend.probe_sent_s = now;
+      backend.outbuf.append(
+          EncodeServeMessage(kFrameHealth, SerializeHealthReport(probe)));
+      FlushBackend(backend, now);
+    }
+  }
+
+  void ScheduleNextProbe(Backend& backend, double now) {
+    backend.next_probe_s =
+        now + options_.health_period_s * rng_.NextDouble(0.5, 1.5);
+  }
+
+  void ProbeFailed(Backend& backend, double now, const char* reason) {
+    FAIREM_LOG(WARN) << "health probe failed"
+                     << LogKv("backend", backend.path)
+                     << LogKv("reason", reason);
+    metrics_.health_probe_failures->Increment();
+    if (backend.fd >= 0) ::close(backend.fd);
+    backend.fd = -1;
+    backend.decoder = FrameDecoder();
+    backend.outbuf.clear();
+    backend.out_sent = 0;
+    backend.probe_sent_s = -1.0;
+    RecordBackendFailure(backend, now);
+  }
+
+  void FlushBackend(Backend& backend, double now) {
+    while (backend.has_pending_out()) {
+      ssize_t n = ::write(backend.fd, backend.outbuf.data() + backend.out_sent,
+                          backend.outbuf.size() - backend.out_sent);
+      if (n > 0) {
+        backend.out_sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      ProbeFailed(backend, now, "probe write failed");
+      return;
+    }
+    if (!backend.has_pending_out()) {
+      backend.outbuf.clear();
+      backend.out_sent = 0;
+    }
+  }
+
+  void PumpBackendProbes() {
+    const double now = MonotonicSeconds();
+    for (auto& [path, backend] : backends_) {
+      if (backend.fd < 0) continue;
+      FlushBackend(backend, now);
+      if (backend.fd < 0) continue;
+      char buf[4096];
+      bool closed_by_peer = false;
+      for (;;) {
+        ssize_t n = ::read(backend.fd, buf, sizeof(buf));
+        if (n > 0) {
+          backend.decoder.Feed(buf, static_cast<size_t>(n));
+          continue;
+        }
+        if (n == 0) {
+          closed_by_peer = true;
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        closed_by_peer = true;
+        break;
+      }
+      for (;;) {
+        ServeMessage message;
+        Result<FrameDecoder::Next> next = backend.decoder.TryNext(&message);
+        if (!next.ok()) {
+          ProbeFailed(backend, now, "malformed probe reply");
+          break;
+        }
+        if (*next == FrameDecoder::Next::kNeedMore) break;
+        if (message.type != kFrameHealth) continue;  // stray frame: ignore
+        Result<HealthReport> report = ParseHealthReport(message.bytes);
+        if (!report.ok() || report->id != backend.probe_id) continue;
+        backend.probe_sent_s = -1.0;
+        backend.serving = report->serving;
+        // Transport-wise the backend is alive; a draining backend is
+        // excluded by the serving flag, not the breaker.
+        RecordBackendSuccess(backend, now);
+      }
+      if (closed_by_peer && backend.fd >= 0) {
+        ProbeFailed(backend, now, "probe connection closed");
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ breakers --
+
+  void RecordBackendFailure(Backend& backend, double now) {
+    backend.breaker.RecordFailure(now);
+    const uint64_t opened = backend.breaker.times_opened();
+    if (opened > backend.opens_seen) {
+      metrics_.breaker_opens->Increment(opened - backend.opens_seen);
+      backend.opens_seen = opened;
+      FAIREM_LOG(WARN) << "circuit breaker opened"
+                       << LogKv("backend", backend.path)
+                       << LogKv("failures",
+                                backend.breaker.consecutive_failures());
+    }
+  }
+
+  void RecordBackendSuccess(Backend& backend, double now) {
+    backend.breaker.RecordSuccess(now);
+  }
+
+  Backend* FindBackend(const std::string& path) {
+    auto it = backends_.find(path);
+    return it == backends_.end() ? nullptr : &it->second;
+  }
+
+  // ------------------------------------------------------------- inbound --
+
+  void PumpFrontConnections() {
+    std::vector<uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (auto& [id, conn] : conns_) ids.push_back(id);
+    for (uint64_t id : ids) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      ReadConn(it->second);
+      it = conns_.find(id);
+      if (it != conns_.end()) FlushConn(it->second);
+    }
+  }
+
+  void ReadConn(FrontConnection& conn) {
+    char buf[65536];
+    bool closed_by_peer = false;
+    for (;;) {
+      ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn.last_activity_s = MonotonicSeconds();
+        conn.decoder.Feed(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        closed_by_peer = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      closed_by_peer = true;
+      break;
+    }
+    const uint64_t conn_id = conn.id;
+    for (;;) {
+      ServeMessage message;
+      Result<FrameDecoder::Next> next = conn.decoder.TryNext(&message);
+      if (!next.ok()) {
+        metrics_.malformed_frames->Increment();
+        FAIREM_LOG(WARN) << "closing connection on malformed frame"
+                         << LogKv("conn", conn_id)
+                         << LogKv("status", next.status().ToString());
+        CloseConn(conn_id);
+        return;
+      }
+      if (*next == FrameDecoder::Next::kNeedMore) break;
+      HandleMessage(conn_id, message);
+      if (conns_.find(conn_id) == conns_.end()) return;
+    }
+    if (closed_by_peer) {
+      metrics_.client_disconnects->Increment();
+      CloseConn(conn_id);
+    }
+  }
+
+  void HandleMessage(uint64_t conn_id, const ServeMessage& message) {
+    if (message.type == kFrameHealth) {
+      HandleHealthProbe(conn_id, message);
+      return;
+    }
+    metrics_.queries_total->Increment();
+    if (message.type != kFrameQueryRequest) {
+      metrics_.malformed_frames->Increment();
+      CloseConn(conn_id);
+      return;
+    }
+    Result<QueryRequest> request = ParseQueryRequest(message.bytes);
+    if (!request.ok()) {
+      QueryResponse response;
+      response.status = request.status();
+      Respond(conn_id, response);
+      return;
+    }
+    QueryResponse response;
+    response.id = request->id;
+    if (request->op == "ping") {
+      response.payload = "pong";
+      Respond(conn_id, response);
+      return;
+    }
+    if (request->op == "stats") {
+      // The router's own metrics: `fairem query <router> stats` shows
+      // fairem.route.*, the same way a daemon shows fairem.serve.*.
+      UpdateGauges(MonotonicSeconds());
+      response.payload =
+          MetricsSnapshotToJson(MetricsRegistry::Global().Snapshot());
+      Respond(conn_id, response);
+      return;
+    }
+    AdmitRoutedQuery(conn_id, *request);
+  }
+
+  void HandleHealthProbe(uint64_t conn_id, const ServeMessage& message) {
+    Result<HealthReport> probe = ParseHealthReport(message.bytes);
+    HealthReport reply;
+    if (probe.ok()) reply.id = probe->id;
+    reply.serving = !draining_ && UsableBackendCount(MonotonicSeconds()) > 0;
+    reply.queue_depth = static_cast<double>(jobs_.size());
+    reply.inflight = static_cast<double>(jobs_.size());
+    reply.retry_after_s = CurrentRetryAfterS();
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    it->second.outbuf.append(
+        EncodeServeMessage(kFrameHealth, SerializeHealthReport(reply)));
+    FlushConn(it->second);
+  }
+
+  double CurrentRetryAfterS() const {
+    return LoadAwareRetryAfterS(options_.retry_after_s,
+                                static_cast<int>(jobs_.size()),
+                                options_.max_inflight_jobs, 0, 0);
+  }
+
+  int UsableBackendCount(double now) {
+    int usable = 0;
+    for (auto& [path, backend] : backends_) {
+      if (backend.serving &&
+          backend.breaker.state(now) != CircuitBreaker::State::kOpen) {
+        ++usable;
+      }
+    }
+    return usable;
+  }
+
+  // -------------------------------------------------------------- routing --
+
+  void AdmitRoutedQuery(uint64_t conn_id, const QueryRequest& request) {
+    QueryResponse response;
+    response.id = request.id;
+    if (draining_) {
+      metrics_.shed_draining->Increment();
+      response.status = Status::Unavailable("router draining; retry later");
+      response.retry_after_s = options_.retry_after_s;
+      Respond(conn_id, response);
+      return;
+    }
+    if (static_cast<int>(jobs_.size()) >= options_.max_inflight_jobs) {
+      metrics_.shed_overload->Increment();
+      response.status = Status::Unavailable("router at capacity");
+      response.retry_after_s = CurrentRetryAfterS();
+      Respond(conn_id, response);
+      return;
+    }
+    const double now = MonotonicSeconds();
+    double deadline_s = request.deadline_s > 0.0
+                            ? std::min(request.deadline_s,
+                                       options_.max_deadline_s)
+                            : options_.default_deadline_s;
+    RouteJob job;
+    job.conn_id = conn_id;
+    job.route_id = ++route_sequence_;
+    job.request = request;
+    job.key = request.dataset + "." + request.mode + "." + request.matcher;
+    job.admitted_s = now;
+    job.deadline_s = now + deadline_s;
+    if (options_.hedge) job.hedge_at_s = now + HedgeDelay();
+    if (!Dispatch(job, &job.primary, now)) {
+      FinishUnroutable(job);
+      return;
+    }
+    jobs_.emplace(job.route_id, std::move(job));
+  }
+
+  /// Rendezvous pick: the highest-ranked backend for the job's key that is
+  /// serving, not already tried, and whose breaker admits a request.
+  std::string PickBackend(const RouteJob& job, double now) {
+    std::vector<std::pair<uint64_t, Backend*>> ranked;
+    ranked.reserve(backends_.size());
+    for (auto& [path, backend] : backends_) {
+      if (!backend.serving) continue;
+      if (std::find(job.tried.begin(), job.tried.end(), path) !=
+          job.tried.end()) {
+        continue;
+      }
+      ranked.emplace_back(RendezvousRank(job.key, path), &backend);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (auto& [rank, backend] : ranked) {
+      // AllowRequest claims a half-open probe slot, so only consult it for
+      // the backend we would actually use.
+      if (backend->breaker.AllowRequest(now)) return backend->path;
+    }
+    return std::string();
+  }
+
+  /// Starts `job`'s next attempt on the best untried backend. False when
+  /// every candidate is exhausted (`call` left inactive).
+  bool Dispatch(RouteJob& job, RouteCall* call, double now) {
+    while (true) {
+      std::string target = PickBackend(job, now);
+      if (target.empty()) return false;
+      job.tried.push_back(target);
+      Result<int> fd = ConnectUnix(target);
+      if (!fd.ok()) {
+        if (Backend* backend = FindBackend(target)) {
+          RecordBackendFailure(*backend, now);
+        }
+        metrics_.failovers->Increment();
+        continue;
+      }
+      call->fd = *fd;
+      call->backend = target;
+      call->decoder = FrameDecoder();
+      call->outbuf.clear();
+      call->out_sent = 0;
+      call->started_s = now;
+      QueryRequest forwarded = job.request;
+      forwarded.id = job.route_id;
+      // The backend should only work as long as the client will still be
+      // listening: forward the remaining budget, not the original.
+      forwarded.deadline_s = std::max(0.001, job.deadline_s - now);
+      call->outbuf.append(EncodeServeMessage(
+          kFrameQueryRequest, SerializeQueryRequest(forwarded)));
+      FlushCall(*call);
+      return true;
+    }
+  }
+
+  double HedgeDelay() {
+    double delay = options_.hedge_min_delay_s;
+    // Until the histogram has seen enough calls the quantile estimate is
+    // noise; stay on the floor.
+    if (metrics_.backend_call_seconds->count() >= 20) {
+      delay = std::max(delay,
+                       options_.hedge_delay_factor *
+                           metrics_.backend_call_seconds->Quantile(
+                               options_.hedge_quantile));
+    }
+    return delay;
+  }
+
+  void StartHedges(double now) {
+    for (auto& [id, job] : jobs_) {
+      if (job.hedge_at_s < 0.0 || now < job.hedge_at_s) continue;
+      if (job.hedge.active() || !job.primary.active()) continue;
+      job.hedge_at_s = -1.0;  // one hedge per job
+      if (Dispatch(job, &job.hedge, now)) {
+        metrics_.hedges_started->Increment();
+      }
+    }
+  }
+
+  // ------------------------------------------------------- call lifecycle --
+
+  void CloseCall(RouteCall* call) {
+    if (call->fd >= 0) ::close(call->fd);
+    call->fd = -1;
+    call->outbuf.clear();
+    call->out_sent = 0;
+  }
+
+  /// Pump one call's IO. Returns 0 while pending, +1 with *out filled on a
+  /// definite answer, -1 on transport failure or a backend kUnavailable
+  /// (both mean: try another backend).
+  int PumpCall(RouteCall& call, uint64_t route_id, QueryResponse* out) {
+    FlushCall(call);
+    if (!call.active()) return -1;
+    char buf[65536];
+    bool closed_by_peer = false;
+    for (;;) {
+      ssize_t n = ::read(call.fd, buf, sizeof(buf));
+      if (n > 0) {
+        call.decoder.Feed(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        closed_by_peer = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      closed_by_peer = true;
+      break;
+    }
+    for (;;) {
+      ServeMessage message;
+      Result<FrameDecoder::Next> next = call.decoder.TryNext(&message);
+      if (!next.ok()) return -1;
+      if (*next == FrameDecoder::Next::kNeedMore) break;
+      if (message.type != kFrameQueryResponse) continue;
+      Result<QueryResponse> response = ParseQueryResponse(message.bytes);
+      if (!response.ok()) return -1;
+      if (response->id != route_id) return -1;
+      // A backend shed/drain is the router's cue to fail over, exactly
+      // like a dead backend — the client never sees it.
+      if (!response->status.ok() && response->status.IsUnavailable()) {
+        return -1;
+      }
+      *out = std::move(*response);
+      return 1;
+    }
+    return closed_by_peer ? -1 : 0;
+  }
+
+  void FlushCall(RouteCall& call) {
+    while (call.has_pending_out()) {
+      ssize_t n = ::write(call.fd, call.outbuf.data() + call.out_sent,
+                          call.outbuf.size() - call.out_sent);
+      if (n > 0) {
+        call.out_sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      CloseCall(&call);  // EPIPE and friends: the backend went away
+      return;
+    }
+  }
+
+  void PumpCalls() {
+    const double now = MonotonicSeconds();
+    std::vector<uint64_t> ids;
+    ids.reserve(jobs_.size());
+    for (auto& [id, job] : jobs_) ids.push_back(id);
+    for (uint64_t id : ids) {
+      for (bool is_hedge : {false, true}) {
+        auto jt = jobs_.find(id);
+        if (jt == jobs_.end()) break;
+        RouteCall& call = is_hedge ? jt->second.hedge : jt->second.primary;
+        if (!call.active()) continue;
+        QueryResponse response;
+        int outcome = PumpCall(call, jt->second.route_id, &response);
+        if (outcome == 0) continue;
+        if (outcome > 0) {
+          OnCallAnswered(jt->second, is_hedge, std::move(response), now);
+          jobs_.erase(id);
+          break;
+        }
+        OnCallFailed(jt->second, is_hedge, now);
+      }
+    }
+  }
+
+  void OnCallAnswered(RouteJob& job, bool is_hedge, QueryResponse response,
+                      double now) {
+    RouteCall& winner = is_hedge ? job.hedge : job.primary;
+    RouteCall& loser = is_hedge ? job.primary : job.hedge;
+    if (Backend* backend = FindBackend(winner.backend)) {
+      RecordBackendSuccess(*backend, now);
+    }
+    metrics_.backend_call_seconds->Observe(now - winner.started_s);
+    if (is_hedge) {
+      metrics_.hedges_won->Increment();
+    } else if (loser.active()) {
+      metrics_.hedges_lost->Increment();
+    }
+    // The loser's answer no longer matters; cancellation is a close. Its
+    // outcome is unknown, so its breaker is left alone.
+    CloseCall(&loser);
+    CloseCall(&winner);
+    response.id = job.request.id;
+    metrics_.request_seconds->Observe(now - job.admitted_s);
+    Respond(job.conn_id, response);
+  }
+
+  void OnCallFailed(RouteJob& job, bool is_hedge, double now) {
+    RouteCall& failed = is_hedge ? job.hedge : job.primary;
+    if (Backend* backend = FindBackend(failed.backend)) {
+      RecordBackendFailure(*backend, now);
+    }
+    CloseCall(&failed);
+    metrics_.failovers->Increment();
+    if (!job.rerouted) {
+      job.rerouted = true;
+      metrics_.rerouted_queries->Increment();
+    }
+    RouteCall& other = is_hedge ? job.primary : job.hedge;
+    if (other.active()) return;  // the surviving call may still answer
+    if (Dispatch(job, &job.primary, now)) return;
+    const uint64_t id = job.route_id;
+    FinishUnroutable(job);
+    jobs_.erase(id);
+  }
+
+  /// Every candidate is down or refusing: degrade instead of hanging. A
+  /// cell query gets the paper's Table 9 "-" semantics — a structured
+  /// error-entry answer the report layer already knows how to render; any
+  /// other op gets a retryable kUnavailable.
+  void FinishUnroutable(RouteJob& job) {
+    QueryResponse response;
+    response.id = job.request.id;
+    if (job.request.op == "cell") {
+      GridCellCheckpoint cell;
+      cell.matcher = job.request.matcher;
+      cell.marker = MatcherMarker(job.request.matcher);
+      cell.error = true;
+      cell.status =
+          Status::Unavailable("no backend available for cell '" + job.key +
+                              "'")
+              .ToString();
+      response.payload = GridCellToJson(cell);
+      metrics_.degraded_answers->Increment();
+    } else {
+      response.status =
+          Status::Unavailable("no backend available for op '" +
+                              job.request.op + "'");
+      response.retry_after_s = CurrentRetryAfterS();
+      metrics_.unroutable_queries->Increment();
+    }
+    metrics_.request_seconds->Observe(MonotonicSeconds() - job.admitted_s);
+    Respond(job.conn_id, response);
+  }
+
+  void ExpireJobs(double now) {
+    std::vector<uint64_t> expired;
+    for (auto& [id, job] : jobs_) {
+      if (now >= job.deadline_s) expired.push_back(id);
+    }
+    for (uint64_t id : expired) {
+      auto it = jobs_.find(id);
+      if (it == jobs_.end()) continue;
+      RouteJob& job = it->second;
+      metrics_.deadline_expired->Increment();
+      if (job.hedge.active()) metrics_.hedges_lost->Increment();
+      CloseCall(&job.primary);
+      CloseCall(&job.hedge);
+      QueryResponse response;
+      response.id = job.request.id;
+      response.status =
+          Status::DeadlineExceeded("deadline expired in router");
+      metrics_.request_seconds->Observe(now - job.admitted_s);
+      Respond(job.conn_id, response);
+      jobs_.erase(it);
+    }
+  }
+
+  // ------------------------------------------------------------ outbound --
+
+  void Respond(uint64_t conn_id, const QueryResponse& response) {
+    if (response.status.ok()) {
+      metrics_.queries_ok->Increment();
+    } else if (!response.status.IsUnavailable()) {
+      // Sheds are retryable and expected under load; only a definite
+      // error counts as a failed query.
+      metrics_.failed_queries->Increment();
+    }
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) {
+      metrics_.responses_dropped->Increment();
+      return;
+    }
+    it->second.outbuf.append(EncodeServeMessage(
+        kFrameQueryResponse, SerializeQueryResponse(response)));
+    FlushConn(it->second);
+  }
+
+  void FlushConn(FrontConnection& conn) {
+    const uint64_t conn_id = conn.id;
+    while (conn.has_pending_out()) {
+      ssize_t n = ::write(conn.fd, conn.outbuf.data() + conn.out_sent,
+                          conn.outbuf.size() - conn.out_sent);
+      if (n > 0) {
+        conn.out_sent += static_cast<size_t>(n);
+        conn.last_activity_s = MonotonicSeconds();
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      metrics_.client_disconnects->Increment();
+      CloseConn(conn_id);
+      return;
+    }
+    if (!conn.has_pending_out()) {
+      conn.outbuf.clear();
+      conn.out_sent = 0;
+    }
+  }
+
+  void CloseSlowClients(double now) {
+    std::vector<uint64_t> slow;
+    for (auto& [id, conn] : conns_) {
+      const bool mid_frame = conn.decoder.buffered() > 0;
+      const bool undelivered = conn.has_pending_out();
+      if (!mid_frame && !undelivered) continue;
+      if (now - conn.last_activity_s > options_.io_timeout_s) {
+        slow.push_back(id);
+      }
+    }
+    for (uint64_t id : slow) {
+      metrics_.slow_client_closes->Increment();
+      FAIREM_LOG(WARN) << "closing slow client" << LogKv("conn", id);
+      CloseConn(id);
+    }
+  }
+
+  // --------------------------------------------------------------- drain --
+
+  void BeginDrain() {
+    draining_ = true;
+    FAIREM_LOG(WARN) << "drain requested"
+                     << LogKv("signal", ShutdownGuard::signal_number())
+                     << LogKv("inflight", jobs_.size())
+                     << LogKv("connections", conns_.size());
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    ::unlink(options_.socket_path.c_str());
+    // In-flight routed queries finish, fail over, or deadline out — the
+    // loop keeps pumping them; only new arrivals are shed.
+  }
+
+  bool DrainComplete() const {
+    if (!jobs_.empty()) return false;
+    for (const auto& [id, conn] : conns_) {
+      if (conn.has_pending_out()) return false;
+    }
+    return true;
+  }
+
+  void FinishDrain() {
+    for (auto& [id, conn] : conns_) ::close(conn.fd);
+    conns_.clear();
+    for (auto& [path, backend] : backends_) {
+      if (backend.fd >= 0) ::close(backend.fd);
+      backend.fd = -1;
+    }
+    UpdateGauges(MonotonicSeconds());
+    metrics_.shutdowns->Increment();
+    if (!options_.metrics_path.empty()) {
+      Status st = WriteFileDurable(
+          options_.metrics_path,
+          MetricsSnapshotToJson(MetricsRegistry::Global().Snapshot()));
+      if (!st.ok()) {
+        FAIREM_LOG(WARN) << "drain metrics flush failed"
+                         << LogKv("status", st.ToString());
+      }
+    }
+    FAIREM_LOG(INFO) << "drain complete"
+                     << LogKv("queries", metrics_.queries_total->value());
+  }
+
+  void UpdateGauges(double now) {
+    metrics_.backends->Set(static_cast<double>(backends_.size()));
+    metrics_.backends_usable->Set(
+        static_cast<double>(UsableBackendCount(now)));
+    metrics_.inflight_jobs->Set(static_cast<double>(jobs_.size()));
+    metrics_.connections->Set(static_cast<double>(conns_.size()));
+    for (auto& [path, backend] : backends_) {
+      backend.state_gauge->Set(
+          static_cast<double>(backend.breaker.state(now)));
+    }
+  }
+
+  RouteOptions options_;
+  RouteMetrics metrics_;
+  Rng rng_;
+  int listen_fd_ = -1;
+  uint64_t next_conn_id_ = 0;
+  uint64_t route_sequence_ = 0;
+  uint64_t probe_sequence_ = 0;
+  bool draining_ = false;
+  std::map<uint64_t, FrontConnection> conns_;
+  std::map<std::string, Backend> backends_;
+  std::map<uint64_t, RouteJob> jobs_;
+};
+
+}  // namespace
+
+uint64_t RendezvousRank(const std::string& cell_key,
+                        const std::string& backend) {
+  // FNV-1a over key, a separator byte, then backend (the separator keeps
+  // ("ab","c") and ("a","bc") distinct), finished with the splitmix64
+  // avalanche so rendezvous comparisons see well-mixed high bits.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : cell_key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  h ^= 0x1full;
+  h *= 1099511628211ull;
+  for (unsigned char c : backend) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+std::vector<std::string> ParseBackendsList(const std::string& text) {
+  std::vector<std::string> out;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view trimmed = TrimAscii(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::string path(trimmed);
+    if (std::find(out.begin(), out.end(), path) == out.end()) {
+      out.push_back(std::move(path));
+    }
+  }
+  return out;
+}
+
+Status RunRouteDaemon(const RouteOptions& options) {
+  IgnoreSigpipe();
+  ShutdownGuard shutdown_guard;
+  InstallSighupHandler();
+  RouteOptions normalized = options;
+  if (normalized.max_inflight_jobs < 1) normalized.max_inflight_jobs = 1;
+  if (normalized.health_period_s <= 0.0) normalized.health_period_s = 0.5;
+  if (normalized.health_timeout_s <= 0.0) normalized.health_timeout_s = 2.0;
+  if (normalized.poll_interval_s <= 0.0) normalized.poll_interval_s = 0.01;
+  if (normalized.hedge_quantile <= 0.0 || normalized.hedge_quantile > 1.0) {
+    normalized.hedge_quantile = 0.95;
+  }
+  if (normalized.hedge_delay_factor <= 0.0) {
+    normalized.hedge_delay_factor = 1.0;
+  }
+  RouteDaemon daemon(normalized);
+  return daemon.Run();
+}
+
+}  // namespace fairem

@@ -139,16 +139,24 @@ Result<QueryResponse> ServeClient::CallWithRetry(const QueryRequest& request,
                                                  uint64_t seed) {
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
   const double start = retry_internal::MonotonicSeconds();
+  // The effective wall-clock budget is the tighter of the policy deadline
+  // and the query's own deadline: backoff sleeps (including a server's
+  // retry_after_s hint, which can be large under load) must never push the
+  // caller past the moment its answer is due.
+  double budget = policy.deadline_seconds;
+  if (request.deadline_s > 0.0 &&
+      (budget <= 0.0 || request.deadline_s < budget)) {
+    budget = request.deadline_s;
+  }
   int attempt = 1;
   while (true) {
     if (fd_ < 0) {
       // Reconnect with whatever wall-clock budget remains (at least one
       // immediate attempt).
       ServeClientOptions reconnect = options_;
-      if (policy.deadline_seconds > 0.0) {
+      if (budget > 0.0) {
         reconnect.connect_timeout_s = std::max(
-            0.0, policy.deadline_seconds -
-                     (retry_internal::MonotonicSeconds() - start));
+            0.0, budget - (retry_internal::MonotonicSeconds() - start));
       }
       Result<ServeClient> fresh = Connect(socket_path_, reconnect);
       if (fresh.ok()) {
@@ -175,10 +183,21 @@ Result<QueryResponse> ServeClient::CallWithRetry(const QueryRequest& request,
     if (outcome.ok() && outcome->retry_after_s > backoff) {
       backoff = outcome->retry_after_s;
     }
-    if (policy.deadline_seconds > 0.0 &&
-        retry_internal::MonotonicSeconds() - start + backoff >
-            policy.deadline_seconds) {
-      return outcome;
+    if (budget > 0.0) {
+      const double remaining =
+          budget - (retry_internal::MonotonicSeconds() - start);
+      if (remaining <= 0.0 || backoff >= remaining) {
+        // Sleeping would overshoot the deadline; the honest answer is a
+        // prompt kDeadlineExceeded naming the error we were retrying, not
+        // a late kUnavailable delivered after the answer stopped
+        // mattering.
+        QueryResponse expired;
+        if (outcome.ok()) expired.id = outcome->id;
+        expired.status = Status::DeadlineExceeded(
+            "retry budget exhausted after " + std::to_string(attempt) +
+            " attempt(s); last error: " + status.ToString());
+        return expired;
+      }
     }
     retry_internal::CountRetry(status);
     retry_internal::SleepSeconds(backoff);

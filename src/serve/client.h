@@ -49,6 +49,10 @@ class ServeClient {
   /// `policy`, sleeping max(jittered backoff, server retry_after_s hint)
   /// and reconnecting first when the transport failed. Other errors —
   /// including kDeadlineExceeded, which is definite — return immediately.
+  /// Cumulative sleep is capped by the tighter of policy.deadline_seconds
+  /// and request.deadline_s: a backoff that would overshoot it returns a
+  /// prompt kDeadlineExceeded response naming the last error instead of
+  /// sleeping past the deadline.
   Result<QueryResponse> CallWithRetry(const QueryRequest& request,
                                       const RetryPolicy& policy,
                                       uint64_t seed = 1234);

@@ -57,7 +57,8 @@ Status ParseHeader(const char* data, std::string* type, uint64_t* length) {
 }
 
 bool KnownMessageType(const std::string& type) {
-  return type == kFrameQueryRequest || type == kFrameQueryResponse;
+  return type == kFrameQueryRequest || type == kFrameQueryResponse ||
+         type == kFrameHealth;
 }
 
 }  // namespace
@@ -168,6 +169,49 @@ Result<QueryResponse> ParseQueryResponse(const std::string& json) {
                             JsonAsDouble(*v, "retry_after_s"));
   }
   return response;
+}
+
+std::string SerializeHealthReport(const HealthReport& report) {
+  std::ostringstream os;
+  os << "{\"probe\":" << (report.probe ? "true" : "false")
+     << ",\"id\":" << report.id
+     << ",\"serving\":" << (report.serving ? "true" : "false")
+     << ",\"queue_depth\":" << FormatDouble(report.queue_depth, 6)
+     << ",\"inflight\":" << FormatDouble(report.inflight, 6)
+     << ",\"retry_after_s\":" << FormatDouble(report.retry_after_s, 6)
+     << "}";
+  return os.str();
+}
+
+Result<HealthReport> ParseHealthReport(const std::string& json) {
+  FAIREM_ASSIGN_OR_RETURN(JsonValue root, JsonParse(json));
+  if (root.kind != JsonValue::kObject) {
+    return Status::InvalidArgument("health report: not a JSON object");
+  }
+  // Every field is optional with a safe default, and unknown fields are
+  // ignored: health probing must keep working across mixed versions.
+  HealthReport report;
+  if (const JsonValue* v = JsonFind(root, "probe")) {
+    FAIREM_ASSIGN_OR_RETURN(report.probe, JsonAsBool(*v, "probe"));
+  }
+  if (const JsonValue* v = JsonFind(root, "id")) {
+    FAIREM_ASSIGN_OR_RETURN(report.id, JsonAsU64(*v, "id"));
+  }
+  if (const JsonValue* v = JsonFind(root, "serving")) {
+    FAIREM_ASSIGN_OR_RETURN(report.serving, JsonAsBool(*v, "serving"));
+  }
+  if (const JsonValue* v = JsonFind(root, "queue_depth")) {
+    FAIREM_ASSIGN_OR_RETURN(report.queue_depth,
+                            JsonAsDouble(*v, "queue_depth"));
+  }
+  if (const JsonValue* v = JsonFind(root, "inflight")) {
+    FAIREM_ASSIGN_OR_RETURN(report.inflight, JsonAsDouble(*v, "inflight"));
+  }
+  if (const JsonValue* v = JsonFind(root, "retry_after_s")) {
+    FAIREM_ASSIGN_OR_RETURN(report.retry_after_s,
+                            JsonAsDouble(*v, "retry_after_s"));
+  }
+  return report;
 }
 
 std::string EncodeServeMessage(const std::string& type,

@@ -21,6 +21,13 @@ namespace fairem {
 
 inline constexpr char kFrameQueryRequest[] = "QREQ";
 inline constexpr char kFrameQueryResponse[] = "QRSP";
+/// Lightweight liveness/load frame (DESIGN.md §15): the router probes each
+/// backend with a HLTH frame carrying {"probe":true,"id":N}; a daemon (or a
+/// router) answers with a HLTH reply immediately, bypassing admission — a
+/// health check must stay cheap exactly when the queue is full. Peers that
+/// predate HLTH skip it as an unknown frame, so probing an old daemon
+/// degrades to "no reply before the probe deadline", never to desync.
+inline constexpr char kFrameHealth[] = "HLTH";
 
 /// Upper bound on a declared frame body. A malicious or corrupted header
 /// cannot make either side buffer more than this.
@@ -51,10 +58,26 @@ struct QueryResponse {
   double retry_after_s = 0.0;
 };
 
+/// One HLTH frame body, both directions. A probe has `probe` true and only
+/// `id` meaningful; a reply echoes the id and reports instantaneous load.
+/// Unknown JSON fields are ignored on parse (newer peers may report more).
+struct HealthReport {
+  bool probe = false;
+  uint64_t id = 0;
+  /// False while draining (or, from a router, when no backend is usable).
+  bool serving = true;
+  double queue_depth = 0.0;
+  double inflight = 0.0;
+  /// The backoff hint a shed would carry right now (load-aware).
+  double retry_after_s = 0.0;
+};
+
 std::string SerializeQueryRequest(const QueryRequest& request);
 Result<QueryRequest> ParseQueryRequest(const std::string& json);
 std::string SerializeQueryResponse(const QueryResponse& response);
 Result<QueryResponse> ParseQueryResponse(const std::string& json);
+std::string SerializeHealthReport(const HealthReport& report);
+Result<HealthReport> ParseHealthReport(const std::string& json);
 
 struct ServeMessage {
   std::string type;  // 4 chars

@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -57,6 +58,7 @@ struct ServeMetrics {
   Counter* cache_hits;
   Counter* cells_computed;
   Counter* responses_dropped;
+  Counter* health_probes;
   Counter* shutdowns;
   Gauge* queue_depth;
   Gauge* inflight;
@@ -82,6 +84,7 @@ struct ServeMetrics {
     m.cache_hits = reg.GetCounter("fairem.serve.cell_cache_hits");
     m.cells_computed = reg.GetCounter("fairem.serve.cells_computed");
     m.responses_dropped = reg.GetCounter("fairem.serve.responses_dropped");
+    m.health_probes = reg.GetCounter("fairem.serve.health_probes");
     m.shutdowns = reg.GetCounter("fairem.serve.shutdowns");
     m.queue_depth = reg.GetGauge("fairem.serve.queue_depth");
     m.inflight = reg.GetGauge("fairem.serve.inflight");
@@ -307,6 +310,14 @@ class ServeDaemon {
   }
 
   void HandleMessage(uint64_t conn_id, const ServeMessage& message) {
+    if (message.type == kFrameHealth) {
+      // Health probes bypass admission entirely and do not count as
+      // requests: a router needs an honest liveness/load answer precisely
+      // when the queue is full, and a probe must never occupy a slot a
+      // query could use (nor skew the request accounting).
+      HandleHealthProbe(conn_id, message);
+      return;
+    }
     metrics_.requests_total->Increment();
     if (message.type != kFrameQueryRequest) {
       // A response frame sent at a server is a confused peer; drop it.
@@ -342,6 +353,31 @@ class ServeDaemon {
       return;
     }
     AdmitCellQuery(conn_id, *request);
+  }
+
+  void HandleHealthProbe(uint64_t conn_id, const ServeMessage& message) {
+    metrics_.health_probes->Increment();
+    // A malformed probe body still gets a reply (id 0): the prober wants
+    // liveness, and the reply itself proves that.
+    Result<HealthReport> probe = ParseHealthReport(message.bytes);
+    HealthReport reply;
+    if (probe.ok()) reply.id = probe->id;
+    reply.serving = !draining_;
+    reply.queue_depth = static_cast<double>(queue_.size());
+    reply.inflight = static_cast<double>(inflight_.size());
+    reply.retry_after_s = CurrentRetryAfterS();
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    it->second.outbuf.append(
+        EncodeServeMessage(kFrameHealth, SerializeHealthReport(reply)));
+    FlushConn(it->second);
+  }
+
+  double CurrentRetryAfterS() const {
+    return LoadAwareRetryAfterS(
+        options_.retry_after_s, static_cast<int>(queue_.size()),
+        options_.max_queue, static_cast<int>(inflight_.size()),
+        options_.max_inflight);
   }
 
   void AdmitCellQuery(uint64_t conn_id, const QueryRequest& request) {
@@ -385,7 +421,10 @@ class ServeDaemon {
     if (static_cast<int>(queue_.size()) >= options_.max_queue) {
       metrics_.shed_queue_full->Increment();
       response.status = Status::Unavailable("admission queue full");
-      response.retry_after_s = options_.retry_after_s;
+      // Load-aware hint: the fuller the daemon, the longer clients should
+      // stay away, so router backpressure converges instead of retrying a
+      // saturated daemon at the base period.
+      response.retry_after_s = CurrentRetryAfterS();
       Respond(conn_id, response);
       return;
     }
@@ -733,6 +772,21 @@ class ServeDaemon {
 };
 
 }  // namespace
+
+double LoadAwareRetryAfterS(double base, int queue_depth, int max_queue,
+                            int inflight, int max_inflight) {
+  if (base <= 0.0) return 0.0;
+  double factor = 1.0;
+  if (max_queue > 0 && queue_depth > 0) {
+    factor += std::min(1.0, static_cast<double>(queue_depth) /
+                                static_cast<double>(max_queue));
+  }
+  if (max_inflight > 0 && inflight > 0) {
+    factor += std::min(1.0, static_cast<double>(inflight) /
+                                static_cast<double>(max_inflight));
+  }
+  return base * factor;
+}
 
 Status RunServeDaemon(const ServeOptions& options) {
   // EPIPE handling relies on write() returning the error instead of the

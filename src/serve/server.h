@@ -70,6 +70,15 @@ struct ServeOptions {
 /// SIGPIPE. Metrics land under fairem.serve.*.
 Status RunServeDaemon(const ServeOptions& options);
 
+/// The retry_after_s hint shipped with a queue-full shed, scaled by load so
+/// a fleet of retrying clients (or a router doing backpressure) converges
+/// instead of hammering a saturated daemon at the base period. Monotone
+/// non-decreasing in queue_depth and inflight, equal to `base` at zero
+/// load, and bounded by 3x base (base + one full queue + full inflight).
+/// Degenerate capacities (max <= 0) contribute nothing.
+double LoadAwareRetryAfterS(double base, int queue_depth, int max_queue,
+                            int inflight, int max_inflight);
+
 }  // namespace fairem
 
 #endif  // FAIREM_SERVE_SERVER_H_

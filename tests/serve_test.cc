@@ -389,7 +389,10 @@ TEST(ServeTest, OverloadShedsWithRetryHint) {
     if (!got_shed) ::usleep(20 * 1000);
   }
   ASSERT_TRUE(got_shed) << "no shed observed: " << shed->status;
-  EXPECT_DOUBLE_EQ(shed->retry_after_s, 0.25);
+  // The hint is load-aware: the configured base (0.25) scaled up by queue
+  // and worker occupancy, bounded at 3x (LoadAwareRetryAfterS).
+  EXPECT_GE(shed->retry_after_s, 0.25);
+  EXPECT_LE(shed->retry_after_s, 0.75);
 
   // The two admitted queries deadline out; their replies land on the raw
   // connection. Then the daemon drains cleanly.
@@ -583,6 +586,168 @@ TEST(ServeTest, ChaosEveryRequestDefiniteAndPostChaosByteIdentical) {
   int status = daemon.Stop();
   ASSERT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+
+// ---------------------------------------------------------------------------
+// HLTH health probes (DESIGN.md §15): answered inline, bypassing admission,
+// interleaving cleanly with queries on the same connection.
+
+TEST(ServeTest, HealthProbeAnswersInline) {
+  IgnoreSigpipe();
+  const std::string socket_path = FreshSocketPath("serve_hlth");
+  DaemonHandle daemon(SmallServeOptions(socket_path), "");
+  int fd = RawConnect(socket_path);
+  ASSERT_GE(fd, 0);
+  HealthReport probe;
+  probe.probe = true;
+  probe.id = 42;
+  ASSERT_TRUE(WriteServeMessage(fd, kFrameHealth,
+                                SerializeHealthReport(probe), 60.0)
+                  .ok());
+  Result<ServeMessage> reply = ReadServeMessage(fd, 60.0);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->type, std::string(kFrameHealth));
+  Result<HealthReport> report = ParseHealthReport(reply->bytes);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->id, 42u);
+  EXPECT_FALSE(report->probe);
+  EXPECT_TRUE(report->serving);
+  EXPECT_GE(report->retry_after_s, 0.0);
+
+  // The same connection keeps working for queries afterwards: probes and
+  // queries interleave without desync.
+  QueryRequest ping;
+  ping.op = "ping";
+  ping.id = 7;
+  ASSERT_TRUE(WriteServeMessage(fd, kFrameQueryRequest,
+                                SerializeQueryRequest(ping), 60.0)
+                  .ok());
+  Result<ServeMessage> pong = ReadServeMessage(fd, 60.0);
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_EQ(pong->type, std::string(kFrameQueryResponse));
+  Result<QueryResponse> parsed = ParseQueryResponse(pong->bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->payload, "pong");
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: the shed hint scales with load so retrying clients converge.
+
+TEST(ServeTest, LoadAwareRetryHintIsMonotone) {
+  const double base = 0.05;
+  EXPECT_DOUBLE_EQ(LoadAwareRetryAfterS(base, 0, 8, 0, 2), base);
+  double prev = 0.0;
+  for (int depth = 0; depth <= 8; ++depth) {
+    const double hint = LoadAwareRetryAfterS(base, depth, 8, 0, 2);
+    EXPECT_GE(hint, prev) << "hint must not shrink as the queue fills";
+    prev = hint;
+  }
+  prev = 0.0;
+  for (int inflight = 0; inflight <= 4; ++inflight) {
+    const double hint = LoadAwareRetryAfterS(base, 0, 8, inflight, 4);
+    EXPECT_GE(hint, prev) << "hint must not shrink as inflight grows";
+    prev = hint;
+  }
+  EXPECT_GT(LoadAwareRetryAfterS(base, 4, 8, 2, 2),
+            LoadAwareRetryAfterS(base, 4, 8, 0, 2));
+  // Bounded: base + full queue + full inflight caps at 3x base.
+  EXPECT_LE(LoadAwareRetryAfterS(base, 100, 8, 100, 2), 3.0 * base + 1e-12);
+  // Degenerate capacities and a disabled base contribute nothing.
+  EXPECT_DOUBLE_EQ(LoadAwareRetryAfterS(base, 5, 0, 5, 0), base);
+  EXPECT_DOUBLE_EQ(LoadAwareRetryAfterS(0.0, 5, 8, 1, 2), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: CallWithRetry must not sleep past the query
+// deadline, no matter how large the server's retry_after_s hint is.
+
+/// Forked stub daemon that sheds every query with a pathologically large
+/// retry hint — the input that used to make the client overshoot.
+class SheddingStub {
+ public:
+  explicit SheddingStub(const std::string& socket_path) {
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ServeForever(socket_path);
+      ::_exit(0);
+    }
+  }
+
+  ~SheddingStub() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+ private:
+  static void ServeForever(const std::string& socket_path) {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    int listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) ::_exit(1);
+    ::unlink(socket_path.c_str());
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd, 8) != 0) {
+      ::_exit(1);
+    }
+    for (;;) {
+      int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      for (;;) {
+        Result<ServeMessage> message = ReadServeMessage(fd, 30.0);
+        if (!message.ok()) break;
+        Result<QueryRequest> request = ParseQueryRequest(message->bytes);
+        QueryResponse response;
+        if (request.ok()) response.id = request->id;
+        response.status = Status::Unavailable("stub shed");
+        response.retry_after_s = 5.0;
+        if (!WriteServeMessage(fd, kFrameQueryResponse,
+                               SerializeQueryResponse(response), 30.0)
+                 .ok()) {
+          break;
+        }
+      }
+      ::close(fd);
+    }
+  }
+
+  pid_t pid_ = -1;
+};
+
+TEST(ServeClientRetryTest, BackoffNeverOvershootsQueryDeadline) {
+  IgnoreSigpipe();
+  const std::string socket_path = FreshSocketPath("serve_shed_stub");
+  SheddingStub stub(socket_path);
+  Result<ServeClient> client = ConnectPatient(socket_path);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  std::vector<double> sleeps;
+  SetRetrySleepFnForTest([&](double s) { sleeps.push_back(s); });
+  RetryPolicy retry;
+  retry.max_attempts = 8;
+  retry.deadline_seconds = 0.0;  // only the query deadline bounds the call
+  QueryRequest request = CellRequest("DTMatcher", /*deadline_s=*/0.5);
+  Result<QueryResponse> response = client->CallWithRetry(request, retry);
+  SetRetrySleepFnForTest(nullptr);
+
+  // The 5 s hint dwarfs the 0.5 s query deadline: the client must refuse
+  // to sleep and return a prompt kDeadlineExceeded naming the last error,
+  // not a late kUnavailable after ~35 s of backoff.
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->status.IsDeadlineExceeded()) << response->status;
+  EXPECT_NE(response->status.ToString().find("stub shed"),
+            std::string::npos)
+      << response->status;
+  double slept = 0.0;
+  for (double s : sleeps) slept += s;
+  EXPECT_LE(slept, 0.5) << "cumulative backoff overshot the query deadline";
 }
 
 }  // namespace

@@ -226,5 +226,112 @@ TEST(FrameCorpusTest, DecoderBackToBackMessagesNoDesync) {
   EXPECT_EQ(decoder.buffered(), 0u);
 }
 
+// --- Router wire path (HLTH + forward compatibility) -----------------------
+
+TEST(FrameCorpusTest, DecoderHealthFrameIsKnown) {
+  // HLTH is a first-class frame type: it must come out as a message, not
+  // be skipped into the unknown-frames counter.
+  HealthReport probe;
+  probe.probe = true;
+  probe.id = 9;
+  FrameDecoder decoder;
+  ServeMessage message;
+  const uint64_t before = UnknownFrames();
+  Result<FrameDecoder::Next> next = FeedAll(
+      &decoder,
+      EncodeServeMessage(kFrameHealth, SerializeHealthReport(probe)),
+      &message);
+  ASSERT_TRUE(next.ok()) << next.status();
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(message.type, std::string(kFrameHealth));
+  EXPECT_EQ(UnknownFrames(), before);
+  Result<HealthReport> parsed = ParseHealthReport(message.bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->probe);
+  EXPECT_EQ(parsed->id, 9u);
+}
+
+TEST(FrameCorpusTest, DecoderInterleavedHealthAndQueryNoDesync) {
+  // The router's probe connection and a query connection share the wire
+  // format; on one stream, HLTH and QREQ/QRSP must interleave without the
+  // decoder desyncing or dropping either.
+  QueryRequest query;
+  query.op = "ping";
+  query.id = 11;
+  HealthReport probe;
+  probe.probe = true;
+  probe.id = 12;
+  HealthReport reply;
+  reply.id = 12;
+  reply.queue_depth = 3.0;
+  std::string wire =
+      EncodeServeMessage(kFrameHealth, SerializeHealthReport(probe)) +
+      EncodeServeMessage(kFrameQueryRequest, SerializeQueryRequest(query)) +
+      EncodeServeMessage(kFrameHealth, SerializeHealthReport(reply));
+  FrameDecoder decoder;
+  ServeMessage message;
+  Result<FrameDecoder::Next> next = FeedAll(&decoder, wire, &message);
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(message.type, std::string(kFrameHealth));
+  next = decoder.TryNext(&message);
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(message.type, std::string(kFrameQueryRequest));
+  EXPECT_EQ(ParseQueryRequest(message.bytes)->id, 11u);
+  next = decoder.TryNext(&message);
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(message.type, std::string(kFrameHealth));
+  EXPECT_DOUBLE_EQ(ParseHealthReport(message.bytes)->queue_depth, 3.0);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameCorpusTest, QueryResponseToleratesUnknownJsonFields) {
+  // Forward compatibility on the router's return path: a newer backend may
+  // report more per-response detail; older routers/clients must parse past
+  // it untouched.
+  const std::string json =
+      "{\"id\":5,\"ok\":true,\"payload\":\"pong\","
+      "\"served_by\":\"backend-2\",\"hedged\":false,"
+      "\"attempt\":{\"n\":2,\"backend\":\"a.sock\"}}";
+  Result<QueryResponse> response = ParseQueryResponse(json);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->id, 5u);
+  EXPECT_TRUE(response->status.ok());
+  EXPECT_EQ(response->payload, "pong");
+
+  const std::string error_json =
+      "{\"id\":6,\"ok\":false,\"code\":10,\"code_name\":\"unavailable\","
+      "\"message\":\"shed\",\"retry_after_s\":0.25,"
+      "\"breaker\":\"half-open\",\"queue_eta_s\":1.5}";
+  Result<QueryResponse> error = ParseQueryResponse(error_json);
+  ASSERT_TRUE(error.ok()) << error.status();
+  EXPECT_TRUE(error->status.IsUnavailable());
+  EXPECT_DOUBLE_EQ(error->retry_after_s, 0.25);
+}
+
+TEST(FrameCorpusTest, HealthReportToleratesUnknownJsonFieldsAndDefaults) {
+  // Newer peers may report more load detail; missing fields fall back to
+  // safe defaults, so mixed-version fleets keep probing each other.
+  Result<HealthReport> rich = ParseHealthReport(
+      "{\"probe\":false,\"id\":3,\"serving\":true,\"queue_depth\":2,"
+      "\"inflight\":1,\"retry_after_s\":0.1,"
+      "\"cpu_load\":0.9,\"build\":\"v9\",\"shards\":[1,2]}");
+  ASSERT_TRUE(rich.ok()) << rich.status();
+  EXPECT_EQ(rich->id, 3u);
+  EXPECT_TRUE(rich->serving);
+  EXPECT_DOUBLE_EQ(rich->queue_depth, 2.0);
+
+  Result<HealthReport> bare = ParseHealthReport("{}");
+  ASSERT_TRUE(bare.ok()) << bare.status();
+  EXPECT_FALSE(bare->probe);
+  EXPECT_EQ(bare->id, 0u);
+  EXPECT_TRUE(bare->serving);
+
+  EXPECT_FALSE(ParseHealthReport("[1,2,3]").ok());
+  EXPECT_FALSE(ParseHealthReport("not json").ok());
+}
+
 }  // namespace
 }  // namespace fairem

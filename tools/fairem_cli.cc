@@ -57,13 +57,26 @@
 //       deadlines are enforced end to end, slow clients are disconnected,
 //       and SIGTERM drains cooperatively (exit 0) — flushing a final
 //       durable metrics snapshot to --drain_metrics_out.
+//   fairem route <socket> --backends a.sock,b.sock,..
+//       [--backends_file FILE] [--health_period_s S] [--health_timeout_s S]
+//       [--breaker_failures N] [--breaker_cooldown_s S] [--no_hedge]
+//       [--hedge_min_delay_s S] [--max_inflight N] [--deadline_s S]
+//       [--max_deadline_s S] [--io_timeout_s S] [--drain_metrics_out FILE]
+//       The shard router (DESIGN.md §15): fronts N serve daemons behind one
+//       socket. Routes each cell by rendezvous hash so cache warmth
+//       survives membership changes, health-probes every backend, opens a
+//       circuit breaker on consecutive failures, fails queries over to the
+//       next replica when a backend dies or sheds, hedges slow requests
+//       after a p95-derived delay, and degrades cell queries to structured
+//       error-entry answers when every replica is down. SIGHUP re-reads
+//       --backends_file for live add/remove; SIGTERM drains cooperatively.
 //   fairem query <socket> ping|stats
 //   fairem query <socket> cell <dataset> <matcher> [--pairwise]
 //       [--deadline_s S] [--retries N] [--io_timeout_s S]
-//       One query against a running daemon; prints the payload (cell JSON,
-//       stats JSON, or "pong"). Shed/draining replies are retried with
-//       jittered backoff up to --retries, honoring the server's
-//       retry-after hint.
+//       One query against a running daemon or router; prints the payload
+//       (cell JSON, stats JSON, or "pong"). Shed/draining replies are
+//       retried with jittered backoff up to --retries, honoring the
+//       server's retry-after hint.
 //
 // Observability (any command): --log_level debug|info|warn|error|off,
 // --trace_out FILE (Chrome trace JSON of the stage spans),
@@ -97,6 +110,7 @@
 #include "src/report/table_printer.h"
 #include "src/robust/failpoint.h"
 #include "src/robust/supervisor.h"
+#include "src/route/router.h"
 #include "src/serve/client.h"
 #include "src/serve/server.h"
 #include "src/util/io_util.h"
@@ -127,6 +141,11 @@ int Usage() {
       "[--deadline_s S] [--max_deadline_s S] [--io_timeout_s S] "
       "[--max_attempts N] [--worker_max_rss_mb M] [--worker_max_cpu_s S] "
       "[--drain_metrics_out FILE]\n"
+      "  fairem route <socket> --backends a.sock,b.sock,.. "
+      "[--backends_file FILE] [--health_period_s S] [--health_timeout_s S] "
+      "[--breaker_failures N] [--breaker_cooldown_s S] [--no_hedge] "
+      "[--hedge_min_delay_s S] [--max_inflight N] [--deadline_s S] "
+      "[--max_deadline_s S] [--io_timeout_s S] [--drain_metrics_out FILE]\n"
       "  fairem query <socket> ping|stats\n"
       "  fairem query <socket> cell <dataset> <matcher> [--pairwise] "
       "[--deadline_s S] [--retries N] [--io_timeout_s S]\n"
@@ -661,6 +680,58 @@ int Serve(const std::vector<std::string>& args) {
   return 0;
 }
 
+int Route(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  RouteOptions options;
+  options.socket_path = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    double v = 0.0;
+    if (args[i] == "--backends" && i + 1 < args.size()) {
+      for (const std::string& path : Split(args[++i], ',')) {
+        if (!path.empty()) options.backends.push_back(path);
+      }
+    } else if (args[i] == "--backends_file" && i + 1 < args.size()) {
+      options.backends_file = args[++i];
+    } else if (args[i] == "--health_period_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.health_period_s)) return Usage();
+    } else if (args[i] == "--health_timeout_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.health_timeout_s)) return Usage();
+    } else if (args[i] == "--breaker_failures" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &v) || v < 1.0) return Usage();
+      options.breaker_failure_threshold = static_cast<int>(v);
+    } else if (args[i] == "--breaker_cooldown_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.breaker_cooldown_s)) {
+        return Usage();
+      }
+    } else if (args[i] == "--no_hedge") {
+      options.hedge = false;
+    } else if (args[i] == "--hedge_min_delay_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.hedge_min_delay_s)) return Usage();
+    } else if (args[i] == "--max_inflight" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &v) || v < 1.0) return Usage();
+      options.max_inflight_jobs = static_cast<int>(v);
+    } else if (args[i] == "--deadline_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.default_deadline_s)) return Usage();
+    } else if (args[i] == "--max_deadline_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.max_deadline_s)) return Usage();
+    } else if (args[i] == "--io_timeout_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.io_timeout_s)) return Usage();
+    } else if (args[i] == "--retry_after_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.retry_after_s)) return Usage();
+    } else if (args[i] == "--drain_metrics_out" && i + 1 < args.size()) {
+      options.metrics_path = args[++i];
+    } else {
+      std::cerr << "unexpected argument '" << args[i] << "'\n";
+      return Usage();
+    }
+  }
+  if (Status st = RunRouteDaemon(options); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 int Query(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
   IgnoreSigpipe();  // a daemon closing mid-write must not kill us
@@ -803,6 +874,8 @@ int Main(int argc, char** argv) {
     code = ProfTop(args);
   } else if (command == "serve") {
     code = Serve(args);
+  } else if (command == "route") {
+    code = Route(args);
   } else if (command == "query") {
     code = Query(args);
   } else {
