@@ -25,6 +25,18 @@
 // Client-side latency lands in fairem.serve.client.latency_seconds inside
 // BENCH_serve.json, which bench_smoke gates with `fairem benchdiff`.
 //
+// Trace mode (--trace, DESIGN.md §16) runs the same loop with distributed
+// tracing on: every client propagates a trace context, the daemons (and
+// router, with --route) send their spans back, and the bench scores hop
+// completeness — the fraction of OK cell queries whose collected spans
+// cover every expected process (router and daemon behind a router, the
+// daemon alone otherwise). The score lands in the gauge
+// fairem.serve.trace.completeness_ratio inside BENCH_serve_trace.json /
+// BENCH_serve_route_trace.json, which bench_smoke gates at >= 0.95 even
+// under chaos, alongside a tracing-on vs tracing-off latency ratio gate.
+// Trace mode also arms a slow-query log (threshold 1 ms, so cell computes
+// qualify) at bench_serve_slow.jsonl for the slowlog/tracetop drills.
+//
 // Route mode (--route, DESIGN.md §15) runs the same closed loop against a
 // 3-backend fleet behind a `fairem route` shard router on the same front
 // socket — the clients don't change at all. Mid-load one backend is
@@ -45,6 +57,7 @@
 #include <atomic>
 #include <cstring>
 #include <iostream>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,6 +81,7 @@ constexpr char kSocketPath[] = "bench_serve.sock";
 constexpr char kDataset[] = "Cricket";
 constexpr char kDrainMetricsPath[] = "bench_serve_daemon_metrics.json";
 constexpr char kRouteDrainMetricsPath[] = "bench_route_daemon_metrics.json";
+constexpr char kSlowLogPath[] = "bench_serve_slow.jsonl";
 constexpr int kRouteBackends = 3;
 const char* const kMatchers[] = {"BooleanRuleMatcher", "DTMatcher",
                                  "NBMatcher"};
@@ -84,6 +98,8 @@ struct ClientTally {
   std::atomic<uint64_t> worker_failed{0};   // kInternal (crash budget spent)
   std::atomic<uint64_t> other_failed{0};
   std::atomic<uint64_t> transport{0};       // connection-level failure
+  std::atomic<uint64_t> traced_cell_ok{0};  // OK cell queries, trace mode
+  std::atomic<uint64_t> traced_cell_complete{0};  // ..with full hop coverage
 };
 
 void Classify(ClientTally* tally, const Status& status) {
@@ -101,7 +117,7 @@ void Classify(ClientTally* tally, const Status& status) {
 }
 
 void ClientLoop(int client_index, int requests, const BenchFlags& flags,
-                ClientTally* tally) {
+                bool trace, bool route_mode, ClientTally* tally) {
   Histogram* latency = MetricsRegistry::Global().GetHistogram(
       "fairem.serve.client.latency_seconds");
   RetryPolicy retry;
@@ -111,6 +127,7 @@ void ClientLoop(int client_index, int requests, const BenchFlags& flags,
   ServeClientOptions client_options;
   client_options.io_timeout_s = 30.0;
   client_options.connect_timeout_s = 60.0;
+  client_options.trace = trace;
   Result<ServeClient> client = ServeClient::Connect(kSocketPath,
                                                     client_options);
   if (!client.ok()) {
@@ -145,6 +162,23 @@ void ClientLoop(int client_index, int requests, const BenchFlags& flags,
       continue;
     }
     Classify(tally, outcome->status);
+    if (trace && request.op == "cell" && outcome->status.ok()) {
+      // Hop completeness: did the spans the response carried back cover
+      // every process the query crossed? Behind a router, router AND
+      // daemon (a cache hit has no worker span, so the worker does not
+      // count toward completeness); direct to a daemon, the daemon.
+      tally->traced_cell_ok.fetch_add(1);
+      std::set<std::string> procs;
+      for (const WireSpan& span : client->last_spans()) {
+        if (span.process != "client") procs.insert(span.process);
+      }
+      const size_t want = route_mode ? 2 : 1;
+      const bool has_daemon = procs.count("daemon") != 0;
+      const bool has_router = !route_mode || procs.count("router") != 0;
+      if (procs.size() >= want && has_daemon && has_router) {
+        tally->traced_cell_complete.fetch_add(1);
+      }
+    }
   }
 }
 
@@ -304,10 +338,20 @@ int TerminateDaemon(pid_t pid, const char* what) {
   return 0;
 }
 
-int Run(const BenchFlags& flags, bool route_mode) {
+int Run(const BenchFlags& flags, bool route_mode, bool trace_mode) {
   IgnoreSigpipe();
   const bool chaos = !flags.failpoints.empty();
   ::unlink(kSocketPath);
+  if (trace_mode) ::unlink(kSlowLogPath);
+  // Trace mode: a 1 µs slow-query threshold makes every query qualify —
+  // even sub-millisecond warm-cache hits when the drill reuses a
+  // checkpoint dir — so the run leaves a span-carrying slow log for the
+  // slowlog/tracetop drills in bench_smoke.
+  auto arm_slowlog = [&](double* slow_ms, std::string* slow_log) {
+    if (!trace_mode) return;
+    *slow_ms = 0.001;
+    *slow_log = kSlowLogPath;
+  };
 
   pid_t daemon_pid = -1;  // single mode: the one daemon
   pid_t router_pid = -1;  // route mode: the front-end
@@ -321,6 +365,7 @@ int Run(const BenchFlags& flags, bool route_mode) {
       ServeOptions options = BackendServeOptions(flags, BackendSocket(i));
       options.max_inflight = 2;
       options.max_queue = 8;
+      arm_slowlog(&options.slow_query_ms, &options.slow_query_log);
       backend_pids[i] = ForkServeDaemon(options);
       if (backend_pids[i] < 0) {
         std::cerr << "fork failed: " << std::strerror(errno) << "\n";
@@ -338,6 +383,7 @@ int Run(const BenchFlags& flags, bool route_mode) {
     route.default_deadline_s = 60.0;
     route.max_deadline_s = 120.0;
     route.metrics_path = kRouteDrainMetricsPath;
+    arm_slowlog(&route.slow_query_ms, &route.slow_query_log);
     router_pid = ForkRouter(route);
     if (router_pid < 0) {
       std::cerr << "fork failed: " << std::strerror(errno) << "\n";
@@ -346,6 +392,7 @@ int Run(const BenchFlags& flags, bool route_mode) {
   } else {
     ServeOptions options = BackendServeOptions(flags, kSocketPath);
     options.metrics_path = kDrainMetricsPath;
+    arm_slowlog(&options.slow_query_ms, &options.slow_query_log);
     daemon_pid = ForkServeDaemon(options);
     if (daemon_pid < 0) {
       std::cerr << "fork failed: " << std::strerror(errno) << "\n";
@@ -361,7 +408,7 @@ int Run(const BenchFlags& flags, bool route_mode) {
     threads.reserve(static_cast<size_t>(clients));
     for (int c = 0; c < clients; ++c) {
       threads.emplace_back(ClientLoop, c, requests_per_client, flags,
-                           &tally);
+                           trace_mode, route_mode, &tally);
     }
     if (route_mode) {
       // The failover drill: one shard dies as the load opens and stays
@@ -378,6 +425,7 @@ int Run(const BenchFlags& flags, bool route_mode) {
       ServeOptions options = BackendServeOptions(flags, BackendSocket(0));
       options.max_inflight = 2;
       options.max_queue = 8;
+      arm_slowlog(&options.slow_query_ms, &options.slow_query_log);
       backend_pids[0] = ForkServeDaemon(options);
     }
   }
@@ -399,6 +447,23 @@ int Run(const BenchFlags& flags, bool route_mode) {
   if (!chaos && tally.ok != tally.requests) {
     std::cerr << "FAIL: failures without chaos armed\n";
     exit_code = 1;
+  }
+  if (trace_mode) {
+    const uint64_t traced = tally.traced_cell_ok.load();
+    const uint64_t complete = tally.traced_cell_complete.load();
+    const double ratio =
+        traced > 0 ? static_cast<double>(complete) /
+                         static_cast<double>(traced)
+                   : 0.0;
+    MetricsRegistry::Global()
+        .GetGauge("fairem.serve.trace.completeness_ratio")
+        ->Set(ratio);
+    std::cout << "trace completeness: " << complete << "/" << traced
+              << " OK cell queries with full hop coverage\n";
+    if (traced == 0) {
+      std::cerr << "FAIL: trace mode ran but no OK cell query was traced\n";
+      exit_code = 1;
+    }
   }
 
   // Route mode: the death must actually have been absorbed by failover,
@@ -499,7 +564,10 @@ int Run(const BenchFlags& flags, bool route_mode) {
   Profiler::Global().ExportStageCpuGauges();
   EmitProcessResourceGauges();
   const char* snapshot_path =
-      route_mode ? "BENCH_serve_route.json" : "BENCH_serve.json";
+      trace_mode ? (route_mode ? "BENCH_serve_route_trace.json"
+                               : "BENCH_serve_trace.json")
+                 : (route_mode ? "BENCH_serve_route.json"
+                               : "BENCH_serve.json");
   if (Status st = MetricsRegistry::Global().WriteJsonFile(snapshot_path);
       !st.ok()) {
     FAIREM_LOG(WARN) << "could not write bench metrics snapshot"
@@ -513,9 +581,10 @@ int Run(const BenchFlags& flags, bool route_mode) {
 }  // namespace fairem
 
 int main(int argc, char** argv) {
-  // --route is this bench's own mode switch; peel it off before the shared
-  // flag parser (which rejects flags it does not know).
+  // --route and --trace are this bench's own mode switches; peel them off
+  // before the shared flag parser (which rejects flags it does not know).
   bool route = false;
+  bool trace = false;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -523,9 +592,13 @@ int main(int argc, char** argv) {
       route = true;
       continue;
     }
+    if (i > 0 && std::string(argv[i]) == "--trace") {
+      trace = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
   fairem::BenchFlags flags =
       fairem::ParseBenchFlags(static_cast<int>(args.size()), args.data());
-  return fairem::Run(flags, route);
+  return fairem::Run(flags, route, trace);
 }

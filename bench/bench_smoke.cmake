@@ -629,6 +629,7 @@ file(REMOVE "${WORK_DIR}/BENCH_serve_route.json"
      "${WORK_DIR}/bench_route_daemon_metrics.json")
 execute_process(
   COMMAND "${SERVE_BIN}" --route --scale 0.25
+          --checkpoint_dir "${WORK_DIR}/route_ckpt"
   WORKING_DIRECTORY "${WORK_DIR}"
   RESULT_VARIABLE exit_code
   OUTPUT_VARIABLE route_stdout
@@ -697,3 +698,126 @@ endif()
 message(STATUS
     "bench_smoke OK: shard router absorbed a mid-load backend SIGKILL with "
     "zero client-visible failures, rejoin verified, p95 gated")
+
+# ---------------------------------------------------------------------------
+# Tracing drill (DESIGN.md §16): the routed drill again with distributed
+# tracing on. Two runs share the route drill's checkpoint dir (so cell
+# computes are cached and p95 measures serving overhead, not recompute
+# noise):
+#   1. clean — gates the cost of tracing: client p95 with tracing on must
+#      stay within 1.10x of the tracing-off route run above;
+#   2. chaos (worker crashes + the drill's own backend SIGKILL) — gates
+#      trace completeness: >= 95% of OK cell queries must still carry a
+#      full router+daemon hop timeline, and the slow-query log the fleet
+#      wrote must render through `fairem slowlog` and `fairem tracetop`.
+
+file(REMOVE "${WORK_DIR}/BENCH_serve_route_trace.json"
+     "${WORK_DIR}/bench_serve_slow.jsonl")
+execute_process(
+  COMMAND "${SERVE_BIN}" --route --trace --scale 0.25
+          --checkpoint_dir "${WORK_DIR}/route_ckpt"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE trace_stdout
+  ERROR_VARIABLE trace_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "trace route bench exited with ${exit_code}\n"
+      "stdout:\n${trace_stdout}\nstderr:\n${trace_stderr}")
+endif()
+if(NOT trace_stdout MATCHES "serve bench OK")
+  message(FATAL_ERROR
+      "trace route bench did not report OK:\n${trace_stdout}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/BENCH_serve_route_trace.json")
+  message(FATAL_ERROR "trace route bench left no BENCH_serve_route_trace.json")
+endif()
+
+# Tracing must be close to free: tracing-on p95 within 1.10x of the
+# tracing-off route run (same drill shape, same warmed checkpoints), and
+# even the clean run must deliver complete hop timelines.
+execute_process(
+  COMMAND "${CLI_BIN}" benchdiff
+          "${WORK_DIR}/BENCH_serve_route.json"
+          "${WORK_DIR}/BENCH_serve_route_trace.json"
+          --fail_on "fairem.serve.client.latency_seconds.p95>1.10x"
+          --fail_on "fairem.serve.trace.completeness_ratio<0.95abs"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE diff_stdout
+  ERROR_VARIABLE diff_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "tracing overhead / completeness gate failed (exit ${exit_code})\n"
+      "stdout:\n${diff_stdout}\nstderr:\n${diff_stderr}")
+endif()
+
+# Chaos run: worker crashes on top of the backend SIGKILL. Retries,
+# failovers, and hedges all still stitch into one timeline per query —
+# completeness stays gated at 0.95.
+execute_process(
+  COMMAND "${SERVE_BIN}" --route --trace --scale 0.25
+          --checkpoint_dir "${WORK_DIR}/route_ckpt"
+          --failpoints "grid_cell=crash(0.5)"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE trace_chaos_stdout
+  ERROR_VARIABLE trace_chaos_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "chaos trace route bench exited with ${exit_code}\n"
+      "stdout:\n${trace_chaos_stdout}\nstderr:\n${trace_chaos_stderr}")
+endif()
+if(NOT trace_chaos_stdout MATCHES "serve bench OK")
+  message(FATAL_ERROR
+      "chaos trace route bench did not report OK:\n${trace_chaos_stdout}")
+endif()
+execute_process(
+  COMMAND "${CLI_BIN}" benchdiff
+          "${WORK_DIR}/BENCH_serve_route_trace.json"
+          "${WORK_DIR}/BENCH_serve_route_trace.json"
+          --fail_on "fairem.serve.trace.completeness_ratio<0.95abs"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE diff_stdout
+  ERROR_VARIABLE diff_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "chaos trace completeness gate failed (exit ${exit_code})\n"
+      "stdout:\n${diff_stdout}\nstderr:\n${diff_stderr}")
+endif()
+
+# The fleet (router + backends, 1 ms threshold) must have left a
+# span-carrying slow-query log that both renderers consume cleanly.
+if(NOT EXISTS "${WORK_DIR}/bench_serve_slow.jsonl")
+  message(FATAL_ERROR "trace route bench left no bench_serve_slow.jsonl")
+endif()
+execute_process(
+  COMMAND "${CLI_BIN}" slowlog "${WORK_DIR}/bench_serve_slow.jsonl"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE slowlog_stdout
+  ERROR_VARIABLE slowlog_stderr)
+if(NOT exit_code EQUAL 0 OR NOT slowlog_stdout MATCHES "slow quer")
+  message(FATAL_ERROR
+      "fairem slowlog could not render the slow-query log "
+      "(exit ${exit_code})\n"
+      "stdout:\n${slowlog_stdout}\nstderr:\n${slowlog_stderr}")
+endif()
+execute_process(
+  COMMAND "${CLI_BIN}" tracetop "${WORK_DIR}/bench_serve_slow.jsonl"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE tracetop_stdout
+  ERROR_VARIABLE tracetop_stderr)
+if(NOT exit_code EQUAL 0 OR NOT tracetop_stdout MATCHES "critical path")
+  message(FATAL_ERROR
+      "fairem tracetop could not summarize the slow-query log "
+      "(exit ${exit_code})\n"
+      "stdout:\n${tracetop_stdout}\nstderr:\n${tracetop_stderr}")
+endif()
+
+message(STATUS
+    "bench_smoke OK: distributed tracing added <= 1.10x p95 overhead, "
+    ">= 95% of routed queries kept complete hop timelines under chaos, "
+    "and the slow-query log rendered through slowlog + tracetop")

@@ -73,6 +73,43 @@ void Histogram::Observe(double v) {
   sum_ += v;
 }
 
+void Histogram::ObserveWithExemplar(double v, const std::string& trace_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+  if (trace_id.empty()) return;
+  if (exemplars_.empty()) exemplars_.resize(counts_.size());
+  HistogramExemplar& slot = exemplars_[i];
+  if (slot.trace_id.empty() || v >= slot.value) {
+    slot.value = v;
+    slot.trace_id = trace_id;
+  }
+}
+
+std::vector<HistogramExemplar> Histogram::exemplars() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (exemplars_.empty()) {
+    return std::vector<HistogramExemplar>(counts_.size());
+  }
+  return exemplars_;
+}
+
+void Histogram::MergeExemplar(size_t bucket, double value,
+                              const std::string& trace_id) {
+  if (trace_id.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bucket >= counts_.size()) return;
+  if (exemplars_.empty()) exemplars_.resize(counts_.size());
+  HistogramExemplar& slot = exemplars_[bucket];
+  if (slot.trace_id.empty() || value >= slot.value) {
+    slot.value = value;
+    slot.trace_id = trace_id;
+  }
+}
+
 std::vector<uint64_t> Histogram::bucket_counts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counts_;
@@ -91,6 +128,7 @@ double Histogram::sum() const {
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   counts_.assign(bounds_.size() + 1, 0);
+  exemplars_.clear();
   count_ = 0;
   sum_ = 0.0;
 }
@@ -119,6 +157,15 @@ double Histogram::Quantile(double q) const {
 
 double MetricsSnapshot::HistogramData::Mean() const {
   return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+HistogramExemplar MetricsSnapshot::HistogramData::TopExemplar() const {
+  HistogramExemplar top;
+  for (const HistogramExemplar& e : exemplars) {
+    if (e.trace_id.empty()) continue;
+    if (top.trace_id.empty() || e.value > top.value) top = e;
+  }
+  return top;
 }
 
 double MetricsSnapshot::HistogramData::Quantile(double q) const {
@@ -194,6 +241,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     data.bucket_counts = h->bucket_counts();
     data.count = h->count();
     data.sum = h->sum();
+    // Exemplars ride along only when some were recorded, so snapshots of
+    // untraced runs stay byte-identical to pre-exemplar ones.
+    std::vector<HistogramExemplar> exemplars = h->exemplars();
+    for (const HistogramExemplar& e : exemplars) {
+      if (!e.trace_id.empty()) {
+        data.exemplars = std::move(exemplars);
+        break;
+      }
+    }
     snap.histograms[name] = std::move(data);
   }
   return snap;
@@ -216,6 +272,12 @@ void MetricsRegistry::Merge(const MetricsSnapshot& delta) {
       continue;
     }
     Histogram* target = GetHistogram(name, h.bounds);
+    if (target->bounds() == h.bounds) {
+      for (size_t i = 0; i < h.exemplars.size(); ++i) {
+        target->MergeExemplar(i, h.exemplars[i].value,
+                              h.exemplars[i].trace_id);
+      }
+    }
     if (target->bounds() != h.bounds ||
         !target->MergeCounts(h.bucket_counts, h.count, h.sum)) {
       // Bounds disagreement means two processes registered the histogram
@@ -278,6 +340,27 @@ std::string MetricsSnapshotToJson(const MetricsSnapshot& snap) {
     AppendJsonDouble(&os, h.Quantile(0.95));
     os << ", \"p99\": ";
     AppendJsonDouble(&os, h.Quantile(0.99));
+    // Optional per-bucket exemplars (only buckets that have one). Readers
+    // that predate exemplars ignore the key.
+    bool any_exemplar = false;
+    for (const HistogramExemplar& e : h.exemplars) {
+      any_exemplar = any_exemplar || !e.trace_id.empty();
+    }
+    if (any_exemplar) {
+      os << ", \"exemplars\": [";
+      bool first_ex = true;
+      for (size_t i = 0; i < h.exemplars.size(); ++i) {
+        if (h.exemplars[i].trace_id.empty()) continue;
+        if (!first_ex) os << ", ";
+        first_ex = false;
+        os << "{\"bucket\": " << i << ", \"value\": ";
+        AppendJsonDouble(&os, h.exemplars[i].value);
+        os << ", \"trace_id\": ";
+        AppendJsonString(&os, h.exemplars[i].trace_id);
+        os << "}";
+      }
+      os << "]";
+    }
     os << "}";
     first = false;
   }

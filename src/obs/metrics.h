@@ -37,6 +37,14 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// One bucket's exemplar: the largest observation that landed in the
+/// bucket since the last Reset, and the trace id that produced it. Links a
+/// regressed latency bucket to a concrete slow trace (DESIGN.md §16).
+struct HistogramExemplar {
+  double value = 0.0;
+  std::string trace_id;  // 32-hex trace id; empty = no exemplar recorded
+};
+
 /// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
 /// one implicit overflow bucket. Also tracks sum and count so means survive
 /// the bucketing.
@@ -46,6 +54,19 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double v);
+
+  /// Observe, additionally keeping `trace_id` as the bucket's exemplar when
+  /// this observation is the largest the bucket has seen. An empty trace_id
+  /// degrades to plain Observe.
+  void ObserveWithExemplar(double v, const std::string& trace_id);
+
+  /// bounds().size() + 1 entries, aligned with bucket_counts(); entries
+  /// with an empty trace_id carry no exemplar.
+  std::vector<HistogramExemplar> exemplars() const;
+
+  /// Keep-max merge of one bucket's exemplar (the cross-process merge
+  /// path); out-of-range buckets and empty trace ids are ignored.
+  void MergeExemplar(size_t bucket, double value, const std::string& trace_id);
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; last is the overflow bucket.
@@ -72,6 +93,7 @@ class Histogram {
   std::vector<double> bounds_;
   mutable std::mutex mu_;
   std::vector<uint64_t> counts_;
+  std::vector<HistogramExemplar> exemplars_;
   uint64_t count_ = 0;
   double sum_ = 0.0;
 };
@@ -86,8 +108,14 @@ struct MetricsSnapshot {
   struct HistogramData {
     std::vector<double> bounds;
     std::vector<uint64_t> bucket_counts;
+    /// Empty (no exemplars recorded) or bucket_counts.size() entries.
+    std::vector<HistogramExemplar> exemplars;
     uint64_t count = 0;
     double sum = 0.0;
+
+    /// The highest-value exemplar across buckets, or one with an empty
+    /// trace_id when none were recorded.
+    HistogramExemplar TopExemplar() const;
 
     /// sum / count, or 0 when empty.
     double Mean() const;

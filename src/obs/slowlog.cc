@@ -1,0 +1,163 @@
+#include "src/obs/slowlog.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/util/json.h"
+#include "src/util/string_util.h"
+
+namespace fairem {
+namespace {
+
+Counter* WrittenCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("fairem.slowlog.written");
+  return counter;
+}
+
+Counter* SuppressedCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("fairem.slowlog.suppressed");
+  return counter;
+}
+
+}  // namespace
+
+std::string SerializeSlowQueryEvent(const SlowQueryEvent& event,
+                                    double slow_ms, int64_t ts_unix_us) {
+  std::ostringstream os;
+  os << "{\"ts_unix_us\":" << ts_unix_us << ",\"process\":";
+  AppendJsonString(&os, event.process);
+  os << ",\"trace_id\":";
+  AppendJsonString(&os, event.trace_id);
+  os << ",\"id\":" << event.id << ",\"op\":";
+  AppendJsonString(&os, event.op);
+  os << ",\"key\":";
+  AppendJsonString(&os, event.key);
+  os << ",\"status\":";
+  AppendJsonString(&os, event.status);
+  os << ",\"total_ms\":" << FormatDouble(event.total_ms, 3)
+     << ",\"slow_ms\":" << FormatDouble(slow_ms, 3)
+     << ",\"spans\":" << SerializeWireSpans(event.spans) << "}";
+  return os.str();
+}
+
+Result<SlowQueryEvent> ParseSlowQueryEvent(const std::string& line,
+                                           int64_t* ts_unix_us,
+                                           double* slow_ms) {
+  FAIREM_ASSIGN_OR_RETURN(JsonValue root, JsonParse(line));
+  if (root.kind != JsonValue::kObject) {
+    return Status::InvalidArgument("slowlog line is not a JSON object");
+  }
+  SlowQueryEvent event;
+  // Every field individually tolerant: a missing or mistyped one keeps its
+  // default so logs from other versions still render.
+  if (const JsonValue* v = JsonFind(root, "ts_unix_us")) {
+    Result<int64_t> ts = JsonAsI64(*v, "ts_unix_us");
+    if (ts.ok() && ts_unix_us != nullptr) *ts_unix_us = *ts;
+  }
+  if (const JsonValue* v = JsonFind(root, "slow_ms")) {
+    Result<double> ms = JsonAsDouble(*v, "slow_ms");
+    if (ms.ok() && slow_ms != nullptr) *slow_ms = *ms;
+  }
+  if (const JsonValue* v = JsonFind(root, "process")) {
+    Result<std::string> s = JsonAsString(*v, "process");
+    if (s.ok()) event.process = std::move(*s);
+  }
+  if (const JsonValue* v = JsonFind(root, "trace_id")) {
+    Result<std::string> s = JsonAsString(*v, "trace_id");
+    if (s.ok()) event.trace_id = std::move(*s);
+  }
+  if (const JsonValue* v = JsonFind(root, "id")) {
+    Result<uint64_t> id = JsonAsU64(*v, "id");
+    if (id.ok()) event.id = *id;
+  }
+  if (const JsonValue* v = JsonFind(root, "op")) {
+    Result<std::string> s = JsonAsString(*v, "op");
+    if (s.ok()) event.op = std::move(*s);
+  }
+  if (const JsonValue* v = JsonFind(root, "key")) {
+    Result<std::string> s = JsonAsString(*v, "key");
+    if (s.ok()) event.key = std::move(*s);
+  }
+  if (const JsonValue* v = JsonFind(root, "status")) {
+    Result<std::string> s = JsonAsString(*v, "status");
+    if (s.ok()) event.status = std::move(*s);
+  }
+  if (const JsonValue* v = JsonFind(root, "total_ms")) {
+    Result<double> ms = JsonAsDouble(*v, "total_ms");
+    if (ms.ok()) event.total_ms = *ms;
+  }
+  if (const JsonValue* v = JsonFind(root, "spans")) {
+    event.spans = ParseWireSpans(*v);
+  }
+  return event;
+}
+
+SlowQueryLogger::SlowQueryLogger(std::string path, double slow_ms,
+                                 double max_per_s)
+    : path_(std::move(path)),
+      slow_ms_(slow_ms),
+      max_per_s_(max_per_s > 0.0 ? max_per_s : 5.0) {}
+
+SlowQueryLogger::~SlowQueryLogger() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SlowQueryLogger::MaybeLog(const SlowQueryEvent& event, double now_s) {
+  if (!enabled() || event.total_ms < slow_ms_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Token bucket, capacity 2x the refill rate: steady state writes at most
+  // max_per_s lines per second, with a small burst allowance so the first
+  // queries of an incident all land.
+  if (!refilled_once_) {
+    tokens_ = std::max(1.0, 2.0 * max_per_s_);
+    last_refill_s_ = now_s;
+    refilled_once_ = true;
+  } else {
+    tokens_ = std::min(std::max(1.0, 2.0 * max_per_s_),
+                       tokens_ + (now_s - last_refill_s_) * max_per_s_);
+    last_refill_s_ = now_s;
+  }
+  if (tokens_ < 1.0) {
+    SuppressedCounter()->Increment();
+    return;
+  }
+  tokens_ -= 1.0;
+  if (fd_ < 0 && !open_failed_) {
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0) {
+      open_failed_ = true;  // complain once, not per slow query
+      FAIREM_LOG(WARN) << "slowlog: cannot open log file"
+                       << LogKv("path", path_)
+                       << LogKv("error", std::strerror(errno));
+    }
+  }
+  if (fd_ < 0) return;
+  std::string line =
+      SerializeSlowQueryEvent(event, slow_ms_, UnixMicrosNow());
+  line.push_back('\n');
+  // O_APPEND makes the write atomic with respect to other appenders (the
+  // router and a daemon may share one file); a short write on a full disk
+  // is tolerated — the reader skips lines that fail to parse.
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  WrittenCounter()->Increment();
+}
+
+}  // namespace fairem

@@ -1,0 +1,77 @@
+#ifndef FAIREM_OBS_SLOWLOG_H_
+#define FAIREM_OBS_SLOWLOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace fairem {
+
+// Structured slow-query log (DESIGN.md §16): the router and the serve
+// daemon each append one wide-event JSON line per query that ran longer
+// than --slow_query_ms — trace id, op, key, outcome, total time, and the
+// query's full span breakdown — so a p95 regression links to concrete
+// queries without replaying load. Rate-limited by a token bucket: a fleet
+// melting down must not also melt its own disk. `fairem slowlog FILE`
+// renders the file.
+
+/// One slow-query wide event, as handed to the logger.
+struct SlowQueryEvent {
+  std::string process;   // "router" | "daemon"
+  std::string trace_id;  // 32-hex, empty when the query was untraced
+  uint64_t id = 0;       // correlation id on this hop
+  std::string op;        // "cell", "stats", ...
+  std::string key;       // cell key ("dataset.mode.matcher"), if any
+  std::string status;    // "OK" or the status code name
+  double total_ms = 0.0;
+  std::vector<WireSpan> spans;
+};
+
+std::string SerializeSlowQueryEvent(const SlowQueryEvent& event,
+                                    double slow_ms, int64_t ts_unix_us);
+
+/// Parses one slow-log line back into an event. Tolerant field-by-field
+/// (a reader must survive lines from newer writers); a line that is not a
+/// JSON object at all is an error — callers skip it and keep reading.
+/// `ts_unix_us` / `slow_ms` receive the envelope fields when non-null.
+Result<SlowQueryEvent> ParseSlowQueryEvent(const std::string& line,
+                                           int64_t* ts_unix_us = nullptr,
+                                           double* slow_ms = nullptr);
+
+class SlowQueryLogger {
+ public:
+  /// Disabled (never logs) when `path` is empty or slow_ms <= 0.
+  /// `max_per_s` bounds the write rate; bursts up to 2x are allowed.
+  SlowQueryLogger(std::string path, double slow_ms, double max_per_s = 5.0);
+  ~SlowQueryLogger();
+
+  SlowQueryLogger(const SlowQueryLogger&) = delete;
+  SlowQueryLogger& operator=(const SlowQueryLogger&) = delete;
+
+  bool enabled() const { return !path_.empty() && slow_ms_ > 0.0; }
+  double slow_ms() const { return slow_ms_; }
+
+  /// Appends `event` as one JSON line if it qualifies (total_ms >= slow_ms
+  /// and the token bucket has budget). `now_s` is the caller's monotonic
+  /// clock (the daemons already track one). Counts
+  /// fairem.slowlog.written / fairem.slowlog.suppressed.
+  void MaybeLog(const SlowQueryEvent& event, double now_s);
+
+ private:
+  std::string path_;
+  double slow_ms_ = 0.0;
+  double max_per_s_ = 5.0;
+  std::mutex mu_;
+  int fd_ = -1;
+  bool open_failed_ = false;
+  double tokens_ = 0.0;
+  double last_refill_s_ = 0.0;
+  bool refilled_once_ = false;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_OBS_SLOWLOG_H_

@@ -73,6 +73,29 @@ Result<MetricsSnapshot> SnapshotFromJsonValue(const JsonValue& root) {
       }
       FAIREM_ASSIGN_OR_RETURN(h.count, AsU64(*count, name + ".count"));
       FAIREM_ASSIGN_OR_RETURN(h.sum, AsDouble(*sum, name + ".sum"));
+      // Optional exemplars ({"bucket","value","trace_id"} entries); parsed
+      // tolerantly — a malformed entry is dropped, never an error, since
+      // exemplars are advisory debugging links.
+      if (const JsonValue* exemplars = Find(v, "exemplars")) {
+        for (const JsonValue& e : exemplars->items) {
+          if (e.kind != JsonValue::kObject) continue;
+          const JsonValue* bucket = Find(e, "bucket");
+          const JsonValue* value = Find(e, "value");
+          const JsonValue* trace_id = Find(e, "trace_id");
+          if (bucket == nullptr || value == nullptr || trace_id == nullptr) {
+            continue;
+          }
+          Result<uint64_t> b = JsonAsU64(*bucket, "exemplar bucket");
+          Result<double> val = AsDouble(*value, "exemplar value");
+          if (!b.ok() || !val.ok() || trace_id->kind != JsonValue::kString ||
+              trace_id->scalar.empty() || *b >= h.bucket_counts.size()) {
+            continue;
+          }
+          if (h.exemplars.empty()) h.exemplars.resize(h.bucket_counts.size());
+          h.exemplars[*b].value = *val;
+          h.exemplars[*b].trace_id = trace_id->scalar;
+        }
+      }
       // Derived keys ("mean", "p50", …) are recomputed, never parsed.
       snap.histograms[name] = std::move(h);
     }

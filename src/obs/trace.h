@@ -4,15 +4,82 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/obs/profiler.h"
+#include "src/util/json.h"
 #include "src/util/result.h"
 
 namespace fairem {
+
+/// Identity of one distributed query trace (DESIGN.md §16): a 128-bit trace
+/// id shared by every hop (client, router, daemon, worker) plus the span id
+/// of the sender's enclosing span, so the receiver parents its own spans
+/// under the caller's. Carried as optional JSON fields on QREQ; a zero
+/// trace id means "untraced" and every hop behaves exactly as before.
+struct TraceContext {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t parent_span_id = 0;
+  bool sampled = true;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+  /// 32 lowercase hex chars, the wire and log form of the trace id.
+  std::string TraceIdHex() const;
+};
+
+/// Fresh nonzero 128-bit trace id (clock + pid + sequence, hashed), root
+/// context: parent_span_id 0, sampled.
+TraceContext NewTraceContext();
+
+/// Parses a 32-hex-char trace id into hi/lo. Returns false — leaving the
+/// outputs zero, i.e. "untraced" — on any malformed input; a corrupt trace
+/// field must degrade, never error a query.
+bool ParseTraceIdHex(const std::string& hex, uint64_t* hi, uint64_t* lo);
+
+/// Process-unique nonzero span id for cross-process spans. Unlike the
+/// Tracer's small sequential ids these are hashed with the pid, so ids
+/// minted independently by client, router, daemon, and worker supervisors
+/// never collide within one trace.
+uint64_t NewSpanId();
+
+/// Wall-clock microseconds since the Unix epoch — the shared timebase of
+/// cross-process spans (every fleet process is on one machine/clock).
+int64_t UnixMicrosNow();
+
+/// One completed span of a distributed trace, in wire form: absolute
+/// wall-clock times and globally unique ids (NewSpanId), so spans recorded
+/// by different processes merge into a single timeline with no epoch or id
+/// translation. Shipped back to the client piggybacked on QRSP.
+struct WireSpan {
+  std::string name;     // taxonomy: "router.call", "daemon.queue", ...
+  std::string process;  // "client" | "router" | "daemon" | "worker"
+  int64_t pid = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = trace root
+  int64_t start_unix_us = 0;
+  int64_t duration_us = 0;
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+/// JSON array of span objects (the QRSP "spans" field and the slow-query
+/// log "spans" field share this shape).
+std::string SerializeWireSpans(const std::vector<WireSpan>& spans);
+
+/// Tolerant inverse: entries that are not objects, lack a name, or lack a
+/// nonzero span_id are dropped (and counted in
+/// fairem.trace.malformed_spans); a malformed annotation is dropped from
+/// its span. A trace is advisory — a bad span must never fail the query
+/// that carried it.
+std::vector<WireSpan> ParseWireSpans(const JsonValue& array);
+
+/// ParseWireSpans over raw JSON text; a document that fails to parse at
+/// all yields the empty vector.
+std::vector<WireSpan> ParseWireSpansJson(const std::string& json);
 
 /// One completed span. Ids are unique per process; parent_id is 0 for root
 /// spans. Times are nanoseconds on the monotonic clock, relative to the
@@ -75,6 +142,19 @@ class Tracer {
   /// the span, so the parent keeps it.
   void RecordImported(TraceEvent event);
 
+  /// Imports a distributed trace's wire spans: each becomes a TraceEvent on
+  /// the track of its originating pid (labelled "fairem <process> <pid>"),
+  /// with wall-clock times mapped onto this tracer's epoch so they line up
+  /// with locally recorded spans in the Chrome export.
+  void RecordWireSpans(const std::vector<WireSpan>& spans);
+
+  /// Names a display track in the Chrome export (defaults: track 1 is
+  /// "fairem", any other is "fairem worker <track>").
+  void SetTrackLabel(uint64_t track, std::string label);
+
+  /// Wall-clock Unix microseconds corresponding to start_ns == 0.
+  int64_t EpochUnixMicros() const { return epoch_unix_us_; }
+
   /// Chrome trace_event JSON ("ph":"X" complete events); load the file via
   /// chrome://tracing or https://ui.perfetto.dev.
   std::string ChromeTraceJson() const;
@@ -93,10 +173,12 @@ class Tracer {
   void Record(TraceEvent event);
 
   std::chrono::steady_clock::time_point epoch_;
+  int64_t epoch_unix_us_ = 0;
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_id_{1};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::map<uint64_t, std::string> track_labels_;
 };
 
 /// RAII span: records one TraceEvent on the global tracer from construction

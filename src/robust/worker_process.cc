@@ -161,7 +161,8 @@ WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
     : pid_(std::exchange(other.pid_, -1)),
       pipe_fd_(std::exchange(other.pipe_fd_, -1)),
       received_(std::move(other.received_)),
-      start_(other.start_) {}
+      start_(other.start_),
+      spawn_unix_us_(other.spawn_unix_us_) {}
 
 WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
   if (this != &other) {
@@ -170,6 +171,7 @@ WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
     pipe_fd_ = std::exchange(other.pipe_fd_, -1);
     received_ = std::move(other.received_);
     start_ = other.start_;
+    spawn_unix_us_ = other.spawn_unix_us_;
   }
   return *this;
 }
@@ -203,6 +205,7 @@ Result<WorkerProcess> WorkerProcess::Spawn(
   worker.pid_ = pid;
   worker.pipe_fd_ = fds[0];
   worker.start_ = std::chrono::steady_clock::now();
+  worker.spawn_unix_us_ = UnixMicrosNow();
   return worker;
 }
 

@@ -108,6 +108,11 @@ class WorkerProcess {
   /// Wall-clock seconds since the spawn.
   double AgeSeconds() const;
 
+  /// Unix microseconds at Spawn time — the start timestamp for worker
+  /// spans (DESIGN.md §16), so fork+compute cost lands on the worker's
+  /// own track in a merged trace. 0 for a default-constructed handle.
+  int64_t spawn_unix_us() const { return spawn_unix_us_; }
+
   bool valid() const { return pid_ > 0; }
   pid_t pid() const { return pid_; }
   /// Parent's nonblocking read end; -1 once reaped. Poll it for readability
@@ -121,6 +126,7 @@ class WorkerProcess {
   int pipe_fd_ = -1;
   std::string received_;
   std::chrono::steady_clock::time_point start_;
+  int64_t spawn_unix_us_ = 0;
 };
 
 }  // namespace fairem

@@ -17,6 +17,8 @@
 
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slowlog.h"
+#include "src/obs/trace.h"
 #include "src/report/grid.h"
 #include "src/robust/checkpoint.h"
 #include "src/robust/circuit_breaker.h"
@@ -168,6 +170,10 @@ struct RouteCall {
   std::string outbuf;
   size_t out_sent = 0;
   double started_s = 0.0;
+  // "router.call" span for this backend attempt; 0 when the job is
+  // untraced or the span has already been closed into job.spans.
+  uint64_t span_id = 0;
+  int64_t started_unix_us = 0;
 
   bool active() const { return fd >= 0; }
   bool has_pending_out() const { return out_sent < outbuf.size(); }
@@ -185,6 +191,12 @@ struct RouteJob {
   RouteCall primary;
   RouteCall hedge;
   double hedge_at_s = -1.0;  // < 0: hedging disabled for this job
+  // Tracing state (DESIGN.md §16); inert when ctx is invalid.
+  TraceContext ctx;
+  std::string trace_hex;         // cached ctx.TraceIdHex()
+  uint64_t request_span_id = 0;  // "router.request" hop span
+  int64_t admitted_unix_us = 0;
+  std::vector<WireSpan> spans;   // completed router-side spans
 };
 
 Result<int> ConnectUnix(const std::string& socket_path) {
@@ -228,6 +240,7 @@ class RouteDaemon {
   explicit RouteDaemon(const RouteOptions& options)
       : options_(options),
         metrics_(RouteMetrics::Make()),
+        slowlog_(options.slow_query_log, options.slow_query_ms),
         rng_(0x526f757465ull ^ static_cast<uint64_t>(::getpid())) {}
 
   ~RouteDaemon() {
@@ -658,6 +671,11 @@ class RouteDaemon {
       HandleHealthProbe(conn_id, message);
       return;
     }
+    if (message.type == kFrameProgress) {
+      // PROG is advisory and flows toward clients; a stray one arriving on
+      // the front socket is a confused-but-harmless peer. Ignore it.
+      return;
+    }
     metrics_.queries_total->Increment();
     if (message.type != kFrameQueryRequest) {
       metrics_.malformed_frames->Increment();
@@ -724,6 +742,22 @@ class RouteDaemon {
 
   // -------------------------------------------------------------- routing --
 
+  /// A one-shot router-side span for queries refused without a RouteJob
+  /// (sheds): even a refused query shows its hop in the client's trace.
+  static void AttachAdHocSpan(const QueryRequest& request,
+                              QueryResponse* response, const char* outcome) {
+    if (!request.trace.valid()) return;
+    WireSpan span;
+    span.name = "router.request";
+    span.process = "router";
+    span.pid = static_cast<int64_t>(::getpid());
+    span.span_id = NewSpanId();
+    span.parent_span_id = request.trace.parent_span_id;
+    span.start_unix_us = UnixMicrosNow();
+    span.annotations.emplace_back("outcome", outcome);
+    response->spans.push_back(std::move(span));
+  }
+
   void AdmitRoutedQuery(uint64_t conn_id, const QueryRequest& request) {
     QueryResponse response;
     response.id = request.id;
@@ -731,6 +765,7 @@ class RouteDaemon {
       metrics_.shed_draining->Increment();
       response.status = Status::Unavailable("router draining; retry later");
       response.retry_after_s = options_.retry_after_s;
+      AttachAdHocSpan(request, &response, "shed_draining");
       Respond(conn_id, response);
       return;
     }
@@ -738,6 +773,7 @@ class RouteDaemon {
       metrics_.shed_overload->Increment();
       response.status = Status::Unavailable("router at capacity");
       response.retry_after_s = CurrentRetryAfterS();
+      AttachAdHocSpan(request, &response, "shed_overload");
       Respond(conn_id, response);
       return;
     }
@@ -753,6 +789,14 @@ class RouteDaemon {
     job.key = request.dataset + "." + request.mode + "." + request.matcher;
     job.admitted_s = now;
     job.deadline_s = now + deadline_s;
+    if (request.trace.valid()) {
+      job.ctx = request.trace;
+      job.trace_hex = request.trace.TraceIdHex();
+      // Pre-minted so backend calls can parent under it before the hop
+      // span itself closes in FinishRoutedJob.
+      job.request_span_id = NewSpanId();
+      job.admitted_unix_us = UnixMicrosNow();
+    }
     if (options_.hedge) job.hedge_at_s = now + HedgeDelay();
     if (!Dispatch(job, &job.primary, now)) {
       FinishUnroutable(job);
@@ -796,6 +840,8 @@ class RouteDaemon {
         if (Backend* backend = FindBackend(target)) {
           RecordBackendFailure(*backend, now);
         }
+        AppendFailoverSpan(job, target, call == &job.hedge,
+                           "connect_failed");
         metrics_.failovers->Increment();
         continue;
       }
@@ -810,6 +856,13 @@ class RouteDaemon {
       // The backend should only work as long as the client will still be
       // listening: forward the remaining budget, not the original.
       forwarded.deadline_s = std::max(0.001, job.deadline_s - now);
+      if (job.ctx.valid()) {
+        // Re-parent the context so the backend's spans hang under this
+        // specific call — a hedge and its primary stay distinguishable.
+        call->span_id = NewSpanId();
+        call->started_unix_us = UnixMicrosNow();
+        forwarded.trace.parent_span_id = call->span_id;
+      }
       call->outbuf.append(EncodeServeMessage(
           kFrameQueryRequest, SerializeQueryRequest(forwarded)));
       FlushCall(*call);
@@ -850,10 +903,25 @@ class RouteDaemon {
     call->out_sent = 0;
   }
 
+  /// Forwards a backend's advisory PROG frame to the job's client, with
+  /// the correlation id rewritten from the router's to the client's.
+  void ForwardProgress(RouteJob& job, const std::string& bytes) {
+    Result<ProgressUpdate> update = ParseProgressUpdate(bytes);
+    if (!update.ok() || update->id != job.route_id) return;
+    auto it = conns_.find(job.conn_id);
+    if (it == conns_.end()) return;
+    ProgressUpdate forwarded = *update;
+    forwarded.id = job.request.id;
+    if (forwarded.trace_id.empty()) forwarded.trace_id = job.trace_hex;
+    it->second.outbuf.append(EncodeServeMessage(
+        kFrameProgress, SerializeProgressUpdate(forwarded)));
+    FlushConn(it->second);
+  }
+
   /// Pump one call's IO. Returns 0 while pending, +1 with *out filled on a
   /// definite answer, -1 on transport failure or a backend kUnavailable
   /// (both mean: try another backend).
-  int PumpCall(RouteCall& call, uint64_t route_id, QueryResponse* out) {
+  int PumpCall(RouteCall& call, RouteJob& job, QueryResponse* out) {
     FlushCall(call);
     if (!call.active()) return -1;
     char buf[65536];
@@ -878,10 +946,14 @@ class RouteDaemon {
       Result<FrameDecoder::Next> next = call.decoder.TryNext(&message);
       if (!next.ok()) return -1;
       if (*next == FrameDecoder::Next::kNeedMore) break;
+      if (message.type == kFrameProgress) {
+        ForwardProgress(job, message.bytes);
+        continue;
+      }
       if (message.type != kFrameQueryResponse) continue;
       Result<QueryResponse> response = ParseQueryResponse(message.bytes);
       if (!response.ok()) return -1;
-      if (response->id != route_id) return -1;
+      if (response->id != job.route_id) return -1;
       // A backend shed/drain is the router's cue to fail over, exactly
       // like a dead backend — the client never sees it.
       if (!response->status.ok() && response->status.IsUnavailable()) {
@@ -920,7 +992,7 @@ class RouteDaemon {
         RouteCall& call = is_hedge ? jt->second.hedge : jt->second.primary;
         if (!call.active()) continue;
         QueryResponse response;
-        int outcome = PumpCall(call, jt->second.route_id, &response);
+        int outcome = PumpCall(call, jt->second, &response);
         if (outcome == 0) continue;
         if (outcome > 0) {
           OnCallAnswered(jt->second, is_hedge, std::move(response), now);
@@ -932,6 +1004,72 @@ class RouteDaemon {
     }
   }
 
+  /// Closes `call`'s "router.call" span into job.spans with the given
+  /// outcome. Safe to call on an untraced or already-closed call (no-op).
+  void FinishCallSpan(RouteJob& job, RouteCall& call, bool is_hedge,
+                      const char* outcome) {
+    if (!job.ctx.valid() || call.span_id == 0) return;
+    WireSpan span;
+    span.name = "router.call";
+    span.process = "router";
+    span.pid = static_cast<int64_t>(::getpid());
+    span.span_id = call.span_id;
+    span.parent_span_id = job.request_span_id;
+    span.start_unix_us = call.started_unix_us;
+    const int64_t now_us = UnixMicrosNow();
+    span.duration_us =
+        now_us > call.started_unix_us ? now_us - call.started_unix_us : 0;
+    span.annotations.emplace_back("backend", call.backend);
+    span.annotations.emplace_back("hedge", is_hedge ? "true" : "false");
+    span.annotations.emplace_back("outcome", outcome);
+    job.spans.push_back(std::move(span));
+    call.span_id = 0;
+  }
+
+  /// Finalizes a routed query: closes the "router.request" hop span onto
+  /// the response (ahead of the backend's own spans, which `response` may
+  /// already carry), feeds the slow-query log, and responds to the client.
+  void FinishRoutedJob(RouteJob& job, QueryResponse& response, double now,
+                       const char* outcome) {
+    const double total_s = now - job.admitted_s;
+    metrics_.request_seconds->ObserveWithExemplar(total_s, job.trace_hex);
+    if (job.ctx.valid()) {
+      WireSpan root;
+      root.name = "router.request";
+      root.process = "router";
+      root.pid = static_cast<int64_t>(::getpid());
+      root.span_id = job.request_span_id;
+      root.parent_span_id = job.ctx.parent_span_id;
+      root.start_unix_us = job.admitted_unix_us;
+      const int64_t now_us = UnixMicrosNow();
+      root.duration_us = now_us > job.admitted_unix_us
+                             ? now_us - job.admitted_unix_us
+                             : 0;
+      root.annotations.emplace_back("key", job.key);
+      root.annotations.emplace_back("outcome", outcome);
+      root.annotations.emplace_back("backends_tried",
+                                    std::to_string(job.tried.size()));
+      response.spans.push_back(std::move(root));
+      response.spans.insert(response.spans.end(), job.spans.begin(),
+                            job.spans.end());
+    }
+    if (slowlog_.enabled()) {
+      SlowQueryEvent event;
+      event.process = "router";
+      event.trace_id = job.trace_hex;
+      event.id = job.request.id;
+      event.op = job.request.op;
+      event.key = job.key;
+      event.status = response.status.ok()
+                         ? "OK"
+                         : StatusCodeToString(response.status.code());
+      event.total_ms = total_s * 1000.0;
+      event.spans = response.spans;
+      slowlog_.MaybeLog(event, now);
+    }
+    Respond(job.conn_id, response);
+  }
+
   void OnCallAnswered(RouteJob& job, bool is_hedge, QueryResponse response,
                       double now) {
     RouteCall& winner = is_hedge ? job.hedge : job.primary;
@@ -940,18 +1078,42 @@ class RouteDaemon {
       RecordBackendSuccess(*backend, now);
     }
     metrics_.backend_call_seconds->Observe(now - winner.started_s);
+    const bool hedge_won = is_hedge;
     if (is_hedge) {
       metrics_.hedges_won->Increment();
     } else if (loser.active()) {
       metrics_.hedges_lost->Increment();
     }
+    FinishCallSpan(job, winner, is_hedge, "answered");
+    FinishCallSpan(job, loser, !is_hedge, "cancelled");
     // The loser's answer no longer matters; cancellation is a close. Its
     // outcome is unknown, so its breaker is left alone.
     CloseCall(&loser);
     CloseCall(&winner);
     response.id = job.request.id;
-    metrics_.request_seconds->Observe(now - job.admitted_s);
-    Respond(job.conn_id, response);
+    FinishRoutedJob(job, response, now,
+                    hedge_won ? "hedge_won" : "primary_won");
+  }
+
+  /// The failover decision itself, as an instant span: a connected trace
+  /// shows not just the failed call but the moment the router moved on
+  /// from it. `reason` distinguishes a call that died mid-flight
+  /// ("call_failed") from a backend that refused the connection outright
+  /// ("connect_failed", e.g. a SIGKILLed daemon's stale socket).
+  void AppendFailoverSpan(RouteJob& job, const std::string& from_backend,
+                          bool is_hedge, const char* reason) {
+    if (!job.ctx.valid()) return;
+    WireSpan failover;
+    failover.name = "router.failover";
+    failover.process = "router";
+    failover.pid = static_cast<int64_t>(::getpid());
+    failover.span_id = NewSpanId();
+    failover.parent_span_id = job.request_span_id;
+    failover.start_unix_us = UnixMicrosNow();
+    failover.annotations.emplace_back("from_backend", from_backend);
+    failover.annotations.emplace_back("reason", reason);
+    failover.annotations.emplace_back("hedge", is_hedge ? "true" : "false");
+    job.spans.push_back(std::move(failover));
   }
 
   void OnCallFailed(RouteJob& job, bool is_hedge, double now) {
@@ -959,6 +1121,8 @@ class RouteDaemon {
     if (Backend* backend = FindBackend(failed.backend)) {
       RecordBackendFailure(*backend, now);
     }
+    FinishCallSpan(job, failed, is_hedge, "failed");
+    AppendFailoverSpan(job, failed.backend, is_hedge, "call_failed");
     CloseCall(&failed);
     metrics_.failovers->Increment();
     if (!job.rerouted) {
@@ -998,8 +1162,7 @@ class RouteDaemon {
       response.retry_after_s = CurrentRetryAfterS();
       metrics_.unroutable_queries->Increment();
     }
-    metrics_.request_seconds->Observe(MonotonicSeconds() - job.admitted_s);
-    Respond(job.conn_id, response);
+    FinishRoutedJob(job, response, MonotonicSeconds(), "unroutable");
   }
 
   void ExpireJobs(double now) {
@@ -1013,14 +1176,15 @@ class RouteDaemon {
       RouteJob& job = it->second;
       metrics_.deadline_expired->Increment();
       if (job.hedge.active()) metrics_.hedges_lost->Increment();
+      FinishCallSpan(job, job.primary, /*is_hedge=*/false, "expired");
+      FinishCallSpan(job, job.hedge, /*is_hedge=*/true, "expired");
       CloseCall(&job.primary);
       CloseCall(&job.hedge);
       QueryResponse response;
       response.id = job.request.id;
       response.status =
           Status::DeadlineExceeded("deadline expired in router");
-      metrics_.request_seconds->Observe(now - job.admitted_s);
-      Respond(job.conn_id, response);
+      FinishRoutedJob(job, response, now, "deadline");
       jobs_.erase(it);
     }
   }
@@ -1145,6 +1309,7 @@ class RouteDaemon {
 
   RouteOptions options_;
   RouteMetrics metrics_;
+  SlowQueryLogger slowlog_;
   Rng rng_;
   int listen_fd_ = -1;
   uint64_t next_conn_id_ = 0;

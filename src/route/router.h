@@ -87,6 +87,12 @@ struct RouteOptions {
   /// the last step of the drain.
   std::string metrics_path;
   int listen_backlog = 64;
+  /// Slow-query log (DESIGN.md §16): routed queries slower than
+  /// slow_query_ms end-to-end get one wide-event JSON line (trace id, op,
+  /// key, status, span breakdown) appended to slow_query_log, rate-limited.
+  /// Disabled when slow_query_ms <= 0 or the path is empty.
+  double slow_query_ms = 0.0;
+  std::string slow_query_log;
 };
 
 /// Runs the router until a SIGTERM/SIGINT drain completes. Returns OK after

@@ -68,9 +68,11 @@ Result<ServeClient> ServeClient::Connect(const std::string& socket_path,
 
 ServeClient::ServeClient(ServeClient&& other) noexcept
     : socket_path_(std::move(other.socket_path_)),
-      options_(other.options_),
+      options_(std::move(other.options_)),
       fd_(other.fd_),
-      next_id_(other.next_id_) {
+      next_id_(other.next_id_),
+      last_trace_(other.last_trace_),
+      last_spans_(std::move(other.last_spans_)) {
   other.fd_ = -1;
 }
 
@@ -78,9 +80,11 @@ ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
   if (this != &other) {
     Close();
     socket_path_ = std::move(other.socket_path_);
-    options_ = other.options_;
+    options_ = std::move(other.options_);
     fd_ = other.fd_;
     next_id_ = other.next_id_;
+    last_trace_ = other.last_trace_;
+    last_spans_ = std::move(other.last_spans_);
     other.fd_ = -1;
   }
   return *this;
@@ -96,15 +100,69 @@ void ServeClient::Close() {
 }
 
 Result<QueryResponse> ServeClient::Call(const QueryRequest& request) {
+  // Tracing a direct Call (no retry wrapper) still yields a rooted trace:
+  // mint the context here and wrap the single attempt in the query root.
+  if (!options_.trace || request.trace.valid()) {
+    return CallAttempt(request, request.trace, 0);
+  }
+  TraceContext ctx = NewTraceContext();
+  last_trace_ = ctx;
+  last_spans_.clear();
+  WireSpan root;
+  root.name = "client.query";
+  root.process = "client";
+  root.pid = ::getpid();
+  root.span_id = NewSpanId();
+  root.start_unix_us = UnixMicrosNow();
+  root.annotations.emplace_back("op", request.op);
+  ctx.parent_span_id = root.span_id;
+  Result<QueryResponse> outcome = CallAttempt(request, ctx, 0);
+  root.duration_us = UnixMicrosNow() - root.start_unix_us;
+  const Status& status =
+      outcome.ok() ? outcome->status : outcome.status();
+  root.annotations.emplace_back(
+      "status", status.ok() ? "OK" : StatusCodeToString(status.code()));
+  last_spans_.push_back(std::move(root));
+  return outcome;
+}
+
+Result<QueryResponse> ServeClient::CallAttempt(const QueryRequest& request,
+                                               const TraceContext& ctx,
+                                               int attempt) {
   if (fd_ < 0) return Status::Unavailable("client: not connected");
   QueryRequest sent = request;
   sent.id = ++next_id_;
+  WireSpan span;
+  const bool traced = ctx.valid();
+  if (traced) {
+    // The attempt span is the parent of everything the server records for
+    // this round trip, so its (pre-minted) id rides the QREQ.
+    span.name = "client.attempt";
+    span.process = "client";
+    span.pid = ::getpid();
+    span.span_id = NewSpanId();
+    span.parent_span_id = ctx.parent_span_id;
+    span.start_unix_us = UnixMicrosNow();
+    if (attempt > 0) {
+      span.annotations.emplace_back("attempt", std::to_string(attempt));
+    }
+    sent.trace = ctx;
+    sent.trace.parent_span_id = span.span_id;
+  }
+  auto finish_span = [&](const Status& status) {
+    if (!traced) return;
+    span.duration_us = UnixMicrosNow() - span.start_unix_us;
+    span.annotations.emplace_back(
+        "status", status.ok() ? "OK" : StatusCodeToString(status.code()));
+    last_spans_.push_back(std::move(span));
+  };
   Status wrote = WriteServeMessage(fd_, kFrameQueryRequest,
                                    SerializeQueryRequest(sent),
                                    options_.io_timeout_s);
   if (!wrote.ok()) {
     Close();  // the stream position is unknown; a fresh connection is the
               // only safe retry
+    finish_span(wrote);
     return wrote;
   }
   // The response may lag by the query's own deadline (compute time) on top
@@ -112,25 +170,48 @@ Result<QueryResponse> ServeClient::Call(const QueryRequest& request) {
   const double read_timeout =
       options_.io_timeout_s +
       (sent.deadline_s > 0.0 ? sent.deadline_s : 0.0);
+  // Advisory PROG frames may precede the QRSP; each read gets the full
+  // budget again — progress arriving proves the peer is alive.
   Result<ServeMessage> message = ReadServeMessage(fd_, read_timeout);
+  while (message.ok() && message->type == kFrameProgress) {
+    Result<ProgressUpdate> progress = ParseProgressUpdate(message->bytes);
+    if (progress.ok() && options_.on_progress != nullptr &&
+        progress->id == sent.id) {
+      options_.on_progress(*progress);
+    }
+    message = ReadServeMessage(fd_, read_timeout);
+  }
   if (!message.ok()) {
     Close();
+    finish_span(message.status());
     return message.status();
   }
   if (message->type != kFrameQueryResponse) {
     Close();
+    finish_span(Status::IOError("unexpected frame"));
     return Status::IOError("client: unexpected frame type '" +
                            message->type + "'");
   }
-  FAIREM_ASSIGN_OR_RETURN(QueryResponse response,
-                          ParseQueryResponse(message->bytes));
-  if (response.id != sent.id) {
-    Close();
-    return Status::IOError("client: response id " +
-                           std::to_string(response.id) +
-                           " does not match request id " +
-                           std::to_string(sent.id));
+  Result<QueryResponse> response = ParseQueryResponse(message->bytes);
+  if (!response.ok()) {
+    finish_span(response.status());
+    return response.status();
   }
+  if (response->id != sent.id) {
+    Close();
+    Status mismatch = Status::IOError(
+        "client: response id " + std::to_string(response->id) +
+        " does not match request id " + std::to_string(sent.id));
+    finish_span(mismatch);
+    return mismatch;
+  }
+  if (traced) {
+    // The response piggybacks the downstream hops' spans; fold them into
+    // this query's timeline.
+    last_spans_.insert(last_spans_.end(), response->spans.begin(),
+                       response->spans.end());
+  }
+  finish_span(response->status);
   return response;
 }
 
@@ -139,6 +220,32 @@ Result<QueryResponse> ServeClient::CallWithRetry(const QueryRequest& request,
                                                  uint64_t seed) {
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
   const double start = retry_internal::MonotonicSeconds();
+  // One query root span covers every attempt and backoff; each attempt
+  // parents its own round trip under it.
+  QueryRequest traced_request = request;
+  WireSpan root;
+  const bool traced = options_.trace && !request.trace.valid();
+  if (traced) {
+    TraceContext ctx = NewTraceContext();
+    last_trace_ = ctx;
+    last_spans_.clear();
+    root.name = "client.query";
+    root.process = "client";
+    root.pid = ::getpid();
+    root.span_id = NewSpanId();
+    root.start_unix_us = UnixMicrosNow();
+    root.annotations.emplace_back("op", request.op);
+    ctx.parent_span_id = root.span_id;
+    traced_request.trace = ctx;
+  }
+  auto finish_root = [&](const Status& status, int attempts) {
+    if (!traced) return;
+    root.duration_us = UnixMicrosNow() - root.start_unix_us;
+    root.annotations.emplace_back(
+        "status", status.ok() ? "OK" : StatusCodeToString(status.code()));
+    root.annotations.emplace_back("attempts", std::to_string(attempts));
+    last_spans_.push_back(root);
+  };
   // The effective wall-clock budget is the tighter of the policy deadline
   // and the query's own deadline: backoff sleeps (including a server's
   // retry_after_s hint, which can be large under load) must never push the
@@ -161,15 +268,20 @@ Result<QueryResponse> ServeClient::CallWithRetry(const QueryRequest& request,
       Result<ServeClient> fresh = Connect(socket_path_, reconnect);
       if (fresh.ok()) {
         // Keep our id counter: correlation ids stay unique per logical
-        // client even across reconnects.
+        // client even across reconnects. The trace accumulated so far
+        // survives too — the fresh connection has none.
         fresh->next_id_ = next_id_;
+        fresh->last_trace_ = last_trace_;
+        fresh->last_spans_ = std::move(last_spans_);
         *this = std::move(*fresh);
       } else if (attempt >= policy.max_attempts ||
                  !fresh.status().IsUnavailable()) {
+        finish_root(fresh.status(), attempt);
         return fresh.status();
       }
     }
-    Result<QueryResponse> outcome = Call(request);
+    Result<QueryResponse> outcome =
+        CallAttempt(traced_request, traced_request.trace, attempt);
     const Status& status =
         outcome.ok() ? outcome->status : outcome.status();
     // Only kUnavailable is worth retrying here: it is the server's
@@ -177,6 +289,7 @@ Result<QueryResponse> ServeClient::CallWithRetry(const QueryRequest& request,
     // expiry and input errors are definite.
     if (status.ok() || !status.IsUnavailable() ||
         attempt >= policy.max_attempts) {
+      finish_root(status, attempt);
       return outcome;
     }
     double backoff = BackoffSeconds(policy, attempt, &rng);
@@ -196,11 +309,29 @@ Result<QueryResponse> ServeClient::CallWithRetry(const QueryRequest& request,
         expired.status = Status::DeadlineExceeded(
             "retry budget exhausted after " + std::to_string(attempt) +
             " attempt(s); last error: " + status.ToString());
+        finish_root(expired.status, attempt);
         return expired;
       }
     }
     retry_internal::CountRetry(status);
-    retry_internal::SleepSeconds(backoff);
+    if (traced) {
+      WireSpan sleep_span;
+      sleep_span.name = "client.backoff";
+      sleep_span.process = "client";
+      sleep_span.pid = ::getpid();
+      sleep_span.span_id = NewSpanId();
+      sleep_span.parent_span_id = root.span_id;
+      sleep_span.start_unix_us = UnixMicrosNow();
+      sleep_span.annotations.emplace_back("attempt",
+                                          std::to_string(attempt));
+      sleep_span.annotations.emplace_back("last_error",
+                                          StatusCodeToString(status.code()));
+      retry_internal::SleepSeconds(backoff);
+      sleep_span.duration_us = UnixMicrosNow() - sleep_span.start_unix_us;
+      last_spans_.push_back(std::move(sleep_span));
+    } else {
+      retry_internal::SleepSeconds(backoff);
+    }
     ++attempt;
   }
 }

@@ -2,8 +2,11 @@
 #define FAIREM_SERVE_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "src/obs/trace.h"
 #include "src/robust/retry.h"
 #include "src/serve/protocol.h"
 #include "src/util/result.h"
@@ -23,6 +26,14 @@ struct ServeClientOptions {
   /// How long Connect keeps retrying while the daemon is still starting
   /// up (socket file absent / not yet listening).
   double connect_timeout_s = 10.0;
+  /// Distributed tracing (DESIGN.md §16): mint a TraceContext per query,
+  /// propagate it on QREQ, record client-side spans (query root, each
+  /// attempt, each backoff sleep), and collect the cross-process spans the
+  /// response piggybacks — available via last_spans() afterwards.
+  bool trace = false;
+  /// Invoked (on the calling thread, mid-Call) for each advisory PROG
+  /// frame the server streams for the in-flight request. May be null.
+  std::function<void(const ProgressUpdate&)> on_progress;
 };
 
 class ServeClient {
@@ -60,11 +71,25 @@ class ServeClient {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
+  /// The trace of the most recent traced query: its context (trace id) and
+  /// every span collected — the client's own plus the ones the response
+  /// carried from router/daemon/worker. Valid until the next traced query
+  /// starts. Empty when options.trace is off.
+  const TraceContext& last_trace() const { return last_trace_; }
+  const std::vector<WireSpan>& last_spans() const { return last_spans_; }
+
  private:
+  /// One transport round trip; records a "client.attempt" span and streams
+  /// PROG frames when `ctx` is valid. `attempt` > 0 annotates the span.
+  Result<QueryResponse> CallAttempt(const QueryRequest& request,
+                                    const TraceContext& ctx, int attempt);
+
   std::string socket_path_;
   ServeClientOptions options_;
   int fd_ = -1;
   uint64_t next_id_ = 0;
+  TraceContext last_trace_;
+  std::vector<WireSpan> last_spans_;
 };
 
 }  // namespace fairem

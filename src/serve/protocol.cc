@@ -58,7 +58,7 @@ Status ParseHeader(const char* data, std::string* type, uint64_t* length) {
 
 bool KnownMessageType(const std::string& type) {
   return type == kFrameQueryRequest || type == kFrameQueryResponse ||
-         type == kFrameHealth;
+         type == kFrameHealth || type == kFrameProgress;
 }
 
 }  // namespace
@@ -74,7 +74,14 @@ std::string SerializeQueryRequest(const QueryRequest& request) {
   os << ",\"mode\":";
   AppendJsonString(&os, request.mode);
   os << ",\"deadline_s\":" << FormatDouble(request.deadline_s, 6)
-     << ",\"id\":" << request.id << "}";
+     << ",\"id\":" << request.id;
+  if (request.trace.valid()) {
+    os << ",\"trace_id\":";
+    AppendJsonString(&os, request.trace.TraceIdHex());
+    os << ",\"span_id\":" << request.trace.parent_span_id
+       << ",\"sampled\":" << (request.trace.sampled ? "true" : "false");
+  }
+  os << "}";
   return os.str();
 }
 
@@ -105,6 +112,25 @@ Result<QueryRequest> ParseQueryRequest(const std::string& json) {
   if (const JsonValue* v = JsonFind(root, "id")) {
     FAIREM_ASSIGN_OR_RETURN(request.id, JsonAsU64(*v, "id"));
   }
+  // Trace fields are advisory: anything malformed degrades to an untraced
+  // request rather than erroring it, so a buggy or future peer's trace
+  // experiment can never take queries down.
+  if (const JsonValue* v = JsonFind(root, "trace_id")) {
+    if (v->kind == JsonValue::kString &&
+        ParseTraceIdHex(v->scalar, &request.trace.trace_hi,
+                        &request.trace.trace_lo)) {
+      if (const JsonValue* span = JsonFind(root, "span_id")) {
+        if (Result<uint64_t> id = JsonAsU64(*span, "span_id"); id.ok()) {
+          request.trace.parent_span_id = *id;
+        }
+      }
+      if (const JsonValue* sampled = JsonFind(root, "sampled")) {
+        if (Result<bool> b = JsonAsBool(*sampled, "sampled"); b.ok()) {
+          request.trace.sampled = *b;
+        }
+      }
+    }
+  }
   return request;
 }
 
@@ -122,6 +148,9 @@ std::string SerializeQueryResponse(const QueryResponse& response) {
     AppendJsonString(&os, response.status.message());
     os << ",\"retry_after_s\":" << FormatDouble(response.retry_after_s, 6);
   }
+  if (!response.spans.empty()) {
+    os << ",\"spans\":" << SerializeWireSpans(response.spans);
+  }
   os << "}";
   return os.str();
 }
@@ -134,6 +163,11 @@ Result<QueryResponse> ParseQueryResponse(const std::string& json) {
   QueryResponse response;
   if (const JsonValue* v = JsonFind(root, "id")) {
     FAIREM_ASSIGN_OR_RETURN(response.id, JsonAsU64(*v, "id"));
+  }
+  if (const JsonValue* v = JsonFind(root, "spans")) {
+    // Tolerant: a response whose spans are garbage still delivers its
+    // payload (the trace just loses those hops).
+    response.spans = ParseWireSpans(*v);
   }
   const JsonValue* ok = JsonFind(root, "ok");
   if (ok == nullptr) {
@@ -212,6 +246,50 @@ Result<HealthReport> ParseHealthReport(const std::string& json) {
                             JsonAsDouble(*v, "retry_after_s"));
   }
   return report;
+}
+
+std::string SerializeProgressUpdate(const ProgressUpdate& update) {
+  std::ostringstream os;
+  os << "{\"id\":" << update.id
+     << ",\"fraction\":" << FormatDouble(update.fraction, 6)
+     << ",\"eta_s\":" << FormatDouble(update.eta_s, 6) << ",\"stage\":";
+  AppendJsonString(&os, update.stage);
+  if (!update.trace_id.empty()) {
+    os << ",\"trace_id\":";
+    AppendJsonString(&os, update.trace_id);
+  }
+  os << "}";
+  return os.str();
+}
+
+Result<ProgressUpdate> ParseProgressUpdate(const std::string& json) {
+  FAIREM_ASSIGN_OR_RETURN(JsonValue root, JsonParse(json));
+  if (root.kind != JsonValue::kObject) {
+    return Status::InvalidArgument("progress update: not a JSON object");
+  }
+  // Per-field tolerant like HealthReport: PROG is advisory, and a frame a
+  // future peer enriches must still parse here.
+  ProgressUpdate update;
+  if (const JsonValue* v = JsonFind(root, "id")) {
+    if (Result<uint64_t> id = JsonAsU64(*v, "id"); id.ok()) update.id = *id;
+  }
+  if (const JsonValue* v = JsonFind(root, "fraction")) {
+    if (Result<double> f = JsonAsDouble(*v, "fraction"); f.ok()) {
+      update.fraction = *f;
+    }
+  }
+  if (const JsonValue* v = JsonFind(root, "eta_s")) {
+    if (Result<double> eta = JsonAsDouble(*v, "eta_s"); eta.ok()) {
+      update.eta_s = *eta;
+    }
+  }
+  if (const JsonValue* v = JsonFind(root, "stage")) {
+    if (v->kind == JsonValue::kString) update.stage = v->scalar;
+  }
+  if (const JsonValue* v = JsonFind(root, "trace_id")) {
+    if (v->kind == JsonValue::kString) update.trace_id = v->scalar;
+  }
+  return update;
 }
 
 std::string EncodeServeMessage(const std::string& type,

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "src/obs/trace.h"
 #include "src/util/result.h"
 #include "src/util/status.h"
 
@@ -28,6 +30,13 @@ inline constexpr char kFrameQueryResponse[] = "QRSP";
 /// predate HLTH skip it as an unknown frame, so probing an old daemon
 /// degrades to "no reply before the probe deadline", never to desync.
 inline constexpr char kFrameHealth[] = "HLTH";
+/// Advisory mid-query progress frame (DESIGN.md §16): while a cell query
+/// computes, the daemon streams PROG frames — fraction done, ETA from the
+/// cell-duration histogram — toward the client; the router forwards them
+/// with the id rewritten to the client's. PROG never completes a message:
+/// peers that predate it (or ignore it) skip it as an unknown frame and
+/// keep waiting for the QRSP, so progress streaming is pure opt-in.
+inline constexpr char kFrameProgress[] = "PROG";
 
 /// Upper bound on a declared frame body. A malicious or corrupted header
 /// cannot make either side buffer more than this.
@@ -45,6 +54,12 @@ struct QueryRequest {
   double deadline_s = 0.0;
   /// Client correlation id, echoed verbatim in the response.
   uint64_t id = 0;
+  /// Distributed trace identity (optional wire fields "trace_id" 32-hex,
+  /// "span_id", "sampled"). Invalid (zero) = untraced; the fields are then
+  /// omitted from the wire entirely, and a malformed trace field on parse
+  /// degrades to untraced instead of failing the request — old and new
+  /// peers interoperate in both directions.
+  TraceContext trace;
 };
 
 struct QueryResponse {
@@ -56,6 +71,10 @@ struct QueryResponse {
   std::string payload;
   /// Backoff hint accompanying kUnavailable; 0 otherwise.
   double retry_after_s = 0.0;
+  /// Spans this hop (and hops behind it) recorded for the query's trace,
+  /// piggybacked on the response ("spans" field, omitted when empty; parse
+  /// is tolerant — malformed spans drop, they never fail the response).
+  std::vector<WireSpan> spans;
 };
 
 /// One HLTH frame body, both directions. A probe has `probe` true and only
@@ -72,12 +91,29 @@ struct HealthReport {
   double retry_after_s = 0.0;
 };
 
+/// One PROG frame body. Advisory by definition: every field is optional on
+/// parse with a safe default, and unknown fields are ignored.
+struct ProgressUpdate {
+  /// Correlation id of the in-flight request the update is about.
+  uint64_t id = 0;
+  /// Best-effort completion estimate in [0, 1].
+  double fraction = 0.0;
+  /// Estimated seconds to completion; negative = unknown.
+  double eta_s = -1.0;
+  /// Coarse stage label ("queued", "compute", ...).
+  std::string stage;
+  /// 32-hex trace id when the query is traced; empty otherwise.
+  std::string trace_id;
+};
+
 std::string SerializeQueryRequest(const QueryRequest& request);
 Result<QueryRequest> ParseQueryRequest(const std::string& json);
 std::string SerializeQueryResponse(const QueryResponse& response);
 Result<QueryResponse> ParseQueryResponse(const std::string& json);
 std::string SerializeHealthReport(const HealthReport& report);
 Result<HealthReport> ParseHealthReport(const std::string& json);
+std::string SerializeProgressUpdate(const ProgressUpdate& update);
+Result<ProgressUpdate> ParseProgressUpdate(const std::string& json);
 
 struct ServeMessage {
   std::string type;  // 4 chars

@@ -17,7 +17,9 @@
 
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slowlog.h"
 #include "src/obs/telemetry.h"
+#include "src/obs/trace.h"
 #include "src/robust/supervisor.h"
 #include "src/robust/worker_process.h"
 #include "src/serve/protocol.h"
@@ -60,10 +62,14 @@ struct ServeMetrics {
   Counter* responses_dropped;
   Counter* health_probes;
   Counter* shutdowns;
+  Counter* progress_frames;
   Gauge* queue_depth;
   Gauge* inflight;
   Gauge* connections;
   Histogram* request_seconds;
+  /// Finished cell compute durations — shared with ProgressReporter's ETA
+  /// metric so batch runs and the daemon pool one duration model.
+  Histogram* cell_seconds;
 
   static ServeMetrics Make() {
     MetricsRegistry& reg = MetricsRegistry::Global();
@@ -86,10 +92,12 @@ struct ServeMetrics {
     m.responses_dropped = reg.GetCounter("fairem.serve.responses_dropped");
     m.health_probes = reg.GetCounter("fairem.serve.health_probes");
     m.shutdowns = reg.GetCounter("fairem.serve.shutdowns");
+    m.progress_frames = reg.GetCounter("fairem.serve.progress_frames");
     m.queue_depth = reg.GetGauge("fairem.serve.queue_depth");
     m.inflight = reg.GetGauge("fairem.serve.inflight");
     m.connections = reg.GetGauge("fairem.serve.connections");
     m.request_seconds = reg.GetHistogram("fairem.serve.request_seconds");
+    m.cell_seconds = reg.GetHistogram("fairem.progress.cell_seconds");
     return m;
   }
 };
@@ -118,12 +126,25 @@ struct QueryJob {
   int attempts = 0;
   bool timed_out = false;
   WorkerProcess proc;  // valid while in flight
+  // Tracing state (DESIGN.md §16). ctx is invalid for untraced queries and
+  // every field below stays inert then — zero extra bytes on the wire.
+  TraceContext ctx;
+  std::string trace_hex;         // cached ctx.TraceIdHex()
+  uint64_t request_span_id = 0;  // "daemon.request"; daemon/worker spans
+                                 // parent under it
+  int64_t admitted_unix_us = 0;
+  pid_t worker_pid = 0;          // survives the reap (proc.pid() is -1 then)
+  double last_progress_s = 0.0;  // monotonic; rate-limits PROG frames
+  std::vector<WireSpan> spans;   // completed spans, shipped on the QRSP
 };
 
 class ServeDaemon {
  public:
   ServeDaemon(const ServeOptions& options)
-      : options_(options), metrics_(ServeMetrics::Make()) {}
+      : options_(options),
+        metrics_(ServeMetrics::Make()),
+        slowlog_(options.slow_query_log, options.slow_query_ms),
+        epoch_(SteadyClock::now()) {}
 
   ~ServeDaemon() {
     for (auto& [id, conn] : conns_) ::close(conn.fd);
@@ -152,6 +173,7 @@ class ServeDaemon {
       AcceptPending();
       PumpConnections();
       PumpWorkers();
+      EmitProgress();
       CloseSlowClients();
       UpdateGauges();
     }
@@ -318,6 +340,12 @@ class ServeDaemon {
       HandleHealthProbe(conn_id, message);
       return;
     }
+    if (message.type == kFrameProgress) {
+      // PROG is advisory and flows toward clients; one arriving here is a
+      // confused-but-harmless peer. Ignore it — closing would turn a
+      // best-effort frame into a query failure.
+      return;
+    }
     metrics_.requests_total->Increment();
     if (message.type != kFrameQueryRequest) {
       // A response frame sent at a server is a confused peer; drop it.
@@ -380,13 +408,36 @@ class ServeDaemon {
         options_.max_inflight);
   }
 
+  /// A one-shot daemon-side span for queries answered without a QueryJob
+  /// (sheds, cache hits): even a refused query shows up in the client's
+  /// merged trace with the hop that refused it.
+  static void AttachAdHocSpan(const QueryRequest& request,
+                              QueryResponse* response,
+                              int64_t start_unix_us, const char* outcome) {
+    if (!request.trace.valid()) return;
+    WireSpan span;
+    span.name = "daemon.request";
+    span.process = "daemon";
+    span.pid = static_cast<int64_t>(::getpid());
+    span.span_id = NewSpanId();
+    span.parent_span_id = request.trace.parent_span_id;
+    span.start_unix_us = start_unix_us;
+    const int64_t now_us = UnixMicrosNow();
+    span.duration_us = now_us > start_unix_us ? now_us - start_unix_us : 0;
+    span.annotations.emplace_back("outcome", outcome);
+    response->spans.push_back(std::move(span));
+  }
+
   void AdmitCellQuery(uint64_t conn_id, const QueryRequest& request) {
+    const int64_t admit_unix_us =
+        request.trace.valid() ? UnixMicrosNow() : 0;
     QueryResponse response;
     response.id = request.id;
     if (draining_) {
       metrics_.shed_draining->Increment();
       response.status = Status::Unavailable("draining; retry elsewhere");
       response.retry_after_s = options_.retry_after_s;
+      AttachAdHocSpan(request, &response, admit_unix_us, "shed_draining");
       Respond(conn_id, response);
       return;
     }
@@ -412,6 +463,7 @@ class ServeDaemon {
     if (const std::string* cached = warm_.CachedCell(key)) {
       metrics_.cache_hits->Increment();
       response.payload = *cached;
+      AttachAdHocSpan(request, &response, admit_unix_us, "cache_hit");
       Respond(conn_id, response);
       return;
     }
@@ -425,6 +477,7 @@ class ServeDaemon {
       // stay away, so router backpressure converges instead of retrying a
       // saturated daemon at the base period.
       response.retry_after_s = CurrentRetryAfterS();
+      AttachAdHocSpan(request, &response, admit_unix_us, "shed_queue_full");
       Respond(conn_id, response);
       return;
     }
@@ -443,6 +496,15 @@ class ServeDaemon {
     job.deadline =
         job.admitted + std::chrono::duration_cast<SteadyClock::duration>(
                            std::chrono::duration<double>(deadline_s));
+    if (request.trace.valid()) {
+      job.ctx = request.trace;
+      job.trace_hex = request.trace.TraceIdHex();
+      // Pre-mint the hop span id so children (queue wait, worker spans)
+      // can parent under it before the span itself finishes in FinishJob.
+      job.request_span_id = NewSpanId();
+      job.admitted_unix_us = admit_unix_us;
+      job.last_progress_s = NowS();  // first PROG after one full interval
+    }
     queue_.push_back(std::move(job));
   }
 
@@ -465,11 +527,32 @@ class ServeDaemon {
     }
   }
 
+  /// A completed span on the daemon's own track, parented under the job's
+  /// "daemon.request" hop span. `start_unix_us` is when it began; the end
+  /// is now.
+  static WireSpan DaemonSpan(const QueryJob& job, const char* name,
+                             int64_t start_unix_us) {
+    WireSpan span;
+    span.name = name;
+    span.process = "daemon";
+    span.pid = static_cast<int64_t>(::getpid());
+    span.span_id = NewSpanId();
+    span.parent_span_id = job.request_span_id;
+    span.start_unix_us = start_unix_us;
+    const int64_t now_us = UnixMicrosNow();
+    span.duration_us = now_us > start_unix_us ? now_us - start_unix_us : 0;
+    return span;
+  }
+
   void Dispatch() {
     while (static_cast<int>(inflight_.size()) < options_.max_inflight &&
            !queue_.empty()) {
       QueryJob job = std::move(queue_.front());
       queue_.pop_front();
+      if (job.ctx.valid()) {
+        job.spans.push_back(
+            DaemonSpan(job, "daemon.queue", job.admitted_unix_us));
+      }
       Status started = StartJob(&job);
       if (!started.ok()) {
         QueryResponse response;
@@ -507,6 +590,7 @@ class ServeDaemon {
     const MatcherKind matcher = job->matcher;
     const bool pairwise = job->pairwise;
     const uint64_t seed = options_.warm.seed;
+    const int64_t fork_start_us = job->ctx.valid() ? UnixMicrosNow() : 0;
     FAIREM_ASSIGN_OR_RETURN(
         job->proc,
         WorkerProcess::Spawn(
@@ -519,6 +603,15 @@ class ServeDaemon {
               return GridCellToJson(cell);
             },
             spawn));
+    job->worker_pid = job->proc.pid();
+    if (job->ctx.valid()) {
+      WireSpan fork_span = DaemonSpan(*job, "worker.fork", fork_start_us);
+      fork_span.process = "worker";
+      fork_span.pid = static_cast<int64_t>(job->worker_pid);
+      fork_span.annotations.emplace_back("attempt",
+                                         std::to_string(job->attempts));
+      job->spans.push_back(std::move(fork_span));
+    }
     FAIREM_LOG(DEBUG) << "query worker spawned" << LogKv("key", job->key)
                       << LogKv("pid", job->proc.pid())
                       << LogKv("attempt", job->attempts);
@@ -559,6 +652,31 @@ class ServeDaemon {
       Result<WorkerTelemetry> telemetry =
           ParseWorkerTelemetry(split.telemetry_json);
       if (telemetry.ok()) AbsorbWorkerTelemetry(*telemetry);
+    }
+    const bool exited_ok =
+        WIFEXITED(status) && WEXITSTATUS(status) == kWorkerExitOk;
+    if (exited_ok && !job.timed_out) {
+      // Feed the ETA model for everyone's PROG frames, traced or not.
+      metrics_.cell_seconds->Observe(job.proc.AgeSeconds());
+    }
+    if (job.ctx.valid() && job.proc.spawn_unix_us() > 0) {
+      WireSpan compute =
+          DaemonSpan(job, "worker.compute", job.proc.spawn_unix_us());
+      compute.process = "worker";
+      compute.pid = static_cast<int64_t>(job.worker_pid);
+      compute.annotations.emplace_back("attempt",
+                                       std::to_string(job.attempts));
+      const char* exit_kind = "crash";
+      if (job.timed_out) {
+        exit_kind = "killed_deadline";
+      } else if (exited_ok) {
+        exit_kind = "ok";
+      } else if (WIFEXITED(status) &&
+                 WEXITSTATUS(status) == kWorkerExitTaskError) {
+        exit_kind = "task_error";
+      }
+      compute.annotations.emplace_back("exit", exit_kind);
+      job.spans.push_back(std::move(compute));
     }
     QueryResponse response;
     response.id = job.request.id;
@@ -629,9 +747,102 @@ class ServeDaemon {
 
   // ------------------------------------------------------------ outbound --
 
-  void FinishJob(const QueryJob& job, const QueryResponse& response) {
-    metrics_.request_seconds->Observe(Since(job.admitted));
+  void FinishJob(const QueryJob& job, QueryResponse& response) {
+    const double total_s = Since(job.admitted);
+    metrics_.request_seconds->ObserveWithExemplar(total_s, job.trace_hex);
+    if (job.ctx.valid()) {
+      // The hop span last: it closes now, covering admit -> respond.
+      WireSpan root;
+      root.name = "daemon.request";
+      root.process = "daemon";
+      root.pid = static_cast<int64_t>(::getpid());
+      root.span_id = job.request_span_id;
+      root.parent_span_id = job.ctx.parent_span_id;
+      root.start_unix_us = job.admitted_unix_us;
+      const int64_t now_us = UnixMicrosNow();
+      root.duration_us = now_us > job.admitted_unix_us
+                             ? now_us - job.admitted_unix_us
+                             : 0;
+      root.annotations.emplace_back("op", job.request.op);
+      root.annotations.emplace_back("key", job.key);
+      root.annotations.emplace_back(
+          "status", response.status.ok()
+                        ? "OK"
+                        : StatusCodeToString(response.status.code()));
+      root.annotations.emplace_back("attempts",
+                                    std::to_string(job.attempts));
+      response.spans.push_back(std::move(root));
+      response.spans.insert(response.spans.end(), job.spans.begin(),
+                            job.spans.end());
+    }
+    if (slowlog_.enabled()) {
+      SlowQueryEvent event;
+      event.process = "daemon";
+      event.trace_id = job.trace_hex;
+      event.id = job.request.id;
+      event.op = job.request.op;
+      event.key = job.key;
+      event.status = response.status.ok()
+                         ? "OK"
+                         : StatusCodeToString(response.status.code());
+      event.total_ms = total_s * 1000.0;
+      event.spans = response.spans;
+      slowlog_.MaybeLog(event, NowS());
+    }
     Respond(job.conn_id, response);
+  }
+
+  /// Streams advisory PROG frames (progress fraction + ETA) to the clients
+  /// of traced in-flight and queued queries, at most one per
+  /// progress_interval_s per query. The ETA model is the mean finished
+  /// cell duration; with no history yet, fraction 0 / eta -1 ("unknown").
+  void EmitProgress() {
+    if (options_.progress_interval_s <= 0.0) return;
+    const double now_s = NowS();
+    const uint64_t finished = metrics_.cell_seconds->count();
+    const double mean_s =
+        finished > 0
+            ? metrics_.cell_seconds->sum() / static_cast<double>(finished)
+            : -1.0;
+    auto emit = [&](QueryJob& job, const char* stage, double fraction,
+                    double eta_s) {
+      auto it = conns_.find(job.conn_id);
+      if (it == conns_.end()) return;
+      ProgressUpdate update;
+      update.id = job.request.id;
+      update.fraction = fraction;
+      update.eta_s = eta_s;
+      update.stage = stage;
+      update.trace_id = job.trace_hex;
+      it->second.outbuf.append(EncodeServeMessage(
+          kFrameProgress, SerializeProgressUpdate(update)));
+      FlushConn(it->second);
+      metrics_.progress_frames->Increment();
+      job.last_progress_s = now_s;
+    };
+    for (QueryJob& job : inflight_) {
+      if (!job.ctx.valid()) continue;
+      if (now_s - job.last_progress_s < options_.progress_interval_s) {
+        continue;
+      }
+      double fraction = 0.0;
+      double eta_s = -1.0;
+      if (mean_s > 0.0) {
+        const double elapsed = job.proc.AgeSeconds();
+        // Cap below 1.0: the estimate is a mean, and claiming "done" while
+        // the worker still runs would make the client's bar lie.
+        fraction = std::min(0.95, elapsed / mean_s);
+        eta_s = std::max(0.0, mean_s - elapsed);
+      }
+      emit(job, "compute", fraction, eta_s);
+    }
+    for (QueryJob& job : queue_) {
+      if (!job.ctx.valid()) continue;
+      if (now_s - job.last_progress_s < options_.progress_interval_s) {
+        continue;
+      }
+      emit(job, "queued", 0.0, mean_s > 0.0 ? mean_s : -1.0);
+    }
   }
 
   void Respond(uint64_t conn_id, const QueryResponse& response) {
@@ -759,8 +970,12 @@ class ServeDaemon {
     metrics_.connections->Set(static_cast<double>(conns_.size()));
   }
 
+  double NowS() const { return Since(epoch_); }
+
   ServeOptions options_;
   ServeMetrics metrics_;
+  SlowQueryLogger slowlog_;
+  SteadyClock::time_point epoch_;
   WarmState warm_;
   int listen_fd_ = -1;
   uint64_t next_conn_id_ = 0;

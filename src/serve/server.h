@@ -62,6 +62,16 @@ struct ServeOptions {
   /// (temp + rename + fsync) as the last step of the drain.
   std::string metrics_path;
   int listen_backlog = 64;
+  /// Slow-query log (DESIGN.md §16): queries that take longer than
+  /// slow_query_ms end-to-end get one wide-event JSON line (trace id, op,
+  /// key, status, span breakdown) appended to slow_query_log, rate-limited.
+  /// Disabled when slow_query_ms <= 0 or the path is empty.
+  double slow_query_ms = 0.0;
+  std::string slow_query_log;
+  /// Minimum spacing of advisory PROG frames streamed to the client of a
+  /// traced in-flight query (progress %, ETA from the cell-duration
+  /// histogram). <= 0 disables progress streaming.
+  double progress_interval_s = 0.25;
 };
 
 /// Runs the daemon until a SIGTERM/SIGINT drain completes. Returns OK after

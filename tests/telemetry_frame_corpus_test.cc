@@ -333,5 +333,219 @@ TEST(FrameCorpusTest, HealthReportToleratesUnknownJsonFieldsAndDefaults) {
   EXPECT_FALSE(ParseHealthReport("not json").ok());
 }
 
+// --- Trace context on the wire (DESIGN.md §16) ------------------------------
+
+TEST(FrameCorpusTest, TraceContextRoundTripsOnQueryRequest) {
+  QueryRequest request;
+  request.op = "cell";
+  request.id = 21;
+  request.dataset = "Cricket";
+  request.matcher = "DTMatcher";
+  request.trace.trace_hi = 0x0123456789abcdefull;
+  request.trace.trace_lo = 0xfedcba9876543210ull;
+  request.trace.parent_span_id = 77;
+  request.trace.sampled = true;
+  Result<QueryRequest> parsed =
+      ParseQueryRequest(SerializeQueryRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->trace.valid());
+  EXPECT_EQ(parsed->trace.trace_hi, request.trace.trace_hi);
+  EXPECT_EQ(parsed->trace.trace_lo, request.trace.trace_lo);
+  EXPECT_EQ(parsed->trace.parent_span_id, 77u);
+  EXPECT_TRUE(parsed->trace.sampled);
+}
+
+TEST(FrameCorpusTest, UntracedRequestOmitsTraceFieldsFromWire) {
+  // The untraced wire form must be byte-identical to the pre-tracing one:
+  // an old peer never sees a field it does not know.
+  QueryRequest request;
+  request.op = "ping";
+  request.id = 3;
+  const std::string json = SerializeQueryRequest(request);
+  EXPECT_EQ(json.find("trace_id"), std::string::npos);
+  EXPECT_EQ(json.find("span_id"), std::string::npos);
+  EXPECT_EQ(json.find("sampled"), std::string::npos);
+  Result<QueryRequest> parsed = ParseQueryRequest(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->trace.valid());
+}
+
+TEST(FrameCorpusTest, MalformedTraceFieldsDegradeToUntraced) {
+  // A garbled trace annotation must never fail the request itself — the
+  // query still runs, just untraced.
+  const char* corpus[] = {
+      // trace_id not hex at all
+      "{\"op\":\"ping\",\"id\":1,\"trace_id\":\"not-hex\",\"span_id\":7}",
+      // trace_id too short
+      "{\"op\":\"ping\",\"id\":1,\"trace_id\":\"abc\",\"span_id\":7}",
+      // trace_id wrong type
+      "{\"op\":\"ping\",\"id\":1,\"trace_id\":123,\"span_id\":7}",
+      // trace_id all zeros (not a valid identity)
+      "{\"op\":\"ping\",\"id\":1,"
+      "\"trace_id\":\"00000000000000000000000000000000\"}",
+  };
+  for (const char* json : corpus) {
+    Result<QueryRequest> parsed = ParseQueryRequest(json);
+    ASSERT_TRUE(parsed.ok()) << json << ": " << parsed.status();
+    EXPECT_FALSE(parsed->trace.valid()) << json;
+    EXPECT_EQ(parsed->id, 1u) << json;
+  }
+  // span_id malformed alongside a good trace_id: keep the trace identity,
+  // drop the parent link.
+  Result<QueryRequest> parsed = ParseQueryRequest(
+      "{\"op\":\"ping\",\"id\":1,"
+      "\"trace_id\":\"0123456789abcdeffedcba9876543210\","
+      "\"span_id\":\"wat\"}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->trace.valid());
+  EXPECT_EQ(parsed->trace.parent_span_id, 0u);
+}
+
+TEST(FrameCorpusTest, ResponseSpansRoundTripAndTolerateMalformedEntries) {
+  QueryResponse response;
+  response.id = 9;
+  response.payload = "pong";
+  WireSpan span;
+  span.name = "daemon.request";
+  span.process = "daemon";
+  span.pid = 42;
+  span.span_id = 5;
+  span.parent_span_id = 4;
+  span.start_unix_us = 1000;
+  span.duration_us = 250;
+  span.annotations.push_back({"outcome", "ok"});
+  response.spans.push_back(span);
+  Result<QueryResponse> parsed =
+      ParseQueryResponse(SerializeQueryResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->spans.size(), 1u);
+  EXPECT_EQ(parsed->spans[0].name, "daemon.request");
+  EXPECT_EQ(parsed->spans[0].parent_span_id, 4u);
+  ASSERT_EQ(parsed->spans[0].annotations.size(), 1u);
+  EXPECT_EQ(parsed->spans[0].annotations[0].second, "ok");
+
+  // Malformed entries in the spans array drop silently (non-objects, a
+  // span without its required name + nonzero span_id); the response — and
+  // the well-formed spans around them — survive.
+  Result<QueryResponse> tolerant = ParseQueryResponse(
+      "{\"id\":9,\"ok\":true,\"payload\":\"pong\","
+      "\"spans\":[\"not an object\",{\"name\":\"dropped\"},"
+      "{\"name\":\"kept\",\"span_id\":2},17]}");
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status();
+  ASSERT_EQ(tolerant->spans.size(), 1u);
+  EXPECT_EQ(tolerant->spans[0].name, "kept");
+
+  // An old peer's response has no spans field at all.
+  Result<QueryResponse> old = ParseQueryResponse(
+      "{\"id\":9,\"ok\":true,\"payload\":\"pong\"}");
+  ASSERT_TRUE(old.ok());
+  EXPECT_TRUE(old->spans.empty());
+}
+
+TEST(FrameCorpusTest, ProgressFrameIsKnownAndParseTolerant) {
+  // PROG is a first-class frame type — skipped-and-counted would mean an
+  // old router forwarding it as unknown desyncs nothing, but a new client
+  // must receive it as a message.
+  ProgressUpdate update;
+  update.id = 31;
+  update.fraction = 0.5;
+  update.eta_s = 1.25;
+  update.stage = "compute";
+  update.trace_id = "0123456789abcdeffedcba9876543210";
+  FrameDecoder decoder;
+  ServeMessage message;
+  const uint64_t before = UnknownFrames();
+  Result<FrameDecoder::Next> next = FeedAll(
+      &decoder,
+      EncodeServeMessage(kFrameProgress, SerializeProgressUpdate(update)),
+      &message);
+  ASSERT_TRUE(next.ok()) << next.status();
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(message.type, std::string(kFrameProgress));
+  EXPECT_EQ(UnknownFrames(), before);
+  Result<ProgressUpdate> parsed = ParseProgressUpdate(message.bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->id, 31u);
+  EXPECT_DOUBLE_EQ(parsed->fraction, 0.5);
+  EXPECT_EQ(parsed->stage, "compute");
+
+  // Advisory means every field optional: a bare object parses, unknown
+  // fields from a newer server pass through.
+  Result<ProgressUpdate> bare = ParseProgressUpdate("{}");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->id, 0u);
+  Result<ProgressUpdate> future = ParseProgressUpdate(
+      "{\"id\":2,\"fraction\":0.1,\"phase_detail\":{\"cells\":9}}");
+  ASSERT_TRUE(future.ok());
+  EXPECT_EQ(future->id, 2u);
+}
+
+TEST(FrameCorpusTest, ProgressInterleavedWithResponseNoDesync) {
+  // The mid-query shape a traced client actually sees: PROG, PROG, QRSP on
+  // one stream. Every frame comes out, in order, buffer drained.
+  ProgressUpdate p1;
+  p1.id = 8;
+  p1.fraction = 0.25;
+  ProgressUpdate p2;
+  p2.id = 8;
+  p2.fraction = 0.75;
+  QueryResponse done;
+  done.id = 8;
+  done.payload = "cell-bytes";
+  std::string wire =
+      EncodeServeMessage(kFrameProgress, SerializeProgressUpdate(p1)) +
+      EncodeServeMessage(kFrameProgress, SerializeProgressUpdate(p2)) +
+      EncodeServeMessage(kFrameQueryResponse, SerializeQueryResponse(done));
+  FrameDecoder decoder;
+  ServeMessage message;
+  Result<FrameDecoder::Next> next = FeedAll(&decoder, wire, &message);
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(message.type, std::string(kFrameProgress));
+  EXPECT_DOUBLE_EQ(ParseProgressUpdate(message.bytes)->fraction, 0.25);
+  next = decoder.TryNext(&message);
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(message.type, std::string(kFrameProgress));
+  EXPECT_DOUBLE_EQ(ParseProgressUpdate(message.bytes)->fraction, 0.75);
+  next = decoder.TryNext(&message);
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(message.type, std::string(kFrameQueryResponse));
+  EXPECT_EQ(ParseQueryResponse(message.bytes)->payload, "cell-bytes");
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameCorpusTest, OldPeerUnknownTraceJsonFieldsNoDesync) {
+  // A traced request and a span-carrying response, each with extra fields
+  // from an even newer version, followed by a second plain message on the
+  // same stream: nothing desyncs and the extras are ignored.
+  const std::string traced_req =
+      "{\"op\":\"cell\",\"id\":14,\"dataset\":\"Cricket\","
+      "\"matcher\":\"DTMatcher\","
+      "\"trace_id\":\"00000000000000010000000000000002\",\"span_id\":3,"
+      "\"sampled\":true,\"trace_flags\":255,\"baggage\":{\"k\":\"v\"}}";
+  QueryRequest follow;
+  follow.op = "ping";
+  follow.id = 15;
+  std::string wire =
+      EncodeServeMessage(kFrameQueryRequest, traced_req) +
+      EncodeServeMessage(kFrameQueryRequest, SerializeQueryRequest(follow));
+  FrameDecoder decoder;
+  ServeMessage message;
+  Result<FrameDecoder::Next> next = FeedAll(&decoder, wire, &message);
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  Result<QueryRequest> first = ParseQueryRequest(message.bytes);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(first->trace.valid());
+  EXPECT_EQ(first->trace.trace_lo, 2u);
+  next = decoder.TryNext(&message);
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(*next, FrameDecoder::Next::kMessage);
+  EXPECT_EQ(ParseQueryRequest(message.bytes)->id, 15u);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
 }  // namespace
 }  // namespace fairem

@@ -36,7 +36,10 @@
 //       'fairem.proc.peak_rss_mb>512abs' for an absolute one, '<' for
 //       lower bounds) turns the diff into a regression gate: exit 2 when
 //       any clause trips, 1 on usage/IO errors, 0 otherwise. --all shows
-//       unchanged metrics too.
+//       unchanged metrics too. When a violated histogram metric carries
+//       exemplars (traced runs record the slowest query's trace id per
+//       bucket), the regression line names the slowest exemplar's trace id
+//       so the regression links to one concrete query.
 //   fairem proftop <profile.folded> [--by stack|stage] [-n N]
 //       [--compare FILE2] [--tolerance T] [--min_share S]
 //       Summarize a folded profile written by --profile_out: top frames by
@@ -72,11 +75,28 @@
 //       --backends_file for live add/remove; SIGTERM drains cooperatively.
 //   fairem query <socket> ping|stats
 //   fairem query <socket> cell <dataset> <matcher> [--pairwise]
-//       [--deadline_s S] [--retries N] [--io_timeout_s S]
+//       [--deadline_s S] [--retries N] [--io_timeout_s S] [--trace]
+//       [--verbose]
 //       One query against a running daemon or router; prints the payload
 //       (cell JSON, stats JSON, or "pong"). Shed/draining replies are
 //       retried with jittered backoff up to --retries, honoring the
-//       server's retry-after hint.
+//       server's retry-after hint. --trace (implied by --trace_out or
+//       --verbose) propagates a trace context through every hop; the
+//       response carries back client/router/daemon/worker spans, merged
+//       into one Chrome trace by --trace_out. --verbose streams the
+//       server's live PROG progress frames to stderr and prints the
+//       per-hop timing table (noting when a hedged duplicate won).
+//   fairem slowlog <FILE>
+//       Render a slow-query log (wide-event JSON lines written by serve or
+//       route under --slow_query_ms): one row per slow query with its
+//       trace id, hop, op, key, status, and total time.
+//   fairem tracetop <FILE> [--compare FILE2] [--tolerance T]
+//       [--min_share S]
+//       Aggregate a slow-query log's span breakdowns: per-hop share table
+//       (which hop owns the recorded time) and the critical path through
+//       the slowest query. --compare gates two logs against each other and
+//       exits 2 when any hop's share drifts more than --tolerance (default
+//       0.10), considering hops above --min_share (default 0.01).
 //
 // Observability (any command): --log_level debug|info|warn|error|off,
 // --trace_out FILE (Chrome trace JSON of the stage spans),
@@ -106,7 +126,10 @@
 #include "src/obs/benchdiff.h"
 #include "src/obs/obs.h"
 #include "src/obs/profiler.h"
+#include "src/obs/slowlog.h"
 #include "src/obs/telemetry.h"
+#include "src/obs/trace.h"
+#include "src/obs/tracetop.h"
 #include "src/report/table_printer.h"
 #include "src/robust/failpoint.h"
 #include "src/robust/supervisor.h"
@@ -140,15 +163,21 @@ int Usage() {
       "[--checkpoint_dir D] [--max_inflight N] [--max_queue N] "
       "[--deadline_s S] [--max_deadline_s S] [--io_timeout_s S] "
       "[--max_attempts N] [--worker_max_rss_mb M] [--worker_max_cpu_s S] "
-      "[--drain_metrics_out FILE]\n"
+      "[--drain_metrics_out FILE] [--slow_query_ms MS] "
+      "[--slow_query_log FILE] [--progress_interval_s S]\n"
       "  fairem route <socket> --backends a.sock,b.sock,.. "
       "[--backends_file FILE] [--health_period_s S] [--health_timeout_s S] "
       "[--breaker_failures N] [--breaker_cooldown_s S] [--no_hedge] "
       "[--hedge_min_delay_s S] [--max_inflight N] [--deadline_s S] "
-      "[--max_deadline_s S] [--io_timeout_s S] [--drain_metrics_out FILE]\n"
+      "[--max_deadline_s S] [--io_timeout_s S] [--drain_metrics_out FILE] "
+      "[--slow_query_ms MS] [--slow_query_log FILE]\n"
       "  fairem query <socket> ping|stats\n"
       "  fairem query <socket> cell <dataset> <matcher> [--pairwise] "
-      "[--deadline_s S] [--retries N] [--io_timeout_s S]\n"
+      "[--deadline_s S] [--retries N] [--io_timeout_s S] [--trace] "
+      "[--verbose]\n"
+      "  fairem slowlog <FILE>\n"
+      "  fairem tracetop <FILE> [--compare FILE2] [--tolerance T] "
+      "[--min_share S]\n"
       "observability (any command): [--log_level L] [--trace_out FILE] "
       "[--metrics_out FILE] [--metrics_format json|prom] "
       "[--profile_out FILE] [--profile_hz N] [--profile_mode cpu|wall]\n"
@@ -545,6 +574,21 @@ int BenchDiff(const std::vector<std::string>& args) {
   if (!violations->empty()) {
     for (const std::string& v : *violations) {
       std::cerr << "REGRESSION: " << v << "\n";
+      // A violated histogram metric with exemplars names the slowest
+      // traced query per bucket — print the worst one so the regression
+      // points at a concrete trace id to pull from the slow-query log.
+      for (const FailOnSpec& spec : specs) {
+        if (v.rfind(spec.raw, 0) != 0) continue;
+        size_t dot = spec.metric.rfind('.');
+        if (dot == std::string::npos) continue;
+        auto hist = new_snap->histograms.find(spec.metric.substr(0, dot));
+        if (hist == new_snap->histograms.end()) continue;
+        HistogramExemplar top = hist->second.TopExemplar();
+        if (top.trace_id.empty()) continue;
+        std::cerr << "  slowest exemplar for " << hist->first << ": trace "
+                  << top.trace_id << " (" << FormatDouble(top.value, 6)
+                  << ")\n";
+      }
     }
     return 2;
   }
@@ -668,6 +712,14 @@ int Serve(const std::vector<std::string>& args) {
       options.worker_max_cpu_s = static_cast<int>(v);
     } else if (args[i] == "--drain_metrics_out" && i + 1 < args.size()) {
       options.metrics_path = args[++i];
+    } else if (args[i] == "--slow_query_ms" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.slow_query_ms)) return Usage();
+    } else if (args[i] == "--slow_query_log" && i + 1 < args.size()) {
+      options.slow_query_log = args[++i];
+    } else if (args[i] == "--progress_interval_s" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.progress_interval_s)) {
+        return Usage();
+      }
     } else {
       std::cerr << "unexpected argument '" << args[i] << "'\n";
       return Usage();
@@ -720,6 +772,10 @@ int Route(const std::vector<std::string>& args) {
       if (!ParseDouble(args[++i], &options.retry_after_s)) return Usage();
     } else if (args[i] == "--drain_metrics_out" && i + 1 < args.size()) {
       options.metrics_path = args[++i];
+    } else if (args[i] == "--slow_query_ms" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &options.slow_query_ms)) return Usage();
+    } else if (args[i] == "--slow_query_log" && i + 1 < args.size()) {
+      options.slow_query_log = args[++i];
     } else {
       std::cerr << "unexpected argument '" << args[i] << "'\n";
       return Usage();
@@ -751,6 +807,8 @@ int Query(const std::vector<std::string>& args) {
   RetryPolicy retry;
   retry.max_attempts = 5;
   ServeClientOptions client_options;
+  bool verbose = false;
+  bool trace_flag = false;
   for (size_t i = flag_start; i < args.size(); ++i) {
     double v = 0.0;
     if (args[i] == "--pairwise") {
@@ -764,10 +822,29 @@ int Query(const std::vector<std::string>& args) {
       if (!ParseDouble(args[++i], &client_options.io_timeout_s)) {
         return Usage();
       }
+    } else if (args[i] == "--trace") {
+      trace_flag = true;
+    } else if (args[i] == "--verbose") {
+      verbose = true;
     } else {
       std::cerr << "unexpected argument '" << args[i] << "'\n";
       return Usage();
     }
+  }
+  // --trace_out wants the merged Chrome trace, --verbose wants the per-hop
+  // table; both need the trace context propagated end to end.
+  client_options.trace =
+      trace_flag || verbose || Tracer::Global().enabled();
+  if (verbose) {
+    client_options.on_progress = [](const ProgressUpdate& update) {
+      std::ostringstream os;
+      os << "progress: " << update.stage << " "
+         << FormatDouble(100.0 * update.fraction, 0) << "%";
+      if (update.eta_s >= 0.0) {
+        os << " (eta " << FormatDouble(update.eta_s, 1) << "s)";
+      }
+      std::cerr << os.str() << "\n";
+    };
   }
   Result<ServeClient> client = ServeClient::Connect(socket_path,
                                                     client_options);
@@ -776,15 +853,156 @@ int Query(const std::vector<std::string>& args) {
     return 1;
   }
   Result<QueryResponse> response = client->CallWithRetry(request, retry);
+  if (client_options.trace && client->last_trace().valid()) {
+    // Hand the collected cross-process spans to the tracer so --trace_out
+    // writes one merged Chrome trace (per-process tracks, shared trace id).
+    Tracer::Global().RecordWireSpans(client->last_spans());
+  }
   if (!response.ok()) {
     std::cerr << response.status() << "\n";
     return 1;
+  }
+  if (verbose && client->last_trace().valid()) {
+    const std::vector<WireSpan>& spans = client->last_spans();
+    int64_t origin = 0;
+    for (const WireSpan& span : spans) {
+      if (origin == 0 || (span.start_unix_us > 0 &&
+                          span.start_unix_us < origin)) {
+        origin = span.start_unix_us;
+      }
+    }
+    TablePrinter table({"hop", "process", "pid", "start ms", "ms", "notes"});
+    for (const WireSpan& span : spans) {
+      std::string notes;
+      for (const auto& [key, value] : span.annotations) {
+        if (!notes.empty()) notes += " ";
+        notes += key + "=" + value;
+      }
+      table.AddRow(
+          {span.name, span.process, std::to_string(span.pid),
+           FormatDouble(
+               static_cast<double>(span.start_unix_us - origin) / 1000.0, 2),
+           FormatDouble(static_cast<double>(span.duration_us) / 1000.0, 2),
+           notes});
+    }
+    std::cerr << "trace " << client->last_trace().TraceIdHex() << " ("
+              << spans.size() << " spans)\n"
+              << table.ToString();
+    for (const WireSpan& span : spans) {
+      if (span.name != "router.request") continue;
+      for (const auto& [key, value] : span.annotations) {
+        if (key == "outcome" && value == "hedge_won") {
+          std::cerr << "note: a hedged duplicate won this query (the "
+                       "primary backend was slower or failed)\n";
+        }
+      }
+    }
   }
   if (!response->status.ok()) {
     std::cerr << response->status << "\n";
     return 1;
   }
   std::cout << response->payload << "\n";
+  return 0;
+}
+
+/// Render a slow-query log written by `serve`/`route --slow_query_log`.
+int Slowlog(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage();
+  Result<std::string> text = ReadFileToString(args[0]);
+  if (!text.ok()) {
+    std::cerr << text.status() << "\n";
+    return 1;
+  }
+  TablePrinter table(
+      {"trace", "process", "op", "key", "status", "total ms", "spans"});
+  uint64_t shown = 0;
+  uint64_t skipped = 0;
+  for (const std::string& line : Split(*text, '\n')) {
+    if (TrimAscii(line).empty()) continue;
+    Result<SlowQueryEvent> event = ParseSlowQueryEvent(line);
+    if (!event.ok()) {
+      ++skipped;  // torn tail of a live log: render the rest anyway
+      continue;
+    }
+    table.AddRow({event->trace_id.empty() ? "-" : event->trace_id,
+                  event->process, event->op, event->key, event->status,
+                  FormatDouble(event->total_ms, 2),
+                  std::to_string(event->spans.size())});
+    ++shown;
+  }
+  std::cout << shown << " slow quer" << (shown == 1 ? "y" : "ies");
+  if (skipped > 0) std::cout << " (" << skipped << " unparseable skipped)";
+  std::cout << "\n" << table.ToString();
+  return 0;
+}
+
+/// Aggregate a slow-query log's span breakdowns; with --compare, gate on
+/// per-hop share drift. Exit: 0 clean, 2 on drift, 1 on errors.
+int TraceTop(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  std::string compare_path;
+  double tolerance = 0.10;
+  double min_share = 0.01;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--compare" && i + 1 < args.size()) {
+      compare_path = args[++i];
+    } else if (args[i] == "--tolerance" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &tolerance) || tolerance < 0.0) {
+        return Usage();
+      }
+    } else if (args[i] == "--min_share" && i + 1 < args.size()) {
+      if (!ParseDouble(args[++i], &min_share) || min_share < 0.0) {
+        return Usage();
+      }
+    } else {
+      std::cerr << "unexpected argument '" << args[i] << "'\n";
+      return Usage();
+    }
+  }
+  auto load = [](const std::string& path) -> Result<TraceTopSummary> {
+    FAIREM_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+    TraceTopSummary summary = SummarizeSlowLog(text);
+    if (summary.events == 0) {
+      return Status::InvalidArgument("'" + path +
+                                     "' contains no slow-query events");
+    }
+    return summary;
+  };
+  Result<TraceTopSummary> summary = load(args[0]);
+  if (!summary.ok()) {
+    std::cerr << summary.status() << "\n";
+    return 1;
+  }
+  if (!compare_path.empty()) {
+    Result<TraceTopSummary> other = load(compare_path);
+    if (!other.ok()) {
+      std::cerr << other.status() << "\n";
+      return 1;
+    }
+    std::vector<std::string> drift =
+        CompareHopShares(*summary, *other, tolerance, min_share);
+    if (!drift.empty()) {
+      for (const std::string& line : drift) {
+        std::cerr << "HOP DRIFT: " << line << "\n";
+      }
+      return 2;
+    }
+    std::cout << "tracetop: hop shares of '" << args[0] << "' and '"
+              << compare_path << "' agree within "
+              << FormatDouble(tolerance, 2) << "\n";
+    return 0;
+  }
+  std::cout << RenderHopShares(*summary);
+  if (!summary->slowest_spans.empty()) {
+    std::cout << "critical path of the slowest query ("
+              << FormatDouble(summary->slowest_total_ms, 2) << " ms, trace "
+              << (summary->slowest_trace_id.empty()
+                      ? "-"
+                      : summary->slowest_trace_id)
+              << "):\n"
+              << RenderCriticalPath(summary->slowest_spans);
+  }
   return 0;
 }
 
@@ -878,6 +1096,10 @@ int Main(int argc, char** argv) {
     code = Route(args);
   } else if (command == "query") {
     code = Query(args);
+  } else if (command == "slowlog") {
+    code = Slowlog(args);
+  } else if (command == "tracetop") {
+    code = TraceTop(args);
   } else {
     return Usage();
   }
