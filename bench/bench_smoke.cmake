@@ -821,3 +821,153 @@ message(STATUS
     "bench_smoke OK: distributed tracing added <= 1.10x p95 overhead, "
     ">= 95% of routed queries kept complete hop timelines under chaos, "
     "and the slow-query log rendered through slowlog + tracetop")
+
+# ---------------------------------------------------------------------------
+# SIMD drill (DESIGN.md §17): the vectorized similarity kernels against
+# their scalar seed baseline. FAIREM_SIMD=off routes every kernel through
+# the original per-call scalar code and skips token interning entirely, so
+# the off-run is the honest pre-optimization baseline, not a detuned
+# vector path. Three checks:
+#   1. determinism — the micro bench's per-drill checksums (its entire
+#      stdout) and both grid benches' reports must be byte-identical across
+#      dispatch modes;
+#   2. telemetry — the SIMD run's snapshot must carry the
+#      fairem.simd.{dispatch_level,kernel_calls,scratch_reuses} metrics;
+#   3. speedup — on hosts that dispatch at SSE4.2 or better, `fairem
+#      benchdiff` gates the vectorized kernels: >= ~3x on long-string
+#      Levenshtein and q-gram set intersections (mean ratio <= 0.34), with
+#      softer regression guards on the overhead-bound short-string drills.
+
+if(NOT DEFINED MICRO_BIN)
+  return()
+endif()
+
+set(simd_scalar_metrics "${WORK_DIR}/bench_smoke_simd_scalar.json")
+set(simd_vector_metrics "${WORK_DIR}/bench_smoke_simd_vector.json")
+file(REMOVE "${simd_scalar_metrics}" "${simd_vector_metrics}")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env FAIREM_SIMD=off
+          "${MICRO_BIN}" --reps 5 --metrics_out "${simd_scalar_metrics}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE micro_scalar_stdout
+  ERROR_VARIABLE micro_scalar_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "FAIREM_SIMD=off micro bench exited with ${exit_code}\n"
+      "stderr:\n${micro_scalar_stderr}")
+endif()
+
+execute_process(
+  COMMAND "${MICRO_BIN}" --reps 5 --metrics_out "${simd_vector_metrics}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE micro_vector_stdout
+  ERROR_VARIABLE micro_vector_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "micro bench exited with ${exit_code}\n"
+      "stderr:\n${micro_vector_stderr}")
+endif()
+
+# 1a. The micro bench prints one "BENCHVAL <drill> <%.17g checksum>" line
+# per drill and nothing else on stdout; a single flipped double bit in any
+# kernel shows up here.
+if(NOT micro_vector_stdout STREQUAL micro_scalar_stdout)
+  message(FATAL_ERROR
+      "SIMD kernels diverge from the scalar baseline\n"
+      "--- FAIREM_SIMD=off ---\n${micro_scalar_stdout}\n"
+      "--- vectorized ---\n${micro_vector_stdout}")
+endif()
+if(NOT micro_vector_stdout MATCHES "BENCHVAL lev_long ")
+  message(FATAL_ERROR
+      "micro bench printed no checksum lines:\n${micro_vector_stdout}")
+endif()
+
+# 1b. Both grid benches' full reports, FAIREM_SIMD=off vs the SIMD-on
+# baselines captured earlier in this script.
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env FAIREM_SIMD=off
+          "${GRID_BIN}" --scale 0.25
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE grid_scalar_stdout
+  ERROR_VARIABLE grid_scalar_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "FAIREM_SIMD=off grid bench exited with ${exit_code}\n"
+      "stderr:\n${grid_scalar_stderr}")
+endif()
+if(NOT grid_scalar_stdout STREQUAL baseline_stdout)
+  message(FATAL_ERROR
+      "FAIREM_SIMD=off grid report differs from the SIMD-on run\n"
+      "--- SIMD on ---\n${baseline_stdout}\n"
+      "--- FAIREM_SIMD=off ---\n${grid_scalar_stdout}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env FAIREM_SIMD=off
+          "${PROF_BIN}" --scale 0.25
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE prof_scalar_stdout
+  ERROR_VARIABLE prof_scalar_stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "FAIREM_SIMD=off second grid bench exited with ${exit_code}\n"
+      "stderr:\n${prof_scalar_stderr}")
+endif()
+if(NOT prof_scalar_stdout STREQUAL prof_seq_stdout)
+  message(FATAL_ERROR
+      "FAIREM_SIMD=off second grid report differs from the SIMD-on run\n"
+      "--- SIMD on ---\n${prof_seq_stdout}\n"
+      "--- FAIREM_SIMD=off ---\n${prof_scalar_stdout}")
+endif()
+
+# 2. The vectorized run must surface its dispatch telemetry.
+file(READ "${simd_vector_metrics}" simd_snapshot)
+foreach(key
+    "fairem.simd.dispatch_level"
+    "fairem.simd.kernel_calls"
+    "fairem.simd.scratch_reuses")
+  if(NOT simd_snapshot MATCHES "\"${key}\"")
+    message(FATAL_ERROR
+        "SIMD metrics snapshot is missing ${key}:\n${simd_snapshot}")
+  endif()
+endforeach()
+
+# 3. Speedup gates, only where the hardware actually dispatches a vector
+# tier (level >= 2 is SSE4.2; 0 would mean the escape hatch, 1 the portable
+# bit-parallel path on non-x86 hosts — still byte-checked above).
+string(REGEX MATCH "\"fairem\\.simd\\.dispatch_level\": ([0-9]+)"
+       _ "${simd_snapshot}")
+set(dispatch_level "${CMAKE_MATCH_1}")
+if(dispatch_level GREATER_EQUAL 2)
+  execute_process(
+    COMMAND "${CLI_BIN}" benchdiff
+            "${simd_scalar_metrics}" "${simd_vector_metrics}"
+            --fail_on "fairem.bench.micro.lev_long_seconds.mean>0.34x"
+            --fail_on "fairem.bench.micro.token_qgram_seconds.mean>0.34x"
+            --fail_on "fairem.bench.micro.token_word_seconds.mean>0.45x"
+            --fail_on "fairem.bench.micro.lev_short_seconds.mean>0.60x"
+            --fail_on "fairem.bench.micro.all_measures_seconds.mean>1.10x"
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE simd_diff_stdout
+    ERROR_VARIABLE simd_diff_stderr)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+        "vectorized kernels missed their speedup gates at dispatch level "
+        "${dispatch_level}\n"
+        "stdout:\n${simd_diff_stdout}\nstderr:\n${simd_diff_stderr}")
+  endif()
+  message(STATUS
+      "bench_smoke OK: SIMD kernels byte-identical to scalar on the micro "
+      "checksums + both grid reports, speedup gates cleared at dispatch "
+      "level ${dispatch_level}")
+else()
+  message(STATUS
+      "bench_smoke: dispatch level ${dispatch_level} (< SSE4.2); SIMD "
+      "byte-identity verified, speedup gates skipped")
+endif()

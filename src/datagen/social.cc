@@ -104,7 +104,7 @@ Result<EMDataset> GenerateFacultyMatch(const FacultyMatchOptions& options) {
           chinese ? ChineseFullName(&rng) : GermanFullName(&rng);
       bool too_close = false;
       for (const auto& existing : taken_names) {
-        if (LevenshteinDistance(name, existing) <= 1) {
+        if (LevenshteinWithin(name, existing, 1)) {
           too_close = true;
           break;
         }
@@ -212,7 +212,7 @@ Result<EMDataset> GenerateNoFlyCompas(const NoFlyCompasOptions& options) {
     std::string full = name.first + " " + name.last;
     bool too_close = false;
     for (const auto& existing : full_names) {
-      if (LevenshteinDistance(full, existing) <= 2) {
+      if (LevenshteinWithin(full, existing, 2)) {
         too_close = true;
         break;
       }

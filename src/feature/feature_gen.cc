@@ -50,30 +50,44 @@ std::vector<size_t> ReferencedRows(const std::vector<LabeledPair>& pairs,
   return rows;
 }
 
-/// One side's prepared columns: every column some def touches, tokenized
-/// once per referenced record with exactly the representations the
-/// measures on that column need.
-class PreparedSide {
+/// Both sides' prepared columns: every column pair some def touches,
+/// tokenized once per referenced record with exactly the representations
+/// the measures on that pair need. Built pairwise (not per side) because
+/// the interned-token fast path needs one TokenInterner spanning both
+/// sides of a column pair — ids from separate interners would not be
+/// comparable (DESIGN.md §17). The a-side interns first, then the b-side
+/// extends the same universe; the interners are dropped here once the ids
+/// are baked into the PreparedValues.
+class PreparedPair {
  public:
-  void Build(const Table& table, const std::vector<ResolvedDef>& defs,
-             bool left_side, const std::vector<LabeledPair>& pairs) {
-    std::map<size_t, PreparedNeeds> needs;
+  void Build(const Table& a, const Table& b,
+             const std::vector<ResolvedDef>& defs,
+             const std::vector<LabeledPair>& pairs) {
+    std::map<std::pair<size_t, size_t>, PreparedNeeds> needs;
     for (const auto& def : defs) {
-      needs[left_side ? def.col_a : def.col_b].MergeFrom(
-          NeedsForMeasure(def.measure));
+      needs[{def.col_a, def.col_b}].MergeFrom(NeedsForMeasure(def.measure));
     }
-    std::vector<size_t> rows = ReferencedRows(pairs, left_side);
-    for (const auto& [col, col_needs] : needs) {
-      columns_[col].BuildRows(table, col, rows, col_needs);
+    std::vector<size_t> rows_a = ReferencedRows(pairs, /*left_side=*/true);
+    std::vector<size_t> rows_b = ReferencedRows(pairs, /*left_side=*/false);
+    for (const auto& [cols, pair_needs] : needs) {
+      ColumnInterners interners;
+      columns_a_[cols.first].BuildRows(a, cols.first, rows_a, pair_needs,
+                                       &interners);
+      columns_b_[cols.second].BuildRows(b, cols.second, rows_b, pair_needs,
+                                        &interners);
     }
   }
 
-  const PreparedValue& Get(size_t col, size_t row) const {
-    return columns_.at(col).Get(row);
+  const PreparedValue& GetA(size_t col, size_t row) const {
+    return columns_a_.at(col).Get(row);
+  }
+  const PreparedValue& GetB(size_t col, size_t row) const {
+    return columns_b_.at(col).Get(row);
   }
 
  private:
-  std::map<size_t, PreparedColumn> columns_;
+  std::map<size_t, PreparedColumn> columns_a_;
+  std::map<size_t, PreparedColumn> columns_b_;
 };
 
 }  // namespace
@@ -200,10 +214,8 @@ Result<FeatureTable> BuildFeatureTable(const std::vector<FeatureDef>& defs,
     // into the prepared cache the pairwise kernels read.
     FAIREM_ASSIGN_OR_RETURN(std::vector<ResolvedDef> resolved,
                             ResolveDefs(defs, a, b));
-    PreparedSide side_a;
-    PreparedSide side_b;
-    side_a.Build(a, resolved, /*left_side=*/true, pairs);
-    side_b.Build(b, resolved, /*left_side=*/false, pairs);
+    PreparedPair prepared;
+    prepared.Build(a, b, resolved, pairs);
 
     FeatureTable table;
     table.defs = defs;
@@ -220,8 +232,8 @@ Result<FeatureTable> BuildFeatureTable(const std::vector<FeatureDef>& defs,
             std::vector<double> row;
             row.reserve(resolved.size());
             for (const auto& def : resolved) {
-              const PreparedValue& va = side_a.Get(def.col_a, p.left);
-              const PreparedValue& vb = side_b.Get(def.col_b, p.right);
+              const PreparedValue& va = prepared.GetA(def.col_a, p.left);
+              const PreparedValue& vb = prepared.GetB(def.col_b, p.right);
               if (va.is_null || vb.is_null) {
                 row.push_back(0.0);
                 continue;

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "src/obs/profiler.h"
+#include "src/text/simd.h"
 #include "src/util/durable_file.h"
 
 namespace fairem {
@@ -49,6 +50,9 @@ Status ApplyObsOptions(const ObsOptions& options) {
 }
 
 Status FlushObsOutputs(const ObsOptions& options) {
+  // Drain this thread's batched kernel tallies (and pin the dispatch-level
+  // gauge) so the snapshot below carries the fairem.simd.* metrics.
+  FlushSimdTelemetry();
   if (!options.trace_out.empty()) {
     FAIREM_RETURN_NOT_OK(Tracer::Global().WriteChromeTrace(options.trace_out));
     FAIREM_LOG(INFO) << "wrote Chrome trace"

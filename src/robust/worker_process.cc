@@ -18,6 +18,7 @@
 #include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
 #include "src/robust/failpoint.h"
+#include "src/text/simd.h"
 #include "src/util/io_util.h"
 #include "src/util/string_util.h"
 
@@ -73,6 +74,7 @@ bool ApplyWorkerLimits(const WorkerSpawnOptions& options) {
   MetricsSnapshot telemetry_baseline;
   size_t span_watermark = 0;
   if (options.ship_telemetry) {
+    FlushSimdTelemetry();
     telemetry_baseline = MetricsRegistry::Global().Snapshot();
     span_watermark = Tracer::Global().EventCount();
   }
@@ -104,6 +106,9 @@ bool ApplyWorkerLimits(const WorkerSpawnOptions& options) {
     telemetry.task_key = options.task_key;
     telemetry.attempt = options.attempt;
     telemetry.pid = static_cast<int64_t>(::getpid());
+    // Kernel tallies batched on this thread must fold in before the diff,
+    // or the tail of the batch would vanish with the worker.
+    FlushSimdTelemetry();
     telemetry.metrics =
         DiffSnapshots(telemetry_baseline, MetricsRegistry::Global().Snapshot());
     telemetry.spans = Tracer::Global().EventsSince(span_watermark);

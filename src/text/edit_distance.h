@@ -6,11 +6,26 @@
 namespace fairem {
 
 /// Classic Levenshtein edit distance (insert/delete/substitute, unit costs).
+/// Runs the bit-parallel Myers kernel (single 64-bit word when the shorter
+/// string fits, blocked otherwise) on the active SIMD tier and the two-row
+/// DP reference under FAIREM_SIMD=off; both return the same integer for
+/// every input (DESIGN.md §17).
 int LevenshteinDistance(std::string_view a, std::string_view b);
 
 /// Levenshtein similarity normalized to [0, 1]:
 /// 1 - dist / max(|a|, |b|); 1.0 when both strings are empty.
 double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein: the exact distance when it is <= bound, else
+/// bound + 1. Only the 2*bound+1 diagonal band is evaluated, with an
+/// early exit the moment a whole band row exceeds the bound — the right
+/// kernel for "within k edits?" predicates (deduplication, blocking)
+/// where the full distance is wasted work. bound < 0 is treated as 0.
+int LevenshteinDistanceBounded(std::string_view a, std::string_view b,
+                               int bound);
+
+/// LevenshteinDistance(a, b) <= bound, via the banded kernel.
+bool LevenshteinWithin(std::string_view a, std::string_view b, int bound);
 
 /// Damerau-Levenshtein (restricted: adjacent transpositions count as one
 /// edit).
@@ -45,6 +60,15 @@ double PrefixSimilarity(std::string_view a, std::string_view b);
 
 /// Exact equality as a 0/1 similarity.
 double ExactMatchSimilarity(std::string_view a, std::string_view b);
+
+namespace internal {
+
+/// The pre-vectorization two-row DP — the FAIREM_SIMD=off production path
+/// and the reference the differential fuzz tests compare every dispatched
+/// tier against.
+int LevenshteinDistanceScalar(std::string_view a, std::string_view b);
+
+}  // namespace internal
 
 }  // namespace fairem
 

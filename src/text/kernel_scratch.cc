@@ -1,0 +1,85 @@
+#include "src/text/kernel_scratch.h"
+
+#include "src/text/simd.h"
+#include "src/util/logging.h"
+
+namespace fairem {
+
+PeqTable::PeqTable(KernelScratch* owner, size_t blocks)
+    : owner_(owner), blocks_(blocks) {
+  FAIREM_CHECK(!owner_->peq_borrowed_,
+               "KernelScratch: nested PeqTable borrow on one thread");
+  owner_->peq_borrowed_ = true;
+  const size_t need = 256 * blocks;
+  // resize() zero-fills new space and the release path re-zeroes touched
+  // rows, so the table is all-zero here by invariant.
+  const bool grew = owner_->peq_.size() < need;
+  if (grew) owner_->peq_.resize(need);
+  owner_->NoteBorrow(grew);
+  owner_->peq_touched_.clear();
+  data_ = owner_->peq_.data();
+}
+
+PeqTable::~PeqTable() {
+  for (unsigned char c : owner_->peq_touched_) {
+    uint64_t* row = data_ + static_cast<size_t>(c) * blocks_;
+    for (size_t b = 0; b < blocks_; ++b) row[b] = 0;
+    owner_->peq_touched_flag_[c] = 0;
+  }
+  owner_->peq_touched_.clear();
+  owner_->peq_borrowed_ = false;
+}
+
+void PeqTable::Set(unsigned char c, size_t block, uint64_t bits) {
+  if (!owner_->peq_touched_flag_[c]) {
+    owner_->peq_touched_flag_[c] = 1;
+    owner_->peq_touched_.push_back(c);
+  }
+  data_[static_cast<size_t>(c) * blocks_ + block] |= bits;
+}
+
+KernelScratch& KernelScratch::Get() {
+  thread_local KernelScratch scratch;
+  return scratch;
+}
+
+void KernelScratch::NoteBorrow(bool grew) {
+  if (!grew) CountScratchReuses();
+}
+
+std::vector<int>& KernelScratch::IntRow(size_t slot, size_t n) {
+  std::vector<int>& row = int_rows_[slot];
+  const bool grew = row.size() < n;
+  if (grew) row.resize(n);
+  NoteBorrow(grew);
+  return row;
+}
+
+std::vector<uint8_t>& KernelScratch::ByteRow(size_t slot, size_t n) {
+  std::vector<uint8_t>& row = byte_rows_[slot];
+  const bool grew = row.size() < n;
+  if (grew) row.resize(n);
+  NoteBorrow(grew);
+  return row;
+}
+
+std::vector<double>& KernelScratch::DoubleBuf(size_t n) {
+  const bool grew = double_buf_.size() < n;
+  if (grew) double_buf_.resize(n);
+  NoteBorrow(grew);
+  return double_buf_;
+}
+
+std::vector<uint64_t>& KernelScratch::U64Buf(size_t slot, size_t n) {
+  std::vector<uint64_t>& buf = u64_bufs_[slot];
+  const bool grew = buf.size() < n;
+  if (grew) buf.resize(n);
+  NoteBorrow(grew);
+  return buf;
+}
+
+PeqTable KernelScratch::BorrowPeq(size_t blocks) {
+  return PeqTable(this, blocks);
+}
+
+}  // namespace fairem

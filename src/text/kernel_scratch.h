@@ -1,0 +1,100 @@
+#ifndef FAIREM_TEXT_KERNEL_SCRATCH_H_
+#define FAIREM_TEXT_KERNEL_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fairem {
+
+class KernelScratch;
+
+/// A 256-row bit-pattern table (Myers' PEQ) borrowed from the scratch
+/// arena. The arena keeps the backing store zeroed between borrows; Set()
+/// records which rows were touched and the destructor re-zeroes exactly
+/// those, so a 5-char pattern never pays a 2 KiB memset.
+class PeqTable {
+ public:
+  PeqTable(PeqTable&&) = delete;
+  PeqTable(const PeqTable&) = delete;
+  ~PeqTable();
+
+  /// ORs `bits` into row `c`, block `block` (< blocks passed at borrow).
+  void Set(unsigned char c, size_t block, uint64_t bits);
+
+  /// Row `c`, block `block`; zero for characters never Set.
+  uint64_t Row(unsigned char c, size_t block) const {
+    return data_[static_cast<size_t>(c) * blocks_ + block];
+  }
+
+ private:
+  friend class KernelScratch;
+  PeqTable(KernelScratch* owner, size_t blocks);
+
+  KernelScratch* owner_;
+  uint64_t* data_;
+  size_t blocks_;
+};
+
+/// Thread-local scratch buffers for the pairwise kernels: DP rows, Jaro
+/// match flags, Myers PEQ tables, and merge outputs. One arena per thread
+/// (the feature loop runs kernels from pool workers), so borrowing is
+/// lock-free and reuse across the millions of per-pair calls skips the
+/// per-call std::vector allocations the old kernels paid.
+///
+/// Buffers are returned by reference and valid until the same slot is
+/// borrowed again — kernels must finish with a buffer before calling
+/// another kernel that uses the same slot. Counted (batched) in
+/// fairem.simd.scratch_reuses whenever a borrow is served without growing.
+class KernelScratch {
+ public:
+  /// The calling thread's arena.
+  static KernelScratch& Get();
+
+  /// An int row of at least `n` entries (uninitialized). Slots 0-2 are
+  /// independent; DP kernels use 0/1 for the rolling rows and 2 for
+  /// Damerau's third row.
+  std::vector<int>& IntRow(size_t slot, size_t n);
+
+  /// A byte row of at least `n` entries (uninitialized); slots 0-1. Jaro
+  /// uses these for the matched flags.
+  std::vector<uint8_t>& ByteRow(size_t slot, size_t n);
+
+  /// A double buffer of at least `n` entries (uninitialized); Monge-Elkan
+  /// caches its inner-similarity matrix here.
+  std::vector<double>& DoubleBuf(size_t n);
+
+  /// A u64 buffer of at least `n` entries (uninitialized); the blocked
+  /// Myers kernel keeps Pv/Mv here.
+  std::vector<uint64_t>& U64Buf(size_t slot, size_t n);
+
+  /// Borrows the zeroed PEQ table sized for `blocks` 64-bit blocks. At
+  /// most one PeqTable may be live per thread at a time.
+  PeqTable BorrowPeq(size_t blocks);
+
+ private:
+  friend class PeqTable;
+
+  static constexpr size_t kIntSlots = 3;
+  static constexpr size_t kByteSlots = 2;
+  static constexpr size_t kU64Slots = 2;
+
+  void NoteBorrow(bool grew);
+
+  std::vector<int> int_rows_[kIntSlots];
+  std::vector<uint8_t> byte_rows_[kByteSlots];
+  std::vector<double> double_buf_;
+  std::vector<uint64_t> u64_bufs_[kU64Slots];
+
+  /// PEQ backing store (256 * capacity blocks), zero outside a borrow.
+  std::vector<uint64_t> peq_;
+  size_t peq_blocks_ = 0;
+  /// Characters Set() touched during the live borrow, for cheap re-zeroing.
+  std::vector<unsigned char> peq_touched_;
+  uint8_t peq_touched_flag_[256] = {};
+  bool peq_borrowed_ = false;
+};
+
+}  // namespace fairem
+
+#endif  // FAIREM_TEXT_KERNEL_SCRATCH_H_

@@ -6,12 +6,29 @@
 #include "src/obs/metrics.h"
 #include "src/text/edit_distance.h"
 #include "src/text/hybrid_sim.h"
+#include "src/text/simd.h"
+#include "src/text/token_sim.h"
 #include "src/text/tokenize.h"
 #include "src/util/string_util.h"
 #include "src/util/thread_pool.h"
 
 namespace fairem {
 namespace {
+
+/// Largest id universe that still gets per-value bitsets (64 words = 512
+/// bytes per set). Beyond this the sorted-u32 merge is the fast path.
+constexpr size_t kBitsetMaxUniverse = 4096;
+
+/// Below this combined id count the plain merge beats AND+popcount over
+/// the whole (mostly empty) bitset.
+constexpr size_t kBitsetMinIds = 16;
+
+/// The bitset sweep costs min(|a_bits|, |b_bits|) word ops regardless of
+/// how sparse the sets are; the merge costs ~(|a|+|b|) element steps. Take
+/// the bitset only when the sets are dense enough in their universe that
+/// the sweep is the cheaper of the two (with a small bias toward the
+/// branchless popcount loop).
+constexpr size_t kBitsetDensityFactor = 2;
 
 Counter* BuildsCounter() {
   static Counter* c =
@@ -55,29 +72,40 @@ size_t SortedIntersectionSize(const std::vector<std::string>& a,
   return inter;
 }
 
-/// The exact formulas of token_sim.cc, over precomputed cardinalities.
-double JaccardFromSizes(size_t a, size_t b, size_t inter) {
-  size_t uni = a + b - inter;
-  if (uni == 0) return 1.0;
-  return static_cast<double>(inter) / static_cast<double>(uni);
+/// |A ∩ B| over interned id sets: bitsets (AND + popcount) when both sides
+/// materialized them and the sets are big enough to amortize the word
+/// scan, else the dispatched sorted-u32 merge. Bitsets from different
+/// universe sizes intersect over min(words) — exact, because the side
+/// built at the smaller universe has no ids beyond it.
+size_t IdIntersectionSize(const std::vector<uint32_t>& a_ids,
+                          const std::vector<uint64_t>& a_bits,
+                          const std::vector<uint32_t>& b_ids,
+                          const std::vector<uint64_t>& b_bits) {
+  if (!a_bits.empty() && !b_bits.empty() &&
+      a_ids.size() + b_ids.size() >= kBitsetMinIds) {
+    const size_t words = std::min(a_bits.size(), b_bits.size());
+    if (kBitsetDensityFactor * (a_ids.size() + b_ids.size()) >= words) {
+      return BitsetIntersectCount(a_bits.data(), b_bits.data(), words);
+    }
+  }
+  return IntersectSortedU32Count(a_ids.data(), a_ids.size(), b_ids.data(),
+                                 b_ids.size());
 }
 
-double DiceFromSizes(size_t a, size_t b, size_t inter) {
-  if (a + b == 0) return 1.0;
-  return 2.0 * static_cast<double>(inter) / static_cast<double>(a + b);
+size_t WordIntersectionSize(const PreparedValue& a, const PreparedValue& b) {
+  if (a.has_ids && b.has_ids) {
+    return IdIntersectionSize(a.word_ids, a.word_bits, b.word_ids,
+                              b.word_bits);
+  }
+  return SortedIntersectionSize(a.word_set, b.word_set);
 }
 
-double OverlapFromSizes(size_t a, size_t b, size_t inter) {
-  size_t min_size = std::min(a, b);
-  if (min_size == 0) return a == b ? 1.0 : 0.0;
-  return static_cast<double>(inter) / static_cast<double>(min_size);
-}
-
-double CosineFromSizes(size_t a, size_t b, size_t inter) {
-  if (a == 0 && b == 0) return 1.0;
-  if (a == 0 || b == 0) return 0.0;
-  return static_cast<double>(inter) /
-         std::sqrt(static_cast<double>(a) * static_cast<double>(b));
+size_t QgramIntersectionSize(const PreparedValue& a, const PreparedValue& b) {
+  if (a.has_ids && b.has_ids) {
+    return IdIntersectionSize(a.qgram_ids, a.qgram_bits, b.qgram_ids,
+                              b.qgram_bits);
+  }
+  return SortedIntersectionSize(a.qgram_set, b.qgram_set);
 }
 
 }  // namespace
@@ -136,24 +164,23 @@ double ComputeSimilarity(SimilarityMeasure m, const PreparedValue& a,
                          const PreparedValue& b) {
   switch (m) {
     case SimilarityMeasure::kJaccardWord:
-      return JaccardFromSizes(a.word_set.size(), b.word_set.size(),
-                              SortedIntersectionSize(a.word_set, b.word_set));
+      return JaccardFromSetSizes(a.word_set.size(), b.word_set.size(),
+                                 WordIntersectionSize(a, b));
     case SimilarityMeasure::kDiceWord:
-      return DiceFromSizes(a.word_set.size(), b.word_set.size(),
-                           SortedIntersectionSize(a.word_set, b.word_set));
+      return DiceFromSetSizes(a.word_set.size(), b.word_set.size(),
+                              WordIntersectionSize(a, b));
     case SimilarityMeasure::kOverlapWord:
-      return OverlapFromSizes(a.word_set.size(), b.word_set.size(),
-                              SortedIntersectionSize(a.word_set, b.word_set));
+      return OverlapFromSetSizes(a.word_set.size(), b.word_set.size(),
+                                 WordIntersectionSize(a, b));
     case SimilarityMeasure::kCosineWord:
-      return CosineFromSizes(a.word_set.size(), b.word_set.size(),
-                             SortedIntersectionSize(a.word_set, b.word_set));
+      return CosineFromSetSizes(a.word_set.size(), b.word_set.size(),
+                                WordIntersectionSize(a, b));
     case SimilarityMeasure::kJaccardQgram3:
-      return JaccardFromSizes(
-          a.qgram_set.size(), b.qgram_set.size(),
-          SortedIntersectionSize(a.qgram_set, b.qgram_set));
+      return JaccardFromSetSizes(a.qgram_set.size(), b.qgram_set.size(),
+                                 QgramIntersectionSize(a, b));
     case SimilarityMeasure::kDiceQgram3:
-      return DiceFromSizes(a.qgram_set.size(), b.qgram_set.size(),
-                           SortedIntersectionSize(a.qgram_set, b.qgram_set));
+      return DiceFromSetSizes(a.qgram_set.size(), b.qgram_set.size(),
+                              QgramIntersectionSize(a, b));
     case SimilarityMeasure::kMongeElkanJaro:
       return SymmetricMongeElkan(a.word_tokens, b.word_tokens,
                                  &JaroSimilarity);
@@ -172,9 +199,18 @@ double ComputeSimilarity(SimilarityMeasure m, const PreparedValue& a,
   }
 }
 
+uint32_t TokenInterner::Intern(std::string_view token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(ids_.size());
+  ids_.emplace(std::string(token), id);
+  return id;
+}
+
 void PreparedColumn::BuildRows(const Table& table, size_t col,
                                const std::vector<size_t>& rows,
-                               const PreparedNeeds& needs) {
+                               const PreparedNeeds& needs,
+                               ColumnInterners* interners) {
   values_.assign(table.num_rows(), PreparedValue{});
   GlobalThreadPool().ParallelFor(
       rows.size(), /*grain=*/0, [&](size_t begin, size_t end) {
@@ -185,6 +221,56 @@ void PreparedColumn::BuildRows(const Table& table, size_t col,
         }
       });
   BuildsCounter()->Increment(rows.size());
+  if (interners == nullptr || (!needs.word_set && !needs.qgram_set)) return;
+  // FAIREM_SIMD=off keeps the seed's string-merge path end to end: no ids,
+  // no bitsets, so the scalar tier really is the pre-vectorization code.
+  if (ActiveSimdLevel() == SimdLevel::kScalar) return;
+  // Interning is a sequential second pass in row order: first-encounter id
+  // assignment must not depend on the ParallelFor schedule above, or the
+  // (exact) intersections downstream would stay equal but the bitset/merge
+  // layouts would differ run to run. Determinism over parallelism here —
+  // the pass is a hash lookup per token, a sliver of PrepareValue's cost.
+  for (size_t row : rows) {
+    PreparedValue& v = values_[row];
+    if (v.is_null) continue;
+    if (needs.word_set) {
+      v.word_ids.reserve(v.word_set.size());
+      for (const auto& t : v.word_set) {
+        v.word_ids.push_back(interners->words.Intern(t));
+      }
+      std::sort(v.word_ids.begin(), v.word_ids.end());
+    }
+    if (needs.qgram_set) {
+      v.qgram_ids.reserve(v.qgram_set.size());
+      for (const auto& t : v.qgram_set) {
+        v.qgram_ids.push_back(interners->qgrams.Intern(t));
+      }
+      std::sort(v.qgram_ids.begin(), v.qgram_ids.end());
+    }
+    v.has_ids = true;
+  }
+  // Bitsets for small universes: disjoint rows, so this pass can go back
+  // on the pool. A side built later (larger universe, possibly over the
+  // cap) still intersects exactly with an earlier smaller-universe side —
+  // see IdIntersectionSize.
+  auto build_bits = [&](bool qgram, size_t universe) {
+    if (universe == 0 || universe > kBitsetMaxUniverse) return;
+    const size_t words = (universe + 63) / 64;
+    GlobalThreadPool().ParallelFor(
+        rows.size(), /*grain=*/0, [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            PreparedValue& v = values_[rows[i]];
+            if (v.is_null) continue;
+            std::vector<uint64_t>& bits = qgram ? v.qgram_bits : v.word_bits;
+            bits.assign(words, 0);
+            for (uint32_t id : qgram ? v.qgram_ids : v.word_ids) {
+              bits[id >> 6] |= uint64_t{1} << (id & 63);
+            }
+          }
+        });
+  };
+  if (needs.word_set) build_bits(/*qgram=*/false, interners->words.size());
+  if (needs.qgram_set) build_bits(/*qgram=*/true, interners->qgrams.size());
 }
 
 void AddPreparedCacheHits(uint64_t n) {

@@ -2,8 +2,10 @@
 #define FAIREM_TEXT_PREPARED_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/data/table.h"
@@ -48,8 +50,56 @@ struct PreparedValue {
   std::vector<std::string> qgram_set;  // sorted unique padded 3-grams
   std::string token_sorted;
 
+  /// Interned-token fast path (DESIGN.md §17): word_set / qgram_set mapped
+  /// through the column pair's TokenInterner to sorted-unique dense u32
+  /// ids, so the per-pair set intersections become u32 merges instead of
+  /// string comparisons. When the column's id universe is small the same
+  /// sets are additionally materialized as bitsets (64 ids per word) and
+  /// intersection is AND + popcount. Present only when BuildRows ran with
+  /// interners on a vectorized SIMD tier; ids from different interners are
+  /// not comparable.
+  bool has_ids = false;
+  std::vector<uint32_t> word_ids;
+  std::vector<uint32_t> qgram_ids;
+  std::vector<uint64_t> word_bits;
+  std::vector<uint64_t> qgram_bits;
+
   double numeric_value = 0.0;
   bool is_numeric = false;
+};
+
+/// Maps tokens to dense uint32_t ids in first-encounter order. One
+/// interner is shared by the two table sides of a column pair (the a-side
+/// BuildRows interns first, then the b-side), which is what makes the ids
+/// comparable across sides. Interning is sequential in row order, so the
+/// id assignment — and every downstream double — is independent of
+/// --intra_jobs. Not thread-safe; the builder owns it for the duration of
+/// the two BuildRows calls and may drop it afterwards (ids are baked into
+/// the PreparedValues).
+class TokenInterner {
+ public:
+  /// The id of `token`, assigning the next dense id on first encounter.
+  uint32_t Intern(std::string_view token);
+
+  /// Number of distinct tokens interned so far (the id universe).
+  size_t size() const { return ids_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, uint32_t, Hash, std::equal_to<>> ids_;
+};
+
+/// The word- and 3-gram-token interners of one column pair. Kept separate
+/// so a column with many q-grams but few words still gets the small word
+/// universe (and its bitset fast path).
+struct ColumnInterners {
+  TokenInterner words;
+  TokenInterner qgrams;
 };
 
 /// Builds the prepared form of one cell. `raw` must outlive the result.
@@ -78,9 +128,14 @@ class PreparedColumn {
   PreparedColumn() = default;
 
   /// Prepares `rows` (deduplicated indices into `table`) for column `col`.
-  /// Unreferenced rows stay unprepared and must not be fetched.
+  /// Unreferenced rows stay unprepared and must not be fetched. When
+  /// `interners` is non-null and the active SIMD tier is vectorized, word
+  /// and q-gram sets are additionally interned to u32 id sets (and bitsets
+  /// for small universes); pass the same ColumnInterners to both sides of
+  /// a column pair so the ids are comparable.
   void BuildRows(const Table& table, size_t col,
-                 const std::vector<size_t>& rows, const PreparedNeeds& needs);
+                 const std::vector<size_t>& rows, const PreparedNeeds& needs,
+                 ColumnInterners* interners = nullptr);
 
   /// The prepared cell for a row passed to BuildRows.
   const PreparedValue& Get(size_t row) const { return values_[row]; }

@@ -1,0 +1,318 @@
+#include "src/text/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string_view>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define FAIREM_SIMD_X86 1
+#endif
+
+namespace fairem {
+namespace {
+
+/// Batch size before a thread folds its tallies into the global counters.
+/// Large enough that the per-pair loops touch no atomic in steady state,
+/// small enough that short runs still report (plus the explicit flush).
+constexpr uint64_t kTallyFlushThreshold = 4096;
+
+Counter* KernelCallsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("fairem.simd.kernel_calls");
+  return c;
+}
+
+Counter* ScratchReusesCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("fairem.simd.scratch_reuses");
+  return c;
+}
+
+Gauge* DispatchLevelGauge() {
+  static Gauge* g =
+      MetricsRegistry::Global().GetGauge("fairem.simd.dispatch_level");
+  return g;
+}
+
+/// Per-thread tallies; the destructor drains them at thread exit (for the
+/// main thread, thread_local destruction is sequenced before static
+/// destruction, so the registry is still alive).
+struct SimdTally {
+  uint64_t kernel_calls = 0;
+  uint64_t scratch_reuses = 0;
+
+  void Flush() {
+    if (kernel_calls > 0) {
+      KernelCallsCounter()->Increment(kernel_calls);
+      kernel_calls = 0;
+    }
+    if (scratch_reuses > 0) {
+      ScratchReusesCounter()->Increment(scratch_reuses);
+      scratch_reuses = 0;
+    }
+  }
+
+  ~SimdTally() { Flush(); }
+};
+
+SimdTally& Tally() {
+  thread_local SimdTally tally;
+  return tally;
+}
+
+bool SimdDisabledByEnv() {
+  const char* env = std::getenv("FAIREM_SIMD");
+  if (env == nullptr) return false;
+  std::string_view v(env);
+  return v == "off" || v == "OFF" || v == "0" || v == "scalar" ||
+         v == "false";
+}
+
+SimdLevel DetectHardwareLevel() {
+#if defined(FAIREM_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return SimdLevel::kSse42;
+  return SimdLevel::kPortable;
+#elif defined(__aarch64__)
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kPortable;
+#endif
+}
+
+/// -1 = not yet detected; otherwise a SimdLevel. Relaxed loads in the hot
+/// path; first use (or a test override) publishes via the same atomic.
+std::atomic<int> g_active_level{-1};
+
+SimdLevel InitActiveLevel() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    SimdLevel level =
+        SimdDisabledByEnv() ? SimdLevel::kScalar : DetectHardwareLevel();
+    // A test override may have raced detection; never downgrade it here.
+    int expected = -1;
+    if (g_active_level.compare_exchange_strong(expected,
+                                               static_cast<int>(level))) {
+      DispatchLevelGauge()->Set(static_cast<double>(level));
+      FAIREM_LOG(INFO) << "simd dispatch selected"
+                       << LogKv("level", SimdLevelName(level));
+    }
+  });
+  return static_cast<SimdLevel>(g_active_level.load(std::memory_order_relaxed));
+}
+
+/// Galloping |A ∩ B| for skewed sizes: every element of the small side is
+/// located in the large side by doubling probes from a monotone cursor,
+/// O(small * log(large/small)) instead of O(small + large).
+size_t IntersectGallop(const uint32_t* small, size_t small_size,
+                       const uint32_t* large, size_t large_size) {
+  size_t j = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < small_size; ++i) {
+    const uint32_t key = small[i];
+    size_t bound = 1;
+    while (j + bound < large_size && large[j + bound] < key) bound <<= 1;
+    const uint32_t* lo = large + j + bound / 2;
+    const uint32_t* hi = large + std::min(j + bound + 1, large_size);
+    j = static_cast<size_t>(std::lower_bound(lo, hi, key) - large);
+    if (j < large_size && large[j] == key) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+#if defined(FAIREM_SIMD_X86)
+
+/// Block-scan |A ∩ B| with `a` the smaller side: for each key, skip 8-wide
+/// blocks of `b` wholly below it, then one broadcast-compare decides
+/// membership. The cursor only moves forward, so the whole call reads each
+/// block of `b` O(1) times.
+__attribute__((target("avx2"))) size_t IntersectAvx2(const uint32_t* a,
+                                                     size_t a_size,
+                                                     const uint32_t* b,
+                                                     size_t b_size) {
+  size_t j = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < a_size; ++i) {
+    const uint32_t key = a[i];
+    while (j + 8 <= b_size && b[j + 7] < key) j += 8;
+    if (j + 8 <= b_size) {
+      const __m256i vkey = _mm256_set1_epi32(static_cast<int>(key));
+      const __m256i block =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      count += _mm256_movemask_epi8(_mm256_cmpeq_epi32(block, vkey)) != 0;
+    } else {
+      while (j < b_size && b[j] < key) ++j;
+      if (j < b_size && b[j] == key) {
+        ++count;
+        ++j;
+      }
+    }
+  }
+  return count;
+}
+
+/// The same block scan at SSE width (4 lanes). _mm_cmpeq_epi32 is SSE2,
+/// but the tier is gated on sse4.2 as the practical "modern x86" floor.
+__attribute__((target("sse4.2"))) size_t IntersectSse(const uint32_t* a,
+                                                      size_t a_size,
+                                                      const uint32_t* b,
+                                                      size_t b_size) {
+  size_t j = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < a_size; ++i) {
+    const uint32_t key = a[i];
+    while (j + 4 <= b_size && b[j + 3] < key) j += 4;
+    if (j + 4 <= b_size) {
+      const __m128i vkey = _mm_set1_epi32(static_cast<int>(key));
+      const __m128i block =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+      count += _mm_movemask_epi8(_mm_cmpeq_epi32(block, vkey)) != 0;
+    } else {
+      while (j < b_size && b[j] < key) ++j;
+      if (j < b_size && b[j] == key) {
+        ++count;
+        ++j;
+      }
+    }
+  }
+  return count;
+}
+
+#endif  // FAIREM_SIMD_X86
+
+/// Small-over-large ratio beyond which galloping beats the linear merge.
+constexpr size_t kGallopSkewRatio = 8;
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kPortable:
+      return "portable";
+    case SimdLevel::kSse42:
+      return "sse4.2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+SimdLevel ActiveSimdLevel() {
+  int v = g_active_level.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<SimdLevel>(v);
+  return InitActiveLevel();
+}
+
+SimdLevel DetectedSimdLevel() { return DetectHardwareLevel(); }
+
+size_t IntersectSortedU32Count(const uint32_t* a, size_t a_size,
+                               const uint32_t* b, size_t b_size) {
+  if (a_size == 0 || b_size == 0) return 0;
+  CountSimdKernelCalls();
+  if (a_size > b_size) {
+    std::swap(a, b);
+    std::swap(a_size, b_size);
+  }
+  switch (ActiveSimdLevel()) {
+#if defined(FAIREM_SIMD_X86)
+    case SimdLevel::kAvx2:
+      if (b_size >= 16) return IntersectAvx2(a, a_size, b, b_size);
+      break;
+    case SimdLevel::kSse42:
+      if (b_size >= 8) return IntersectSse(a, a_size, b, b_size);
+      break;
+#endif
+    default:
+      break;
+  }
+  if (a_size * kGallopSkewRatio <= b_size) {
+    return IntersectGallop(a, a_size, b, b_size);
+  }
+  return internal::IntersectSortedU32CountScalar(a, a_size, b, b_size);
+}
+
+size_t BitsetIntersectCount(const uint64_t* a, const uint64_t* b,
+                            size_t words) {
+  CountSimdKernelCalls();
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    count += static_cast<size_t>(std::popcount(a[i] & b[i])) +
+             static_cast<size_t>(std::popcount(a[i + 1] & b[i + 1])) +
+             static_cast<size_t>(std::popcount(a[i + 2] & b[i + 2])) +
+             static_cast<size_t>(std::popcount(a[i + 3] & b[i + 3]));
+  }
+  for (; i < words; ++i) {
+    count += static_cast<size_t>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+void CountSimdKernelCalls(uint64_t n) {
+  SimdTally& tally = Tally();
+  tally.kernel_calls += n;
+  if (tally.kernel_calls >= kTallyFlushThreshold) tally.Flush();
+}
+
+void CountScratchReuses(uint64_t n) {
+  SimdTally& tally = Tally();
+  tally.scratch_reuses += n;
+  if (tally.scratch_reuses >= kTallyFlushThreshold) tally.Flush();
+}
+
+void FlushSimdTelemetry() {
+  // Register eagerly so snapshots carry the keys even before any kernel
+  // ran (benchdiff treats a missing metric as absent, not zero).
+  KernelCallsCounter();
+  ScratchReusesCounter();
+  DispatchLevelGauge()->Set(static_cast<double>(ActiveSimdLevel()));
+  Tally().Flush();
+}
+
+namespace internal {
+
+void ForceSimdLevelForTest(SimdLevel level) {
+  g_active_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  DispatchLevelGauge()->Set(static_cast<double>(level));
+}
+
+void ClearForcedSimdLevelForTest() {
+  SimdLevel level =
+      SimdDisabledByEnv() ? SimdLevel::kScalar : DetectHardwareLevel();
+  g_active_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  DispatchLevelGauge()->Set(static_cast<double>(level));
+}
+
+size_t IntersectSortedU32CountScalar(const uint32_t* a, size_t a_size,
+                                     const uint32_t* b, size_t b_size) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a_size && j < b_size) {
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
+    count += (x == y);
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return count;
+}
+
+}  // namespace internal
+
+}  // namespace fairem

@@ -1,0 +1,86 @@
+#ifndef FAIREM_TEXT_SIMD_H_
+#define FAIREM_TEXT_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fairem {
+
+/// Which kernel tier the pairwise similarity hot path runs on. Detected
+/// once per process (DESIGN.md §17); every tier produces bit-identical
+/// similarity doubles, so the choice is purely about speed.
+///
+///  - kScalar:   the pre-vectorization reference kernels (two-row DP
+///               Levenshtein, per-pair string-set merges, no token
+///               interning). Forced by FAIREM_SIMD=off.
+///  - kPortable: bit-parallel Myers + interned-u32/bitset set merges in
+///               plain C++ (std::popcount, no intrinsics). Always compiled.
+///  - kSse42 / kAvx2: the portable algorithms with x86 vector inner loops
+///               for the skewed set-merge scan, selected via cpuid.
+///  - kNeon:     aarch64 builds; currently runs the portable kernels (the
+///               bit-parallel core is already 64-bit ALU work).
+enum class SimdLevel : int {
+  kScalar = 0,
+  kPortable = 1,
+  kSse42 = 2,
+  kAvx2 = 3,
+  kNeon = 4,
+};
+
+/// Short stable name for logs/metrics: "scalar", "portable", "sse4.2",
+/// "avx2", "neon".
+const char* SimdLevelName(SimdLevel level);
+
+/// The tier the hot kernels dispatch to. First call detects CPU features
+/// and honors FAIREM_SIMD=off (also "0"/"scalar"/"false"); later calls are
+/// a relaxed atomic load. Exposed as the fairem.simd.dispatch_level gauge.
+SimdLevel ActiveSimdLevel();
+
+/// What the hardware supports, ignoring FAIREM_SIMD and any test override.
+/// Tests iterate levels <= this to run every reachable variant in-process.
+SimdLevel DetectedSimdLevel();
+
+/// |A ∩ B| of two sorted-unique u32 id sets. Dispatches on
+/// ActiveSimdLevel(): two-pointer merge for balanced sizes, galloping for
+/// skewed ones, and an SSE4.2/AVX2 broadcast-compare block scan when
+/// available. Exact for every input; counted in fairem.simd.kernel_calls.
+size_t IntersectSortedU32Count(const uint32_t* a, size_t a_size,
+                               const uint32_t* b, size_t b_size);
+
+/// popcount(A & B) over the first `words` 64-bit words of two bitsets.
+/// Callers pass words = min(|a|, |b|) when the two sides were built at
+/// different universe sizes — sound because ids are dense from 0, so the
+/// shorter side has no bits beyond its own length.
+size_t BitsetIntersectCount(const uint64_t* a, const uint64_t* b,
+                            size_t words);
+
+/// Batched telemetry: the per-pair kernels tally into thread-local counts
+/// and fold into the global registry every few thousand events, so the hot
+/// loop never contends on an atomic. FlushSimdTelemetry() drains the
+/// calling thread's tally immediately — hooked into FlushObsOutputs and the
+/// worker telemetry-delta path so snapshots are complete.
+void CountSimdKernelCalls(uint64_t n = 1);
+void CountScratchReuses(uint64_t n = 1);
+void FlushSimdTelemetry();
+
+namespace internal {
+
+/// Overrides ActiveSimdLevel() for differential tests ("run this exact
+/// input through every tier"). Levels above DetectedSimdLevel() would
+/// dispatch to instructions the host lacks; tests must not force them.
+/// Not for production use — the override is process-wide.
+void ForceSimdLevelForTest(SimdLevel level);
+
+/// Drops the test override and re-detects from cpuid + FAIREM_SIMD.
+void ClearForcedSimdLevelForTest();
+
+/// The reference two-pointer merge, reachable directly so differential
+/// tests can compare the dispatched kernels against it at any level.
+size_t IntersectSortedU32CountScalar(const uint32_t* a, size_t a_size,
+                                     const uint32_t* b, size_t b_size);
+
+}  // namespace internal
+
+}  // namespace fairem
+
+#endif  // FAIREM_TEXT_SIMD_H_

@@ -1,8 +1,10 @@
 #include "src/text/tfidf.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
+#include "src/text/simd.h"
 #include "src/util/logging.h"
 
 namespace fairem {
@@ -49,6 +51,43 @@ SparseVector TfIdfVectorizer::Transform(
   return vec;
 }
 
+SortedSparseVector TfIdfVectorizer::TransformSorted(
+    const std::vector<std::string>& tokens) const {
+  FAIREM_CHECK(fitted_, "TfIdfVectorizer::TransformSorted before Fit");
+  // (id, idf) per in-vocabulary occurrence; duplicates collapse below with
+  // the same repeated additions the map-based Transform performs, so the
+  // weights agree bit for bit.
+  std::vector<std::pair<uint32_t, double>> entries;
+  entries.reserve(tokens.size());
+  for (const auto& tok : tokens) {
+    auto it = vocab_.find(tok);
+    if (it == vocab_.end()) continue;
+    entries.emplace_back(static_cast<uint32_t>(it->second),
+                         idf_[static_cast<size_t>(it->second)]);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  SortedSparseVector vec;
+  vec.ids.reserve(entries.size());
+  vec.weights.reserve(entries.size());
+  for (size_t i = 0; i < entries.size();) {
+    const uint32_t id = entries[i].first;
+    double w = 0.0;
+    for (; i < entries.size() && entries[i].first == id; ++i) {
+      w += entries[i].second;
+    }
+    vec.ids.push_back(id);
+    vec.weights.push_back(w);
+  }
+  double norm_sq = 0.0;
+  for (double w : vec.weights) norm_sq += w * w;
+  if (norm_sq > 0.0) {
+    double inv = 1.0 / std::sqrt(norm_sq);
+    for (double& w : vec.weights) w *= inv;
+  }
+  return vec;
+}
+
 double TfIdfVectorizer::Cosine(const SparseVector& a, const SparseVector& b) {
   if (a.empty() || b.empty()) return 0.0;
   const SparseVector& small = a.size() <= b.size() ? a : b;
@@ -61,9 +100,32 @@ double TfIdfVectorizer::Cosine(const SparseVector& a, const SparseVector& b) {
   return dot;
 }
 
+double TfIdfVectorizer::CosineSorted(const SortedSparseVector& a,
+                                     const SortedSparseVector& b) {
+  if (a.ids.empty() || b.ids.empty()) return 0.0;
+  CountSimdKernelCalls();
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.ids.size() && j < b.ids.size()) {
+    const uint32_t x = a.ids[i];
+    const uint32_t y = b.ids[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      dot += a.weights[i] * b.weights[j];
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
 double TfIdfVectorizer::Similarity(const std::vector<std::string>& a,
                                    const std::vector<std::string>& b) const {
-  return Cosine(Transform(a), Transform(b));
+  return CosineSorted(TransformSorted(a), TransformSorted(b));
 }
 
 double TfIdfVectorizer::Idf(const std::string& token) const {

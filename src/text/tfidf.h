@@ -1,6 +1,7 @@
 #ifndef FAIREM_TEXT_TFIDF_H_
 #define FAIREM_TEXT_TFIDF_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -9,6 +10,15 @@ namespace fairem {
 
 /// A sparse TF-IDF vector: term id -> weight.
 using SparseVector = std::unordered_map<int, double>;
+
+/// A sparse TF-IDF vector laid out for merging: parallel arrays sorted by
+/// id. TransformSorted builds these so the per-pair cosine is a sorted-u32
+/// two-pointer merge (the interned-token idiom of DESIGN.md §17) instead
+/// of hash probes.
+struct SortedSparseVector {
+  std::vector<uint32_t> ids;     // strictly increasing
+  std::vector<double> weights;  // weights[i] belongs to ids[i]
+};
 
 /// TF-IDF vectorizer fit on a corpus of token lists, in the style used by
 /// non-neural EM feature generators. idf(t) = log((1 + N) / (1 + df)) + 1
@@ -24,10 +34,22 @@ class TfIdfVectorizer {
   /// ignored. Must be called after Fit.
   SparseVector Transform(const std::vector<std::string>& tokens) const;
 
+  /// Transform with the merge-friendly layout. Weight accumulation and
+  /// normalization sum in ascending id order, so the doubles are
+  /// deterministic (the unordered_map Transform iterates in hash order).
+  SortedSparseVector TransformSorted(
+      const std::vector<std::string>& tokens) const;
+
   /// Cosine similarity of two sparse vectors (0 when either is empty).
   static double Cosine(const SparseVector& a, const SparseVector& b);
 
+  /// Cosine over the sorted layout: one linear id merge, accumulating in
+  /// ascending id order.
+  static double CosineSorted(const SortedSparseVector& a,
+                             const SortedSparseVector& b);
+
   /// Convenience: cosine of the TF-IDF transforms of two token lists.
+  /// Runs on the sorted layout.
   double Similarity(const std::vector<std::string>& a,
                     const std::vector<std::string>& b) const;
 

@@ -36,39 +36,54 @@ SetSizes ComputeSizes(const std::vector<std::string>& a,
 double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b) {
   SetSizes s = ComputeSizes(a, b);
-  size_t uni = s.a + s.b - s.intersection;
-  if (uni == 0) return 1.0;
-  return static_cast<double>(s.intersection) / static_cast<double>(uni);
+  return JaccardFromSetSizes(s.a, s.b, s.intersection);
 }
 
 double DiceSimilarity(const std::vector<std::string>& a,
                       const std::vector<std::string>& b) {
   SetSizes s = ComputeSizes(a, b);
-  if (s.a + s.b == 0) return 1.0;
-  return 2.0 * static_cast<double>(s.intersection) /
-         static_cast<double>(s.a + s.b);
+  return DiceFromSetSizes(s.a, s.b, s.intersection);
 }
 
 double OverlapCoefficient(const std::vector<std::string>& a,
                           const std::vector<std::string>& b) {
   SetSizes s = ComputeSizes(a, b);
-  size_t min_size = std::min(s.a, s.b);
-  if (min_size == 0) return s.a == s.b ? 1.0 : 0.0;
-  return static_cast<double>(s.intersection) / static_cast<double>(min_size);
+  return OverlapFromSetSizes(s.a, s.b, s.intersection);
 }
 
 double CosineTokenSimilarity(const std::vector<std::string>& a,
                              const std::vector<std::string>& b) {
   SetSizes s = ComputeSizes(a, b);
-  if (s.a == 0 && s.b == 0) return 1.0;
-  if (s.a == 0 || s.b == 0) return 0.0;
-  return static_cast<double>(s.intersection) /
-         std::sqrt(static_cast<double>(s.a) * static_cast<double>(s.b));
+  return CosineFromSetSizes(s.a, s.b, s.intersection);
 }
 
 int TokenOverlapCount(const std::vector<std::string>& a,
                       const std::vector<std::string>& b) {
   return static_cast<int>(ComputeSizes(a, b).intersection);
+}
+
+double JaccardFromSetSizes(size_t a, size_t b, size_t intersection) {
+  size_t uni = a + b - intersection;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+double DiceFromSetSizes(size_t a, size_t b, size_t intersection) {
+  if (a + b == 0) return 1.0;
+  return 2.0 * static_cast<double>(intersection) / static_cast<double>(a + b);
+}
+
+double OverlapFromSetSizes(size_t a, size_t b, size_t intersection) {
+  size_t min_size = std::min(a, b);
+  if (min_size == 0) return a == b ? 1.0 : 0.0;
+  return static_cast<double>(intersection) / static_cast<double>(min_size);
+}
+
+double CosineFromSetSizes(size_t a, size_t b, size_t intersection) {
+  if (a == 0 && b == 0) return 1.0;
+  if (a == 0 || b == 0) return 0.0;
+  return static_cast<double>(intersection) /
+         std::sqrt(static_cast<double>(a) * static_cast<double>(b));
 }
 
 }  // namespace fairem

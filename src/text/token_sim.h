@@ -31,6 +31,16 @@ double CosineTokenSimilarity(const std::vector<std::string>& a,
 int TokenOverlapCount(const std::vector<std::string>& a,
                       const std::vector<std::string>& b);
 
+/// The exact similarity formulas above, over precomputed cardinalities.
+/// Every representation of a token set (string vectors, interned u32 ids,
+/// bitsets) funnels through these, which is why the interned fast paths
+/// return bit-identical doubles to the string kernels: the inputs here are
+/// exact integers however the intersection was counted (DESIGN.md §17).
+double JaccardFromSetSizes(size_t a, size_t b, size_t intersection);
+double DiceFromSetSizes(size_t a, size_t b, size_t intersection);
+double OverlapFromSetSizes(size_t a, size_t b, size_t intersection);
+double CosineFromSetSizes(size_t a, size_t b, size_t intersection);
+
 }  // namespace fairem
 
 #endif  // FAIREM_TEXT_TOKEN_SIM_H_

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "src/data/schema.h"
+#include "src/data/table.h"
+#include "src/text/simd.h"
 #include "src/text/similarity.h"
 
 namespace fairem {
@@ -79,6 +83,127 @@ TEST(PreparedSimilarityTest, MergeFromUnionsNeeds) {
   EXPECT_TRUE(a.word_set);
   EXPECT_TRUE(a.qgram_set);
   EXPECT_TRUE(a.numeric);
+}
+
+// --- interned-token fast path (DESIGN.md §17) ------------------------------
+
+struct LevelGuard {
+  explicit LevelGuard(SimdLevel level) {
+    internal::ForceSimdLevelForTest(level);
+  }
+  ~LevelGuard() { internal::ClearForcedSimdLevelForTest(); }
+};
+
+std::vector<SimdLevel> RunnableVectorLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kPortable};
+  const int detected = static_cast<int>(DetectedSimdLevel());
+  for (SimdLevel v : {SimdLevel::kSse42, SimdLevel::kAvx2, SimdLevel::kNeon}) {
+    if (static_cast<int>(v) <= detected) levels.push_back(v);
+  }
+  return levels;
+}
+
+Table SampleTable(const std::string& name) {
+  Schema schema = Schema::Make({"text"}).value();
+  Table t(name, schema);
+  int64_t id = 0;
+  for (const std::string& s : kSamples) {
+    EXPECT_TRUE(t.AppendValues(id++, {s}).ok());
+  }
+  return t;
+}
+
+const std::vector<SimilarityMeasure> kTokenMeasures = {
+    SimilarityMeasure::kJaccardWord,   SimilarityMeasure::kDiceWord,
+    SimilarityMeasure::kOverlapWord,   SimilarityMeasure::kCosineWord,
+    SimilarityMeasure::kJaccardQgram3, SimilarityMeasure::kDiceQgram3,
+};
+
+/// With a shared interner pair, every token measure over interned ids (and
+/// the bitset path for these small universes) must reproduce the raw
+/// string-pair kernel bitwise — on every vector tier this host can run.
+TEST(PreparedInterningTest, InternedIdsMatchRawKernelBitwise) {
+  Table ta = SampleTable("a");
+  Table tb = SampleTable("b");
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < kSamples.size(); ++r) rows.push_back(r);
+  PreparedNeeds needs;
+  needs.word_set = true;
+  needs.qgram_set = true;
+  for (SimdLevel level : RunnableVectorLevels()) {
+    LevelGuard guard(level);
+    ColumnInterners interners;
+    PreparedColumn ca, cb;
+    ca.BuildRows(ta, 0, rows, needs, &interners);
+    cb.BuildRows(tb, 0, rows, needs, &interners);
+    for (size_t i = 0; i < kSamples.size(); ++i) {
+      ASSERT_TRUE(ca.Get(i).has_ids) << SimdLevelName(level);
+      for (size_t j = 0; j < kSamples.size(); ++j) {
+        for (SimilarityMeasure m : kTokenMeasures) {
+          EXPECT_EQ(ComputeSimilarity(m, kSamples[i], kSamples[j]),
+                    ComputeSimilarity(m, ca.Get(i), cb.Get(j)))
+              << SimilarityMeasureName(m) << " at " << SimdLevelName(level)
+              << " (\"" << kSamples[i] << "\", \"" << kSamples[j] << "\")";
+        }
+      }
+    }
+  }
+}
+
+/// Ids assigned by the two sides of one interner must agree: equal strings
+/// on opposite sides get equal id sets.
+TEST(PreparedInterningTest, IdsAreComparableAcrossSides) {
+  Table ta = SampleTable("a");
+  Table tb = SampleTable("b");
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < kSamples.size(); ++r) rows.push_back(r);
+  PreparedNeeds needs;
+  needs.word_set = true;
+  needs.qgram_set = true;
+  LevelGuard guard(SimdLevel::kPortable);
+  ColumnInterners interners;
+  PreparedColumn ca, cb;
+  ca.BuildRows(ta, 0, rows, needs, &interners);
+  cb.BuildRows(tb, 0, rows, needs, &interners);
+  for (size_t i = 0; i < kSamples.size(); ++i) {
+    EXPECT_EQ(ca.Get(i).word_ids, cb.Get(i).word_ids);
+    EXPECT_EQ(ca.Get(i).qgram_ids, cb.Get(i).qgram_ids);
+    EXPECT_EQ(ca.Get(i).word_bits, cb.Get(i).word_bits);
+  }
+}
+
+/// FAIREM_SIMD=off must run the seed path exactly: interning is skipped
+/// wholesale, so the prepared values carry no ids and the measures fall
+/// back to the string-set merges.
+TEST(PreparedInterningTest, ScalarModeSkipsInterning) {
+  Table ta = SampleTable("a");
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < kSamples.size(); ++r) rows.push_back(r);
+  PreparedNeeds needs;
+  needs.word_set = true;
+  needs.qgram_set = true;
+  LevelGuard guard(SimdLevel::kScalar);
+  ColumnInterners interners;
+  PreparedColumn ca;
+  ca.BuildRows(ta, 0, rows, needs, &interners);
+  for (size_t i = 0; i < kSamples.size(); ++i) {
+    EXPECT_FALSE(ca.Get(i).has_ids);
+    EXPECT_TRUE(ca.Get(i).word_ids.empty());
+    EXPECT_TRUE(ca.Get(i).qgram_ids.empty());
+  }
+  // And no interners at all still works (ExtractFeatures' path).
+  PreparedColumn plain;
+  plain.BuildRows(ta, 0, rows, needs, nullptr);
+  EXPECT_FALSE(plain.Get(0).has_ids);
+}
+
+TEST(PreparedInterningTest, InternerAssignsDenseStableIds) {
+  TokenInterner interner;
+  EXPECT_EQ(0u, interner.Intern("alpha"));
+  EXPECT_EQ(1u, interner.Intern("beta"));
+  EXPECT_EQ(0u, interner.Intern("alpha"));
+  EXPECT_EQ(2u, interner.Intern("gamma"));
+  EXPECT_EQ(3u, interner.size());
 }
 
 }  // namespace
